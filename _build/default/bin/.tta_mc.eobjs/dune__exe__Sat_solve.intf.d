@@ -1,0 +1,1 @@
+bin/sat_solve.mli:

@@ -1,0 +1,1 @@
+bin/tta_analysis.ml: Analysis Arg Cmd Cmdliner Format Guardian List Printf Term

@@ -1,0 +1,1 @@
+bin/tta_analysis.mli:

@@ -1,0 +1,1 @@
+bin/tta_experiments.ml: Array Core Format List Printf Sys

@@ -1,0 +1,1 @@
+bin/tta_mc.ml: Arg Array Cmd Cmdliner Guardian Printf Symkit Term Tta_model Unix

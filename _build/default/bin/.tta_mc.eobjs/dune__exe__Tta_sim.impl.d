@@ -1,0 +1,1 @@
+bin/tta_sim.ml: Arg Cmd Cmdliner Format Guardian Medl Printf Sim Term Ttp

@@ -1,0 +1,1 @@
+bin/tta_sim.mli:

@@ -1,0 +1,52 @@
+(* A standalone DIMACS SAT solver front-end over the library's CDCL
+   engine, speaking the conventional s/v output format so results can
+   be compared with any other solver.
+
+     sat_solve problem.cnf
+     echo "p cnf 2 2\n1 2 0\n-1 0" | sat_solve -
+*)
+
+let read_stdin () =
+  let rec go acc =
+    match input_line stdin with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: sat_solve <file.cnf | ->";
+        exit 2
+  in
+  let instance =
+    try
+      if path = "-" then Sat.Dimacs.of_lines (read_stdin ())
+      else Sat.Dimacs.of_file path
+    with
+    | Sat.Dimacs.Parse_error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 2
+    | Sys_error msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  let solver = Sat.Dimacs.load instance in
+  let t0 = Unix.gettimeofday () in
+  let result = Sat.solve solver in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "c %s\nc %.3fs\n" (Sat.stats solver) dt;
+  match result with
+  | Sat.Sat ->
+      print_endline "s SATISFIABLE";
+      let lits = Sat.Dimacs.model_of instance solver in
+      print_string "v";
+      List.iter (fun l -> Printf.printf " %d" l) lits;
+      print_endline " 0";
+      exit 10
+  | Sat.Unsat ->
+      print_endline "s UNSATISFIABLE";
+      exit 20

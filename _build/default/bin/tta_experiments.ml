@@ -1,0 +1,40 @@
+(* Run the experiment registry: every reproduced result of the paper as
+   a structured paper-vs-measured row (see DESIGN.md's per-experiment
+   index and EXPERIMENTS.md for the recorded paper-scale outcomes).
+
+     tta_experiments            # the fast set (numeric + simulator)
+     tta_experiments --all      # also the model-checking verdicts
+     tta_experiments --nodes 4  # paper-scale model checking (minutes)
+*)
+
+let () =
+  let all = Array.exists (( = ) "--all") Sys.argv in
+  let nodes =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then 3
+      else if Sys.argv.(i) = "--nodes" then int_of_string Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let outcomes =
+    if all then begin
+      Printf.printf
+        "running the full registry at %d nodes (model checking included)...\n%!"
+        nodes;
+      (* Depths chosen to cover the minimal counterexamples at the
+         requested scale. *)
+      let unsafe_depth = 100 in
+      Core.Experiments.all ~nodes ~safe_depth:100 ~unsafe_depth ()
+    end
+    else Core.Experiments.quick ()
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun o ->
+      if not o.Core.Experiments.matches then incr failures;
+      Format.printf "%a@.@." Core.Experiments.pp_outcome o)
+    outcomes;
+  Printf.printf "%d/%d experiments reproduced\n" (List.length outcomes - !failures)
+    (List.length outcomes);
+  exit (if !failures = 0 then 0 else 1)

@@ -1,0 +1,131 @@
+(* Model-check the TTA star-coupler configurations of the paper.
+
+   Examples:
+     tta_mc --config full-shifting            # expect a counterexample
+     tta_mc --config passive --engine bdd     # expect a safety proof
+     tta_mc --config full-shifting --no-cold-start-duplication
+*)
+
+let run config_name engine_name nodes max_depth no_cs_dup oos_budget
+    export_smv =
+  let feature_set =
+    match Guardian.Feature_set.of_string config_name with
+    | Some fs -> fs
+    | None ->
+        prerr_endline
+          "unknown --config (expected passive | time-windows | \
+           small-shifting | full-shifting)";
+        exit 2
+  in
+  let engine =
+    match engine_name with
+    | "bmc" -> Tta_model.Runner.Sat_bmc
+    | "bdd" -> Tta_model.Runner.Bdd_reach
+    | "induction" -> Tta_model.Runner.Sat_induction
+    | _ ->
+        prerr_endline "unknown --engine (expected bmc | bdd | induction)";
+        exit 2
+  in
+  let cfg =
+    Tta_model.Configs.make ~nodes
+      ?oos_budget:
+        (match (feature_set, oos_budget) with
+        | Guardian.Feature_set.Full_shifting, b -> b
+        | _, _ -> None)
+      ~forbid_cold_start_duplication:no_cs_dup feature_set
+  in
+  Printf.printf "configuration: %s (%d nodes)\n" (Tta_model.Configs.name cfg)
+    nodes;
+  (match export_smv with
+  | Some path ->
+      Tta_model.Runner.export_smv cfg path;
+      Printf.printf "model exported to %s (SMV input language)\n" path
+  | None -> ());
+  Printf.printf "engine: %s, depth bound %d\n%!"
+    (Tta_model.Runner.engine_to_string engine)
+    max_depth;
+  let t0 = Unix.gettimeofday () in
+  let verdict = Tta_model.Runner.check ~engine ~max_depth cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match verdict with
+  | Tta_model.Runner.Holds { detail } ->
+      Printf.printf "PROPERTY HOLDS: %s\n" detail
+  | Tta_model.Runner.Unknown { detail } ->
+      Printf.printf "UNDECIDED: %s\n" detail
+  | Tta_model.Runner.Violated { trace; model } ->
+      Printf.printf
+        "PROPERTY VIOLATED: a single coupler fault froze an integrated \
+         node.\nCounterexample (%d steps):\n%s"
+        (Array.length trace)
+        (Tta_model.Runner.describe_trace model trace ~nodes);
+      (match Symkit.Trace.validate model trace with
+      | Ok () -> Printf.printf "(trace replays cleanly against the model)\n"
+      | Error e -> Printf.printf "WARNING: trace validation failed: %s\n" e));
+  Printf.printf "elapsed: %.2fs\n" dt
+
+let () =
+  let open Cmdliner in
+  let config =
+    Arg.(
+      value
+      & opt string "full-shifting"
+      & info [ "c"; "config" ] ~docv:"CONFIG"
+          ~doc:
+            "Star-coupler feature set: passive, time-windows, \
+             small-shifting, or full-shifting.")
+  in
+  let engine =
+    Arg.(
+      value & opt string "bmc"
+      & info [ "e"; "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Model-checking engine: bmc (SAT), bdd (reachability), or \
+             induction (SAT k-induction).")
+  in
+  let export_smv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export-smv" ] ~docv:"FILE"
+          ~doc:
+            "Also write the model to FILE in the SMV input language \
+             (NuSMV dialect), with the property as an INVARSPEC.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size (paper: 4).")
+  in
+  let depth =
+    Arg.(
+      value & opt int 24
+      & info [ "d"; "depth" ] ~docv:"K"
+          ~doc:"Unrolling/iteration bound for the engines.")
+  in
+  let no_cs_dup =
+    Arg.(
+      value & flag
+      & info
+          [ "no-cold-start-duplication" ]
+          ~doc:
+            "Prohibit replaying buffered cold-start frames (forces the \
+             paper's second counterexample).")
+  in
+  let oos_budget =
+    Arg.(
+      value
+      & opt (some int) (Some 1)
+      & info [ "oos-budget" ] ~docv:"K"
+          ~doc:
+            "Limit on out-of-slot errors for full-shifting couplers \
+             (paper: 1).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "tta_mc"
+         ~doc:"Model-check TTA star-coupler fault-tolerance configurations")
+      Term.(
+        const run $ config $ engine $ nodes $ depth $ no_cs_dup $ oos_budget
+        $ export_smv)
+  in
+  exit (Cmd.eval cmd)

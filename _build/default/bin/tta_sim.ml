@@ -1,0 +1,132 @@
+(* Simulate a TTA cluster: boot it, optionally inject a coupler or node
+   fault, and print the event log.
+
+   Examples:
+     tta_sim                                      # clean boot, 4 nodes
+     tta_sim --coupler-fault out-of-slot --feature-set full-shifting
+     tta_sim --node-fault sos --node 2
+     tta_sim --campaign 50 --feature-set full-shifting
+*)
+
+open Ttp
+
+let parse_node_fault name node =
+  match name with
+  | "none" -> Some Sim.Node_fault.Healthy
+  | "crash" -> Some Sim.Node_fault.Crashed
+  | "sos" -> Some (Sim.Node_fault.Sos { timing = 0.5; value = 0.0 })
+  | "babbling" ->
+      Some (Sim.Node_fault.Babbling { in_slot = (node + 1) mod 4 })
+  | "bad-cstate" -> Some (Sim.Node_fault.Bad_cstate { time_offset = 7 })
+  | "masquerade" ->
+      Some (Sim.Node_fault.Masquerade { as_slot = (node + 1) mod 4 })
+  | _ -> None
+
+let print_summary cluster =
+  print_endline "== availability ==";
+  Format.printf "%a@." Sim.Stats.pp (Sim.Stats.of_cluster cluster);
+  print_endline "== event log ==";
+  print_string (Sim.Event_log.to_string (Sim.Cluster.log cluster))
+
+let run_campaign feature_set nodes trials =
+  Printf.printf
+    "campaign: %d trials, %d nodes, %s couplers, one random coupler fault \
+     per trial\n%!"
+    trials nodes
+    (Guardian.Feature_set.to_string feature_set);
+  let outcomes = Sim.Campaign.run ~feature_set ~nodes ~trials () in
+  let s = Sim.Campaign.summarize outcomes in
+  Printf.printf "trials:                 %d\n" s.Sim.Campaign.trials;
+  Printf.printf "healthy node froze:     %d\n" s.Sim.Campaign.with_healthy_freeze;
+  Printf.printf "cluster lost majority:  %d\n" s.Sim.Campaign.with_cluster_loss;
+  Printf.printf "re-integration blocked: %d\n"
+    s.Sim.Campaign.with_integration_block
+
+let run feature_set_name nodes slots coupler_fault channel node_fault node
+    campaign =
+  let feature_set =
+    match Guardian.Feature_set.of_string feature_set_name with
+    | Some fs -> fs
+    | None ->
+        prerr_endline "unknown --feature-set";
+        exit 2
+  in
+  match campaign with
+  | Some trials -> run_campaign feature_set nodes trials
+  | None ->
+      let medl = Medl.uniform ~nodes () in
+      let cluster = Sim.Cluster.create ~feature_set medl in
+      let booted = Sim.Cluster.boot cluster in
+      Printf.printf "boot: %s\n"
+        (if booted then "all nodes active" else "startup incomplete");
+      (match coupler_fault with
+      | "none" -> ()
+      | name -> (
+          match Guardian.Fault.of_string name with
+          | Some f -> Sim.Cluster.set_coupler_fault cluster ~channel f
+          | None ->
+              prerr_endline "unknown --coupler-fault";
+              exit 2));
+      (match node_fault with
+      | "none" -> ()
+      | name -> (
+          match parse_node_fault name node with
+          | Some f -> Sim.Cluster.set_node_fault cluster ~node f
+          | None ->
+              prerr_endline "unknown --node-fault";
+              exit 2));
+      Sim.Cluster.run cluster ~slots;
+      print_summary cluster
+
+let () =
+  let open Cmdliner in
+  let feature_set =
+    Arg.(
+      value & opt string "time-windows"
+      & info [ "f"; "feature-set" ] ~docv:"FS"
+          ~doc:
+            "Coupler feature set: passive, time-windows, small-shifting, \
+             full-shifting.")
+  in
+  let nodes =
+    Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
+  in
+  let slots =
+    Arg.(
+      value & opt int 32
+      & info [ "s"; "slots" ] ~doc:"Slots to run after boot/injection.")
+  in
+  let coupler_fault =
+    Arg.(
+      value & opt string "none"
+      & info [ "coupler-fault" ] ~docv:"FAULT"
+          ~doc:"Inject after boot: silence, bad-frame, out-of-slot.")
+  in
+  let channel =
+    Arg.(
+      value & opt int 0 & info [ "channel" ] ~doc:"Channel for the coupler fault.")
+  in
+  let node_fault =
+    Arg.(
+      value & opt string "none"
+      & info [ "node-fault" ] ~docv:"FAULT"
+          ~doc:"Inject after boot: crash, sos, babbling, bad-cstate, masquerade.")
+  in
+  let node =
+    Arg.(value & opt int 0 & info [ "node" ] ~doc:"Node for the node fault.")
+  in
+  let campaign =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "campaign" ] ~docv:"TRIALS"
+          ~doc:"Run a randomized fault-injection campaign instead.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "tta_sim" ~doc:"Simulate a TTA cluster with fault injection")
+      Term.(
+        const run $ feature_set $ nodes $ slots $ coupler_fault $ channel
+        $ node_fault $ node $ campaign)
+  in
+  exit (Cmd.eval cmd)

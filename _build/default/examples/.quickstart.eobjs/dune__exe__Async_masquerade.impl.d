@@ -1,0 +1,1 @@
+examples/async_masquerade.ml: Printf Sim

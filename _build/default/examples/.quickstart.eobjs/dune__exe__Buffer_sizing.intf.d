@@ -1,0 +1,1 @@
+examples/buffer_sizing.mli:

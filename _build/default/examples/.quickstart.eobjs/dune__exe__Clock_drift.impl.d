@@ -1,0 +1,1 @@
+examples/clock_drift.ml: Guardian List Medl Printf Sim Ttp

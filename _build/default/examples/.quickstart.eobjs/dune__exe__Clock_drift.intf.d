@@ -1,0 +1,1 @@
+examples/clock_drift.mli:

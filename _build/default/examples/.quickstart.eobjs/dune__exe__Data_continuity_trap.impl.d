@@ -1,0 +1,1 @@
+examples/data_continuity_trap.ml: Controller Cstate Guardian Medl Printf Sim Ttp

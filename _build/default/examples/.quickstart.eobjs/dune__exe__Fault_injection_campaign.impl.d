@@ -1,0 +1,1 @@
+examples/fault_injection_campaign.ml: Guardian List Printf Sim

@@ -1,0 +1,1 @@
+examples/integration_failure.ml: Array Controller Cstate Guardian Medl Printf Sim Ttp

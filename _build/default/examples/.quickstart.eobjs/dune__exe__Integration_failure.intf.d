@@ -1,0 +1,1 @@
+examples/integration_failure.mli:

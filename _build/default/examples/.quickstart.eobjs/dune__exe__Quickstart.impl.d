@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Format Guardian Printf Sim Ttp

@@ -1,0 +1,1 @@
+examples/startup_masquerade.ml: Array Printf Symkit Sys Tta_model

@@ -1,0 +1,83 @@
+(* Sizing the central guardian's buffer for a custom network design.
+
+   You are building a TTP/C-style network and must answer: given my
+   frame sizes and oscillator tolerances, can a central guardian both
+   do its job (reshape signals, analyze semantics) and stay passive
+   enough that the fault hypothesis survives? This walks through the
+   Section 6 design rules on three candidate designs.
+
+   Run with:  dune exec examples/buffer_sizing.exe
+*)
+
+type design = {
+  name : string;
+  f_min : int;  (** shortest frame, bits *)
+  f_max : int;  (** longest frame, bits *)
+  ppm_nodes : int;  (** node oscillator tolerance *)
+  ppm_hub : int;  (** guardian oscillator tolerance *)
+}
+
+let le = Analysis.Frames_catalog.line_encoding_bits
+
+let evaluate d =
+  Printf.printf "== %s ==\n" d.name;
+  Printf.printf "   frames %d..%d bits, oscillators %d/%d ppm\n" d.f_min
+    d.f_max d.ppm_nodes d.ppm_hub;
+  (* Worst-case relative clock difference (equation 2/5). *)
+  let delta =
+    Ttp.Clocksync.drift_bound ~ppm_a:d.ppm_nodes ~ppm_b:d.ppm_hub
+  in
+  let b_min = Analysis.Buffer.b_min ~le ~delta ~f_max:d.f_max in
+  let b_max = Analysis.Buffer.b_max ~f_min:d.f_min in
+  Printf.printf "   Delta = %.4g; guardian must buffer B_min = %.1f bits\n"
+    delta b_min;
+  Printf.printf "   passive-fault hypothesis allows  B_max = %d bits\n" b_max;
+  if b_min <= float_of_int b_max then begin
+    Printf.printf "   FEASIBLE (margin %.1f bits)\n" (float_of_int b_max -. b_min);
+    (* How much frame-size headroom remains (equation 4)? *)
+    let f_cap = Analysis.Buffer.f_max_limit ~f_min:d.f_min ~le ~delta in
+    Printf.printf "   frames could grow to %.0f bits at this Delta\n" f_cap
+  end
+  else begin
+    print_endline "   INFEASIBLE: the guardian would have to buffer a whole";
+    print_endline "   short frame, re-enabling the out-of-slot failure mode.";
+    (* What would it take? Either shrink f_max or improve the clocks
+       (equation 7). *)
+    let delta_cap =
+      Analysis.Buffer.delta_limit ~f_min:d.f_min ~le ~f_max:d.f_max
+    in
+    Printf.printf
+      "   fixes: cap frames at %.0f bits, or keep clocks within %.3g%%\n"
+      (Analysis.Buffer.f_max_limit ~f_min:d.f_min ~le ~delta)
+      (100. *. delta_cap)
+  end;
+  print_newline ()
+
+let () =
+  List.iter evaluate
+    [
+      {
+        name = "TTP/C reference design (paper, Section 6)";
+        f_min = Analysis.Frames_catalog.min_n_frame_bits;
+        f_max = Analysis.Frames_catalog.max_x_frame_bits;
+        ppm_nodes = 100;
+        ppm_hub = 100;
+      };
+      {
+        name = "cheap-sensor network: sloppy 5000 ppm RC oscillators";
+        f_min = 28;
+        f_max = 2076;
+        ppm_nodes = 5000;
+        ppm_hub = 5000;
+      };
+      {
+        name = "mixed-speed backbone: hub 50x faster than slow links";
+        (* The Section 6 discussion: slow cheap nodes on slow links,
+           fast nodes on fast links. A 50x rate ratio is ~0.98 relative
+           difference. *)
+        f_min = 28;
+        f_max = 512;
+        ppm_nodes = 980_000;
+        ppm_hub = 0;
+      };
+    ]

@@ -1,0 +1,56 @@
+(* Oscillator drift, SOS faults, and the two cures.
+
+   The paper's SOS story in motion: a node whose oscillator drifts
+   transmits ever closer to the edge of the receivers' acceptance
+   windows; because hardware tolerances differ, receivers start to
+   *disagree* about its frames — the slightly-off-specification fault —
+   membership diverges, and clique avoidance expels a healthy node.
+
+   Two independent mechanisms keep this from happening:
+   - the protocol's fault-tolerant-average clock synchronization
+     (decentralized: every node corrects every round), and
+   - the central guardian's active signal reshaping (centralized:
+     marginal frames are re-timed at the hub; the star topology's
+     selling point in the paper's Section 2.2).
+
+   Run with:  dune exec examples/clock_drift.exe
+*)
+
+open Ttp
+
+let medl = Medl.uniform ~nodes:4 ()
+
+let run ~label ~feature_set ~sync ~window =
+  let cluster = Sim.Cluster.create ~feature_set medl in
+  Sim.Cluster.set_drift cluster
+    (Sim.Clock_model.create ~sync ~window
+       ~ppm:[| 0.0; 0.0; 0.0; 4000.0 |]
+       ());
+  let booted = Sim.Cluster.boot cluster in
+  Sim.Cluster.run cluster ~slots:120;
+  let freezes = Sim.Event_log.freezes (Sim.Cluster.log cluster) in
+  let spread =
+    match Sim.Cluster.drift cluster with
+    | Some d -> Sim.Clock_model.spread d
+    | None -> nan
+  in
+  Printf.printf "  %-44s boot:%b  freezes:%d  clock spread:%6.2f uticks\n"
+    label booted (List.length freezes) spread
+
+let () =
+  print_endline
+    "4-node cluster, one 4000 ppm oscillator (node 3), 120 slots:";
+  print_newline ();
+  run ~label:"time-windows hub, NO clock sync"
+    ~feature_set:Guardian.Feature_set.Time_windows ~sync:false ~window:1.0;
+  run ~label:"time-windows hub, FTA clock sync"
+    ~feature_set:Guardian.Feature_set.Time_windows ~sync:true ~window:1.0;
+  run ~label:"small-shifting hub (reshaping), NO clock sync"
+    ~feature_set:Guardian.Feature_set.Small_shifting ~sync:false ~window:30.0;
+  print_newline ();
+  print_endline
+    "Reading the rows: without any mitigation the drifting node's frames\n\
+     go marginal, receivers split on their validity and clique avoidance\n\
+     starts expelling nodes. Either cure alone suffices: FTA keeps the\n\
+     ensemble aligned (spread stays bounded), and a reshaping guardian\n\
+     re-times marginal frames at the hub so receivers never disagree."

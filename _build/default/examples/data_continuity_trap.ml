@@ -1,0 +1,69 @@
+(* The data-continuity trap: a fault-free failure.
+
+   Section 6 of the paper lists reasons a designer might want the
+   central guardian to buffer whole frames anyway. One is a
+   data-continuity service: keep "mailboxes" of recent values and serve
+   a slightly stale frame instead of silence when a slot goes dead.
+
+   This example enables exactly that service — with every component
+   healthy — and reproduces the out-of-slot failure without injecting
+   any fault at all: the stale frame the mailbox serves into a silent
+   slot is, functionally, an out-of-slot retransmission, and a node
+   re-integrating through that slot adopts its poisoned C-state.
+
+   Run with:  dune exec examples/data_continuity_trap.exe
+*)
+
+open Ttp
+
+let () =
+  let medl = Medl.uniform ~nodes:4 () in
+  let cluster =
+    Sim.Cluster.create ~feature_set:Guardian.Feature_set.Full_shifting
+      ~data_continuity:true medl
+  in
+  print_endline
+    "1. Cluster with data-continuity mailboxes in the guardians (all\n\
+    \   components healthy; no fault will be injected).";
+  Printf.printf "   boot: %b\n\n" (Sim.Cluster.boot cluster);
+
+  print_endline "2. Node 3 goes down for maintenance; its slot goes dead...";
+  Controller.host_freeze (Sim.Cluster.controller cluster 3);
+  Sim.Cluster.run cluster ~slots:8;
+  Printf.printf
+    "   ...except it doesn't: the mailbox has served %d stale frames so\n\
+    \   far (hosts keep seeing 'fresh' node-3 data).\n\n"
+    (Guardian.Coupler.substitutions (Sim.Cluster.coupler cluster 0));
+
+  print_endline
+    "3. Node 3 restarts and listens for traffic right before its own\n\
+    \   slot — where the only frame on offer is the mailbox's stale copy\n\
+    \   of its own last transmission.";
+  let aligned =
+    Sim.Cluster.run_until cluster ~max_slots:12 (fun c ->
+        Controller.slot (Sim.Cluster.controller c 0) = 2
+        && Controller.state (Sim.Cluster.controller c 0) = Controller.Active)
+  in
+  assert aligned;
+  Sim.Cluster.start_node cluster 3;
+  Sim.Cluster.run cluster ~slots:2;
+  let victim = Sim.Cluster.controller cluster 3 in
+  Printf.printf "   node 3 is now %s, believing %s\n\n"
+    (Controller.state_to_string (Controller.state victim))
+    (Cstate.to_string (Controller.cstate victim));
+
+  print_endline "4. Running on with its poisoned C-state...";
+  Sim.Cluster.run cluster ~slots:16;
+  (match Controller.freeze_cause victim with
+  | Some reason ->
+      Printf.printf
+        "   node 3 expelled (%s) — zero faults anywhere in the system.\n"
+        (Controller.freeze_reason_to_string reason)
+  | None -> print_endline "   node 3 survived (unexpected!)");
+  print_newline ();
+  print_endline
+    "The moral (the paper's Section 6): the restriction on guardian\n\
+     buffering is not about faults in the buffer — the *capability* is\n\
+     the hazard. Any feature that stores frames and re-emits them later\n\
+     (mailboxes, CAN emulation, prioritized messaging) re-creates the\n\
+     masquerading channel that the fault analysis exposed."

@@ -1,0 +1,42 @@
+(* A randomized fault-injection campaign across coupler feature sets —
+   the simulation counterpart of the hardware experiments that motivated
+   the paper (Ademaj et al., DSN'03), and of its model-checking verdicts:
+   which coupler authority levels let a single coupler fault hurt
+   healthy nodes?
+
+   Run with:  dune exec examples/fault_injection_campaign.exe
+*)
+
+let trials = 40
+
+let () =
+  Printf.printf
+    "%d trials per feature set; each trial boots a 4-node cluster, \
+     injects one random coupler fault, runs on, and probes \
+     re-integration.\n\n"
+    trials;
+  Printf.printf "%-16s %-18s %-18s %-20s\n" "feature set" "healthy froze"
+    "cluster majority lost" "re-integration blocked";
+  List.iter
+    (fun feature_set ->
+      let outcomes = Sim.Campaign.run ~feature_set ~nodes:4 ~trials () in
+      let s = Sim.Campaign.summarize outcomes in
+      Printf.printf "%-16s %-18s %-18s %-20s\n"
+        (Guardian.Feature_set.to_string feature_set)
+        (Printf.sprintf "%d/%d" s.Sim.Campaign.with_healthy_freeze
+           s.Sim.Campaign.trials)
+        (Printf.sprintf "%d/%d" s.Sim.Campaign.with_cluster_loss
+           s.Sim.Campaign.trials)
+        (Printf.sprintf "%d/%d" s.Sim.Campaign.with_integration_block
+           s.Sim.Campaign.trials))
+    Guardian.Feature_set.all;
+  print_newline ();
+  print_endline
+    "Expected shape (cf. the paper's Section 5): the three restrained \
+     coupler configurations tolerate every injected single fault, while \
+     full-shifting couplers — whose fault repertoire includes the \
+     out-of-slot replay — can freeze healthy nodes.";
+  print_endline
+    "(Steady-state clusters shrug off most replays; the damage \
+     concentrates on startup and re-integration windows, which is why \
+     the 'blocked' column matters.)"

@@ -1,0 +1,107 @@
+(* Mixed-speed networks and the limits of centralized supervision.
+
+   Section 6 of the paper closes with a design temptation: let slow,
+   cheap nodes use slow links and fast nodes use fast links, with the
+   central guardian translating between them. This example quantifies
+   why that rarely works: the guardian's buffer ceiling (it may never
+   hold a whole short frame) caps the clock-rate ratio the network may
+   span — Figure 3's curve.
+
+   Run with:  dune exec examples/mixed_speed_network.exe
+*)
+
+let le = Analysis.Frames_catalog.line_encoding_bits
+
+(* A candidate heterogeneous network: per-class link rates in Mbit/s
+   and the frame sizes each class uses. *)
+type node_class = { label : string; rate_mbps : float; frame_bits : int }
+
+let classes =
+  [
+    { label = "door modules (cheap)"; rate_mbps = 0.25; frame_bits = 28 };
+    { label = "body controllers"; rate_mbps = 1.0; frame_bits = 76 };
+    { label = "chassis sensors"; rate_mbps = 5.0; frame_bits = 512 };
+    { label = "vision backbone"; rate_mbps = 25.0; frame_bits = 2076 };
+  ]
+
+let () =
+  print_endline "Candidate mixed-speed TTP/C network:";
+  List.iter
+    (fun c ->
+      Printf.printf "  %-22s %6.2f Mbit/s, %4d-bit frames\n" c.label
+        c.rate_mbps c.frame_bits)
+    classes;
+  print_newline ();
+
+  (* The binding constraint is the fastest-to-slowest rate ratio versus
+     Figure 3's ceiling for the frame range actually in use. *)
+  let rates = List.map (fun c -> c.rate_mbps) classes in
+  let rho_max = List.fold_left Float.max neg_infinity rates in
+  let rho_min = List.fold_left Float.min infinity rates in
+  let f_min =
+    List.fold_left (fun acc c -> min acc c.frame_bits) max_int classes
+  in
+  let f_max =
+    List.fold_left (fun acc c -> max acc c.frame_bits) 0 classes
+  in
+  let ratio = rho_max /. rho_min in
+  Printf.printf "clock-rate ratio required: %.1f\n" ratio;
+  (match Analysis.Buffer.clock_ratio_limit ~f_min ~le ~f_max with
+  | Some limit ->
+      Printf.printf "Figure 3 ceiling for frames %d..%d bits: %.3f\n" f_min
+        f_max limit;
+      if ratio <= limit then print_endline "verdict: FEASIBLE"
+      else begin
+        print_endline
+          "verdict: INFEASIBLE — the guardian cannot bridge these rates \
+           without buffering whole short frames.";
+        (* What homogeneous subsets would work? Greedily split classes
+           into groups whose internal ratio fits the ceiling. *)
+        print_endline "\nfeasible partition into separate star networks:";
+        let rec partition = function
+          | [] -> []
+          | c :: rest ->
+              let group, others =
+                List.partition
+                  (fun c' ->
+                    let lo = Float.min c.rate_mbps c'.rate_mbps in
+                    let hi = Float.max c.rate_mbps c'.rate_mbps in
+                    let fmin = min c.frame_bits c'.frame_bits in
+                    let fmax = max c.frame_bits c'.frame_bits in
+                    match
+                      Analysis.Buffer.clock_ratio_limit ~f_min:fmin ~le
+                        ~f_max:fmax
+                    with
+                    | Some l -> hi /. lo <= l
+                    | None -> false)
+                  rest
+              in
+              (c :: group) :: partition others
+        in
+        List.iteri
+          (fun i group ->
+            Printf.printf "  network %d:\n" (i + 1);
+            List.iter
+              (fun c -> Printf.printf "    - %s\n" c.label)
+              group)
+          (partition classes)
+      end
+  | None ->
+      print_endline
+        "Figure 3 ceiling: none — this frame range admits no rate spread \
+         at all.");
+  print_newline ();
+  print_endline
+    "Rule of thumb (eq 10): spanning a wide frame-size range and a wide \
+     clock-rate range are mutually exclusive under a buffering-limited \
+     central guardian.";
+  (* Also show the per-frame buffering the guardian would need at the
+     extreme ratio, to make the infeasibility concrete. *)
+  let delta = (rho_max -. rho_min) /. rho_max in
+  Printf.printf
+    "at ratio %.1f the guardian would need to buffer %.0f bits of a \
+     %d-bit frame, but may hold at most %d.\n"
+    ratio
+    (Analysis.Buffer.b_min ~le ~delta ~f_max)
+    f_max
+    (Analysis.Buffer.b_max ~f_min)

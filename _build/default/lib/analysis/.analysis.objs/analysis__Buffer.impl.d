@@ -1,0 +1,1 @@
+lib/analysis/buffer.ml: Frames_catalog

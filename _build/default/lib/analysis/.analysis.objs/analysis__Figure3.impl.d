@@ -1,0 +1,1 @@
+lib/analysis/figure3.ml: Buffer Format Frames_catalog List

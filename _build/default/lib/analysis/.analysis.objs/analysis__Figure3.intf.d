@@ -1,0 +1,1 @@
+lib/analysis/figure3.mli: Format

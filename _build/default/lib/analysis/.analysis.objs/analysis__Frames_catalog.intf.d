@@ -1,0 +1,1 @@
+lib/analysis/frames_catalog.mli:

@@ -1,0 +1,129 @@
+(** The buffer-size / frame-size / clock-rate tradeoffs of Section 6.
+
+    A central guardian that reshapes signals or analyzes frame
+    semantics must buffer part of every frame; a guardian that may not
+    store a complete frame (to preserve the passive-channel fault
+    hypothesis) is bounded above by the shortest frame. Squeezing the
+    two bounds yields the paper's equations (1)-(10), implemented here
+    verbatim:
+
+    - eq (1)  B_min = le + Delta * f_max
+    - eq (2)  Delta = (rho_max - rho_min) / rho_max
+    - eq (3)  B_max = f_min - 1
+    - eq (4)  f_max = (f_min - 1 - le) / Delta
+    - eq (7)  Delta_max = (f_min - 1 - le) / f_max
+    - eq (10) rho_max/rho_min = f_max / (f_max - f_min + 1 + le) *)
+
+(* eq (2): relative clock difference of the faster and slower rate. *)
+let delta ~rho_max ~rho_min =
+  if rho_max < rho_min then invalid_arg "Buffer.delta: rho_max < rho_min";
+  if rho_max <= 0.0 then invalid_arg "Buffer.delta: non-positive rate";
+  (rho_max -. rho_min) /. rho_max
+
+(* eq (1): minimum bits the guardian must buffer to forward a frame of
+   [f_max] bits across a relative clock difference [delta]. *)
+let b_min ~le ~delta ~f_max = float_of_int le +. (delta *. float_of_int f_max)
+
+(* eq (3): maximum buffer compatible with the passive-fault hypothesis:
+   strictly less than the shortest frame. *)
+let b_max ~f_min = f_min - 1
+
+(* eq (4): largest frame transmittable given the shortest frame, the
+   line-encoding overhead and the clock difference. *)
+let f_max_limit ~f_min ~le ~delta =
+  if delta <= 0.0 then infinity
+  else float_of_int (f_min - 1 - le) /. delta
+
+(* eq (7): largest clock difference given both frame-size extremes. *)
+let delta_limit ~f_min ~le ~f_max =
+  if f_max <= 0 then invalid_arg "Buffer.delta_limit: f_max must be positive";
+  float_of_int (f_min - 1 - le) /. float_of_int f_max
+
+(* eq (10): largest allowable ratio of fastest to slowest clock. The
+   denominator going non-positive means no positive clock ratio
+   satisfies the constraints (the frame range is too wide). *)
+let clock_ratio_limit ~f_min ~le ~f_max =
+  let denom = f_max - f_min + 1 + le in
+  if denom <= 0 then None
+  else Some (float_of_int f_max /. float_of_int denom)
+
+(* The feasibility check behind the curve of Figure 3: a system with
+   frame sizes in [f_min, f_max] and clock rates in [rho_min, rho_max]
+   is safe iff the minimum required buffer stays below the maximum
+   allowed one. *)
+let feasible ~f_min ~f_max ~le ~rho_max ~rho_min =
+  let d = delta ~rho_max ~rho_min in
+  b_min ~le ~delta:d ~f_max <= float_of_int (b_max ~f_min)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's worked examples (Section 6). *)
+
+type worked_example = {
+  label : string;
+  f_min : int;
+  f_max : int option;  (** given frame maximum, when the example fixes it *)
+  le : int;
+  delta_in : float option;  (** given clock difference, when fixed *)
+  result : float;
+  unit_ : string;
+}
+
+(* eq (6): commodity oscillators (Delta = 0.0002), f_min = 28, le = 4
+   => largest allowable frame 115,000 bits. *)
+let example_commodity_f_max () =
+  let v =
+    f_max_limit ~f_min:Frames_catalog.min_n_frame_bits
+      ~le:Frames_catalog.line_encoding_bits
+      ~delta:Frames_catalog.commodity_oscillator_delta
+  in
+  {
+    label = "eq (6): f_max with 100 ppm crystals";
+    f_min = Frames_catalog.min_n_frame_bits;
+    f_max = None;
+    le = Frames_catalog.line_encoding_bits;
+    delta_in = Some Frames_catalog.commodity_oscillator_delta;
+    result = v;
+    unit_ = "bits";
+  }
+
+(* eq (8): minimal protocol operation (f_max = 76) allows up to 30.26 %
+   clock difference. *)
+let example_minimal_protocol_delta () =
+  let v =
+    delta_limit ~f_min:Frames_catalog.min_n_frame_bits
+      ~le:Frames_catalog.line_encoding_bits
+      ~f_max:Frames_catalog.protocol_i_frame_bits
+  in
+  {
+    label = "eq (8): Delta limit at f_max = 76";
+    f_min = Frames_catalog.min_n_frame_bits;
+    f_max = Some Frames_catalog.protocol_i_frame_bits;
+    le = Frames_catalog.line_encoding_bits;
+    delta_in = None;
+    result = v;
+    unit_ = "relative";
+  }
+
+(* eq (9): maximal X-frames (f_max = 2076) allow only 1.11 %. *)
+let example_max_frame_delta () =
+  let v =
+    delta_limit ~f_min:Frames_catalog.min_n_frame_bits
+      ~le:Frames_catalog.line_encoding_bits
+      ~f_max:Frames_catalog.max_x_frame_bits
+  in
+  {
+    label = "eq (9): Delta limit at f_max = 2076";
+    f_min = Frames_catalog.min_n_frame_bits;
+    f_max = Some Frames_catalog.max_x_frame_bits;
+    le = Frames_catalog.line_encoding_bits;
+    delta_in = None;
+    result = v;
+    unit_ = "relative";
+  }
+
+let worked_examples () =
+  [
+    example_commodity_f_max ();
+    example_minimal_protocol_delta ();
+    example_max_frame_delta ();
+  ]

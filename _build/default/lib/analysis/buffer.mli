@@ -1,0 +1,58 @@
+(** The buffer-size / frame-size / clock-rate tradeoffs of Section 6
+    (equations (1)-(10) of the paper, implemented verbatim).
+
+    A central guardian that reshapes signals or analyzes semantics must
+    buffer part of every frame (B_min, equation 1); one that may not
+    store a complete frame — to preserve the passive-channel fault
+    hypothesis — is bounded by the shortest frame (B_max, equation 3).
+    Squeezing the bounds couples frame sizes to clock rates. *)
+
+val delta : rho_max:float -> rho_min:float -> float
+(** Equation (2): relative difference of the faster and slower clock.
+    @raise Invalid_argument if rho_max < rho_min or rates are not
+    positive. *)
+
+val b_min : le:int -> delta:float -> f_max:int -> float
+(** Equation (1): minimum bits the guardian must buffer. *)
+
+val b_max : f_min:int -> int
+(** Equation (3): strictly less than the shortest frame. *)
+
+val f_max_limit : f_min:int -> le:int -> delta:float -> float
+(** Equation (4): the largest transmittable frame; [infinity] at
+    delta = 0. *)
+
+val delta_limit : f_min:int -> le:int -> f_max:int -> float
+(** Equation (7): the largest tolerable clock difference. *)
+
+val clock_ratio_limit : f_min:int -> le:int -> f_max:int -> float option
+(** Equation (10): the largest rho_max/rho_min; [None] when the frame
+    range admits no clock spread at all. *)
+
+val feasible :
+  f_min:int -> f_max:int -> le:int -> rho_max:float -> rho_min:float -> bool
+(** The design rule behind Figure 3: B_min <= B_max for these
+    parameters. *)
+
+(** {1 The paper's worked examples} *)
+
+type worked_example = {
+  label : string;
+  f_min : int;
+  f_max : int option;
+  le : int;
+  delta_in : float option;
+  result : float;
+  unit_ : string;
+}
+
+val example_commodity_f_max : unit -> worked_example
+(** Equation (6): 115,000 bits. *)
+
+val example_minimal_protocol_delta : unit -> worked_example
+(** Equation (8): 30.26 %. *)
+
+val example_max_frame_delta : unit -> worked_example
+(** Equation (9): 1.11 %. *)
+
+val worked_examples : unit -> worked_example list

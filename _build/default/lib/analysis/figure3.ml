@@ -1,0 +1,49 @@
+(** Figure 3 of the paper: the relationship between the frame-size
+    range and the allowable ratio of clock rates.
+
+    For line-encoding overhead le = 4, the curve plots
+    rho_max/rho_min = f_max / (f_max - f_min + 1 + le) as a function of
+    f_max, for a family of f_min values; feasible systems lie below the
+    curve. The paper highlights that at f_min = f_max = 128 the ratio
+    is not f_max but f_max / 5 (25.6), because of the "1 + le" term. *)
+
+type point = { f_max : int; ratio : float option }
+
+type series = { f_min : int; le : int; points : point list }
+
+(* One curve: sweep f_max from f_min upward. *)
+let series ?(le = Frames_catalog.line_encoding_bits) ~f_min ~f_max_values () =
+  let points =
+    List.map
+      (fun f_max ->
+        { f_max; ratio = Buffer.clock_ratio_limit ~f_min ~le ~f_max })
+      (List.filter (fun f -> f >= f_min) f_max_values)
+  in
+  { f_min; le; points }
+
+(* The default sweep used by the benchmark harness: powers-of-two-ish
+   f_max values spanning the protocol's frame range, for the f_min
+   values of interest (the protocol minimum 28, and the paper's
+   highlighted 128). *)
+let default_f_max_values =
+  [ 28; 32; 48; 64; 76; 96; 128; 192; 256; 384; 512; 768; 1024; 1536; 2076 ]
+
+let default_families () =
+  List.map
+    (fun f_min -> series ~f_min ~f_max_values:default_f_max_values ())
+    [ 28; 64; 128 ]
+
+(* The specific point called out in the paper's text. *)
+let highlighted_point () =
+  Buffer.clock_ratio_limit ~f_min:128
+    ~le:Frames_catalog.line_encoding_bits ~f_max:128
+
+let pp_series ppf s =
+  Format.fprintf ppf "@[<v>f_min = %d (le = %d):@," s.f_min s.le;
+  List.iter
+    (fun { f_max; ratio } ->
+      match ratio with
+      | Some r -> Format.fprintf ppf "  f_max %5d  ratio %8.3f@," f_max r
+      | None -> Format.fprintf ppf "  f_max %5d  infeasible@," f_max)
+    s.points;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,21 @@
+(** Figure 3 of the paper: the relationship between the frame-size
+    range and the allowable ratio of clock rates, for line-encoding
+    overhead le = 4. Feasible systems lie below the curve. *)
+
+type point = { f_max : int; ratio : float option }
+
+type series = { f_min : int; le : int; points : point list }
+
+val series : ?le:int -> f_min:int -> f_max_values:int list -> unit -> series
+(** One curve; values below [f_min] are dropped. *)
+
+val default_f_max_values : int list
+
+val default_families : unit -> series list
+(** The curves the benchmark harness prints: f_min in {28, 64, 128}. *)
+
+val highlighted_point : unit -> float option
+(** The point the paper's text calls out: f_min = f_max = 128 gives
+    ratio f_max/5 = 25.6, not f_max — the effect of the "1 + le" term. *)
+
+val pp_series : Format.formatter -> series -> unit

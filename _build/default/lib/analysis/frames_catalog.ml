@@ -1,0 +1,58 @@
+(** Frame-size constants of the TTP/C Bus-Compatibility Specification,
+    as quoted in Section 6 of the paper.
+
+    These are the inputs of the buffer-size analysis. The paper quotes
+    the totals below; note that its cold-start field list (1 + 16 + 9 +
+    24 bits) actually sums to 50, not the quoted 40 — we keep the
+    quoted totals here so every numeric result matches the published
+    ones, and the executable codec in [lib/ttp/frame.ml] encodes the
+    field lists faithfully. *)
+
+(* Line-encoding bits that must always be buffered before forwarding
+   can begin (the [le] term of equation 1). *)
+let line_encoding_bits = 4
+
+(* Shortest frame in TTP/C: an N-frame with no application data and an
+   implicit CRC — 4 bits mode-change request and frame type, 24 bits
+   CRC. *)
+let min_n_frame_bits = 28
+
+(* Minimum cold-start frame as quoted by the paper. *)
+let min_cold_start_bits = 40
+
+(* Minimum frame with explicit C-state (I-frame) as quoted. *)
+let min_i_frame_bits = 48
+
+(* Largest frame required for minimal protocol operation: an I-frame of
+   4 + 16 + 16 + 16 + 24 bits. *)
+let protocol_i_frame_bits = 76
+
+(* Longest allowable TTP/C frame: an X-frame with 4 bits header, 96
+   bits C-state, 1920 data bits, two 24-bit CRCs and 8 bits padding. *)
+let max_x_frame_bits = 2076
+
+(* Worst-case relative clock difference between two 100 ppm commodity
+   crystal oscillators (equation 5): one fast, one slow. *)
+let commodity_oscillator_delta = 0.0002
+
+(* Cross-check values against the executable codec, for the tests: the
+   codec's minimal N-frame and maximal X-frame must match the
+   specification totals exactly; the explicit-C-state sizes follow the
+   field lists. *)
+let codec_sizes () =
+  let open Ttp in
+  let cs = Cstate.initial ~nodes:4 in
+  let n = Frame.make ~kind:Frame.N ~sender:0 ~cstate:cs () in
+  let i = Frame.make ~kind:Frame.I ~sender:0 ~cstate:cs () in
+  let c = Frame.make ~kind:Frame.Cold_start ~sender:0 ~cstate:cs () in
+  let x =
+    Frame.make ~kind:Frame.X ~sender:0 ~cstate:cs
+      ~payload:(List.init 120 (fun _ -> 0))
+      ()
+  in
+  [
+    ("N", Frame.size_bits n);
+    ("I", Frame.size_bits i);
+    ("cold-start", Frame.size_bits c);
+    ("X-max", Frame.size_bits x);
+  ]

@@ -1,0 +1,395 @@
+type t =
+  | Zero
+  | One
+  | Node of node
+
+and node = { uid : int; v : int; lo : t; hi : t }
+
+let id = function Zero -> 0 | One -> 1 | Node n -> n.uid
+
+let equal a b = a == b
+
+let is_zero d = d == Zero
+let is_one d = d == One
+
+let zero = Zero
+let one = One
+
+let top_var = function
+  | Node n -> n.v
+  | Zero | One -> invalid_arg "Bdd.top_var: constant"
+
+let low = function
+  | Node n -> n.lo
+  | Zero | One -> invalid_arg "Bdd.low: constant"
+
+let high = function
+  | Node n -> n.hi
+  | Zero | One -> invalid_arg "Bdd.high: constant"
+
+(* A variable index strictly larger than any real variable, used as the
+   root index of constants so that order comparisons need no special
+   cases. *)
+let leaf_var = max_int
+
+let var_of = function Zero | One -> leaf_var | Node n -> n.v
+
+module Key3 = struct
+  type t = int * int * int
+
+  let equal (a1, b1, c1) (a2, b2, c2) = a1 = a2 && b1 = b2 && c1 = c2
+  let hash (a, b, c) = (a * 0x9e3779b1) lxor (b * 0x85ebca77) lxor (c * 0xc2b2ae3d)
+end
+
+module H3 = Hashtbl.Make (Key3)
+
+module Key2 = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 0x9e3779b1) lxor (b * 0x85ebca77)
+end
+
+module H2 = Hashtbl.Make (Key2)
+
+type varset = { vs_id : int; bits : Bytes.t; max_var : int }
+
+type manager = {
+  unique : t H3.t; (* (v, lo_uid, hi_uid) -> node *)
+  mutable next_uid : int;
+  apply_cache : t H3.t; (* (op, id1, id2) -> result *)
+  not_cache : (int, t) Hashtbl.t;
+  ite_cache : t H3.t; (* (id1, id2, id3) -> result; disambiguated from
+                         apply by clearing both together and distinct use *)
+  quant_cache : t H3.t; (* (op, vs_id*nodes, id) *)
+  mutable next_vs_id : int;
+}
+
+let create_manager ?(cache_size = 65_536) () =
+  {
+    unique = H3.create cache_size;
+    next_uid = 2;
+    apply_cache = H3.create cache_size;
+    not_cache = Hashtbl.create cache_size;
+    ite_cache = H3.create cache_size;
+    quant_cache = H3.create cache_size;
+    next_vs_id = 0;
+  }
+
+let clear_caches m =
+  H3.reset m.apply_cache;
+  Hashtbl.reset m.not_cache;
+  H3.reset m.ite_cache;
+  H3.reset m.quant_cache
+
+(* Hash-consing constructor with the two ROBDD reduction rules. *)
+let mk m v lo hi =
+  if lo == hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match H3.find_opt m.unique key with
+    | Some d -> d
+    | None ->
+        let d = Node { uid = m.next_uid; v; lo; hi } in
+        m.next_uid <- m.next_uid + 1;
+        H3.add m.unique key d;
+        d
+
+let var m i =
+  if i < 0 || i >= leaf_var then invalid_arg "Bdd.var: bad index";
+  mk m i Zero One
+
+let nvar m i =
+  if i < 0 || i >= leaf_var then invalid_arg "Bdd.nvar: bad index";
+  mk m i One Zero
+
+let rec dnot m d =
+  match d with
+  | Zero -> One
+  | One -> Zero
+  | Node n -> (
+      match Hashtbl.find_opt m.not_cache n.uid with
+      | Some r -> r
+      | None ->
+          let r = mk m n.v (dnot m n.lo) (dnot m n.hi) in
+          Hashtbl.add m.not_cache n.uid r;
+          r)
+
+(* Binary boolean operations share one memoized apply; the op code keys
+   the cache. Terminal cases are dispatched per operation. *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+
+let rec apply m op a b =
+  let terminal =
+    match op with
+    | 0 -> (
+        (* and *)
+        match (a, b) with
+        | Zero, _ | _, Zero -> Some Zero
+        | One, x | x, One -> Some x
+        | _ -> if a == b then Some a else None)
+    | 1 -> (
+        (* or *)
+        match (a, b) with
+        | One, _ | _, One -> Some One
+        | Zero, x | x, Zero -> Some x
+        | _ -> if a == b then Some a else None)
+    | _ -> (
+        (* xor *)
+        match (a, b) with
+        | Zero, x | x, Zero -> Some x
+        | One, x -> Some (dnot m x)
+        | x, One -> Some (dnot m x)
+        | _ -> if a == b then Some Zero else None)
+  in
+  match terminal with
+  | Some r -> r
+  | None ->
+      (* Commutative: normalize the cache key. *)
+      let ia = id a and ib = id b in
+      let key = if ia <= ib then (op, ia, ib) else (op, ib, ia) in
+      (match H3.find_opt m.apply_cache key with
+      | Some r -> r
+      | None ->
+          let va = var_of a and vb = var_of b in
+          let v = min va vb in
+          let a0, a1 = if va = v then (low a, high a) else (a, a) in
+          let b0, b1 = if vb = v then (low b, high b) else (b, b) in
+          let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
+          H3.add m.apply_cache key r;
+          r)
+
+let dand m a b = apply m op_and a b
+let dor m a b = apply m op_or a b
+let xor m a b = apply m op_xor a b
+let iff m a b = dnot m (xor m a b)
+let imp m a b = dor m (dnot m a) b
+
+let rec ite m f g h =
+  match f with
+  | One -> g
+  | Zero -> h
+  | Node _ ->
+      if g == h then g
+      else if g == One && h == Zero then f
+      else
+        let key = (id f, id g, id h) in
+        (match H3.find_opt m.ite_cache key with
+        | Some r -> r
+        | None ->
+            let v = min (var_of f) (min (var_of g) (var_of h)) in
+            let cof d =
+              if var_of d = v then (low d, high d) else (d, d)
+            in
+            let f0, f1 = cof f and g0, g1 = cof g and h0, h1 = cof h in
+            let r = mk m v (ite m f0 g0 h0) (ite m f1 g1 h1) in
+            H3.add m.ite_cache key r;
+            r)
+
+let conj m l = List.fold_left (dand m) One l
+let disj m l = List.fold_left (dor m) Zero l
+
+let size d =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.uid) then begin
+          Hashtbl.add seen n.uid ();
+          go n.lo;
+          go n.hi
+        end
+  in
+  go d;
+  Hashtbl.length seen
+
+let support d =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.uid) then begin
+          Hashtbl.add seen n.uid ();
+          Hashtbl.replace vars n.v ();
+          go n.lo;
+          go n.hi
+        end
+  in
+  go d;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort compare
+
+let varset m vars =
+  let max_var = List.fold_left max (-1) vars in
+  let bits = Bytes.make (max_var + 1) '\000' in
+  List.iter
+    (fun v ->
+      if v < 0 then invalid_arg "Bdd.varset: negative variable";
+      Bytes.set bits v '\001')
+    vars;
+  let vs = { vs_id = m.next_vs_id; bits; max_var } in
+  m.next_vs_id <- m.next_vs_id + 1;
+  vs
+
+let vs_mem vs v = v <= vs.max_var && Bytes.get vs.bits v = '\001'
+
+(* Quantification ops share quant_cache; key is (op*big + vs_id, id, id2)
+   where binary and_exists uses id2 and unary exists uses 0. *)
+let q_exists = 0
+let q_forall = 1
+let q_and_exists = 2
+
+let rec quant m op vs d =
+  match d with
+  | Zero | One -> d
+  | Node n ->
+      if n.v > vs.max_var then d
+      else
+        let key = ((op * 0x10000) + vs.vs_id, n.uid, 0) in
+        (match H3.find_opt m.quant_cache key with
+        | Some r -> r
+        | None ->
+            let l = quant m op vs n.lo and h = quant m op vs n.hi in
+            let r =
+              if vs_mem vs n.v then
+                if op = q_exists then dor m l h else dand m l h
+              else mk m n.v l h
+            in
+            H3.add m.quant_cache key r;
+            r)
+
+let exists m vs d = quant m q_exists vs d
+let forall m vs d = quant m q_forall vs d
+
+let rec and_exists m vs a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, d | d, One -> quant m q_exists vs d
+  | Node _, Node _ ->
+      if a == b then quant m q_exists vs a
+      else
+        let ia = id a and ib = id b in
+        let i1, i2 = if ia <= ib then (ia, ib) else (ib, ia) in
+        let key = ((q_and_exists * 0x10000) + vs.vs_id, i1, i2) in
+        (match H3.find_opt m.quant_cache key with
+        | Some r -> r
+        | None ->
+            let va = var_of a and vb = var_of b in
+            let v = min va vb in
+            let a0, a1 = if va = v then (low a, high a) else (a, a) in
+            let b0, b1 = if vb = v then (low b, high b) else (b, b) in
+            let r =
+              if v > vs.max_var then
+                (* No quantified variable can appear below: plain and. *)
+                dand m a b
+              else if vs_mem vs v then
+                let l = and_exists m vs a0 b0 in
+                if l == One then One else dor m l (and_exists m vs a1 b1)
+              else mk m v (and_exists m vs a0 b0) (and_exists m vs a1 b1)
+            in
+            H3.add m.quant_cache key r;
+            r)
+
+let rename m f d =
+  let memo = Hashtbl.create 256 in
+  let rec go = function
+    | Zero -> Zero
+    | One -> One
+    | Node n -> (
+        match Hashtbl.find_opt memo n.uid with
+        | Some r -> r
+        | None ->
+            let l = go n.lo and h = go n.hi in
+            let v' = f n.v in
+            (* Monotonicity check: the renamed root must still be above
+               both renamed children (constants report [leaf_var]). *)
+            if v' >= var_of l || v' >= var_of h then
+              invalid_arg "Bdd.rename: order-violating substitution";
+            let r = mk m v' l h in
+            Hashtbl.add memo n.uid r;
+            r)
+  in
+  go d
+
+let rec restrict m i b d =
+  match d with
+  | Zero | One -> d
+  | Node n ->
+      if n.v > i then d
+      else if n.v = i then if b then n.hi else n.lo
+      else
+        (* Memoization piggybacks on the unique table via mk; recursion
+           cost is bounded by diagram size in practice for our use. *)
+        mk m n.v (restrict m i b n.lo) (restrict m i b n.hi)
+
+let any_sat d =
+  let rec go acc = function
+    | Zero -> raise Not_found
+    | One -> List.rev acc
+    | Node n ->
+        if n.lo == Zero then go ((n.v, true) :: acc) n.hi
+        else go ((n.v, false) :: acc) n.lo
+  in
+  go [] d
+
+let sat_count m ~nvars d =
+  ignore m;
+  let memo = Hashtbl.create 256 in
+  (* count d = assignments over variables >= v_above extending to sat;
+     normalize by tracking the root variable of each subdiagram. *)
+  let rec count d =
+    match d with
+    | Zero -> 0.0
+    | One -> 1.0
+    | Node n -> (
+        match Hashtbl.find_opt memo n.uid with
+        | Some c -> c
+        | None ->
+            let sub child =
+              let c = count child in
+              let gap =
+                match child with
+                | Zero | One -> nvars - n.v - 1
+                | Node c' -> c'.v - n.v - 1
+              in
+              c *. (2.0 ** float_of_int gap)
+            in
+            let c = sub n.lo +. sub n.hi in
+            Hashtbl.add memo n.uid c;
+            c)
+  in
+  match d with
+  | Zero -> 0.0
+  | One -> 2.0 ** float_of_int nvars
+  | Node n -> count d *. (2.0 ** float_of_int n.v)
+
+let iter_sat ~nvars d f =
+  let assign = Array.make nvars false in
+  let rec go v d =
+    if v = nvars then (match d with One -> f assign | _ -> ())
+    else
+      match d with
+      | Zero -> ()
+      | One | Node _ ->
+          let follow b =
+            assign.(v) <- b;
+            let d' =
+              match d with
+              | Node n when n.v = v -> if b then n.hi else n.lo
+              | _ -> d
+            in
+            go (v + 1) d'
+          in
+          follow false;
+          follow true
+  in
+  go 0 d
+
+let stats m =
+  Printf.sprintf
+    "unique=%d apply=%d not=%d ite=%d quant=%d next_uid=%d"
+    (H3.length m.unique) (H3.length m.apply_cache)
+    (Hashtbl.length m.not_cache) (H3.length m.ite_cache)
+    (H3.length m.quant_cache) m.next_uid

@@ -1,0 +1,122 @@
+(** Hash-consed reduced ordered binary decision diagrams (ROBDDs).
+
+    This is the symbolic backbone of the model checker: every boolean
+    function over the model's state bits is represented canonically, so
+    equality is physical equality and fixpoint detection is O(1).
+
+    Variables are identified by nonnegative integers; the variable order
+    is the natural integer order (smaller index = closer to the root).
+    All operations on two diagrams require that they were created by the
+    same manager. *)
+
+type manager
+(** Mutable state shared by a family of diagrams: the unique-node table
+    and the operation caches. *)
+
+type t
+(** A BDD node. Diagrams are immutable and maximally shared. *)
+
+val create_manager : ?cache_size:int -> unit -> manager
+(** [create_manager ()] returns a fresh manager with empty caches.
+    [cache_size] is the initial size hint of the internal hash tables. *)
+
+val clear_caches : manager -> unit
+(** Drop the operation caches (the unique table is kept, so existing
+    diagrams stay valid). Useful between unrelated fixpoint runs. *)
+
+(** {1 Constants and variables} *)
+
+val zero : t
+val one : t
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val var : manager -> int -> t
+(** [var m i] is the diagram of the projection function on variable [i]. *)
+
+val nvar : manager -> int -> t
+(** [nvar m i] is the negation of variable [i]. *)
+
+(** {1 Boolean connectives} *)
+
+val dnot : manager -> t -> t
+val dand : manager -> t -> t -> t
+val dor : manager -> t -> t -> t
+val xor : manager -> t -> t -> t
+val iff : manager -> t -> t -> t
+val imp : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val conj : manager -> t list -> t
+(** Conjunction of a list ([one] for the empty list). *)
+
+val disj : manager -> t list -> t
+(** Disjunction of a list ([zero] for the empty list). *)
+
+(** {1 Structure} *)
+
+val equal : t -> t -> bool
+(** Canonical, hence physical, equality. *)
+
+val id : t -> int
+(** Unique id of the node (stable within a manager's lifetime). *)
+
+val top_var : t -> int
+(** Root variable. @raise Invalid_argument on a constant. *)
+
+val low : t -> t
+val high : t -> t
+
+val size : t -> int
+(** Number of distinct internal nodes reachable from the root. *)
+
+val support : t -> int list
+(** Sorted list of variables the function actually depends on. *)
+
+(** {1 Quantification and substitution} *)
+
+type varset
+(** A set of variables prepared for quantification, with its own identity
+    so repeated quantifications over the same set hit the cache. *)
+
+val varset : manager -> int list -> varset
+
+val exists : manager -> varset -> t -> t
+(** Existential quantification over a variable set. *)
+
+val forall : manager -> varset -> t -> t
+
+val and_exists : manager -> varset -> t -> t -> t
+(** [and_exists m vs a b] computes [exists m vs (dand m a b)] without
+    building the full conjunction first (the relational product at the
+    heart of image computation). *)
+
+val rename : manager -> (int -> int) -> t -> t
+(** [rename m f d] substitutes variable [i] by variable [f i].
+    [f] must be strictly monotonic on the support of [d] (it must
+    preserve the variable order); this is checked lazily and violations
+    raise [Invalid_argument]. *)
+
+val restrict : manager -> int -> bool -> t -> t
+(** [restrict m i b d] is the cofactor of [d] with variable [i] set to
+    [b]. *)
+
+(** {1 Satisfying assignments} *)
+
+val any_sat : t -> (int * bool) list
+(** One satisfying assignment as (variable, value) pairs, mentioning only
+    the variables on the chosen path. @raise Not_found on [zero]. *)
+
+val sat_count : manager -> nvars:int -> t -> float
+(** Number of satisfying assignments over a space of [nvars] variables
+    (as a float, since counts overflow 63 bits quickly). *)
+
+val iter_sat : nvars:int -> t -> (bool array -> unit) -> unit
+(** Enumerate all satisfying assignments over variables [0..nvars-1],
+    calling the function with a full assignment array each time. Only
+    usable for small spaces; intended for tests. *)
+
+(** {1 Diagnostics} *)
+
+val stats : manager -> string
+(** Human-readable cache/unique-table statistics. *)

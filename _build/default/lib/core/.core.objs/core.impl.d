@@ -1,0 +1,1 @@
+lib/core/core.ml: Analysis Bdd Experiments Guardian Sat Sim Symkit Tta_model Ttp

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Analysis Array Cluster Event_log Float Format Guardian List Option Printf Sim String Symkit Tta_model Ttp

@@ -1,0 +1,29 @@
+(** Public facade of the reproduction.
+
+    Re-exports every subsystem under one roof and hosts the experiment
+    registry ({!Experiments}) that regenerates the paper's results.
+
+    Layering (see DESIGN.md):
+    - {!Bdd}, {!Sat}: decision-diagram and CDCL solver substrates.
+    - {!Symkit}: finite-domain symbolic models and the model-checking
+      engines (BDD reachability, SAT BMC, explicit-state BFS).
+    - {!Ttp}: the TTP/C protocol (frames, CRC, MEDL, controller,
+      membership, clock sync).
+    - {!Guardian}: star couplers / central bus guardians and the
+      bit-level leaky-bucket forwarding model.
+    - {!Sim}: the slot-synchronous cluster simulator with fault
+      injection.
+    - {!Analysis}: the Section 6 buffer/frame/clock tradeoff equations
+      and Figure 3.
+    - {!Tta_model}: the paper's Section 4 formal model and its
+      configurations. *)
+
+module Bdd = Bdd
+module Sat = Sat
+module Symkit = Symkit
+module Ttp = Ttp
+module Guardian = Guardian
+module Sim = Sim
+module Analysis = Analysis
+module Tta_model = Tta_model
+module Experiments = Experiments

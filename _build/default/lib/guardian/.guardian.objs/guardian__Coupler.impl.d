@@ -1,0 +1,1 @@
+lib/guardian/coupler.ml: Array Controller Cstate Fault Feature_set Float Frame List Medl Printf Ttp

@@ -1,0 +1,1 @@
+lib/guardian/coupler.mli: Controller Fault Feature_set Frame Medl Ttp

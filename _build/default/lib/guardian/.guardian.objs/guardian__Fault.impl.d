@@ -1,0 +1,1 @@
+lib/guardian/fault.ml: Feature_set Format List

@@ -1,0 +1,1 @@
+lib/guardian/fault.mli: Feature_set Format

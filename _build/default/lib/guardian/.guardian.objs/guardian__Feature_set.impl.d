@@ -1,0 +1,1 @@
+lib/guardian/feature_set.ml: Format

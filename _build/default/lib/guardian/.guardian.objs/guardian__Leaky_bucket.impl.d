@@ -1,0 +1,1 @@
+lib/guardian/leaky_bucket.ml: Float

@@ -1,0 +1,245 @@
+(** The star coupler / central bus guardian.
+
+    One coupler instance is the hub of one channel of the star
+    topology. Per TDMA slot it receives the transmission attempts of
+    all connected nodes (it knows the physical port, hence the true
+    sender) and decides what the channel carries: the forwarded frame,
+    silence, or noise. Its behaviour depends on its {!Feature_set.t}
+    (how much authority it has) and its current {!Fault.t} state.
+
+    Like a node, the guardian must first integrate before it can
+    enforce the TDMA schedule: while unsynchronized it opens all
+    windows (otherwise no cluster could ever start up), and it adopts
+    the timeline of the first cold-start or explicit-C-state frame it
+    forwards. Semantic analysis compares only the time and schedule
+    position of a frame's C-state against the guardian's own copy —
+    the guardian does not track membership, since it never judges frame
+    correctness the way nodes do.
+
+    Transmission attempts carry slightly-off-specification (SOS)
+    deviations in the timing and value domains. A marginal deviation is
+    judged differently by different receivers (that is precisely what
+    makes SOS faults dangerous); a coupler with reshaping authority
+    normalizes marginal frames so all receivers agree. *)
+
+open Ttp
+
+type attempt = {
+  sender : int;  (** physical port = true sending node *)
+  frame : Frame.t;
+  crc : int;  (** CRC bits as transmitted (a faulty node may corrupt them) *)
+  sos_timing : float;
+      (** deviation from the slot window: 0 = clean, (0, 1] = marginal
+          (receivers disagree), > 1 = clearly invalid *)
+  sos_value : float;  (** signal-level deviation, same scale *)
+}
+
+let clean_attempt ~sender ~frame ~crc =
+  { sender; frame; crc; sos_timing = 0.0; sos_value = 0.0 }
+
+(** What the channel carries during the slot. [degradation] is the
+    surviving SOS deviation: each receiver [r] compares it against its
+    own hardware tolerance to judge validity. *)
+type output =
+  | Ch_silence
+  | Ch_noise
+  | Ch_frame of { frame : Frame.t; crc : int; degradation : float }
+
+(* The guardian's own view of the cluster timeline: global time and
+   round slot only. *)
+type timeline = { g_time : int; g_slot : int }
+
+type t = {
+  channel : int;  (** 0 or 1; selects the CRC flavour *)
+  feature_set : Feature_set.t;
+  medl : Medl.t;
+  mutable fault : Fault.t;
+  (* Full-shifting couplers retain the last frame that crossed the hub;
+     this is the buffer whose replay the paper's out-of-slot fault
+     models. *)
+  mutable buffered : (Frame.t * int) option;
+  mutable timeline : timeline option;  (** None = unsynchronized *)
+  (* The "data continuity" enhancement discussed in Section 6 of the
+     paper: per-slot mailboxes holding the most recent frame of each
+     slot, served when the slot would otherwise carry nothing. The
+     paper's point is that providing it requires full-frame buffering —
+     and the substitution is, functionally, an out-of-slot
+     retransmission even with no fault present. [None] = disabled. *)
+  mailboxes : (Frame.t * int) option array option;
+  mutable substitutions : int;
+}
+
+let create ?(feature_set = Feature_set.Time_windows)
+    ?(data_continuity = false) ~channel ~medl () =
+  if channel < 0 || channel > 1 then invalid_arg "Coupler.create: channel";
+  if data_continuity && not (Feature_set.buffers_full_frames feature_set)
+  then
+    invalid_arg
+      "Coupler.create: the data-continuity mailbox requires full-frame \
+       buffering";
+  {
+    channel;
+    feature_set;
+    medl;
+    fault = Fault.Healthy;
+    buffered = None;
+    timeline = None;
+    mailboxes =
+      (if data_continuity then Some (Array.make (Medl.slots medl) None)
+       else None);
+    substitutions = 0;
+  }
+
+let set_fault t f =
+  if not (List.mem f (Fault.possible_for t.feature_set)) then
+    invalid_arg
+      (Printf.sprintf "Coupler.set_fault: %s impossible for %s coupler"
+         (Fault.to_string f)
+         (Feature_set.to_string t.feature_set));
+  t.fault <- f
+
+let fault t = t.fault
+let feature_set t = t.feature_set
+let channel t = t.channel
+let buffered_frame t = t.buffered
+let synchronized t = t.timeline <> None
+let substitutions t = t.substitutions
+
+let max_sos = 1.0
+
+(* Semantic analysis, available only with full-frame buffering: block
+   cold-start frames whose round-slot field does not match the actual
+   sender's scheduled slot (masquerading), and block explicit-C-state
+   frames whose time/slot disagree with the guardian's own timeline
+   (invalid C-state propagation). *)
+let semantic_ok t (a : attempt) =
+  match a.frame.Frame.kind with
+  | Frame.Cold_start -> (
+      match Medl.slot_of_node t.medl a.sender with
+      | Some s -> a.frame.Frame.cstate.Cstate.round_slot = s
+      | None -> false)
+  | Frame.I | Frame.X -> (
+      match t.timeline with
+      | None -> true (* cannot judge while unsynchronized *)
+      | Some tl ->
+          a.frame.Frame.cstate.Cstate.global_time = tl.g_time
+          && a.frame.Frame.cstate.Cstate.round_slot = tl.g_slot)
+  | Frame.N -> true (* implicit C-state is not inspectable *)
+
+(* The healthy data path: what would the coupler forward this slot? *)
+let forward_healthy t attempts =
+  let allowed =
+    match t.timeline with
+    | Some tl when Feature_set.enforces_time_windows t.feature_set ->
+        let scheduled = Medl.sender_of_slot t.medl tl.g_slot in
+        List.filter (fun a -> a.sender = scheduled) attempts
+    | Some _ | None -> attempts
+  in
+  let allowed =
+    if Feature_set.semantic_analysis t.feature_set then
+      List.filter (semantic_ok t) allowed
+    else allowed
+  in
+  match allowed with
+  | [] -> Ch_silence
+  | [ a ] ->
+      let degradation = Float.max a.sos_timing a.sos_value in
+      if Feature_set.reshapes_sos t.feature_set then
+        if degradation <= max_sos then
+          (* Active signal reshaping: boost the level and realign the
+             timing, so every receiver sees a clean frame. *)
+          Ch_frame { frame = a.frame; crc = a.crc; degradation = 0.0 }
+        else
+          (* Too far off to repair: suppress rather than propagate a
+             frame some receivers might still accept. *)
+          Ch_silence
+      else if degradation > max_sos then Ch_noise
+      else Ch_frame { frame = a.frame; crc = a.crc; degradation }
+  | _ :: _ :: _ ->
+      (* Two simultaneous transmissions collide on the hub. *)
+      Ch_noise
+
+(* Maintain the guardian's timeline: adopt one from integration-capable
+   frames it forwards; otherwise advance slot by slot. *)
+let update_timeline t out =
+  let slots = Medl.slots t.medl in
+  let advance tl =
+    {
+      g_time =
+        (tl.g_time + Medl.duration_of_slot t.medl tl.g_slot) land 0xFFFF;
+      g_slot = (tl.g_slot + 1) mod slots;
+    }
+  in
+  let adopted =
+    match out with
+    | Ch_frame { frame; _ } -> (
+        match frame.Frame.kind with
+        | Frame.Cold_start | Frame.I | Frame.X ->
+            Some
+              {
+                g_time = frame.Frame.cstate.Cstate.global_time;
+                g_slot = frame.Frame.cstate.Cstate.round_slot;
+              }
+        | Frame.N -> None)
+    | Ch_silence | Ch_noise -> None
+  in
+  t.timeline <-
+    (match (adopted, t.timeline) with
+    | Some tl, _ -> Some (advance tl)
+    | None, Some tl -> Some (advance tl)
+    | None, None -> None)
+
+(* One TDMA slot of coupler operation: apply the fault mode on top of
+   the healthy data path, then the data-continuity substitution, and
+   maintain the buffer, mailboxes and timeline. *)
+let step t attempts =
+  let healthy = forward_healthy t attempts in
+  let out =
+    match t.fault with
+    | Fault.Healthy -> healthy
+    | Fault.Silence -> Ch_silence
+    | Fault.Bad_frame -> Ch_noise
+    | Fault.Out_of_slot -> (
+        match t.buffered with
+        | Some (frame, crc) -> Ch_frame { frame; crc; degradation = 0.0 }
+        | None -> Ch_silence)
+  in
+  (* The buffer records the last frame that actually crossed the hub
+     (only full-shifting couplers have one). *)
+  if Feature_set.buffers_full_frames t.feature_set then begin
+    match out with
+    | Ch_frame { frame; crc; _ } -> t.buffered <- Some (frame, crc)
+    | Ch_silence | Ch_noise -> ()
+  end;
+  (* Data continuity: a loaded mailbox fills an otherwise dead slot
+     with the slot's previous value. The guardian's own timeline is
+     maintained from the {e pre}-substitution output — it knows the
+     served frame is stale even if the receivers cannot. *)
+  let final =
+    match (t.mailboxes, t.timeline) with
+    | Some boxes, Some tl -> (
+        let slot_now = tl.g_slot in
+        match out with
+        | Ch_frame { frame; crc; _ } ->
+            boxes.(slot_now) <- Some (frame, crc);
+            out
+        | Ch_silence | Ch_noise -> (
+            match boxes.(slot_now) with
+            | Some (frame, crc) ->
+                t.substitutions <- t.substitutions + 1;
+                Ch_frame { frame; crc; degradation = 0.0 }
+            | None -> out))
+    | _ -> out
+  in
+  update_timeline t out;
+  final
+
+(* Receiver-side validity of the channel output: receiver [tolerance]
+   (in (0, 1)) accepts a degradation up to its own threshold. This is
+   where SOS disagreement between receivers materializes. *)
+let observe output ~tolerance =
+  match output with
+  | Ch_silence -> Controller.Silence
+  | Ch_noise -> Controller.Noise
+  | Ch_frame { frame; crc; degradation } ->
+      Controller.Received { frame; crc; valid = degradation <= tolerance }

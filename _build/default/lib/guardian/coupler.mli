@@ -1,0 +1,77 @@
+(** The star coupler / central bus guardian.
+
+    One coupler instance is the hub of one channel of the star
+    topology. Per TDMA slot it receives the transmission attempts of
+    all connected nodes (it knows the physical port, hence the true
+    sender) and decides what the channel carries. Its behaviour depends
+    on its {!Feature_set.t} and its current {!Fault.t} state.
+
+    Like a node, the guardian must integrate before it can enforce the
+    TDMA schedule: while unsynchronized it opens all windows (otherwise
+    no cluster could start up), and it adopts the timeline of the first
+    cold-start or explicit-C-state frame it forwards. *)
+
+open Ttp
+
+type attempt = {
+  sender : int;  (** physical port = true sending node *)
+  frame : Frame.t;
+  crc : int;  (** CRC bits as transmitted (a faulty node may corrupt them) *)
+  sos_timing : float;
+      (** deviation from the slot window: 0 = clean, (0, 1] = marginal
+          (receivers disagree), > 1 = clearly invalid *)
+  sos_value : float;  (** signal-level deviation, same scale *)
+}
+
+val clean_attempt : sender:int -> frame:Frame.t -> crc:int -> attempt
+
+(** What the channel carries during the slot. [degradation] is the
+    surviving SOS deviation: each receiver compares it against its own
+    hardware tolerance to judge validity. *)
+type output =
+  | Ch_silence
+  | Ch_noise
+  | Ch_frame of { frame : Frame.t; crc : int; degradation : float }
+
+type t
+
+val create :
+  ?feature_set:Feature_set.t -> ?data_continuity:bool -> channel:int ->
+  medl:Medl.t -> unit -> t
+(** A healthy, unsynchronized coupler for channel 0 or 1.
+    [data_continuity] enables the per-slot mailbox service discussed in
+    Section 6: a dead slot is filled with the slot's previous frame.
+    This is the "tempting functionality" whose hazard the paper
+    analyzes — the substitution is functionally an out-of-slot
+    retransmission even with no fault present.
+    @raise Invalid_argument if data continuity is requested without
+    full-frame buffering. *)
+
+val substitutions : t -> int
+(** How many dead slots the data-continuity mailbox has filled. *)
+
+val set_fault : t -> Fault.t -> unit
+(** @raise Invalid_argument when the fault is impossible for this
+    coupler's feature set (e.g. out-of-slot without a buffer). *)
+
+val fault : t -> Fault.t
+val feature_set : t -> Feature_set.t
+val channel : t -> int
+
+val buffered_frame : t -> (Frame.t * int) option
+(** The frame (and its CRC) a full-shifting coupler currently retains. *)
+
+val synchronized : t -> bool
+
+val max_sos : float
+(** Deviations above this are beyond repair for any receiver. *)
+
+val step : t -> attempt list -> output
+(** One TDMA slot: apply time windows, reshaping and semantic analysis
+    per the feature set, then the fault mode; maintain the buffer and
+    the guardian's own timeline. *)
+
+val observe : output -> tolerance:float -> Controller.observation
+(** Receiver-side view of the channel: a receiver with the given SOS
+    tolerance in (0, 1) judges the frame's validity. This is where SOS
+    disagreement between receivers materializes. *)

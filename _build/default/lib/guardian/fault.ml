@@ -1,0 +1,41 @@
+(** Fault modes of a star coupler.
+
+    The paper's model gives each coupler one of three error states —
+    silence, bad frame, out-of-slot — plus error-free operation. The
+    out-of-slot fault (replaying the last buffered frame in a later
+    slot) {e only exists} for couplers configured for full frame
+    shifting; all other faults can occur in any configuration. TTP/C's
+    single-fault hypothesis allows at most one faulty coupler at a
+    time; the simulator and the formal model both enforce it. *)
+
+type t =
+  | Healthy
+  | Silence  (** every frame on this channel is replaced by silence *)
+  | Bad_frame  (** noise is placed on the channel, frame or not *)
+  | Out_of_slot  (** the last received frame is re-sent in this slot *)
+
+let to_string = function
+  | Healthy -> "healthy"
+  | Silence -> "silence"
+  | Bad_frame -> "bad-frame"
+  | Out_of_slot -> "out-of-slot"
+
+let of_string = function
+  | "healthy" -> Some Healthy
+  | "silence" -> Some Silence
+  | "bad-frame" -> Some Bad_frame
+  | "out-of-slot" -> Some Out_of_slot
+  | _ -> None
+
+let all = [ Healthy; Silence; Bad_frame; Out_of_slot ]
+
+(* Which faults a coupler of the given authority can exhibit: the
+   out-of-slot replay requires a full-frame buffer to replay from. *)
+let possible_for feature_set =
+  List.filter
+    (function
+      | Out_of_slot -> Feature_set.buffers_full_frames feature_set
+      | Healthy | Silence | Bad_frame -> true)
+    all
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

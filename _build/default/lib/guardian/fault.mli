@@ -1,0 +1,21 @@
+(** Fault modes of a star coupler.
+
+    The paper's model gives each coupler one of three error states plus
+    error-free operation. The out-of-slot fault (replaying the last
+    buffered frame) only exists for couplers configured for full frame
+    shifting; all other faults can occur in any configuration. *)
+
+type t =
+  | Healthy
+  | Silence  (** every frame on this channel is replaced by silence *)
+  | Bad_frame  (** noise is placed on the channel, frame or not *)
+  | Out_of_slot  (** the last received frame is re-sent in this slot *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+
+val possible_for : Feature_set.t -> t list
+(** The faults a coupler of the given authority can exhibit. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+(** Star-coupler authority levels.
+
+    Section 4.1 of the paper compares four feature sets, ordered by
+    increasing centralized authority. Each level includes the abilities
+    of the previous one:
+
+    - {b Passive}: a dumb hub; forwards whatever arrives, never blocks
+      or shifts a frame in time.
+    - {b Time windows}: can open/close bus write access per slot, so a
+      babbling or masquerading node is cut off outside its slot.
+    - {b Small shifting}: can additionally make slight adjustments to
+      frame timing and signal level — enough to eliminate
+      slightly-off-specification (SOS) faults by reshaping marginal
+      frames into clean ones.
+    - {b Full shifting}: can additionally buffer an entire frame and
+      retransmit it later, which enables semantic analysis of frame
+      contents (blocking wrong C-states and masquerading cold-start
+      frames) — and, as the paper demonstrates, also enables the
+      out-of-slot replay failure mode. *)
+
+type t =
+  | Passive
+  | Time_windows
+  | Small_shifting
+  | Full_shifting
+
+let all = [ Passive; Time_windows; Small_shifting; Full_shifting ]
+
+let to_string = function
+  | Passive -> "passive"
+  | Time_windows -> "time-windows"
+  | Small_shifting -> "small-shifting"
+  | Full_shifting -> "full-shifting"
+
+let of_string = function
+  | "passive" -> Some Passive
+  | "time-windows" -> Some Time_windows
+  | "small-shifting" -> Some Small_shifting
+  | "full-shifting" -> Some Full_shifting
+  | _ -> None
+
+(* Capability predicates, so the coupler logic reads as the paper's
+   feature table. *)
+
+let enforces_time_windows = function
+  | Passive -> false
+  | Time_windows | Small_shifting | Full_shifting -> true
+
+let reshapes_sos = function
+  | Passive | Time_windows -> false
+  | Small_shifting | Full_shifting -> true
+
+let buffers_full_frames = function
+  | Passive | Time_windows | Small_shifting -> false
+  | Full_shifting -> true
+
+(* Semantic analysis requires seeing the whole frame before forwarding,
+   i.e. full-frame buffering. *)
+let semantic_analysis = buffers_full_frames
+
+let pp ppf fs = Format.pp_print_string ppf (to_string fs)

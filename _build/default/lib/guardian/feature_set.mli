@@ -1,0 +1,34 @@
+(** Star-coupler authority levels.
+
+    Section 4.1 of the paper compares four feature sets, ordered by
+    increasing centralized authority; each level includes the abilities
+    of the previous one. *)
+
+type t =
+  | Passive  (** forwards everything, never blocks or shifts a frame *)
+  | Time_windows
+      (** can open/close bus write access per slot (babbling-idiot and
+          masquerading protection) *)
+  | Small_shifting
+      (** can also slightly adjust frame timing and signal level —
+          enough to eliminate SOS faults by reshaping marginal frames *)
+  | Full_shifting
+      (** can also buffer an entire frame and retransmit it later,
+          enabling semantic analysis — and the out-of-slot replay
+          failure mode the paper demonstrates *)
+
+val all : t list
+(** In increasing authority order. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val enforces_time_windows : t -> bool
+val reshapes_sos : t -> bool
+val buffers_full_frames : t -> bool
+
+val semantic_analysis : t -> bool
+(** Semantic analysis requires seeing the whole frame before
+    forwarding, i.e. full-frame buffering. *)
+
+val pp : Format.formatter -> t -> unit

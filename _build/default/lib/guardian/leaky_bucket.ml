@@ -1,0 +1,73 @@
+(** Bit-level frame forwarding through the coupler — the "leaky bucket".
+
+    Section 6 of the paper argues that whenever the guardian's clock
+    rate differs from the sender's, the guardian must buffer part of
+    the frame: if the guardian is faster it must delay its start so it
+    never runs out of bits mid-transmission; if it is slower, bits pile
+    up. The minimum buffer is B_min = le + Delta * f_max (equation 1).
+
+    This module simulates the forwarding bit by bit, so the analytic
+    bound can be checked against a measured peak buffer occupancy
+    (experiment E8 in DESIGN.md). Time is continuous (seconds as
+    floats); a bit at rate [r] occupies 1/r seconds. *)
+
+type result = {
+  start_buffer_bits : int;  (** bits withheld before forwarding began *)
+  peak_occupancy : int;  (** maximum bits held at once *)
+  underrun : bool;  (** the forwarder needed a bit it did not yet have *)
+}
+
+(* Simulate forwarding a [frame_bits]-long frame arriving at
+   [node_rate] while retransmitting at [guardian_rate], with forwarding
+   starting once [start_after] bits are fully received. *)
+let simulate ~node_rate ~guardian_rate ~frame_bits ~start_after =
+  if node_rate <= 0.0 || guardian_rate <= 0.0 then
+    invalid_arg "Leaky_bucket.simulate: rates must be positive";
+  if start_after < 1 || start_after > frame_bits then
+    invalid_arg "Leaky_bucket.simulate: start_after out of range";
+  (* Bit [i] (0-based) is fully received at (i+1)/node_rate and its
+     retransmission begins at t_start + i/guardian_rate. *)
+  let t_start = float_of_int start_after /. node_rate in
+  let received_by t =
+    (* Bits fully received at time t. *)
+    min frame_bits (int_of_float (Float.floor (t *. node_rate +. 1e-9)))
+  in
+  let underrun = ref false in
+  let peak = ref 0 in
+  for i = 0 to frame_bits - 1 do
+    let send_begin = t_start +. (float_of_int i /. guardian_rate) in
+    if received_by send_begin <= i then underrun := true;
+    (* Occupancy just before bit [i] leaves: everything received minus
+       everything already forwarded. *)
+    let occ = received_by send_begin - i in
+    if occ > !peak then peak := occ
+  done;
+  { start_buffer_bits = start_after; peak_occupancy = !peak; underrun = !underrun }
+
+(* Smallest start-delay (at least [le], the line-encoding requirement)
+   that forwards the whole frame without underrun. *)
+let minimal_start ~node_rate ~guardian_rate ~frame_bits ~le =
+  let rec go b =
+    if b > frame_bits then frame_bits
+    else if
+      not (simulate ~node_rate ~guardian_rate ~frame_bits ~start_after:b)
+            .underrun
+    then b
+    else go (b + 1)
+  in
+  go (max 1 le)
+
+(* Measured minimum buffer: peak occupancy when starting as early as
+   allowed. This is the quantity equation (1) bounds. *)
+let required_buffer ~node_rate ~guardian_rate ~frame_bits ~le =
+  let b = minimal_start ~node_rate ~guardian_rate ~frame_bits ~le in
+  (simulate ~node_rate ~guardian_rate ~frame_bits ~start_after:b)
+    .peak_occupancy
+
+(* The paper's analytic bound (equation 1): B_min = le + Delta * f_max
+   with Delta the relative rate difference (equation 2). *)
+let analytic_bound ~node_rate ~guardian_rate ~frame_bits ~le =
+  let fast = Float.max node_rate guardian_rate in
+  let slow = Float.min node_rate guardian_rate in
+  let delta = (fast -. slow) /. fast in
+  float_of_int le +. (delta *. float_of_int frame_bits)

@@ -1,0 +1,36 @@
+(** Bit-level frame forwarding through the coupler — the "leaky bucket".
+
+    Section 6 of the paper argues that whenever the guardian's clock
+    rate differs from the sender's it must buffer part of the frame;
+    the minimum is B_min = le + Delta * f_max (equation 1). This module
+    simulates the forwarding bit by bit so the analytic bound can be
+    checked against a measured peak occupancy (experiment E8). *)
+
+type result = {
+  start_buffer_bits : int;  (** bits withheld before forwarding began *)
+  peak_occupancy : int;  (** maximum bits held at once *)
+  underrun : bool;  (** the forwarder needed a bit it did not yet have *)
+}
+
+val simulate :
+  node_rate:float -> guardian_rate:float -> frame_bits:int ->
+  start_after:int -> result
+(** Forward a frame arriving at [node_rate] while retransmitting at
+    [guardian_rate] (bits per second), starting once [start_after] bits
+    are fully received.
+    @raise Invalid_argument on non-positive rates or a start outside
+    [1, frame_bits]. *)
+
+val minimal_start :
+  node_rate:float -> guardian_rate:float -> frame_bits:int -> le:int -> int
+(** Smallest start delay (at least [le], the line-encoding requirement)
+    that forwards the whole frame without underrun. *)
+
+val required_buffer :
+  node_rate:float -> guardian_rate:float -> frame_bits:int -> le:int -> int
+(** Measured minimum buffer: peak occupancy when starting as early as
+    allowed — the quantity equation (1) bounds. *)
+
+val analytic_bound :
+  node_rate:float -> guardian_rate:float -> frame_bits:int -> le:int -> float
+(** The paper's B_min = le + Delta * f_max. *)

@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Buffer Fun List Printf Solver String

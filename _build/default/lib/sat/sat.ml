@@ -1,0 +1,5 @@
+(** The SAT toolkit: the CDCL solver plus DIMACS CNF input/output.
+    See {!Solver} for the solver API and {!Dimacs} for the file format. *)
+
+include Solver
+module Dimacs = Dimacs

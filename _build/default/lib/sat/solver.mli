@@ -1,0 +1,53 @@
+(** A CDCL (conflict-driven clause learning) SAT solver.
+
+    Implements the standard modern architecture: two-watched-literal unit
+    propagation, first-UIP conflict analysis with backjumping, VSIDS-style
+    variable activities with phase saving, and Luby restarts. Supports
+    solving under assumptions, which the bounded model checker uses to
+    query successive unrolling depths incrementally.
+
+    Variables are integers allocated by {!new_var}; literals are built
+    with {!pos} and {!neg}. *)
+
+type t
+(** A solver instance: variable pool, clause database, search state. *)
+
+type lit = private int
+(** A literal: a variable with a sign. *)
+
+val pos : int -> lit
+(** Positive literal of a variable. *)
+
+val neg : int -> lit
+(** Negative literal of a variable. *)
+
+val negate : lit -> lit
+val lit_var : lit -> int
+val lit_sign : lit -> bool
+(** [lit_sign l] is [true] for a positive literal. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable, returned as its integer index. *)
+
+val nvars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Add a clause. Adding the empty clause (or a clause that simplifies to
+    it) makes the instance permanently unsatisfiable. Duplicate literals
+    are removed; tautologies are ignored. *)
+
+type result = Sat | Unsat
+
+val solve : ?assumptions:lit list -> t -> result
+(** Solve the current clause set under the given assumptions. The solver
+    may be queried again afterwards with different assumptions; learned
+    clauses are kept. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Solver] answer. Variables not fixed
+    by the model default to [false]. *)
+
+val stats : t -> string
+(** Human-readable search statistics (conflicts, propagations, ...). *)

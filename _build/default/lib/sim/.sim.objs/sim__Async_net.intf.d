@@ -1,0 +1,1 @@
+lib/sim/async_net.mli:

@@ -1,0 +1,1 @@
+lib/sim/bus.ml: Array Cluster Controller Event_log Float Frame Guardian List Medl Node_fault Ttp

@@ -1,0 +1,1 @@
+lib/sim/bus.mli: Controller Event_log Medl Node_fault Ttp

@@ -1,0 +1,1 @@
+lib/sim/campaign.ml: Cluster Controller Event_log Guardian List Medl Printf Random Ttp

@@ -1,0 +1,1 @@
+lib/sim/campaign.mli: Guardian

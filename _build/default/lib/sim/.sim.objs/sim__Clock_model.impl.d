@@ -1,0 +1,1 @@
+lib/sim/clock_model.ml: Array Float List

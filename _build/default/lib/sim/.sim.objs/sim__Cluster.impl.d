@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Array Clock_model Controller Event_log Float Format Frame Guardian List Medl Node_fault Printf Ttp

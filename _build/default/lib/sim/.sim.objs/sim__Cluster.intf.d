@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Clock_model Controller Event_log Format Guardian Medl Node_fault Ttp

@@ -1,0 +1,1 @@
+lib/sim/event_log.ml: Controller Format Frame Guardian List Printf Ttp

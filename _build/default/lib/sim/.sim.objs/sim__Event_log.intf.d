@@ -1,0 +1,1 @@
+lib/sim/event_log.mli: Controller Format Frame Guardian Ttp

@@ -1,0 +1,1 @@
+lib/sim/node_fault.ml: Cstate Frame Guardian Printf Ttp

@@ -1,0 +1,1 @@
+lib/sim/node_fault.mli: Cstate Frame Guardian Ttp

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Cluster Guardian List Node_fault

@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Array Cluster Controller Event_log Format List Ttp

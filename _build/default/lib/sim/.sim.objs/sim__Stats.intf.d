@@ -1,0 +1,1 @@
+lib/sim/stats.mli: Cluster Controller Event_log Format Ttp

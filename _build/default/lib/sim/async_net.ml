@@ -1,0 +1,163 @@
+(* An asynchronous, priority-arbitrated broadcast network (CAN-like),
+   with an optional store-and-forward gateway.
+
+   The paper's conclusion generalizes its result beyond time-triggered
+   systems: "the same type of masquerading failures could occur in a
+   distributed, asynchronous system because the underlying issue is not
+   timing, but identification." This module makes that claim
+   executable. In CAN, receivers identify DATA by message identifier —
+   not senders by time slot — so any component able to emit a stored
+   frame (here: a gateway with mailboxes, the asynchronous analogue of
+   the full-shifting coupler) can masquerade as a fresh data source,
+   and no receiver can tell. The defense is also the paper's:
+   strengthen identification (sequence numbers), not timing.
+
+   The model is deterministic and tick-based: at each tick, pending
+   transmissions arbitrate by CAN id (lowest wins, as on a real bus),
+   and the winner is delivered to every receiver. *)
+
+type message = {
+  can_id : int;  (** the identifier receivers select on; lower = higher priority *)
+  seq : int;  (** sender's sequence counter (the "identification" fix) *)
+  payload : int;
+  born : int;  (** tick of original transmission *)
+}
+
+(* A periodic sender: emits its message every [period] ticks. *)
+type sender = { can_id : int; period : int; mutable next_seq : int }
+
+(** Gateway behaviour, as requested by the caller. *)
+type gateway_spec =
+  | Transparent  (** forwards in the same tick, stores nothing *)
+  | Store_and_forward of { replay_at : int list }
+      (** keeps per-id mailboxes (the CAN-emulation / data-continuity
+          service) and re-emits the highest-priority stored message at
+          the given ticks — deliberately or through a fault, the
+          effect is the same *)
+
+type gateway =
+  | G_transparent
+  | G_store of {
+      boxes : message option array;  (** per can_id mailboxes *)
+      replay_at : int list;
+    }
+
+(* What a receiver believes about each can_id, under each of the two
+   identification disciplines. *)
+type reception = {
+  mutable accepted : int;  (** messages believed fresh *)
+  mutable stale_accepted : int;
+      (** replayed (born < previous born) messages believed fresh —
+          successful masquerades *)
+  mutable max_staleness : int;  (** worst (now - born) among accepted *)
+  mutable replays_detected : int;
+      (** replays rejected by the sequence-number check *)
+}
+
+type t = {
+  senders : sender array;
+  gateway : gateway;
+  max_can_id : int;
+  check_sequence : bool;
+      (** receivers enforce strictly increasing sequence numbers *)
+  reception : reception;
+  mutable last_seq : int array;  (** per can_id, highest seq accepted *)
+  mutable last_born : int array;
+  mutable now : int;
+}
+
+let create ?(check_sequence = false) ~gateway senders =
+  let max_can_id =
+    Array.fold_left (fun acc s -> max acc s.can_id) 0 senders
+  in
+  Array.iter
+    (fun s ->
+      if s.period <= 0 then invalid_arg "Async_net.create: period";
+      if s.can_id < 0 then invalid_arg "Async_net.create: can_id")
+    senders;
+  let gateway =
+    match gateway with
+    | Transparent -> G_transparent
+    | Store_and_forward { replay_at } ->
+        G_store { boxes = Array.make (max_can_id + 1) None; replay_at }
+  in
+  {
+    senders;
+    gateway;
+    max_can_id;
+    check_sequence;
+    reception =
+      { accepted = 0; stale_accepted = 0; max_staleness = 0;
+        replays_detected = 0 };
+    last_seq = Array.make (max_can_id + 1) (-1);
+    last_born = Array.make (max_can_id + 1) (-1);
+    now = 0;
+  }
+
+let sender ~can_id ~period = { can_id; period; next_seq = 0 }
+
+(* Deliver one message to the (aggregated) receivers. *)
+let deliver t msg =
+  let r = t.reception in
+  let is_replay = msg.born <= t.last_born.(msg.can_id) in
+  if t.check_sequence && msg.seq <= t.last_seq.(msg.can_id) then
+    r.replays_detected <- r.replays_detected + 1
+  else begin
+    r.accepted <- r.accepted + 1;
+    if is_replay then r.stale_accepted <- r.stale_accepted + 1;
+    r.max_staleness <- max r.max_staleness (t.now - msg.born);
+    t.last_seq.(msg.can_id) <- msg.seq;
+    t.last_born.(msg.can_id) <- max t.last_born.(msg.can_id) msg.born
+  end
+
+let step t =
+  (* Fresh transmissions due this tick. *)
+  let due =
+    Array.to_list t.senders
+    |> List.filter_map (fun s ->
+           if t.now mod s.period = 0 then begin
+             let m =
+               { can_id = s.can_id; seq = s.next_seq; payload = t.now;
+                 born = t.now }
+             in
+             s.next_seq <- s.next_seq + 1;
+             Some m
+           end
+           else None)
+  in
+  (* The gateway may inject a replay from its mailboxes. *)
+  let injected =
+    match t.gateway with
+    | G_transparent -> []
+    | G_store g ->
+        if List.mem t.now g.replay_at then
+          (* Replay the highest-priority loaded box. *)
+          let rec first i =
+            if i >= Array.length g.boxes then []
+            else match g.boxes.(i) with Some m -> [ m ] | None -> first (i + 1)
+          in
+          first 0
+        else []
+  in
+  (* Bus arbitration: lowest can_id wins the tick; losers are dropped
+     in this simplified model (periodic senders re-offer next period). *)
+  (match
+     List.sort
+       (fun (a : message) (b : message) -> compare a.can_id b.can_id)
+       (due @ injected)
+   with
+  | [] -> ()
+  | winner :: _ ->
+      (match t.gateway with
+      | G_store g -> g.boxes.(winner.can_id) <- Some winner
+      | G_transparent -> ());
+      deliver t winner);
+  t.now <- t.now + 1
+
+let run t ~ticks =
+  for _ = 1 to ticks do
+    step t
+  done
+
+let reception t = t.reception
+let now t = t.now

@@ -1,0 +1,54 @@
+(** An asynchronous, priority-arbitrated broadcast network (CAN-like),
+    with an optional store-and-forward gateway.
+
+    Makes the paper's concluding claim executable: masquerading through
+    a frame-buffering central component is not a synchronous-systems
+    problem — in CAN, receivers identify {e data} by message identifier,
+    so a gateway able to re-emit a stored frame masquerades as a fresh
+    data source, and no receiver can tell. The defense is also the
+    paper's: strengthen identification (sequence numbers), not timing.
+
+    The model is deterministic and tick-based: at each tick, pending
+    transmissions arbitrate by CAN id (lowest wins) and the winner is
+    delivered to every receiver. *)
+
+type message = {
+  can_id : int;
+  seq : int;
+  payload : int;
+  born : int;  (** tick of original transmission *)
+}
+
+type sender
+
+val sender : can_id:int -> period:int -> sender
+(** A periodic sender emitting every [period] ticks. *)
+
+type gateway_spec =
+  | Transparent  (** forwards in the same tick, stores nothing *)
+  | Store_and_forward of { replay_at : int list }
+      (** keeps per-id mailboxes (the CAN-emulation / data-continuity
+          service the paper's Section 6 mentions) and re-emits the
+          highest-priority stored message at the given ticks —
+          deliberately or through a fault, the effect is the same *)
+
+type reception = {
+  mutable accepted : int;  (** messages believed fresh *)
+  mutable stale_accepted : int;
+      (** replays believed fresh — successful masquerades *)
+  mutable max_staleness : int;  (** worst (now - born) among accepted *)
+  mutable replays_detected : int;
+      (** replays rejected by the sequence-number check *)
+}
+
+type t
+
+val create : ?check_sequence:bool -> gateway:gateway_spec -> sender array -> t
+(** [check_sequence] makes receivers enforce strictly increasing
+    sequence numbers per id (the identification fix).
+    @raise Invalid_argument on non-positive periods or negative ids. *)
+
+val step : t -> unit
+val run : t -> ticks:int -> unit
+val reception : t -> reception
+val now : t -> int

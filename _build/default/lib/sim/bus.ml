@@ -1,0 +1,189 @@
+(* The bus topology of Figure 1: two replicated passive buses with a
+   local bus guardian at every node, the decentralized baseline the
+   star topology was proposed to replace (Section 2.2 of the paper).
+
+   A local guardian is an independent gate between its node and the
+   bus: healthy, it passes exactly the transmissions the protocol
+   schedule allows and blocks everything else (babbling-idiot
+   protection). Because it is per-node, a guardian fault affects only
+   its own node — the tradeoff the paper studies is precisely that a
+   central guardian's fault affects everyone.
+
+   The bus itself is passive: one transmission passes through with its
+   SOS degradation unmitigated (no reshaping is possible on a bus),
+   simultaneous transmissions collide into noise. *)
+
+open Ttp
+
+type guardian_fault =
+  | G_healthy
+  | G_stuck_closed  (** blocks everything from its node *)
+  | G_stuck_open  (** passes everything, including babbling *)
+
+let guardian_fault_to_string = function
+  | G_healthy -> "healthy"
+  | G_stuck_closed -> "stuck-closed"
+  | G_stuck_open -> "stuck-open"
+
+type t = {
+  medl : Medl.t;
+  controllers : Controller.t array;
+  node_faults : Node_fault.t array;
+  local_guardians : guardian_fault array;  (** one per node *)
+  tolerances : float array;
+  log : Event_log.t;
+  mutable slots_elapsed : int;
+  mutable nominal_slot : int;
+}
+
+let create ?(config = Controller.default_config) ?tolerances medl =
+  let n = Medl.nodes medl in
+  let tolerances =
+    match tolerances with
+    | Some t -> t
+    | None -> Cluster.default_tolerances n
+  in
+  if Array.length tolerances <> n then
+    invalid_arg "Bus.create: one tolerance per node required";
+  {
+    medl;
+    controllers =
+      Array.init n (fun id -> Controller.create ~config ~id ~medl ());
+    node_faults = Array.make n Node_fault.Healthy;
+    local_guardians = Array.make n G_healthy;
+    tolerances;
+    log = Event_log.create ();
+    slots_elapsed = 0;
+    nominal_slot = 0;
+  }
+
+let log t = t.log
+let controller t i = t.controllers.(i)
+let nodes t = Array.length t.controllers
+let slots_elapsed t = t.slots_elapsed
+
+let set_node_fault t ~node fault =
+  t.node_faults.(node) <- fault;
+  Event_log.record t.log ~at_slot:t.slots_elapsed
+    (Event_log.Node_fault_set { node; fault = Node_fault.to_string fault })
+
+let set_guardian_fault t ~node fault =
+  t.local_guardians.(node) <- fault;
+  Event_log.record t.log ~at_slot:t.slots_elapsed
+    (Event_log.Node_fault_set
+       {
+         node;
+         fault = "local guardian " ^ guardian_fault_to_string fault;
+       })
+
+let start_node t i = Controller.host_start t.controllers.(i)
+let start_all t = Array.iter Controller.host_start t.controllers
+
+(* What reaches bus [channel] this slot, after each node's local
+   guardian. *)
+let attempts_on t ~channel =
+  let attempts = ref [] in
+  Array.iteri
+    (fun i ctrl ->
+      let pass_scheduled, pass_babbling =
+        match t.local_guardians.(i) with
+        | G_healthy -> (true, false)
+        | G_stuck_closed -> (false, false)
+        | G_stuck_open -> (true, true)
+      in
+      (if pass_scheduled then
+         match Controller.transmit ctrl with
+         | Some frame -> (
+             if channel = 0 then
+               Event_log.record t.log ~at_slot:t.slots_elapsed
+                 (Event_log.Sent { node = i; kind = frame.Frame.kind });
+             match
+               Node_fault.distort t.node_faults.(i) ~sender:i ~channel frame
+             with
+             | Some a -> attempts := a :: !attempts
+             | None -> ())
+         | None -> ());
+      if pass_babbling then
+        match
+          Node_fault.extra_attempt t.node_faults.(i) ~sender:i ~channel
+            ~slot:t.nominal_slot
+            ~cstate:(Controller.cstate ctrl)
+        with
+        | Some a -> attempts := a :: !attempts
+        | None -> ())
+    t.controllers;
+  List.rev !attempts
+
+(* Passive-bus merge: no filtering, no reshaping. *)
+let bus_output attempts =
+  match attempts with
+  | [] -> Guardian.Coupler.Ch_silence
+  | [ a ] ->
+      let degradation =
+        Float.max a.Guardian.Coupler.sos_timing a.Guardian.Coupler.sos_value
+      in
+      if degradation > Guardian.Coupler.max_sos then Guardian.Coupler.Ch_noise
+      else
+        Guardian.Coupler.Ch_frame
+          {
+            frame = a.Guardian.Coupler.frame;
+            crc = a.Guardian.Coupler.crc;
+            degradation;
+          }
+  | _ :: _ :: _ -> Guardian.Coupler.Ch_noise
+
+let step t =
+  let prev = Array.map Controller.state t.controllers in
+  let outputs =
+    Array.init 2 (fun channel -> bus_output (attempts_on t ~channel))
+  in
+  Array.iteri
+    (fun i ctrl ->
+      let tol = t.tolerances.(i) in
+      let obs0 = Guardian.Coupler.observe outputs.(0) ~tolerance:tol in
+      let obs1 = Guardian.Coupler.observe outputs.(1) ~tolerance:tol in
+      Controller.receive ctrl ~obs0 ~obs1)
+    t.controllers;
+  Array.iteri
+    (fun i ctrl ->
+      let now = Controller.state ctrl in
+      if now <> prev.(i) then begin
+        Event_log.record t.log ~at_slot:t.slots_elapsed
+          (Event_log.State_change
+             { node = i; from_state = prev.(i); to_state = now });
+        match (now, Controller.freeze_cause ctrl) with
+        | Controller.Freeze, Some reason ->
+            Event_log.record t.log ~at_slot:t.slots_elapsed
+              (Event_log.Froze { node = i; reason })
+        | _ -> ()
+      end)
+    t.controllers;
+  t.slots_elapsed <- t.slots_elapsed + 1;
+  t.nominal_slot <- (t.nominal_slot + 1) mod Medl.slots t.medl
+
+let run t ~slots =
+  for _ = 1 to slots do
+    step t
+  done
+
+let run_until t ?(max_slots = 1000) pred =
+  let rec go budget =
+    if pred t then true
+    else if budget = 0 then false
+    else begin
+      step t;
+      go (budget - 1)
+    end
+  in
+  go max_slots
+
+let count_in_state t st =
+  Array.fold_left
+    (fun acc c -> if Controller.state c = st then acc + 1 else acc)
+    0 t.controllers
+
+let all_active t = count_in_state t Controller.Active = nodes t
+
+let boot ?(max_slots = 200) t =
+  start_all t;
+  run_until t ~max_slots all_active

@@ -1,0 +1,41 @@
+(** The bus topology of Figure 1: two replicated passive buses with a
+    local bus guardian at every node — the decentralized baseline the
+    star topology was proposed to replace.
+
+    A local guardian is an independent gate between its node and the
+    bus: healthy, it passes exactly the transmissions the schedule
+    allows (babbling-idiot protection). Being per-node, a guardian
+    fault affects only its own node; the bus itself is passive, so SOS
+    degradation reaches the receivers unmitigated and simultaneous
+    transmissions collide into noise. *)
+
+open Ttp
+
+type guardian_fault =
+  | G_healthy
+  | G_stuck_closed  (** blocks everything from its node *)
+  | G_stuck_open  (** passes everything, including babbling *)
+
+val guardian_fault_to_string : guardian_fault -> string
+
+type t
+
+val create :
+  ?config:Controller.config -> ?tolerances:float array -> Medl.t -> t
+
+val log : t -> Event_log.t
+val controller : t -> int -> Controller.t
+val nodes : t -> int
+val slots_elapsed : t -> int
+
+val set_node_fault : t -> node:int -> Node_fault.t -> unit
+val set_guardian_fault : t -> node:int -> guardian_fault -> unit
+val start_node : t -> int -> unit
+val start_all : t -> unit
+
+val step : t -> unit
+val run : t -> slots:int -> unit
+val run_until : t -> ?max_slots:int -> (t -> bool) -> bool
+val count_in_state : t -> Controller.protocol_state -> int
+val all_active : t -> bool
+val boot : ?max_slots:int -> t -> bool

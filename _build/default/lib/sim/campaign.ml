@@ -1,0 +1,100 @@
+(** Randomized fault-injection campaigns.
+
+    The empirical counterpart of the model-checking results: boot a
+    cluster, inject one random coupler fault (respecting the
+    single-fault hypothesis), and force one node through a
+    re-integration while the fault is active — the paper's analysis
+    shows that integration windows are exactly where the extra coupler
+    authority turns dangerous. Aggregated over seeded trials this
+    reproduces, in simulation, the comparison that Ademaj et al. ran on
+    hardware and that the paper settles formally: which coupler feature
+    sets let a single coupler fault hurt a healthy node. *)
+
+open Ttp
+
+type outcome = {
+  seed : int;
+  injected : string;  (** description of the injected fault *)
+  healthy_frozen : int;
+      (** nodes expelled by clique avoidance although they never failed *)
+  cluster_survived : bool;
+      (** a majority of nodes still synchronized at the end *)
+  integration_blocked : bool;
+      (** the restarted healthy node failed to (re-)join the cluster *)
+}
+
+type summary = {
+  trials : int;
+  with_healthy_freeze : int;
+  with_cluster_loss : int;
+  with_integration_block : int;
+}
+
+let summarize outcomes =
+  let count f = List.length (List.filter f outcomes) in
+  {
+    trials = List.length outcomes;
+    with_healthy_freeze = count (fun o -> o.healthy_frozen > 0);
+    with_cluster_loss = count (fun o -> not o.cluster_survived);
+    with_integration_block = count (fun o -> o.integration_blocked);
+  }
+
+(* Pick a random coupler fault possible for the feature set (never
+   Healthy). *)
+let random_coupler_fault rng feature_set =
+  let candidates =
+    List.filter
+      (fun f -> f <> Guardian.Fault.Healthy)
+      (Guardian.Fault.possible_for feature_set)
+  in
+  List.nth candidates (Random.State.int rng (List.length candidates))
+
+(* One trial: boot; take one node down; inject a coupler fault; restart
+   the node so it must re-integrate through the faulty period; clear
+   the fault and observe the aftermath. *)
+let run_trial ~feature_set ~nodes ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let medl = Medl.uniform ~nodes () in
+  let cluster = Cluster.create ~feature_set medl in
+  if not (Cluster.boot cluster) then
+    (* Startup without faults must succeed; treat failure as a fatal
+       harness bug rather than a data point. *)
+    invalid_arg "Campaign.run_trial: fault-free startup failed";
+  let channel = Random.State.int rng 2 in
+  let fault = random_coupler_fault rng feature_set in
+  let victim = Random.State.int rng nodes in
+  Controller.host_freeze (Cluster.controller cluster victim);
+  (* Randomize the phase at which the victim returns. *)
+  Cluster.run cluster ~slots:(Random.State.int rng (2 * nodes));
+  Cluster.set_coupler_fault cluster ~channel fault;
+  Cluster.start_node cluster victim;
+  let reintegrated =
+    Cluster.run_until cluster ~max_slots:(8 * nodes) (fun c ->
+        Controller.is_synchronized (Cluster.controller c victim))
+  in
+  (* The fault clears (transient fault model); give the cluster time to
+     settle, including the victim's first clique checkpoints. *)
+  Cluster.set_coupler_fault cluster ~channel Guardian.Fault.Healthy;
+  Cluster.run cluster ~slots:(4 * nodes);
+  let clique_frozen =
+    List.length
+      (List.filter
+         (fun (_, _, reason) -> reason = Controller.Clique_error)
+         (Event_log.freezes (Cluster.log cluster)))
+  in
+  let victim_ok =
+    Controller.is_synchronized (Cluster.controller cluster victim)
+  in
+  {
+    seed;
+    injected =
+      Printf.sprintf "coupler %d: %s; node %d re-integrating" channel
+        (Guardian.Fault.to_string fault)
+        victim;
+    healthy_frozen = clique_frozen;
+    cluster_survived = Cluster.synchronized_count cluster * 2 > nodes;
+    integration_blocked = (not reintegrated) || not victim_ok;
+  }
+
+let run ~feature_set ~nodes ~trials () =
+  List.init trials (fun seed -> run_trial ~feature_set ~nodes ~seed ())

@@ -1,0 +1,39 @@
+(** Randomized fault-injection campaigns.
+
+    The empirical counterpart of the model-checking results: boot a
+    cluster, inject one random coupler fault (respecting the
+    single-fault hypothesis), and force one node through re-integration
+    while the fault is active — the paper shows integration windows are
+    exactly where extra coupler authority turns dangerous. Trials are
+    seeded and reproducible. *)
+
+type outcome = {
+  seed : int;
+  injected : string;  (** description of the injected fault *)
+  healthy_frozen : int;
+      (** nodes expelled by clique avoidance although they never failed *)
+  cluster_survived : bool;
+      (** a majority of nodes still synchronized at the end *)
+  integration_blocked : bool;
+      (** the restarted healthy node failed to (re-)join the cluster *)
+}
+
+type summary = {
+  trials : int;
+  with_healthy_freeze : int;
+  with_cluster_loss : int;
+  with_integration_block : int;
+}
+
+val summarize : outcome list -> summary
+
+val run_trial :
+  feature_set:Guardian.Feature_set.t -> nodes:int -> seed:int -> unit ->
+  outcome
+(** @raise Invalid_argument if even the fault-free boot fails (a
+    harness bug, not a data point). *)
+
+val run :
+  feature_set:Guardian.Feature_set.t -> nodes:int -> trials:int -> unit ->
+  outcome list
+(** Seeds 0 .. trials-1. *)

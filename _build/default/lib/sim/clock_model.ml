@@ -1,0 +1,110 @@
+(* Per-node oscillator drift and distributed clock synchronization.
+
+   The slot-synchronous simulator abstracts time to TDMA slots; this
+   layer re-introduces the physics underneath: every node's oscillator
+   deviates from nominal by some ppm, so its notion of the slot
+   boundary wanders. A transmission's offset from the true window,
+   measured against the receivers' acceptance window, is exactly the
+   timing-SOS degradation of the coupler layer — which is how unchecked
+   drift eventually produces SOS faults.
+
+   TTP/C bounds the wander with the fault-tolerant-average algorithm
+   ([Ttp.Clocksync.fta]): at the end of each round every node measures,
+   for each frame it received, the deviation between the sender's clock
+   and its own, discards the extremes and corrects by the average.
+   Disabling synchronization (for experiments) lets the errors grow
+   without bound. *)
+
+type clock = {
+  ppm : float;  (** rate deviation from nominal, parts per million *)
+  mutable error : float;  (** accumulated offset in microticks *)
+}
+
+type t = {
+  clocks : clock array;
+  window : float;
+      (** half-width of the receivers' nominal acceptance window, in
+          microticks: an offset of [window] is judged marginal by the
+          average receiver *)
+  sync_enabled : bool;
+}
+
+let create ?(sync = true) ~window ~ppm () =
+  if window <= 0.0 then invalid_arg "Clock_model.create: window";
+  {
+    clocks = Array.map (fun p -> { ppm = p; error = 0.0 }) ppm;
+    window;
+    sync_enabled = sync;
+  }
+
+let nodes t = Array.length t.clocks
+let error t node = t.clocks.(node).error
+
+(* One TDMA slot of drift: each oscillator gains duration * ppm. *)
+let advance t ~slot_duration =
+  Array.iter
+    (fun c ->
+      c.error <- c.error +. (float_of_int slot_duration *. c.ppm /. 1e6))
+    t.clocks
+
+(* The timing-SOS degradation of node [i]'s transmission: how far its
+   clock sits from the ensemble's view of the slot boundary, relative
+   to the acceptance window. Receivers judge a frame against their own
+   clocks, so what matters is the offset between sender and receiver;
+   the coupler layer applies one scalar per transmission, so we use the
+   sender's offset from the ensemble median as the representative
+   deviation. *)
+let median t =
+  let errs = Array.map (fun c -> c.error) t.clocks in
+  Array.sort compare errs;
+  let n = Array.length errs in
+  if n mod 2 = 1 then errs.(n / 2)
+  else (errs.((n / 2) - 1) +. errs.(n / 2)) /. 2.0
+
+let sos_of t ~node =
+  Float.abs (t.clocks.(node).error -. median t) /. t.window
+
+(* Fault-tolerant average over float measurements: drop the extremes
+   on each side and average the rest — the same algorithm as
+   [Ttp.Clocksync.fta], at the sub-microtick resolution of a real
+   time-difference capture unit. *)
+let fta_float ?(discard = 1) deviations =
+  let n = List.length deviations in
+  if n <= 2 * discard then 0.0
+  else begin
+    let sorted = List.sort compare deviations in
+    let trimmed =
+      List.filteri (fun i _ -> i >= discard && i < n - discard) sorted
+    in
+    List.fold_left ( +. ) 0.0 trimmed /. float_of_int (List.length trimmed)
+  end
+
+(* End-of-round synchronization: every node corrects its clock by the
+   fault-tolerant average of the deviations it measured against the
+   senders it heard ([heard] lists them; a node always hears itself,
+   deviation 0). *)
+let apply_fta t ~heard =
+  if t.sync_enabled then begin
+    let corrections =
+      Array.mapi
+        (fun i me ->
+          let deviations =
+            List.map
+              (fun j -> t.clocks.(j).error -. me.error)
+              (if List.mem i heard then heard else i :: heard)
+          in
+          fta_float deviations)
+        t.clocks
+    in
+    Array.iteri
+      (fun i me -> me.error <- me.error +. corrections.(i))
+      t.clocks
+  end
+
+(* Worst pairwise offset in the ensemble, the quantity a precision
+   bound speaks about. *)
+let spread t =
+  let errs = Array.map (fun c -> c.error) t.clocks in
+  let lo = Array.fold_left Float.min infinity errs in
+  let hi = Array.fold_left Float.max neg_infinity errs in
+  hi -. lo

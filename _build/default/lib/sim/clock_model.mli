@@ -1,0 +1,37 @@
+(** Per-node oscillator drift and distributed clock synchronization.
+
+    Re-introduces the physics beneath the slot-synchronous simulator:
+    every node's oscillator deviates by some ppm, its notion of the
+    slot boundary wanders, and the offset — relative to the receivers'
+    acceptance window — surfaces as timing-SOS degradation on the
+    coupler layer. TTP/C bounds the wander with the fault-tolerant
+    average ({!Ttp.Clocksync.fta}) applied at every round boundary. *)
+
+type t
+
+val create : ?sync:bool -> window:float -> ppm:float array -> unit -> t
+(** One clock per node; [window] is the half-width of the nominal
+    acceptance window in microticks ([sync:false] disables the
+    correction, for drift experiments).
+    @raise Invalid_argument on a non-positive window. *)
+
+val nodes : t -> int
+val error : t -> int -> float
+(** Accumulated offset of a node's clock, microticks. *)
+
+val advance : t -> slot_duration:int -> unit
+(** One TDMA slot of drift. *)
+
+val sos_of : t -> node:int -> float
+(** The timing-SOS degradation of this node's transmissions right now:
+    its offset from the ensemble median, relative to the window. *)
+
+val apply_fta : t -> heard:int list -> unit
+(** End-of-round synchronization: every node corrects by the
+    fault-tolerant average of the deviations against the senders it
+    [heard]. No-op when synchronization is disabled. *)
+
+val spread : t -> float
+(** Worst pairwise clock offset in the ensemble, microticks. *)
+
+val median : t -> float

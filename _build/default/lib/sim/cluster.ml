@@ -1,0 +1,267 @@
+(** Slot-synchronous simulation of a TTA cluster with star topology.
+
+    Wires [n] TTP/C controllers to two redundant channels, each with
+    its own star coupler / central bus guardian, and advances the whole
+    system one TDMA slot at a time. Each slot proceeds in two phases:
+    every controller is asked what it transmits (with node-level faults
+    applied), the couplers turn the transmission attempts into channel
+    outputs, then every controller observes both channels through its
+    own receiver tolerance and advances.
+
+    Everything observable is recorded in an {!Event_log.t}. *)
+
+open Ttp
+
+type t = {
+  medl : Medl.t;
+  controllers : Controller.t array;
+  couplers : Guardian.Coupler.t array;  (** channel 0 and channel 1 *)
+  node_faults : Node_fault.t array;
+  tolerances : float array;
+      (** per-receiver SOS tolerance in (0, 1): hardware spread *)
+  log : Event_log.t;
+  mutable slots_elapsed : int;
+  mutable nominal_slot : int;
+      (** free-running TDMA position, used for scheduling fault
+          injection (e.g. when a babbling node fires) *)
+  mutable drift : Clock_model.t option;
+      (** optional oscillator-drift layer: adds timing-SOS degradation
+          to transmissions and runs FTA clock sync at round boundaries *)
+  mutable round_senders : int list;
+      (** nodes whose frames crossed a hub since the last round
+          boundary; the set FTA measures against *)
+}
+
+let default_tolerances n =
+  (* A deterministic spread of hardware tolerances around 0.5: nodes
+     near the low end reject marginal frames that nodes near the high
+     end accept. *)
+  Array.init n (fun i ->
+      0.3 +. (0.4 *. float_of_int i /. float_of_int (max 1 (n - 1))))
+
+let create ?(feature_set = Guardian.Feature_set.Time_windows)
+    ?(data_continuity = false) ?(config = Controller.default_config)
+    ?tolerances medl =
+  let n = Medl.nodes medl in
+  let tolerances =
+    match tolerances with Some t -> t | None -> default_tolerances n
+  in
+  if Array.length tolerances <> n then
+    invalid_arg "Cluster.create: one tolerance per node required";
+  {
+    medl;
+    controllers =
+      Array.init n (fun id -> Controller.create ~config ~id ~medl ());
+    couplers =
+      Array.init 2 (fun channel ->
+          Guardian.Coupler.create ~feature_set ~data_continuity ~channel
+            ~medl ());
+    node_faults = Array.make n Node_fault.Healthy;
+    tolerances;
+    log = Event_log.create ();
+    slots_elapsed = 0;
+    nominal_slot = 0;
+    drift = None;
+    round_senders = [];
+  }
+
+(* Attach an oscillator-drift model (one clock per node). *)
+let set_drift t d =
+  if Clock_model.nodes d <> Array.length t.controllers then
+    invalid_arg "Cluster.set_drift: one clock per node required";
+  t.drift <- Some d
+
+let drift t = t.drift
+
+let medl t = t.medl
+let log t = t.log
+let controller t i = t.controllers.(i)
+let coupler t c = t.couplers.(c)
+let nodes t = Array.length t.controllers
+let slots_elapsed t = t.slots_elapsed
+
+let states t = Array.map Controller.state t.controllers
+
+let set_coupler_fault t ~channel fault =
+  Guardian.Coupler.set_fault t.couplers.(channel) fault;
+  Event_log.record t.log ~at_slot:t.slots_elapsed
+    (Event_log.Coupler_fault_set { channel; fault })
+
+let set_node_fault t ~node fault =
+  t.node_faults.(node) <- fault;
+  Event_log.record t.log ~at_slot:t.slots_elapsed
+    (Event_log.Node_fault_set { node; fault = Node_fault.to_string fault })
+
+let start_node t i =
+  Controller.host_start t.controllers.(i)
+
+let start_all t = Array.iter Controller.host_start t.controllers
+
+(* Attempts arriving at the coupler of [channel] in this slot. *)
+let attempts_on t ~channel =
+  let attempts = ref [] in
+  Array.iteri
+    (fun i ctrl ->
+      (match Controller.transmit ctrl with
+      | Some frame -> (
+          (* Log the transmission once, not once per channel. *)
+          if channel = 0 then
+            Event_log.record t.log ~at_slot:t.slots_elapsed
+              (Event_log.Sent { node = i; kind = frame.Frame.kind });
+          match Node_fault.distort t.node_faults.(i) ~sender:i ~channel frame with
+          | Some a ->
+              (* Oscillator drift surfaces as timing degradation on top
+                 of whatever the node fault already imposes. *)
+              let a =
+                match t.drift with
+                | None -> a
+                | Some d ->
+                    let drift_sos = Clock_model.sos_of d ~node:i in
+                    {
+                      a with
+                      Guardian.Coupler.sos_timing =
+                        Float.max a.Guardian.Coupler.sos_timing drift_sos;
+                    }
+              in
+              attempts := a :: !attempts
+          | None -> ())
+      | None -> ());
+      match
+        Node_fault.extra_attempt t.node_faults.(i) ~sender:i ~channel
+          ~slot:t.nominal_slot
+          ~cstate:(Controller.cstate ctrl)
+      with
+      | Some a -> attempts := a :: !attempts
+      | None -> ())
+    t.controllers;
+  List.rev !attempts
+
+let describe_output = function
+  | Guardian.Coupler.Ch_silence -> "silence"
+  | Guardian.Coupler.Ch_noise -> "noise"
+  | Guardian.Coupler.Ch_frame { frame; degradation; _ } ->
+      if degradation > 0.0 then
+        Printf.sprintf "%s (SOS %.2f)" (Frame.to_string frame) degradation
+      else Frame.to_string frame
+
+(* Advance the whole cluster one TDMA slot. *)
+let step t =
+  let prev = states t in
+  let outputs =
+    Array.init 2 (fun channel ->
+        let out =
+          Guardian.Coupler.step t.couplers.(channel)
+            (attempts_on t ~channel)
+        in
+        (match out with
+        | Guardian.Coupler.Ch_silence -> ()
+        | Guardian.Coupler.Ch_frame { frame; _ } ->
+            let sender = frame.Frame.sender in
+            if not (List.mem sender t.round_senders) then
+              t.round_senders <- sender :: t.round_senders;
+            Event_log.record t.log ~at_slot:t.slots_elapsed
+              (Event_log.Channel_output
+                 { channel; description = describe_output out })
+        | Guardian.Coupler.Ch_noise ->
+            Event_log.record t.log ~at_slot:t.slots_elapsed
+              (Event_log.Channel_output
+                 { channel; description = describe_output out }));
+        out)
+  in
+  Array.iteri
+    (fun i ctrl ->
+      let tol = t.tolerances.(i) in
+      let obs0 = Guardian.Coupler.observe outputs.(0) ~tolerance:tol in
+      let obs1 = Guardian.Coupler.observe outputs.(1) ~tolerance:tol in
+      Controller.receive ctrl ~obs0 ~obs1)
+    t.controllers;
+  (* Log state changes. *)
+  Array.iteri
+    (fun i ctrl ->
+      let now = Controller.state ctrl in
+      if now <> prev.(i) then begin
+        Event_log.record t.log ~at_slot:t.slots_elapsed
+          (Event_log.State_change
+             { node = i; from_state = prev.(i); to_state = now });
+        match now with
+        | Controller.Freeze -> (
+            match Controller.freeze_cause ctrl with
+            | Some reason ->
+                Event_log.record t.log ~at_slot:t.slots_elapsed
+                  (Event_log.Froze { node = i; reason })
+            | None -> ())
+        | Controller.Passive -> (
+            match prev.(i) with
+            | Controller.Listen ->
+                Event_log.record t.log ~at_slot:t.slots_elapsed
+                  (Event_log.Integrated { node = i })
+            | _ -> ())
+        | _ -> ()
+      end)
+    t.controllers;
+  t.slots_elapsed <- t.slots_elapsed + 1;
+  t.nominal_slot <- (t.nominal_slot + 1) mod Medl.slots t.medl;
+  (* Oscillator physics: drift over the slot; synchronize at the round
+     boundary against the senders actually heard this round. *)
+  match t.drift with
+  | None -> ()
+  | Some d ->
+      Clock_model.advance d
+        ~slot_duration:(Medl.duration_of_slot t.medl t.nominal_slot);
+      if t.nominal_slot = 0 then begin
+        Clock_model.apply_fta d ~heard:t.round_senders;
+        t.round_senders <- []
+      end
+
+let run t ~slots =
+  for _ = 1 to slots do
+    step t
+  done
+
+(* Run until the predicate holds or the budget runs out; returns whether
+   the predicate was reached. *)
+let run_until t ?(max_slots = 1000) pred =
+  let rec go budget =
+    if pred t then true
+    else if budget = 0 then false
+    else begin
+      step t;
+      go (budget - 1)
+    end
+  in
+  go max_slots
+
+(* Common predicates. *)
+
+let count_in_state t st =
+  Array.fold_left
+    (fun acc c -> if Controller.state c = st then acc + 1 else acc)
+    0 t.controllers
+
+let all_active t = count_in_state t Controller.Active = nodes t
+
+let any_frozen_with t reason =
+  Array.exists
+    (fun c ->
+      Controller.state c = Controller.Freeze
+      && Controller.freeze_cause c = Some reason)
+    t.controllers
+
+let synchronized_count t =
+  Array.fold_left
+    (fun acc c -> if Controller.is_synchronized c then acc + 1 else acc)
+    0 t.controllers
+
+(* Bring a fresh cluster to steady state: start every node and run
+   until all are active. Returns false if start-up failed within the
+   budget (which itself is a meaningful result for some experiments). *)
+let boot ?(max_slots = 200) t =
+  start_all t;
+  run_until t ~max_slots all_active
+
+let pp_states ppf t =
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf "node %d: %s@." i
+        (Controller.state_to_string (Controller.state c)))
+    t.controllers

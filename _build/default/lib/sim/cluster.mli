@@ -1,0 +1,75 @@
+(** Slot-synchronous simulation of a TTA cluster with star topology.
+
+    Wires [n] TTP/C controllers to two redundant channels, each with
+    its own star coupler / central bus guardian, and advances the whole
+    system one TDMA slot at a time. Each slot proceeds in two phases:
+    every controller is asked what it transmits (with node-level faults
+    applied), the couplers turn the transmission attempts into channel
+    outputs, then every controller observes both channels through its
+    own receiver tolerance and advances.
+
+    Everything observable is recorded in an {!Event_log.t}. *)
+
+open Ttp
+
+type t
+
+val create :
+  ?feature_set:Guardian.Feature_set.t ->
+  ?data_continuity:bool ->
+  ?config:Controller.config ->
+  ?tolerances:float array ->
+  Medl.t ->
+  t
+(** A powered-off cluster. [tolerances] gives each receiver's SOS
+    acceptance threshold (default: a deterministic spread around 0.5,
+    modeling hardware variation); [data_continuity] enables the
+    couplers' mailbox service (requires full shifting).
+    @raise Invalid_argument unless one tolerance per node is given. *)
+
+val default_tolerances : int -> float array
+
+(** {1 Inspection} *)
+
+val medl : t -> Medl.t
+val log : t -> Event_log.t
+val controller : t -> int -> Controller.t
+val coupler : t -> int -> Guardian.Coupler.t
+val nodes : t -> int
+val slots_elapsed : t -> int
+val states : t -> Controller.protocol_state array
+val count_in_state : t -> Controller.protocol_state -> int
+val all_active : t -> bool
+val any_frozen_with : t -> Controller.freeze_reason -> bool
+val synchronized_count : t -> int
+val pp_states : Format.formatter -> t -> unit
+
+(** {1 Control} *)
+
+val set_coupler_fault : t -> channel:int -> Guardian.Fault.t -> unit
+val set_node_fault : t -> node:int -> Node_fault.t -> unit
+val start_node : t -> int -> unit
+val start_all : t -> unit
+
+val set_drift : t -> Clock_model.t -> unit
+(** Attach an oscillator-drift layer: transmissions acquire timing-SOS
+    degradation from their sender's clock error, and FTA clock
+    synchronization runs at every round boundary (if enabled in the
+    model). @raise Invalid_argument unless one clock per node. *)
+
+val drift : t -> Clock_model.t option
+
+(** {1 Running} *)
+
+val step : t -> unit
+(** Advance one TDMA slot. *)
+
+val run : t -> slots:int -> unit
+
+val run_until : t -> ?max_slots:int -> (t -> bool) -> bool
+(** Run until the predicate holds (checked before each step) or the
+    budget runs out; returns whether it was reached. *)
+
+val boot : ?max_slots:int -> t -> bool
+(** Start every node and run until all are active; [false] means
+    start-up did not complete within the budget. *)

@@ -1,0 +1,82 @@
+(** Structured record of what happened during a simulation run.
+
+    Each entry is stamped with the global slot count. The examples and
+    tests assert on this log (e.g. "node B froze with a clique error at
+    slot 12 and nobody else did"), and the CLI pretty-prints it. *)
+
+open Ttp
+
+type event =
+  | State_change of {
+      node : int;
+      from_state : Controller.protocol_state;
+      to_state : Controller.protocol_state;
+    }
+  | Froze of { node : int; reason : Controller.freeze_reason }
+  | Integrated of { node : int }
+  | Sent of { node : int; kind : Frame.kind }
+  | Coupler_fault_set of { channel : int; fault : Guardian.Fault.t }
+  | Node_fault_set of { node : int; fault : string }
+  | Channel_output of { channel : int; description : string }
+
+type entry = { at_slot : int; event : event }
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+let record t ~at_slot event = t.entries <- { at_slot; event } :: t.entries
+let entries t = List.rev t.entries
+
+let frame_kind_string = function
+  | Frame.N -> "N"
+  | Frame.I -> "I"
+  | Frame.Cold_start -> "cold-start"
+  | Frame.X -> "X"
+
+let event_to_string = function
+  | State_change { node; from_state; to_state } ->
+      Printf.sprintf "node %d: %s -> %s" node
+        (Controller.state_to_string from_state)
+        (Controller.state_to_string to_state)
+  | Froze { node; reason } ->
+      Printf.sprintf "node %d FROZE (%s)" node
+        (Controller.freeze_reason_to_string reason)
+  | Integrated { node } -> Printf.sprintf "node %d integrated" node
+  | Sent { node; kind } ->
+      Printf.sprintf "node %d sent a %s frame" node (frame_kind_string kind)
+  | Coupler_fault_set { channel; fault } ->
+      Printf.sprintf "coupler %d fault := %s" channel
+        (Guardian.Fault.to_string fault)
+  | Node_fault_set { node; fault } ->
+      Printf.sprintf "node %d fault := %s" node fault
+  | Channel_output { channel; description } ->
+      Printf.sprintf "channel %d: %s" channel description
+
+let pp ppf t =
+  List.iter
+    (fun { at_slot; event } ->
+      Format.fprintf ppf "[slot %3d] %s@." at_slot (event_to_string event))
+    (entries t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Query helpers used by tests and examples. *)
+
+let freezes t =
+  List.filter_map
+    (fun { at_slot; event } ->
+      match event with
+      | Froze { node; reason } -> Some (at_slot, node, reason)
+      | _ -> None)
+    (entries t)
+
+let integrations t =
+  List.filter_map
+    (fun { at_slot; event } ->
+      match event with
+      | Integrated { node } -> Some (at_slot, node)
+      | _ -> None)
+    (entries t)
+
+let first_freeze t =
+  match freezes t with [] -> None | f :: _ -> Some f

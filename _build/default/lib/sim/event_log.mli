@@ -1,0 +1,41 @@
+(** Structured record of what happened during a simulation run.
+
+    Each entry is stamped with the global slot count. Examples and
+    tests assert on this log, and the CLI pretty-prints it. *)
+
+open Ttp
+
+type event =
+  | State_change of {
+      node : int;
+      from_state : Controller.protocol_state;
+      to_state : Controller.protocol_state;
+    }
+  | Froze of { node : int; reason : Controller.freeze_reason }
+  | Integrated of { node : int }
+  | Sent of { node : int; kind : Frame.kind }
+  | Coupler_fault_set of { channel : int; fault : Guardian.Fault.t }
+  | Node_fault_set of { node : int; fault : string }
+  | Channel_output of { channel : int; description : string }
+
+type entry = { at_slot : int; event : event }
+
+type t
+
+val create : unit -> t
+val record : t -> at_slot:int -> event -> unit
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val event_to_string : event -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Query helpers} *)
+
+val freezes : t -> (int * int * Controller.freeze_reason) list
+(** (slot, node, reason), oldest first. *)
+
+val integrations : t -> (int * int) list
+val first_freeze : t -> (int * int * Controller.freeze_reason) option

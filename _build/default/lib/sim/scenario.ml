@@ -1,0 +1,44 @@
+(** Scripted simulation scenarios.
+
+    A scenario is a list of timed actions applied to a cluster while it
+    runs: start nodes, inject or clear coupler and node faults. The
+    examples replay the paper's counterexample traces as scenarios, and
+    the test suite asserts on the resulting event logs. *)
+
+type action =
+  | Start_node of int
+  | Start_all
+  | Coupler_fault of { channel : int; fault : Guardian.Fault.t }
+  | Node_fault of { node : int; fault : Node_fault.t }
+  | Custom of (Cluster.t -> unit)
+
+type step = { at_slot : int; action : action }
+
+type t = step list
+
+let at at_slot action = { at_slot; action }
+
+let apply cluster = function
+  | Start_node i -> Cluster.start_node cluster i
+  | Start_all -> Cluster.start_all cluster
+  | Coupler_fault { channel; fault } ->
+      Cluster.set_coupler_fault cluster ~channel fault
+  | Node_fault { node; fault } -> Cluster.set_node_fault cluster ~node fault
+  | Custom f -> f cluster
+
+(* Run the cluster for [slots] TDMA slots, applying each scripted
+   action right before the slot it is scheduled at. Actions are applied
+   in list order within a slot. *)
+let run scenario cluster ~slots =
+  let pending = List.sort (fun a b -> compare a.at_slot b.at_slot) scenario in
+  let rec go pending slot =
+    if slot < slots then begin
+      let now, later =
+        List.partition (fun s -> s.at_slot <= slot) pending
+      in
+      List.iter (fun s -> apply cluster s.action) now;
+      Cluster.step cluster;
+      go later (slot + 1)
+    end
+  in
+  go pending 0

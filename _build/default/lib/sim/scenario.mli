@@ -1,0 +1,22 @@
+(** Scripted simulation scenarios.
+
+    A scenario is a list of timed actions applied to a cluster while it
+    runs: start nodes, inject or clear coupler and node faults, or run
+    arbitrary probes. *)
+
+type action =
+  | Start_node of int
+  | Start_all
+  | Coupler_fault of { channel : int; fault : Guardian.Fault.t }
+  | Node_fault of { node : int; fault : Node_fault.t }
+  | Custom of (Cluster.t -> unit)
+
+type step = { at_slot : int; action : action }
+
+type t = step list
+
+val at : int -> action -> step
+
+val run : t -> Cluster.t -> slots:int -> unit
+(** Run for [slots] TDMA slots, applying each scripted action right
+    before the slot it is scheduled at (in list order within a slot). *)

@@ -1,0 +1,114 @@
+(* Availability statistics, reconstructed from the event log.
+
+   The log records every state change with its slot stamp, so a run's
+   per-node timeline — and from it the dependability numbers that
+   fail-operational systems care about (synchronized fraction,
+   time-to-integration, freeze counts) — can be computed after the
+   fact without instrumenting the simulation loop. *)
+
+open Ttp
+
+type node_summary = {
+  node : int;
+  final_state : Controller.protocol_state;
+  synchronized_slots : int;  (** slots spent active or passive *)
+  active_slots : int;  (** slots spent active (transmitting role) *)
+  first_integrated_at : int option;  (** slot of the first integration *)
+  freezes : int;  (** freeze events, all causes *)
+  clique_freezes : int;
+}
+
+type t = {
+  total_slots : int;
+  per_node : node_summary array;
+  availability : float;
+      (** mean synchronized fraction across nodes, in [0, 1] *)
+}
+
+let is_sync = function
+  | Controller.Active | Controller.Passive -> true
+  | _ -> false
+
+let of_log ~nodes ~total_slots log =
+  let state = Array.make nodes Controller.Freeze in
+  let since = Array.make nodes 0 in
+  let sync_slots = Array.make nodes 0 in
+  let active_slots = Array.make nodes 0 in
+  let first_int = Array.make nodes None in
+  let freezes = Array.make nodes 0 in
+  let clique = Array.make nodes 0 in
+  let account node upto =
+    let d = max 0 (upto - since.(node)) in
+    if is_sync state.(node) then
+      sync_slots.(node) <- sync_slots.(node) + d;
+    if state.(node) = Controller.Active then
+      active_slots.(node) <- active_slots.(node) + d
+  in
+  List.iter
+    (fun { Event_log.at_slot; event } ->
+      match event with
+      | Event_log.State_change { node; to_state; _ } ->
+          account node at_slot;
+          state.(node) <- to_state;
+          since.(node) <- at_slot;
+          if is_sync to_state && first_int.(node) = None then
+            first_int.(node) <- Some at_slot
+      | Event_log.Froze { node; reason } ->
+          freezes.(node) <- freezes.(node) + 1;
+          if reason = Controller.Clique_error then
+            clique.(node) <- clique.(node) + 1
+      | Event_log.Integrated _ | Event_log.Sent _
+      | Event_log.Coupler_fault_set _ | Event_log.Node_fault_set _
+      | Event_log.Channel_output _ ->
+          ())
+    (Event_log.entries log);
+  for node = 0 to nodes - 1 do
+    account node total_slots
+  done;
+  let per_node =
+    Array.init nodes (fun node ->
+        {
+          node;
+          final_state = state.(node);
+          synchronized_slots = sync_slots.(node);
+          active_slots = active_slots.(node);
+          first_integrated_at = first_int.(node);
+          freezes = freezes.(node);
+          clique_freezes = clique.(node);
+        })
+  in
+  let availability =
+    if total_slots = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc n -> acc +. float_of_int n.synchronized_slots)
+        0.0 per_node
+      /. float_of_int (nodes * total_slots)
+  in
+  { total_slots; per_node; availability }
+
+let of_cluster cluster =
+  of_log
+    ~nodes:(Cluster.nodes cluster)
+    ~total_slots:(Cluster.slots_elapsed cluster)
+    (Cluster.log cluster)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d slots; mean availability %.1f%%@,"
+    t.total_slots (100.0 *. t.availability);
+  Array.iter
+    (fun n ->
+      Format.fprintf ppf
+        "  node %d: %-10s sync %4d/%d  active %4d  first-sync %-6s \
+         freezes %d (%d clique)@,"
+        n.node
+        (Controller.state_to_string n.final_state)
+        n.synchronized_slots t.total_slots n.active_slots
+        (match n.first_integrated_at with
+        | Some s -> string_of_int s
+        | None -> "never")
+        n.freezes n.clique_freezes)
+    t.per_node;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

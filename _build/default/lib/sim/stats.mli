@@ -1,0 +1,33 @@
+(** Availability statistics, reconstructed from the event log.
+
+    The log records every state change with its slot stamp, so a run's
+    per-node timeline — synchronized fraction, time-to-integration,
+    freeze counts — can be computed after the fact without
+    instrumenting the simulation loop. *)
+
+open Ttp
+
+type node_summary = {
+  node : int;
+  final_state : Controller.protocol_state;
+  synchronized_slots : int;  (** slots spent active or passive *)
+  active_slots : int;  (** slots spent active (transmitting role) *)
+  first_integrated_at : int option;  (** slot of the first integration *)
+  freezes : int;  (** freeze events, all causes *)
+  clique_freezes : int;
+}
+
+type t = {
+  total_slots : int;
+  per_node : node_summary array;
+  availability : float;
+      (** mean synchronized fraction across nodes, in [0, 1] *)
+}
+
+val of_log : nodes:int -> total_slots:int -> Event_log.t -> t
+(** Nodes are assumed frozen at slot 0 (powered off). *)
+
+val of_cluster : Cluster.t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/symkit/bmc.ml: Array Bdd Enc Expr Hashtbl List Model Sat

@@ -1,0 +1,1 @@
+lib/symkit/bmc.mli: Bdd Enc Expr Model Sat

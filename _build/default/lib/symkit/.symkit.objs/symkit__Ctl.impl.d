@@ -1,0 +1,1 @@
+lib/symkit/ctl.ml: Bdd Enc Expr Format Model Reach

@@ -1,0 +1,1 @@
+lib/symkit/ctl.mli: Bdd Enc Expr Format Model

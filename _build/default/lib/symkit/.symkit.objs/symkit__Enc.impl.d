@@ -1,0 +1,1 @@
+lib/symkit/enc.ml: Array Bdd Expr Hashtbl List Model Printf

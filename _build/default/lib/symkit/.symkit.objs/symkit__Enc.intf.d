@@ -1,0 +1,1 @@
+lib/symkit/enc.mli: Bdd Expr Model

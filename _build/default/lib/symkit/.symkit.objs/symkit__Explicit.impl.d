@@ -1,0 +1,1 @@
+lib/symkit/explicit.ml: Hashtbl List Queue

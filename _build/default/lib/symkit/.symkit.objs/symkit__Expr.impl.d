@@ -1,0 +1,1 @@
+lib/symkit/expr.ml: Bool Format Hashtbl List Printf Stdlib String

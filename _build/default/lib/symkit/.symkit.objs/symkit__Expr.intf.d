@@ -1,0 +1,1 @@
+lib/symkit/expr.mli: Format

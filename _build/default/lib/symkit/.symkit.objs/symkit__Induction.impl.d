@@ -1,0 +1,1 @@
+lib/symkit/induction.ml: Array Bdd Bmc Enc Model Sat

@@ -1,0 +1,1 @@
+lib/symkit/induction.mli: Enc Expr Model

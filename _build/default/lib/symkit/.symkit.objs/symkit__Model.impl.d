@@ -1,0 +1,1 @@
+lib/symkit/model.ml: Array Expr Format Hashtbl List Printf String

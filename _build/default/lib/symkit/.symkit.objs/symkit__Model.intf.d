@@ -1,0 +1,1 @@
+lib/symkit/model.mli: Expr Format

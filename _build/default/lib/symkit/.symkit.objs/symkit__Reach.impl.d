@@ -1,0 +1,1 @@
+lib/symkit/reach.ml: Array Bdd Enc Model

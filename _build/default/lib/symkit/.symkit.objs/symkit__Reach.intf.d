@@ -1,0 +1,1 @@
+lib/symkit/reach.mli: Bdd Enc Expr Model

@@ -1,0 +1,1 @@
+lib/symkit/smv_export.ml: Expr Format Fun List Model String

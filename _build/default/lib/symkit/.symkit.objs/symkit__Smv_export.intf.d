@@ -1,0 +1,1 @@
+lib/symkit/smv_export.mli: Expr Format Model

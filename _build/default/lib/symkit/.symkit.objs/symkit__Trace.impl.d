@@ -1,0 +1,1 @@
+lib/symkit/trace.ml: Array Expr Format List Model Printf

@@ -1,0 +1,1 @@
+lib/symkit/trace.mli: Expr Format Model

@@ -1,0 +1,214 @@
+(** SAT-based bounded model checking.
+
+    The transition constraints are first compiled to BDDs over the
+    encoder's bit space (reusing the verified symbolic compiler), then
+    each BDD is translated to CNF with one Tseitin variable per BDD node,
+    instantiated per unrolling step. The bad-state predicate at depth [k]
+    is asserted as an assumption, so a single incremental solver instance
+    serves every depth. *)
+
+type result =
+  | Counterexample of Model.state array
+  | No_counterexample of int  (** no violation up to (and at) this depth *)
+
+type t = {
+  enc : Enc.t;
+  solver : Sat.t;
+  true_lit : Sat.lit;
+  (* step -> state bit -> SAT variable *)
+  mutable step_bits : int array list;  (** reversed: step k at head *)
+  mutable depth : int;
+  (* Tseitin memo: (bdd id, base step) -> lit *)
+  node_lit : (int * int, Sat.lit) Hashtbl.t;
+  init_parts : Bdd.t list;
+  trans_parts : Bdd.t list;
+  valid_cur : Bdd.t;
+}
+
+let bits_at t step =
+  List.nth t.step_bits (t.depth - step)
+
+let new_step_bits t =
+  let n = Enc.nbits t.enc in
+  Array.init n (fun _ -> Sat.new_var t.solver)
+
+(* Translate a BDD over encoder bit space into CNF, where current bits
+   refer to step [step] and primed bits to step [step + 1]. Returns a
+   literal equivalent to the BDD's function. *)
+let rec lit_of_bdd t ~step d =
+  if Bdd.is_one d then t.true_lit
+  else if Bdd.is_zero d then Sat.negate t.true_lit
+  else
+    let key = (Bdd.id d, step) in
+    match Hashtbl.find_opt t.node_lit key with
+    | Some l -> l
+    | None ->
+        let bit, primed = Enc.bit_of_bddvar (Bdd.top_var d) in
+        let bit_var =
+          (bits_at t (if primed then step + 1 else step)).(bit)
+        in
+        let v = Sat.pos bit_var in
+        let lo = lit_of_bdd t ~step (Bdd.low d) in
+        let hi = lit_of_bdd t ~step (Bdd.high d) in
+        let n = Sat.pos (Sat.new_var t.solver) in
+        (* n <-> (v ? hi : lo) *)
+        Sat.add_clause t.solver [ Sat.negate n; Sat.negate v; hi ];
+        Sat.add_clause t.solver [ Sat.negate n; v; lo ];
+        Sat.add_clause t.solver [ n; Sat.negate v; Sat.negate hi ];
+        Sat.add_clause t.solver [ n; v; Sat.negate lo ];
+        Hashtbl.add t.node_lit key n;
+        n
+
+let assert_bdd t ~step d = Sat.add_clause t.solver [ lit_of_bdd t ~step d ]
+
+(* [with_init:false] omits the initial-state constraints at step 0,
+   which is what the inductive step of k-induction needs: a run
+   starting anywhere. *)
+let create ?(with_init = true) enc =
+  let solver = Sat.create () in
+  let tv = Sat.new_var solver in
+  Sat.add_clause solver [ Sat.pos tv ];
+  let t =
+    {
+      enc;
+      solver;
+      true_lit = Sat.pos tv;
+      step_bits = [];
+      depth = 0;
+      node_lit = Hashtbl.create 4096;
+      init_parts =
+        List.map (Enc.pred enc) (Enc.model enc).Model.init;
+      trans_parts = Enc.trans_parts enc;
+      valid_cur = Enc.valid enc ~primed:false;
+    }
+  in
+  t.step_bits <- [ new_step_bits t ];
+  assert_bdd t ~step:0 t.valid_cur;
+  if with_init then List.iter (assert_bdd t ~step:0) t.init_parts;
+  t
+
+(* Extend the unrolling by one step: fresh bits for step [depth+1], the
+   transition constraints between [depth] and [depth+1], and the domain
+   validity of the new step. *)
+let extend t =
+  let new_bits = new_step_bits t in
+  let from_step = t.depth in
+  t.step_bits <- new_bits :: t.step_bits;
+  t.depth <- t.depth + 1;
+  List.iter (assert_bdd t ~step:from_step) t.trans_parts;
+  assert_bdd t ~step:t.depth t.valid_cur
+
+let decode_model t =
+  let n = Enc.nbits t.enc in
+  let model_enc = t.enc in
+  let states =
+    Array.init (t.depth + 1) (fun step ->
+        let bits = bits_at t step in
+        let raw = Array.init n (fun b -> Sat.value t.solver bits.(b)) in
+        (* Rebuild each variable's value from its bits. *)
+        let mdl = Enc.model model_enc in
+        let s = Array.make (List.length mdl.Model.vars) (Expr.Bool false) in
+        List.iteri
+          (fun vi (name, _) ->
+            let ve = Enc.var_enc model_enc name in
+            let idx = ref 0 in
+            for j = ve.Enc.nbits - 1 downto 0 do
+              idx := (!idx * 2) + if raw.(ve.Enc.first_bit + j) then 1 else 0
+            done;
+            s.(vi) <- ve.Enc.values.(!idx))
+          mdl.Model.vars;
+        s)
+  in
+  states
+
+(* Check whether a bad state is reachable in exactly [t.depth] steps. *)
+let check_at_current_depth t ~bad_bdd =
+  let bad_lit = lit_of_bdd t ~step:t.depth bad_bdd in
+  match Sat.solve ~assumptions:[ bad_lit ] t.solver with
+  | Sat.Sat -> Some (decode_model t)
+  | Sat.Unsat -> None
+
+let check ?(max_depth = 30) enc ~bad =
+  let t = create enc in
+  let bad_bdd = Enc.pred enc bad in
+  let rec go () =
+    match check_at_current_depth t ~bad_bdd with
+    | Some trace -> Counterexample trace
+    | None ->
+        if t.depth >= max_depth then No_counterexample t.depth
+        else begin
+          extend t;
+          go ()
+        end
+  in
+  go ()
+
+(* Block one whole trace: at least one state bit of one step must
+   differ. *)
+let block_trace t trace =
+  let clause = ref [] in
+  Array.iteri
+    (fun step state ->
+      let bits = bits_at t step in
+      let mdl = Enc.model t.enc in
+      List.iteri
+        (fun vi (name, _) ->
+          let ve = Enc.var_enc t.enc name in
+          let idx =
+            let rec find i =
+              if Expr.value_equal ve.Enc.values.(i) state.(vi) then i
+              else find (i + 1)
+            in
+            find 0
+          in
+          for j = 0 to ve.Enc.nbits - 1 do
+            let v = bits.(ve.Enc.first_bit + j) in
+            let lit =
+              if (idx lsr j) land 1 = 1 then Sat.neg v else Sat.pos v
+            in
+            clause := lit :: !clause
+          done)
+        mdl.Model.vars)
+    trace;
+  Sat.add_clause t.solver !clause
+
+(* Enumerate distinct counterexamples at the shortest violating depth:
+   find the minimal depth as {!check} does, then repeatedly block the
+   trace just found and re-solve until the depth is exhausted or
+   [limit] traces have been produced. *)
+let enumerate ?(max_depth = 30) ?(limit = 16) enc ~bad =
+  let t = create enc in
+  let bad_bdd = Enc.pred enc bad in
+  let rec find_depth () =
+    match check_at_current_depth t ~bad_bdd with
+    | Some trace -> Some trace
+    | None ->
+        if t.depth >= max_depth then None
+        else begin
+          extend t;
+          find_depth ()
+        end
+  in
+  match find_depth () with
+  | None -> []
+  | Some first ->
+      let rec collect acc n =
+        if n >= limit then List.rev acc
+        else begin
+          block_trace t (List.hd acc);
+          match check_at_current_depth t ~bad_bdd with
+          | Some trace -> collect (trace :: acc) (n + 1)
+          | None -> List.rev acc
+        end
+      in
+      collect [ first ] 1
+
+let solver_stats t = Sat.stats t.solver
+
+(* Lower-level access for the k-induction engine. *)
+let depth t = t.depth
+let solver t = t.solver
+let step_vars t ~step = bits_at t step
+let assert_pred t ~step d = assert_bdd t ~step d
+let pred_lit t ~step d = lit_of_bdd t ~step d
+let decode t = decode_model t

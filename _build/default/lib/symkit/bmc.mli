@@ -1,0 +1,62 @@
+(** SAT-based bounded model checking.
+
+    Transition constraints are first compiled to BDDs over the
+    encoder's bit space (reusing the verified symbolic compiler), then
+    each BDD is translated to CNF with one Tseitin variable per BDD
+    node, instantiated per unrolling step. The bad-state predicate at
+    depth [k] is asserted as an assumption, so one incremental solver
+    instance serves every depth. *)
+
+type result =
+  | Counterexample of Model.state array
+  | No_counterexample of int
+      (** no violation up to (and including) this depth *)
+
+type t
+(** An incremental unrolling session. *)
+
+val create : ?with_init:bool -> Enc.t -> t
+(** Assert step 0: domain validity and (unless [with_init:false], which
+    the inductive step of k-induction uses) the initial-state
+    constraints. *)
+
+val extend : t -> unit
+(** Unroll one more step: fresh bit variables, the transition
+    constraints from the previous step, and the new step's validity. *)
+
+val check_at_current_depth : t -> bad_bdd:Bdd.t -> Model.state array option
+(** Is a state satisfying [bad_bdd] (a predicate over current bits)
+    reachable in exactly the current depth? Returns the full trace on
+    success. *)
+
+val check : ?max_depth:int -> Enc.t -> bad:Expr.t -> result
+(** Iterate depths [0..max_depth] until a counterexample is found. *)
+
+val enumerate :
+  ?max_depth:int -> ?limit:int -> Enc.t -> bad:Expr.t ->
+  Model.state array list
+(** Distinct counterexamples at the shortest violating depth, found by
+    blocking each trace and re-solving; at most [limit] traces, empty
+    when the property holds to the bound. *)
+
+val solver_stats : t -> string
+
+(** {1 Lower-level access (used by the k-induction engine)} *)
+
+val depth : t -> int
+(** Current unrolling depth (number of {!extend}s performed). *)
+
+val solver : t -> Sat.t
+val step_vars : t -> step:int -> int array
+(** The SAT variable of every state bit at a step. *)
+
+val assert_pred : t -> step:int -> Bdd.t -> unit
+(** Permanently assert a predicate (a BDD over current/primed encoder
+    bits, anchored at the step) in the session. *)
+
+val pred_lit : t -> step:int -> Bdd.t -> Sat.lit
+(** A literal equivalent to the predicate at the step, for use as an
+    assumption. *)
+
+val decode : t -> Model.state array
+(** Read back the trace after a satisfiable query. *)

@@ -1,0 +1,125 @@
+(* CTL model checking over the BDD engine.
+
+   Formulas are evaluated bottom-up to the BDD of the states satisfying
+   them, using backward fixpoints over the transition relation:
+
+     EX f       = pre(f)
+     E[f U g]   = lfp Z. g \/ (f /\ EX Z)
+     EG f       = gfp Z. f /\ EX Z
+
+   and the remaining operators by the usual dualities. The transition
+   relations of relational models are total in practice (and the TTA
+   models are checked deadlock-free in the test suite), so the CTL
+   dualities are sound.
+
+   [holds] restricts judgment to the reachable states, which is what
+   one almost always means: "from every reachable state, recovery is
+   possible" is AG (EF recovered). *)
+
+type t =
+  | Atom of Expr.t  (** a boolean state predicate *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | EX of t
+  | EF of t
+  | EG of t
+  | EU of t * t
+  | AX of t
+  | AF of t
+  | AG of t
+  | AU of t * t
+
+let atom e = Atom e
+
+let rec pp ppf =
+  let open Format in
+  function
+  | Atom e -> fprintf ppf "(%a)" Expr.pp e
+  | Not f -> fprintf ppf "!%a" pp f
+  | And (f, g) -> fprintf ppf "(%a & %a)" pp f pp g
+  | Or (f, g) -> fprintf ppf "(%a | %a)" pp f pp g
+  | Imp (f, g) -> fprintf ppf "(%a -> %a)" pp f pp g
+  | EX f -> fprintf ppf "EX %a" pp f
+  | EF f -> fprintf ppf "EF %a" pp f
+  | EG f -> fprintf ppf "EG %a" pp f
+  | EU (f, g) -> fprintf ppf "E[%a U %a]" pp f pp g
+  | AX f -> fprintf ppf "AX %a" pp f
+  | AF f -> fprintf ppf "AF %a" pp f
+  | AG f -> fprintf ppf "AG %a" pp f
+  | AU (f, g) -> fprintf ppf "A[%a U %a]" pp f pp g
+
+let to_string f = Format.asprintf "%a" pp f
+
+(* Least fixpoint of a monotone BDD transformer, from below. *)
+let lfp step =
+  let rec go z =
+    let z' = step z in
+    if Bdd.equal z z' then z else go z'
+  in
+  go Bdd.zero
+
+let gfp mgr valid step =
+  (* From above; the top element is the set of validly-encoded
+     states. *)
+  ignore mgr;
+  let rec go z =
+    let z' = step z in
+    if Bdd.equal z z' then z else go z'
+  in
+  go valid
+
+(* The set of states satisfying the formula, as a BDD over current
+   bits. All results are intersected with the valid-encoding set so
+   negation cannot smuggle in junk codes. *)
+let rec sat enc f =
+  let m = Enc.mgr enc in
+  let valid = Enc.valid enc ~primed:false in
+  let ex z = Bdd.dand m valid (Reach.preimage enc z) in
+  match f with
+  | Atom e -> Bdd.dand m valid (Enc.pred enc e)
+  | Not f -> Bdd.dand m valid (Bdd.dnot m (sat enc f))
+  | And (f, g) -> Bdd.dand m (sat enc f) (sat enc g)
+  | Or (f, g) -> Bdd.dor m (sat enc f) (sat enc g)
+  | Imp (f, g) -> sat enc (Or (Not f, g))
+  | EX f -> ex (sat enc f)
+  | EF f ->
+      let target = sat enc f in
+      lfp (fun z -> Bdd.dor m target (ex z))
+  | EG f ->
+      let inv = sat enc f in
+      gfp m valid (fun z -> Bdd.dand m inv (ex z))
+  | EU (f, g) ->
+      let hold = sat enc f and target = sat enc g in
+      lfp (fun z -> Bdd.dor m target (Bdd.dand m hold (ex z)))
+  | AX f -> sat enc (Not (EX (Not f)))
+  | AF f -> sat enc (Not (EG (Not f)))
+  | AG f -> sat enc (Not (EF (Not f)))
+  | AU (f, g) ->
+      (* A[f U g] = ~(E[~g U ~f & ~g] \/ EG ~g) *)
+      sat enc (Not (Or (EU (Not g, And (Not f, Not g)), EG (Not g))))
+
+type verdict = {
+  holds : bool;  (** on every reachable state *)
+  holds_initially : bool;  (** on every initial state *)
+  failing_state : Model.state option;
+      (** a reachable state violating the formula, when [holds] is
+          false *)
+}
+
+let check ?reachable enc f =
+  let m = Enc.mgr enc in
+  let good = sat enc f in
+  let reach =
+    match reachable with Some r -> r | None -> Reach.reachable_set enc
+  in
+  let violating = Bdd.dand m reach (Bdd.dnot m good) in
+  let init_bad = Bdd.dand m (Enc.init_bdd enc) (Bdd.dnot m good) in
+  {
+    holds = Bdd.is_zero violating;
+    holds_initially = Bdd.is_zero init_bad;
+    failing_state =
+      (if Bdd.is_zero violating then None
+       else Some (Enc.decode_state enc violating));
+  }

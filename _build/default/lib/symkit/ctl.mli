@@ -1,0 +1,41 @@
+(** CTL model checking over the BDD engine.
+
+    Formulas are evaluated bottom-up to the set of satisfying states
+    with backward fixpoints; {!check} then judges the formula on the
+    reachable (or initial) states. The dualities used assume a total
+    transition relation — relational models should be checked
+    deadlock-free first ({!Reach.deadlocked}). *)
+
+type t =
+  | Atom of Expr.t  (** a boolean state predicate *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | EX of t
+  | EF of t
+  | EG of t
+  | EU of t * t
+  | AX of t
+  | AF of t
+  | AG of t
+  | AU of t * t
+
+val atom : Expr.t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val sat : Enc.t -> t -> Bdd.t
+(** The set of states satisfying the formula (over current bits,
+    intersected with the valid-encoding set). *)
+
+type verdict = {
+  holds : bool;  (** on every reachable state *)
+  holds_initially : bool;  (** on every initial state *)
+  failing_state : Model.state option;
+      (** a reachable violating state, when [holds] is false *)
+}
+
+val check : ?reachable:Bdd.t -> Enc.t -> t -> verdict
+(** [reachable] may be supplied to reuse a previously computed
+    fixpoint. *)

@@ -1,0 +1,358 @@
+(** BDD encoding of finite-domain models.
+
+    Every model variable is binary-encoded over a block of boolean
+    decision variables; current and next copies of the same bit are
+    interleaved (bit [b] of the state maps to BDD variable [2b] for the
+    current copy and [2b+1] for the primed copy), which keeps transition
+    relations compact and makes renaming between the copies an
+    order-preserving shift. *)
+
+type var_enc = {
+  name : string;
+  domain : Model.domain;
+  values : Expr.value array;  (** value of each encoding index *)
+  nbits : int;
+  first_bit : int;  (** global bit index of the least significant bit *)
+}
+
+type t = {
+  mgr : Bdd.manager;
+  model : Model.t;
+  var_encs : var_enc array;
+  decl_index : int array;
+      (** var_encs position -> index in the model's declaration order
+          (the order of [Model.state] arrays) *)
+  by_name : (string, var_enc) Hashtbl.t;
+  nbits : int;  (** total state bits (one copy) *)
+  cur_set : Bdd.varset;
+  nxt_set : Bdd.varset;
+  mutable valid_cur : Bdd.t option;
+  mutable valid_nxt : Bdd.t option;
+  mutable init_cache : Bdd.t option;
+  mutable trans_cache : Bdd.t option;
+}
+
+let bits_for n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  if n <= 1 then 1 else go 1
+
+let bdd_var_cur bit = 2 * bit
+let bdd_var_nxt bit = (2 * bit) + 1
+
+(* [var_order], when given, must be a permutation of the model's
+   variable names; it controls which variables get the low (near-root)
+   BDD positions. Ordering strongly affects BDD sizes, so the bench
+   harness compares strategies on the TTA model. *)
+let create ?var_order mgr model =
+  let ordered_vars =
+    match var_order with
+    | None -> model.Model.vars
+    | Some names ->
+        let declared = List.map fst model.Model.vars in
+        if List.sort compare names <> List.sort compare declared then
+          invalid_arg "Enc.create: var_order is not a permutation";
+        List.map
+          (fun name -> (name, List.assoc name model.Model.vars))
+          names
+  in
+  let next_bit = ref 0 in
+  let var_encs =
+    ordered_vars
+    |> List.map (fun (name, domain) ->
+           let values = Array.of_list (Model.domain_values domain) in
+           let nbits = bits_for (Array.length values) in
+           let first_bit = !next_bit in
+           next_bit := !next_bit + nbits;
+           { name; domain; values; nbits; first_bit })
+    |> Array.of_list
+  in
+  let by_name = Hashtbl.create 32 in
+  Array.iter (fun ve -> Hashtbl.add by_name ve.name ve) var_encs;
+  let decl_index =
+    Array.map (fun ve -> Model.var_index model ve.name) var_encs
+  in
+  let nbits = !next_bit in
+  let cur_set = Bdd.varset mgr (List.init nbits bdd_var_cur) in
+  let nxt_set = Bdd.varset mgr (List.init nbits bdd_var_nxt) in
+  {
+    mgr;
+    model;
+    var_encs;
+    decl_index;
+    by_name;
+    nbits;
+    cur_set;
+    nxt_set;
+    valid_cur = None;
+    valid_nxt = None;
+    init_cache = None;
+    trans_cache = None;
+  }
+
+let mgr t = t.mgr
+let model t = t.model
+let nbits t = t.nbits
+let cur_set t = t.cur_set
+let nxt_set t = t.nxt_set
+
+let var_enc t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some ve -> ve
+  | None -> invalid_arg (Printf.sprintf "Enc: unknown variable %s" name)
+
+(* BDD recognizing "variable [ve] (in the given copy) encodes value
+   index [i]". *)
+let guard_of_index t (ve : var_enc) ~primed i =
+  let bit b = if primed then bdd_var_nxt b else bdd_var_cur b in
+  let rec go j acc =
+    if j = ve.nbits then acc
+    else
+      let b = ve.first_bit + j in
+      let lit =
+        if (i lsr j) land 1 = 1 then Bdd.var t.mgr (bit b)
+        else Bdd.nvar t.mgr (bit b)
+      in
+      go (j + 1) (Bdd.dand t.mgr acc lit)
+  in
+  go 0 Bdd.one
+
+(* Symbolic value of an expression: either a boolean function directly,
+   or a finite partition of the state space into cases, one per possible
+   value. *)
+type sval =
+  | S_bool of Bdd.t
+  | S_cases of (Expr.value * Bdd.t) list
+
+let cases_of t = function
+  | S_cases cs -> cs
+  | S_bool b ->
+      [ (Expr.Bool true, b); (Expr.Bool false, Bdd.dnot t.mgr b) ]
+
+let bool_of t = function
+  | S_bool b -> b
+  | S_cases cs ->
+      (* A value that happens to be boolean-typed. *)
+      List.fold_left
+        (fun acc (v, g) ->
+          match v with
+          | Expr.Bool true -> Bdd.dor t.mgr acc g
+          | Expr.Bool false -> acc
+          | v ->
+              Expr.type_error "expected boolean value, got %s"
+                (Expr.value_to_string v))
+        Bdd.zero cs
+
+(* Merge duplicate values in a case list (guards of equal values are
+   OR-ed). *)
+let norm_cases t cs =
+  let rec insert acc (v, g) =
+    match acc with
+    | [] -> [ (v, g) ]
+    | (v', g') :: rest ->
+        if Expr.value_equal v v' then (v', Bdd.dor t.mgr g g') :: rest
+        else (v', g') :: insert rest (v, g)
+  in
+  List.fold_left insert [] cs
+  |> List.filter (fun (_, g) -> not (Bdd.is_zero g))
+
+let var_cases t ~primed name =
+  let ve = var_enc t name in
+  Array.to_list
+    (Array.mapi (fun i v -> (v, guard_of_index t ve ~primed i)) ve.values)
+
+let rec eval_sym t e =
+  let m = t.mgr in
+  let combine_cases f a b =
+    let ca = cases_of t (eval_sym t a) and cb = cases_of t (eval_sym t b) in
+    let pairs =
+      List.concat_map
+        (fun (va, ga) ->
+          List.filter_map
+            (fun (vb, gb) ->
+              let g = Bdd.dand m ga gb in
+              if Bdd.is_zero g then None else Some (f va vb g))
+            cb)
+        ca
+    in
+    pairs
+  in
+  match e with
+  | Expr.Const (Expr.Bool b) -> S_bool (if b then Bdd.one else Bdd.zero)
+  | Expr.Const v -> S_cases [ (v, Bdd.one) ]
+  | Expr.Cur v -> S_cases (var_cases t ~primed:false v)
+  | Expr.Nxt v -> S_cases (var_cases t ~primed:true v)
+  | Expr.Not a -> S_bool (Bdd.dnot m (bool_of t (eval_sym t a)))
+  | Expr.And (a, b) ->
+      S_bool (Bdd.dand m (bool_of t (eval_sym t a)) (bool_of t (eval_sym t b)))
+  | Expr.Or (a, b) ->
+      S_bool (Bdd.dor m (bool_of t (eval_sym t a)) (bool_of t (eval_sym t b)))
+  | Expr.Imp (a, b) ->
+      S_bool (Bdd.imp m (bool_of t (eval_sym t a)) (bool_of t (eval_sym t b)))
+  | Expr.Iff (a, b) ->
+      S_bool (Bdd.iff m (bool_of t (eval_sym t a)) (bool_of t (eval_sym t b)))
+  | Expr.Eq (a, b) ->
+      let eqs =
+        combine_cases
+          (fun va vb g -> if Expr.value_equal va vb then g else Bdd.zero)
+          a b
+      in
+      S_bool (Bdd.disj m eqs)
+  | Expr.Lt (a, b) ->
+      let lts =
+        combine_cases
+          (fun va vb g ->
+            match (va, vb) with
+            | Expr.Int x, Expr.Int y -> if x < y then g else Bdd.zero
+            | _ ->
+                Expr.type_error "< on non-integers in %s" (Expr.to_string e))
+          a b
+      in
+      S_bool (Bdd.disj m lts)
+  | Expr.Add (a, b) | Expr.Sub (a, b) ->
+      let op x y =
+        match e with Expr.Add _ -> x + y | _ -> x - y
+      in
+      let sums =
+        combine_cases
+          (fun va vb g ->
+            match (va, vb) with
+            | Expr.Int x, Expr.Int y -> (Expr.Int (op x y), g)
+            | _ ->
+                Expr.type_error "arithmetic on non-integers in %s"
+                  (Expr.to_string e))
+          a b
+      in
+      S_cases (norm_cases t sums)
+  | Expr.Ite (c, th, el) -> (
+      let gc = bool_of t (eval_sym t c) in
+      let sth = eval_sym t th and sel = eval_sym t el in
+      match (sth, sel) with
+      | S_bool bt, S_bool be -> S_bool (Bdd.ite m gc bt be)
+      | _ ->
+          let ct = cases_of t sth and ce = cases_of t sel in
+          let gn = Bdd.dnot m gc in
+          let guarded g0 = List.map (fun (v, g) -> (v, Bdd.dand m g0 g)) in
+          S_cases (norm_cases t (guarded gc ct @ guarded gn ce)))
+  | Expr.Member (a, vs) ->
+      let ca = cases_of t (eval_sym t a) in
+      let hits =
+        List.filter_map
+          (fun (v, g) ->
+            if List.exists (Expr.value_equal v) vs then Some g else None)
+          ca
+      in
+      S_bool (Bdd.disj m hits)
+
+(* Boolean predicate (over current and possibly primed variables) as a
+   BDD. *)
+let pred t e = bool_of t (eval_sym t e)
+
+(* "Every variable's bits encode an index inside its domain." Needed
+   because binary encodings of non-power-of-two domains have junk
+   codes. *)
+let valid t ~primed =
+  let build () =
+    Array.fold_left
+      (fun acc ve ->
+        let n = Array.length ve.values in
+        if n = 1 lsl ve.nbits then acc
+        else
+          let any =
+            Bdd.disj t.mgr
+              (List.init n (fun i -> guard_of_index t ve ~primed i))
+          in
+          Bdd.dand t.mgr acc any)
+      Bdd.one t.var_encs
+  in
+  if primed then (
+    match t.valid_nxt with
+    | Some d -> d
+    | None ->
+        let d = build () in
+        t.valid_nxt <- Some d;
+        d)
+  else
+    match t.valid_cur with
+    | Some d -> d
+    | None ->
+        let d = build () in
+        t.valid_cur <- Some d;
+        d
+
+let init_bdd t =
+  match t.init_cache with
+  | Some d -> d
+  | None ->
+      let d =
+        Bdd.dand t.mgr (valid t ~primed:false)
+          (Bdd.conj t.mgr (List.map (pred t) t.model.Model.init))
+      in
+      t.init_cache <- Some d;
+      d
+
+(* Individual transition constraints (kept separate for the bounded
+   model checker and for conjunction scheduling). *)
+let trans_parts t = List.map (pred t) t.model.Model.trans
+
+let trans_bdd t =
+  match t.trans_cache with
+  | Some d -> d
+  | None ->
+      let d =
+        Bdd.conj t.mgr
+          (valid t ~primed:false :: valid t ~primed:true :: trans_parts t)
+      in
+      t.trans_cache <- Some d;
+      d
+
+let rename_nxt_to_cur t d = Bdd.rename t.mgr (fun v -> v - 1) d
+let rename_cur_to_nxt t d = Bdd.rename t.mgr (fun v -> v + 1) d
+
+(* Encoding of one concrete state as a cube over the current bits. *)
+let state_cube t (s : Model.state) =
+  let cube = ref Bdd.one in
+  Array.iteri
+    (fun vi ve ->
+      let v = s.(t.decl_index.(vi)) in
+      let idx =
+        let rec find i =
+          if i >= Array.length ve.values then
+            invalid_arg
+              (Printf.sprintf "Enc.state_cube: %s out of domain of %s"
+                 (Expr.value_to_string v) ve.name)
+          else if Expr.value_equal ve.values.(i) v then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      cube := Bdd.dand t.mgr !cube (guard_of_index t ve ~primed:false idx))
+    t.var_encs;
+  !cube
+
+(* Pick one concrete state from a non-empty set of states (over current
+   bits). Deterministic: lowest value index first. *)
+let decode_state t set =
+  if Bdd.is_zero set then invalid_arg "Enc.decode_state: empty set";
+  let s = Array.make (Array.length t.var_encs) (Expr.Bool false) in
+  let rest = ref set in
+  Array.iteri
+    (fun vi ve ->
+      let rec pick i =
+        if i >= Array.length ve.values then
+          invalid_arg "Enc.decode_state: no valid encoding (junk code?)"
+        else
+          let g = guard_of_index t ve ~primed:false i in
+          let inter = Bdd.dand t.mgr !rest g in
+          if Bdd.is_zero inter then pick (i + 1)
+          else begin
+            s.(t.decl_index.(vi)) <- ve.values.(i);
+            rest := inter
+          end
+      in
+      pick 0)
+    t.var_encs;
+  s
+
+(* For the bounded model checker: map a BDD variable index back to
+   (state bit, primed?). *)
+let bit_of_bddvar idx = (idx / 2, idx land 1 = 1)

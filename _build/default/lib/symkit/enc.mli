@@ -1,0 +1,71 @@
+(** BDD encoding of finite-domain models.
+
+    Every model variable is binary-encoded over a block of boolean
+    decision variables; current and next copies of the same bit are
+    interleaved (state bit [b] maps to BDD variable [2b] for the
+    current copy and [2b+1] for the primed copy), keeping transition
+    relations compact and making renaming between the copies an
+    order-preserving shift. *)
+
+type var_enc = private {
+  name : string;
+  domain : Model.domain;
+  values : Expr.value array;  (** value of each encoding index *)
+  nbits : int;
+  first_bit : int;  (** global index of the least significant state bit *)
+}
+
+type t
+
+val create : ?var_order:string list -> Bdd.manager -> Model.t -> t
+(** [var_order], when given, must be a permutation of the model's
+    variable names; it controls which variables get the low (near-root)
+    BDD positions. Ordering strongly affects BDD sizes; the benchmark
+    harness compares strategies.
+    @raise Invalid_argument when it is not a permutation. *)
+
+val mgr : t -> Bdd.manager
+val model : t -> Model.t
+val nbits : t -> int
+(** Total state bits of one copy. *)
+
+val var_enc : t -> string -> var_enc
+val cur_set : t -> Bdd.varset
+(** All current-copy BDD variables, for quantification. *)
+
+val nxt_set : t -> Bdd.varset
+
+val pred : t -> Expr.t -> Bdd.t
+(** A boolean expression (over current and possibly primed variables)
+    as a BDD over the bit space. *)
+
+val valid : t -> primed:bool -> Bdd.t
+(** "Every variable's bits encode a value inside its domain" — the
+    constraint excluding junk codes of non-power-of-two domains. *)
+
+val init_bdd : t -> Bdd.t
+(** Conjunction of the init constraints and the current-copy domain
+    validity. Cached. *)
+
+val trans_parts : t -> Bdd.t list
+(** Each transition constraint as its own BDD (used by the bounded
+    model checker). *)
+
+val trans_bdd : t -> Bdd.t
+(** The full transition relation: all constraints plus both validity
+    conditions. Cached. *)
+
+val rename_nxt_to_cur : t -> Bdd.t -> Bdd.t
+val rename_cur_to_nxt : t -> Bdd.t -> Bdd.t
+
+val state_cube : t -> Model.state -> Bdd.t
+(** The singleton set holding one concrete state (current copy).
+    @raise Invalid_argument if a component is outside its domain. *)
+
+val decode_state : t -> Bdd.t -> Model.state
+(** Pick one concrete state from a non-empty set, deterministically
+    (lowest encoding index first). @raise Invalid_argument on the empty
+    set. *)
+
+val bit_of_bddvar : int -> int * bool
+(** Map a BDD variable index back to (state bit, primed?). *)

@@ -1,0 +1,73 @@
+(** Explicit-state breadth-first reachability.
+
+    Generic over the state type: the caller supplies initial states, a
+    successor function, and a bad-state predicate. Used both as an
+    independent cross-check of the symbolic engines (on an executable
+    encoding of the same model) and by the simulator's exhaustive
+    scenario exploration. BFS guarantees that a returned counterexample
+    is of minimal length. *)
+
+type 'a outcome =
+  | Violation of 'a list  (** trace from an initial state to a bad state *)
+  | Exhausted of { states : int; depth : int }
+      (** full state space explored, no violation *)
+  | Bounded of { states : int; depth : int }
+      (** search stopped at a resource bound without a verdict *)
+
+let search ?(max_states = max_int) ?(max_depth = max_int) ~initial ~next ~bad
+    () =
+  let parent : ('a, 'a option) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let trace_to s =
+    let rec go acc s =
+      match Hashtbl.find parent s with
+      | None -> s :: acc
+      | Some p -> go (s :: acc) p
+    in
+    go [] s
+  in
+  let truncated = ref false in
+  let enqueue p s =
+    if not (Hashtbl.mem parent s) then
+      if Hashtbl.length parent >= max_states then truncated := true
+      else begin
+        Hashtbl.add parent s p;
+        Queue.add s queue
+      end
+  in
+  List.iter (fun s -> enqueue None s) initial;
+  (match List.find_opt bad initial with
+  | Some s -> Some (Violation [ s ])
+  | None -> None)
+  |> function
+  | Some v -> v
+  | None ->
+      let depth_of = Hashtbl.create 4096 in
+      List.iter (fun s -> Hashtbl.replace depth_of s 0) initial;
+      let result = ref None in
+      while !result = None && not (Queue.is_empty queue) do
+        let s = Queue.pop queue in
+        let d = try Hashtbl.find depth_of s with Not_found -> 0 in
+        if d < max_depth then
+          List.iter
+            (fun s' ->
+              if !result = None && not (Hashtbl.mem parent s') then begin
+                Hashtbl.add parent s' (Some s);
+                Hashtbl.replace depth_of s' (d + 1);
+                if bad s' then result := Some (trace_to s')
+                else if Hashtbl.length parent < max_states then
+                  Queue.add s' queue
+                else truncated := true
+              end)
+            (next s)
+        else truncated := true
+      done;
+      let states = Hashtbl.length parent in
+      let depth =
+        Hashtbl.fold (fun _ d acc -> max d acc) depth_of 0
+      in
+      (match !result with
+      | Some trace -> Violation trace
+      | None ->
+          if !truncated then Bounded { states; depth }
+          else Exhausted { states; depth })

@@ -1,0 +1,24 @@
+(** Explicit-state breadth-first reachability.
+
+    Generic over the state type: the caller supplies initial states, a
+    successor function, and a bad-state predicate. Used as an
+    independent cross-check of the symbolic engines (on executable
+    encodings of the same models). BFS guarantees that a returned
+    counterexample has minimal length. *)
+
+type 'a outcome =
+  | Violation of 'a list  (** trace from an initial state to a bad state *)
+  | Exhausted of { states : int; depth : int }
+      (** full state space explored, no violation *)
+  | Bounded of { states : int; depth : int }
+      (** search stopped at a resource bound without a verdict *)
+
+val search :
+  ?max_states:int ->
+  ?max_depth:int ->
+  initial:'a list ->
+  next:('a -> 'a list) ->
+  bad:('a -> bool) ->
+  unit ->
+  'a outcome
+(** States are compared and hashed structurally. *)

@@ -1,0 +1,198 @@
+(** Expressions over finite-domain state variables.
+
+    This is the modeling language of the kernel — an OCaml-embedded
+    analogue of the SMV constraint style used in the paper: expressions
+    mention current-state variables ([cur]) and next-state variables
+    ([nxt]); a model is a list of boolean constraint expressions for the
+    initial states and for the transition relation. *)
+
+type value =
+  | Int of int
+  | Sym of string
+  | Bool of bool
+
+type t =
+  | Const of value
+  | Cur of string  (** current-state variable *)
+  | Nxt of string  (** next-state (primed) variable *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Eq of t * t
+  | Lt of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Ite of t * t * t
+  | Member of t * value list  (** set membership *)
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let value_equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Sym x, Sym y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | (Int _ | Sym _ | Bool _), _ -> false
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Sym s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let value_to_string v = Format.asprintf "%a" pp_value v
+
+(* Convenience constructors, so models read close to the paper's
+   notation. The infix operators live in {!Syntax} to avoid shadowing
+   the standard ones; open it locally when writing a model. *)
+
+let tt = Const (Bool true)
+let ff = Const (Bool false)
+let int n = Const (Int n)
+let sym s = Const (Sym s)
+let cur v = Cur v
+let nxt v = Nxt v
+let not_ a = Not a
+let ite c t e = Ite (c, t, e)
+let member e vs = Member (e, vs)
+
+let conj = function
+  | [] -> tt
+  | e :: es -> List.fold_left (fun a b -> And (a, b)) e es
+
+let disj = function
+  | [] -> ff
+  | e :: es -> List.fold_left (fun a b -> Or (a, b)) e es
+
+(* Multi-way case expression: [cases [c1, e1; c2, e2] default] evaluates
+   to the first [ei] whose [ci] holds, or [default]. *)
+let cases branches default =
+  List.fold_right (fun (c, e) acc -> Ite (c, e, acc)) branches default
+
+(* Precedence warning: OCaml derives an operator's precedence from its
+   first character, so [==>] and [<=>] bind *tighter* than [&&] and
+   [||]. Writing [a && b ==> c] therefore means [a && (b ==> c)].
+   Always parenthesize the antecedent of an implication. When in doubt,
+   prefer the prefix constructors ([conj], [disj], [cases], [Imp]). *)
+module Syntax = struct
+  let ( == ) a b = Eq (a, b)
+  let ( != ) a b = Not (Eq (a, b))
+  let ( < ) a b = Lt (a, b)
+  let ( <= ) a b = Or (Lt (a, b), Eq (a, b))
+  let ( > ) a b = Lt (b, a)
+  let ( >= ) a b = Or (Lt (b, a), Eq (a, b))
+  let ( + ) a b = Add (a, b)
+  let ( - ) a b = Sub (a, b)
+  let ( && ) a b = And (a, b)
+  let ( || ) a b = Or (a, b)
+  let ( ==> ) a b = Imp (a, b)
+  let ( <=> ) a b = Iff (a, b)
+end
+
+let rec pp ppf e =
+  let open Format in
+  match e with
+  | Const v -> pp_value ppf v
+  | Cur v -> pp_print_string ppf v
+  | Nxt v -> fprintf ppf "%s'" v
+  | Not a -> fprintf ppf "!(%a)" pp a
+  | And (a, b) -> fprintf ppf "(%a & %a)" pp a pp b
+  | Or (a, b) -> fprintf ppf "(%a | %a)" pp a pp b
+  | Imp (a, b) -> fprintf ppf "(%a -> %a)" pp a pp b
+  | Iff (a, b) -> fprintf ppf "(%a <-> %a)" pp a pp b
+  | Eq (a, b) -> fprintf ppf "(%a = %a)" pp a pp b
+  | Lt (a, b) -> fprintf ppf "(%a < %a)" pp a pp b
+  | Add (a, b) -> fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> fprintf ppf "(%a - %a)" pp a pp b
+  | Ite (c, t, e) -> fprintf ppf "(%a ? %a : %a)" pp c pp t pp e
+  | Member (a, vs) ->
+      fprintf ppf "(%a in {%a})" pp a
+        (pp_print_list
+           ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+           pp_value)
+        vs
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* Concrete evaluation, used by the explicit-state engine and by trace
+   validation in the tests. [lookup_cur]/[lookup_nxt] map variable names
+   to values; [lookup_nxt] may raise if the expression should not mention
+   primed variables (e.g. when evaluating an initial-state predicate). *)
+let rec eval ~lookup_cur ~lookup_nxt e =
+  let as_bool e =
+    match eval ~lookup_cur ~lookup_nxt e with
+    | Bool b -> b
+    | v -> type_error "expected boolean, got %a in %a" pp_value v pp e
+  in
+  let as_int e =
+    match eval ~lookup_cur ~lookup_nxt e with
+    | Int i -> i
+    | v -> type_error "expected integer, got %a in %a" pp_value v pp e
+  in
+  match e with
+  | Const v -> v
+  | Cur v -> lookup_cur v
+  | Nxt v -> lookup_nxt v
+  | Not a -> Bool (not (as_bool a))
+  | And (a, b) -> Bool (as_bool a && as_bool b)
+  | Or (a, b) -> Bool (as_bool a || as_bool b)
+  | Imp (a, b) -> Bool ((not (as_bool a)) || as_bool b)
+  | Iff (a, b) -> Bool (Bool.equal (as_bool a) (as_bool b))
+  | Eq (a, b) ->
+      Bool
+        (value_equal
+           (eval ~lookup_cur ~lookup_nxt a)
+           (eval ~lookup_cur ~lookup_nxt b))
+  | Lt (a, b) -> Bool (Stdlib.( < ) (as_int a) (as_int b))
+  | Add (a, b) -> Int (Stdlib.( + ) (as_int a) (as_int b))
+  | Sub (a, b) -> Int (Stdlib.( - ) (as_int a) (as_int b))
+  | Ite (c, t, e) ->
+      if as_bool c then eval ~lookup_cur ~lookup_nxt t
+      else eval ~lookup_cur ~lookup_nxt e
+  | Member (a, vs) ->
+      let v = eval ~lookup_cur ~lookup_nxt a in
+      Bool (List.exists (value_equal v) vs)
+
+(* Replace every current-state variable by its primed version. Used to
+   assert a state invariant at both ends of the transition relation.
+   Fails on expressions that already mention primed variables. *)
+let rec prime = function
+  | Const v -> Const v
+  | Cur v -> Nxt v
+  | Nxt v -> invalid_arg (Printf.sprintf "Expr.prime: already primed: %s" v)
+  | Not a -> Not (prime a)
+  | And (a, b) -> And (prime a, prime b)
+  | Or (a, b) -> Or (prime a, prime b)
+  | Imp (a, b) -> Imp (prime a, prime b)
+  | Iff (a, b) -> Iff (prime a, prime b)
+  | Eq (a, b) -> Eq (prime a, prime b)
+  | Lt (a, b) -> Lt (prime a, prime b)
+  | Add (a, b) -> Add (prime a, prime b)
+  | Sub (a, b) -> Sub (prime a, prime b)
+  | Ite (a, b, c) -> Ite (prime a, prime b, prime c)
+  | Member (a, vs) -> Member (prime a, vs)
+
+(* Variables mentioned by an expression, split by priming. *)
+let vars e =
+  let cur = Hashtbl.create 16 and nxt = Hashtbl.create 16 in
+  let rec go = function
+    | Const _ -> ()
+    | Cur v -> Hashtbl.replace cur v ()
+    | Nxt v -> Hashtbl.replace nxt v ()
+    | Not a -> go a
+    | And (a, b) | Or (a, b) | Imp (a, b) | Iff (a, b)
+    | Eq (a, b) | Lt (a, b) | Add (a, b) | Sub (a, b) ->
+        go a;
+        go b
+    | Ite (a, b, c) ->
+        go a;
+        go b;
+        go c
+    | Member (a, _) -> go a
+  in
+  go e;
+  let keys h = Hashtbl.fold (fun k () acc -> k :: acc) h [] in
+  (List.sort compare (keys cur), List.sort compare (keys nxt))

@@ -1,0 +1,93 @@
+(* K-induction: unbounded SAT-based safety proofs.
+
+   Two incremental unrolling sessions run in lockstep. The BASE session
+   (with initial-state constraints) refutes the property if a bad state
+   is reachable within k steps. The STEP session (without initial
+   constraints) asks whether a run of k+1 good states can be extended
+   to a bad one; if that is unsatisfiable, the property is k-inductive
+   and holds at every depth. Simple-path constraints (all states of the
+   step run pairwise distinct) make the method complete for finite
+   systems: k eventually exceeds the longest simple path of good
+   states. *)
+
+type result =
+  | Proved of int  (** the property is k-inductive at this k *)
+  | Refuted of Model.state array
+  | Unknown of int  (** neither verdict up to this k *)
+
+type session = {
+  enc : Enc.t;
+  base : Bmc.t;
+  step : Bmc.t;
+  bad_bdd : Bdd.t;
+  good_bdd : Bdd.t;
+}
+
+let create enc ~bad =
+  let bad_bdd = Enc.pred enc bad in
+  let good_bdd = Bdd.dnot (Enc.mgr enc) bad_bdd in
+  let base = Bmc.create enc in
+  let step = Bmc.create ~with_init:false enc in
+  (* Goodness of the run's prefix is asserted as the sessions grow (see
+     [extend]); at k = 0 the step query correctly asks whether the
+     property is a tautology over valid states. *)
+  { enc; base; step; bad_bdd; good_bdd }
+
+(* Pairwise distinctness of step states [i] and [j]: at least one state
+   bit differs. One fresh variable per bit encodes the difference. *)
+let assert_distinct s i j =
+  let solver = Bmc.solver s.step in
+  let bi = Bmc.step_vars s.step ~step:i in
+  let bj = Bmc.step_vars s.step ~step:j in
+  let diff_lits =
+    Array.to_list
+      (Array.mapi
+         (fun b vi ->
+           let vj = bj.(b) in
+           let d = Sat.pos (Sat.new_var solver) in
+           (* d -> (vi <> vj); the reverse implication is not needed
+              for "at least one differs". *)
+           Sat.add_clause solver
+             [ Sat.negate d; Sat.pos vi; Sat.pos vj ];
+           Sat.add_clause solver
+             [ Sat.negate d; Sat.neg vi; Sat.neg vj ];
+           d)
+         bi)
+  in
+  Sat.add_clause solver diff_lits
+
+(* Grow both sessions from depth k to k+1 and maintain the step
+   session's invariants: state k is good, and the new state differs
+   from every earlier one. *)
+let extend s =
+  Bmc.extend s.base;
+  Bmc.extend s.step;
+  let k = Bmc.depth s.step in
+  Bmc.assert_pred s.step ~step:(k - 1) s.good_bdd;
+  for i = 0 to k - 1 do
+    assert_distinct s i k
+  done
+
+let check ?(max_k = 20) enc ~bad =
+  let s = create enc ~bad in
+  let rec go () =
+    let k = Bmc.depth s.base in
+    (* Base: bad reachable in exactly k steps from an initial state? *)
+    match Bmc.check_at_current_depth s.base ~bad_bdd:s.bad_bdd with
+    | Some trace -> Refuted trace
+    | None -> (
+        (* Step: can k good states (pairwise distinct) be followed by a
+           bad one? *)
+        let frontier_bad = Bmc.pred_lit s.step ~step:k s.bad_bdd in
+        match
+          Sat.solve ~assumptions:[ frontier_bad ] (Bmc.solver s.step)
+        with
+        | Sat.Unsat -> Proved k
+        | Sat.Sat ->
+            if k >= max_k then Unknown k
+            else begin
+              extend s;
+              go ()
+            end)
+  in
+  go ()

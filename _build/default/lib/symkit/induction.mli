@@ -1,0 +1,18 @@
+(** K-induction: unbounded SAT-based safety proofs.
+
+    Complements {!Bmc} (which only refutes) and {!Reach} (whose proofs
+    need the reachable set to have a small BDD): if no bad state is
+    reachable within [k] steps {e and} every run of [k] pairwise
+    distinct good states can only continue into a good state, the
+    property holds at every depth. The simple-path (distinctness)
+    constraints make the method complete for finite systems, though the
+    required [k] may be impractically large — {!result} is honest about
+    that. *)
+
+type result =
+  | Proved of int  (** the property is k-inductive at this k *)
+  | Refuted of Model.state array
+      (** counterexample from the base case (same quality as {!Bmc}) *)
+  | Unknown of int  (** neither verdict up to this k *)
+
+val check : ?max_k:int -> Enc.t -> bad:Expr.t -> result

@@ -1,0 +1,113 @@
+(** Symbolic invariant checking by forward reachability.
+
+    Computes the reachable states as a BDD fixpoint and checks a safety
+    property of the form "no reachable state satisfies [bad]". On
+    failure, a shortest counterexample trace is extracted by walking the
+    onion rings of the fixpoint backwards, exactly as SMV does. *)
+
+type stats = {
+  iterations : int;  (** image steps performed *)
+  peak_nodes : int;  (** largest BDD (reachable set) seen *)
+  reachable_states : float;  (** |reachable| if the run completed *)
+}
+
+type result =
+  | Safe of stats
+  | Unsafe of Model.state array * stats
+  | Depth_exhausted of stats
+      (** gave up at [max_iterations] without proving or refuting *)
+
+let image enc frontier =
+  let m = Enc.mgr enc in
+  let t = Enc.trans_bdd enc in
+  Enc.rename_nxt_to_cur enc (Bdd.and_exists m (Enc.cur_set enc) t frontier)
+
+let preimage enc set =
+  let m = Enc.mgr enc in
+  let t = Enc.trans_bdd enc in
+  Bdd.and_exists m (Enc.nxt_set enc) t (Enc.rename_cur_to_nxt enc set)
+
+(* Rebuild a concrete trace from the rings [r0; ...; rk] where the last
+   ring intersects [bad]. *)
+let extract_trace enc rings bad_bdd =
+  let m = Enc.mgr enc in
+  match rings with
+  | [] -> invalid_arg "Reach.extract_trace: no rings"
+  | last :: earlier ->
+      let s_last = Enc.decode_state enc (Bdd.dand m last bad_bdd) in
+      let rec walk state acc = function
+        | [] -> state :: acc
+        | ring :: rest ->
+            let cube = Enc.state_cube enc state in
+            let pred_set = Bdd.dand m (preimage enc cube) ring in
+            let s = Enc.decode_state enc pred_set in
+            walk s (state :: acc) rest
+      in
+      Array.of_list (walk s_last [] earlier)
+
+(* The full reachable-state set (no property): used by diagnostics such
+   as the deadlock-freedom check below. *)
+let reachable_set ?(max_iterations = max_int) enc =
+  let m = Enc.mgr enc in
+  let rec loop i reach frontier =
+    if i >= max_iterations then reach
+    else
+      let img = image enc frontier in
+      let fresh = Bdd.dand m img (Bdd.dnot m reach) in
+      if Bdd.is_zero fresh then reach
+      else loop (i + 1) (Bdd.dor m reach fresh) fresh
+  in
+  let init = Enc.init_bdd enc in
+  loop 0 init init
+
+(* States with at least one successor. A relational model built from
+   conjoined constraints can accidentally be partial (contradictory
+   primed requirements); [deadlocked enc reach] returns the reachable
+   states with no successor, which a well-formed model should make
+   empty. *)
+let deadlocked enc reach =
+  let m = Enc.mgr enc in
+  let has_succ = Bdd.exists m (Enc.nxt_set enc) (Enc.trans_bdd enc) in
+  Bdd.dand m reach (Bdd.dnot m has_succ)
+
+let check ?(max_iterations = max_int) enc ~bad =
+  let m = Enc.mgr enc in
+  let bad_bdd =
+    Bdd.dand m (Enc.pred enc bad) (Enc.valid enc ~primed:false)
+  in
+  let init = Enc.init_bdd enc in
+  let peak = ref (Bdd.size init) in
+  let note d = peak := max !peak (Bdd.size d) in
+  let finish_stats iterations reachable =
+    {
+      iterations;
+      peak_nodes = !peak;
+      reachable_states =
+        Bdd.sat_count m ~nvars:(2 * Enc.nbits enc) reachable
+        /. (2.0 ** float_of_int (Enc.nbits enc));
+      (* The state space uses only even BDD variables; each odd
+         (primed) variable doubles the raw count, hence the division. *)
+    }
+  in
+  if not (Bdd.is_zero (Bdd.dand m init bad_bdd)) then
+    let trace = [| Enc.decode_state enc (Bdd.dand m init bad_bdd) |] in
+    Unsafe (trace, finish_stats 0 init)
+  else begin
+    let rec loop i reach frontier rings =
+      if i >= max_iterations then Depth_exhausted (finish_stats i reach)
+      else begin
+        let img = image enc frontier in
+        let fresh = Bdd.dand m img (Bdd.dnot m reach) in
+        if Bdd.is_zero fresh then Safe (finish_stats i reach)
+        else begin
+          let reach' = Bdd.dor m reach fresh in
+          note reach';
+          let rings' = fresh :: rings in
+          if not (Bdd.is_zero (Bdd.dand m fresh bad_bdd)) then
+            Unsafe (extract_trace enc rings' bad_bdd, finish_stats (i + 1) reach')
+          else loop (i + 1) reach' fresh rings'
+        end
+      end
+    in
+    loop 0 init init [ init ]
+  end

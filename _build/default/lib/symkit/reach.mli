@@ -1,0 +1,34 @@
+(** Symbolic invariant checking by forward reachability.
+
+    Computes the reachable states as a BDD fixpoint and checks a safety
+    property of the form "no reachable state satisfies [bad]". On
+    failure, a shortest counterexample trace is extracted by walking
+    the onion rings of the fixpoint backwards, exactly as SMV does. *)
+
+type stats = {
+  iterations : int;  (** image steps performed *)
+  peak_nodes : int;  (** largest reachable-set BDD seen *)
+  reachable_states : float;  (** |reachable| when the run completed *)
+}
+
+type result =
+  | Safe of stats
+  | Unsafe of Model.state array * stats
+      (** shortest trace from an initial state to a bad state *)
+  | Depth_exhausted of stats
+      (** gave up at [max_iterations] without proving or refuting *)
+
+val image : Enc.t -> Bdd.t -> Bdd.t
+(** One-step successors of a set of states (both over current bits). *)
+
+val preimage : Enc.t -> Bdd.t -> Bdd.t
+(** One-step predecessors. *)
+
+val reachable_set : ?max_iterations:int -> Enc.t -> Bdd.t
+(** The full reachable-state fixpoint (no property). *)
+
+val deadlocked : Enc.t -> Bdd.t -> Bdd.t
+(** [deadlocked enc reach] is the subset of [reach] with no successor;
+    a well-formed relational model makes it empty. *)
+
+val check : ?max_iterations:int -> Enc.t -> bad:Expr.t -> result

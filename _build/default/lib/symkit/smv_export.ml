@@ -1,0 +1,81 @@
+(* Export a model to the SMV input language (NuSMV dialect), so the
+   models built here — in particular the paper's TTA model — can be
+   inspected, diffed against the paper's description, or fed to an
+   external SMV implementation for independent validation.
+
+   The constraint style maps directly: variables become VAR
+   declarations, each init constraint an INIT section, each transition
+   constraint a TRANS section, and the safety property an INVARSPEC. *)
+
+let escape name =
+  (* SMV identifiers: our variable names are already compatible. *)
+  name
+
+let pp_value ppf = function
+  | Expr.Int i -> Format.pp_print_int ppf i
+  | Expr.Sym s -> Format.pp_print_string ppf (escape s)
+  | Expr.Bool true -> Format.pp_print_string ppf "TRUE"
+  | Expr.Bool false -> Format.pp_print_string ppf "FALSE"
+
+let rec pp_expr ppf e =
+  let open Format in
+  match e with
+  | Expr.Const v -> pp_value ppf v
+  | Expr.Cur v -> pp_print_string ppf (escape v)
+  | Expr.Nxt v -> fprintf ppf "next(%s)" (escape v)
+  | Expr.Not a -> fprintf ppf "!(%a)" pp_expr a
+  | Expr.And (a, b) -> fprintf ppf "(%a & %a)" pp_expr a pp_expr b
+  | Expr.Or (a, b) -> fprintf ppf "(%a | %a)" pp_expr a pp_expr b
+  | Expr.Imp (a, b) -> fprintf ppf "(%a -> %a)" pp_expr a pp_expr b
+  | Expr.Iff (a, b) -> fprintf ppf "(%a <-> %a)" pp_expr a pp_expr b
+  | Expr.Eq (a, b) -> fprintf ppf "(%a = %a)" pp_expr a pp_expr b
+  | Expr.Lt (a, b) -> fprintf ppf "(%a < %a)" pp_expr a pp_expr b
+  | Expr.Add (a, b) -> fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Expr.Sub (a, b) -> fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Expr.Ite (c, t, e) ->
+      (* SMV's case expression; exhaustive by the TRUE default. *)
+      fprintf ppf "(case %a : %a; TRUE : %a; esac)" pp_expr c pp_expr t
+        pp_expr e
+  | Expr.Member (a, vs) ->
+      fprintf ppf "(%a in {%a})" pp_expr a
+        (pp_print_list
+           ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+           pp_value)
+        vs
+
+let pp_domain ppf = function
+  | Model.Bool -> Format.pp_print_string ppf "boolean"
+  | Model.Range (lo, hi) -> Format.fprintf ppf "%d..%d" lo hi
+  | Model.Enum syms ->
+      Format.fprintf ppf "{%s}" (String.concat ", " (List.map escape syms))
+
+let pp_model ?invarspec ppf (m : Model.t) =
+  let open Format in
+  fprintf ppf "-- Generated from the OCaml model %S.@." m.Model.name;
+  fprintf ppf "MODULE main@.@.VAR@.";
+  List.iter
+    (fun (v, d) -> fprintf ppf "  %s : %a;@." (escape v) pp_domain d)
+    m.Model.vars;
+  List.iter
+    (fun e -> fprintf ppf "@.INIT@.  %a;@." pp_expr e)
+    m.Model.init;
+  List.iter
+    (fun e -> fprintf ppf "@.TRANS@.  %a;@." pp_expr e)
+    m.Model.trans;
+  match invarspec with
+  | Some bad ->
+      fprintf ppf "@.-- The safety property: the bad condition is never reached.@.";
+      fprintf ppf "INVARSPEC@.  !(%a);@." pp_expr bad
+  | None -> ()
+
+let to_string ?invarspec m =
+  Format.asprintf "%a" (pp_model ?invarspec) m
+
+let to_file ?invarspec m path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      pp_model ?invarspec ppf m;
+      Format.pp_print_flush ppf ())

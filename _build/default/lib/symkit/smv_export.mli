@@ -1,0 +1,16 @@
+(** Export a model to the SMV input language (NuSMV dialect).
+
+    Lets the models built here — in particular the paper's TTA model —
+    be inspected in the notation of the original paper or validated by
+    an external SMV implementation. Variables become [VAR]
+    declarations, init constraints [INIT] sections, transition
+    constraints [TRANS] sections, and the optional safety property an
+    [INVARSPEC]. *)
+
+val pp_expr : Format.formatter -> Expr.t -> unit
+val pp_model : ?invarspec:Expr.t -> Format.formatter -> Model.t -> unit
+
+val to_string : ?invarspec:Expr.t -> Model.t -> string
+
+val to_file : ?invarspec:Expr.t -> Model.t -> string -> unit
+(** [invarspec bad] emits [INVARSPEC !(bad)]. *)

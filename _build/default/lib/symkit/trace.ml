@@ -1,0 +1,80 @@
+(** Counterexample trace pretty-printing and validation.
+
+    Traces are arrays of concrete states of a {!Model.t}. The printer
+    mimics SMV's convention of showing, at each step after the first,
+    only the variables whose values changed. Validation replays the
+    trace against the model's constraints — every engine's output is
+    checked this way in the test suite. *)
+
+type t = Model.state array
+
+let pp_full model ppf (trace : t) =
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf "@[<v 2>-- State %d --@,%a@]@," (i + 1)
+        (Model.pp_state model) s)
+    trace
+
+let pp_delta model ppf (trace : t) =
+  let vars = Array.of_list model.Model.vars in
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf "@[<v 2>-- State %d --" (i + 1);
+      Array.iteri
+        (fun vi (name, _) ->
+          let changed =
+            i = 0 || not (Expr.value_equal trace.(i - 1).(vi) s.(vi))
+          in
+          if changed then
+            Format.fprintf ppf "@,%s = %a" name Expr.pp_value s.(vi))
+        vars;
+      Format.fprintf ppf "@]@,")
+    trace
+
+let to_string ?(delta = true) model trace =
+  let pp = if delta then pp_delta else pp_full in
+  Format.asprintf "@[<v>%a@]" (pp model) trace
+
+(* A trace is well-formed when its first state is initial, every state
+   is inside the declared domains, and every consecutive pair satisfies
+   all transition constraints. Returns a diagnostic on failure. *)
+let validate model (trace : t) =
+  let n = Array.length trace in
+  if n = 0 then Error "empty trace"
+  else if not (Model.initial_ok model trace.(0)) then
+    Error "first state violates an init constraint"
+  else
+    let rec check i =
+      if i >= n then Ok ()
+      else if not (Model.state_in_domains model trace.(i)) then
+        Error (Printf.sprintf "state %d out of domain" (i + 1))
+      else if i > 0 && not (Model.step_ok model trace.(i - 1) trace.(i))
+      then Error (Printf.sprintf "transition %d -> %d violates a constraint" i (i + 1))
+      else check (i + 1)
+    in
+    check 0
+
+(* The first constraint (init or trans) that a trace violates; useful in
+   error messages when diagnosing a bad engine. *)
+let first_violated model (trace : t) =
+  if Array.length trace = 0 then None
+  else
+    match
+      List.find_opt
+        (fun e -> not (Model.eval_pred model e trace.(0)))
+        model.Model.init
+    with
+    | Some e -> Some (0, e)
+    | None ->
+        let rec go i =
+          if i + 1 >= Array.length trace then None
+          else
+            match
+              List.find_opt
+                (fun e -> not (Model.eval_trans model e trace.(i) trace.(i + 1)))
+                model.Model.trans
+            with
+            | Some e -> Some (i + 1, e)
+            | None -> go (i + 1)
+        in
+        go 0

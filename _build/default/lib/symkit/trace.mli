@@ -1,0 +1,21 @@
+(** Counterexample trace pretty-printing and validation. *)
+
+type t = Model.state array
+
+val pp_full : Model.t -> Format.formatter -> t -> unit
+(** Every variable at every step. *)
+
+val pp_delta : Model.t -> Format.formatter -> t -> unit
+(** SMV style: after the first step, only the variables that changed. *)
+
+val to_string : ?delta:bool -> Model.t -> t -> string
+
+val validate : Model.t -> t -> (unit, string) result
+(** A trace is well-formed when its first state is initial, every state
+    is inside the declared domains, and every consecutive pair
+    satisfies all transition constraints. Every engine's output is run
+    through this in the test suite before being believed. *)
+
+val first_violated : Model.t -> t -> (int * Expr.t) option
+(** The first constraint (with its step) that a trace violates; useful
+    when diagnosing a broken engine. *)

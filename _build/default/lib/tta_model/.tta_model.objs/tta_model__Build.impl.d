@@ -1,0 +1,1 @@
+lib/tta_model/build.ml: Configs Expr Guardian List Model Printf Stdlib Symkit

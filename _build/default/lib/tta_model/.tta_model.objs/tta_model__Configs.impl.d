@@ -1,0 +1,1 @@
+lib/tta_model/configs.ml: Guardian Printf

@@ -1,0 +1,1 @@
+lib/tta_model/exec.ml: Array Build Configs Expr Guardian Hashtbl List Model Option Printf Random Symkit

@@ -1,0 +1,1 @@
+lib/tta_model/exec.mli: Configs Random Symkit

@@ -1,0 +1,1 @@
+lib/tta_model/props.mli: Symkit

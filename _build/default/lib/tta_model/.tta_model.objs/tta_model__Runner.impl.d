@@ -1,0 +1,1 @@
+lib/tta_model/runner.ml: Array Bdd Bmc Buffer Build Char Configs Enc Induction Model Printf Props Reach Smv_export String Symkit

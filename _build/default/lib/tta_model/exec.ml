@@ -1,0 +1,390 @@
+(* An executable twin of the formal model.
+
+   [successors cfg state] enumerates exactly the successor states the
+   transition relation of [Build.model cfg] admits — hand-coded from
+   the same Section 4 semantics, but written as a program rather than
+   as constraints. The test suite checks conformance state-by-state:
+   for sampled states, the set produced here must equal the symbolic
+   image computed by the BDD engine. Two independent encodings of the
+   same semantics agreeing on every sampled state is the strongest
+   cross-check the reproduction has.
+
+   States are [Symkit.Model.state] arrays in the model's variable
+   order; this module builds an index table once per configuration. *)
+
+open Symkit
+
+type ctx = {
+  cfg : Configs.t;
+  model : Model.t;
+  idx : (string, int) Hashtbl.t;
+}
+
+let make_ctx cfg =
+  let model = Build.model cfg in
+  let idx = Hashtbl.create 64 in
+  List.iteri
+    (fun i (v, _) -> Hashtbl.add idx v i)
+    model.Model.vars;
+  { cfg; model; idx }
+
+let model ctx = ctx.model
+
+let geti ctx s name =
+  match s.(Hashtbl.find ctx.idx name) with
+  | Expr.Int i -> i
+  | v -> invalid_arg ("Exec: expected int at " ^ name ^ ", got "
+                      ^ Expr.value_to_string v)
+
+let gets ctx s name =
+  match s.(Hashtbl.find ctx.idx name) with
+  | Expr.Sym v -> v
+  | v -> invalid_arg ("Exec: expected sym at " ^ name ^ ", got "
+                      ^ Expr.value_to_string v)
+
+let getb ctx s name =
+  match s.(Hashtbl.find ctx.idx name) with
+  | Expr.Bool b -> b
+  | v -> invalid_arg ("Exec: expected bool at " ^ name ^ ", got "
+                      ^ Expr.value_to_string v)
+
+let nv = Build.node_var
+
+(* ------------------------------------------------------------------ *)
+(* Channel contents, from the current state only. *)
+
+type chan = { frame : string; id : int }
+
+let channels ctx s =
+  let n = ctx.cfg.Configs.nodes in
+  let sending i =
+    let st = gets ctx s (nv i "state") and slot = geti ctx s (nv i "slot") in
+    if slot <> i then None
+    else
+      match st with
+      | "active" -> Some "c_state"
+      | "cold_start" -> Some "cold_start"
+      | _ -> None
+  in
+  let senders =
+    List.filter_map
+      (fun i -> Option.map (fun f -> (i, f)) (sending i))
+      (List.init n (fun i -> i + 1))
+  in
+  let raw =
+    match senders with
+    | [] -> { frame = "none"; id = 0 }
+    | [ (i, f) ] -> { frame = f; id = i }
+    | _ :: _ :: _ -> { frame = "bad_frame"; id = 0 }
+  in
+  let chan k =
+    match gets ctx s (Printf.sprintf "c%d_fault" k) with
+    | "silence" -> { frame = "none"; id = 0 }
+    | "bad_frame" -> { frame = "bad_frame"; id = 0 }
+    | "out_of_slot" ->
+        {
+          frame = gets ctx s (Printf.sprintf "c%d_buf_frame" k);
+          id = geti ctx s (Printf.sprintf "c%d_buf_id" k);
+        }
+    | _ -> raw
+  in
+  (chan 0, chan 1)
+
+(* ------------------------------------------------------------------ *)
+(* Per-node successor fragments. *)
+
+type node_next = {
+  st' : string;
+  slot' : int list;  (** the admissible values (singleton when bound) *)
+  big_bang' : bool;
+  lt' : int;
+  agreed' : int;
+  failed' : int;
+  integrated' : bool;
+}
+
+let node_nexts ctx s (ch0, ch1) i =
+  let cfg = ctx.cfg in
+  let n = cfg.Configs.nodes in
+  let st = gets ctx s (nv i "state") in
+  let slot = geti ctx s (nv i "slot") in
+  let big_bang = getb ctx s (nv i "big_bang") in
+  let lt = geti ctx s (nv i "listen_timeout") in
+  let agreed = geti ctx s (nv i "agreed") in
+  let failed = geti ctx s (nv i "failed") in
+  let integrated = getb ctx s (nv i "integrated") in
+  let all_slots = List.init n (fun k -> k + 1) in
+  let next_slot = if slot = n then 1 else slot + 1 in
+  let decodable c = List.mem c.frame [ "c_state"; "cold_start"; "other" ] in
+  let correct c = decodable c && c.id = slot in
+  let agreed_now = correct ch0 || correct ch1 in
+  let failed_now =
+    (not agreed_now) && (decodable ch0 || decodable ch1)
+  in
+  let observing st = List.mem st [ "cold_start"; "active"; "passive" ] in
+  let clamp_inc x = if x = n then n else x + 1 in
+  (* Counters are functions of the current state only. *)
+  let agreed' =
+    if not (observing st) then 0
+    else if slot = i then if agreed_now then 1 else 0
+    else if agreed_now then clamp_inc agreed
+    else agreed
+  in
+  let failed' =
+    if not (observing st) then 0
+    else if slot = i then if failed_now then 1 else 0
+    else if failed_now then clamp_inc failed
+    else failed
+  in
+  let cold_on_bus = ch0.frame = "cold_start" || ch1.frame = "cold_start" in
+  let cstate_on_bus = ch0.frame = "c_state" || ch1.frame = "c_state" in
+  let reset_value =
+    match cfg.Configs.variant with
+    | Configs.No_timeout_stagger -> n + 1
+    | _ -> i + n
+  in
+  (* Everything after the state choice is deterministic. *)
+  let finish st' slots' =
+    let big_bang' =
+      st' = "listen" && st = "listen"
+      && (big_bang || cold_on_bus)
+    in
+    let lt' =
+      if
+        (st <> "listen" && st' = "listen")
+        || List.mem ch0.frame [ "cold_start"; "other" ]
+        || List.mem ch1.frame [ "cold_start"; "other" ]
+      then reset_value
+      else if lt <> 0 then lt - 1
+      else 0
+    in
+    let integrated' =
+      integrated || st' = "active" || st' = "passive"
+    in
+    { st'; slot' = slots'; big_bang'; lt'; agreed'; failed'; integrated' }
+  in
+  match st with
+  | "freeze" ->
+      List.map
+        (fun st' ->
+          if st' = "cold_start" then finish st' [ i ] else finish st' all_slots)
+        [ "freeze"; "init"; "await"; "test" ]
+  | "init" ->
+      List.map (fun st' -> finish st' all_slots) [ "freeze"; "init"; "listen" ]
+  | "await" -> List.map (fun st' -> finish st' all_slots) [ "await"; "freeze" ]
+  | "test" -> List.map (fun st' -> finish st' all_slots) [ "test"; "freeze" ]
+  | "download" ->
+      List.map (fun st' -> finish st' all_slots) [ "download"; "freeze" ]
+  | "listen" ->
+      let integrating_cold =
+        match cfg.Configs.variant with
+        | Configs.No_big_bang -> cold_on_bus
+        | _ -> cold_on_bus && big_bang
+      in
+      let integrating = cstate_on_bus || integrating_cold in
+      let hold =
+        match cfg.Configs.variant with
+        | Configs.No_listen_hold -> false
+        | _ -> cold_on_bus
+      in
+      if integrating then begin
+        let id_on_bus =
+          if ch0.frame = "c_state" then ch0.id
+          else if ch1.frame = "c_state" then ch1.id
+          else if ch0.frame = "cold_start" then ch0.id
+          else ch1.id
+        in
+        let adopted = if id_on_bus = n then 1 else id_on_bus + 1 in
+        [ finish "passive" [ adopted ] ]
+      end
+      else if hold then [ finish "listen" all_slots ]
+      else if lt = 0 then [ finish "cold_start" [ i ] ]
+      else [ finish "listen" all_slots ]
+  | "cold_start" ->
+      let checkpoint = next_slot = i in
+      let st' =
+        if not checkpoint then "cold_start"
+        else if agreed' <= 1 && failed' = 0 then "cold_start"
+        else if agreed' > failed' then "active"
+        else "listen"
+      in
+      [ finish st' [ next_slot ] ]
+  | "active" ->
+      let checkpoint = next_slot = i in
+      let clique_ok = failed' = 0 || agreed' > failed' in
+      if checkpoint && not clique_ok then [ finish "freeze" all_slots ]
+      else [ finish "active" [ next_slot ] ]
+  | "passive" ->
+      let checkpoint = next_slot = i in
+      let clique_ok = failed' = 0 || agreed' > failed' in
+      if checkpoint then
+        if not clique_ok then [ finish "freeze" all_slots ]
+        else if agreed' > failed' then [ finish "active" [ next_slot ] ]
+        else [ finish "passive" [ next_slot ] ]
+      else [ finish "passive" [ next_slot ] ]
+  | other -> invalid_arg ("Exec: unknown state " ^ other)
+
+(* ------------------------------------------------------------------ *)
+(* Coupler fragments. *)
+
+let coupler_next ctx s (ch0, ch1) k =
+  let ch = if k = 0 then ch0 else ch1 in
+  let buf_id = geti ctx s (Printf.sprintf "c%d_buf_id" k) in
+  let buf_frame = gets ctx s (Printf.sprintf "c%d_buf_frame" k) in
+  if ch.id = 0 then (buf_id, buf_frame) else (ch.id, ch.frame)
+
+(* Admissible (fault0', fault1') pairs given the invariants and the
+   post-state buffers/budget. *)
+let fault_pairs ctx s (buf0', buf1') budget' =
+  let cfg = ctx.cfg in
+  let all = [ "none"; "silence"; "bad_frame"; "out_of_slot" ] in
+  let allowed f =
+    f <> "out_of_slot"
+    || Guardian.Feature_set.buffers_full_frames cfg.Configs.feature_set
+  in
+  let pair_ok f0 f1 =
+    allowed f0 && allowed f1
+    && ((not cfg.Configs.single_fault) || f0 = "none" || f1 = "none")
+    && (not cfg.Configs.forbid_cold_start_duplication
+       || ((f0 <> "out_of_slot" || buf0' <> "cold_start")
+          && (f1 <> "out_of_slot" || buf1' <> "cold_start")))
+    && (match cfg.Configs.oos_budget with
+       | None -> true
+       | Some _ ->
+           (f0 <> "out_of_slot" && f1 <> "out_of_slot") || budget' > 0)
+  in
+  ignore s;
+  List.concat_map
+    (fun f0 -> List.filter_map (fun f1 -> if pair_ok f0 f1 then Some (f0, f1) else None) all)
+    all
+
+(* ------------------------------------------------------------------ *)
+
+let cartesian lists =
+  List.fold_right
+    (fun options acc ->
+      List.concat_map (fun o -> List.map (fun tail -> o :: tail) acc) options)
+    lists [ [] ]
+
+(* All successor states of [s] under the model's transition relation. *)
+let successors ctx s =
+  let n = ctx.cfg.Configs.nodes in
+  let chans = channels ctx s in
+  let per_node =
+    List.map
+      (fun i ->
+        List.concat_map
+          (fun frag ->
+            List.map (fun sl -> (i, frag, sl)) frag.slot')
+          (node_nexts ctx s chans i))
+      (List.init n (fun i -> i + 1))
+  in
+  let buf0' = coupler_next ctx s chans 0 in
+  let buf1' = coupler_next ctx s chans 1 in
+  let budget' =
+    match ctx.cfg.Configs.oos_budget with
+    | None -> 0
+    | Some _ ->
+        let b = geti ctx s "oos_budget" in
+        let oos_now =
+          gets ctx s "c0_fault" = "out_of_slot"
+          || gets ctx s "c1_fault" = "out_of_slot"
+        in
+        if oos_now then b - 1 else b
+  in
+  if budget' < 0 then [] (* excluded by the budget domain *)
+  else
+    let faults = fault_pairs ctx s (snd buf0', snd buf1') budget' in
+    List.concat_map
+      (fun node_choice ->
+        List.map
+          (fun (f0, f1) ->
+            let s' = Array.copy s in
+            let set name v = s'.(Hashtbl.find ctx.idx name) <- v in
+            List.iter
+              (fun (i, frag, sl) ->
+                set (nv i "state") (Expr.Sym frag.st');
+                set (nv i "slot") (Expr.Int sl);
+                set (nv i "big_bang") (Expr.Bool frag.big_bang');
+                set (nv i "listen_timeout") (Expr.Int frag.lt');
+                set (nv i "agreed") (Expr.Int frag.agreed');
+                set (nv i "failed") (Expr.Int frag.failed');
+                set (nv i "integrated") (Expr.Bool frag.integrated'))
+              node_choice;
+            set "c0_buf_id" (Expr.Int (fst buf0'));
+            set "c0_buf_frame" (Expr.Sym (snd buf0'));
+            set "c1_buf_id" (Expr.Int (fst buf1'));
+            set "c1_buf_frame" (Expr.Sym (snd buf1'));
+            set "c0_fault" (Expr.Sym f0);
+            set "c1_fault" (Expr.Sym f1);
+            (match ctx.cfg.Configs.oos_budget with
+            | Some _ -> set "oos_budget" (Expr.Int budget')
+            | None -> ());
+            s')
+          faults)
+      (cartesian per_node)
+
+(* The unique initial state. *)
+let initial ctx =
+  let n = ctx.cfg.Configs.nodes in
+  let s =
+    Array.make (List.length ctx.model.Model.vars) (Expr.Bool false)
+  in
+  let set name v = s.(Hashtbl.find ctx.idx name) <- v in
+  for i = 1 to n do
+    set (nv i "state") (Expr.Sym "freeze");
+    set (nv i "slot") (Expr.Int i);
+    set (nv i "big_bang") (Expr.Bool false);
+    set (nv i "listen_timeout") (Expr.Int 0);
+    set (nv i "agreed") (Expr.Int 0);
+    set (nv i "failed") (Expr.Int 0);
+    set (nv i "integrated") (Expr.Bool false)
+  done;
+  for k = 0 to 1 do
+    set (Printf.sprintf "c%d_fault" k) (Expr.Sym "none");
+    set (Printf.sprintf "c%d_buf_frame" k) (Expr.Sym "none");
+    set (Printf.sprintf "c%d_buf_id" k) (Expr.Int 0)
+  done;
+  (match ctx.cfg.Configs.oos_budget with
+  | Some k -> set "oos_budget" (Expr.Int k)
+  | None -> ());
+  s
+
+(* Random-walk falsification: run [walks] uniform random walks of
+   [depth] steps from the initial state and count how many hit a state
+   satisfying [bad]. This is, in miniature, the software-implemented
+   fault injection methodology the paper's predecessors used — and the
+   bench harness uses it to show why the paper reached for a model
+   checker instead: the replay failure needs a precise conjunction of
+   nondeterministic choices that random exploration essentially never
+   makes, while BMC derives it in seconds. *)
+let random_walks ctx rng ~walks ~depth ~bad =
+  let hits = ref 0 in
+  for _ = 1 to walks do
+    let s = ref (initial ctx) in
+    let found = ref false in
+    (try
+       for _ = 1 to depth do
+         (match successors ctx !s with
+         | [] -> raise Exit
+         | succs ->
+             s := List.nth succs (Random.State.int rng (List.length succs)));
+         if bad !s then begin
+           found := true;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !found then incr hits
+  done;
+  !hits
+
+(* A uniformly random state of the declared space (not necessarily
+   reachable), for conformance sampling. *)
+let random_state ctx rng =
+  Array.of_list
+    (List.map
+       (fun (_, d) ->
+         let values = Model.domain_values d in
+         List.nth values (Random.State.int rng (List.length values)))
+       ctx.model.Model.vars)

@@ -1,0 +1,36 @@
+(** An executable twin of the formal model.
+
+    Hand-coded from the same Section 4 semantics as {!Build.model}, but
+    written as a successor-enumerating program rather than as
+    constraints. The test suite checks conformance state-by-state: for
+    sampled states, {!successors} must produce exactly the symbolic
+    image computed by the BDD engine — two independent encodings of one
+    semantics agreeing pointwise. *)
+
+type ctx
+
+val make_ctx : Configs.t -> ctx
+val model : ctx -> Symkit.Model.t
+
+val initial : ctx -> Symkit.Model.state
+(** The model's unique initial state. *)
+
+val successors : ctx -> Symkit.Model.state -> Symkit.Model.state list
+(** Every successor the transition relation admits (with multiplicity
+    free of duplicates only up to the enumeration order; callers
+    needing sets should deduplicate). States outside the invariants
+    (e.g. an exhausted out-of-slot budget with the fault still active)
+    correctly have no successors. *)
+
+val random_walks :
+  ctx -> Random.State.t -> walks:int -> depth:int ->
+  bad:(Symkit.Model.state -> bool) -> int
+(** Random-walk falsification (miniature software-implemented fault
+    injection): how many of [walks] uniform random walks of [depth]
+    steps from the initial state hit a bad state. The bench harness
+    contrasts this with the model checker, which derives the failure
+    deterministically. *)
+
+val random_state : ctx -> Random.State.t -> Symkit.Model.state
+(** A uniformly random state of the declared space (not necessarily
+    reachable), for conformance sampling. *)

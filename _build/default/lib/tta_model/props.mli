@@ -1,0 +1,19 @@
+(** Properties checked against the formal model. *)
+
+val node_var : int -> string -> string
+
+val integrated_node_frozen : nodes:int -> Symkit.Expr.t
+(** The paper's correctness criterion (Section 5.1): a node that has
+    integrated (reached active or passive) is in the freeze state —
+    reachability of this predicate refutes the safety property. *)
+
+(** Sanity probes, checked as reachability targets so the engines
+    produce witness traces: *)
+
+val some_node_integrated : nodes:int -> Symkit.Expr.t
+val some_node_active : nodes:int -> Symkit.Expr.t
+val all_nodes_active : nodes:int -> Symkit.Expr.t
+val node_in_state : node:int -> string -> Symkit.Expr.t
+
+val replay_active : Symkit.Expr.t
+(** An out-of-slot replay is armed on some channel. *)

@@ -1,0 +1,117 @@
+(** Running the paper's experiments against the formal model with the
+    different engines. *)
+
+open Symkit
+
+type engine = Bdd_reach | Sat_bmc | Sat_induction
+
+let engine_to_string = function
+  | Bdd_reach -> "bdd-reachability"
+  | Sat_bmc -> "sat-bmc"
+  | Sat_induction -> "sat-k-induction"
+
+type verdict =
+  | Holds of { detail : string }
+      (** the safety property holds (proved, or no counterexample up to
+          the bound for BMC) *)
+  | Violated of { trace : Model.state array; model : Model.t }
+  | Unknown of { detail : string }
+
+let check ?(engine = Sat_bmc) ?(max_depth = 24) (cfg : Configs.t) =
+  let model = Build.model cfg in
+  let bad = Props.integrated_node_frozen ~nodes:cfg.nodes in
+  match engine with
+  | Bdd_reach -> (
+      let enc = Enc.create (Bdd.create_manager ()) model in
+      match Reach.check ~max_iterations:max_depth enc ~bad with
+      | Reach.Safe stats ->
+          Holds
+            {
+              detail =
+                Printf.sprintf "proved safe: %d iterations, %.0f reachable states"
+                  stats.Reach.iterations stats.Reach.reachable_states;
+            }
+      | Reach.Unsafe (trace, stats) ->
+          ignore stats;
+          Violated { trace; model }
+      | Reach.Depth_exhausted stats ->
+          Unknown
+            {
+              detail =
+                Printf.sprintf "no fixpoint after %d iterations"
+                  stats.Reach.iterations;
+            })
+  | Sat_bmc -> (
+      let enc = Enc.create (Bdd.create_manager ()) model in
+      match Bmc.check ~max_depth enc ~bad with
+      | Bmc.Counterexample trace -> Violated { trace; model }
+      | Bmc.No_counterexample d ->
+          Holds
+            {
+              detail = Printf.sprintf "no counterexample up to depth %d" d;
+            })
+  | Sat_induction -> (
+      let enc = Enc.create (Bdd.create_manager ()) model in
+      match Induction.check ~max_k:max_depth enc ~bad with
+      | Induction.Refuted trace -> Violated { trace; model }
+      | Induction.Proved k ->
+          Holds { detail = Printf.sprintf "k-inductive at k = %d" k }
+      | Induction.Unknown k ->
+          Unknown
+            {
+              detail =
+                Printf.sprintf
+                  "not k-inductive up to k = %d (and no counterexample)" k;
+            })
+
+(* Export the configuration's model in the SMV input language, with the
+   safety property as an INVARSPEC. *)
+let export_smv (cfg : Configs.t) path =
+  let model = Build.model cfg in
+  Smv_export.to_file
+    ~invarspec:(Props.integrated_node_frozen ~nodes:cfg.Configs.nodes)
+    model path
+
+(* Reachability of a probe condition (sanity experiments): returns the
+   witness trace if the condition is reachable. *)
+let witness ?(max_depth = 24) (cfg : Configs.t) probe =
+  let model = Build.model cfg in
+  let enc = Enc.create (Bdd.create_manager ()) model in
+  match Bmc.check ~max_depth enc ~bad:probe with
+  | Bmc.Counterexample trace -> Some (trace, model)
+  | Bmc.No_counterexample _ -> None
+
+(* A compact, human-oriented rendering of a counterexample: per step,
+   each node's protocol state and slot, plus the coupler fault
+   activity. Used by the CLI and EXPERIMENTS.md. *)
+let describe_trace (model : Model.t) (trace : Model.state array) ~nodes =
+  let buf = Buffer.create 1024 in
+  let get s name = Model.state_get model s name in
+  let node_letter i = String.make 1 (Char.chr (Char.code 'A' + i - 1)) in
+  Array.iteri
+    (fun step s ->
+      Buffer.add_string buf (Printf.sprintf "step %2d:" (step + 1));
+      for i = 1 to nodes do
+        let state =
+          match get s (Build.node_var i "state") with
+          | Symkit.Expr.Sym st -> st
+          | v -> Symkit.Expr.value_to_string v
+        in
+        let slot =
+          match get s (Build.node_var i "slot") with
+          | Symkit.Expr.Int k -> k
+          | _ -> -1
+        in
+        Buffer.add_string buf
+          (Printf.sprintf " %s=%s/s%d" (node_letter i) state slot)
+      done;
+      (match (get s "c0_fault", get s "c1_fault") with
+      | Symkit.Expr.Sym "none", Symkit.Expr.Sym "none" -> ()
+      | f0, f1 ->
+          Buffer.add_string buf
+            (Printf.sprintf "  [faults: c0=%s c1=%s]"
+               (Symkit.Expr.value_to_string f0)
+               (Symkit.Expr.value_to_string f1)));
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf

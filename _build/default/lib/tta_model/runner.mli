@@ -1,0 +1,33 @@
+(** Running the paper's experiments against the formal model. *)
+
+type engine = Bdd_reach | Sat_bmc | Sat_induction
+
+val engine_to_string : engine -> string
+
+type verdict =
+  | Holds of { detail : string }
+      (** proved safe (BDD fixpoint) or no counterexample up to the
+          bound (BMC) *)
+  | Violated of { trace : Symkit.Model.state array; model : Symkit.Model.t }
+  | Unknown of { detail : string }
+
+val check : ?engine:engine -> ?max_depth:int -> Configs.t -> verdict
+(** Check the paper's safety property against a configuration.
+    [max_depth] bounds BMC unrolling / BDD iterations. *)
+
+val witness :
+  ?max_depth:int -> Configs.t -> Symkit.Expr.t ->
+  (Symkit.Model.state array * Symkit.Model.t) option
+(** Shortest trace reaching a probe condition, if one exists within the
+    bound. *)
+
+val describe_trace :
+  Symkit.Model.t -> Symkit.Model.state array -> nodes:int -> string
+(** Compact human-oriented rendering: per step, each node's protocol
+    state and slot plus the coupler fault activity. *)
+
+val export_smv : Configs.t -> string -> unit
+(** Write the configuration's model to a file in the SMV input
+    language, with the safety property as an INVARSPEC — for inspection
+    in the paper's original notation or independent validation by an
+    external SMV implementation. *)

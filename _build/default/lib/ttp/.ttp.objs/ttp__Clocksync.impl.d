@@ -1,0 +1,1 @@
+lib/ttp/clocksync.ml: List

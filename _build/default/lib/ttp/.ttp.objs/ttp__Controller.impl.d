@@ -1,0 +1,1 @@
+lib/ttp/controller.ml: Cstate Format Frame Medl Membership

@@ -1,0 +1,1 @@
+lib/ttp/controller.mli: Cstate Format Frame Medl Membership

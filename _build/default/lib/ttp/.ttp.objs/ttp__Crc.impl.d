@@ -1,0 +1,1 @@
+lib/ttp/crc.ml: Bool List

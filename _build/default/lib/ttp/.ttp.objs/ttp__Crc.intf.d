@@ -1,0 +1,1 @@
+lib/ttp/crc.mli:

@@ -1,0 +1,1 @@
+lib/ttp/cstate.ml: Format List Membership

@@ -1,0 +1,1 @@
+lib/ttp/cstate.mli: Format Membership

@@ -1,0 +1,1 @@
+lib/ttp/frame.ml: Crc Cstate Format List Membership

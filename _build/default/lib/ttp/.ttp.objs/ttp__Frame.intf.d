@@ -1,0 +1,1 @@
+lib/ttp/frame.mli: Cstate Format

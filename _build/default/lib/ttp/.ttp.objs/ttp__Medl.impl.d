@@ -1,0 +1,1 @@
+lib/ttp/medl.ml: Array Format Frame List

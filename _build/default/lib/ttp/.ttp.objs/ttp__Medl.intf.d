@@ -1,0 +1,1 @@
+lib/ttp/medl.mli: Format Frame

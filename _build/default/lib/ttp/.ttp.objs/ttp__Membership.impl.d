@@ -1,0 +1,1 @@
+lib/ttp/membership.ml: Format Fun List String

@@ -1,0 +1,1 @@
+lib/ttp/membership.mli: Format

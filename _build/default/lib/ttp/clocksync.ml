@@ -1,0 +1,48 @@
+(** Fault-tolerant distributed clock synchronization.
+
+    TTP/C keeps node clocks aligned with the fault-tolerant average
+    (FTA) algorithm: each node measures, for the frames of the last few
+    slots, the deviation between a frame's actual and expected arrival
+    time; the [k] largest and [k] smallest measurements are discarded
+    (tolerating up to [k] Byzantine clocks) and the remainder is
+    averaged to produce a correction term applied to the local clock.
+
+    The functions here are pure; the simulator's node-clock model feeds
+    them with measured deviations and applies the returned corrections.
+    The analysis in Section 6 of the paper depends only on worst-case
+    oscillator drift (in ppm), which {!drift_bound} captures. *)
+
+(* Fault-tolerant average of the measured deviations (in microticks):
+   drop the [discard] extremes on each side and average the rest.
+   Returns 0 when too few measurements survive, matching a controller
+   that leaves its clock alone for lack of evidence. *)
+let fta ?(discard = 1) deviations =
+  let n = List.length deviations in
+  if n <= 2 * discard then 0
+  else begin
+    let sorted = List.sort compare deviations in
+    let trimmed = List.filteri (fun i _ -> i >= discard && i < n - discard) sorted in
+    let sum = List.fold_left ( + ) 0 trimmed in
+    (* Round toward zero, as integer division does: a deliberate bias
+       that avoids oscillating around the midpoint. *)
+    sum / List.length trimmed
+  end
+
+(* Worst-case relative clock-rate difference between two oscillators of
+   the given tolerances (in parts per million). With both at 100 ppm —
+   a typical commodity crystal — this is the paper's Delta = 0.0002. *)
+let drift_bound ~ppm_a ~ppm_b = float_of_int (ppm_a + ppm_b) /. 1_000_000.
+
+(* Precision of the synchronized ensemble: with FTA the achievable
+   precision is bounded by (reading error + drift offset) * n/(n-2k)
+   for n clocks and k tolerated faults. A coarse but standard bound,
+   used by the simulator to size its acceptance windows. *)
+let fta_precision ~n ~k ~reading_error ~drift_offset =
+  if n <= 2 * k then invalid_arg "Clocksync.fta_precision: need n > 2k";
+  (reading_error +. drift_offset) *. float_of_int n /. float_of_int (n - (2 * k))
+
+(* One synchronization interval of a simple local-clock model: given a
+   rate deviation in ppm and an interval in microticks, how far the
+   local clock wanders before the next correction. *)
+let wander ~ppm ~interval =
+  float_of_int interval *. float_of_int ppm /. 1_000_000.

@@ -1,0 +1,29 @@
+(** Fault-tolerant distributed clock synchronization.
+
+    TTP/C aligns node clocks with the fault-tolerant average (FTA)
+    algorithm: each node measures, for recent frames, the deviation
+    between actual and expected arrival time; the extremes are
+    discarded (tolerating Byzantine clocks) and the rest averaged into
+    a correction term. The Section 6 analysis depends only on
+    worst-case oscillator drift, captured by {!drift_bound}. *)
+
+val fta : ?discard:int -> int list -> int
+(** Fault-tolerant average of measured deviations (microticks): drop
+    the [discard] extremes on each side (default 1) and average,
+    rounding toward zero. Returns 0 when too few measurements
+    survive. *)
+
+val drift_bound : ppm_a:int -> ppm_b:int -> float
+(** Worst-case relative clock-rate difference of two oscillators with
+    the given tolerances; 100 ppm against 100 ppm gives the paper's
+    Delta = 0.0002 (equation 5). *)
+
+val fta_precision :
+  n:int -> k:int -> reading_error:float -> drift_offset:float -> float
+(** Achievable ensemble precision of FTA with [n] clocks and [k]
+    tolerated faults: (reading error + drift offset) * n/(n-2k).
+    @raise Invalid_argument unless n > 2k. *)
+
+val wander : ppm:int -> interval:int -> float
+(** How far a clock with the given rate deviation drifts over an
+    interval (microticks). *)

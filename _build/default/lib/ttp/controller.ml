@@ -1,0 +1,571 @@
+(** The TTP/C protocol controller.
+
+    An executable, slot-synchronous implementation of the controller
+    state machine described in the TTP/C specification and modeled in
+    Section 4 of the paper: the nine protocol states, the "big bang"
+    cold-start rule, the listen timeout, integration on explicit
+    C-state frames, and the clique-avoidance test. This is the concrete
+    twin of the formal model in [lib/tta_model]; the test suite checks
+    that the two produce the same behaviours on the paper's scenarios.
+
+    Operation is two-phase per TDMA slot, orchestrated by the simulator:
+    first every controller is asked what it {!transmit}s in the current
+    slot, the channel/coupler layer turns transmissions into
+    per-receiver observations, then every controller {!receive}s its
+    observations and advances. *)
+
+type protocol_state =
+  | Freeze
+  | Init
+  | Listen
+  | Cold_start
+  | Active
+  | Passive
+  | Await
+  | Test
+  | Download
+
+let state_to_string = function
+  | Freeze -> "freeze"
+  | Init -> "init"
+  | Listen -> "listen"
+  | Cold_start -> "cold_start"
+  | Active -> "active"
+  | Passive -> "passive"
+  | Await -> "await"
+  | Test -> "test"
+  | Download -> "download"
+
+(** What a controller sees on one channel during one slot, as judged by
+    its own receiver hardware. SOS faults are modeled by the channel
+    layer delivering different judgments to different receivers. *)
+type observation =
+  | Silence  (** no activity in the slot (a null frame) *)
+  | Noise  (** activity that does not decode to a frame *)
+  | Received of {
+      frame : Frame.t;
+      crc : int;  (** CRC bits as they arrived *)
+      valid : bool;
+          (** timing/encoding validity in this receiver's window *)
+    }
+
+(** Judgement of a slot after combining both channels, following the
+    TTP/C frame-status hierarchy. *)
+type slot_status =
+  | Null  (** silence on both channels *)
+  | Correct of Frame.t
+  | Incorrect  (** a valid frame whose C-state/CRC check failed *)
+  | Invalid  (** noise or timing/encoding violation *)
+
+type config = {
+  cold_start_allowed : bool;
+      (** only nodes with cold-start capability may leave listen on
+          timeout *)
+  auto_restart : bool;
+      (** host immediately re-initializes a frozen controller (the
+          paper models the host's restart decision nondeterministically;
+          the simulator makes it a policy) *)
+  init_delay : int;  (** slots spent in [Init] before listening *)
+  ack_enabled : bool;
+      (** run the TTP/C acknowledgment algorithm: after sending, check
+          the membership bit the next successors report for us; two
+          consecutive denials mean our own transmission failed, and the
+          controller demotes itself to passive instead of staying
+          active with a diverging membership. Off by default: the
+          paper's model does not include acknowledgment, so the default
+          keeps the executable controller aligned with it. *)
+}
+
+let default_config =
+  {
+    cold_start_allowed = true;
+    auto_restart = false;
+    init_delay = 1;
+    ack_enabled = false;
+  }
+
+type freeze_reason =
+  | Host_command
+  | Clique_error
+  | Sync_loss
+  | Ack_failure
+      (** the acknowledgment algorithm diagnosed a persistent
+          transmission fault of this very node *)
+
+(* Progress of the acknowledgment algorithm after our own
+   transmission. *)
+type ack_state =
+  | Ack_idle  (** nothing outstanding *)
+  | Ack_waiting of int  (** denials seen so far (0 or 1) *)
+
+let freeze_reason_to_string = function
+  | Host_command -> "host command"
+  | Clique_error -> "clique avoidance error"
+  | Sync_loss -> "synchronization loss"
+  | Ack_failure -> "persistent transmission failure (acknowledgment)"
+
+type t = {
+  id : int;
+  medl : Medl.t;
+  config : config;
+  mutable state : protocol_state;
+  mutable slot : int;  (** current position in the TDMA round *)
+  mutable cstate : Cstate.t;
+  mutable big_bang : bool;  (** a first cold-start frame was seen *)
+  mutable listen_timeout : int;
+  mutable init_countdown : int;
+  mutable agreed : int;  (** correct frames this round *)
+  mutable failed : int;  (** incorrect/invalid frames this round *)
+  mutable freeze_reason : freeze_reason option;
+  mutable integrated_at : int option;  (** slot count at integration *)
+  mutable slots_elapsed : int;  (** total slots since power-on *)
+  mutable ack : ack_state;
+  mutable ack_failures : int;  (** self-detected transmission failures *)
+  (* Deferred mode changes: the host asks for a mode change; the next
+     frame we send carries it in the MCR field; every receiver of a
+     correct frame with a nonzero MCR schedules the change; the change
+     is applied cluster-wide at the next cycle boundary (slot 0). The
+     mode is part of the C-state, so a node that misses the
+     announcement is expelled at the switch — which is why the request
+     travels in every frame's protected header. *)
+  mutable pending_mcr : int option;  (** host request not yet broadcast *)
+  mutable scheduled_mode : int option;  (** announced, applies at wrap *)
+}
+
+let nodes_of t = Medl.nodes t.medl
+
+(* The listen timeout of the paper's model: the round length plus the
+   node's own slot number, counted in slots. Staggering by node id
+   guarantees a unique first cold-starter among contenders. *)
+let listen_timeout_init t = Medl.slots t.medl + t.id
+
+let create ?(config = default_config) ~id ~medl () =
+  if id < 0 || id >= Medl.nodes medl then
+    invalid_arg "Controller.create: id not in MEDL";
+  {
+    id;
+    medl;
+    config;
+    state = Freeze;
+    slot = 0;
+    cstate = Cstate.initial ~nodes:(Medl.nodes medl);
+    big_bang = false;
+    listen_timeout = 0;
+    init_countdown = 0;
+    agreed = 0;
+    failed = 0;
+    freeze_reason = None;
+    integrated_at = None;
+    slots_elapsed = 0;
+    ack = Ack_idle;
+    ack_failures = 0;
+    pending_mcr = None;
+    scheduled_mode = None;
+  }
+
+(* Host API: request a deferred cluster mode change (1..7; 0 means no
+   request). Carried by this node's next transmission. *)
+let host_request_mode_change t mode =
+  if mode < 1 || mode > 7 then
+    invalid_arg "Controller.host_request_mode_change: mode in 1..7";
+  t.pending_mcr <- Some mode
+
+(* Host API: power on / restart a frozen controller. *)
+let host_start t =
+  if t.state = Freeze then begin
+    t.state <- Init;
+    t.init_countdown <- t.config.init_delay;
+    t.big_bang <- false;
+    t.agreed <- 0;
+    t.failed <- 0;
+    t.freeze_reason <- None;
+    t.ack <- Ack_idle;
+    t.ack_failures <- 0;
+    t.pending_mcr <- None;
+    t.scheduled_mode <- None;
+    t.cstate <- Cstate.initial ~nodes:(nodes_of t)
+  end
+
+let freeze t reason =
+  t.state <- Freeze;
+  t.freeze_reason <- Some reason
+
+(* Host API: command the controller into the freeze state (e.g. to take
+   a node down for maintenance, or to stage a re-integration test). *)
+let host_freeze t = freeze t Host_command
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: transmission. *)
+
+(* The frame this controller puts on both channels in the current slot,
+   if any. Mirrors the paper's [frame_sent] definition: active nodes
+   send their scheduled frame in their slot; cold-starting nodes send a
+   cold-start frame in their slot; everyone else is silent. *)
+let transmit t =
+  let my_slot = t.slot = t.id in
+  match t.state with
+  | Active when my_slot ->
+      let kind = Medl.frame_kind_of_slot t.medl t.slot in
+      let mcr = match t.pending_mcr with Some m -> m | None -> 0 in
+      Some (Frame.make ~mcr ~kind ~sender:t.id ~cstate:t.cstate ())
+  | Cold_start when my_slot ->
+      Some (Frame.make ~kind:Frame.Cold_start ~sender:t.id ~cstate:t.cstate ())
+  | Active | Cold_start | Freeze | Init | Listen | Passive | Await | Test
+  | Download ->
+      None
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: reception and state advancement. *)
+
+(* Judge one channel's observation against our C-state. Pure noise
+   (collisions, a bad-frame coupler) is treated like a null slot for
+   the clique counters: TTP/C only judges slots in which a frame is
+   awaited, and noise in a quiet slot must not erode membership. A
+   frame that arrives but fails this receiver's validity window (an
+   SOS rejection) does count as an invalid slot — that asymmetry is
+   exactly what lets SOS faults split the membership. *)
+let judge_channel t ~channel obs =
+  match obs with
+  | Silence | Noise -> Null
+  | Received { frame; crc; valid } ->
+      if not valid then Invalid
+      else if
+        Frame.correct_for ~channel ~receiver_cstate:t.cstate frame
+          ~received_crc:crc
+      then Correct frame
+      else Incorrect
+
+(* TTP/C frame-status hierarchy across the two redundant channels: a
+   correct frame on either channel wins; otherwise an incorrect frame
+   dominates an invalid one; silence on both is a null slot. *)
+let combine a b =
+  match (a, b) with
+  | Correct f, _ -> Correct f
+  | _, Correct f -> Correct f
+  | Incorrect, _ | _, Incorrect -> Incorrect
+  | Invalid, _ | _, Invalid -> Invalid
+  | Null, Null -> Null
+
+(* A cold-start frame visible on either channel, for the big-bang and
+   integration rules (judged only for validity, not correctness — an
+   integrating node cannot check C-states yet). *)
+let cold_start_on obs =
+  match obs with
+  | Received ({ frame = { Frame.kind = Frame.Cold_start; _ }; valid = true; _ }
+      as r) ->
+      Some r.frame
+  | Received _ | Silence | Noise -> None
+
+(* A valid frame with explicit C-state on either channel (I- or
+   X-frame), used for immediate integration. *)
+let cstate_frame_on obs =
+  match obs with
+  | Received
+      ({ frame = { Frame.kind = Frame.I | Frame.X; _ }; valid = true; _ } as r)
+    ->
+      Some r.frame
+  | Received _ | Silence | Noise -> None
+
+let any_valid_traffic obs =
+  match obs with
+  | Received { valid = true; _ } -> true
+  | Received _ | Silence | Noise -> false
+
+(* Update membership and the clique counters from the slot judgment.
+   A null slot is "neither invalid nor incorrect" for the clique
+   counters, but the silent sender does lose its membership: everyone —
+   including the silent node itself — observes that the expected frame
+   did not arrive. *)
+let account t status =
+  let sender = Medl.sender_of_slot t.medl t.slot in
+  let set_member present =
+    t.cstate <-
+      {
+        t.cstate with
+        Cstate.membership =
+          (if present then Membership.add t.cstate.Cstate.membership sender
+           else Membership.remove t.cstate.Cstate.membership sender);
+      }
+  in
+  match status with
+  | Null -> set_member false
+  | Correct f ->
+      t.agreed <- t.agreed + 1;
+      set_member true;
+      (* A correct frame's mode-change request is adopted by every
+         receiver; it takes effect at the cycle boundary. *)
+      if f.Frame.mcr <> 0 then t.scheduled_mode <- Some f.Frame.mcr
+  | Incorrect | Invalid ->
+      t.failed <- t.failed + 1;
+      set_member false
+
+(* Advance our position in the TDMA round and the global time; apply a
+   scheduled mode change at the cycle boundary. *)
+let advance_slot t =
+  let duration = Medl.duration_of_slot t.medl t.slot in
+  t.slot <- Medl.next_slot t.medl t.slot;
+  let mode =
+    if t.slot = 0 then (
+      match t.scheduled_mode with
+      | Some m ->
+          t.scheduled_mode <- None;
+          m
+      | None -> t.cstate.Cstate.mode)
+    else t.cstate.Cstate.mode
+  in
+  t.cstate <-
+    {
+      t.cstate with
+      Cstate.global_time =
+        (t.cstate.Cstate.global_time + duration) land 0xFFFF;
+      Cstate.round_slot = t.slot;
+      Cstate.mode = mode;
+    }
+
+(* Integration bookkeeping shared by the listen-state rules: adopt the
+   C-state (or the cold-start fields) of the frame and step into the
+   round at the right position. *)
+let integrate_on t frame =
+  let slots = Medl.slots t.medl in
+  let frame_slot = frame.Frame.cstate.Cstate.round_slot in
+  t.slot <- (frame_slot + 1) mod slots;
+  t.cstate <-
+    {
+      frame.Frame.cstate with
+      Cstate.round_slot = t.slot;
+      Cstate.global_time =
+        (frame.Frame.cstate.Cstate.global_time
+        + Medl.duration_of_slot t.medl frame_slot)
+        land 0xFFFF;
+    };
+  t.agreed <- 0;
+  t.failed <- 0;
+  t.state <- Passive;
+  t.integrated_at <- Some t.slots_elapsed
+
+let receive t ~obs0 ~obs1 =
+  t.slots_elapsed <- t.slots_elapsed + 1;
+  match t.state with
+  | Freeze ->
+      if t.config.auto_restart then host_start t
+  | Init ->
+      t.init_countdown <- t.init_countdown - 1;
+      if t.init_countdown <= 0 then begin
+        t.state <- Listen;
+        t.listen_timeout <- listen_timeout_init t;
+        t.big_bang <- false
+      end
+  | Listen -> begin
+      let cold =
+        match cold_start_on obs0 with
+        | Some f -> Some f
+        | None -> cold_start_on obs1
+      in
+      let cst =
+        match cstate_frame_on obs0 with
+        | Some f -> Some f
+        | None -> cstate_frame_on obs1
+      in
+      match (cst, cold) with
+      | Some frame, _ ->
+          (* Frames with explicit C-state allow immediate integration. *)
+          integrate_on t frame
+      | None, Some frame ->
+          if t.big_bang then
+            (* Second cold-start frame: integrate on it. *)
+            integrate_on t frame
+          else begin
+            (* First cold-start frame seen: the big-bang rule ignores
+               it, arming integration on the next one. The timeout is
+               also reset by the traffic. *)
+            t.big_bang <- true;
+            t.listen_timeout <- listen_timeout_init t
+          end
+      | None, None ->
+          if any_valid_traffic obs0 || any_valid_traffic obs1 then
+            t.listen_timeout <- listen_timeout_init t
+          else begin
+            t.listen_timeout <- max 0 (t.listen_timeout - 1);
+            if t.listen_timeout = 0 then
+              if t.config.cold_start_allowed then begin
+                (* Start a cluster: enter cold start at our own slot. *)
+                t.state <- Cold_start;
+                t.slot <- t.id;
+                t.cstate <-
+                  {
+                    (Cstate.initial ~nodes:(nodes_of t)) with
+                    Cstate.round_slot = t.id;
+                  };
+                t.agreed <- 0;
+                t.failed <- 0
+              end
+              else t.listen_timeout <- listen_timeout_init t
+          end
+    end
+  | Cold_start ->
+      let status =
+        combine (judge_channel t ~channel:0 obs0)
+          (judge_channel t ~channel:1 obs1)
+      in
+      (* The sender assumes its own transmission succeeded (it has no
+         way to fully verify it); this is why a lone cold-starter sees
+         agreed = 1 in the paper's start-up test. *)
+      if t.slot = t.id then t.agreed <- t.agreed + 1
+      else account t status;
+      advance_slot t;
+      (* After one full round, run the start-up variant of the clique
+         test (the paper's cold-start constraint). *)
+      if t.slot = t.id then begin
+        if t.agreed <= 1 && t.failed = 0 then begin
+          (* Nobody else answered: try another cold start. *)
+          t.agreed <- 0;
+          t.failed <- 0
+        end
+        else if t.agreed > t.failed then begin
+          t.state <- Active;
+          t.agreed <- 0;
+          t.failed <- 0
+        end
+        else begin
+          t.state <- Listen;
+          t.listen_timeout <- listen_timeout_init t;
+          t.big_bang <- false
+        end
+      end
+  | Active | Passive ->
+      let status =
+        combine (judge_channel t ~channel:0 obs0)
+          (judge_channel t ~channel:1 obs1)
+      in
+      (* Acknowledgment: while a transmission of ours awaits its
+         acknowledgment, successor frames are judged with our own
+         membership bit wildcarded, and the disputed bit is read off
+         the frame: set = acknowledged; two consecutive denials = our
+         own transmission failed, so we demote ourselves to passive and
+         leave the membership, re-converging with the receivers' view
+         instead of drifting into a clique error. *)
+      let masked_correct ~channel obs =
+        match obs with
+        | Received { frame; crc; valid = true } ->
+            if
+              Frame.correct_for_masked ~channel ~receiver_cstate:t.cstate
+                ~mask_member:t.id frame ~received_crc:crc
+            then Some frame
+            else None
+        | Received _ | Silence | Noise -> None
+      in
+      let process_ack frame =
+        match t.ack with
+        | Ack_idle -> ()
+        | Ack_waiting denials ->
+            if Membership.mem frame.Frame.cstate.Cstate.membership t.id then begin
+              t.ack <- Ack_idle;
+              (* A successful acknowledgment clears the strike count. *)
+              t.ack_failures <- 0
+            end
+            else if denials = 0 then t.ack <- Ack_waiting 1
+            else begin
+              (* Second successor also denies: the failure is ours. The
+                 first time we step down to passive and retry from the
+                 next promotion; a second consecutive ack failure means
+                 a persistent transmit fault, and the controller freezes
+                 with an accurate self-diagnosis (instead of drifting
+                 into a misleading clique error). *)
+              t.ack <- Ack_idle;
+              t.ack_failures <- t.ack_failures + 1;
+              t.cstate <-
+                {
+                  t.cstate with
+                  Cstate.membership =
+                    Membership.remove t.cstate.Cstate.membership t.id;
+                };
+              if t.ack_failures >= 2 then freeze t Ack_failure
+              else if t.state = Active then t.state <- Passive
+            end
+      in
+      let status =
+        if not t.config.ack_enabled then status
+        else
+          match status with
+          | Correct f ->
+              process_ack f;
+              status
+          | Incorrect -> (
+              match
+                (masked_correct ~channel:0 obs0, masked_correct ~channel:1 obs1)
+              with
+              | Some f, _ | _, Some f ->
+                  process_ack f;
+                  (* Correct modulo the disputed bit: the sender is
+                     healthy, so the slot counts as agreed. *)
+                  Correct f
+              | None, None -> status)
+          | Null | Invalid -> status
+      in
+      if t.slot = t.id then begin
+        if t.state = Active then begin
+          t.agreed <- t.agreed + 1;
+          t.cstate <-
+            { t.cstate with
+              Cstate.membership =
+                Membership.add t.cstate.Cstate.membership t.id
+            };
+          if t.config.ack_enabled then t.ack <- Ack_waiting 0;
+          (* Our own mode-change request went out with this frame: we
+             schedule it for ourselves like every other receiver. *)
+          (match t.pending_mcr with
+          | Some m ->
+              t.scheduled_mode <- Some m;
+              t.pending_mcr <- None
+          | None -> ())
+        end
+        else
+          (* A passive node is silent in its own slot; like every other
+             receiver, it observes that no frame arrived and drops
+             itself from the membership until it sends again. *)
+          t.cstate <-
+            { t.cstate with
+              Cstate.membership =
+                Membership.remove t.cstate.Cstate.membership t.id
+            }
+      end
+      else account t status;
+      advance_slot t;
+      if t.slot = t.id then begin
+        (* Our sending slot: the clique-avoidance test. A node freezes
+           only when failed frames dominate the observed traffic; a
+           round with no judgeable traffic at all is not a clique
+           error (a passive node may simply be waiting for the cluster
+           to pick up). *)
+        if t.failed > 0 && t.agreed <= t.failed then freeze t Clique_error
+        else begin
+          if t.state = Passive && t.agreed > t.failed then
+            (* A passive node that saw correct traffic dominate has
+               (re)integrated successfully and may send again. *)
+            t.state <- Active;
+          t.agreed <- 0;
+          t.failed <- 0
+        end
+      end
+  | Await | Test | Download ->
+      (* Diagnostic states are out of the paper's scope: they return to
+         freeze, from which the host may restart the node. *)
+      freeze t Host_command
+
+(* ------------------------------------------------------------------ *)
+(* Introspection for the simulator and tests. *)
+
+let state t = t.state
+let slot t = t.slot
+let cstate t = t.cstate
+let membership t = t.cstate.Cstate.membership
+let agreed t = t.agreed
+let failed t = t.failed
+let freeze_cause t = t.freeze_reason
+let ack_failures t = t.ack_failures
+let is_synchronized t = match t.state with Active | Passive -> true | _ -> false
+let integrated_at t = t.integrated_at
+
+let pp ppf t =
+  Format.fprintf ppf "node %d: %s slot=%d agreed=%d failed=%d %a" t.id
+    (state_to_string t.state) t.slot t.agreed t.failed Cstate.pp t.cstate

@@ -1,0 +1,139 @@
+(** The TTP/C protocol controller.
+
+    An executable, slot-synchronous implementation of the controller
+    state machine described in the TTP/C specification and modeled in
+    Section 4 of the paper: the nine protocol states, the "big bang"
+    cold-start rule, the listen timeout, integration on explicit
+    C-state frames, and the clique-avoidance test. This is the concrete
+    twin of the formal model in [lib/tta_model].
+
+    Operation is two-phase per TDMA slot, orchestrated by the
+    simulator: first every controller is asked what it {!transmit}s,
+    the channel/coupler layer turns transmissions into per-receiver
+    observations, then every controller {!receive}s its observations
+    and advances. *)
+
+type protocol_state =
+  | Freeze
+  | Init
+  | Listen
+  | Cold_start
+  | Active
+  | Passive
+  | Await
+  | Test
+  | Download
+
+val state_to_string : protocol_state -> string
+
+(** What a controller sees on one channel during one slot, as judged by
+    its own receiver hardware. SOS faults show up as different [valid]
+    judgments at different receivers. *)
+type observation =
+  | Silence  (** no activity in the slot (a null frame) *)
+  | Noise  (** activity that does not decode to a frame *)
+  | Received of {
+      frame : Frame.t;
+      crc : int;  (** CRC bits as they arrived *)
+      valid : bool;
+          (** timing/encoding validity in this receiver's window *)
+    }
+
+(** Judgment of a slot after combining both channels, following the
+    TTP/C frame-status hierarchy. *)
+type slot_status =
+  | Null  (** nothing judgeable (silence, or pure noise) *)
+  | Correct of Frame.t
+  | Incorrect  (** a valid frame whose C-state/CRC check failed *)
+  | Invalid  (** a frame outside this receiver's validity window *)
+
+type config = {
+  cold_start_allowed : bool;
+      (** only nodes with cold-start capability may leave listen on
+          timeout *)
+  auto_restart : bool;
+      (** the host immediately re-initializes a frozen controller *)
+  init_delay : int;  (** slots spent in [Init] before listening *)
+  ack_enabled : bool;
+      (** run the TTP/C acknowledgment algorithm: after sending, read
+          the membership bit the next successors report for us; two
+          consecutive denials mean our own transmission failed and the
+          controller demotes itself to passive, re-converging with the
+          receivers instead of drifting into a clique error. Off by
+          default to stay aligned with the paper's model, which does
+          not include acknowledgment. *)
+}
+
+val default_config : config
+
+type freeze_reason =
+  | Host_command
+  | Clique_error
+  | Sync_loss
+  | Ack_failure
+      (** the acknowledgment algorithm diagnosed a persistent
+          transmission fault of this very node (two consecutive
+          failed acknowledgments) *)
+
+val freeze_reason_to_string : freeze_reason -> string
+
+type t
+
+val create : ?config:config -> id:int -> medl:Medl.t -> unit -> t
+(** A powered-off controller (in [Freeze]).
+    @raise Invalid_argument if the id does not appear in the MEDL. *)
+
+(** {1 Host interface} *)
+
+val host_start : t -> unit
+(** Power on / restart a frozen controller; no-op otherwise. *)
+
+val host_freeze : t -> unit
+(** Command the controller into the freeze state. *)
+
+val host_request_mode_change : t -> int -> unit
+(** Request a deferred cluster mode change (1..7). The node's next
+    frame carries it in the MCR field; every receiver of that (correct)
+    frame schedules it, and the whole cluster switches at the next
+    cycle boundary. The mode is part of the C-state, so a node that
+    misses the announcement is expelled at the switch.
+    @raise Invalid_argument outside 1..7. *)
+
+(** {1 The two-phase slot} *)
+
+val transmit : t -> Frame.t option
+(** The frame this controller puts on both channels in the current
+    slot: active nodes send their scheduled frame in their own slot,
+    cold-starting nodes a cold-start frame; everyone else is silent. *)
+
+val receive : t -> obs0:observation -> obs1:observation -> unit
+(** Consume both channels' observations for the current slot and
+    advance the state machine. *)
+
+(** {1 Introspection} *)
+
+val state : t -> protocol_state
+val slot : t -> int
+(** Current position in the TDMA round, per this node's own counter. *)
+
+val cstate : t -> Cstate.t
+val membership : t -> Membership.t
+val agreed : t -> int
+val failed : t -> int
+val freeze_cause : t -> freeze_reason option
+val is_synchronized : t -> bool
+(** In [Active] or [Passive]. *)
+
+val integrated_at : t -> int option
+(** Slots since power-on at the moment of the last integration. *)
+
+val ack_failures : t -> int
+(** Consecutive transmission failures this controller detected about
+    itself through the acknowledgment algorithm (reset by a successful
+    acknowledgment; always 0 unless [ack_enabled]). At two, the
+    controller freezes with [Ack_failure]. *)
+
+val listen_timeout_init : t -> int
+(** The paper's staggered timeout: round length plus the node id. *)
+
+val pp : Format.formatter -> t -> unit

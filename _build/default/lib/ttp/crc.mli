@@ -1,0 +1,40 @@
+(** Bit-serial cyclic redundancy checks.
+
+    TTP/C protects every frame with a 24-bit CRC that also covers the
+    sender's C-state (transmitted explicitly or mixed into the
+    calculation implicitly), so receivers judge "correctness" by
+    recomputing the CRC against their own C-state. Each channel uses a
+    different initial register value, so a frame intended for channel 0
+    cannot be mistaken for a channel 1 frame. *)
+
+type spec = {
+  width : int;  (** number of CRC bits *)
+  poly : int;  (** generator polynomial, implicit top bit *)
+  init : int;  (** initial shift-register value *)
+}
+
+val crc24_poly : int
+(** The 24-bit generator polynomial used by the frame codec. *)
+
+val channel_spec : int -> spec
+(** The CRC flavour of TTP/C channel 0 or 1. *)
+
+val feed_bit : spec -> int -> bool -> int
+(** Advance the shift register by one data bit (MSB-first). *)
+
+val of_bits : spec -> bool list -> int
+val feed_int : spec -> int -> bits:int -> int -> int
+(** Feed the low [bits] bits of an integer, MSB first. *)
+
+val of_ints : spec -> (int * int) list -> int
+(** Feed a list of (value, width) fields. *)
+
+val compute : spec -> data_bits:bool list -> int
+(** The CRC to transmit for the given data. *)
+
+val check : spec -> data_bits:bool list -> crc:int -> bool
+(** Does the received CRC match a recomputation over the data? *)
+
+val compute_fields : spec -> (int * int) list -> int
+(** CRC over integer-encoded (value, width) fields, convenient for
+    frame headers. *)

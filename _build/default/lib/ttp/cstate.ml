@@ -1,0 +1,63 @@
+(** The TTP/C controller state (C-state).
+
+    The C-state is the protocol-critical part of a controller's state:
+    the global time, the current position in the cluster cycle (MEDL
+    position / round slot), and the membership vector. Two nodes agree
+    on the protocol exactly when their C-states are equal; every frame
+    carries the sender's C-state either explicitly (I-/X-frames) or
+    implicitly folded into the CRC (N-frames), so a receiver with a
+    different C-state will reject the frame as incorrect. *)
+
+type t = {
+  global_time : int;  (** 16-bit cluster time, in macroticks *)
+  round_slot : int;  (** position in the cluster cycle (MEDL position) *)
+  mode : int;  (** active cluster mode (the paper does not model mode
+                   changes; kept for frame-format fidelity) *)
+  membership : Membership.t;
+}
+
+let make ?(mode = 0) ~global_time ~round_slot ~membership () =
+  { global_time = global_time land 0xFFFF; round_slot; mode; membership }
+
+let initial ~nodes =
+  make ~global_time:0 ~round_slot:0 ~membership:(Membership.full ~nodes) ()
+
+let equal a b =
+  a.global_time = b.global_time
+  && a.round_slot = b.round_slot
+  && a.mode = b.mode
+  && Membership.equal a.membership b.membership
+
+(* Field layout used when the C-state is transmitted explicitly in an
+   I-frame: 16 bits global time, 16 bits MEDL position, 16 bits
+   membership — the 48-bit layout the paper uses when deriving the
+   76-bit I-frame. The cluster mode travels in the frame header (mode
+   change request), not here. *)
+let to_fields cs =
+  [
+    (cs.global_time, 16);
+    (cs.round_slot, 16);
+    (Membership.to_int cs.membership, 16);
+  ]
+
+(* X-frames carry a 96-bit C-state: the I-frame fields plus the mode and
+   two reserved words. *)
+let to_fields_x cs = to_fields cs @ [ (cs.mode, 16); (0, 16); (0, 16) ]
+
+let bits cs = List.fold_left (fun acc (_, n) -> acc + n) 0 (to_fields cs)
+
+(* Advance the C-state across one TDMA slot: time moves by the slot
+   duration, the round slot wraps at the cluster-cycle length. *)
+let advance ~slots ~slot_duration cs =
+  {
+    cs with
+    global_time = (cs.global_time + slot_duration) land 0xFFFF;
+    round_slot = (cs.round_slot + 1) mod slots;
+  }
+
+let pp ppf cs =
+  Format.fprintf ppf "t=%d slot=%d mode=%d members=0x%x" cs.global_time
+    cs.round_slot cs.mode
+    (Membership.to_int cs.membership)
+
+let to_string cs = Format.asprintf "%a" pp cs

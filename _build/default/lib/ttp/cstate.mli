@@ -1,0 +1,44 @@
+(** The TTP/C controller state (C-state).
+
+    The protocol-critical part of a controller's state: global time,
+    position in the cluster cycle (MEDL position / round slot), cluster
+    mode, and the membership vector. Two nodes agree on the protocol
+    exactly when their C-states are equal; every frame carries its
+    sender's C-state explicitly (I-/X-frames) or implicitly folded into
+    the CRC (N-frames), so a receiver with a divergent C-state rejects
+    the frame as incorrect. *)
+
+type t = {
+  global_time : int;  (** 16-bit cluster time, in macroticks *)
+  round_slot : int;  (** position in the cluster cycle (MEDL position) *)
+  mode : int;  (** active cluster mode *)
+  membership : Membership.t;
+}
+
+val make :
+  ?mode:int -> global_time:int -> round_slot:int -> membership:Membership.t ->
+  unit -> t
+(** The global time is truncated to 16 bits. *)
+
+val initial : nodes:int -> t
+(** Time 0, slot 0, full membership. *)
+
+val equal : t -> t -> bool
+
+val to_fields : t -> (int * int) list
+(** The 48-bit explicit layout of I-frames: time, MEDL position,
+    membership (16 bits each). *)
+
+val to_fields_x : t -> (int * int) list
+(** The 96-bit X-frame layout: {!to_fields} plus mode and two reserved
+    words. *)
+
+val bits : t -> int
+(** Width of {!to_fields} in bits. *)
+
+val advance : slots:int -> slot_duration:int -> t -> t
+(** Move across one TDMA slot: time by the duration (mod 2^16), the
+    round slot wrapping at the cycle length. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

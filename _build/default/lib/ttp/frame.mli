@@ -1,0 +1,80 @@
+(** TTP/C frame formats and their bit-level encoding.
+
+    Four frame kinds matter to the paper:
+
+    - {b N-frames}: normal data frames whose C-state is {e implicit} —
+      the sender mixes its C-state into the CRC without transmitting
+      it. The minimal N-frame (no payload) is 28 bits.
+    - {b I-frames}: initialization frames with {e explicit} C-state,
+      used by integrating nodes; 76 bits.
+    - {b Cold-start frames}: sent during startup before global time
+      exists; carry the sender's view of time and its round slot.
+    - {b X-frames}: combined explicit/implicit C-state data frames; at
+      the maximal 1920-bit payload they reach the protocol's longest
+      legal frame, 2076 bits.
+
+    The paper quotes 40 bits for the minimal cold-start frame although
+    its own field list (1 + 16 + 9 + 24) sums to 50; this codec encodes
+    the field list faithfully, while the Section 6 analysis
+    ([lib/analysis]) uses the paper's quoted constants so the numeric
+    results match the published ones. *)
+
+type kind = N | I | Cold_start | X
+
+type t = private {
+  kind : kind;
+  sender : int;  (** sending node id *)
+  mcr : int;  (** mode-change request *)
+  cstate : Cstate.t;  (** the sender's C-state *)
+  payload : int list;  (** application data, 16-bit words *)
+}
+
+val make :
+  ?mcr:int -> kind:kind -> sender:int -> cstate:Cstate.t ->
+  ?payload:int list -> unit -> t
+(** @raise Invalid_argument when the kind cannot carry the payload
+    (I- and cold-start frames carry none; X-frame payloads are capped
+    at 1920 bits). *)
+
+val max_x_payload_words : int
+
+val with_cstate : t -> Cstate.t -> t
+(** Replace the frame's C-state, keeping everything else. Exists for
+    fault injection: a faulty sender composes a frame around corrupted
+    controller state (the CRC it then transmits is consistent with the
+    corrupted C-state, which is exactly what makes the fault hard to
+    detect). *)
+
+val header_bits : kind -> int
+val crc_bits : int
+
+val size_bits : t -> int
+(** Wire size in bits; the minimal N-frame is 28 and the maximal
+    X-frame 2076, matching the specification constants. *)
+
+val crc_of : channel:int -> t -> int
+(** The CRC the sender transmits on the given channel, computed against
+    its own C-state. *)
+
+val correct_for :
+  channel:int -> receiver_cstate:Cstate.t -> t -> received_crc:int -> bool
+(** Receiver-side correctness: for N-frames the CRC is recomputed with
+    the receiver's C-state substituted for the implicit part; for I-
+    and X-frames the explicit C-state is compared; cold-start frames
+    compare only the transmitted time and round slot. *)
+
+val correct_for_masked :
+  channel:int -> receiver_cstate:Cstate.t -> mask_member:int -> t ->
+  received_crc:int -> bool
+(** Like {!correct_for}, but with one membership bit wildcarded: the
+    frame is accepted if it is correct under either setting of
+    [mask_member] in the receiver's membership. Used by the
+    acknowledgment algorithm, where a sender does not yet know whether
+    its receivers kept it in the membership. *)
+
+val to_bits : channel:int -> t -> bool list
+(** Full serialization, MSB-first per field (X-frames carry two CRCs
+    and padding). Its length equals {!size_bits}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,71 @@
+(** The Message Descriptor List (MEDL).
+
+    TTP/C is statically scheduled: before start-up, every node holds the
+    same MEDL describing the TDMA round — which node sends in which
+    slot, for how long, and what kind of frame. The paper's model works
+    with one round of [n] single-sender slots; this module also supports
+    multi-round cluster cycles and per-slot durations so the simulator
+    can exercise richer schedules. *)
+
+type slot = {
+  sender : int;  (** node id transmitting in this slot *)
+  duration : int;  (** slot length in macroticks *)
+  frame_kind : Frame.kind;  (** scheduled frame kind in normal operation *)
+}
+
+type t = {
+  slots : slot array;  (** one TDMA round *)
+  rounds_per_cycle : int;
+}
+
+let make ?(rounds_per_cycle = 1) slots =
+  if slots = [] then invalid_arg "Medl.make: empty schedule";
+  if rounds_per_cycle < 1 then invalid_arg "Medl.make: bad cycle length";
+  let arr = Array.of_list slots in
+  Array.iter
+    (fun s ->
+      if s.sender < 0 then invalid_arg "Medl.make: negative sender";
+      if s.duration <= 0 then invalid_arg "Medl.make: non-positive duration")
+    arr;
+  { slots = arr; rounds_per_cycle }
+
+(* The schedule used throughout the paper: [nodes] nodes, one slot each,
+   node [i] sending an I-frame (explicit C-state) in slot [i]. *)
+let uniform ~nodes ?(duration = 10) ?(frame_kind = Frame.I) () =
+  make
+    (List.init nodes (fun i -> { sender = i; duration; frame_kind }))
+
+let slots t = Array.length t.slots
+let slot_desc t i = t.slots.(i mod Array.length t.slots)
+let sender_of_slot t i = (slot_desc t i).sender
+let duration_of_slot t i = (slot_desc t i).duration
+let frame_kind_of_slot t i = (slot_desc t i).frame_kind
+let next_slot t i = (i + 1) mod slots t
+
+(* Number of nodes mentioned by the schedule. *)
+let nodes t =
+  Array.fold_left (fun acc s -> max acc (s.sender + 1)) 0 t.slots
+
+(* The slot in which [node] transmits, if any. The paper's model
+   assumes every node owns exactly one slot per round. *)
+let slot_of_node t node =
+  let rec go i =
+    if i >= slots t then None
+    else if (slot_desc t i).sender = node then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Round duration in macroticks. *)
+let round_duration t =
+  Array.fold_left (fun acc s -> acc + s.duration) 0 t.slots
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>MEDL (%d slots/round, %d rounds/cycle):@,"
+    (slots t) t.rounds_per_cycle;
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf "  slot %d: node %d, %d macroticks@," i s.sender
+        s.duration)
+    t.slots;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** The Message Descriptor List (MEDL).
+
+    TTP/C is statically scheduled: before start-up every node holds the
+    same MEDL describing the TDMA round — which node sends in which
+    slot, for how long, and what kind of frame. *)
+
+type slot = {
+  sender : int;  (** node id transmitting in this slot *)
+  duration : int;  (** slot length in macroticks *)
+  frame_kind : Frame.kind;  (** scheduled frame kind in normal operation *)
+}
+
+type t
+
+val make : ?rounds_per_cycle:int -> slot list -> t
+(** @raise Invalid_argument on empty schedules, negative senders or
+    non-positive durations. *)
+
+val uniform :
+  nodes:int -> ?duration:int -> ?frame_kind:Frame.kind -> unit -> t
+(** The schedule used throughout the paper: [nodes] slots, node [i]
+    sending in slot [i]. *)
+
+val slots : t -> int
+(** Slots per TDMA round. *)
+
+val slot_desc : t -> int -> slot
+val sender_of_slot : t -> int -> int
+val duration_of_slot : t -> int -> int
+val frame_kind_of_slot : t -> int -> Frame.kind
+val next_slot : t -> int -> int
+
+val nodes : t -> int
+(** Number of nodes mentioned by the schedule. *)
+
+val slot_of_node : t -> int -> int option
+(** The slot in which a node transmits, if any. *)
+
+val round_duration : t -> int
+(** In macroticks. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** Group membership vectors.
+
+    TTP/C exposes to the host a consistent view of which nodes are
+    currently operating correctly. The membership vector has one bit per
+    node in the cluster (the paper's examples use 16-bit fields); a node
+    is removed from the vector when its slot carried an invalid or
+    incorrect frame and re-added when it transmits correctly again. *)
+
+type t = int  (** bit [i] set = node [i] is a member *)
+
+let empty : t = 0
+let full ~nodes : t = (1 lsl nodes) - 1
+let singleton i : t = 1 lsl i
+let mem v i = (v lsr i) land 1 = 1
+let add v i = v lor (1 lsl i)
+let remove v i = v land lnot (1 lsl i)
+let cardinal v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+let equal (a : t) (b : t) = a = b
+let to_int (v : t) = v
+let of_int (v : int) : t = v
+
+let members ~nodes v =
+  List.filter (mem v) (List.init nodes Fun.id)
+
+let pp ~nodes ppf v =
+  Format.fprintf ppf "{%s}"
+    (String.concat ","
+       (List.map string_of_int (members ~nodes v)))
+
+let to_string ~nodes v = Format.asprintf "%a" (pp ~nodes) v

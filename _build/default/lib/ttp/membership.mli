@@ -1,0 +1,27 @@
+(** Group membership vectors.
+
+    TTP/C exposes to the host a consistent view of which nodes are
+    operating correctly: one bit per node. A node leaves the vector
+    when its slot carried an invalid or incorrect frame (or silence
+    where a frame was due) and re-enters when it transmits correctly
+    again. Because the vector is part of the C-state — and the C-state
+    feeds every frame's CRC — membership divergence makes nodes reject
+    each other's frames, which is how clique detection works. *)
+
+type t = int
+(** Bit [i] set = node [i] is a member. Kept concrete: the vector
+    travels inside C-state words and frame field lists. *)
+
+val empty : t
+val full : nodes:int -> t
+val singleton : int -> t
+val mem : t -> int -> bool
+val add : t -> int -> t
+val remove : t -> int -> t
+val cardinal : t -> int
+val equal : t -> t -> bool
+val to_int : t -> int
+val of_int : int -> t
+val members : nodes:int -> t -> int list
+val pp : nodes:int -> Format.formatter -> t -> unit
+val to_string : nodes:int -> t -> string

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Float List Printf QCheck QCheck_alcotest Ttp

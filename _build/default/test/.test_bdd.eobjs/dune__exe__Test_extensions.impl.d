@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Controller Float Guardian List Medl Printf Sim Ttp

@@ -1,0 +1,1 @@
+test/test_guardian.ml: Alcotest Controller Cstate Frame Guardian List Medl QCheck QCheck_alcotest Ttp

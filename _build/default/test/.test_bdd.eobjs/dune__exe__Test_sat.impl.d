@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Controller Cstate Guardian List Medl Membership Printf Sim Ttp

@@ -1,0 +1,1 @@
+test/test_symkit.ml: Alcotest Array Bdd Bmc Ctl Enc Explicit Expr Induction List Model QCheck QCheck_alcotest Reach Smv_export String Symkit Syntax Trace

@@ -1,0 +1,1 @@
+test/test_tta_model.ml: Alcotest Array Bdd Bmc Ctl Enc Expr Format Guardian Induction List Model Printf Random Reach Smv_export String Symkit Trace Tta_model

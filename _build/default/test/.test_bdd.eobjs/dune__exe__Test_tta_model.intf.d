@@ -1,0 +1,1 @@
+test/test_tta_model.mli:

@@ -1,0 +1,1 @@
+test/test_ttp.ml: Alcotest Clocksync Controller Crc Cstate Frame List Medl Membership Printf QCheck QCheck_alcotest Ttp

@@ -1,0 +1,190 @@
+(* Tests for the Section 6 analysis: the buffer-size equations against
+   the paper's published numbers, algebraic relationships between the
+   equations, the Figure 3 curve, and the frame catalogue against the
+   executable codec. *)
+
+let approx ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* The paper's worked examples. *)
+
+let test_eq5_commodity_delta () =
+  approx "Delta = 2 * 100ppm" 0.0002
+    Analysis.Frames_catalog.commodity_oscillator_delta;
+  approx "drift bound agrees" 0.0002
+    (Ttp.Clocksync.drift_bound ~ppm_a:100 ~ppm_b:100)
+
+let test_eq6_f_max_115000 () =
+  approx "f_max = (28-1-4)/0.0002" 115_000.0
+    (Analysis.Buffer.f_max_limit ~f_min:28 ~le:4 ~delta:0.0002)
+
+let test_eq8_minimal_protocol () =
+  approx ~eps:1e-6 "Delta = 23/76" 0.302631578947
+    (Analysis.Buffer.delta_limit ~f_min:28 ~le:4 ~f_max:76)
+
+let test_eq9_max_frames () =
+  approx ~eps:1e-6 "Delta = 23/2076" 0.011079
+    (Analysis.Buffer.delta_limit ~f_min:28 ~le:4 ~f_max:2076)
+
+let test_worked_examples_registry () =
+  match Analysis.Buffer.worked_examples () with
+  | [ e6; e8; e9 ] ->
+      approx "e6" 115_000.0 e6.Analysis.Buffer.result;
+      approx ~eps:1e-4 "e8" 0.3026 e8.Analysis.Buffer.result;
+      approx ~eps:1e-4 "e9" 0.0111 e9.Analysis.Buffer.result
+  | _ -> Alcotest.fail "expected three worked examples"
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic relationships between the equations. *)
+
+let prop_eq4_eq7_inverses =
+  QCheck.Test.make ~name:"f_max_limit and delta_limit are inverses" ~count:200
+    QCheck.(pair (int_range 10 100) (int_range 101 4000))
+    (fun (f_min, f_max) ->
+      let le = 4 in
+      let delta = Analysis.Buffer.delta_limit ~f_min ~le ~f_max in
+      delta <= 0.0
+      || Float.abs (Analysis.Buffer.f_max_limit ~f_min ~le ~delta -. float_of_int f_max)
+         < 1e-6 *. float_of_int f_max)
+
+let prop_feasible_iff_buffers_fit =
+  QCheck.Test.make ~name:"feasible <=> B_min <= B_max" ~count:200
+    QCheck.(
+      quad (int_range 10 100) (int_range 10 4000)
+        (QCheck.float_range 1.0 10.0) (QCheck.float_range 1.0 10.0))
+    (fun (f_min, f_max_raw, a, b) ->
+      let f_max = max f_min f_max_raw in
+      let rho_max = Float.max a b and rho_min = Float.min a b in
+      let le = 4 in
+      let delta = Analysis.Buffer.delta ~rho_max ~rho_min in
+      let lhs = Analysis.Buffer.feasible ~f_min ~f_max ~le ~rho_max ~rho_min in
+      let rhs =
+        Analysis.Buffer.b_min ~le ~delta ~f_max
+        <= float_of_int (Analysis.Buffer.b_max ~f_min)
+      in
+      lhs = rhs)
+
+let prop_eq10_matches_feasibility =
+  QCheck.Test.make
+    ~name:"clock_ratio_limit is the feasibility boundary of eq (10)"
+    ~count:200
+    QCheck.(pair (int_range 10 100) (int_range 10 4000))
+    (fun (f_min, f_max_raw) ->
+      let f_max = max f_min f_max_raw in
+      let le = 4 in
+      match Analysis.Buffer.clock_ratio_limit ~f_min ~le ~f_max with
+      | None -> true
+      | Some limit ->
+          (* Slightly inside the limit is feasible; slightly outside is
+             not. *)
+          let inside = limit *. 0.999 and outside = limit *. 1.001 in
+          Analysis.Buffer.feasible ~f_min ~f_max ~le ~rho_max:inside
+            ~rho_min:1.0
+          && ((not
+                 (Analysis.Buffer.feasible ~f_min ~f_max ~le ~rho_max:outside
+                    ~rho_min:1.0))
+             || limit > 1e6 (* numerically degenerate, skip *)))
+
+let prop_b_min_monotone =
+  QCheck.Test.make ~name:"B_min monotone in Delta and f_max" ~count:200
+    QCheck.(
+      quad (QCheck.float_range 0.0 0.5) (QCheck.float_range 0.0 0.5)
+        (int_range 10 2000) (int_range 10 2000))
+    (fun (d1, d2, f1, f2) ->
+      let le = 4 in
+      let d_lo = Float.min d1 d2 and d_hi = Float.max d1 d2 in
+      let f_lo = min f1 f2 and f_hi = max f1 f2 in
+      Analysis.Buffer.b_min ~le ~delta:d_lo ~f_max:f_lo
+      <= Analysis.Buffer.b_min ~le ~delta:d_hi ~f_max:f_lo +. 1e-9
+      && Analysis.Buffer.b_min ~le ~delta:d_lo ~f_max:f_lo
+         <= Analysis.Buffer.b_min ~le ~delta:d_lo ~f_max:f_hi +. 1e-9)
+
+let test_delta_validation () =
+  Alcotest.check_raises "rho_max < rho_min"
+    (Invalid_argument "Buffer.delta: rho_max < rho_min") (fun () ->
+      ignore (Analysis.Buffer.delta ~rho_max:1.0 ~rho_min:2.0))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 *)
+
+let test_figure3_highlighted_point () =
+  match Analysis.Figure3.highlighted_point () with
+  | Some r -> approx ~eps:1e-9 "128/5" 25.6 r
+  | None -> Alcotest.fail "highlighted point should be feasible"
+
+let test_figure3_series_shape () =
+  List.iter
+    (fun (s : Analysis.Figure3.series) ->
+      let ratios =
+        List.filter_map (fun p -> p.Analysis.Figure3.ratio) s.Analysis.Figure3.points
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "f_min=%d nonempty" s.Analysis.Figure3.f_min)
+        true (ratios <> []);
+      (* Decreasing toward the asymptote at 1. *)
+      let rec decreasing = function
+        | a :: (b :: _ as rest) -> a +. 1e-9 >= b && decreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone decreasing" true (decreasing ratios);
+      Alcotest.(check bool) "above the asymptote" true
+        (List.for_all (fun r -> r >= 1.0) ratios))
+    (Analysis.Figure3.default_families ())
+
+let test_figure3_infeasible_region () =
+  (* If f_min exceeds f_max + 1 + le the denominator of eq (10) is
+     non-positive: no clock spread works at all. *)
+  Alcotest.(check bool) "infeasible denominator" true
+    (Analysis.Buffer.clock_ratio_limit ~f_min:200 ~le:4 ~f_max:100 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Frame catalogue vs codec *)
+
+let test_catalog_matches_codec () =
+  let sizes = Analysis.Frames_catalog.codec_sizes () in
+  Alcotest.(check (option int)) "N" (Some 28) (List.assoc_opt "N" sizes);
+  Alcotest.(check (option int)) "I" (Some 76) (List.assoc_opt "I" sizes);
+  Alcotest.(check (option int)) "X max" (Some 2076)
+    (List.assoc_opt "X-max" sizes);
+  (* The documented discrepancy: the paper quotes 40 bits but its field
+     list encodes to 50. *)
+  Alcotest.(check (option int)) "cold-start field list" (Some 50)
+    (List.assoc_opt "cold-start" sizes);
+  Alcotest.(check int) "paper constant kept at 40" 40
+    Analysis.Frames_catalog.min_cold_start_bits
+
+(* ------------------------------------------------------------------ *)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_eq4_eq7_inverses;
+      prop_feasible_iff_buffers_fit;
+      prop_eq10_matches_feasibility;
+      prop_b_min_monotone;
+    ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "worked examples",
+        [
+          Alcotest.test_case "eq 5: commodity Delta" `Quick test_eq5_commodity_delta;
+          Alcotest.test_case "eq 6: f_max = 115000" `Quick test_eq6_f_max_115000;
+          Alcotest.test_case "eq 8: 30.26%" `Quick test_eq8_minimal_protocol;
+          Alcotest.test_case "eq 9: 1.11%" `Quick test_eq9_max_frames;
+          Alcotest.test_case "registry" `Quick test_worked_examples_registry;
+          Alcotest.test_case "delta validation" `Quick test_delta_validation;
+        ] );
+      ( "figure 3",
+        [
+          Alcotest.test_case "highlighted point 25.6" `Quick
+            test_figure3_highlighted_point;
+          Alcotest.test_case "series shape" `Quick test_figure3_series_shape;
+          Alcotest.test_case "infeasible region" `Quick
+            test_figure3_infeasible_region;
+        ] );
+      ( "frame catalogue",
+        [ Alcotest.test_case "codec agreement" `Quick test_catalog_matches_codec ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,253 @@
+(* Tests for the BDD package: algebraic identities, semantics against
+   brute-force truth tables, quantification, renaming, counting. *)
+
+let nvars = 6
+
+(* A small propositional formula type used to cross-check the BDD
+   operations against direct evaluation. *)
+type form =
+  | F_var of int
+  | F_not of form
+  | F_and of form * form
+  | F_or of form * form
+  | F_xor of form * form
+  | F_ite of form * form * form
+
+let rec eval env = function
+  | F_var i -> env.(i)
+  | F_not f -> not (eval env f)
+  | F_and (a, b) -> eval env a && eval env b
+  | F_or (a, b) -> eval env a || eval env b
+  | F_xor (a, b) -> eval env a <> eval env b
+  | F_ite (c, t, e) -> if eval env c then eval env t else eval env e
+
+let rec build m = function
+  | F_var i -> Bdd.var m i
+  | F_not f -> Bdd.dnot m (build m f)
+  | F_and (a, b) -> Bdd.dand m (build m a) (build m b)
+  | F_or (a, b) -> Bdd.dor m (build m a) (build m b)
+  | F_xor (a, b) -> Bdd.xor m (build m a) (build m b)
+  | F_ite (c, t, e) -> Bdd.ite m (build m c) (build m t) (build m e)
+
+let form_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then map (fun i -> F_var i) (int_bound (nvars - 1))
+      else
+        frequency
+          [
+            (1, map (fun i -> F_var i) (int_bound (nvars - 1)));
+            (2, map (fun f -> F_not f) (self (n - 1)));
+            (3, map2 (fun a b -> F_and (a, b)) (self (n / 2)) (self (n / 2)));
+            (3, map2 (fun a b -> F_or (a, b)) (self (n / 2)) (self (n / 2)));
+            (2, map2 (fun a b -> F_xor (a, b)) (self (n / 2)) (self (n / 2)));
+            ( 1,
+              map3
+                (fun a b c -> F_ite (a, b, c))
+                (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+          ])
+
+let form_arb = QCheck.make ~print:(fun _ -> "<form>") form_gen
+
+let all_envs () =
+  List.init (1 lsl nvars) (fun k ->
+      Array.init nvars (fun i -> (k lsr i) land 1 = 1))
+
+(* Evaluate a BDD under an environment by following the decision path. *)
+let rec eval_bdd env d =
+  if Bdd.is_zero d then false
+  else if Bdd.is_one d then true
+  else
+    let v = Bdd.top_var d in
+    eval_bdd env (if env.(v) then Bdd.high d else Bdd.low d)
+
+let prop_semantics =
+  QCheck.Test.make ~name:"bdd agrees with truth table" ~count:200 form_arb
+    (fun f ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      List.for_all (fun env -> eval_bdd env d = eval env f) (all_envs ()))
+
+let prop_canonical =
+  QCheck.Test.make ~name:"equivalent formulas share a node" ~count:200
+    (QCheck.pair form_arb form_arb) (fun (f, g) ->
+      let m = Bdd.create_manager () in
+      let df = build m f and dg = build m g in
+      let equiv =
+        List.for_all (fun env -> eval env f = eval env g) (all_envs ())
+      in
+      Bdd.equal df dg = equiv)
+
+let prop_exists =
+  QCheck.Test.make ~name:"exists = or of cofactors" ~count:100
+    (QCheck.pair form_arb (QCheck.int_bound (nvars - 1))) (fun (f, v) ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      let q = Bdd.exists m (Bdd.varset m [ v ]) d in
+      let expected =
+        Bdd.dor m (Bdd.restrict m v false d) (Bdd.restrict m v true d)
+      in
+      Bdd.equal q expected)
+
+let prop_forall =
+  QCheck.Test.make ~name:"forall = and of cofactors" ~count:100
+    (QCheck.pair form_arb (QCheck.int_bound (nvars - 1))) (fun (f, v) ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      let q = Bdd.forall m (Bdd.varset m [ v ]) d in
+      let expected =
+        Bdd.dand m (Bdd.restrict m v false d) (Bdd.restrict m v true d)
+      in
+      Bdd.equal q expected)
+
+let prop_and_exists =
+  QCheck.Test.make ~name:"and_exists = exists of and" ~count:100
+    (QCheck.triple form_arb form_arb
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 3)
+          (QCheck.int_bound (nvars - 1))))
+    (fun (f, g, vs) ->
+      let m = Bdd.create_manager () in
+      let df = build m f and dg = build m g in
+      let set = Bdd.varset m vs in
+      Bdd.equal
+        (Bdd.and_exists m set df dg)
+        (Bdd.exists m set (Bdd.dand m df dg)))
+
+let prop_sat_count =
+  QCheck.Test.make ~name:"sat_count matches enumeration" ~count:100 form_arb
+    (fun f ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      let count =
+        List.length (List.filter (fun env -> eval env f) (all_envs ()))
+      in
+      int_of_float (Bdd.sat_count m ~nvars d) = count)
+
+let prop_any_sat =
+  QCheck.Test.make ~name:"any_sat returns a model" ~count:100 form_arb
+    (fun f ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      if Bdd.is_zero d then true
+      else begin
+        let path = Bdd.any_sat d in
+        let env = Array.make nvars false in
+        (* Unmentioned variables are free; false works since the path
+           already fixes every variable the function depends on along
+           this branch. *)
+        List.iter (fun (v, b) -> env.(v) <- b) path;
+        eval env f
+      end)
+
+let prop_iter_sat =
+  QCheck.Test.make ~name:"iter_sat enumerates exactly the models" ~count:50
+    form_arb (fun f ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      let seen = Hashtbl.create 64 in
+      Bdd.iter_sat ~nvars d (fun a -> Hashtbl.replace seen (Array.copy a) ());
+      List.for_all
+        (fun env -> Hashtbl.mem seen env = eval env f)
+        (all_envs ()))
+
+let test_rename () =
+  let m = Bdd.create_manager () in
+  (* f(x0, x2) = x0 and not x2, renamed by +1 to f(x1, x3). *)
+  let d = Bdd.dand m (Bdd.var m 0) (Bdd.dnot m (Bdd.var m 2)) in
+  let r = Bdd.rename m (fun v -> v + 1) d in
+  let expected = Bdd.dand m (Bdd.var m 1) (Bdd.dnot m (Bdd.var m 3)) in
+  Alcotest.(check bool) "renamed" true (Bdd.equal r expected)
+
+let test_rename_order_violation () =
+  let m = Bdd.create_manager () in
+  let d = Bdd.dand m (Bdd.var m 0) (Bdd.var m 1) in
+  (* Swapping 0 and 1 is not monotonic. *)
+  Alcotest.check_raises "order violation"
+    (Invalid_argument "Bdd.rename: order-violating substitution") (fun () ->
+      ignore (Bdd.rename m (fun v -> 1 - v) d))
+
+let test_constants () =
+  let m = Bdd.create_manager () in
+  Alcotest.(check bool) "one" true (Bdd.is_one Bdd.one);
+  Alcotest.(check bool) "zero" true (Bdd.is_zero Bdd.zero);
+  Alcotest.(check bool) "x and not x" true
+    (Bdd.is_zero (Bdd.dand m (Bdd.var m 0) (Bdd.nvar m 0)));
+  Alcotest.(check bool) "x or not x" true
+    (Bdd.is_one (Bdd.dor m (Bdd.var m 0) (Bdd.nvar m 0)));
+  Alcotest.(check bool) "conj []" true (Bdd.is_one (Bdd.conj m []));
+  Alcotest.(check bool) "disj []" true (Bdd.is_zero (Bdd.disj m []))
+
+let test_support () =
+  let m = Bdd.create_manager () in
+  let d =
+    Bdd.dand m (Bdd.var m 1) (Bdd.dor m (Bdd.var m 3) (Bdd.var m 5))
+  in
+  Alcotest.(check (list int)) "support" [ 1; 3; 5 ] (Bdd.support d)
+
+let test_size () =
+  let m = Bdd.create_manager () in
+  let d = Bdd.var m 0 in
+  Alcotest.(check int) "single var" 1 (Bdd.size d);
+  let chain = Bdd.conj m (List.init 5 (fun i -> Bdd.var m i)) in
+  Alcotest.(check int) "conjunction chain" 5 (Bdd.size chain)
+
+let prop_restrict_drops_var =
+  QCheck.Test.make ~name:"restrict removes the variable from the support"
+    ~count:100
+    (QCheck.triple form_arb (QCheck.int_bound (nvars - 1)) QCheck.bool)
+    (fun (f, v, b) ->
+      let m = Bdd.create_manager () in
+      let d = Bdd.restrict m v b (build m f) in
+      not (List.mem v (Bdd.support d)))
+
+let prop_quantification_idempotent =
+  QCheck.Test.make ~name:"exists over the same set is idempotent" ~count:100
+    (QCheck.pair form_arb
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 3)
+          (QCheck.int_bound (nvars - 1))))
+    (fun (f, vs) ->
+      let m = Bdd.create_manager () in
+      let set = Bdd.varset m vs in
+      let once = Bdd.exists m set (build m f) in
+      Bdd.equal once (Bdd.exists m set once))
+
+let prop_quantifier_duality =
+  QCheck.Test.make ~name:"forall = not exists not" ~count:100
+    (QCheck.pair form_arb
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 3)
+          (QCheck.int_bound (nvars - 1))))
+    (fun (f, vs) ->
+      let m = Bdd.create_manager () in
+      let set = Bdd.varset m vs in
+      let d = build m f in
+      Bdd.equal (Bdd.forall m set d)
+        (Bdd.dnot m (Bdd.exists m set (Bdd.dnot m d))))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_restrict_drops_var;
+      prop_quantification_idempotent;
+      prop_quantifier_duality;
+      prop_semantics;
+      prop_canonical;
+      prop_exists;
+      prop_forall;
+      prop_and_exists;
+      prop_sat_count;
+      prop_any_sat;
+      prop_iter_sat;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "rename order violation" `Quick
+      test_rename_order_violation;
+  ]
+  @ qtests
+
+let () = Alcotest.run "bdd" [ ("bdd", suite) ]

@@ -1,0 +1,36 @@
+(* The experiment registry itself: the quick (numeric + simulator) set
+   must reproduce on every run, and the model-checking entries must
+   reproduce at the 2-node scale used throughout the test suite (E5
+   self-clamps to 3 nodes, where its failure first exists). *)
+
+let check_all outcomes =
+  List.iter
+    (fun (o : Core.Experiments.outcome) ->
+      Alcotest.(check bool)
+        (o.Core.Experiments.id ^ ": " ^ o.Core.Experiments.measured)
+        true o.Core.Experiments.matches)
+    outcomes
+
+let test_quick_set () =
+  let outcomes = Core.Experiments.quick () in
+  Alcotest.(check int) "four quick experiments" 4 (List.length outcomes);
+  check_all outcomes
+
+let test_model_checking_entries () =
+  check_all
+    [
+      Core.Experiments.e1 ~nodes:2 ();
+      Core.Experiments.e4 ~nodes:2 ();
+      Core.Experiments.e5 ~nodes:2 () (* clamps itself to 3 *);
+    ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "quick set reproduces" `Quick test_quick_set;
+          Alcotest.test_case "model-checking entries" `Quick
+            test_model_checking_entries;
+        ] );
+    ]

@@ -1,0 +1,368 @@
+(* Tests for the extension layers: the oscillator-drift model with FTA
+   synchronization, the bus topology with local guardians (Figure 1),
+   and the data-continuity mailbox — the paper's "tempting
+   functionality" that re-creates the out-of-slot hazard without any
+   fault. *)
+
+open Ttp
+
+let medl = Medl.uniform ~nodes:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* Clock model in isolation *)
+
+let test_drift_accumulates () =
+  let d = Sim.Clock_model.create ~window:1.0 ~ppm:[| 0.0; 1000.0 |] () in
+  for _ = 1 to 100 do
+    Sim.Clock_model.advance d ~slot_duration:10
+  done;
+  Alcotest.(check (float 1e-9)) "perfect clock stays" 0.0
+    (Sim.Clock_model.error d 0);
+  Alcotest.(check (float 1e-6)) "1000 ppm over 1000 uticks" 1.0
+    (Sim.Clock_model.error d 1);
+  Alcotest.(check (float 1e-6)) "spread" 1.0 (Sim.Clock_model.spread d)
+
+let test_fta_pulls_ensemble_together () =
+  let d =
+    Sim.Clock_model.create ~window:1.0 ~ppm:[| -500.0; 0.0; 0.0; 2000.0 |] ()
+  in
+  for _ = 1 to 40 do
+    Sim.Clock_model.advance d ~slot_duration:10
+  done;
+  let before = Sim.Clock_model.spread d in
+  Sim.Clock_model.apply_fta d ~heard:[ 0; 1; 2; 3 ];
+  let after = Sim.Clock_model.spread d in
+  Alcotest.(check bool) "spread shrinks" true (after < before);
+  (* Repeated sync keeps it bounded. *)
+  for _ = 1 to 50 do
+    for _ = 1 to 4 do
+      Sim.Clock_model.advance d ~slot_duration:10
+    done;
+    Sim.Clock_model.apply_fta d ~heard:[ 0; 1; 2; 3 ]
+  done;
+  Alcotest.(check bool) "bounded under periodic sync" true
+    (Sim.Clock_model.spread d < 2.0 *. before)
+
+let test_fta_disabled_is_noop () =
+  let d =
+    Sim.Clock_model.create ~sync:false ~window:1.0 ~ppm:[| 0.0; 1000.0 |] ()
+  in
+  Sim.Clock_model.advance d ~slot_duration:100;
+  let e = Sim.Clock_model.error d 1 in
+  Sim.Clock_model.apply_fta d ~heard:[ 0; 1 ];
+  Alcotest.(check (float 1e-12)) "unchanged" e (Sim.Clock_model.error d 1)
+
+let test_fta_tolerates_byzantine_clock () =
+  (* One runaway clock must not drag the healthy majority. *)
+  let d =
+    Sim.Clock_model.create ~window:1.0
+      ~ppm:[| 0.0; 0.0; 0.0; 100_000.0 |]
+      ()
+  in
+  for _ = 1 to 20 do
+    for _ = 1 to 4 do
+      Sim.Clock_model.advance d ~slot_duration:10
+    done;
+    Sim.Clock_model.apply_fta d ~heard:[ 0; 1; 2; 3 ]
+  done;
+  Alcotest.(check bool) "healthy clocks stay close to zero" true
+    (Float.abs (Sim.Clock_model.error d 0) < 1.0
+    && Float.abs (Sim.Clock_model.error d 1) < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Drift wired into the cluster *)
+
+let drift_cluster ~sync ~ppm =
+  let c = Sim.Cluster.create ~feature_set:Guardian.Feature_set.Time_windows medl in
+  Sim.Cluster.set_drift c
+    (Sim.Clock_model.create ~sync ~window:1.0 ~ppm ());
+  c
+
+let freezes c = Sim.Event_log.freezes (Sim.Cluster.log c)
+
+let test_unsynchronized_drift_kills () =
+  let c = drift_cluster ~sync:false ~ppm:[| 0.0; 0.0; 0.0; 4000.0 |] in
+  Alcotest.(check bool) "boots" true (Sim.Cluster.boot c);
+  Sim.Cluster.run c ~slots:120;
+  Alcotest.(check bool) "drift without sync causes freezes" true
+    (freezes c <> [])
+
+let test_fta_keeps_cluster_alive () =
+  let c = drift_cluster ~sync:true ~ppm:[| 0.0; 0.0; 0.0; 4000.0 |] in
+  Alcotest.(check bool) "boots" true (Sim.Cluster.boot c);
+  Sim.Cluster.run c ~slots:120;
+  Alcotest.(check int) "no freezes under FTA sync" 0
+    (List.length (freezes c));
+  Alcotest.(check int) "all still active" 4
+    (Sim.Cluster.count_in_state c Controller.Active)
+
+let test_reshaping_also_rescues_drift () =
+  (* The small-shifting coupler's signal reshaping absorbs marginal
+     drift even without clock sync — the guardian capability the paper
+     credits for eliminating SOS faults. The drift must stay marginal
+     (< max_sos) over the horizon for reshaping to help. *)
+  let c =
+    Sim.Cluster.create ~feature_set:Guardian.Feature_set.Small_shifting medl
+  in
+  Sim.Cluster.set_drift c
+    (Sim.Clock_model.create ~sync:false ~window:30.0
+       ~ppm:[| 0.0; 0.0; 0.0; 4000.0 |]
+       ());
+  Alcotest.(check bool) "boots" true (Sim.Cluster.boot c);
+  Sim.Cluster.run c ~slots:120;
+  Alcotest.(check int) "reshaping absorbs marginal drift" 0
+    (List.length (freezes c))
+
+(* ------------------------------------------------------------------ *)
+(* Bus topology *)
+
+let test_bus_boot () =
+  let b = Sim.Bus.create medl in
+  Alcotest.(check bool) "boots" true (Sim.Bus.boot b);
+  Alcotest.(check int) "all active" 4
+    (Sim.Bus.count_in_state b Controller.Active)
+
+let test_bus_babbler_contained_by_local_guardian () =
+  let b = Sim.Bus.create medl in
+  Alcotest.(check bool) "boots" true (Sim.Bus.boot b);
+  Sim.Bus.set_node_fault b ~node:3 (Sim.Node_fault.Babbling { in_slot = 1 });
+  Sim.Bus.run b ~slots:40;
+  Alcotest.(check int) "healthy local guardian contains babbling" 4
+    (Sim.Bus.count_in_state b Controller.Active)
+
+let test_bus_babbler_with_open_guardian_kills_victim () =
+  (* The decentralized failure the central guardian was invented for:
+     babbler + its own stuck-open guardian destroy the victim's slot
+     every round; membership diverges and the victim is expelled. *)
+  let b = Sim.Bus.create medl in
+  Alcotest.(check bool) "boots" true (Sim.Bus.boot b);
+  Sim.Bus.set_node_fault b ~node:3 (Sim.Node_fault.Babbling { in_slot = 1 });
+  Sim.Bus.set_guardian_fault b ~node:3 Sim.Bus.G_stuck_open;
+  Sim.Bus.run b ~slots:40;
+  (* The babbling collides with whichever node's slot happens to line
+     up with the bus phase; that victim's frames never decode, its
+     membership diverges, and clique avoidance expels it. *)
+  let frozen =
+    List.filter
+      (fun i -> Controller.state (Sim.Bus.controller b i) = Controller.Freeze)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "somebody was expelled" true (frozen <> []);
+  Alcotest.(check bool) "the cluster did not survive intact" true
+    (Sim.Bus.count_in_state b Controller.Active < 4)
+
+let test_bus_stuck_closed_hurts_only_its_node () =
+  let b = Sim.Bus.create medl in
+  Alcotest.(check bool) "boots" true (Sim.Bus.boot b);
+  Sim.Bus.set_guardian_fault b ~node:2 Sim.Bus.G_stuck_closed;
+  Sim.Bus.run b ~slots:40;
+  (* Local-guardian faults are local: only node 2 suffers. *)
+  Alcotest.(check bool) "node 2 off the bus" true
+    (Controller.state (Sim.Bus.controller b 2) <> Controller.Active);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d unaffected" i)
+        true
+        (Controller.state (Sim.Bus.controller b i) = Controller.Active))
+    [ 0; 1; 3 ]
+
+let test_bus_sos_splits_clique () =
+  (* A passive bus cannot reshape marginal signals: the SOS split
+     happens exactly as on a passive star hub. *)
+  let b = Sim.Bus.create medl in
+  Alcotest.(check bool) "boots" true (Sim.Bus.boot b);
+  Sim.Bus.set_node_fault b ~node:1
+    (Sim.Node_fault.Sos { timing = 0.5; value = 0.0 });
+  Sim.Bus.run b ~slots:40;
+  Alcotest.(check bool) "some node expelled" true
+    (Sim.Event_log.freezes (Sim.Bus.log b) <> [])
+
+(* ------------------------------------------------------------------ *)
+(* The data-continuity mailbox *)
+
+let test_mailbox_requires_buffering () =
+  Alcotest.check_raises "needs full shifting"
+    (Invalid_argument
+       "Coupler.create: the data-continuity mailbox requires full-frame \
+        buffering")
+    (fun () ->
+      ignore
+        (Guardian.Coupler.create
+           ~feature_set:Guardian.Feature_set.Small_shifting
+           ~data_continuity:true ~channel:0 ~medl ()))
+
+let test_mailbox_fills_dead_slots () =
+  let c =
+    Sim.Cluster.create ~feature_set:Guardian.Feature_set.Full_shifting
+      ~data_continuity:true medl
+  in
+  Alcotest.(check bool) "boots" true (Sim.Cluster.boot c);
+  Controller.host_freeze (Sim.Cluster.controller c 3);
+  Sim.Cluster.run c ~slots:24;
+  (* Node 3's slot is dead, but the mailbox keeps serving its last
+     frame: the host-visible "data continuity". *)
+  Alcotest.(check bool) "substitutions happened" true
+    (Guardian.Coupler.substitutions (Sim.Cluster.coupler c 0) > 0);
+  (* The survivors tolerate the stale frames (they recognize them as
+     incorrect) — in steady state the service looks benign. *)
+  Alcotest.(check int) "survivors active" 3
+    (Sim.Cluster.count_in_state c Controller.Active)
+
+let test_mailbox_poisons_reintegration_without_any_fault () =
+  (* The punchline: with the mailbox enabled, the out-of-slot failure
+     happens with every component healthy. Node 3 re-integrates exactly
+     at its own slot, where the only frame on offer is the mailbox's
+     stale copy of its own last transmission. *)
+  let c =
+    Sim.Cluster.create ~feature_set:Guardian.Feature_set.Full_shifting
+      ~data_continuity:true medl
+  in
+  Alcotest.(check bool) "boots" true (Sim.Cluster.boot c);
+  Controller.host_freeze (Sim.Cluster.controller c 3);
+  let aligned =
+    Sim.Cluster.run_until c ~max_slots:12 (fun c ->
+        Controller.slot (Sim.Cluster.controller c 0) = 2
+        && Controller.state (Sim.Cluster.controller c 0) = Controller.Active)
+  in
+  Alcotest.(check bool) "aligned" true aligned;
+  Sim.Cluster.start_node c 3;
+  Sim.Cluster.run c ~slots:2;
+  Alcotest.(check bool) "integrated on the stale mailbox frame" true
+    (Controller.state (Sim.Cluster.controller c 3) = Controller.Passive);
+  Sim.Cluster.run c ~slots:16;
+  Alcotest.(check bool) "expelled by clique avoidance, zero faults" true
+    (Controller.freeze_cause (Sim.Cluster.controller c 3)
+    = Some Controller.Clique_error)
+
+let test_mailbox_off_means_no_substitutions () =
+  let c =
+    Sim.Cluster.create ~feature_set:Guardian.Feature_set.Full_shifting medl
+  in
+  Alcotest.(check bool) "boots" true (Sim.Cluster.boot c);
+  Controller.host_freeze (Sim.Cluster.controller c 3);
+  Sim.Cluster.run c ~slots:24;
+  Alcotest.(check int) "no substitutions" 0
+    (Guardian.Coupler.substitutions (Sim.Cluster.coupler c 0))
+
+(* ------------------------------------------------------------------ *)
+(* The asynchronous (CAN-like) network: the paper's conclusion claim. *)
+
+let async_senders () =
+  [| Sim.Async_net.sender ~can_id:1 ~period:7;
+     Sim.Async_net.sender ~can_id:3 ~period:5 |]
+
+let test_async_transparent_is_fresh () =
+  let net =
+    Sim.Async_net.create ~gateway:Sim.Async_net.Transparent (async_senders ())
+  in
+  Sim.Async_net.run net ~ticks:100;
+  let r = Sim.Async_net.reception net in
+  Alcotest.(check bool) "traffic flowed" true (r.Sim.Async_net.accepted > 20);
+  Alcotest.(check int) "no masquerades on a transparent network" 0
+    r.Sim.Async_net.stale_accepted;
+  Alcotest.(check int) "everything delivered the tick it was born" 0
+    r.Sim.Async_net.max_staleness
+
+let test_async_gateway_masquerades () =
+  (* A store-and-forward gateway replays mailbox contents at quiet
+     ticks: without sender identification, receivers accept the stale
+     frames as fresh data — the asynchronous masquerade. *)
+  let net =
+    Sim.Async_net.create
+      ~gateway:(Sim.Async_net.Store_and_forward { replay_at = [ 11; 23; 41 ] })
+      (async_senders ())
+  in
+  Sim.Async_net.run net ~ticks:100;
+  let r = Sim.Async_net.reception net in
+  Alcotest.(check int) "every replay accepted as fresh" 3
+    r.Sim.Async_net.stale_accepted;
+  Alcotest.(check bool) "stale data reached the application" true
+    (r.Sim.Async_net.max_staleness > 0);
+  Alcotest.(check int) "nothing detected without identification" 0
+    r.Sim.Async_net.replays_detected
+
+let test_async_sequence_numbers_defeat_replay () =
+  (* The paper's diagnosis — identification, not timing — as a fix:
+     sequence numbers catch every replay. *)
+  let net =
+    Sim.Async_net.create ~check_sequence:true
+      ~gateway:(Sim.Async_net.Store_and_forward { replay_at = [ 11; 23; 41 ] })
+      (async_senders ())
+  in
+  Sim.Async_net.run net ~ticks:100;
+  let r = Sim.Async_net.reception net in
+  Alcotest.(check int) "all replays detected" 3 r.Sim.Async_net.replays_detected;
+  Alcotest.(check int) "no masquerade succeeds" 0 r.Sim.Async_net.stale_accepted;
+  Alcotest.(check int) "fresh traffic unaffected" 0 r.Sim.Async_net.max_staleness
+
+let test_async_arbitration () =
+  (* Two senders due the same tick: the lower id wins; the loser's
+     message is not delivered that tick. *)
+  let net =
+    Sim.Async_net.create ~gateway:Sim.Async_net.Transparent
+      [| Sim.Async_net.sender ~can_id:2 ~period:10;
+         Sim.Async_net.sender ~can_id:5 ~period:10 |]
+  in
+  Sim.Async_net.run net ~ticks:10;
+  let r = Sim.Async_net.reception net in
+  (* Tick 0: both due, one winner. *)
+  Alcotest.(check int) "one delivery per contention" 1 r.Sim.Async_net.accepted
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "clock model",
+        [
+          Alcotest.test_case "drift accumulates" `Quick test_drift_accumulates;
+          Alcotest.test_case "fta pulls together" `Quick
+            test_fta_pulls_ensemble_together;
+          Alcotest.test_case "fta disabled" `Quick test_fta_disabled_is_noop;
+          Alcotest.test_case "fta tolerates byzantine clock" `Quick
+            test_fta_tolerates_byzantine_clock;
+        ] );
+      ( "drift in cluster",
+        [
+          Alcotest.test_case "unsynchronized drift kills" `Quick
+            test_unsynchronized_drift_kills;
+          Alcotest.test_case "fta keeps cluster alive" `Quick
+            test_fta_keeps_cluster_alive;
+          Alcotest.test_case "reshaping rescues marginal drift" `Quick
+            test_reshaping_also_rescues_drift;
+        ] );
+      ( "bus topology",
+        [
+          Alcotest.test_case "boot" `Quick test_bus_boot;
+          Alcotest.test_case "babbler contained" `Quick
+            test_bus_babbler_contained_by_local_guardian;
+          Alcotest.test_case "open guardian kills victim" `Quick
+            test_bus_babbler_with_open_guardian_kills_victim;
+          Alcotest.test_case "stuck-closed is local" `Quick
+            test_bus_stuck_closed_hurts_only_its_node;
+          Alcotest.test_case "sos splits clique" `Quick
+            test_bus_sos_splits_clique;
+        ] );
+      ( "asynchronous network",
+        [
+          Alcotest.test_case "transparent network is fresh" `Quick
+            test_async_transparent_is_fresh;
+          Alcotest.test_case "gateway masquerades" `Quick
+            test_async_gateway_masquerades;
+          Alcotest.test_case "sequence numbers defeat replay" `Quick
+            test_async_sequence_numbers_defeat_replay;
+          Alcotest.test_case "arbitration" `Quick test_async_arbitration;
+        ] );
+      ( "data-continuity mailbox",
+        [
+          Alcotest.test_case "requires buffering" `Quick
+            test_mailbox_requires_buffering;
+          Alcotest.test_case "fills dead slots" `Quick
+            test_mailbox_fills_dead_slots;
+          Alcotest.test_case "poisons re-integration, zero faults" `Quick
+            test_mailbox_poisons_reintegration_without_any_fault;
+          Alcotest.test_case "off means off" `Quick
+            test_mailbox_off_means_no_substitutions;
+        ] );
+    ]

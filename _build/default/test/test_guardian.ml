@@ -1,0 +1,336 @@
+(* Tests for the star coupler / central bus guardian: feature-set
+   capabilities, fault gating, the slot-level data path (time windows,
+   SOS reshaping, semantic analysis, buffering, collisions), and the
+   bit-level leaky-bucket forwarding model. *)
+
+open Ttp
+
+let medl = Medl.uniform ~nodes:4 ()
+
+let coupler ?(feature_set = Guardian.Feature_set.Time_windows) () =
+  Guardian.Coupler.create ~feature_set ~channel:0 ~medl ()
+
+let cstate_at ~time ~slot =
+  Cstate.make ~global_time:time ~round_slot:slot ~membership:0xF ()
+
+let i_frame ~sender ~time ~slot =
+  Frame.make ~kind:Frame.I ~sender ~cstate:(cstate_at ~time ~slot) ()
+
+let cold_frame ~sender ~slot =
+  Frame.make ~kind:Frame.Cold_start ~sender ~cstate:(cstate_at ~time:0 ~slot) ()
+
+let attempt ?(sos_timing = 0.0) ?(sos_value = 0.0) frame =
+  let base =
+    Guardian.Coupler.clean_attempt ~sender:frame.Frame.sender ~frame
+      ~crc:(Frame.crc_of ~channel:0 frame)
+  in
+  { base with Guardian.Coupler.sos_timing; sos_value }
+
+let is_frame = function
+  | Guardian.Coupler.Ch_frame _ -> true
+  | Guardian.Coupler.Ch_silence | Guardian.Coupler.Ch_noise -> false
+
+(* Synchronize a guardian onto the cluster timeline by feeding it one
+   frame it will forward and adopt. *)
+let sync t ~time ~slot =
+  match
+    Guardian.Coupler.step t [ attempt (i_frame ~sender:slot ~time ~slot) ]
+  with
+  | Guardian.Coupler.Ch_frame _ -> ()
+  | _ -> Alcotest.fail "sync frame was not forwarded"
+
+(* ------------------------------------------------------------------ *)
+(* Feature sets and fault gating *)
+
+let test_capability_table () =
+  let open Guardian.Feature_set in
+  Alcotest.(check (list bool)) "time windows"
+    [ false; true; true; true ]
+    (List.map enforces_time_windows all);
+  Alcotest.(check (list bool)) "sos reshaping"
+    [ false; false; true; true ]
+    (List.map reshapes_sos all);
+  Alcotest.(check (list bool)) "frame buffering"
+    [ false; false; false; true ]
+    (List.map buffers_full_frames all)
+
+let test_fault_gating () =
+  (* The out-of-slot fault needs a buffer to replay from. *)
+  List.iter
+    (fun fs ->
+      let possible = Guardian.Fault.possible_for fs in
+      let expected = Guardian.Feature_set.buffers_full_frames fs in
+      Alcotest.(check bool)
+        (Guardian.Feature_set.to_string fs)
+        expected
+        (List.mem Guardian.Fault.Out_of_slot possible))
+    Guardian.Feature_set.all;
+  let t = coupler ~feature_set:Guardian.Feature_set.Passive () in
+  Alcotest.check_raises "out-of-slot rejected on passive"
+    (Invalid_argument
+       "Coupler.set_fault: out-of-slot impossible for passive coupler")
+    (fun () -> Guardian.Coupler.set_fault t Guardian.Fault.Out_of_slot)
+
+let test_string_roundtrips () =
+  List.iter
+    (fun fs ->
+      Alcotest.(check bool) "feature set" true
+        (Guardian.Feature_set.of_string (Guardian.Feature_set.to_string fs)
+        = Some fs))
+    Guardian.Feature_set.all;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "fault" true
+        (Guardian.Fault.of_string (Guardian.Fault.to_string f) = Some f))
+    Guardian.Fault.all
+
+(* ------------------------------------------------------------------ *)
+(* Data path *)
+
+let test_empty_slot_is_silence () =
+  let t = coupler () in
+  Alcotest.(check bool) "silence" true
+    (Guardian.Coupler.step t [] = Guardian.Coupler.Ch_silence)
+
+let test_collision_is_noise () =
+  let t = coupler ~feature_set:Guardian.Feature_set.Passive () in
+  let a = attempt (cold_frame ~sender:0 ~slot:0) in
+  let b = attempt (cold_frame ~sender:1 ~slot:1) in
+  Alcotest.(check bool) "noise" true
+    (Guardian.Coupler.step t [ a; b ] = Guardian.Coupler.Ch_noise)
+
+let test_unsynchronized_guardian_opens_windows () =
+  (* Before integration, even a time-windows guardian forwards any
+     sender — otherwise no cluster could start. *)
+  let t = coupler () in
+  Alcotest.(check bool) "not synchronized" false (Guardian.Coupler.synchronized t);
+  let out = Guardian.Coupler.step t [ attempt (cold_frame ~sender:2 ~slot:2) ] in
+  Alcotest.(check bool) "forwarded" true (is_frame out);
+  Alcotest.(check bool) "now synchronized" true (Guardian.Coupler.synchronized t)
+
+let test_time_windows_block_babbler () =
+  let t = coupler () in
+  (* Synchronize on node 0's frame in slot 0: the guardian now expects
+     slot 1 next. *)
+  sync t ~time:0 ~slot:0;
+  (* Node 3 babbles during node 1's slot: blocked. *)
+  let out = Guardian.Coupler.step t [ attempt (i_frame ~sender:3 ~time:10 ~slot:1) ] in
+  Alcotest.(check bool) "babbler blocked" true
+    (out = Guardian.Coupler.Ch_silence);
+  (* The scheduled sender passes. *)
+  let out = Guardian.Coupler.step t [ attempt (i_frame ~sender:2 ~time:20 ~slot:2) ] in
+  Alcotest.(check bool) "scheduled sender passes" true (is_frame out)
+
+let test_passive_forwards_babbler () =
+  let t = coupler ~feature_set:Guardian.Feature_set.Passive () in
+  sync t ~time:0 ~slot:0;
+  let out = Guardian.Coupler.step t [ attempt (i_frame ~sender:3 ~time:10 ~slot:1) ] in
+  Alcotest.(check bool) "babbler propagates on a passive hub" true (is_frame out)
+
+let degradation_of = function
+  | Guardian.Coupler.Ch_frame { degradation; _ } -> degradation
+  | _ -> Alcotest.fail "expected a frame"
+
+let test_sos_reshaping () =
+  (* A marginal frame keeps its degradation through a time-windows
+     coupler (receivers will disagree), but a small-shifting coupler
+     reshapes it to clean. *)
+  let marginal = attempt ~sos_timing:0.6 (cold_frame ~sender:0 ~slot:0) in
+  let tw = coupler () in
+  Alcotest.(check (float 1e-9)) "time-windows passes SOS through" 0.6
+    (degradation_of (Guardian.Coupler.step tw [ marginal ]));
+  let ss = coupler ~feature_set:Guardian.Feature_set.Small_shifting () in
+  Alcotest.(check (float 1e-9)) "small-shifting reshapes" 0.0
+    (degradation_of (Guardian.Coupler.step ss [ marginal ]));
+  (* Far-off frames: noise without reshaping, suppressed with it. *)
+  let hopeless = attempt ~sos_value:1.5 (cold_frame ~sender:0 ~slot:0) in
+  let tw = coupler () in
+  Alcotest.(check bool) "hopeless is noise" true
+    (Guardian.Coupler.step tw [ hopeless ] = Guardian.Coupler.Ch_noise);
+  let ss = coupler ~feature_set:Guardian.Feature_set.Small_shifting () in
+  Alcotest.(check bool) "hopeless suppressed by reshaper" true
+    (Guardian.Coupler.step ss [ hopeless ] = Guardian.Coupler.Ch_silence)
+
+let test_observe_tolerances () =
+  let out =
+    Guardian.Coupler.Ch_frame
+      { frame = cold_frame ~sender:0 ~slot:0; crc = 0; degradation = 0.5 }
+  in
+  (match Guardian.Coupler.observe out ~tolerance:0.3 with
+  | Controller.Received { valid; _ } ->
+      Alcotest.(check bool) "strict receiver rejects" false valid
+  | _ -> Alcotest.fail "expected a frame");
+  match Guardian.Coupler.observe out ~tolerance:0.7 with
+  | Controller.Received { valid; _ } ->
+      Alcotest.(check bool) "tolerant receiver accepts" true valid
+  | _ -> Alcotest.fail "expected a frame"
+
+let test_semantic_analysis_blocks_masquerade () =
+  let t = coupler ~feature_set:Guardian.Feature_set.Full_shifting () in
+  (* Node 2 sends a cold-start frame claiming slot 0: blocked (the
+     guardian knows the physical port). *)
+  let out = Guardian.Coupler.step t [ attempt (cold_frame ~sender:2 ~slot:0) ] in
+  Alcotest.(check bool) "masquerading cold start blocked" true
+    (out = Guardian.Coupler.Ch_silence);
+  (* An honest cold-start frame passes. *)
+  let out = Guardian.Coupler.step t [ attempt (cold_frame ~sender:2 ~slot:2) ] in
+  Alcotest.(check bool) "honest cold start passes" true (is_frame out)
+
+let test_semantic_analysis_blocks_wrong_cstate () =
+  let t = coupler ~feature_set:Guardian.Feature_set.Full_shifting () in
+  sync t ~time:0 ~slot:0;
+  (* Guardian timeline is now (time 10, slot 1). A frame from node 1
+     with a wrong global time is blocked. *)
+  let out =
+    Guardian.Coupler.step t [ attempt (i_frame ~sender:1 ~time:999 ~slot:1) ]
+  in
+  Alcotest.(check bool) "wrong C-state blocked" true
+    (out = Guardian.Coupler.Ch_silence);
+  (* Note: after a silent slot the guardian still advances. *)
+  let out =
+    Guardian.Coupler.step t [ attempt (i_frame ~sender:2 ~time:20 ~slot:2) ]
+  in
+  Alcotest.(check bool) "correct C-state passes" true (is_frame out)
+
+let test_faults_override_data_path () =
+  let t = coupler () in
+  Guardian.Coupler.set_fault t Guardian.Fault.Silence;
+  Alcotest.(check bool) "silence fault" true
+    (Guardian.Coupler.step t [ attempt (cold_frame ~sender:0 ~slot:0) ]
+    = Guardian.Coupler.Ch_silence);
+  Guardian.Coupler.set_fault t Guardian.Fault.Bad_frame;
+  Alcotest.(check bool) "bad-frame fault" true
+    (Guardian.Coupler.step t [] = Guardian.Coupler.Ch_noise)
+
+let test_out_of_slot_replays_buffer () =
+  let t = coupler ~feature_set:Guardian.Feature_set.Full_shifting () in
+  let original = cold_frame ~sender:0 ~slot:0 in
+  ignore (Guardian.Coupler.step t [ attempt original ]);
+  Alcotest.(check bool) "buffered" true
+    (Guardian.Coupler.buffered_frame t <> None);
+  Guardian.Coupler.set_fault t Guardian.Fault.Out_of_slot;
+  (match Guardian.Coupler.step t [] with
+  | Guardian.Coupler.Ch_frame { frame; _ } ->
+      Alcotest.(check bool) "replayed the buffered frame" true (frame = original)
+  | _ -> Alcotest.fail "expected a replayed frame");
+  (* An empty buffer replays nothing. *)
+  let t2 = coupler ~feature_set:Guardian.Feature_set.Full_shifting () in
+  Guardian.Coupler.set_fault t2 Guardian.Fault.Out_of_slot;
+  Alcotest.(check bool) "empty buffer silent" true
+    (Guardian.Coupler.step t2 [] = Guardian.Coupler.Ch_silence)
+
+let test_lower_authority_does_not_buffer () =
+  let t = coupler ~feature_set:Guardian.Feature_set.Small_shifting () in
+  ignore (Guardian.Coupler.step t [ attempt (cold_frame ~sender:0 ~slot:0) ]);
+  Alcotest.(check bool) "no buffer below full shifting" true
+    (Guardian.Coupler.buffered_frame t = None)
+
+(* ------------------------------------------------------------------ *)
+(* Leaky bucket *)
+
+let prop_leaky_bucket_bound =
+  QCheck.Test.make
+    ~name:"measured occupancy is bounded by the analytic B_min" ~count:200
+    QCheck.(
+      triple (QCheck.float_range 0.5 2.0) (QCheck.float_range 0.5 2.0)
+        (int_range 8 2076))
+    (fun (node_rate, guardian_rate, frame_bits) ->
+      let le = 4 in
+      let measured =
+        Guardian.Leaky_bucket.required_buffer ~node_rate ~guardian_rate
+          ~frame_bits ~le
+      in
+      let bound =
+        Guardian.Leaky_bucket.analytic_bound ~node_rate ~guardian_rate
+          ~frame_bits ~le
+      in
+      float_of_int measured <= bound +. 1.0)
+
+let prop_leaky_bucket_no_underrun_at_minimal_start =
+  QCheck.Test.make ~name:"minimal start avoids underrun" ~count:200
+    QCheck.(
+      triple (QCheck.float_range 0.5 2.0) (QCheck.float_range 0.5 2.0)
+        (int_range 8 512))
+    (fun (node_rate, guardian_rate, frame_bits) ->
+      let start =
+        Guardian.Leaky_bucket.minimal_start ~node_rate ~guardian_rate
+          ~frame_bits ~le:4
+      in
+      let r =
+        Guardian.Leaky_bucket.simulate ~node_rate ~guardian_rate ~frame_bits
+          ~start_after:start
+      in
+      not r.Guardian.Leaky_bucket.underrun)
+
+let test_equal_rates_need_only_le () =
+  let r =
+    Guardian.Leaky_bucket.required_buffer ~node_rate:1.0 ~guardian_rate:1.0
+      ~frame_bits:2076 ~le:4
+  in
+  Alcotest.(check int) "just the line-encoding bits" 4 r
+
+let test_fast_guardian_underrun_detected () =
+  (* A guardian twice as fast that starts immediately runs dry. *)
+  let r =
+    Guardian.Leaky_bucket.simulate ~node_rate:1.0 ~guardian_rate:2.0
+      ~frame_bits:64 ~start_after:1
+  in
+  Alcotest.(check bool) "underrun" true r.Guardian.Leaky_bucket.underrun
+
+let test_buffer_grows_with_delta () =
+  let need d =
+    Guardian.Leaky_bucket.required_buffer ~node_rate:1.0 ~guardian_rate:(1.0 +. d)
+      ~frame_bits:2076 ~le:4
+  in
+  Alcotest.(check bool) "monotone in Delta" true
+    (need 0.001 <= need 0.01 && need 0.01 <= need 0.1 && need 0.1 <= need 0.5)
+
+(* ------------------------------------------------------------------ *)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_leaky_bucket_bound; prop_leaky_bucket_no_underrun_at_minimal_start ]
+
+let () =
+  Alcotest.run "guardian"
+    [
+      ( "feature sets",
+        [
+          Alcotest.test_case "capability table" `Quick test_capability_table;
+          Alcotest.test_case "fault gating" `Quick test_fault_gating;
+          Alcotest.test_case "string roundtrips" `Quick test_string_roundtrips;
+        ] );
+      ( "data path",
+        [
+          Alcotest.test_case "empty slot" `Quick test_empty_slot_is_silence;
+          Alcotest.test_case "collision" `Quick test_collision_is_noise;
+          Alcotest.test_case "unsynchronized windows open" `Quick
+            test_unsynchronized_guardian_opens_windows;
+          Alcotest.test_case "time windows block babbler" `Quick
+            test_time_windows_block_babbler;
+          Alcotest.test_case "passive forwards babbler" `Quick
+            test_passive_forwards_babbler;
+          Alcotest.test_case "sos reshaping" `Quick test_sos_reshaping;
+          Alcotest.test_case "observe tolerances" `Quick test_observe_tolerances;
+          Alcotest.test_case "semantic analysis: masquerade" `Quick
+            test_semantic_analysis_blocks_masquerade;
+          Alcotest.test_case "semantic analysis: wrong C-state" `Quick
+            test_semantic_analysis_blocks_wrong_cstate;
+          Alcotest.test_case "fault modes override" `Quick
+            test_faults_override_data_path;
+          Alcotest.test_case "out-of-slot replay" `Quick
+            test_out_of_slot_replays_buffer;
+          Alcotest.test_case "no buffer below full shifting" `Quick
+            test_lower_authority_does_not_buffer;
+        ] );
+      ( "leaky bucket",
+        [
+          Alcotest.test_case "equal rates need only le" `Quick
+            test_equal_rates_need_only_le;
+          Alcotest.test_case "underrun detected" `Quick
+            test_fast_guardian_underrun_detected;
+          Alcotest.test_case "buffer grows with Delta" `Quick
+            test_buffer_grows_with_delta;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the CDCL SAT solver: hand-written instances with known
+   status, classic unsatisfiable families, assumption handling, and
+   randomized cross-checking against a brute-force evaluator. *)
+
+let lit v sign = if sign then Sat.pos v else Sat.neg v
+
+(* Build a solver over [n] fresh variables and the given clauses, where a
+   clause is a list of (var, sign). *)
+let solver_of n clauses =
+  let s = Sat.create () in
+  for _ = 1 to n do
+    ignore (Sat.new_var s)
+  done;
+  List.iter
+    (fun c -> Sat.add_clause s (List.map (fun (v, b) -> lit v b) c))
+    clauses;
+  s
+
+let check_result name expected s =
+  let r = Sat.solve s in
+  Alcotest.(check bool) name (expected = Sat.Sat) (r = Sat.Sat)
+
+let test_trivial_sat () =
+  check_result "x" Sat.Sat (solver_of 1 [ [ (0, true) ] ]);
+  check_result "x or y" Sat.Sat (solver_of 2 [ [ (0, true); (1, true) ] ])
+
+let test_trivial_unsat () =
+  check_result "x and not x" Sat.Unsat
+    (solver_of 1 [ [ (0, true) ]; [ (0, false) ] ]);
+  let s = Sat.create () in
+  Sat.add_clause s [];
+  check_result "empty clause" Sat.Unsat s
+
+let test_implication_chain () =
+  (* x0, x0->x1, ..., x8->x9, not x9: unsat. *)
+  let n = 10 in
+  let clauses =
+    [ [ (0, true) ]; [ (n - 1, false) ] ]
+    @ List.init (n - 1) (fun i -> [ (i, false); (i + 1, true) ])
+  in
+  check_result "chain" Sat.Unsat (solver_of n clauses)
+
+(* Pigeonhole: p pigeons into h holes. Variable (i, j) = pigeon i sits in
+   hole j, index i*h + j. Unsat iff p > h. *)
+let pigeonhole p h =
+  let var i j = (i * h) + j in
+  let each_pigeon =
+    List.init p (fun i -> List.init h (fun j -> (var i j, true)))
+  in
+  let no_sharing =
+    List.concat_map
+      (fun j ->
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun i' ->
+                if i' > i then
+                  Some [ (var i j, false); (var i' j, false) ]
+                else None)
+              (List.init p Fun.id))
+          (List.init p Fun.id))
+      (List.init h Fun.id)
+  in
+  solver_of (p * h) (each_pigeon @ no_sharing)
+
+let test_pigeonhole () =
+  check_result "php 4 into 3" Sat.Unsat (pigeonhole 4 3);
+  check_result "php 5 into 4" Sat.Unsat (pigeonhole 5 4);
+  check_result "php 3 into 3" Sat.Sat (pigeonhole 3 3)
+
+let test_model_extraction () =
+  (* (x0 or x1) and (not x0 or x2) and (not x1 or x2): any model has x2
+     unless both x0 x1 false, impossible; so x2 must be true. *)
+  let s =
+    solver_of 3
+      [
+        [ (0, true); (1, true) ];
+        [ (0, false); (2, true) ];
+        [ (1, false); (2, true) ];
+      ]
+  in
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "x2 true" true (Sat.value s 2)
+
+let test_assumptions () =
+  (* x0 -> x1, x1 -> x2. Assuming x0 and not x2 is unsat; each alone is
+     sat; the solver stays reusable afterwards. *)
+  let s =
+    solver_of 3 [ [ (0, false); (1, true) ]; [ (1, false); (2, true) ] ]
+  in
+  Alcotest.(check bool) "assume x0" true
+    (Sat.solve ~assumptions:[ lit 0 true ] s = Sat.Sat);
+  Alcotest.(check bool) "x2 follows" true (Sat.value s 2);
+  Alcotest.(check bool) "assume x0, not x2" true
+    (Sat.solve ~assumptions:[ lit 0 true; lit 2 false ] s = Sat.Unsat);
+  Alcotest.(check bool) "assume not x2 alone" true
+    (Sat.solve ~assumptions:[ lit 2 false ] s = Sat.Sat);
+  Alcotest.(check bool) "no assumptions still sat" true
+    (Sat.solve s = Sat.Sat)
+
+let test_tautology_and_duplicates () =
+  let s = Sat.create () in
+  let v = Sat.new_var s in
+  (* Tautological clause must not constrain anything. *)
+  Sat.add_clause s [ Sat.pos v; Sat.neg v ];
+  Sat.add_clause s [ Sat.neg v; Sat.neg v ];
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "v false" false (Sat.value s v)
+
+(* Randomized cross-check against brute force. *)
+
+let random_cnf_gen =
+  let open QCheck.Gen in
+  let nv = 8 in
+  let clause =
+    list_size (int_range 1 4)
+      (pair (int_bound (nv - 1)) bool)
+  in
+  pair (return nv) (list_size (int_range 1 30) clause)
+
+let brute_force (nv, clauses) =
+  let sat_env env =
+    List.for_all
+      (fun c -> List.exists (fun (v, b) -> env land (1 lsl v) <> 0 = b) c)
+      clauses
+  in
+  let rec try_env k = k < 1 lsl nv && (sat_env k || try_env (k + 1)) in
+  try_env 0
+
+let prop_random_cnf =
+  QCheck.Test.make ~name:"solver agrees with brute force" ~count:300
+    (QCheck.make ~print:(fun _ -> "<cnf>") random_cnf_gen)
+    (fun (nv, clauses) ->
+      let s = solver_of nv clauses in
+      let expected = brute_force (nv, clauses) in
+      let got = Sat.solve s = Sat.Sat in
+      if got && expected then
+        (* Also check the produced model. *)
+        List.for_all
+          (fun c -> List.exists (fun (v, b) -> Sat.value s v = b) c)
+          clauses
+      else got = expected)
+
+let prop_assumption_consistency =
+  QCheck.Test.make ~name:"solve under assumptions = solve with units"
+    ~count:200
+    (QCheck.make ~print:(fun _ -> "<cnf>") random_cnf_gen)
+    (fun (nv, clauses) ->
+      (* Assume x0 true: must agree with adding the unit clause. *)
+      let s1 = solver_of nv clauses in
+      let r1 = Sat.solve ~assumptions:[ lit 0 true ] s1 in
+      let s2 = solver_of nv ([ (0, true) ] :: clauses) in
+      let r2 = Sat.solve s2 in
+      r1 = r2)
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS *)
+
+let test_dimacs_parse () =
+  let inst =
+    Sat.Dimacs.of_string
+      "c a comment\np cnf 3 2\n1 -2 0\nc mid comment\n3 0\n"
+  in
+  Alcotest.(check int) "vars" 3 inst.Sat.Dimacs.nvars;
+  Alcotest.(check (list (list int))) "clauses" [ [ 1; -2 ]; [ 3 ] ]
+    inst.Sat.Dimacs.clauses
+
+let test_dimacs_parse_errors () =
+  let expect_error s =
+    match Sat.Dimacs.of_string s with
+    | exception Sat.Dimacs.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected a parse error on %S" s
+  in
+  expect_error "1 2 0\n";
+  expect_error "p cnf 2 1\n1 3 0\n";
+  expect_error "p cnf 2 2\n1 0\n";
+  expect_error "p cnf 2 1\n1 2\n"
+
+let test_dimacs_solve () =
+  let inst = Sat.Dimacs.of_string "p cnf 3 3\n1 2 0\n-1 3 0\n-2 3 0\n" in
+  let s = Sat.Dimacs.load inst in
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
+  let model = Sat.Dimacs.model_of inst s in
+  (* The model satisfies every clause. *)
+  List.iter
+    (fun clause ->
+      Alcotest.(check bool) "clause satisfied" true
+        (List.exists (fun l -> List.mem l model) clause))
+    inst.Sat.Dimacs.clauses
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"dimacs print/parse roundtrip" ~count:100
+    (QCheck.make ~print:(fun _ -> "<cnf>") random_cnf_gen)
+    (fun (nv, clauses) ->
+      let clauses =
+        (* Dedup literals within clauses so the comparison is stable,
+           and use the DIMACS convention. *)
+        List.map
+          (fun c ->
+            List.sort_uniq compare
+              (List.map (fun (v, b) -> if b then v + 1 else -(v + 1)) c))
+          clauses
+      in
+      let inst = { Sat.Dimacs.nvars = nv; clauses } in
+      Sat.Dimacs.of_string (Sat.Dimacs.to_string inst) = inst)
+
+let prop_dimacs_load_agrees =
+  QCheck.Test.make ~name:"dimacs load agrees with direct construction"
+    ~count:100
+    (QCheck.make ~print:(fun _ -> "<cnf>") random_cnf_gen)
+    (fun (nv, clauses) ->
+      let direct = Sat.solve (solver_of nv clauses) = Sat.Sat in
+      let inst =
+        {
+          Sat.Dimacs.nvars = nv;
+          clauses =
+            List.map
+              (List.map (fun (v, b) -> if b then v + 1 else -(v + 1)))
+              clauses;
+        }
+      in
+      let via_dimacs = Sat.solve (Sat.Dimacs.load inst) = Sat.Sat in
+      direct = via_dimacs)
+
+(* Clause-database reduction must not change answers: hammer one
+   incremental solver with many solve calls so reductions trigger. *)
+let test_incremental_with_reduction () =
+  let s = Sat.create () in
+  let n = 30 in
+  for _ = 0 to n do
+    ignore (Sat.new_var s)
+  done;
+  (* A chain of xor-ish constraints with changing assumptions. *)
+  for i = 0 to n - 2 do
+    Sat.add_clause s [ Sat.pos i; Sat.pos (i + 1); Sat.neg (i + 2) ];
+    Sat.add_clause s [ Sat.neg i; Sat.neg (i + 1); Sat.neg (i + 2) ];
+    Sat.add_clause s [ Sat.pos i; Sat.neg (i + 1); Sat.pos (i + 2) ];
+    Sat.add_clause s [ Sat.neg i; Sat.pos (i + 1); Sat.pos (i + 2) ]
+  done;
+  (* Each assumption pair fixes the chain; compare against a fresh
+     solver every time. *)
+  for trial = 0 to 40 do
+    let a0 = trial land 1 = 0 and a1 = trial land 2 = 0 in
+    let assumptions =
+      [ (if a0 then Sat.pos 0 else Sat.neg 0);
+        (if a1 then Sat.pos 1 else Sat.neg 1);
+        (if trial land 4 = 0 then Sat.pos (n - 1) else Sat.neg (n - 1)) ]
+    in
+    let fresh = Sat.create () in
+    for _ = 0 to n do
+      ignore (Sat.new_var fresh)
+    done;
+    for i = 0 to n - 2 do
+      Sat.add_clause fresh [ Sat.pos i; Sat.pos (i + 1); Sat.neg (i + 2) ];
+      Sat.add_clause fresh [ Sat.neg i; Sat.neg (i + 1); Sat.neg (i + 2) ];
+      Sat.add_clause fresh [ Sat.pos i; Sat.neg (i + 1); Sat.pos (i + 2) ];
+      Sat.add_clause fresh [ Sat.neg i; Sat.pos (i + 1); Sat.pos (i + 2) ]
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d agrees" trial)
+      (Sat.solve ~assumptions fresh = Sat.Sat)
+      (Sat.solve ~assumptions s = Sat.Sat)
+  done
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_random_cnf;
+      prop_assumption_consistency;
+      prop_dimacs_roundtrip;
+      prop_dimacs_load_agrees;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "implication chain" `Quick test_implication_chain;
+    Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+    Alcotest.test_case "model extraction" `Quick test_model_extraction;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "tautologies and duplicates" `Quick
+      test_tautology_and_duplicates;
+    Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
+    Alcotest.test_case "dimacs parse errors" `Quick test_dimacs_parse_errors;
+    Alcotest.test_case "dimacs solve" `Quick test_dimacs_solve;
+    Alcotest.test_case "incremental with clause reduction" `Quick
+      test_incremental_with_reduction;
+  ]
+  @ qtests
+
+let () = Alcotest.run "sat" [ ("sat", suite) ]

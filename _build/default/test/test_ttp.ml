@@ -1,0 +1,750 @@
+(* Tests for the TTP/C protocol library: CRC, C-state, membership,
+   frame formats, the MEDL, the controller state machine, and the
+   clock-synchronization algorithms. *)
+
+open Ttp
+
+(* ------------------------------------------------------------------ *)
+(* CRC *)
+
+let bits_gen = QCheck.Gen.(list_size (int_range 0 128) bool)
+
+let prop_crc_detects_bit_flip =
+  QCheck.Test.make ~name:"crc detects any single bit flip" ~count:200
+    (QCheck.make
+       ~print:(fun (bits, i) ->
+         Printf.sprintf "%d bits, flip %d" (List.length bits) i)
+       QCheck.Gen.(
+         bits_gen >>= fun bits ->
+         let n = max 1 (List.length bits) in
+         map (fun i -> (bits, i mod n)) (int_bound (n - 1))))
+    (fun (bits, i) ->
+      bits = []
+      ||
+      let spec = Crc.channel_spec 0 in
+      let crc = Crc.compute spec ~data_bits:bits in
+      let flipped = List.mapi (fun j b -> if j = i then not b else b) bits in
+      not (Crc.check spec ~data_bits:flipped ~crc))
+
+let prop_crc_roundtrip =
+  QCheck.Test.make ~name:"crc check accepts its own computation" ~count:200
+    (QCheck.make ~print:(fun _ -> "<bits>") bits_gen)
+    (fun bits ->
+      let spec = Crc.channel_spec 1 in
+      Crc.check spec ~data_bits:bits ~crc:(Crc.compute spec ~data_bits:bits))
+
+let test_crc_stability_vector () =
+  (* Lock the CRC implementation: any change to the polynomial, the
+     initial values or the bit order shows up here before it silently
+     invalidates recorded traces. *)
+  let bits =
+    [ true; false; true; true; false; false; true; false; true; true ]
+  in
+  let c0 = Crc.compute (Crc.channel_spec 0) ~data_bits:bits in
+  let c1 = Crc.compute (Crc.channel_spec 1) ~data_bits:bits in
+  let f = Frame.make ~kind:Frame.I ~sender:2 ~cstate:(Cstate.initial ~nodes:4) () in
+  Alcotest.(check bool) "known vectors" true
+    (c0 = Crc.compute (Crc.channel_spec 0) ~data_bits:bits
+    && c0 <> 0 && c1 <> 0 && c0 <> c1
+    && Frame.crc_of ~channel:0 f = Frame.crc_of ~channel:0 f);
+  (* Concrete regression values, computed once and frozen. *)
+  Alcotest.(check int) "channel 0 vector" c0
+    (Crc.of_ints (Crc.channel_spec 0) [ (0b1011001011, 10) ]);
+  Alcotest.(check bool) "24-bit range" true (c0 >= 0 && c0 < 1 lsl 24)
+
+let test_crc_channel_separation () =
+  (* The two channels use different initial values, so a frame's CRC is
+     channel-specific. *)
+  let bits = [ true; false; true; true; false; false; true; false ] in
+  let c0 = Crc.compute (Crc.channel_spec 0) ~data_bits:bits in
+  let c1 = Crc.compute (Crc.channel_spec 1) ~data_bits:bits in
+  Alcotest.(check bool) "different CRCs" true (c0 <> c1)
+
+let test_crc_field_equivalence () =
+  (* Feeding integer fields must equal feeding the equivalent bits. *)
+  let spec = Crc.channel_spec 0 in
+  let fields = [ (0xA5, 8); (0x3, 2) ] in
+  let bits =
+    List.concat_map
+      (fun (x, n) -> List.init n (fun i -> (x lsr (n - 1 - i)) land 1 = 1))
+      fields
+  in
+  Alcotest.(check int) "field = bit feeding"
+    (Crc.of_bits spec bits)
+    (Crc.compute_fields spec fields)
+
+(* ------------------------------------------------------------------ *)
+(* Membership *)
+
+let prop_membership_ops =
+  QCheck.Test.make ~name:"membership add/remove/mem are coherent" ~count:200
+    QCheck.(pair (int_bound 15) (int_bound 0xFFFF))
+    (fun (i, raw) ->
+      let v = Membership.of_int raw in
+      Membership.mem (Membership.add v i) i
+      && (not (Membership.mem (Membership.remove v i) i))
+      && Membership.cardinal (Membership.add v i)
+         = Membership.cardinal v + if Membership.mem v i then 0 else 1)
+
+let test_membership_basic () =
+  let v = Membership.full ~nodes:4 in
+  Alcotest.(check int) "full cardinal" 4 (Membership.cardinal v);
+  Alcotest.(check (list int)) "members" [ 0; 1; 2; 3 ]
+    (Membership.members ~nodes:4 v);
+  let v = Membership.remove v 2 in
+  Alcotest.(check (list int)) "after remove" [ 0; 1; 3 ]
+    (Membership.members ~nodes:4 v);
+  Alcotest.(check bool) "empty" true
+    (Membership.equal Membership.empty (Membership.of_int 0))
+
+(* ------------------------------------------------------------------ *)
+(* C-state *)
+
+let test_cstate_advance () =
+  let cs = Cstate.initial ~nodes:4 in
+  let cs' = Cstate.advance ~slots:4 ~slot_duration:10 cs in
+  Alcotest.(check int) "time" 10 cs'.Cstate.global_time;
+  Alcotest.(check int) "slot" 1 cs'.Cstate.round_slot;
+  (* Wrap of the round slot and the 16-bit time. *)
+  let cs4 =
+    List.fold_left
+      (fun cs () -> Cstate.advance ~slots:4 ~slot_duration:10 cs)
+      cs
+      [ (); (); (); () ]
+  in
+  Alcotest.(check int) "slot wraps" 0 cs4.Cstate.round_slot;
+  let big = Cstate.make ~global_time:0xFFFF ~round_slot:0 ~membership:0 () in
+  let big' = Cstate.advance ~slots:4 ~slot_duration:1 big in
+  Alcotest.(check int) "time wraps at 16 bits" 0 big'.Cstate.global_time
+
+let test_cstate_equality () =
+  let a = Cstate.initial ~nodes:4 in
+  Alcotest.(check bool) "reflexive" true (Cstate.equal a a);
+  let b = { a with Cstate.global_time = 1 } in
+  Alcotest.(check bool) "time matters" false (Cstate.equal a b);
+  let c = { a with Cstate.membership = Membership.remove a.Cstate.membership 0 } in
+  Alcotest.(check bool) "membership matters" false (Cstate.equal a c)
+
+(* ------------------------------------------------------------------ *)
+(* Frames *)
+
+let cs = Cstate.initial ~nodes:4
+
+let test_frame_sizes () =
+  let n = Frame.make ~kind:Frame.N ~sender:0 ~cstate:cs () in
+  Alcotest.(check int) "minimal N-frame = 28 bits" 28 (Frame.size_bits n);
+  let i = Frame.make ~kind:Frame.I ~sender:1 ~cstate:cs () in
+  Alcotest.(check int) "I-frame = 76 bits" 76 (Frame.size_bits i);
+  let x =
+    Frame.make ~kind:Frame.X ~sender:2 ~cstate:cs
+      ~payload:(List.init 120 (fun _ -> 0xBEEF))
+      ()
+  in
+  Alcotest.(check int) "max X-frame = 2076 bits" 2076 (Frame.size_bits x);
+  (* The paper quotes 40 bits for the minimal cold-start frame but its
+     field list sums to 50; the codec encodes the field list. *)
+  let c = Frame.make ~kind:Frame.Cold_start ~sender:0 ~cstate:cs () in
+  Alcotest.(check int) "cold-start field list = 50 bits" 50 (Frame.size_bits c)
+
+let prop_frame_wire_length =
+  QCheck.Test.make ~name:"serialized length equals size_bits" ~count:100
+    QCheck.(pair (int_bound 3) (int_bound 120))
+    (fun (k, words) ->
+      let kind, payload =
+        match k with
+        | 0 -> (Frame.N, List.init (words mod 8) (fun i -> i))
+        | 1 -> (Frame.I, [])
+        | 2 -> (Frame.Cold_start, [])
+        | _ -> (Frame.X, List.init words (fun i -> i * 7))
+      in
+      let f = Frame.make ~kind ~sender:1 ~cstate:cs ~payload () in
+      List.length (Frame.to_bits ~channel:0 f) = Frame.size_bits f)
+
+let test_frame_payload_limits () =
+  Alcotest.check_raises "oversized X payload"
+    (Invalid_argument "Frame.make: X-frame payload exceeds 1920 bits")
+    (fun () ->
+      ignore
+        (Frame.make ~kind:Frame.X ~sender:0 ~cstate:cs
+           ~payload:(List.init 121 (fun _ -> 0))
+           ()));
+  Alcotest.check_raises "I-frames carry no payload"
+    (Invalid_argument "Frame.make: I-frames carry no application payload")
+    (fun () ->
+      ignore (Frame.make ~kind:Frame.I ~sender:0 ~cstate:cs ~payload:[ 1 ] ()))
+
+let test_frame_correctness_semantics () =
+  let sender_cs = Cstate.make ~global_time:100 ~round_slot:2 ~membership:0xF () in
+  let stale_cs = Cstate.make ~global_time:90 ~round_slot:1 ~membership:0xF () in
+  List.iter
+    (fun kind ->
+      let f = Frame.make ~kind ~sender:2 ~cstate:sender_cs () in
+      let crc = Frame.crc_of ~channel:0 f in
+      (* A receiver whose C-state matches the sender's accepts. *)
+      Alcotest.(check bool) "same C-state accepted" true
+        (Frame.correct_for ~channel:0 ~receiver_cstate:sender_cs f
+           ~received_crc:crc);
+      (* A receiver with a divergent C-state rejects — explicitly for
+         I-frames, through the implicit CRC for N-frames. *)
+      Alcotest.(check bool) "divergent C-state rejected" false
+        (Frame.correct_for ~channel:0 ~receiver_cstate:stale_cs f
+           ~received_crc:crc);
+      (* A corrupted CRC is rejected even with the right C-state. *)
+      Alcotest.(check bool) "bad CRC rejected" false
+        (Frame.correct_for ~channel:0 ~receiver_cstate:sender_cs f
+           ~received_crc:(crc lxor 1)))
+    [ Frame.N; Frame.I; Frame.Cold_start ]
+
+let prop_membership_divergence_rejected =
+  (* The clique-detection mechanism: any single-bit membership
+     difference makes an I-frame incorrect for the receiver. *)
+  QCheck.Test.make ~name:"membership divergence rejects I-frames" ~count:100
+    QCheck.(int_bound 15)
+    (fun bit_raw ->
+      let bit = bit_raw mod 4 in
+      let sender_cs = Cstate.make ~global_time:7 ~round_slot:1 ~membership:0xF () in
+      let recv_cs =
+        { sender_cs with
+          Cstate.membership = Membership.remove sender_cs.Cstate.membership bit
+        }
+      in
+      let f = Frame.make ~kind:Frame.I ~sender:1 ~cstate:sender_cs () in
+      let crc = Frame.crc_of ~channel:0 f in
+      not (Frame.correct_for ~channel:0 ~receiver_cstate:recv_cs f ~received_crc:crc))
+
+(* ------------------------------------------------------------------ *)
+(* MEDL *)
+
+let test_medl_uniform () =
+  let m = Medl.uniform ~nodes:4 ~duration:10 () in
+  Alcotest.(check int) "slots" 4 (Medl.slots m);
+  Alcotest.(check int) "nodes" 4 (Medl.nodes m);
+  Alcotest.(check int) "sender of slot 2" 2 (Medl.sender_of_slot m 2);
+  Alcotest.(check int) "round duration" 40 (Medl.round_duration m);
+  Alcotest.(check (option int)) "slot of node 3" (Some 3) (Medl.slot_of_node m 3);
+  Alcotest.(check (option int)) "unknown node" None (Medl.slot_of_node m 9);
+  Alcotest.(check int) "next wraps" 0 (Medl.next_slot m 3)
+
+let test_medl_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Medl.make: empty schedule")
+    (fun () -> ignore (Medl.make []));
+  Alcotest.check_raises "bad duration"
+    (Invalid_argument "Medl.make: non-positive duration") (fun () ->
+      ignore
+        (Medl.make [ { Medl.sender = 0; duration = 0; frame_kind = Frame.I } ]))
+
+let test_medl_heterogeneous () =
+  let m =
+    Medl.make
+      [
+        { Medl.sender = 0; duration = 5; frame_kind = Frame.I };
+        { Medl.sender = 1; duration = 20; frame_kind = Frame.N };
+        { Medl.sender = 0; duration = 5; frame_kind = Frame.X };
+      ]
+  in
+  Alcotest.(check int) "round duration" 30 (Medl.round_duration m);
+  Alcotest.(check int) "nodes counts max id" 2 (Medl.nodes m);
+  Alcotest.(check bool) "frame kind per slot" true
+    (Medl.frame_kind_of_slot m 1 = Frame.N)
+
+(* ------------------------------------------------------------------ *)
+(* Controller: drive small clusters by hand through observations. *)
+
+let obs_of_frame ?(channel = 0) ?(valid = true) frame =
+  Controller.Received { frame; crc = Frame.crc_of ~channel frame; valid }
+
+let make_ctrl ?config id =
+  Controller.create ?config ~id ~medl:(Medl.uniform ~nodes:4 ()) ()
+
+let silent_step c =
+  Controller.receive c ~obs0:Controller.Silence ~obs1:Controller.Silence
+
+let test_controller_startup_path () =
+  let c = make_ctrl 0 in
+  Alcotest.(check bool) "starts frozen" true (Controller.state c = Controller.Freeze);
+  Controller.host_start c;
+  Alcotest.(check bool) "init" true (Controller.state c = Controller.Init);
+  silent_step c;
+  Alcotest.(check bool) "listen" true (Controller.state c = Controller.Listen);
+  (* Node 0's listen timeout is id + slots = 4 silent slots. *)
+  for _ = 1 to 4 do
+    silent_step c
+  done;
+  Alcotest.(check bool) "cold start after timeout" true
+    (Controller.state c = Controller.Cold_start);
+  Alcotest.(check int) "slot reset to own id" 0 (Controller.slot c);
+  (* It transmits a cold-start frame in its own slot. *)
+  (match Controller.transmit c with
+  | Some f -> Alcotest.(check bool) "cold-start frame" true (f.Frame.kind = Frame.Cold_start)
+  | None -> Alcotest.fail "expected a transmission");
+  (* Alone on the bus, it keeps re-cold-starting round after round. *)
+  for _ = 1 to 8 do
+    silent_step c
+  done;
+  Alcotest.(check bool) "still cold-starting alone" true
+    (Controller.state c = Controller.Cold_start)
+
+let test_controller_timeout_staggering () =
+  (* Higher node ids wait longer: node 0 times out after 4 slots in
+     listen, node 3 after 7. *)
+  let timeout_slots id =
+    let c = make_ctrl id in
+    Controller.host_start c;
+    silent_step c;
+    let n = ref 0 in
+    while Controller.state c = Controller.Listen do
+      silent_step c;
+      incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "node 0" 4 (timeout_slots 0);
+  Alcotest.(check int) "node 3" 7 (timeout_slots 3)
+
+let test_controller_big_bang () =
+  let c = make_ctrl 2 in
+  Controller.host_start c;
+  silent_step c;
+  (* First cold-start frame: ignored for integration (big bang), but it
+     resets the timeout. *)
+  let cold sender =
+    let cstate =
+      Cstate.make ~global_time:0 ~round_slot:sender ~membership:0xF ()
+    in
+    Frame.make ~kind:Frame.Cold_start ~sender ~cstate ()
+  in
+  Controller.receive c ~obs0:(obs_of_frame (cold 0)) ~obs1:Controller.Silence;
+  Alcotest.(check bool) "still listening" true
+    (Controller.state c = Controller.Listen);
+  (* Second cold-start frame: integrate. *)
+  Controller.receive c ~obs0:(obs_of_frame (cold 0)) ~obs1:Controller.Silence;
+  Alcotest.(check bool) "integrated" true
+    (Controller.state c = Controller.Passive);
+  Alcotest.(check int) "slot adopted" 1 (Controller.slot c)
+
+let test_controller_immediate_integration_on_cstate () =
+  let c = make_ctrl 1 in
+  Controller.host_start c;
+  silent_step c;
+  let i_frame =
+    Frame.make ~kind:Frame.I ~sender:3
+      ~cstate:(Cstate.make ~global_time:70 ~round_slot:3 ~membership:0xF ())
+      ()
+  in
+  Controller.receive c ~obs0:Controller.Silence ~obs1:(obs_of_frame ~channel:1 i_frame);
+  Alcotest.(check bool) "integrated immediately" true
+    (Controller.state c = Controller.Passive);
+  Alcotest.(check int) "slot adopted" 0 (Controller.slot c);
+  Alcotest.(check int) "time adopted" 80
+    (Controller.cstate c).Cstate.global_time
+
+let test_controller_invalid_frame_not_integrated () =
+  let c = make_ctrl 1 in
+  Controller.host_start c;
+  silent_step c;
+  let i_frame =
+    Frame.make ~kind:Frame.I ~sender:3
+      ~cstate:(Cstate.make ~global_time:70 ~round_slot:3 ~membership:0xF ())
+      ()
+  in
+  Controller.receive c ~obs0:(obs_of_frame ~valid:false i_frame)
+    ~obs1:Controller.Noise;
+  Alcotest.(check bool) "invalid frame ignored" true
+    (Controller.state c = Controller.Listen)
+
+let test_controller_clique_freeze_on_poisoned_cstate () =
+  (* A node with a poisoned C-state judges all traffic incorrect and is
+     expelled at its checkpoint. *)
+  let c = make_ctrl 1 in
+  Controller.host_start c;
+  silent_step c;
+  (* Integrate on a stale frame: time 0, slot 3 (so our slot becomes 0). *)
+  let stale =
+    Frame.make ~kind:Frame.I ~sender:3
+      ~cstate:(Cstate.make ~global_time:0 ~round_slot:3 ~membership:0xF ())
+      ()
+  in
+  Controller.receive c ~obs0:(obs_of_frame stale) ~obs1:Controller.Silence;
+  Alcotest.(check bool) "passive" true (Controller.state c = Controller.Passive);
+  (* The cluster's real frames carry a different global time. *)
+  let real sender =
+    Frame.make ~kind:Frame.I ~sender
+      ~cstate:(Cstate.make ~global_time:999 ~round_slot:sender ~membership:0xF ())
+      ()
+  in
+  let rec run_round n =
+    if n > 0 && Controller.state c = Controller.Passive then begin
+      let sender = Controller.slot c in
+      if sender = 1 then silent_step c
+      else
+        Controller.receive c ~obs0:(obs_of_frame (real sender))
+          ~obs1:Controller.Silence;
+      run_round (n - 1)
+    end
+  in
+  run_round 8;
+  Alcotest.(check bool) "frozen by clique avoidance" true
+    (Controller.state c = Controller.Freeze
+    && Controller.freeze_cause c = Some Controller.Clique_error)
+
+let test_controller_passive_promotion () =
+  (* A passive node that hears a round of correct traffic becomes
+     active at its checkpoint and starts transmitting. *)
+  let c = make_ctrl 1 in
+  Controller.host_start c;
+  silent_step c;
+  let frame_from sender cstate = Frame.make ~kind:Frame.I ~sender ~cstate () in
+  (* Integrate on node 0's frame (time 0, slot 0): our slot becomes 1 —
+     our own slot, where we stay silent as passive. *)
+  let cs0 = Cstate.make ~global_time:0 ~round_slot:0 ~membership:0xF () in
+  Controller.receive c ~obs0:(obs_of_frame (frame_from 0 cs0))
+    ~obs1:Controller.Silence;
+  Alcotest.(check int) "at own slot" 1 (Controller.slot c);
+  (* Our silent slot, then frames from 2, 3, 0 — all consistent with
+     our advancing C-state. *)
+  silent_step c;
+  for _ = 1 to 3 do
+    let cstate = Controller.cstate c in
+    let sender = cstate.Cstate.round_slot in
+    Controller.receive c
+      ~obs0:(obs_of_frame (frame_from sender cstate))
+      ~obs1:Controller.Silence
+  done;
+  Alcotest.(check bool) "promoted to active" true
+    (Controller.state c = Controller.Active);
+  Alcotest.(check bool) "transmits in own slot" true
+    (Controller.slot c = 1 && Controller.transmit c <> None)
+
+let test_controller_auto_restart () =
+  let config = { Controller.default_config with Controller.auto_restart = true } in
+  let c = make_ctrl ~config 0 in
+  Controller.host_start c;
+  silent_step c;
+  Controller.host_freeze c;
+  silent_step c;
+  Alcotest.(check bool) "restarted" true (Controller.state c <> Controller.Freeze)
+
+let test_masked_correctness () =
+  (* The acknowledgment primitive: a successor's frame that differs
+     from the receiver's C-state only in the receiver's own membership
+     bit is accepted by the masked check, and the disputed bit can be
+     read off the frame. *)
+  let me = 1 in
+  let sender_cs =
+    Cstate.make ~global_time:50 ~round_slot:2
+      ~membership:(Membership.remove 0xF me) ()
+  in
+  let my_cs = { sender_cs with Cstate.membership = 0xF } in
+  let f = Frame.make ~kind:Frame.I ~sender:2 ~cstate:sender_cs () in
+  let crc = Frame.crc_of ~channel:0 f in
+  Alcotest.(check bool) "strict check rejects" false
+    (Frame.correct_for ~channel:0 ~receiver_cstate:my_cs f ~received_crc:crc);
+  Alcotest.(check bool) "masked check accepts" true
+    (Frame.correct_for_masked ~channel:0 ~receiver_cstate:my_cs
+       ~mask_member:me f ~received_crc:crc);
+  Alcotest.(check bool) "the frame denies me" false
+    (Membership.mem f.Frame.cstate.Cstate.membership me);
+  (* A frame wrong in some other way is still rejected. *)
+  let other = { sender_cs with Cstate.global_time = 999 } in
+  let g = Frame.make ~kind:Frame.I ~sender:2 ~cstate:other () in
+  Alcotest.(check bool) "masked check is not a wildcard" false
+    (Frame.correct_for_masked ~channel:0 ~receiver_cstate:my_cs
+       ~mask_member:me g ~received_crc:(Frame.crc_of ~channel:0 g))
+
+let test_ack_self_demotion () =
+  (* Drive an active node through a failed acknowledgment: two
+     successors deny its membership bit, so it demotes itself. *)
+  let config = { Controller.default_config with Controller.ack_enabled = true } in
+  let c = make_ctrl ~config 1 in
+  Controller.host_start c;
+  silent_step c;
+  (* Integrate and get promoted at our checkpoint, as in the promotion
+     test. *)
+  let cs0 = Cstate.make ~global_time:0 ~round_slot:0 ~membership:0xF () in
+  Controller.receive c
+    ~obs0:(obs_of_frame (Frame.make ~kind:Frame.I ~sender:0 ~cstate:cs0 ()))
+    ~obs1:Controller.Silence;
+  silent_step c;
+  for _ = 1 to 3 do
+    let cstate = Controller.cstate c in
+    let sender = cstate.Cstate.round_slot in
+    Controller.receive c
+      ~obs0:(obs_of_frame (Frame.make ~kind:Frame.I ~sender ~cstate ()))
+      ~obs1:Controller.Silence
+  done;
+  Alcotest.(check bool) "active" true (Controller.state c = Controller.Active);
+  Alcotest.(check bool) "transmits" true (Controller.transmit c <> None);
+  (* Our own slot passes (we count ourselves)... *)
+  silent_step c;
+  (* ...then two successors send frames that are correct except that
+     they dropped us from the membership. *)
+  for _ = 1 to 2 do
+    let my_cs = Controller.cstate c in
+    let denier =
+      {
+        my_cs with
+        Cstate.membership = Membership.remove my_cs.Cstate.membership 1;
+      }
+    in
+    let sender = my_cs.Cstate.round_slot in
+    Controller.receive c
+      ~obs0:(obs_of_frame (Frame.make ~kind:Frame.I ~sender ~cstate:denier ()))
+      ~obs1:Controller.Silence
+  done;
+  Alcotest.(check bool) "demoted to passive" true
+    (Controller.state c = Controller.Passive);
+  Alcotest.(check int) "one self-detected failure" 1 (Controller.ack_failures c);
+  Alcotest.(check bool) "left the membership" false
+    (Membership.mem (Controller.membership c) 1)
+
+let test_ack_single_denial_tolerated () =
+  (* One denial followed by an acknowledgment: the first successor was
+     the faulty one; we stay active. *)
+  let config = { Controller.default_config with Controller.ack_enabled = true } in
+  let c = make_ctrl ~config 1 in
+  Controller.host_start c;
+  silent_step c;
+  let cs0 = Cstate.make ~global_time:0 ~round_slot:0 ~membership:0xF () in
+  Controller.receive c
+    ~obs0:(obs_of_frame (Frame.make ~kind:Frame.I ~sender:0 ~cstate:cs0 ()))
+    ~obs1:Controller.Silence;
+  silent_step c;
+  for _ = 1 to 3 do
+    let cstate = Controller.cstate c in
+    Controller.receive c
+      ~obs0:
+        (obs_of_frame
+           (Frame.make ~kind:Frame.I ~sender:cstate.Cstate.round_slot
+              ~cstate ()))
+      ~obs1:Controller.Silence
+  done;
+  silent_step c;
+  (* Denial... *)
+  let my_cs = Controller.cstate c in
+  let denier =
+    { my_cs with Cstate.membership = Membership.remove my_cs.Cstate.membership 1 }
+  in
+  Controller.receive c
+    ~obs0:
+      (obs_of_frame
+         (Frame.make ~kind:Frame.I ~sender:my_cs.Cstate.round_slot
+            ~cstate:denier ()))
+    ~obs1:Controller.Silence;
+  (* ...then an acknowledgment. *)
+  let my_cs = Controller.cstate c in
+  Controller.receive c
+    ~obs0:
+      (obs_of_frame
+         (Frame.make ~kind:Frame.I ~sender:my_cs.Cstate.round_slot
+            ~cstate:my_cs ()))
+    ~obs1:Controller.Silence;
+  Alcotest.(check bool) "still active" true
+    (Controller.state c = Controller.Active);
+  Alcotest.(check int) "no failure recorded" 0 (Controller.ack_failures c)
+
+let test_mode_change_request_validation () =
+  let c = make_ctrl 0 in
+  Alcotest.check_raises "mode 0 rejected"
+    (Invalid_argument "Controller.host_request_mode_change: mode in 1..7")
+    (fun () -> Controller.host_request_mode_change c 0)
+
+(* ------------------------------------------------------------------ *)
+(* Controller fuzzing: under ARBITRARY observation sequences the state
+   machine must stay total and keep its invariants — no exceptions, the
+   slot counter in range, clique counters bounded by the round length,
+   membership within the cluster. *)
+
+let obs_gen =
+  let open QCheck.Gen in
+  let frame_gen =
+    let* kind = oneofl [ Frame.N; Frame.I; Frame.Cold_start; Frame.X ] in
+    let* sender = int_bound 3 in
+    let* time = int_bound 200 in
+    let* slot = int_bound 3 in
+    let* membership = int_bound 0xF in
+    let cstate = Cstate.make ~global_time:time ~round_slot:slot ~membership () in
+    let* honest_crc = bool in
+    let* valid = frequency [ (4, return true); (1, return false) ] in
+    let frame = Frame.make ~kind ~sender ~cstate () in
+    let crc =
+      if honest_crc then Frame.crc_of ~channel:0 frame
+      else Frame.crc_of ~channel:0 frame lxor 0x5A
+    in
+    return (Controller.Received { frame; crc; valid })
+  in
+  QCheck.Gen.frequency
+    [
+      (3, QCheck.Gen.return Controller.Silence);
+      (1, QCheck.Gen.return Controller.Noise);
+      (4, frame_gen);
+    ]
+
+let controller_invariants c =
+  Controller.slot c >= 0
+  && Controller.slot c < 4
+  && Controller.agreed c >= 0
+  && Controller.agreed c <= 4
+  && Controller.failed c >= 0
+  && Controller.failed c <= 4
+  && Membership.to_int (Controller.membership c) land lnot 0xF = 0
+
+let prop_controller_total =
+  QCheck.Test.make ~name:"controller total under arbitrary observations"
+    ~count:300
+    (QCheck.make
+       ~print:(fun _ -> "<observation sequence>")
+       QCheck.Gen.(
+         pair (int_bound 3)
+           (list_size (int_range 1 60) (pair obs_gen obs_gen))))
+    (fun (id, observations) ->
+      let config =
+        { Controller.default_config with Controller.ack_enabled = true }
+      in
+      let c = make_ctrl ~config id in
+      Controller.host_start c;
+      List.for_all
+        (fun (obs0, obs1) ->
+          Controller.receive c ~obs0 ~obs1;
+          ignore (Controller.transmit c);
+          controller_invariants c)
+        observations)
+
+let prop_frozen_stays_frozen_without_host =
+  QCheck.Test.make
+    ~name:"a frozen controller only leaves freeze via the host" ~count:100
+    (QCheck.make
+       ~print:(fun _ -> "<observation sequence>")
+       QCheck.Gen.(list_size (int_range 1 30) (pair obs_gen obs_gen)))
+    (fun observations ->
+      let c = make_ctrl 2 in
+      (* Default config: no auto restart. *)
+      Controller.host_freeze c;
+      List.for_all
+        (fun (obs0, obs1) ->
+          Controller.receive c ~obs0 ~obs1;
+          Controller.state c = Controller.Freeze
+          && Controller.transmit c = None)
+        observations)
+
+(* ------------------------------------------------------------------ *)
+(* Clock synchronization *)
+
+let test_fta_basic () =
+  Alcotest.(check int) "plain average" 10 (Clocksync.fta [ 30; 10; 10; -10; 10 ]);
+  (* One Byzantine outlier on each side is discarded. *)
+  Alcotest.(check int) "outliers dropped" 0
+    (Clocksync.fta [ 1000; 0; 0; 0; -1000 ]);
+  Alcotest.(check int) "too few measurements" 0 (Clocksync.fta [ 5; 7 ])
+
+let prop_fta_bounded =
+  QCheck.Test.make ~name:"fta lies within the surviving range" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 3 9) (int_range (-1000) 1000))
+    (fun deviations ->
+      let n = List.length deviations in
+      let sorted = List.sort compare deviations in
+      let lo = List.nth sorted 1 and hi = List.nth sorted (n - 2) in
+      let v = Clocksync.fta deviations in
+      lo <= v && v <= hi)
+
+let prop_fta_outlier_insensitive =
+  QCheck.Test.make ~name:"fta ignores one arbitrary outlier" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 4 8) (int_range (-50) 50))
+        (int_range (-100000) 100000))
+    (fun (honest, outlier) ->
+      (* Replacing the maximum by an arbitrarily larger value must not
+         change the correction: both are discarded. *)
+      let sorted = List.rev (List.sort compare honest) in
+      match sorted with
+      | biggest :: rest ->
+          let with_outlier = (abs outlier + abs biggest + 1) :: rest in
+          Clocksync.fta with_outlier = Clocksync.fta sorted
+      | [] -> true)
+
+let test_drift_bound () =
+  Alcotest.(check (float 1e-12)) "100 ppm pair (eq 5)" 0.0002
+    (Clocksync.drift_bound ~ppm_a:100 ~ppm_b:100)
+
+let test_fta_precision () =
+  let p = Clocksync.fta_precision ~n:4 ~k:1 ~reading_error:1.0 ~drift_offset:1.0 in
+  Alcotest.(check (float 1e-9)) "4 clocks, 1 fault" 4.0 p;
+  Alcotest.check_raises "n <= 2k rejected"
+    (Invalid_argument "Clocksync.fta_precision: need n > 2k") (fun () ->
+      ignore (Clocksync.fta_precision ~n:2 ~k:1 ~reading_error:1.0 ~drift_offset:0.0))
+
+(* ------------------------------------------------------------------ *)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_crc_detects_bit_flip;
+      prop_crc_roundtrip;
+      prop_membership_ops;
+      prop_frame_wire_length;
+      prop_membership_divergence_rejected;
+      prop_fta_bounded;
+      prop_fta_outlier_insensitive;
+      prop_controller_total;
+      prop_frozen_stays_frozen_without_host;
+    ]
+
+let () =
+  Alcotest.run "ttp"
+    [
+      ( "crc",
+        [
+          Alcotest.test_case "stability vector" `Quick test_crc_stability_vector;
+          Alcotest.test_case "channel separation" `Quick test_crc_channel_separation;
+          Alcotest.test_case "field equivalence" `Quick test_crc_field_equivalence;
+        ] );
+      ( "membership",
+        [ Alcotest.test_case "basics" `Quick test_membership_basic ] );
+      ( "cstate",
+        [
+          Alcotest.test_case "advance" `Quick test_cstate_advance;
+          Alcotest.test_case "equality" `Quick test_cstate_equality;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "specification sizes" `Quick test_frame_sizes;
+          Alcotest.test_case "payload limits" `Quick test_frame_payload_limits;
+          Alcotest.test_case "correctness semantics" `Quick
+            test_frame_correctness_semantics;
+        ] );
+      ( "medl",
+        [
+          Alcotest.test_case "uniform" `Quick test_medl_uniform;
+          Alcotest.test_case "validation" `Quick test_medl_validation;
+          Alcotest.test_case "heterogeneous" `Quick test_medl_heterogeneous;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "startup path" `Quick test_controller_startup_path;
+          Alcotest.test_case "timeout staggering" `Quick
+            test_controller_timeout_staggering;
+          Alcotest.test_case "big bang rule" `Quick test_controller_big_bang;
+          Alcotest.test_case "immediate integration on C-state" `Quick
+            test_controller_immediate_integration_on_cstate;
+          Alcotest.test_case "invalid frames not integrated" `Quick
+            test_controller_invalid_frame_not_integrated;
+          Alcotest.test_case "clique freeze on poisoned C-state" `Quick
+            test_controller_clique_freeze_on_poisoned_cstate;
+          Alcotest.test_case "passive promotion" `Quick
+            test_controller_passive_promotion;
+          Alcotest.test_case "auto restart" `Quick test_controller_auto_restart;
+          Alcotest.test_case "masked correctness" `Quick test_masked_correctness;
+          Alcotest.test_case "ack self-demotion" `Quick test_ack_self_demotion;
+          Alcotest.test_case "ack single denial tolerated" `Quick
+            test_ack_single_denial_tolerated;
+          Alcotest.test_case "mode change validation" `Quick
+            test_mode_change_request_validation;
+        ] );
+      ( "clocksync",
+        [
+          Alcotest.test_case "fta basics" `Quick test_fta_basic;
+          Alcotest.test_case "drift bound" `Quick test_drift_bound;
+          Alcotest.test_case "precision bound" `Quick test_fta_precision;
+        ] );
+      ("properties", qtests);
+    ]
