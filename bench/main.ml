@@ -28,53 +28,44 @@ let timed f =
 (* ------------------------------------------------------------------ *)
 (* Section 5 results: one row per configuration (E1-E5). *)
 
-let verdict_row ~id ~label ~expect cfg engine depth =
-  let verdict, dt =
-    timed (fun () -> Tta_model.Runner.check ~engine ~max_depth:depth cfg)
-  in
-  let measured =
-    match verdict with
-    | Tta_model.Runner.Holds { detail } -> "holds (" ^ detail ^ ")"
-    | Tta_model.Runner.Violated { trace; model } ->
-        let ok =
-          match Symkit.Trace.validate model trace with
-          | Ok () -> "validated"
-          | Error e -> "INVALID: " ^ e
-        in
-        Printf.sprintf "violated by a %d-step trace (%s)" (Array.length trace)
-          ok
-    | Tta_model.Runner.Unknown { detail } -> "unknown (" ^ detail ^ ")"
-  in
-  Printf.printf "%-4s %-34s expect: %-10s got: %s [%.1fs]\n%!" id label expect
-    measured dt
+let measured_of verdict =
+  match verdict with
+  | Tta_model.Runner.Holds { detail } -> "holds (" ^ detail ^ ")"
+  | Tta_model.Runner.Violated { trace; model } ->
+      let ok =
+        match Symkit.Trace.validate model trace with
+        | Ok () -> "validated"
+        | Error e -> "INVALID: " ^ e
+      in
+      Printf.sprintf "violated by a %d-step trace (%s)" (Array.length trace)
+        ok
+  | Tta_model.Runner.Unknown { detail } -> "unknown (" ^ detail ^ ")"
 
 let section5 () =
   heading "Section 5.2 — star-coupler fault tolerance (%d nodes, %s)" nodes
     (if paper_scale then "paper scale"
      else "reduced scale; --paper-scale for 4 nodes");
-  let bdd = Tta_model.Runner.Bdd_reach and bmc = Tta_model.Runner.Sat_bmc in
-  let proof_depth = 100 in
-  verdict_row ~id:"E1" ~label:"passive coupler" ~expect:"holds"
-    (Tta_model.Configs.passive ~nodes ()) bdd proof_depth;
-  verdict_row ~id:"E2" ~label:"time-windows coupler" ~expect:"holds"
-    (Tta_model.Configs.time_windows ~nodes ()) bdd proof_depth;
-  verdict_row ~id:"E3" ~label:"small-shifting coupler" ~expect:"holds"
-    (Tta_model.Configs.small_shifting ~nodes ()) bdd proof_depth;
-  verdict_row ~id:"E4" ~label:"full shifting (dup cold start)"
-    ~expect:"violated"
-    (Tta_model.Configs.full_shifting ~nodes ())
-    bdd proof_depth;
-  verdict_row ~id:"E5" ~label:"full shifting (dup C-state)" ~expect:"violated"
-    (Tta_model.Configs.full_shifting ~nodes
-       ~forbid_cold_start_duplication:true ())
-    bdd proof_depth;
-  (* E9: the engine ablation — the same violated configuration through
-     the SAT unroller, checking both engines find minimal traces. *)
-  verdict_row ~id:"E9" ~label:"E4 again via SAT BMC (ablation)"
-    ~expect:"violated"
-    (Tta_model.Configs.full_shifting ~nodes ())
-    bmc
-    (if paper_scale then 16 else 14)
+  (* The six verdict rows (E1-E5 plus the E9 SAT-BMC ablation) run
+     through the portfolio pool — same engines and depths as before,
+     now drained by Domain workers. No verdict cache here: the bench
+     exists to measure the actual checking time. *)
+  let telemetry = Portfolio.Telemetry.create () in
+  let jobs = Portfolio.section5_jobs ~nodes () in
+  let expects = [ "holds"; "holds"; "holds"; "violated"; "violated";
+                  "violated" ] in
+  let results, dt =
+    timed (fun () -> Portfolio.run_matrix ~telemetry jobs)
+  in
+  List.iter2
+    (fun expect ((j : Portfolio.job), (r : Portfolio.result)) ->
+      Printf.printf "%-36s expect: %-10s got: %s [%.1fs]\n%!"
+        j.Portfolio.label expect
+        (measured_of r.Portfolio.verdict)
+        r.Portfolio.wall_s)
+    expects results;
+  Printf.printf "matrix wall clock on %d domain(s): %.1fs\n%!"
+    (Portfolio.Pool.default_domains ()) dt;
+  Format.printf "%a%!" Portfolio.Telemetry.pp_table telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Section 6 numbers and Figure 3 (E6, E7). *)

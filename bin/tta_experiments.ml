@@ -2,30 +2,50 @@
    a structured paper-vs-measured row (see DESIGN.md's per-experiment
    index and EXPERIMENTS.md for the recorded paper-scale outcomes).
 
-     tta_experiments            # the fast set (numeric + simulator)
-     tta_experiments --all      # also the model-checking verdicts
-     tta_experiments --nodes 4  # paper-scale model checking (minutes)
+     tta_experiments                 # the fast set (numeric + simulator)
+     tta_experiments --all           # also the model-checking verdicts,
+                                     # scheduled by the portfolio pool
+     tta_experiments --all --nodes 4 # paper-scale model checking
+     tta_experiments --all --sequential  # bypass pool and cache
 *)
 
 let () =
   let all = Array.exists (( = ) "--all") Sys.argv in
-  let nodes =
+  let sequential = Array.exists (( = ) "--sequential") Sys.argv in
+  let no_cache = Array.exists (( = ) "--no-cache") Sys.argv in
+  let int_flag name default =
     let rec find i =
-      if i >= Array.length Sys.argv - 1 then 3
-      else if Sys.argv.(i) = "--nodes" then int_of_string Sys.argv.(i + 1)
+      if i >= Array.length Sys.argv - 1 then default
+      else if Sys.argv.(i) = name then int_of_string Sys.argv.(i + 1)
       else find (i + 1)
     in
     find 1
   in
+  let nodes = int_flag "--nodes" 3 in
+  let domains = int_flag "--domains" (Portfolio.Pool.default_domains ()) in
+  let telemetry = Portfolio.Telemetry.create () in
   let outcomes =
     if all then begin
-      Printf.printf
-        "running the full registry at %d nodes (model checking included)...\n%!"
-        nodes;
       (* Depths chosen to cover the minimal counterexamples at the
          requested scale. *)
-      let unsafe_depth = 100 in
-      Core.Experiments.all ~nodes ~safe_depth:100 ~unsafe_depth ()
+      if sequential then begin
+        Printf.printf
+          "running the full registry at %d nodes (sequential model \
+           checking)...\n%!"
+          nodes;
+        Core.Experiments.all ~nodes ~safe_depth:100 ~unsafe_depth:100 ()
+      end
+      else begin
+        Printf.printf
+          "running the full registry at %d nodes (model checking on %d \
+           domain(s), cached)...\n%!"
+          nodes domains;
+        let cache =
+          if no_cache then None else Some (Portfolio.Cache.create ())
+        in
+        Core.Experiments.all_portfolio ~nodes ~safe_depth:100
+          ~unsafe_depth:100 ~domains ?cache ~telemetry ()
+      end
     end
     else Core.Experiments.quick ()
   in
@@ -35,6 +55,8 @@ let () =
       if not o.Core.Experiments.matches then incr failures;
       Format.printf "%a@.@." Core.Experiments.pp_outcome o)
     outcomes;
+  if Portfolio.Telemetry.records telemetry <> [] then
+    Format.printf "%a@." Portfolio.Telemetry.pp_table telemetry;
   Printf.printf "%d/%d experiments reproduced\n" (List.length outcomes - !failures)
     (List.length outcomes);
   exit (if !failures = 0 then 0 else 1)

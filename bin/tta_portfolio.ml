@@ -1,0 +1,237 @@
+(* Portfolio-verify the paper's configuration matrix on multiple cores.
+
+   Examples:
+     tta_portfolio                          # Section 5 matrix, all cores
+     tta_portfolio --nodes 3 --domains 2    # reduced scale, two workers
+     tta_portfolio --race -c full-shifting  # race all four engines
+     tta_portfolio --json telemetry.json    # dump the run telemetry
+
+   Verdicts are cached under _cache/ (keyed by a content hash of the
+   compiled model plus engine parameters), so a re-run only re-checks
+   what changed; --no-cache forces cold runs. *)
+
+let parse_engines s =
+  let parts = String.split_on_char ',' s in
+  let engines =
+    List.map
+      (fun p ->
+        match Tta_model.Runner.engine_of_string (String.trim p) with
+        | Some e -> e
+        | None ->
+            prerr_endline
+              ("unknown engine '" ^ p
+             ^ "' (expected bdd | bmc | induction | explicit)");
+            exit 2)
+      (List.filter (fun p -> String.trim p <> "") parts)
+  in
+  if engines = [] then begin
+    prerr_endline "--engines: empty engine list";
+    exit 2
+  end;
+  engines
+
+let pp_verdict ~nodes verdict =
+  match verdict with
+  | Tta_model.Runner.Holds { detail } ->
+      Printf.printf "PROPERTY HOLDS: %s\n" detail
+  | Tta_model.Runner.Unknown { detail } -> Printf.printf "UNDECIDED: %s\n" detail
+  | Tta_model.Runner.Violated { trace; model } ->
+      Printf.printf
+        "PROPERTY VIOLATED: a single coupler fault froze an integrated \
+         node.\nCounterexample (%d steps):\n%s"
+        (Array.length trace)
+        (Tta_model.Runner.describe_trace model trace ~nodes);
+      (match Symkit.Trace.validate model trace with
+      | Ok () -> Printf.printf "(trace replays cleanly against the model)\n"
+      | Error e -> Printf.printf "WARNING: trace validation failed: %s\n" e)
+
+let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry =
+  let cfg =
+    (* The named constructors, not [Configs.make], so the raced
+       instance is exactly the Section 5 one (full-shifting carries the
+       paper's one-error out-of-slot budget). *)
+    match Guardian.Feature_set.of_string config_name with
+    | Some Guardian.Feature_set.Passive -> Tta_model.Configs.passive ~nodes ()
+    | Some Guardian.Feature_set.Time_windows ->
+        Tta_model.Configs.time_windows ~nodes ()
+    | Some Guardian.Feature_set.Small_shifting ->
+        Tta_model.Configs.small_shifting ~nodes ()
+    | Some Guardian.Feature_set.Full_shifting ->
+        Tta_model.Configs.full_shifting ~nodes ()
+    | None ->
+        prerr_endline
+          "unknown --config (expected passive | time-windows | \
+           small-shifting | full-shifting)";
+        exit 2
+  in
+  Printf.printf "racing %s on %s (%d nodes), depth bound %d\n%!"
+    (String.concat " vs "
+       (List.map Tta_model.Runner.engine_to_string engines))
+    (Tta_model.Configs.name cfg)
+    nodes depth;
+  let r =
+    Portfolio.race ?cache ~telemetry ~engines ~max_depth:depth cfg
+  in
+  List.iter
+    (fun (e, v, wall) ->
+      Printf.printf "  %-16s %-9s %.2fs%s\n"
+        (Tta_model.Runner.engine_to_string e)
+        (Portfolio.Telemetry.outcome_to_string
+           (Portfolio.Telemetry.outcome_of_verdict v))
+        wall
+        (if e = r.Portfolio.engine then "  <- selected (priority)"
+         else ""))
+    r.Portfolio.runs;
+  if r.Portfolio.cache_hit then
+    Printf.printf "  (cache hit: verdict served from %s)\n"
+      (Tta_model.Runner.engine_to_string r.Portfolio.engine);
+  Printf.printf "winner: %s in %.2fs\n"
+    (Tta_model.Runner.engine_to_string r.Portfolio.engine)
+    r.Portfolio.wall_s;
+  pp_verdict ~nodes r.Portfolio.verdict;
+  match r.Portfolio.verdict with
+  | Tta_model.Runner.Unknown _ -> 1
+  | _ -> 0
+
+let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry =
+  let jobs =
+    Portfolio.section5_jobs ~nodes ?safe_depth ?unsafe_depth ()
+  in
+  Printf.printf
+    "Section 5 matrix at %d nodes: %d jobs across %d domain(s)%s\n%!" nodes
+    (List.length jobs) domains
+    (match cache with
+    | Some c -> Printf.sprintf ", cache at %s/" (Portfolio.Cache.dir c)
+    | None -> ", cache disabled");
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Portfolio.run_matrix ~domains ?cache ~telemetry jobs
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let failures = ref 0 in
+  List.iter
+    (fun (j, r) ->
+      let ok =
+        match r.Portfolio.verdict with
+        | Tta_model.Runner.Unknown _ ->
+            incr failures;
+            false
+        | _ -> true
+      in
+      Printf.printf "  %-36s %-9s %7.2fs %s%s\n" j.Portfolio.label
+        (Portfolio.Telemetry.outcome_to_string
+           (Portfolio.Telemetry.outcome_of_verdict r.Portfolio.verdict))
+        r.Portfolio.wall_s
+        (if r.Portfolio.cache_hit then "[cache]" else "")
+        (if ok then "" else "  <- no verdict"))
+    results;
+  Printf.printf "matrix wall clock: %.2fs\n" dt;
+  !failures
+
+let main config_name race nodes depth safe_depth unsafe_depth domains
+    engines_s cache_dir no_cache json_path =
+  let engines = parse_engines engines_s in
+  let cache =
+    if no_cache then None else Some (Portfolio.Cache.create ~dir:cache_dir ())
+  in
+  let telemetry = Portfolio.Telemetry.create () in
+  let failures =
+    if race || config_name <> "" then
+      let config_name = if config_name = "" then "full-shifting" else config_name in
+      run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry
+    else
+      run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
+  in
+  print_newline ();
+  Format.printf "%a" Portfolio.Telemetry.pp_table telemetry;
+  (match cache with
+  | Some c ->
+      Printf.printf "cache: %d hits, %d misses, %d entries under %s/\n"
+        (Portfolio.Cache.hits c) (Portfolio.Cache.misses c)
+        (Portfolio.Cache.entries c) (Portfolio.Cache.dir c)
+  | None -> ());
+  (match json_path with
+  | Some path ->
+      Portfolio.Telemetry.dump_json telemetry path;
+      Printf.printf "telemetry written to %s\n" path
+  | None -> ());
+  exit (if failures = 0 then 0 else 1)
+
+let () =
+  let open Cmdliner in
+  let config =
+    Arg.(
+      value & opt string ""
+      & info [ "c"; "config" ] ~docv:"CONFIG"
+          ~doc:
+            "Race the engines on one feature set (passive, time-windows, \
+             small-shifting, full-shifting) instead of running the matrix.")
+  in
+  let race =
+    Arg.(
+      value & flag
+      & info [ "race" ]
+          ~doc:
+            "Engine-racing mode (implied by $(b,--config)); defaults to \
+             full-shifting.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size (paper: 4).")
+  in
+  let depth =
+    Arg.(
+      value & opt int 100
+      & info [ "d"; "depth" ] ~docv:"K"
+          ~doc:"Depth bound for racing mode.")
+  in
+  let safe_depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "safe-depth" ] ~docv:"K"
+          ~doc:"Matrix mode: iteration bound for the safe rows (default 100).")
+  in
+  let unsafe_depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "unsafe-depth" ] ~docv:"K"
+          ~doc:"Matrix mode: bound for the violated rows (default 100).")
+  in
+  let domains =
+    Arg.(
+      value & opt int (Portfolio.Pool.default_domains ())
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the matrix (default: all cores).")
+  in
+  let engines =
+    Arg.(
+      value & opt string "bdd,explicit,induction,bmc"
+      & info [ "engines" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated engines to race: bdd, bmc, induction, explicit.")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt string "_cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Verdict cache directory.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the verdict cache.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Dump the run telemetry (records + summary) as JSON.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "tta_portfolio"
+         ~doc:
+           "Multicore portfolio verification of the TTA star-coupler matrix")
+      Term.(
+        const main $ config $ race $ nodes $ depth $ safe_depth $ unsafe_depth
+        $ domains $ engines $ cache_dir $ no_cache $ json)
+  in
+  exit (Cmd.eval cmd)

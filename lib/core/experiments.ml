@@ -21,10 +21,12 @@ let pp_outcome ppf o =
 (* ------------------------------------------------------------------ *)
 (* E1-E3: the three safe coupler configurations (Section 5.2). *)
 
-let check_safe ~id ~title ?(depth = 100) cfg =
-  (* The BDD engine both proves the safe configurations outright and
-     finds shortest counterexamples; [depth] bounds its iterations. *)
-  match Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach ~max_depth:depth cfg with
+(* Verdict-to-outcome mapping, shared between the sequential checks
+   below and the portfolio-scheduled runs of [all_portfolio]: the same
+   engine at the same depth must read off identically however it was
+   scheduled. *)
+let safe_outcome ~id ~title verdict =
+  match verdict with
   | Tta_model.Runner.Holds { detail } ->
       {
         id;
@@ -46,6 +48,13 @@ let check_safe ~id ~title ?(depth = 100) cfg =
       { id; title; paper_says = "property holds"; measured = detail;
         matches = false }
 
+let check_safe ~id ~title ?(depth = 100) cfg =
+  (* The BDD engine both proves the safe configurations outright and
+     finds shortest counterexamples; [depth] bounds its iterations. *)
+  safe_outcome ~id ~title
+    (Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach
+       ~max_depth:depth cfg)
+
 let e1 ?nodes ?depth () =
   check_safe ~id:"E1" ~title:"passive coupler: no single fault freezes an integrated node"
     ?depth
@@ -62,8 +71,8 @@ let e3 ?nodes ?depth () =
 (* ------------------------------------------------------------------ *)
 (* E4/E5: the two counterexamples for full-frame buffering. *)
 
-let check_unsafe ~id ~title ~expect ?(depth = 100) cfg =
-  match Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach ~max_depth:depth cfg with
+let unsafe_outcome ~id ~title ~expect verdict =
+  match verdict with
   | Tta_model.Runner.Violated { trace; model } ->
       let valid =
         match Symkit.Trace.validate model trace with
@@ -88,6 +97,11 @@ let check_unsafe ~id ~title ~expect ?(depth = 100) cfg =
         measured = "no violation found: " ^ detail; matches = false }
   | Tta_model.Runner.Unknown { detail } ->
       { id; title; paper_says = expect; measured = detail; matches = false }
+
+let check_unsafe ~id ~title ~expect ?(depth = 100) cfg =
+  unsafe_outcome ~id ~title ~expect
+    (Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach
+       ~max_depth:depth cfg)
 
 let e4 ?nodes ?depth () =
   check_unsafe ~id:"E4"
@@ -298,4 +312,53 @@ let all ?nodes ?safe_depth ?unsafe_depth () =
     e4 ?nodes ?depth:unsafe_depth ();
     e5 ?nodes ?depth:unsafe_depth ();
   ]
+  @ quick ()
+
+(* The same E1-E5 registry, but the model-checking runs are scheduled
+   by the portfolio pool (and may be served from its verdict cache)
+   instead of sequentially. Each job pins the engine and depth the
+   sequential path uses, so the outcomes — titles, details, matches —
+   are identical; only the scheduling differs. *)
+let all_portfolio ?nodes ?(safe_depth = 100) ?(unsafe_depth = 100) ?domains
+    ?cache ?telemetry () =
+  let e5_nodes = Option.map (max 3) nodes in
+  let bdd = Tta_model.Runner.Bdd_reach in
+  let jobs_and_readers =
+    [
+      ( Portfolio.job ~label:"E1" ~engine:bdd ~max_depth:safe_depth
+          (Tta_model.Configs.passive ?nodes ()),
+        safe_outcome ~id:"E1"
+          ~title:
+            "passive coupler: no single fault freezes an integrated node" );
+      ( Portfolio.job ~label:"E2" ~engine:bdd ~max_depth:safe_depth
+          (Tta_model.Configs.time_windows ?nodes ()),
+        safe_outcome ~id:"E2" ~title:"time-windows coupler: property holds" );
+      ( Portfolio.job ~label:"E3" ~engine:bdd ~max_depth:safe_depth
+          (Tta_model.Configs.small_shifting ?nodes ()),
+        safe_outcome ~id:"E3" ~title:"small-shifting coupler: property holds"
+      );
+      ( Portfolio.job ~label:"E4" ~engine:bdd ~max_depth:unsafe_depth
+          (Tta_model.Configs.full_shifting ?nodes ()),
+        unsafe_outcome ~id:"E4"
+          ~title:"full-shifting coupler: duplicated cold-start frame"
+          ~expect:
+            "counterexample exists (<=1 out-of-slot error): node frozen by \
+             clique avoidance after a cold-start replay" );
+      ( Portfolio.job ~label:"E5" ~engine:bdd ~max_depth:unsafe_depth
+          (Tta_model.Configs.full_shifting ?nodes:e5_nodes
+             ~forbid_cold_start_duplication:true ()),
+        unsafe_outcome ~id:"E5"
+          ~title:"full-shifting coupler: duplicated C-state frame"
+          ~expect:
+            "counterexample exists even with cold-start duplication \
+             prohibited" );
+    ]
+  in
+  let results =
+    Portfolio.run_matrix ?domains ?cache ?telemetry
+      (List.map fst jobs_and_readers)
+  in
+  List.map2
+    (fun (_, read) (_, (r : Portfolio.result)) -> read r.Portfolio.verdict)
+    jobs_and_readers results
   @ quick ()

@@ -1,0 +1,186 @@
+(* Persistent verdict cache — see the interface for the design. *)
+
+open Symkit
+
+type t = {
+  dir : string;
+  lock : Mutex.t;  (** guards the counters; file I/O needs no lock *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let rec mkdir_p d =
+  if d <> "" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(dir = "_cache") () =
+  mkdir_p dir;
+  { dir; lock = Mutex.create (); hits = 0; misses = 0 }
+
+let dir t = t.dir
+
+let key ~model ~engine ~max_depth =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            Model.fingerprint model;
+            Tta_model.Runner.engine_to_string engine;
+            string_of_int max_depth;
+          ]))
+
+let path_of t k = Filename.concat t.dir (k ^ ".json")
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let json_of_state (s : Model.state) =
+  Json.List
+    (Array.to_list (Array.map (fun v -> Json.String (Expr.value_to_string v)) s))
+
+let json_of_entry ~model ~engine ~max_depth verdict =
+  let base =
+    [
+      ("version", Json.Int 1);
+      ("fingerprint", Json.String (Model.fingerprint model));
+      ("engine", Json.String (Tta_model.Runner.engine_to_string engine));
+      ("max_depth", Json.Int max_depth);
+    ]
+  in
+  match (verdict : Tta_model.Runner.verdict) with
+  | Tta_model.Runner.Holds { detail } ->
+      Some
+        (Json.Obj
+           (base
+           @ [ ("verdict", Json.String "holds"); ("detail", Json.String detail) ]
+           ))
+  | Tta_model.Runner.Violated { trace; _ } ->
+      Some
+        (Json.Obj
+           (base
+           @ [
+               ("verdict", Json.String "violated");
+               ("trace", Json.List (Array.to_list (Array.map json_of_state trace)));
+             ]))
+  | Tta_model.Runner.Unknown _ -> None
+
+(* Decode one stored state against the model's declared domains. The
+   rendered value strings are unambiguous within a domain (an [Enum]
+   never shares a spelling with the [Int]s or [Bool]s of the same
+   variable), so matching on [value_to_string] round-trips exactly. *)
+let state_of_json model j =
+  let rendered = Json.to_list j in
+  let vars = model.Model.vars in
+  if List.length rendered <> List.length vars then None
+  else
+    let decoded =
+      List.map2
+        (fun (_, dom) item ->
+          match Json.string_value item with
+          | None -> None
+          | Some s ->
+              List.find_opt
+                (fun v -> String.equal (Expr.value_to_string v) s)
+                (Model.domain_values dom))
+        vars rendered
+    in
+    if List.exists Option.is_none decoded then None
+    else Some (Array.of_list (List.map Option.get decoded))
+
+let entry_to_verdict ~model j : Tta_model.Runner.verdict option =
+  match Option.bind (Json.member "verdict" j) Json.string_value with
+  | Some "holds" ->
+      let detail =
+        Option.value ~default:"cached proof"
+          (Option.bind (Json.member "detail" j) Json.string_value)
+      in
+      Some (Tta_model.Runner.Holds { detail })
+  | Some "violated" -> (
+      match Json.member "trace" j with
+      | None -> None
+      | Some tr ->
+          let states = List.map (state_of_json model) (Json.to_list tr) in
+          if states = [] || List.exists Option.is_none states then None
+          else
+            Some
+              (Tta_model.Runner.Violated
+                 {
+                   trace = Array.of_list (List.map Option.get states);
+                   model;
+                 }))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Lookup and store *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Some s
+
+let count t hit =
+  Mutex.lock t.lock;
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  Mutex.unlock t.lock
+
+let lookup t ~model ~engine ~max_depth =
+  let k = key ~model ~engine ~max_depth in
+  let verdict =
+    match read_file (path_of t k) with
+    | None -> None
+    | Some raw -> (
+        match Json.of_string raw with
+        | Error _ -> None
+        | Ok j ->
+            (* Belt and braces: the key already covers the fingerprint,
+               but a verified entry can never serve a changed model. *)
+            let fp =
+              Option.bind (Json.member "fingerprint" j) Json.string_value
+            in
+            if fp <> Some (Model.fingerprint model) then None
+            else entry_to_verdict ~model j)
+  in
+  count t (Option.is_some verdict);
+  verdict
+
+let store t ~model ~engine ~max_depth verdict =
+  match json_of_entry ~model ~engine ~max_depth verdict with
+  | None -> ()
+  | Some j ->
+      let k = key ~model ~engine ~max_depth in
+      let tmp =
+        Filename.concat t.dir
+          (Printf.sprintf ".%s.%d.%d.tmp" k (Unix.getpid ())
+             (Domain.self () :> int))
+      in
+      let oc = open_out_bin tmp in
+      output_string oc (Json.to_string ~pretty:true j);
+      output_char oc '\n';
+      close_out oc;
+      Sys.rename tmp (path_of t k)
+
+let hits t =
+  Mutex.lock t.lock;
+  let h = t.hits in
+  Mutex.unlock t.lock;
+  h
+
+let misses t =
+  Mutex.lock t.lock;
+  let m = t.misses in
+  Mutex.unlock t.lock;
+  m
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> 0
+  | files ->
+      Array.fold_left
+        (fun acc f -> if Filename.check_suffix f ".json" then acc + 1 else acc)
+        0 files

@@ -1,0 +1,57 @@
+(** Persistent verdict cache for the portfolio.
+
+    Verdicts are keyed by a content hash of the compiled symbolic model
+    ({!Symkit.Model.fingerprint}) together with the engine and its
+    depth bound, and stored one JSON file per entry under a cache
+    directory (default [_cache/]). Re-running the experiment suite or
+    the benchmark harness then skips every instance already proved or
+    refuted: a warm run is pure file reads.
+
+    Only conclusive verdicts ([Holds]/[Violated]) are stored — an
+    [Unknown] could be improved by a later run with a larger bound, so
+    caching it would freeze a failure. Counterexample traces are stored
+    value-by-value and decoded against the (re-built) model's domains
+    on the way out; a corrupt, truncated or mismatched entry degrades
+    to a miss, never to a wrong verdict.
+
+    Writes go to a temporary file in the cache directory followed by a
+    rename, so concurrent workers (and concurrent processes) never
+    observe a half-written entry. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** Open (creating if needed) a cache directory; default [_cache]. *)
+
+val dir : t -> string
+
+val key :
+  model:Symkit.Model.t -> engine:Tta_model.Runner.engine -> max_depth:int ->
+  string
+(** The entry key: a hex digest over (model fingerprint, engine,
+    depth bound). *)
+
+val lookup :
+  t ->
+  model:Symkit.Model.t ->
+  engine:Tta_model.Runner.engine ->
+  max_depth:int ->
+  Tta_model.Runner.verdict option
+(** [Some verdict] on a hit ([Violated] verdicts carry the supplied
+    model and the decoded trace); [None] on a miss. Updates the
+    hit/miss counters. *)
+
+val store :
+  t ->
+  model:Symkit.Model.t ->
+  engine:Tta_model.Runner.engine ->
+  max_depth:int ->
+  Tta_model.Runner.verdict ->
+  unit
+(** Persist a conclusive verdict; a no-op for [Unknown]. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val entries : t -> int
+(** Number of entries currently on disk. *)

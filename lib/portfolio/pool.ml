@@ -1,0 +1,91 @@
+(* A work-stealing pool over OCaml 5 domains — see the interface. *)
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Each worker owns a deque of task indices guarded by a mutex: cheap
+   and contention-free enough here, where a task is a whole model-check
+   run (milliseconds to minutes) and the deque operations are
+   nanoseconds. Owners pop from the front; thieves steal from the
+   back, so a stolen task is the one the owner would have reached
+   last. *)
+type deques = {
+  queues : int list ref array;
+  locks : Mutex.t array;
+}
+
+let pop d w =
+  Mutex.lock d.locks.(w);
+  let r =
+    match !(d.queues.(w)) with
+    | [] -> None
+    | i :: rest ->
+        d.queues.(w) := rest;
+        Some i
+  in
+  Mutex.unlock d.locks.(w);
+  r
+
+let steal d w =
+  let k = Array.length d.queues in
+  let found = ref None in
+  let j = ref 1 in
+  while !found = None && !j < k do
+    let v = (w + !j) mod k in
+    Mutex.lock d.locks.(v);
+    (match List.rev !(d.queues.(v)) with
+    | [] -> ()
+    | last :: rev_front ->
+        d.queues.(v) := List.rev rev_front;
+        found := Some last);
+    Mutex.unlock d.locks.(v);
+    incr j
+  done;
+  !found
+
+let map ?domains f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let workers =
+      let d =
+        match domains with Some d -> d | None -> default_domains ()
+      in
+      max 1 (min d n)
+    in
+    let d =
+      {
+        queues = Array.init workers (fun _ -> ref []);
+        locks = Array.init workers (fun _ -> Mutex.create ());
+      }
+    in
+    (* Round-robin distribution, pushed in reverse so each worker pops
+       its share in input order. *)
+    for i = n - 1 downto 0 do
+      let q = d.queues.(i mod workers) in
+      q := i :: !q
+    done;
+    let results = Array.make n None in
+    let rec worker w =
+      match (match pop d w with Some i -> Some i | None -> steal d w) with
+      | None -> ()
+      | Some i ->
+          results.(i) <-
+            Some (match f arr.(i) with r -> Ok r | exception e -> Error e);
+          worker w
+    in
+    let spawned =
+      List.init (workers - 1) (fun k ->
+          Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error e) -> raise e
+         | None ->
+             (* Unreachable: the fixed task set is fully drained before
+                the workers exit. *)
+             assert false)
+  end

@@ -1,0 +1,19 @@
+(** A work-stealing pool over OCaml 5 domains.
+
+    Built for the portfolio's matrix fan-out: a fixed batch of
+    independent tasks is distributed round-robin over per-worker
+    deques; a worker that drains its own deque steals from the tail of
+    its siblings', so a worker stuck on one slow model check does not
+    strand the tasks queued behind it. Tasks never spawn further
+    tasks, which keeps termination trivial: when every deque is empty,
+    the batch is done. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], the pool's default width. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] applies [f] to every item across [domains] workers
+    (clamped to at least 1 and at most the number of items) and
+    returns the results in input order. The calling domain acts as
+    worker 0. If any application raises, the whole batch completes and
+    the first exception (in input order) is re-raised. *)

@@ -1,0 +1,267 @@
+(* Multicore portfolio verification — see the interface for the
+   design overview. *)
+
+(* portfolio.ml shadows the library wrapper, so the sibling modules
+   must be re-exported to be reachable from outside the library. *)
+module Json = Json
+module Pool = Pool
+module Cache = Cache
+module Telemetry = Telemetry
+
+open Tta_model
+
+type engine = Runner.engine
+type verdict = Runner.verdict
+
+let priority =
+  [ Runner.Bdd_reach; Runner.Explicit_bfs; Runner.Sat_induction;
+    Runner.Sat_bmc ]
+
+let conclusive = function
+  | Runner.Holds _ | Runner.Violated _ -> true
+  | Runner.Unknown _ -> false
+
+(* Deterministic selection: scan the fixed priority list, never the
+   arrival order. Engines outside [priority] (impossible today) would
+   be considered last, in their arrival order, rather than dropped. *)
+let select results =
+  let by_engine e =
+    List.find_opt (fun (e', _, _) -> e' = e) results
+  in
+  let in_priority (e, _, _) = List.mem e priority in
+  let ordered =
+    List.filter_map by_engine priority
+    @ List.filter (fun r -> not (in_priority r)) results
+  in
+  match List.find_opt (fun (_, v, _) -> conclusive v) ordered with
+  | Some r -> Some r
+  | None -> ( match ordered with [] -> None | r :: _ -> Some r)
+
+type result = {
+  config : Configs.t;
+  engine : engine;
+  verdict : verdict;
+  wall_s : float;
+  cache_hit : bool;
+  runs : (engine * verdict * float) list;
+}
+
+let now () = Unix.gettimeofday ()
+
+let add_telemetry telemetry ~label ~engine ~verdict ~detail ~wall_s ~cache_hit
+    ~winner ~(stats : Runner.run_stats) =
+  match telemetry with
+  | None -> ()
+  | Some t ->
+      Telemetry.add t
+        {
+          Telemetry.config = label;
+          engine = Runner.engine_to_string engine;
+          outcome = Telemetry.outcome_of_verdict verdict;
+          detail;
+          wall_s;
+          cache_hit;
+          winner;
+          peak_bdd_nodes = stats.Runner.peak_bdd_nodes;
+          sat_conflicts = stats.Runner.sat_conflicts;
+          explored_states = stats.Runner.explored_states;
+        }
+
+let detail_of = function
+  | Runner.Holds { detail } -> detail
+  | Runner.Unknown { detail } -> detail
+  | Runner.Violated { trace; _ } ->
+      Printf.sprintf "counterexample of %d steps" (Array.length trace)
+
+let no_stats : Runner.run_stats =
+  { peak_bdd_nodes = None; sat_conflicts = None; explored_states = None }
+
+(* Conclusive cached verdict for any of [engines], in priority-filtered
+   order. *)
+let cache_probe cache ~model ~engines ~max_depth =
+  match cache with
+  | None -> None
+  | Some c ->
+      List.find_map
+        (fun e ->
+          match Cache.lookup c ~model ~engine:e ~max_depth with
+          | Some v when conclusive v -> Some (e, v)
+          | _ -> None)
+        engines
+
+let cache_store cache ~model ~engine ~max_depth verdict =
+  match cache with
+  | None -> ()
+  | Some c ->
+      if conclusive verdict then
+        Cache.store c ~model ~engine ~max_depth verdict
+
+(* ------------------------------------------------------------------ *)
+(* Engine racing *)
+
+let race ?cache ?telemetry ?label ?(engines = priority) ?(max_depth = 24) cfg
+    =
+  if engines = [] then invalid_arg "Portfolio.race: no engines";
+  let label =
+    match label with Some l -> l | None -> Configs.name cfg
+  in
+  let model = Build.model cfg in
+  let t0 = now () in
+  match cache_probe cache ~model ~engines ~max_depth with
+  | Some (e, v) ->
+      let wall_s = now () -. t0 in
+      add_telemetry telemetry ~label ~engine:e ~verdict:v
+        ~detail:(detail_of v) ~wall_s ~cache_hit:true ~winner:true
+        ~stats:no_stats;
+      { config = cfg; engine = e; verdict = v; wall_s; cache_hit = true;
+        runs = [] }
+  | None ->
+      let flag = Atomic.make false in
+      let run_engine e =
+        let observed = ref false in
+        let cancel () =
+          let c = Atomic.get flag in
+          if c then observed := true;
+          c
+        in
+        let t0 = now () in
+        let v, stats =
+          Runner.check_instrumented ~cancel ~engine:e ~max_depth cfg
+        in
+        let wall = now () -. t0 in
+        (* A cancelled BMC run reports the bounded no-counterexample
+           claim of its last completed depth; inside the race that must
+           not pass for the full-bound verdict. Proofs (BDD fixpoint,
+           k-induction, exhausted BFS) and counterexamples remain sound
+           whether or not the flag fired mid-run. *)
+        let v =
+          match v with
+          | Runner.Holds _ when !observed && e = Runner.Sat_bmc ->
+              Runner.Unknown
+                { detail = "cancelled before completing the bound" }
+          | v -> v
+        in
+        if conclusive v then Atomic.set flag true;
+        (e, v, stats, wall)
+      in
+      let spawned =
+        List.map
+          (fun e -> Domain.spawn (fun () -> run_engine e))
+          (List.tl engines)
+      in
+      (* The head engine runs on the calling domain. Bind it before the
+         joins: [hd :: List.map Domain.join spawned] would evaluate the
+         joins first (right-to-left), so the inline engine would only
+         start after every spawned one finished — with the cancel flag
+         already raised. *)
+      let head_result = run_engine (List.hd engines) in
+      let results = head_result :: List.map Domain.join spawned in
+      (* Reorder the arrivals into priority order once; selection and
+         reporting are then independent of the finishing schedule. *)
+      let keyed = List.map (fun (e, v, _, w) -> (e, v, w)) results in
+      let winner_e, winner_v, winner_wall =
+        match select keyed with
+        | Some r -> r
+        | None -> assert false (* engines <> [] *)
+      in
+      cache_store cache ~model ~engine:winner_e ~max_depth winner_v;
+      List.iter
+        (fun (e, v, stats, wall) ->
+          add_telemetry telemetry ~label ~engine:e ~verdict:v
+            ~detail:(detail_of v) ~wall_s:wall ~cache_hit:false
+            ~winner:(e = winner_e) ~stats)
+        results;
+      let runs =
+        List.filter_map
+          (fun e ->
+            List.find_map
+              (fun (e', v, _, w) -> if e' = e then Some (e', v, w) else None)
+              results)
+          priority
+      in
+      {
+        config = cfg;
+        engine = winner_e;
+        verdict = winner_v;
+        wall_s = winner_wall;
+        cache_hit = false;
+        runs;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Matrix fan-out *)
+
+type job = {
+  label : string;
+  cfg : Configs.t;
+  engine : engine option;
+  max_depth : int;
+}
+
+let job ?label ?engine ?(max_depth = 100) cfg =
+  let label = match label with Some l -> l | None -> Configs.name cfg in
+  { label; cfg; engine; max_depth }
+
+let run_single ?cache ?telemetry ~label ~engine ~max_depth cfg =
+  let model = Build.model cfg in
+  let t0 = now () in
+  match cache_probe cache ~model ~engines:[ engine ] ~max_depth with
+  | Some (e, v) ->
+      let wall_s = now () -. t0 in
+      add_telemetry telemetry ~label ~engine:e ~verdict:v
+        ~detail:(detail_of v) ~wall_s ~cache_hit:true ~winner:true
+        ~stats:no_stats;
+      { config = cfg; engine = e; verdict = v; wall_s; cache_hit = true;
+        runs = [] }
+  | None ->
+      let v, stats = Runner.check_instrumented ~engine ~max_depth cfg in
+      let wall_s = now () -. t0 in
+      cache_store cache ~model ~engine ~max_depth v;
+      add_telemetry telemetry ~label ~engine ~verdict:v ~detail:(detail_of v)
+        ~wall_s ~cache_hit:false ~winner:true ~stats;
+      { config = cfg; engine; verdict = v; wall_s; cache_hit = false;
+        runs = [ (engine, v, wall_s) ] }
+
+let run_matrix ?domains ?cache ?telemetry jobs =
+  let run j =
+    match j.engine with
+    | Some engine ->
+        ( j,
+          run_single ?cache ?telemetry ~label:j.label ~engine
+            ~max_depth:j.max_depth j.cfg )
+    | None ->
+        (j, race ?cache ?telemetry ~label:j.label ~max_depth:j.max_depth j.cfg)
+  in
+  Pool.map ?domains run jobs
+
+(* ------------------------------------------------------------------ *)
+(* The Section 5 matrix *)
+
+let section5_jobs ?(nodes = Configs.default_nodes) ?(safe_depth = 100)
+    ?(unsafe_depth = 100) ?bmc_depth () =
+  let bmc_depth =
+    match bmc_depth with
+    | Some d -> d
+    | None -> if nodes >= 4 then 16 else 14
+  in
+  let bdd = Runner.Bdd_reach in
+  [
+    job ~label:"E1 passive" ~engine:bdd ~max_depth:safe_depth
+      (Configs.passive ~nodes ());
+    job ~label:"E2 time-windows" ~engine:bdd ~max_depth:safe_depth
+      (Configs.time_windows ~nodes ());
+    job ~label:"E3 small-shifting" ~engine:bdd ~max_depth:safe_depth
+      (Configs.small_shifting ~nodes ());
+    job ~label:"E4 full-shifting (dup cold start)" ~engine:bdd
+      ~max_depth:unsafe_depth
+      (Configs.full_shifting ~nodes ());
+    (* The C-state-duplication failure needs at least three
+       participants (see EXPERIMENTS.md), hence the clamp. *)
+    job ~label:"E5 full-shifting (dup C-state)" ~engine:bdd
+      ~max_depth:unsafe_depth
+      (Configs.full_shifting ~nodes:(max 3 nodes)
+         ~forbid_cold_start_duplication:true ());
+    job ~label:"E9 full-shifting via SAT BMC" ~engine:Runner.Sat_bmc
+      ~max_depth:bmc_depth
+      (Configs.full_shifting ~nodes ());
+  ]

@@ -1,0 +1,113 @@
+(** Multicore portfolio verification over the paper's configuration
+    matrix.
+
+    Two levels of parallelism on OCaml 5 domains:
+
+    - {b engine racing} ({!race}): for a single configuration, the
+      complementary engines — BDD fixpoint reachability, SAT BMC, SAT
+      k-induction, explicit-state BFS — run as competing workers. The
+      first conclusive verdict raises a shared atomic flag; the losers
+      poll it inside their main loops (the [?cancel] hooks of
+      {!Symkit.Reach}/{!Symkit.Bmc}/{!Symkit.Induction}/
+      {!Symkit.Explicit}) and stop cooperatively. No engine dominates
+      across safe and unsafe instances, so the race's wall clock is the
+      best engine's, not the chosen one's.
+    - {b matrix fan-out} ({!run_matrix}): a batch of configurations is
+      drained by a work-stealing {!Pool} across
+      [Domain.recommended_domain_count ()] workers.
+
+    Both levels consult a persistent {!Cache} keyed on the compiled
+    model's content hash and record per-task {!Telemetry}.
+
+    {b Determinism.} Verdict selection is by the fixed engine
+    {!priority}, never by arrival order: when several racers finish
+    conclusively near-simultaneously, the reported winner — hence the
+    reported proof detail and counterexample — is the highest-priority
+    one. All engines are sound and produce minimal-length
+    counterexamples on this model family, so the selected verdict is
+    reproducible across runs. *)
+
+(** The sibling modules, re-exported (this module shadows the library
+    wrapper): *)
+
+module Json = Json
+module Pool = Pool
+module Cache = Cache
+module Telemetry = Telemetry
+
+type engine = Tta_model.Runner.engine
+type verdict = Tta_model.Runner.verdict
+
+val priority : engine list
+(** The fixed tie-breaking order: BDD reachability (proves {e and}
+    refutes with shortest traces), explicit BFS (exhaustive, minimal
+    traces), k-induction (unbounded proofs), SAT BMC (bounded). *)
+
+val conclusive : verdict -> bool
+(** [Holds]/[Violated] are conclusive; [Unknown] is not. *)
+
+val select : (engine * verdict * 'a) list -> (engine * verdict * 'a) option
+(** Deterministic winner selection, exposed for the regression test:
+    the highest-{!priority} conclusive entry, else the
+    highest-priority entry of any kind; [None] on the empty list. The
+    input order (= arrival order) never influences the choice. *)
+
+type result = {
+  config : Tta_model.Configs.t;
+  engine : engine;  (** the engine whose verdict was selected *)
+  verdict : verdict;
+  wall_s : float;  (** the winner's wall clock (~0 on a cache hit) *)
+  cache_hit : bool;
+  runs : (engine * verdict * float) list;
+      (** every engine run of a race in priority order (empty on a
+          cache hit or single-engine job) *)
+}
+
+val race :
+  ?cache:Cache.t ->
+  ?telemetry:Telemetry.t ->
+  ?label:string ->
+  ?engines:engine list ->
+  ?max_depth:int ->
+  Tta_model.Configs.t ->
+  result
+(** Race [engines] (default: all of {!priority}) on one configuration,
+    one domain per engine. A conclusive cached verdict short-circuits
+    the race entirely. @raise Invalid_argument on an empty engine
+    list. *)
+
+(** {1 Matrix fan-out} *)
+
+type job = {
+  label : string;
+  cfg : Tta_model.Configs.t;
+  engine : engine option;  (** [Some e]: run exactly [e] (the sequential
+      baseline's engine, so verdicts are comparable); [None]: race *)
+  max_depth : int;
+}
+
+val job :
+  ?label:string -> ?engine:engine -> ?max_depth:int ->
+  Tta_model.Configs.t -> job
+(** [label] defaults to {!Tta_model.Configs.name}; [max_depth] to 100. *)
+
+val run_matrix :
+  ?domains:int ->
+  ?cache:Cache.t ->
+  ?telemetry:Telemetry.t ->
+  job list ->
+  (job * result) list
+(** Drain the jobs across a work-stealing pool of [domains] workers
+    (default [Domain.recommended_domain_count ()]); results in job
+    order. Racing jobs spawn their engine domains {e in addition} to
+    the pool workers — use single-engine jobs when the matrix is wide
+    and racing when it is deep. *)
+
+val section5_jobs :
+  ?nodes:int -> ?safe_depth:int -> ?unsafe_depth:int -> ?bmc_depth:int ->
+  unit -> job list
+(** The paper's Section 5 verification matrix as run by the experiment
+    registry and benchmark harness: E1-E3 (safe feature sets, BDD
+    proofs), E4/E5 (the two full-shifting counterexamples), E9 (the E4
+    instance again through SAT BMC). E5 needs at least three nodes and
+    clamps accordingly. *)

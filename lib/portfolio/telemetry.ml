@@ -1,0 +1,142 @@
+(* Run telemetry — see the interface. *)
+
+type outcome = Holds | Violated | Unknown
+
+let outcome_of_verdict = function
+  | Tta_model.Runner.Holds _ -> Holds
+  | Tta_model.Runner.Violated _ -> Violated
+  | Tta_model.Runner.Unknown _ -> Unknown
+
+let outcome_to_string = function
+  | Holds -> "holds"
+  | Violated -> "violated"
+  | Unknown -> "unknown"
+
+type record = {
+  config : string;
+  engine : string;
+  outcome : outcome;
+  detail : string;
+  wall_s : float;
+  cache_hit : bool;
+  winner : bool;
+  peak_bdd_nodes : int option;
+  sat_conflicts : int option;
+  explored_states : int option;
+}
+
+type t = { lock : Mutex.t; mutable rev_records : record list }
+
+let create () = { lock = Mutex.create (); rev_records = [] }
+
+let add t r =
+  Mutex.lock t.lock;
+  t.rev_records <- r :: t.rev_records;
+  Mutex.unlock t.lock
+
+let records t =
+  Mutex.lock t.lock;
+  let rs = List.rev t.rev_records in
+  Mutex.unlock t.lock;
+  rs
+
+type summary = {
+  tasks : int;
+  runs : int;
+  holds : int;
+  violated : int;
+  unknown : int;
+  cache_hits : int;
+  total_wall_s : float;
+  total_run_wall_s : float;
+  max_wall_s : float;
+}
+
+let summarize t =
+  let rs = records t in
+  let winners = List.filter (fun r -> r.winner) rs in
+  let count p l = List.length (List.filter p l) in
+  {
+    tasks = List.length winners;
+    runs = List.length rs;
+    holds = count (fun r -> r.outcome = Holds) winners;
+    violated = count (fun r -> r.outcome = Violated) winners;
+    unknown = count (fun r -> r.outcome = Unknown) winners;
+    cache_hits = count (fun r -> r.cache_hit) rs;
+    total_wall_s =
+      List.fold_left (fun acc r -> acc +. r.wall_s) 0.0 winners;
+    total_run_wall_s = List.fold_left (fun acc r -> acc +. r.wall_s) 0.0 rs;
+    max_wall_s = List.fold_left (fun acc r -> Float.max acc r.wall_s) 0.0 rs;
+  }
+
+let pp_table ppf t =
+  let rs = records t in
+  Format.fprintf ppf "  %-36s %-16s %-9s %8s %6s %3s %12s@."
+    "configuration" "engine" "outcome" "wall" "cache" "win" "effort";
+  List.iter
+    (fun r ->
+      let effort =
+        match (r.peak_bdd_nodes, r.sat_conflicts, r.explored_states) with
+        | Some n, _, _ -> Printf.sprintf "%d bddn" n
+        | _, Some c, _ -> Printf.sprintf "%d cfl" c
+        | _, _, Some s -> Printf.sprintf "%d sts" s
+        | None, None, None -> "-"
+      in
+      Format.fprintf ppf "  %-36s %-16s %-9s %7.2fs %6s %3s %12s@." r.config
+        r.engine
+        (outcome_to_string r.outcome)
+        r.wall_s
+        (if r.cache_hit then "hit" else "miss")
+        (if r.winner then "*" else "")
+        effort)
+    rs;
+  let s = summarize t in
+  Format.fprintf ppf
+    "  %d tasks (%d engine runs): %d holds, %d violated, %d unknown; %d \
+     cache hits; %.2fs task wall (%.2fs incl. losers, %.2fs max)@."
+    s.tasks s.runs s.holds s.violated s.unknown s.cache_hits s.total_wall_s
+    s.total_run_wall_s s.max_wall_s
+
+let int_opt = function None -> Json.Null | Some i -> Json.Int i
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("config", Json.String r.config);
+      ("engine", Json.String r.engine);
+      ("outcome", Json.String (outcome_to_string r.outcome));
+      ("detail", Json.String r.detail);
+      ("wall_s", Json.Float r.wall_s);
+      ("cache_hit", Json.Bool r.cache_hit);
+      ("winner", Json.Bool r.winner);
+      ("peak_bdd_nodes", int_opt r.peak_bdd_nodes);
+      ("sat_conflicts", int_opt r.sat_conflicts);
+      ("explored_states", int_opt r.explored_states);
+    ]
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("tasks", Json.Int s.tasks);
+      ("runs", Json.Int s.runs);
+      ("holds", Json.Int s.holds);
+      ("violated", Json.Int s.violated);
+      ("unknown", Json.Int s.unknown);
+      ("cache_hits", Json.Int s.cache_hits);
+      ("total_wall_s", Json.Float s.total_wall_s);
+      ("total_run_wall_s", Json.Float s.total_run_wall_s);
+      ("max_wall_s", Json.Float s.max_wall_s);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("records", Json.List (List.map record_to_json (records t)));
+      ("summary", summary_to_json (summarize t));
+    ]
+
+let dump_json t path =
+  let oc = open_out_bin path in
+  output_string oc (Json.to_string ~pretty:true (to_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,56 @@
+(** Run telemetry for the portfolio.
+
+    A thread-safe collector of per-task records — one per engine run
+    (or cache hit) — with an aggregate summary, a printable table and a
+    JSON dump for the benchmark trajectory. Workers on any domain may
+    {!add} concurrently. *)
+
+type outcome = Holds | Violated | Unknown
+
+val outcome_of_verdict : Tta_model.Runner.verdict -> outcome
+val outcome_to_string : outcome -> string
+
+type record = {
+  config : string;  (** configuration id/label, e.g. ["E4 full-shifting+oos<=1"] *)
+  engine : string;  (** {!Tta_model.Runner.engine_to_string}, or ["cache"] *)
+  outcome : outcome;
+  detail : string;
+  wall_s : float;
+  cache_hit : bool;
+  winner : bool;  (** did this run produce the task's selected verdict? *)
+  peak_bdd_nodes : int option;
+  sat_conflicts : int option;
+  explored_states : int option;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> record -> unit
+val records : t -> record list
+(** In insertion order. *)
+
+type summary = {
+  tasks : int;  (** records with [winner = true] *)
+  runs : int;  (** all records *)
+  holds : int;
+  violated : int;
+  unknown : int;  (** outcome counts over winner records *)
+  cache_hits : int;
+  total_wall_s : float;  (** summed over winner records: the cost of the
+                             matrix as scheduled, excluding losing racers *)
+  total_run_wall_s : float;  (** summed over all records *)
+  max_wall_s : float;
+}
+
+val summarize : t -> summary
+
+val pp_table : Format.formatter -> t -> unit
+(** Per-record table plus the summary line. *)
+
+val to_json : t -> Json.t
+(** [{ "records": [...], "summary": {...} }] — the schema is documented
+    in doc/portfolio.md. *)
+
+val dump_json : t -> string -> unit
+(** Write {!to_json} (pretty-printed) to a file. *)

@@ -587,6 +587,8 @@ let solve ?(assumptions = []) s =
 
 let value s v = s.assigns.(v) = 1
 
+let conflicts s = s.conflicts
+
 let stats s =
   Printf.sprintf
     "vars=%d clauses=%d learned=%d deleted=%d conflicts=%d decisions=%d \

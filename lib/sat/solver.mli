@@ -51,3 +51,7 @@ val value : t -> int -> bool
 
 val stats : t -> string
 (** Human-readable search statistics (conflicts, propagations, ...). *)
+
+val conflicts : t -> int
+(** Total conflicts analyzed so far — the standard single-number proxy
+    for SAT search effort, reported by the portfolio's run telemetry. *)

@@ -128,18 +128,24 @@ let check_at_current_depth t ~bad_bdd =
   | Sat.Sat -> Some (decode_model t)
   | Sat.Unsat -> None
 
-let check ?(max_depth = 30) enc ~bad =
+let check ?(max_depth = 30) ?(cancel = fun () -> false) enc ~bad =
   let t = create enc in
   let bad_bdd = Enc.pred enc bad in
   let rec go () =
-    match check_at_current_depth t ~bad_bdd with
-    | Some trace -> Counterexample trace
-    | None ->
-        if t.depth >= max_depth then No_counterexample t.depth
-        else begin
-          extend t;
-          go ()
-        end
+    (* Polled once per depth: when cancelled, every depth strictly
+       below the current one has already been checked clean, so the
+       bounded claim is honest (and vacuous at -1 when depth 0 was
+       never finished). *)
+    if cancel () then No_counterexample (t.depth - 1)
+    else
+      match check_at_current_depth t ~bad_bdd with
+      | Some trace -> Counterexample trace
+      | None ->
+          if t.depth >= max_depth then No_counterexample t.depth
+          else begin
+            extend t;
+            go ()
+          end
   in
   go ()
 

@@ -29,8 +29,13 @@ val check_at_current_depth : t -> bad_bdd:Bdd.t -> Model.state array option
     reachable in exactly the current depth? Returns the full trace on
     success. *)
 
-val check : ?max_depth:int -> Enc.t -> bad:Expr.t -> result
-(** Iterate depths [0..max_depth] until a counterexample is found. *)
+val check :
+  ?max_depth:int -> ?cancel:(unit -> bool) -> Enc.t -> bad:Expr.t -> result
+(** Iterate depths [0..max_depth] until a counterexample is found.
+    [cancel] is polled once per depth (cooperative cancellation, used
+    by the portfolio's engine racing); when it fires, the result is
+    {!No_counterexample} of the last {e completed} depth — a sound
+    bounded claim, vacuously [-1] when depth 0 never finished. *)
 
 val enumerate :
   ?max_depth:int -> ?limit:int -> Enc.t -> bad:Expr.t ->

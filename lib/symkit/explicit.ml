@@ -14,8 +14,8 @@ type 'a outcome =
   | Bounded of { states : int; depth : int }
       (** search stopped at a resource bound without a verdict *)
 
-let search ?(max_states = max_int) ?(max_depth = max_int) ~initial ~next ~bad
-    () =
+let search ?(max_states = max_int) ?(max_depth = max_int)
+    ?(cancel = fun () -> false) ~initial ~next ~bad () =
   let parent : ('a, 'a option) Hashtbl.t = Hashtbl.create 4096 in
   let queue = Queue.create () in
   let trace_to s =
@@ -45,22 +45,29 @@ let search ?(max_states = max_int) ?(max_depth = max_int) ~initial ~next ~bad
       let depth_of = Hashtbl.create 4096 in
       List.iter (fun s -> Hashtbl.replace depth_of s 0) initial;
       let result = ref None in
-      while !result = None && not (Queue.is_empty queue) do
-        let s = Queue.pop queue in
-        let d = try Hashtbl.find depth_of s with Not_found -> 0 in
-        if d < max_depth then
-          List.iter
-            (fun s' ->
-              if !result = None && not (Hashtbl.mem parent s') then begin
-                Hashtbl.add parent s' (Some s);
-                Hashtbl.replace depth_of s' (d + 1);
-                if bad s' then result := Some (trace_to s')
-                else if Hashtbl.length parent < max_states then
-                  Queue.add s' queue
-                else truncated := true
-              end)
-            (next s)
-        else truncated := true
+      let cancelled = ref false in
+      while !result = None && (not !cancelled) && not (Queue.is_empty queue) do
+        if cancel () then begin
+          cancelled := true;
+          truncated := true
+        end
+        else begin
+          let s = Queue.pop queue in
+          let d = try Hashtbl.find depth_of s with Not_found -> 0 in
+          if d < max_depth then
+            List.iter
+              (fun s' ->
+                if !result = None && not (Hashtbl.mem parent s') then begin
+                  Hashtbl.add parent s' (Some s);
+                  Hashtbl.replace depth_of s' (d + 1);
+                  if bad s' then result := Some (trace_to s')
+                  else if Hashtbl.length parent < max_states then
+                    Queue.add s' queue
+                  else truncated := true
+                end)
+              (next s)
+          else truncated := true
+        end
       done;
       let states = Hashtbl.length parent in
       let depth =

@@ -16,9 +16,13 @@ type 'a outcome =
 val search :
   ?max_states:int ->
   ?max_depth:int ->
+  ?cancel:(unit -> bool) ->
   initial:'a list ->
   next:('a -> 'a list) ->
   bad:('a -> bool) ->
   unit ->
   'a outcome
-(** States are compared and hashed structurally. *)
+(** States are compared and hashed structurally. [cancel] is polled
+    once per expanded state (cooperative cancellation, used by the
+    portfolio's engine racing); when it fires the search stops with
+    {!Bounded}. *)

@@ -68,10 +68,12 @@ let extend s =
     assert_distinct s i k
   done
 
-let check ?(max_k = 20) enc ~bad =
+let check ?(max_k = 20) ?(cancel = fun () -> false) enc ~bad =
   let s = create enc ~bad in
   let rec go () =
     let k = Bmc.depth s.base in
+    if cancel () then Unknown (k - 1)
+    else
     (* Base: bad reachable in exactly k steps from an initial state? *)
     match Bmc.check_at_current_depth s.base ~bad_bdd:s.bad_bdd with
     | Some trace -> Refuted trace

@@ -15,4 +15,8 @@ type result =
       (** counterexample from the base case (same quality as {!Bmc}) *)
   | Unknown of int  (** neither verdict up to this k *)
 
-val check : ?max_k:int -> Enc.t -> bad:Expr.t -> result
+val check :
+  ?max_k:int -> ?cancel:(unit -> bool) -> Enc.t -> bad:Expr.t -> result
+(** [cancel] is polled once per k (cooperative cancellation, used by
+    the portfolio's engine racing); when it fires the result is
+    {!Unknown} at the last completed k. *)

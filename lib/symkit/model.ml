@@ -132,6 +132,36 @@ let step_ok m s s' = List.for_all (fun e -> eval_trans m e s s') m.trans
 
 let initial_ok m s = List.for_all (fun e -> eval_pred m e s) m.init
 
+(* A content hash of the model: name, variable declarations (order
+   matters — it fixes the bit encoding) and every constraint, rendered
+   canonically and digested. Two models with the same fingerprint
+   denote the same transition system under the same encoding, which is
+   what the portfolio result cache keys on. *)
+let fingerprint m =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf m.name;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (v, d) ->
+      Buffer.add_string buf v;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Format.asprintf "%a" pp_domain d);
+      Buffer.add_char buf '\n')
+    m.vars;
+  Buffer.add_string buf "init\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Expr.to_string e);
+      Buffer.add_char buf '\n')
+    m.init;
+  Buffer.add_string buf "trans\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Expr.to_string e);
+      Buffer.add_char buf '\n')
+    m.trans;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* Total number of states in the declared state space (not necessarily
    reachable). *)
 let space_size m =

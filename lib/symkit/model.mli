@@ -65,6 +65,12 @@ val initial_ok : t -> state -> bool
 val space_size : t -> float
 (** Size of the declared (not necessarily reachable) state space. *)
 
+val fingerprint : t -> string
+(** A content hash (hex digest) of the model: name, variable
+    declarations in order, and every init/transition constraint. Equal
+    fingerprints mean the same transition system under the same bit
+    encoding; the portfolio's persistent result cache keys on this. *)
+
 (** {1 Brute-force enumeration}
 
     Ground truth for the test suite; only usable on tiny models. *)

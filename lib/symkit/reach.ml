@@ -70,7 +70,7 @@ let deadlocked enc reach =
   let has_succ = Bdd.exists m (Enc.nxt_set enc) (Enc.trans_bdd enc) in
   Bdd.dand m reach (Bdd.dnot m has_succ)
 
-let check ?(max_iterations = max_int) enc ~bad =
+let check ?(max_iterations = max_int) ?(cancel = fun () -> false) enc ~bad =
   let m = Enc.mgr enc in
   let bad_bdd =
     Bdd.dand m (Enc.pred enc bad) (Enc.valid enc ~primed:false)
@@ -94,7 +94,8 @@ let check ?(max_iterations = max_int) enc ~bad =
     Unsafe (trace, finish_stats 0 init)
   else begin
     let rec loop i reach frontier rings =
-      if i >= max_iterations then Depth_exhausted (finish_stats i reach)
+      if i >= max_iterations || cancel () then
+        Depth_exhausted (finish_stats i reach)
       else begin
         let img = image enc frontier in
         let fresh = Bdd.dand m img (Bdd.dnot m reach) in

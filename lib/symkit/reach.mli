@@ -31,4 +31,9 @@ val deadlocked : Enc.t -> Bdd.t -> Bdd.t
 (** [deadlocked enc reach] is the subset of [reach] with no successor;
     a well-formed relational model makes it empty. *)
 
-val check : ?max_iterations:int -> Enc.t -> bad:Expr.t -> result
+val check :
+  ?max_iterations:int -> ?cancel:(unit -> bool) -> Enc.t -> bad:Expr.t ->
+  result
+(** [cancel] is polled once per image step (cooperative cancellation,
+    used by the portfolio's engine racing); when it returns [true] the
+    run stops with {!Depth_exhausted} at the current iteration count. *)

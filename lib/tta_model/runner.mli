@@ -1,19 +1,41 @@
 (** Running the paper's experiments against the formal model. *)
 
-type engine = Bdd_reach | Sat_bmc | Sat_induction
+type engine = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
 
 val engine_to_string : engine -> string
 
+val engine_of_string : string -> engine option
+(** Accepts both the short CLI spellings ([bdd], [bmc], [induction],
+    [explicit]) and the long names of {!engine_to_string}. *)
+
 type verdict =
   | Holds of { detail : string }
-      (** proved safe (BDD fixpoint) or no counterexample up to the
-          bound (BMC) *)
+      (** proved safe (BDD fixpoint, k-induction, exhaustive BFS) or no
+          counterexample up to the bound (BMC) *)
   | Violated of { trace : Symkit.Model.state array; model : Symkit.Model.t }
   | Unknown of { detail : string }
 
-val check : ?engine:engine -> ?max_depth:int -> Configs.t -> verdict
+type run_stats = {
+  peak_bdd_nodes : int option;  (** BDD engine: largest reachable-set BDD *)
+  sat_conflicts : int option;  (** SAT engines: conflicts analyzed *)
+  explored_states : int option;  (** explicit engine: states visited *)
+}
+
+val check :
+  ?cancel:(unit -> bool) ->
+  ?engine:engine -> ?max_depth:int -> Configs.t -> verdict
 (** Check the paper's safety property against a configuration.
-    [max_depth] bounds BMC unrolling / BDD iterations. *)
+    [max_depth] bounds BMC unrolling / BDD iterations / BFS depth.
+    [cancel] is forwarded to the engine's cooperative-cancellation
+    hook; a cancelled run returns its engine's inconclusive variant
+    (for BMC, the bounded claim of the last completed depth — the
+    portfolio demotes that to unknown when it observes the flag). *)
+
+val check_instrumented :
+  ?cancel:(unit -> bool) ->
+  ?engine:engine -> ?max_depth:int -> Configs.t -> verdict * run_stats
+(** Like {!check}, also reporting the engine's effort counters for the
+    portfolio's run telemetry. *)
 
 val witness :
   ?max_depth:int -> Configs.t -> Symkit.Expr.t ->

@@ -1,0 +1,474 @@
+(* Tests for the portfolio engine: the JSON codec, the work-stealing
+   pool, the persistent verdict cache (hit/miss/invalidation), engine
+   cancellation, deterministic winner selection, and an end-to-end
+   matrix run checked verdict-for-verdict against the sequential
+   runner. 2-node clusters throughout, as in test_tta_model. *)
+
+module Runner = Tta_model.Runner
+module Configs = Tta_model.Configs
+
+let nodes = 2
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "portfolio_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (* Cache.create mkdir-s it. *)
+    d
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let v =
+    Portfolio.Json.(
+      Obj
+        [
+          ("null", Null);
+          ("bools", List [ Bool true; Bool false ]);
+          ("int", Int (-42));
+          ("float", Float 1.5);
+          ("string", String "line\nbreak \"quoted\" \t tab");
+          ("empty_obj", Obj []);
+          ("empty_list", List []);
+          ("nested", Obj [ ("xs", List [ Int 1; Int 2; Int 3 ]) ]);
+        ])
+  in
+  List.iter
+    (fun pretty ->
+      match Portfolio.Json.(of_string (to_string ~pretty v)) with
+      | Ok v' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip (pretty=%b)" pretty)
+            true (v = v')
+      | Error e -> Alcotest.failf "reparse failed: %s" e)
+    [ false; true ]
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Portfolio.Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed JSON: %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "[1] trailing" ]
+
+let test_json_accessors () =
+  let v =
+    match Portfolio.Json.of_string {|{"a": [1, 2], "b": "x", "c": true}|} with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let open Portfolio.Json in
+  Alcotest.(check (option string))
+    "member b" (Some "x")
+    (Option.bind (member "b" v) string_value);
+  Alcotest.(check int) "list length" 2
+    (List.length (to_list (Option.get (member "a" v))));
+  Alcotest.(check (option bool))
+    "member c" (Some true)
+    (Option.bind (member "c" v) bool_value);
+  Alcotest.(check bool) "missing member" true (member "zzz" v = None)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_order () =
+  let items = List.init 50 Fun.id in
+  List.iter
+    (fun domains ->
+      let got = Portfolio.Pool.map ~domains (fun i -> i * i) items in
+      Alcotest.(check (list int))
+        (Printf.sprintf "squares in order (%d domains)" domains)
+        (List.map (fun i -> i * i) items)
+        got)
+    [ 1; 2; 3; 64 ]
+
+let test_pool_exception () =
+  Alcotest.check_raises "first failure re-raised" (Failure "item 5")
+    (fun () ->
+      ignore
+        (Portfolio.Pool.map ~domains:3
+           (fun i ->
+             if i = 5 then failwith "item 5"
+             else if i = 7 then failwith "item 7"
+             else i)
+           (List.init 10 Fun.id)))
+
+let test_pool_stealing () =
+  (* One deliberately slow task on worker 0's deque; with two workers
+     the other 19 tasks must still all complete (stolen or local). *)
+  let got =
+    Portfolio.Pool.map ~domains:2
+      (fun i ->
+        if i = 0 then Unix.sleepf 0.2;
+        i + 1)
+      (List.init 20 Fun.id)
+  in
+  Alcotest.(check (list int)) "all tasks ran" (List.init 20 (fun i -> i + 1)) got
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let verdict_kind = function
+  | Runner.Holds _ -> "holds"
+  | Runner.Violated _ -> "violated"
+  | Runner.Unknown _ -> "unknown"
+
+let test_cache_hit_miss () =
+  let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  let engine = Runner.Bdd_reach and max_depth = 50 in
+  Alcotest.(check bool) "cold lookup misses" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth = None);
+  Portfolio.Cache.store c ~model ~engine ~max_depth
+    (Runner.Holds { detail = "proved safe: test entry" });
+  (match Portfolio.Cache.lookup c ~model ~engine ~max_depth with
+  | Some (Runner.Holds { detail }) ->
+      Alcotest.(check string) "detail survives" "proved safe: test entry"
+        detail
+  | other ->
+      Alcotest.failf "expected Holds, got %s"
+        (match other with None -> "miss" | Some v -> verdict_kind v));
+  Alcotest.(check int) "one hit" 1 (Portfolio.Cache.hits c);
+  Alcotest.(check int) "one miss" 1 (Portfolio.Cache.misses c);
+  Alcotest.(check int) "one entry on disk" 1 (Portfolio.Cache.entries c);
+  (* Unknown verdicts are never persisted. *)
+  Portfolio.Cache.store c ~model ~engine ~max_depth:99
+    (Runner.Unknown { detail = "gave up" });
+  Alcotest.(check bool) "Unknown not stored" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:99 = None)
+
+let test_cache_keying () =
+  let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  let engine = Runner.Bdd_reach and max_depth = 50 in
+  Portfolio.Cache.store c ~model ~engine ~max_depth
+    (Runner.Holds { detail = "proved" });
+  (* A different model (another feature set) must miss: the key is the
+     model's content hash, so any change to the compiled transition
+     system invalidates the entry. *)
+  let model' = Tta_model.Build.model (Configs.time_windows ~nodes ()) in
+  Alcotest.(check bool) "different model misses" true
+    (Portfolio.Cache.lookup c ~model:model' ~engine ~max_depth = None);
+  (* Same model, different engine or bound: also a miss. *)
+  Alcotest.(check bool) "different engine misses" true
+    (Portfolio.Cache.lookup c ~model ~engine:Runner.Sat_bmc ~max_depth = None);
+  Alcotest.(check bool) "different depth misses" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:51 = None);
+  Alcotest.(check bool) "original still hits" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth <> None)
+
+let test_cache_corrupt_entry () =
+  let dir = temp_dir () in
+  let c = Portfolio.Cache.create ~dir () in
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  let engine = Runner.Bdd_reach and max_depth = 50 in
+  Portfolio.Cache.store c ~model ~engine ~max_depth
+    (Runner.Holds { detail = "proved" });
+  (* Truncate the single entry file in place. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".json" then begin
+        let oc = open_out (Filename.concat dir f) in
+        output_string oc "{\"spilled";
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  Alcotest.(check bool) "corrupt entry degrades to a miss" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth = None)
+
+let test_cache_violated_trace_roundtrip () =
+  let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in
+  let cfg = Configs.full_shifting ~nodes () in
+  let model = Tta_model.Build.model cfg in
+  let verdict = Runner.check ~engine:Runner.Bdd_reach ~max_depth:60 cfg in
+  let trace =
+    match verdict with
+    | Runner.Violated { trace; _ } -> trace
+    | v -> Alcotest.failf "setup: expected Violated, got %s" (verdict_kind v)
+  in
+  Portfolio.Cache.store c ~model ~engine:Runner.Bdd_reach ~max_depth:60
+    verdict;
+  match Portfolio.Cache.lookup c ~model ~engine:Runner.Bdd_reach ~max_depth:60 with
+  | Some (Runner.Violated { trace = trace'; model = model' }) ->
+      Alcotest.(check int) "trace length survives" (Array.length trace)
+        (Array.length trace');
+      (match Symkit.Trace.validate model' trace' with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "decoded trace does not replay: %s" e);
+      Alcotest.(check bool) "states decode identically" true
+        (Array.for_all2 (fun a b -> a = b) trace trace')
+  | other ->
+      Alcotest.failf "expected cached Violated, got %s"
+        (match other with None -> "miss" | Some v -> verdict_kind v)
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation *)
+
+let test_cancel_stops_engines () =
+  (* With the flag permanently raised every engine must return its
+     inconclusive verdict almost immediately — a full run of any of
+     these instances takes seconds. *)
+  let cfg = Configs.full_shifting ~nodes () in
+  let always = fun () -> true in
+  List.iter
+    (fun engine ->
+      let t0 = Unix.gettimeofday () in
+      let v = Runner.check ~cancel:always ~engine ~max_depth:100 cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Runner.engine_to_string engine ^ " stops promptly")
+        true (dt < 2.0);
+      match (engine, v) with
+      | Runner.Sat_bmc, Runner.Holds { detail } ->
+          (* BMC's cancelled claim is the vacuous depth -1 bound; the
+             race demotes it, the raw runner reports it as-is. *)
+          Alcotest.(check string)
+            "bmc cancelled detail" "no counterexample up to depth -1" detail
+      | _, Runner.Unknown _ -> ()
+      | _, v ->
+          Alcotest.failf "%s: expected Unknown after cancel, got %s"
+            (Runner.engine_to_string engine)
+            (verdict_kind v))
+    [ Runner.Bdd_reach; Runner.Explicit_bfs; Runner.Sat_induction;
+      Runner.Sat_bmc ]
+
+let test_race_cancels_losers () =
+  (* BDD proves the passive configuration in well under a second; the
+     race must come back with that proof long before the explicit
+     engine's exhaustive search would finish on its own. *)
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Portfolio.race
+      ~engines:[ Runner.Bdd_reach; Runner.Explicit_bfs ]
+      ~max_depth:100
+      (Configs.passive ~nodes ())
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check string) "bdd wins" "bdd-reachability"
+    (Runner.engine_to_string r.Portfolio.engine);
+  Alcotest.(check string) "proof verdict" "holds"
+    (verdict_kind r.Portfolio.verdict);
+  Alcotest.(check int) "both engines reported" 2
+    (List.length r.Portfolio.runs);
+  Alcotest.(check bool) "race returned promptly" true (dt < 30.0)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic selection *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let test_select_priority_over_arrival () =
+  let holds = Runner.Holds { detail = "proved" } in
+  let unknown = Runner.Unknown { detail = "cancelled" } in
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  let violated = Runner.Violated { trace = [||]; model } in
+  (* Two conclusive results: whatever order they arrive in, the
+     higher-priority engine (explicit-bfs over sat-bmc) is selected. *)
+  let results =
+    [ (Runner.Sat_bmc, violated, 0.1); (Runner.Explicit_bfs, holds, 5.0);
+      (Runner.Bdd_reach, unknown, 0.0); (Runner.Sat_induction, unknown, 2.0) ]
+  in
+  List.iter
+    (fun arrival ->
+      match Portfolio.select arrival with
+      | Some (e, v, _) ->
+          Alcotest.(check string) "winner independent of arrival order"
+            "explicit-bfs" (Runner.engine_to_string e);
+          Alcotest.(check string) "its verdict" "holds" (verdict_kind v)
+      | None -> Alcotest.fail "no selection")
+    (permutations results);
+  (* All inconclusive: the top-priority engine is still reported. *)
+  let all_unknown =
+    [ (Runner.Sat_bmc, unknown, 0.1); (Runner.Bdd_reach, unknown, 9.0) ]
+  in
+  List.iter
+    (fun arrival ->
+      match Portfolio.select arrival with
+      | Some (e, _, _) ->
+          Alcotest.(check string) "inconclusive fallback" "bdd-reachability"
+            (Runner.engine_to_string e)
+      | None -> Alcotest.fail "no selection")
+    (permutations all_unknown);
+  Alcotest.(check bool) "empty input" true (Portfolio.select [] = None)
+
+let test_race_reproducible () =
+  (* Two full races on the violated instance: the selected engine, the
+     verdict kind and the counterexample length must agree run to run
+     (the trace is minimal, so every sound engine agrees on it). *)
+  let race () =
+    Portfolio.race ~max_depth:40 (Configs.full_shifting ~nodes ())
+  in
+  let r1 = race () and r2 = race () in
+  Alcotest.(check string) "same winner"
+    (Runner.engine_to_string r1.Portfolio.engine)
+    (Runner.engine_to_string r2.Portfolio.engine);
+  match (r1.Portfolio.verdict, r2.Portfolio.verdict) with
+  | Runner.Violated { trace = t1; _ }, Runner.Violated { trace = t2; _ } ->
+      Alcotest.(check int) "same counterexample length" (Array.length t1)
+        (Array.length t2);
+      Alcotest.(check bool) "counterexample is non-empty" true
+        (Array.length t1 > 0)
+  | v1, v2 ->
+      Alcotest.failf "expected two Violated verdicts, got %s / %s"
+        (verdict_kind v1) (verdict_kind v2)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: portfolio matrix vs the sequential runner *)
+
+let feature_sets =
+  [
+    ("passive", Configs.passive ~nodes ());
+    ("time-windows", Configs.time_windows ~nodes ());
+    ("small-shifting", Configs.small_shifting ~nodes ());
+    ("full-shifting", Configs.full_shifting ~nodes ());
+  ]
+
+let test_matrix_matches_sequential () =
+  let dir = temp_dir () in
+  let depth = 60 in
+  let jobs =
+    List.map
+      (fun (label, cfg) ->
+        Portfolio.job ~label ~engine:Runner.Bdd_reach ~max_depth:depth cfg)
+      feature_sets
+  in
+  let run () =
+    let cache = Portfolio.Cache.create ~dir () in
+    let telemetry = Portfolio.Telemetry.create () in
+    (Portfolio.run_matrix ~domains:2 ~cache ~telemetry jobs, cache, telemetry)
+  in
+  let check_results results =
+    List.iter2
+      (fun (label, cfg) (_, (r : Portfolio.result)) ->
+        let seq = Runner.check ~engine:Runner.Bdd_reach ~max_depth:depth cfg in
+        Alcotest.(check string)
+          (label ^ ": portfolio verdict = sequential verdict")
+          (verdict_kind seq)
+          (verdict_kind r.Portfolio.verdict);
+        match (seq, r.Portfolio.verdict) with
+        | Runner.Violated { trace = t1; _ }, Runner.Violated { trace = t2; _ }
+          ->
+            Alcotest.(check int)
+              (label ^ ": same trace length")
+              (Array.length t1) (Array.length t2);
+            Alcotest.(check bool)
+              (label ^ ": non-empty trace")
+              true
+              (Array.length t2 > 0)
+        | _ -> ())
+      feature_sets results
+  in
+  (* Cold run: everything computed, everything stored. *)
+  let cold, cache1, _ = run () in
+  check_results cold;
+  Alcotest.(check int) "cold run stores every verdict" 4
+    (Portfolio.Cache.entries cache1);
+  Alcotest.(check int) "cold run has no hits" 0 (Portfolio.Cache.hits cache1);
+  (* The three safe sets hold, full-shifting is violated. *)
+  let kinds =
+    List.map (fun (_, (r : Portfolio.result)) -> verdict_kind r.Portfolio.verdict) cold
+  in
+  Alcotest.(check (list string)) "expected verdict pattern"
+    [ "holds"; "holds"; "holds"; "violated" ]
+    kinds;
+  (* Warm run: same verdicts, all four from the cache. *)
+  let warm, cache2, telemetry = run () in
+  check_results warm;
+  Alcotest.(check int) "warm run hits every entry" 4
+    (Portfolio.Cache.hits cache2);
+  Alcotest.(check int) "warm run misses nothing" 0
+    (Portfolio.Cache.misses cache2);
+  List.iter
+    (fun (rec_ : Portfolio.Telemetry.record) ->
+      Alcotest.(check bool)
+        (rec_.Portfolio.Telemetry.config ^ " served from cache")
+        true rec_.Portfolio.Telemetry.cache_hit)
+    (Portfolio.Telemetry.records telemetry)
+
+let test_telemetry_json_shape () =
+  let telemetry = Portfolio.Telemetry.create () in
+  let cfg = Configs.passive ~nodes () in
+  ignore
+    (Portfolio.run_matrix ~domains:1 ~telemetry
+       [ Portfolio.job ~label:"shape" ~engine:Runner.Bdd_reach ~max_depth:60 cfg ]);
+  let json = Portfolio.Telemetry.to_json telemetry in
+  let reparsed =
+    Portfolio.Json.of_string (Portfolio.Json.to_string ~pretty:true json)
+  in
+  Alcotest.(check bool) "dump reparses" true (Result.is_ok reparsed);
+  let open Portfolio.Json in
+  let records = Option.get (member "records" json) in
+  Alcotest.(check int) "one record" 1 (List.length (to_list records));
+  let r = List.hd (to_list records) in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) ("record has " ^ field) true
+        (member field r <> None))
+    [ "config"; "engine"; "outcome"; "detail"; "wall_s"; "cache_hit";
+      "winner"; "peak_bdd_nodes"; "sat_conflicts"; "explored_states" ];
+  let s = Option.get (member "summary" json) in
+  Alcotest.(check (option int)) "summary counts the task" (Some 1)
+    (Option.bind (member "tasks" s) int_value);
+  Alcotest.(check (option int)) "holds counted" (Some 1)
+    (Option.bind (member "holds" s) int_value)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "portfolio"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "order" `Quick test_pool_order;
+          Alcotest.test_case "exception" `Quick test_pool_exception;
+          Alcotest.test_case "stealing" `Quick test_pool_stealing;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit-miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "keying" `Quick test_cache_keying;
+          Alcotest.test_case "corrupt entry" `Quick test_cache_corrupt_entry;
+          Alcotest.test_case "violated trace roundtrip" `Quick
+            test_cache_violated_trace_roundtrip;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "engines stop on the flag" `Quick
+            test_cancel_stops_engines;
+          Alcotest.test_case "race cancels losers" `Quick
+            test_race_cancels_losers;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "select ignores arrival order" `Quick
+            test_select_priority_over_arrival;
+          Alcotest.test_case "race is reproducible" `Quick
+            test_race_reproducible;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "matrix matches sequential" `Quick
+            test_matrix_matches_sequential;
+          Alcotest.test_case "telemetry json shape" `Quick
+            test_telemetry_json_shape;
+        ] );
+    ]
