@@ -41,6 +41,41 @@ let measured_of verdict =
         ok
   | Tta_model.Runner.Unknown { detail } -> "unknown (" ^ detail ^ ")"
 
+(* Machine-readable Section 5 results: per-config outcome and wall
+   time plus the full telemetry (whose records carry each run's
+   counters). Consumed by CI as a build artifact. *)
+let bench_json_path = "BENCH_portfolio.json"
+
+let write_bench_json telemetry results dt =
+  let row ((j : Portfolio.job), (r : Portfolio.result)) =
+    Json.Obj
+      [
+        ("label", Json.String j.Portfolio.label);
+        ( "engine",
+          Json.String (Tta_model.Runner.engine_to_string r.Portfolio.engine) );
+        ( "outcome",
+          Json.String
+            (Portfolio.Telemetry.outcome_to_string
+               (Portfolio.Telemetry.outcome_of_verdict r.Portfolio.verdict)) );
+        ("wall_s", Json.Float r.Portfolio.wall_s);
+        ("cache_hit", Json.Bool r.Portfolio.cache_hit);
+      ]
+  in
+  let j =
+    Json.Obj
+      [
+        ("nodes", Json.Int nodes);
+        ("paper_scale", Json.Bool paper_scale);
+        ("matrix_wall_s", Json.Float dt);
+        ("configs", Json.List (List.map row results));
+        ("telemetry", Portfolio.Telemetry.to_json telemetry);
+      ]
+  in
+  let oc = open_out_bin bench_json_path in
+  output_string oc (Json.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc
+
 let section5 () =
   heading "Section 5.2 — star-coupler fault tolerance (%d nodes, %s)" nodes
     (if paper_scale then "paper scale"
@@ -65,7 +100,9 @@ let section5 () =
     expects results;
   Printf.printf "matrix wall clock on %d domain(s): %.1fs\n%!"
     (Portfolio.Pool.default_domains ()) dt;
-  Format.printf "%a%!" Portfolio.Telemetry.pp_table telemetry
+  Format.printf "%a%!" Portfolio.Telemetry.pp_table telemetry;
+  write_bench_json telemetry results dt;
+  Printf.printf "machine-readable results written to %s\n%!" bench_json_path
 
 (* ------------------------------------------------------------------ *)
 (* Section 6 numbers and Figure 3 (E6, E7). *)

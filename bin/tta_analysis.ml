@@ -71,14 +71,59 @@ let print_frame_catalog () =
   print_newline ();
   print_newline ()
 
-let run figure3_only =
+let analysis_json () =
+  let worked =
+    Json.List
+      (List.map
+         (fun (e : Analysis.Buffer.worked_example) ->
+           Json.Obj
+             [
+               ("label", Json.String e.Analysis.Buffer.label);
+               ("result", Json.Float e.Analysis.Buffer.result);
+               ("unit", Json.String e.Analysis.Buffer.unit_);
+             ])
+         (Analysis.Buffer.worked_examples ()))
+  in
+  let series (s : Analysis.Figure3.series) =
+    Json.Obj
+      [
+        ("f_min", Json.Int s.Analysis.Figure3.f_min);
+        ("le", Json.Int s.Analysis.Figure3.le);
+        ( "points",
+          Json.List
+            (List.map
+               (fun (p : Analysis.Figure3.point) ->
+                 Json.Obj
+                   [
+                     ("f_max", Json.Int p.Analysis.Figure3.f_max);
+                     ( "ratio",
+                       match p.Analysis.Figure3.ratio with
+                       | None -> Json.Null
+                       | Some r -> Json.Float r );
+                   ])
+               s.Analysis.Figure3.points) );
+      ]
+  in
+  Json.Obj
+    [
+      ("worked_examples", worked);
+      ( "figure3",
+        Json.List (List.map series (Analysis.Figure3.default_families ())) );
+    ]
+
+let run figure3_only json_path =
   if figure3_only then print_figure3 ()
   else begin
     print_worked_examples ();
     print_figure3 ();
     print_leaky_bucket ();
     print_frame_catalog ()
-  end
+  end;
+  match json_path with
+  | Some path ->
+      Cli.write_json path (analysis_json ());
+      Printf.printf "results written to %s\n" path
+  | None -> ()
 
 let () =
   let open Cmdliner in
@@ -91,6 +136,6 @@ let () =
     Cmd.v
       (Cmd.info "tta_analysis"
          ~doc:"Buffer-size / frame-size / clock-rate tradeoff analysis")
-      Term.(const run $ fig3)
+      Term.(const run $ fig3 $ Cli.json ())
   in
   exit (Cmd.eval cmd)

@@ -9,20 +9,7 @@
      tta_experiments --all --sequential  # bypass pool and cache
 *)
 
-let () =
-  let all = Array.exists (( = ) "--all") Sys.argv in
-  let sequential = Array.exists (( = ) "--sequential") Sys.argv in
-  let no_cache = Array.exists (( = ) "--no-cache") Sys.argv in
-  let int_flag name default =
-    let rec find i =
-      if i >= Array.length Sys.argv - 1 then default
-      else if Sys.argv.(i) = name then int_of_string Sys.argv.(i + 1)
-      else find (i + 1)
-    in
-    find 1
-  in
-  let nodes = int_flag "--nodes" 3 in
-  let domains = int_flag "--domains" (Portfolio.Pool.default_domains ()) in
+let run all sequential no_cache nodes domains json_path obs =
   let telemetry = Portfolio.Telemetry.create () in
   let outcomes =
     if all then begin
@@ -44,7 +31,8 @@ let () =
           if no_cache then None else Some (Portfolio.Cache.create ())
         in
         Core.Experiments.all_portfolio ~nodes ~safe_depth:100
-          ~unsafe_depth:100 ~domains ?cache ~telemetry ()
+          ~unsafe_depth:100 ~domains ?cache ~telemetry
+          ?obs:(Cli.obs_collector obs) ()
       end
     end
     else Core.Experiments.quick ()
@@ -57,6 +45,50 @@ let () =
     outcomes;
   if Portfolio.Telemetry.records telemetry <> [] then
     Format.printf "%a@." Portfolio.Telemetry.pp_table telemetry;
-  Printf.printf "%d/%d experiments reproduced\n" (List.length outcomes - !failures)
+  (match json_path with
+  | Some path ->
+      Portfolio.Telemetry.dump_json telemetry path;
+      Printf.printf "telemetry written to %s\n" path
+  | None -> ());
+  Printf.printf "%d/%d experiments reproduced\n"
+    (List.length outcomes - !failures)
     (List.length outcomes);
+  Cli.obs_finish obs;
   exit (if !failures = 0 then 0 else 1)
+
+let () =
+  let open Cmdliner in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Also run the model-checking experiments (E1-E5), scheduled by \
+             the portfolio pool.")
+  in
+  let sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:"Run the model checks sequentially, bypassing pool and cache.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the verdict cache.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int (Portfolio.Pool.default_domains ())
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the portfolio pool (default: all cores).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "tta_experiments"
+         ~doc:"Reproduce every result of the paper as paper-vs-measured rows")
+      Term.(
+        const run $ all $ sequential $ no_cache
+        $ Cli.nodes ~default:3 ()
+        $ domains $ Cli.json () $ Cli.obs ())
+  in
+  exit (Cmd.eval cmd)

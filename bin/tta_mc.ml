@@ -4,28 +4,13 @@
      tta_mc --config full-shifting            # expect a counterexample
      tta_mc --config passive --engine bdd     # expect a safety proof
      tta_mc --config full-shifting --no-cold-start-duplication
+     tta_mc --engine bdd --trace run.json     # Chrome trace of the run
 *)
 
 let run config_name engine_name nodes max_depth no_cs_dup oos_budget
-    export_smv =
-  let feature_set =
-    match Guardian.Feature_set.of_string config_name with
-    | Some fs -> fs
-    | None ->
-        prerr_endline
-          "unknown --config (expected passive | time-windows | \
-           small-shifting | full-shifting)";
-        exit 2
-  in
-  let engine =
-    match engine_name with
-    | "bmc" -> Tta_model.Runner.Sat_bmc
-    | "bdd" -> Tta_model.Runner.Bdd_reach
-    | "induction" -> Tta_model.Runner.Sat_induction
-    | _ ->
-        prerr_endline "unknown --engine (expected bmc | bdd | induction)";
-        exit 2
-  in
+    export_smv json_path obs =
+  let feature_set = Cli.feature_set_of_config config_name in
+  let engine = Cli.engine_of_name engine_name in
   let cfg =
     Tta_model.Configs.make ~nodes
       ?oos_budget:
@@ -41,13 +26,16 @@ let run config_name engine_name nodes max_depth no_cs_dup oos_budget
       Tta_model.Runner.export_smv cfg path;
       Printf.printf "model exported to %s (SMV input language)\n" path
   | None -> ());
-  Printf.printf "engine: %s, depth bound %d\n%!"
-    (Tta_model.Runner.engine_to_string engine)
+  Printf.printf "engine: %s, depth bound %d\n%!" engine.Tta_model.Engine.name
     max_depth;
   let t0 = Unix.gettimeofday () in
-  let verdict = Tta_model.Runner.check ~engine ~max_depth cfg in
+  let r =
+    engine.Tta_model.Engine.run
+      ~obs:(Cli.obs_track obs ("mc/" ^ engine.Tta_model.Engine.name))
+      ~max_depth cfg
+  in
   let dt = Unix.gettimeofday () -. t0 in
-  (match verdict with
+  (match r.Tta_model.Engine.verdict with
   | Tta_model.Runner.Holds { detail } ->
       Printf.printf "PROPERTY HOLDS: %s\n" detail
   | Tta_model.Runner.Unknown { detail } ->
@@ -61,27 +49,45 @@ let run config_name engine_name nodes max_depth no_cs_dup oos_budget
       (match Symkit.Trace.validate model trace with
       | Ok () -> Printf.printf "(trace replays cleanly against the model)\n"
       | Error e -> Printf.printf "WARNING: trace validation failed: %s\n" e));
-  Printf.printf "elapsed: %.2fs\n" dt
+  Printf.printf "elapsed: %.2fs\n" dt;
+  (match json_path with
+  | Some path ->
+      let outcome =
+        match r.Tta_model.Engine.verdict with
+        | Tta_model.Runner.Holds { detail } -> [ ("verdict", Json.String "holds"); ("detail", Json.String detail) ]
+        | Tta_model.Runner.Unknown { detail } -> [ ("verdict", Json.String "unknown"); ("detail", Json.String detail) ]
+        | Tta_model.Runner.Violated { trace; _ } ->
+            [
+              ("verdict", Json.String "violated");
+              ( "detail",
+                Json.String
+                  (Printf.sprintf "counterexample of %d steps"
+                     (Array.length trace)) );
+            ]
+      in
+      Cli.write_json path
+        (Json.Obj
+           ([
+              ("config", Json.String (Tta_model.Configs.name cfg));
+              ("engine", Json.String engine.Tta_model.Engine.name);
+              ("nodes", Json.Int nodes);
+              ("max_depth", Json.Int max_depth);
+              ("wall_s", Json.Float dt);
+            ]
+           @ outcome
+           @ [
+               ( "counters",
+                 Json.Obj
+                   (List.map
+                      (fun (n, v) -> (n, Json.Int v))
+                      r.Tta_model.Engine.counters) );
+             ]));
+      Printf.printf "results written to %s\n" path
+  | None -> ());
+  Cli.obs_finish obs
 
 let () =
   let open Cmdliner in
-  let config =
-    Arg.(
-      value
-      & opt string "full-shifting"
-      & info [ "c"; "config" ] ~docv:"CONFIG"
-          ~doc:
-            "Star-coupler feature set: passive, time-windows, \
-             small-shifting, or full-shifting.")
-  in
-  let engine =
-    Arg.(
-      value & opt string "bmc"
-      & info [ "e"; "engine" ] ~docv:"ENGINE"
-          ~doc:
-            "Model-checking engine: bmc (SAT), bdd (reachability), or \
-             induction (SAT k-induction).")
-  in
   let export_smv =
     Arg.(
       value
@@ -90,17 +96,6 @@ let () =
           ~doc:
             "Also write the model to FILE in the SMV input language \
              (NuSMV dialect), with the property as an INVARSPEC.")
-  in
-  let nodes =
-    Arg.(
-      value & opt int 4
-      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size (paper: 4).")
-  in
-  let depth =
-    Arg.(
-      value & opt int 24
-      & info [ "d"; "depth" ] ~docv:"K"
-          ~doc:"Unrolling/iteration bound for the engines.")
   in
   let no_cs_dup =
     Arg.(
@@ -125,7 +120,8 @@ let () =
       (Cmd.info "tta_mc"
          ~doc:"Model-check TTA star-coupler fault-tolerance configurations")
       Term.(
-        const run $ config $ engine $ nodes $ depth $ no_cs_dup $ oos_budget
-        $ export_smv)
+        const run $ Cli.config () $ Cli.engine () $ Cli.nodes ()
+        $ Cli.depth () $ no_cs_dup $ oos_budget $ export_smv $ Cli.json ()
+        $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

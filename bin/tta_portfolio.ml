@@ -5,30 +5,11 @@
      tta_portfolio --nodes 3 --domains 2    # reduced scale, two workers
      tta_portfolio --race -c full-shifting  # race all four engines
      tta_portfolio --json telemetry.json    # dump the run telemetry
+     tta_portfolio --trace trace.json       # Chrome trace of every run
 
    Verdicts are cached under _cache/ (keyed by a content hash of the
    compiled model plus engine parameters), so a re-run only re-checks
    what changed; --no-cache forces cold runs. *)
-
-let parse_engines s =
-  let parts = String.split_on_char ',' s in
-  let engines =
-    List.map
-      (fun p ->
-        match Tta_model.Runner.engine_of_string (String.trim p) with
-        | Some e -> e
-        | None ->
-            prerr_endline
-              ("unknown engine '" ^ p
-             ^ "' (expected bdd | bmc | induction | explicit)");
-            exit 2)
-      (List.filter (fun p -> String.trim p <> "") parts)
-  in
-  if engines = [] then begin
-    prerr_endline "--engines: empty engine list";
-    exit 2
-  end;
-  engines
 
 let pp_verdict ~nodes verdict =
   match verdict with
@@ -45,24 +26,19 @@ let pp_verdict ~nodes verdict =
       | Ok () -> Printf.printf "(trace replays cleanly against the model)\n"
       | Error e -> Printf.printf "WARNING: trace validation failed: %s\n" e)
 
-let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry =
+let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs =
   let cfg =
     (* The named constructors, not [Configs.make], so the raced
        instance is exactly the Section 5 one (full-shifting carries the
        paper's one-error out-of-slot budget). *)
-    match Guardian.Feature_set.of_string config_name with
-    | Some Guardian.Feature_set.Passive -> Tta_model.Configs.passive ~nodes ()
-    | Some Guardian.Feature_set.Time_windows ->
+    match Cli.feature_set_of_config config_name with
+    | Guardian.Feature_set.Passive -> Tta_model.Configs.passive ~nodes ()
+    | Guardian.Feature_set.Time_windows ->
         Tta_model.Configs.time_windows ~nodes ()
-    | Some Guardian.Feature_set.Small_shifting ->
+    | Guardian.Feature_set.Small_shifting ->
         Tta_model.Configs.small_shifting ~nodes ()
-    | Some Guardian.Feature_set.Full_shifting ->
+    | Guardian.Feature_set.Full_shifting ->
         Tta_model.Configs.full_shifting ~nodes ()
-    | None ->
-        prerr_endline
-          "unknown --config (expected passive | time-windows | \
-           small-shifting | full-shifting)";
-        exit 2
   in
   Printf.printf "racing %s on %s (%d nodes), depth bound %d\n%!"
     (String.concat " vs "
@@ -70,7 +46,8 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry =
     (Tta_model.Configs.name cfg)
     nodes depth;
   let r =
-    Portfolio.race ?cache ~telemetry ~engines ~max_depth:depth cfg
+    Portfolio.race ?cache ~telemetry ?obs:(Cli.obs_collector obs) ~engines
+      ~max_depth:depth cfg
   in
   List.iter
     (fun (e, v, wall) ->
@@ -93,7 +70,8 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry =
   | Tta_model.Runner.Unknown _ -> 1
   | _ -> 0
 
-let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry =
+let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
+    ~obs =
   let jobs =
     Portfolio.section5_jobs ~nodes ?safe_depth ?unsafe_depth ()
   in
@@ -105,7 +83,8 @@ let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry =
     | None -> ", cache disabled");
   let t0 = Unix.gettimeofday () in
   let results =
-    Portfolio.run_matrix ~domains ?cache ~telemetry jobs
+    Portfolio.run_matrix ~domains ?cache ~telemetry
+      ?obs:(Cli.obs_collector obs) jobs
   in
   let dt = Unix.gettimeofday () -. t0 in
   let failures = ref 0 in
@@ -129,8 +108,8 @@ let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry =
   !failures
 
 let main config_name race nodes depth safe_depth unsafe_depth domains
-    engines_s cache_dir no_cache json_path =
-  let engines = parse_engines engines_s in
+    engines_s cache_dir no_cache json_path obs =
+  let engines = Cli.engine_ids_of_names engines_s in
   let cache =
     if no_cache then None else Some (Portfolio.Cache.create ~dir:cache_dir ())
   in
@@ -138,9 +117,10 @@ let main config_name race nodes depth safe_depth unsafe_depth domains
   let failures =
     if race || config_name <> "" then
       let config_name = if config_name = "" then "full-shifting" else config_name in
-      run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry
+      run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs
     else
       run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
+        ~obs
   in
   print_newline ();
   Format.printf "%a" Portfolio.Telemetry.pp_table telemetry;
@@ -155,6 +135,7 @@ let main config_name race nodes depth safe_depth unsafe_depth domains
       Portfolio.Telemetry.dump_json telemetry path;
       Printf.printf "telemetry written to %s\n" path
   | None -> ());
+  Cli.obs_finish obs;
   exit (if failures = 0 then 0 else 1)
 
 let () =
@@ -162,7 +143,9 @@ let () =
   let config =
     Arg.(
       value & opt string ""
-      & info [ "c"; "config" ] ~docv:"CONFIG"
+      & info
+          [ "c"; "config"; "f"; "feature-set" ]
+          ~docv:"CONFIG"
           ~doc:
             "Race the engines on one feature set (passive, time-windows, \
              small-shifting, full-shifting) instead of running the matrix.")
@@ -174,17 +157,6 @@ let () =
           ~doc:
             "Engine-racing mode (implied by $(b,--config)); defaults to \
              full-shifting.")
-  in
-  let nodes =
-    Arg.(
-      value & opt int 4
-      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size (paper: 4).")
-  in
-  let depth =
-    Arg.(
-      value & opt int 100
-      & info [ "d"; "depth" ] ~docv:"K"
-          ~doc:"Depth bound for racing mode.")
   in
   let safe_depth =
     Arg.(
@@ -204,13 +176,6 @@ let () =
       & info [ "j"; "domains" ] ~docv:"N"
           ~doc:"Worker domains for the matrix (default: all cores).")
   in
-  let engines =
-    Arg.(
-      value & opt string "bdd,explicit,induction,bmc"
-      & info [ "engines" ] ~docv:"LIST"
-          ~doc:
-            "Comma-separated engines to race: bdd, bmc, induction, explicit.")
-  in
   let cache_dir =
     Arg.(
       value & opt string "_cache"
@@ -219,19 +184,15 @@ let () =
   let no_cache =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the verdict cache.")
   in
-  let json =
-    Arg.(
-      value & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Dump the run telemetry (records + summary) as JSON.")
-  in
   let cmd =
     Cmd.v
       (Cmd.info "tta_portfolio"
          ~doc:
            "Multicore portfolio verification of the TTA star-coupler matrix")
       Term.(
-        const main $ config $ race $ nodes $ depth $ safe_depth $ unsafe_depth
-        $ domains $ engines $ cache_dir $ no_cache $ json)
+        const main $ config $ race $ Cli.nodes ()
+        $ Cli.depth ~default:100 ()
+        $ safe_depth $ unsafe_depth $ domains $ Cli.engines () $ cache_dir
+        $ no_cache $ Cli.json () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

@@ -3,9 +3,9 @@
 
    Examples:
      tta_sim                                      # clean boot, 4 nodes
-     tta_sim --coupler-fault out-of-slot --feature-set full-shifting
+     tta_sim --coupler-fault out-of-slot --config full-shifting
      tta_sim --node-fault sos --node 2
-     tta_sim --campaign 50 --feature-set full-shifting
+     tta_sim --campaign 50 --config full-shifting --metrics
 *)
 
 open Ttp
@@ -28,31 +28,45 @@ let print_summary cluster =
   print_endline "== event log ==";
   print_string (Sim.Event_log.to_string (Sim.Cluster.log cluster))
 
-let run_campaign feature_set nodes trials =
+let campaign_json feature_set nodes (s : Sim.Campaign.summary) =
+  Json.Obj
+    [
+      ("feature_set", Json.String (Guardian.Feature_set.to_string feature_set));
+      ("nodes", Json.Int nodes);
+      ("trials", Json.Int s.Sim.Campaign.trials);
+      ("with_healthy_freeze", Json.Int s.Sim.Campaign.with_healthy_freeze);
+      ("with_cluster_loss", Json.Int s.Sim.Campaign.with_cluster_loss);
+      ( "with_integration_block",
+        Json.Int s.Sim.Campaign.with_integration_block );
+    ]
+
+let run_campaign feature_set nodes trials json_path obs =
   Printf.printf
     "campaign: %d trials, %d nodes, %s couplers, one random coupler fault \
      per trial\n%!"
     trials nodes
     (Guardian.Feature_set.to_string feature_set);
-  let outcomes = Sim.Campaign.run ~feature_set ~nodes ~trials () in
+  let outcomes =
+    Sim.Campaign.run ~obs:(Cli.obs_track obs "campaign") ~feature_set ~nodes
+      ~trials ()
+  in
   let s = Sim.Campaign.summarize outcomes in
   Printf.printf "trials:                 %d\n" s.Sim.Campaign.trials;
   Printf.printf "healthy node froze:     %d\n" s.Sim.Campaign.with_healthy_freeze;
   Printf.printf "cluster lost majority:  %d\n" s.Sim.Campaign.with_cluster_loss;
   Printf.printf "re-integration blocked: %d\n"
-    s.Sim.Campaign.with_integration_block
+    s.Sim.Campaign.with_integration_block;
+  match json_path with
+  | Some path ->
+      Cli.write_json path (campaign_json feature_set nodes s);
+      Printf.printf "results written to %s\n" path
+  | None -> ()
 
 let run feature_set_name nodes slots coupler_fault channel node_fault node
-    campaign =
-  let feature_set =
-    match Guardian.Feature_set.of_string feature_set_name with
-    | Some fs -> fs
-    | None ->
-        prerr_endline "unknown --feature-set";
-        exit 2
-  in
-  match campaign with
-  | Some trials -> run_campaign feature_set nodes trials
+    campaign json_path obs =
+  let feature_set = Cli.feature_set_of_config feature_set_name in
+  (match campaign with
+  | Some trials -> run_campaign feature_set nodes trials json_path obs
   | None ->
       let medl = Medl.uniform ~nodes () in
       let cluster = Sim.Cluster.create ~feature_set medl in
@@ -76,21 +90,11 @@ let run feature_set_name nodes slots coupler_fault channel node_fault node
               prerr_endline "unknown --node-fault";
               exit 2));
       Sim.Cluster.run cluster ~slots;
-      print_summary cluster
+      print_summary cluster);
+  Cli.obs_finish obs
 
 let () =
   let open Cmdliner in
-  let feature_set =
-    Arg.(
-      value & opt string "time-windows"
-      & info [ "f"; "feature-set" ] ~docv:"FS"
-          ~doc:
-            "Coupler feature set: passive, time-windows, small-shifting, \
-             full-shifting.")
-  in
-  let nodes =
-    Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
-  in
   let slots =
     Arg.(
       value & opt int 32
@@ -126,7 +130,9 @@ let () =
     Cmd.v
       (Cmd.info "tta_sim" ~doc:"Simulate a TTA cluster with fault injection")
       Term.(
-        const run $ feature_set $ nodes $ slots $ coupler_fault $ channel
-        $ node_fault $ node $ campaign)
+        const run
+        $ Cli.config ~default:"time-windows" ()
+        $ Cli.nodes () $ slots $ coupler_fault $ channel $ node_fault $ node
+        $ campaign $ Cli.json () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

@@ -63,6 +63,13 @@ type manager = {
                          apply by clearing both together and distinct use *)
   quant_cache : t H3.t; (* (op, vs_id*nodes, id) *)
   mutable next_vs_id : int;
+  (* Effort counters (plain ints: an increment per cache probe is
+     noise next to the probe itself). Surfaced by [counters] into the
+     engines' observability tracks. *)
+  mutable n_alloc : int; (* nodes created (unique-table inserts) *)
+  mutable n_hit : int; (* operation-cache hits, all caches *)
+  mutable n_miss : int; (* operation-cache misses, all caches *)
+  mutable n_sweep : int; (* clear_caches calls *)
 }
 
 let create_manager ?(cache_size = 65_536) () =
@@ -74,9 +81,14 @@ let create_manager ?(cache_size = 65_536) () =
     ite_cache = H3.create cache_size;
     quant_cache = H3.create cache_size;
     next_vs_id = 0;
+    n_alloc = 0;
+    n_hit = 0;
+    n_miss = 0;
+    n_sweep = 0;
   }
 
 let clear_caches m =
+  m.n_sweep <- m.n_sweep + 1;
   H3.reset m.apply_cache;
   Hashtbl.reset m.not_cache;
   H3.reset m.ite_cache;
@@ -92,6 +104,7 @@ let mk m v lo hi =
     | None ->
         let d = Node { uid = m.next_uid; v; lo; hi } in
         m.next_uid <- m.next_uid + 1;
+        m.n_alloc <- m.n_alloc + 1;
         H3.add m.unique key d;
         d
 
@@ -109,8 +122,11 @@ let rec dnot m d =
   | One -> Zero
   | Node n -> (
       match Hashtbl.find_opt m.not_cache n.uid with
-      | Some r -> r
+      | Some r ->
+          m.n_hit <- m.n_hit + 1;
+          r
       | None ->
+          m.n_miss <- m.n_miss + 1;
           let r = mk m n.v (dnot m n.lo) (dnot m n.hi) in
           Hashtbl.add m.not_cache n.uid r;
           r)
@@ -151,8 +167,11 @@ let rec apply m op a b =
       let ia = id a and ib = id b in
       let key = if ia <= ib then (op, ia, ib) else (op, ib, ia) in
       (match H3.find_opt m.apply_cache key with
-      | Some r -> r
+      | Some r ->
+          m.n_hit <- m.n_hit + 1;
+          r
       | None ->
+          m.n_miss <- m.n_miss + 1;
           let va = var_of a and vb = var_of b in
           let v = min va vb in
           let a0, a1 = if va = v then (low a, high a) else (a, a) in
@@ -177,8 +196,11 @@ let rec ite m f g h =
       else
         let key = (id f, id g, id h) in
         (match H3.find_opt m.ite_cache key with
-        | Some r -> r
+        | Some r ->
+            m.n_hit <- m.n_hit + 1;
+            r
         | None ->
+            m.n_miss <- m.n_miss + 1;
             let v = min (var_of f) (min (var_of g) (var_of h)) in
             let cof d =
               if var_of d = v then (low d, high d) else (d, d)
@@ -249,8 +271,11 @@ let rec quant m op vs d =
       else
         let key = ((op * 0x10000) + vs.vs_id, n.uid, 0) in
         (match H3.find_opt m.quant_cache key with
-        | Some r -> r
+        | Some r ->
+            m.n_hit <- m.n_hit + 1;
+            r
         | None ->
+            m.n_miss <- m.n_miss + 1;
             let l = quant m op vs n.lo and h = quant m op vs n.hi in
             let r =
               if vs_mem vs n.v then
@@ -274,8 +299,11 @@ let rec and_exists m vs a b =
         let i1, i2 = if ia <= ib then (ia, ib) else (ib, ia) in
         let key = ((q_and_exists * 0x10000) + vs.vs_id, i1, i2) in
         (match H3.find_opt m.quant_cache key with
-        | Some r -> r
+        | Some r ->
+            m.n_hit <- m.n_hit + 1;
+            r
         | None ->
+            m.n_miss <- m.n_miss + 1;
             let va = var_of a and vb = var_of b in
             let v = min va vb in
             let a0, a1 = if va = v then (low a, high a) else (a, a) in
@@ -387,9 +415,19 @@ let iter_sat ~nvars d f =
   in
   go 0 d
 
+let counters m =
+  [
+    ("bdd.cache_hits", m.n_hit);
+    ("bdd.cache_misses", m.n_miss);
+    ("bdd.cache_sweeps", m.n_sweep);
+    ("bdd.nodes_allocated", m.n_alloc);
+    ("bdd.unique_table", H3.length m.unique);
+  ]
+
 let stats m =
   Printf.sprintf
-    "unique=%d apply=%d not=%d ite=%d quant=%d next_uid=%d"
+    "unique=%d apply=%d not=%d ite=%d quant=%d next_uid=%d hits=%d misses=%d \
+     allocs=%d sweeps=%d"
     (H3.length m.unique) (H3.length m.apply_cache)
     (Hashtbl.length m.not_cache) (H3.length m.ite_cache)
-    (H3.length m.quant_cache) m.next_uid
+    (H3.length m.quant_cache) m.next_uid m.n_hit m.n_miss m.n_alloc m.n_sweep

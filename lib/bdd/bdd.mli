@@ -118,5 +118,13 @@ val iter_sat : nvars:int -> t -> (bool array -> unit) -> unit
 
 (** {1 Diagnostics} *)
 
+val counters : manager -> (string * int) list
+(** Effort counters as an open counter set, sorted by name: node
+    allocations ([bdd.nodes_allocated]), operation-cache hits and
+    misses across all caches ([bdd.cache_hits]/[bdd.cache_misses]),
+    cache sweeps ([bdd.cache_sweeps], one per {!clear_caches}) and the
+    current unique-table population. Consumed by the {!Obs}-based
+    engine instrumentation. *)
+
 val stats : manager -> string
 (** Human-readable cache/unique-table statistics. *)

@@ -1,0 +1,144 @@
+(* Shared command-line vocabulary — see the interface. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common flag terms *)
+
+let config ?(default = "full-shifting") () =
+  Arg.(
+    value & opt string default
+    & info
+        [ "c"; "config"; "f"; "feature-set" ]
+        ~docv:"CONFIG"
+        ~doc:
+          "Star-coupler feature set: passive, time-windows, small-shifting, \
+           or full-shifting.")
+
+let engine ?(default = "bmc") () =
+  Arg.(
+    value & opt string default
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Verification engine: bdd (reachability), bmc (SAT), induction \
+           (SAT k-induction), or explicit (BFS).")
+
+let engines ?(default = "bdd,explicit,induction,bmc") () =
+  Arg.(
+    value & opt string default
+    & info [ "engines" ] ~docv:"LIST"
+        ~doc:"Comma-separated engines to race: bdd, bmc, induction, explicit.")
+
+let nodes ?(default = 4) () =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size (paper: 4).")
+
+let depth ?(default = 24) () =
+  Arg.(
+    value & opt int default
+    & info [ "d"; "depth" ] ~docv:"K"
+        ~doc:"Unrolling/iteration bound for the engines.")
+
+let json () =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the machine-readable results to FILE as JSON.")
+
+(* ------------------------------------------------------------------ *)
+(* Uniform parsers *)
+
+let feature_set_of_config s =
+  match Guardian.Feature_set.of_string s with
+  | Some fs -> fs
+  | None ->
+      prerr_endline
+        ("unknown --config '" ^ s
+       ^ "' (expected passive | time-windows | small-shifting | \
+          full-shifting)");
+      exit 2
+
+let engine_of_name s =
+  match Tta_model.Engine.of_string s with
+  | Some e -> e
+  | None ->
+      prerr_endline
+        ("unknown --engine '" ^ s
+       ^ "' (expected bdd | bmc | induction | explicit)");
+      exit 2
+
+let engine_ids_of_names s =
+  let parts =
+    List.filter
+      (fun p -> p <> "")
+      (List.map String.trim (String.split_on_char ',' s))
+  in
+  let ids = List.map (fun p -> (engine_of_name p).Tta_model.Engine.id) parts in
+  if ids = [] then begin
+    prerr_endline "--engines: empty engine list";
+    exit 2
+  end;
+  ids
+
+(* ------------------------------------------------------------------ *)
+(* Observability *)
+
+type obs = {
+  trace : string option;
+  metrics : bool;
+  collector : Obs.Collector.t option;
+}
+
+let obs () =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans and metrics and write a Chrome trace_event file \
+             on exit (load it in chrome://tracing or Perfetto).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the collected metrics table on exit.")
+  in
+  let make trace metrics =
+    let collector =
+      if trace <> None || metrics then Some (Obs.Collector.create ())
+      else None
+    in
+    { trace; metrics; collector }
+  in
+  Term.(const make $ trace $ metrics)
+
+let obs_collector o = o.collector
+
+let obs_track o name =
+  match o.collector with
+  | None -> Obs.disabled
+  | Some col -> Obs.Collector.track col name
+
+let obs_finish o =
+  match o.collector with
+  | None -> ()
+  | Some col ->
+      (match o.trace with
+      | Some path ->
+          Obs.Collector.write_chrome_trace col path;
+          Printf.printf "trace written to %s (chrome://tracing)\n" path
+      | None -> ());
+      if o.metrics then Format.printf "%a" Obs.Collector.pp_table col
+
+(* ------------------------------------------------------------------ *)
+(* JSON output *)
+
+let write_json path j =
+  let oc = open_out_bin path in
+  output_string oc (Json.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc

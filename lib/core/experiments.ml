@@ -320,7 +320,7 @@ let all ?nodes ?safe_depth ?unsafe_depth () =
    sequential path uses, so the outcomes — titles, details, matches —
    are identical; only the scheduling differs. *)
 let all_portfolio ?nodes ?(safe_depth = 100) ?(unsafe_depth = 100) ?domains
-    ?cache ?telemetry () =
+    ?cache ?telemetry ?obs () =
   let e5_nodes = Option.map (max 3) nodes in
   let bdd = Tta_model.Runner.Bdd_reach in
   let jobs_and_readers =
@@ -355,7 +355,7 @@ let all_portfolio ?nodes ?(safe_depth = 100) ?(unsafe_depth = 100) ?domains
     ]
   in
   let results =
-    Portfolio.run_matrix ?domains ?cache ?telemetry
+    Portfolio.run_matrix ?domains ?cache ?telemetry ?obs
       (List.map fst jobs_and_readers)
   in
   List.map2

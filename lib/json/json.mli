@@ -1,7 +1,9 @@
 (** A minimal JSON tree, writer and parser.
 
-    Just enough for the portfolio's result cache and telemetry dumps —
-    the repository deliberately has no external JSON dependency. The
+    The repository's one JSON surface: the portfolio's result cache and
+    telemetry dumps, the observability exporters ({!Obs}), and the
+    benchmark trajectory file all emit through this module — the
+    repository deliberately has no external JSON dependency. The
     writer emits valid JSON (UTF-8 passed through, control characters
     escaped); the parser accepts what the writer emits plus ordinary
     interchange JSON ([\uXXXX] escapes are decoded for the ASCII range

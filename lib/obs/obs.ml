@@ -1,0 +1,404 @@
+(* Structured tracing and metrics — see the interface for the design
+   overview. The disabled path is a distinct constructor in every
+   type, so the no-op case of each operation is a constant-time match
+   with no allocation. *)
+
+type kind = Counter | Gauge
+
+type event = {
+  name : string;
+  t0 : float;  (* seconds since the collector epoch *)
+  dur : float;  (* negative for instants *)
+  depth : int;  (* nesting level at open time, 0 = top *)
+  args : (string * string) list;
+}
+
+type track = {
+  col : collector;
+  track_id : int;
+  track_name : string;
+  tlock : Mutex.t;  (* guards [cells] growth and [rev_events] *)
+  cells : (string, kind * int Atomic.t) Hashtbl.t;
+  mutable open_depth : int;
+  mutable rev_events : event list;
+}
+
+and collector = {
+  lock : Mutex.t;
+  clock : unit -> float;
+  epoch : float;
+  mutable rev_tracks : track list;
+  mutable next_track : int;
+}
+
+type t = Noop | Track of track
+
+let disabled = Noop
+let enabled = function Noop -> false | Track _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges *)
+
+type cell = Null_cell | Cell of kind * int Atomic.t
+
+let intern kind tr name =
+  Mutex.lock tr.tlock;
+  let c =
+    match Hashtbl.find_opt tr.cells name with
+    | Some (k, a) ->
+        (* A name is one cell; the first interning fixes its kind. *)
+        Cell (k, a)
+    | None ->
+        let a = Atomic.make 0 in
+        Hashtbl.add tr.cells name (kind, a);
+        Cell (kind, a)
+  in
+  Mutex.unlock tr.tlock;
+  c
+
+let counter t name =
+  match t with Noop -> Null_cell | Track tr -> intern Counter tr name
+
+let gauge t name =
+  match t with Noop -> Null_cell | Track tr -> intern Gauge tr name
+
+let rec record c v =
+  match c with
+  | Null_cell -> ()
+  | Cell (_, a) ->
+      let cur = Atomic.get a in
+      if v > cur && not (Atomic.compare_and_set a cur v) then record c v
+
+let add c n =
+  match c with
+  | Null_cell -> ()
+  | Cell (Counter, a) -> ignore (Atomic.fetch_and_add a n)
+  | Cell (Gauge, _) -> record c n
+
+let tick c = add c 1
+let incr_by t name n = add (counter t name) n
+let set_max t name v = record (gauge t name) v
+
+let counters t =
+  match t with
+  | Noop -> []
+  | Track tr ->
+      Mutex.lock tr.tlock;
+      let l =
+        Hashtbl.fold (fun k (_, a) acc -> (k, Atomic.get a) :: acc) tr.cells []
+      in
+      Mutex.unlock tr.tlock;
+      List.sort (fun (a, _) (b, _) -> compare a b) l
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+type span =
+  | Null_span
+  | Open of {
+      tr : track;
+      name : string;
+      t0 : float;
+      depth : int;
+      args : (string * string) list;
+      mutable closed : bool;
+    }
+
+let null_span = Null_span
+
+let now tr = tr.col.clock () -. tr.col.epoch
+
+let push_event tr e =
+  Mutex.lock tr.tlock;
+  tr.rev_events <- e :: tr.rev_events;
+  Mutex.unlock tr.tlock
+
+let start t ?(args = []) name =
+  match t with
+  | Noop -> Null_span
+  | Track tr ->
+      let depth = tr.open_depth in
+      tr.open_depth <- depth + 1;
+      Open { tr; name; t0 = now tr; depth; args; closed = false }
+
+let stop s =
+  match s with
+  | Null_span -> ()
+  | Open o ->
+      if not o.closed then begin
+        o.closed <- true;
+        o.tr.open_depth <- o.tr.open_depth - 1;
+        push_event o.tr
+          {
+            name = o.name;
+            t0 = o.t0;
+            dur = now o.tr -. o.t0;
+            depth = o.depth;
+            args = o.args;
+          }
+      end
+
+let with_span t ?args name f =
+  match t with
+  | Noop -> f ()
+  | Track _ ->
+      let s = start t ?args name in
+      Fun.protect ~finally:(fun () -> stop s) f
+
+let instant t ?(args = []) name =
+  match t with
+  | Noop -> ()
+  | Track tr ->
+      push_event tr
+        { name; t0 = now tr; dur = -1.0; depth = tr.open_depth; args }
+
+(* ------------------------------------------------------------------ *)
+(* The collector *)
+
+module Collector = struct
+  type nonrec t = collector
+
+  let create ?(clock = Unix.gettimeofday) () =
+    {
+      lock = Mutex.create ();
+      clock;
+      epoch = clock ();
+      rev_tracks = [];
+      next_track = 0;
+    }
+
+  let track col name =
+    Mutex.lock col.lock;
+    let tr =
+      {
+        col;
+        track_id = col.next_track;
+        track_name = name;
+        tlock = Mutex.create ();
+        cells = Hashtbl.create 16;
+        open_depth = 0;
+        rev_events = [];
+      }
+    in
+    col.next_track <- col.next_track + 1;
+    col.rev_tracks <- tr :: col.rev_tracks;
+    Mutex.unlock col.lock;
+    Track tr
+
+  let tracks col =
+    Mutex.lock col.lock;
+    let ts = List.rev col.rev_tracks in
+    Mutex.unlock col.lock;
+    ts
+
+  (* Events in emission (= completion) order; span starts are kept in
+     the events themselves, so the exporters sort as needed. *)
+  let events tr =
+    Mutex.lock tr.tlock;
+    let es = List.rev tr.rev_events in
+    Mutex.unlock tr.tlock;
+    es
+
+  let cells tr =
+    Mutex.lock tr.tlock;
+    let l =
+      Hashtbl.fold
+        (fun k (kind, a) acc -> (k, kind, Atomic.get a) :: acc)
+        tr.cells []
+    in
+    Mutex.unlock tr.tlock;
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) l
+
+  let totals col =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun tr ->
+        List.iter
+          (fun (name, kind, v) ->
+            match Hashtbl.find_opt tbl name with
+            | None -> Hashtbl.add tbl name (kind, v)
+            | Some (k, v0) ->
+                Hashtbl.replace tbl name
+                  (k, match k with Counter -> v0 + v | Gauge -> max v0 v))
+          (cells tr))
+      (tracks col);
+    Hashtbl.fold (fun k (_, v) acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  (* ---------------------------------------------------------------- *)
+  (* Human table *)
+
+  let pp_table ppf col =
+    let pp_dur ppf s =
+      if s >= 1.0 then Format.fprintf ppf "%7.2fs " s
+      else if s >= 1e-3 then Format.fprintf ppf "%7.2fms" (s *. 1e3)
+      else Format.fprintf ppf "%7.1fus" (s *. 1e6)
+    in
+    List.iter
+      (fun tr ->
+        Format.fprintf ppf "  track %d: %s@." tr.track_id tr.track_name;
+        (* Spans aggregated by name, in first-completion order. *)
+        let order = ref [] in
+        let agg = Hashtbl.create 16 in
+        List.iter
+          (fun e ->
+            if e.dur >= 0.0 then begin
+              if not (Hashtbl.mem agg e.name) then order := e.name :: !order;
+              let n, total, mx =
+                Option.value (Hashtbl.find_opt agg e.name) ~default:(0, 0.0, 0.0)
+              in
+              Hashtbl.replace agg e.name
+                (n + 1, total +. e.dur, Float.max mx e.dur)
+            end)
+          (events tr);
+        List.iter
+          (fun name ->
+            let n, total, mx = Hashtbl.find agg name in
+            Format.fprintf ppf "    span %-32s %6dx total %a  max %a@." name n
+              pp_dur total pp_dur mx)
+          (List.rev !order);
+        List.iter
+          (fun (name, kind, v) ->
+            Format.fprintf ppf "    %s %-31s %d@."
+              (match kind with Counter -> "ctr " | Gauge -> "max ")
+              name v)
+          (cells tr))
+      (tracks col);
+    match totals col with
+    | [] -> ()
+    | tots ->
+        Format.fprintf ppf "  totals across %d track(s):@."
+          (List.length (tracks col));
+        List.iter
+          (fun (name, v) -> Format.fprintf ppf "    %-36s %d@." name v)
+          tots
+
+  (* ---------------------------------------------------------------- *)
+  (* JSON-lines *)
+
+  let us s = Float.round (s *. 1e6)
+
+  let args_json args =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)
+
+  let to_jsonl col =
+    let buf = Buffer.create 4096 in
+    let line j =
+      Buffer.add_string buf (Json.to_string j);
+      Buffer.add_char buf '\n'
+    in
+    List.iter
+      (fun tr ->
+        line
+          (Json.Obj
+             [
+               ("type", Json.String "track");
+               ("track", Json.Int tr.track_id);
+               ("name", Json.String tr.track_name);
+             ]);
+        List.iter
+          (fun e ->
+            let base =
+              [
+                ("type", Json.String (if e.dur >= 0.0 then "span" else "instant"));
+                ("track", Json.Int tr.track_id);
+                ("name", Json.String e.name);
+                ("ts_us", Json.Float (us e.t0));
+                ("depth", Json.Int e.depth);
+              ]
+            in
+            let dur = if e.dur >= 0.0 then [ ("dur_us", Json.Float (us e.dur)) ] else [] in
+            let args = if e.args = [] then [] else [ ("args", args_json e.args) ] in
+            line (Json.Obj (base @ dur @ args)))
+          (events tr);
+        List.iter
+          (fun (name, kind, v) ->
+            line
+              (Json.Obj
+                 [
+                   ( "type",
+                     Json.String
+                       (match kind with Counter -> "counter" | Gauge -> "gauge") );
+                   ("track", Json.Int tr.track_id);
+                   ("name", Json.String name);
+                   ("value", Json.Int v);
+                 ]))
+          (cells tr))
+      (tracks col);
+    Buffer.contents buf
+
+  (* ---------------------------------------------------------------- *)
+  (* Chrome trace_event format *)
+
+  let chrome_trace col =
+    let trs = tracks col in
+    let meta tr =
+      Json.Obj
+        [
+          ("ph", Json.String "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tr.track_id);
+          ("name", Json.String "thread_name");
+          ("args", Json.Obj [ ("name", Json.String tr.track_name) ]);
+        ]
+    in
+    let ev tr e =
+      let common =
+        [
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tr.track_id);
+          ("name", Json.String e.name);
+          ("ts", Json.Float (us e.t0));
+        ]
+      in
+      if e.dur >= 0.0 then
+        Json.Obj
+          (("ph", Json.String "X")
+           :: (common @ [ ("dur", Json.Float (us e.dur)) ]
+              @ if e.args = [] then [] else [ ("args", args_json e.args) ]))
+      else
+        Json.Obj
+          (("ph", Json.String "i")
+           :: (common
+              @ [ ("s", Json.String "t") ]
+              @ if e.args = [] then [] else [ ("args", args_json e.args) ]))
+    in
+    (* Cell values are reported as one terminal counter sample per
+       track (Perfetto renders them as stepped series). *)
+    let cell_ev tr last_ts (name, _, v) =
+      Json.Obj
+        [
+          ("ph", Json.String "C");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tr.track_id);
+          ("name", Json.String name);
+          ("ts", Json.Float last_ts);
+          ("args", Json.Obj [ ("value", Json.Int v) ]);
+        ]
+    in
+    let events_of tr =
+      let es = events tr in
+      let last_ts =
+        List.fold_left
+          (fun acc e -> Float.max acc (us (e.t0 +. Float.max e.dur 0.0)))
+          0.0 es
+      in
+      (meta tr :: List.map (ev tr) es)
+      @ List.map (cell_ev tr last_ts) (cells tr)
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.concat_map events_of trs));
+        ("displayTimeUnit", Json.String "ms");
+      ]
+
+  let write_file path contents =
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc
+
+  let write_chrome_trace col path =
+    write_file path (Json.to_string ~pretty:true (chrome_trace col) ^ "\n")
+
+  let write_jsonl col path = write_file path (to_jsonl col)
+end

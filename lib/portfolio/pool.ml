@@ -42,7 +42,7 @@ let steal d w =
   done;
   !found
 
-let map ?domains f items =
+let map ?domains ?(obs = Obs.disabled) f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   if n = 0 then []
@@ -53,6 +53,14 @@ let map ?domains f items =
       in
       max 1 (min d n)
     in
+    let tasks_c = Obs.counter obs "pool.tasks" in
+    let steals_c = Obs.counter obs "pool.steals" in
+    let wait_c = Obs.counter obs "pool.task_wait_us" in
+    (* High-water mark of a worker's deque: with round-robin
+       distribution that is worker 0's initial share. *)
+    Obs.set_max obs "pool.queue_depth" ((n + workers - 1) / workers);
+    Obs.set_max obs "pool.workers" workers;
+    let t0 = if Obs.enabled obs then Unix.gettimeofday () else 0.0 in
     let d =
       {
         queues = Array.init workers (fun _ -> ref []);
@@ -67,9 +75,23 @@ let map ?domains f items =
     done;
     let results = Array.make n None in
     let rec worker w =
-      match (match pop d w with Some i -> Some i | None -> steal d w) with
+      let next =
+        match pop d w with
+        | Some i -> Some i
+        | None ->
+            let s = steal d w in
+            if s <> None then Obs.tick steals_c;
+            s
+      in
+      match next with
       | None -> ()
       | Some i ->
+          Obs.tick tasks_c;
+          (* Queued time of this task: the pool starts all deques full,
+             so waiting began at [t0]. *)
+          if Obs.enabled obs then
+            Obs.add wait_c
+              (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
           results.(i) <-
             Some (match f arr.(i) with r -> Ok r | exception e -> Error e);
           worker w

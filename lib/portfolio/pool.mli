@@ -11,9 +11,15 @@
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], the pool's default width. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?domains:int -> ?obs:Obs.t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f items] applies [f] to every item across [domains] workers
     (clamped to at least 1 and at most the number of items) and
     returns the results in input order. The calling domain acts as
     worker 0. If any application raises, the whole batch completes and
-    the first exception (in input order) is re-raised. *)
+    the first exception (in input order) is re-raised.
+
+    [obs] (default {!Obs.disabled}) receives the pool's scheduling
+    metrics: the [pool.tasks] and [pool.steals] counters, accumulated
+    task queueing time in [pool.task_wait_us], and the
+    [pool.queue_depth]/[pool.workers] gauges. Cells are atomic, so
+    every worker bumps the same track safely. *)

@@ -49,22 +49,20 @@ type result = {
 let now () = Unix.gettimeofday ()
 
 let add_telemetry telemetry ~label ~engine ~verdict ~detail ~wall_s ~cache_hit
-    ~winner ~(stats : Runner.run_stats) =
+    ~winner ~counters =
   match telemetry with
   | None -> ()
   | Some t ->
       Telemetry.add t
         {
           Telemetry.config = label;
-          engine = Runner.engine_to_string engine;
+          engine = Engine.id_to_string engine;
           outcome = Telemetry.outcome_of_verdict verdict;
           detail;
           wall_s;
           cache_hit;
           winner;
-          peak_bdd_nodes = stats.Runner.peak_bdd_nodes;
-          sat_conflicts = stats.Runner.sat_conflicts;
-          explored_states = stats.Runner.explored_states;
+          counters;
         }
 
 let detail_of = function
@@ -73,8 +71,13 @@ let detail_of = function
   | Runner.Violated { trace; _ } ->
       Printf.sprintf "counterexample of %d steps" (Array.length trace)
 
-let no_stats : Runner.run_stats =
-  { peak_bdd_nodes = None; sat_conflicts = None; explored_states = None }
+(* One observability track per engine run, named after the job and the
+   engine so the Chrome trace shows the race as parallel timelines. *)
+let run_track obs ~label engine =
+  match obs with
+  | None -> Obs.disabled
+  | Some col ->
+      Obs.Collector.track col (label ^ "/" ^ Engine.id_to_string engine)
 
 (* Conclusive cached verdict for any of [engines], in priority-filtered
    order. *)
@@ -96,11 +99,21 @@ let cache_store cache ~model ~engine ~max_depth verdict =
       if conclusive verdict then
         Cache.store c ~model ~engine ~max_depth verdict
 
+let note_cache_hit obs ~label engine =
+  match obs with
+  | None -> ()
+  | Some col ->
+      let tr = Obs.Collector.track col (label ^ "/cache") in
+      Obs.instant tr
+        ~args:[ ("engine", Engine.id_to_string engine) ]
+        "cache.hit";
+      Obs.incr_by tr "cache.hits" 1
+
 (* ------------------------------------------------------------------ *)
 (* Engine racing *)
 
-let race ?cache ?telemetry ?label ?(engines = priority) ?(max_depth = 24) cfg
-    =
+let race ?cache ?telemetry ?obs ?label ?(engines = priority) ?(max_depth = 24)
+    cfg =
   if engines = [] then invalid_arg "Portfolio.race: no engines";
   let label =
     match label with Some l -> l | None -> Configs.name cfg
@@ -110,14 +123,20 @@ let race ?cache ?telemetry ?label ?(engines = priority) ?(max_depth = 24) cfg
   match cache_probe cache ~model ~engines ~max_depth with
   | Some (e, v) ->
       let wall_s = now () -. t0 in
+      note_cache_hit obs ~label e;
       add_telemetry telemetry ~label ~engine:e ~verdict:v
         ~detail:(detail_of v) ~wall_s ~cache_hit:true ~winner:true
-        ~stats:no_stats;
+        ~counters:[];
       { config = cfg; engine = e; verdict = v; wall_s; cache_hit = true;
         runs = [] }
   | None ->
       let flag = Atomic.make false in
+      (* Wall time at which the first conclusive verdict raised the
+         flag — written once, read by the cancelled losers to report
+         how long cancellation took to take effect. *)
+      let flag_at = Atomic.make 0.0 in
       let run_engine e =
+        let track = run_track obs ~label e in
         let observed = ref false in
         let cancel () =
           let c = Atomic.get flag in
@@ -125,9 +144,7 @@ let race ?cache ?telemetry ?label ?(engines = priority) ?(max_depth = 24) cfg
           c
         in
         let t0 = now () in
-        let v, stats =
-          Runner.check_instrumented ~cancel ~engine:e ~max_depth cfg
-        in
+        let r = (Engine.get e).Engine.run ~cancel ~obs:track ~max_depth cfg in
         let wall = now () -. t0 in
         (* A cancelled BMC run reports the bounded no-counterexample
            claim of its last completed depth; inside the race that must
@@ -135,14 +152,24 @@ let race ?cache ?telemetry ?label ?(engines = priority) ?(max_depth = 24) cfg
            k-induction, exhausted BFS) and counterexamples remain sound
            whether or not the flag fired mid-run. *)
         let v =
-          match v with
+          match r.Engine.verdict with
           | Runner.Holds _ when !observed && e = Runner.Sat_bmc ->
               Runner.Unknown
                 { detail = "cancelled before completing the bound" }
           | v -> v
         in
-        if conclusive v then Atomic.set flag true;
-        (e, v, stats, wall)
+        if conclusive v then begin
+          let first = not (Atomic.exchange flag true) in
+          if first then Atomic.set flag_at (now ())
+        end;
+        if !observed then begin
+          let latency_us =
+            int_of_float ((now () -. Atomic.get flag_at) *. 1e6)
+          in
+          Obs.set_max track "race.cancel_latency_us" (max 0 latency_us);
+          Obs.instant track "race.cancelled"
+        end;
+        (e, v, r.Engine.counters, wall)
       in
       let spawned =
         List.map
@@ -166,10 +193,10 @@ let race ?cache ?telemetry ?label ?(engines = priority) ?(max_depth = 24) cfg
       in
       cache_store cache ~model ~engine:winner_e ~max_depth winner_v;
       List.iter
-        (fun (e, v, stats, wall) ->
+        (fun (e, v, counters, wall) ->
           add_telemetry telemetry ~label ~engine:e ~verdict:v
             ~detail:(detail_of v) ~wall_s:wall ~cache_hit:false
-            ~winner:(e = winner_e) ~stats)
+            ~winner:(e = winner_e) ~counters)
         results;
       let runs =
         List.filter_map
@@ -202,37 +229,47 @@ let job ?label ?engine ?(max_depth = 100) cfg =
   let label = match label with Some l -> l | None -> Configs.name cfg in
   { label; cfg; engine; max_depth }
 
-let run_single ?cache ?telemetry ~label ~engine ~max_depth cfg =
+let run_single ?cache ?telemetry ?obs ~label ~engine ~max_depth cfg =
   let model = Build.model cfg in
   let t0 = now () in
   match cache_probe cache ~model ~engines:[ engine ] ~max_depth with
   | Some (e, v) ->
       let wall_s = now () -. t0 in
+      note_cache_hit obs ~label e;
       add_telemetry telemetry ~label ~engine:e ~verdict:v
         ~detail:(detail_of v) ~wall_s ~cache_hit:true ~winner:true
-        ~stats:no_stats;
+        ~counters:[];
       { config = cfg; engine = e; verdict = v; wall_s; cache_hit = true;
         runs = [] }
   | None ->
-      let v, stats = Runner.check_instrumented ~engine ~max_depth cfg in
+      let track = run_track obs ~label engine in
+      let r = (Engine.get engine).Engine.run ~obs:track ~max_depth cfg in
+      let v = r.Engine.verdict in
       let wall_s = now () -. t0 in
       cache_store cache ~model ~engine ~max_depth v;
       add_telemetry telemetry ~label ~engine ~verdict:v ~detail:(detail_of v)
-        ~wall_s ~cache_hit:false ~winner:true ~stats;
+        ~wall_s ~cache_hit:false ~winner:true ~counters:r.Engine.counters;
       { config = cfg; engine; verdict = v; wall_s; cache_hit = false;
         runs = [ (engine, v, wall_s) ] }
 
-let run_matrix ?domains ?cache ?telemetry jobs =
+let run_matrix ?domains ?cache ?telemetry ?obs jobs =
   let run j =
     match j.engine with
     | Some engine ->
         ( j,
-          run_single ?cache ?telemetry ~label:j.label ~engine
+          run_single ?cache ?telemetry ?obs ~label:j.label ~engine
             ~max_depth:j.max_depth j.cfg )
     | None ->
-        (j, race ?cache ?telemetry ~label:j.label ~max_depth:j.max_depth j.cfg)
+        ( j,
+          race ?cache ?telemetry ?obs ~label:j.label ~max_depth:j.max_depth
+            j.cfg )
   in
-  Pool.map ?domains run jobs
+  let pool_obs =
+    match obs with
+    | None -> Obs.disabled
+    | Some col -> Obs.Collector.track col "pool"
+  in
+  Pool.map ?domains ~obs:pool_obs run jobs
 
 (* ------------------------------------------------------------------ *)
 (* The Section 5 matrix *)

@@ -17,7 +17,12 @@
       [Domain.recommended_domain_count ()] workers.
 
     Both levels consult a persistent {!Cache} keyed on the compiled
-    model's content hash and record per-task {!Telemetry}.
+    model's content hash and record per-task {!Telemetry}. Passing an
+    [?obs] {!Obs.Collector} additionally streams every engine run's
+    spans and counters onto its own collector track (named
+    ["<label>/<engine>"]) plus a ["pool"] track for the scheduler —
+    export it as a Chrome trace to see a race or a whole matrix as
+    parallel timelines (see doc/observability.md).
 
     {b Determinism.} Verdict selection is by the fixed engine
     {!priority}, never by arrival order: when several racers finish
@@ -66,6 +71,7 @@ type result = {
 val race :
   ?cache:Cache.t ->
   ?telemetry:Telemetry.t ->
+  ?obs:Obs.Collector.t ->
   ?label:string ->
   ?engines:engine list ->
   ?max_depth:int ->
@@ -73,8 +79,11 @@ val race :
   result
 (** Race [engines] (default: all of {!priority}) on one configuration,
     one domain per engine. A conclusive cached verdict short-circuits
-    the race entirely. @raise Invalid_argument on an empty engine
-    list. *)
+    the race entirely (recorded as a [cache.hit] instant on [obs]).
+    Each racer writes to its own [obs] track; cancelled losers
+    additionally report [race.cancel_latency_us] — the time from the
+    winner raising the flag to the loser actually returning.
+    @raise Invalid_argument on an empty engine list. *)
 
 (** {1 Matrix fan-out} *)
 
@@ -95,6 +104,7 @@ val run_matrix :
   ?domains:int ->
   ?cache:Cache.t ->
   ?telemetry:Telemetry.t ->
+  ?obs:Obs.Collector.t ->
   job list ->
   (job * result) list
 (** Drain the jobs across a work-stealing pool of [domains] workers

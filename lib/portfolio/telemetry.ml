@@ -20,9 +20,7 @@ type record = {
   wall_s : float;
   cache_hit : bool;
   winner : bool;
-  peak_bdd_nodes : int option;
-  sat_conflicts : int option;
-  explored_states : int option;
+  counters : (string * int) list;
 }
 
 type t = { lock : Mutex.t; mutable rev_records : record list }
@@ -69,26 +67,38 @@ let summarize t =
     max_wall_s = List.fold_left (fun acc r -> Float.max acc r.wall_s) 0.0 rs;
   }
 
+(* The effort column: the run's most characteristic counter, tried in
+   engine-specificity order so each engine shows the number a reader
+   would reach for first. *)
+let effort_of_counters counters =
+  let get n = List.assoc_opt n counters in
+  match
+    List.find_map
+      (fun (name, unit_) ->
+        Option.map (fun v -> (v, unit_)) (get name))
+      [
+        ("reach.peak_nodes", "bddn");
+        ("sat.conflicts", "cfl");
+        ("explicit.states", "sts");
+        ("sim.trials", "trl");
+      ]
+  with
+  | Some (v, unit_) -> Printf.sprintf "%d %s" v unit_
+  | None -> "-"
+
 let pp_table ppf t =
   let rs = records t in
   Format.fprintf ppf "  %-36s %-16s %-9s %8s %6s %3s %12s@."
     "configuration" "engine" "outcome" "wall" "cache" "win" "effort";
   List.iter
     (fun r ->
-      let effort =
-        match (r.peak_bdd_nodes, r.sat_conflicts, r.explored_states) with
-        | Some n, _, _ -> Printf.sprintf "%d bddn" n
-        | _, Some c, _ -> Printf.sprintf "%d cfl" c
-        | _, _, Some s -> Printf.sprintf "%d sts" s
-        | None, None, None -> "-"
-      in
       Format.fprintf ppf "  %-36s %-16s %-9s %7.2fs %6s %3s %12s@." r.config
         r.engine
         (outcome_to_string r.outcome)
         r.wall_s
         (if r.cache_hit then "hit" else "miss")
         (if r.winner then "*" else "")
-        effort)
+        (effort_of_counters r.counters))
     rs;
   let s = summarize t in
   Format.fprintf ppf
@@ -96,8 +106,6 @@ let pp_table ppf t =
      cache hits; %.2fs task wall (%.2fs incl. losers, %.2fs max)@."
     s.tasks s.runs s.holds s.violated s.unknown s.cache_hits s.total_wall_s
     s.total_run_wall_s s.max_wall_s
-
-let int_opt = function None -> Json.Null | Some i -> Json.Int i
 
 let record_to_json r =
   Json.Obj
@@ -109,9 +117,8 @@ let record_to_json r =
       ("wall_s", Json.Float r.wall_s);
       ("cache_hit", Json.Bool r.cache_hit);
       ("winner", Json.Bool r.winner);
-      ("peak_bdd_nodes", int_opt r.peak_bdd_nodes);
-      ("sat_conflicts", int_opt r.sat_conflicts);
-      ("explored_states", int_opt r.explored_states);
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) r.counters) );
     ]
 
 let summary_to_json s =

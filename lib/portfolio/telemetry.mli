@@ -12,15 +12,18 @@ val outcome_to_string : outcome -> string
 
 type record = {
   config : string;  (** configuration id/label, e.g. ["E4 full-shifting+oos<=1"] *)
-  engine : string;  (** {!Tta_model.Runner.engine_to_string}, or ["cache"] *)
+  engine : string;  (** {!Tta_model.Engine.id_to_string}, or ["cache"] *)
   outcome : outcome;
   detail : string;
   wall_s : float;
   cache_hit : bool;
   winner : bool;  (** did this run produce the task's selected verdict? *)
-  peak_bdd_nodes : int option;
-  sat_conflicts : int option;
-  explored_states : int option;
+  counters : (string * int) list;
+      (** the run's {!Tta_model.Engine.result} counters, sorted by
+          name; [[]] on a cache hit. Replaces the old fixed
+          [peak_bdd_nodes]/[sat_conflicts]/[explored_states] triple —
+          those values are now the [reach.peak_nodes]/[sat.conflicts]/
+          [explicit.states] entries. *)
 }
 
 type t
@@ -46,7 +49,9 @@ type summary = {
 val summarize : t -> summary
 
 val pp_table : Format.formatter -> t -> unit
-(** Per-record table plus the summary line. *)
+(** Per-record table plus the summary line. The effort column shows
+    the run's most characteristic counter (peak BDD nodes, SAT
+    conflicts, explored states, ...). *)
 
 val to_json : t -> Json.t
 (** [{ "records": [...], "summary": {...} }] — the schema is documented

@@ -131,6 +131,7 @@ type t = {
   mutable conflicts : int;
   mutable propagations : int;
   mutable decisions : int;
+  mutable restarts : int;
   mutable learned : int;
   mutable deleted : int;
   mutable reduce_at : int; (* conflict count triggering the next DB reduction *)
@@ -157,6 +158,7 @@ let create () =
     conflicts = 0;
     propagations = 0;
     decisions = 0;
+    restarts = 0;
     learned = 0;
     deleted = 0;
     reduce_at = 2000;
@@ -542,6 +544,7 @@ let solve ?(assumptions = []) s =
           else if !budget <= 0 && decision_level s > Array.length assumptions
           then begin
             incr restart_no;
+            s.restarts <- s.restarts + 1;
             budget := 100 * luby !restart_no;
             cancel_until s (Array.length assumptions)
           end
@@ -589,9 +592,21 @@ let value s v = s.assigns.(v) = 1
 
 let conflicts s = s.conflicts
 
+let counters s =
+  [
+    ("sat.clauses", s.nclauses);
+    ("sat.conflicts", s.conflicts);
+    ("sat.decisions", s.decisions);
+    ("sat.deleted", s.deleted);
+    ("sat.learned", s.learned);
+    ("sat.propagations", s.propagations);
+    ("sat.restarts", s.restarts);
+    ("sat.vars", s.nvars);
+  ]
+
 let stats s =
   Printf.sprintf
     "vars=%d clauses=%d learned=%d deleted=%d conflicts=%d decisions=%d \
-     propagations=%d"
+     propagations=%d restarts=%d"
     s.nvars s.nclauses s.learned s.deleted s.conflicts s.decisions
-    s.propagations
+    s.propagations s.restarts

@@ -55,3 +55,9 @@ val stats : t -> string
 val conflicts : t -> int
 (** Total conflicts analyzed so far — the standard single-number proxy
     for SAT search effort, reported by the portfolio's run telemetry. *)
+
+val counters : t -> (string * int) list
+(** The search-effort counters ([sat.conflicts], [sat.decisions],
+    [sat.propagations], [sat.restarts], clause-database sizes) as an
+    open counter set, sorted by name — the machine-readable form of
+    {!stats}, consumed by the {!Obs}-based engine instrumentation. *)

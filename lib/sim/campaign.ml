@@ -96,5 +96,20 @@ let run_trial ~feature_set ~nodes ~seed () =
     integration_blocked = (not reintegrated) || not victim_ok;
   }
 
-let run ~feature_set ~nodes ~trials () =
-  List.init trials (fun seed -> run_trial ~feature_set ~nodes ~seed ())
+let run ?(obs = Obs.disabled) ~feature_set ~nodes ~trials () =
+  let trials_c = Obs.counter obs "sim.trials" in
+  let freeze_c = Obs.counter obs "sim.trials_with_healthy_freeze" in
+  let loss_c = Obs.counter obs "sim.trials_with_cluster_loss" in
+  let blocked_c = Obs.counter obs "sim.trials_with_integration_block" in
+  List.init trials (fun seed ->
+      let o =
+        Obs.with_span obs
+          ~args:[ ("seed", string_of_int seed) ]
+          "sim.trial"
+          (fun () -> run_trial ~feature_set ~nodes ~seed ())
+      in
+      Obs.tick trials_c;
+      if o.healthy_frozen > 0 then Obs.tick freeze_c;
+      if not o.cluster_survived then Obs.tick loss_c;
+      if o.integration_blocked then Obs.tick blocked_c;
+      o)

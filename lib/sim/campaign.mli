@@ -34,6 +34,11 @@ val run_trial :
     harness bug, not a data point). *)
 
 val run :
+  ?obs:Obs.t ->
   feature_set:Guardian.Feature_set.t -> nodes:int -> trials:int -> unit ->
   outcome list
-(** Seeds 0 .. trials-1. *)
+(** Seeds 0 .. trials-1. [obs] (default {!Obs.disabled}) receives a
+    [sim.trial] span per trial (tagged with its seed) and the campaign
+    outcome counters ([sim.trials], [sim.trials_with_healthy_freeze],
+    [sim.trials_with_cluster_loss],
+    [sim.trials_with_integration_block]). *)

@@ -128,26 +128,47 @@ let check_at_current_depth t ~bad_bdd =
   | Sat.Sat -> Some (decode_model t)
   | Sat.Unsat -> None
 
-let check ?(max_depth = 30) ?(cancel = fun () -> false) enc ~bad =
+(* Flush the solver's effort counters into an observability track at
+   the end of a run (counter cells add, so base+step sessions of
+   k-induction accumulate into the same names). *)
+let flush_counters ?(prefix = "") t obs =
+  if Obs.enabled obs then
+    List.iter
+      (fun (name, v) -> Obs.incr_by obs (prefix ^ name) v)
+      (Sat.counters t.solver)
+
+let check ?(max_depth = 30) ?(cancel = fun () -> false) ?(obs = Obs.disabled)
+    enc ~bad =
   let t = create enc in
   let bad_bdd = Enc.pred enc bad in
+  let depth_g = Obs.gauge obs "bmc.depth" in
   let rec go () =
     (* Polled once per depth: when cancelled, every depth strictly
        below the current one has already been checked clean, so the
        bounded claim is honest (and vacuous at -1 when depth 0 was
        never finished). *)
-    if cancel () then No_counterexample (t.depth - 1)
-    else
-      match check_at_current_depth t ~bad_bdd with
+    if cancel () then begin
+      Obs.instant obs "bmc.cancelled";
+      No_counterexample (t.depth - 1)
+    end
+    else begin
+      Obs.record depth_g t.depth;
+      let sp = Obs.start obs "bmc.solve_depth" in
+      let r = check_at_current_depth t ~bad_bdd in
+      Obs.stop sp;
+      match r with
       | Some trace -> Counterexample trace
       | None ->
           if t.depth >= max_depth then No_counterexample t.depth
           else begin
-            extend t;
+            Obs.with_span obs "bmc.unroll" (fun () -> extend t);
             go ()
           end
+    end
   in
-  go ()
+  let result = go () in
+  flush_counters t obs;
+  result
 
 (* Block one whole trace: at least one state bit of one step must
    differ. *)

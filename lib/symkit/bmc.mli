@@ -30,12 +30,16 @@ val check_at_current_depth : t -> bad_bdd:Bdd.t -> Model.state array option
     success. *)
 
 val check :
-  ?max_depth:int -> ?cancel:(unit -> bool) -> Enc.t -> bad:Expr.t -> result
+  ?max_depth:int -> ?cancel:(unit -> bool) -> ?obs:Obs.t -> Enc.t ->
+  bad:Expr.t -> result
 (** Iterate depths [0..max_depth] until a counterexample is found.
     [cancel] is polled once per depth (cooperative cancellation, used
     by the portfolio's engine racing); when it fires, the result is
     {!No_counterexample} of the last {e completed} depth — a sound
-    bounded claim, vacuously [-1] when depth 0 never finished. *)
+    bounded claim, vacuously [-1] when depth 0 never finished. [obs]
+    (default {!Obs.disabled}) receives a [bmc.solve_depth]/[bmc.unroll]
+    span pair per depth, the [bmc.depth] gauge and the solver's
+    [sat.*] counters. *)
 
 val enumerate :
   ?max_depth:int -> ?limit:int -> Enc.t -> bad:Expr.t ->
@@ -45,6 +49,10 @@ val enumerate :
     when the property holds to the bound. *)
 
 val solver_stats : t -> string
+
+val flush_counters : ?prefix:string -> t -> Obs.t -> unit
+(** Add the session solver's [sat.*] counters (optionally name-prefixed)
+    to an observability track — called once at the end of a run. *)
 
 (** {1 Lower-level access (used by the k-induction engine)} *)
 

@@ -15,7 +15,22 @@ type 'a outcome =
       (** search stopped at a resource bound without a verdict *)
 
 let search ?(max_states = max_int) ?(max_depth = max_int)
-    ?(cancel = fun () -> false) ~initial ~next ~bad () =
+    ?(cancel = fun () -> false) ?(obs = Obs.disabled) ~initial ~next ~bad () =
+  let states_c = Obs.counter obs "explicit.states" in
+  let transitions_c = Obs.counter obs "explicit.transitions" in
+  let depth_g = Obs.gauge obs "explicit.depth" in
+  (* One span per BFS frontier: pops are in depth order, so a frontier
+     ends exactly when the first state of the next depth is popped. *)
+  let frontier_sp = ref Obs.null_span in
+  let frontier_depth = ref (-1) in
+  let enter_frontier d =
+    if Obs.enabled obs && d > !frontier_depth then begin
+      Obs.stop !frontier_sp;
+      frontier_sp :=
+        Obs.start obs ~args:[ ("depth", string_of_int d) ] "explicit.frontier";
+      frontier_depth := d
+    end
+  in
   let parent : ('a, 'a option) Hashtbl.t = Hashtbl.create 4096 in
   let queue = Queue.create () in
   let trace_to s =
@@ -48,15 +63,20 @@ let search ?(max_states = max_int) ?(max_depth = max_int)
       let cancelled = ref false in
       while !result = None && (not !cancelled) && not (Queue.is_empty queue) do
         if cancel () then begin
+          Obs.instant obs "explicit.cancelled";
           cancelled := true;
           truncated := true
         end
         else begin
           let s = Queue.pop queue in
           let d = try Hashtbl.find depth_of s with Not_found -> 0 in
+          enter_frontier d;
+          Obs.tick states_c;
+          Obs.record depth_g d;
           if d < max_depth then
             List.iter
               (fun s' ->
+                Obs.tick transitions_c;
                 if !result = None && not (Hashtbl.mem parent s') then begin
                   Hashtbl.add parent s' (Some s);
                   Hashtbl.replace depth_of s' (d + 1);
@@ -69,6 +89,7 @@ let search ?(max_states = max_int) ?(max_depth = max_int)
           else truncated := true
         end
       done;
+      Obs.stop !frontier_sp;
       let states = Hashtbl.length parent in
       let depth =
         Hashtbl.fold (fun _ d acc -> max d acc) depth_of 0

@@ -17,6 +17,7 @@ val search :
   ?max_states:int ->
   ?max_depth:int ->
   ?cancel:(unit -> bool) ->
+  ?obs:Obs.t ->
   initial:'a list ->
   next:('a -> 'a list) ->
   bad:('a -> bool) ->
@@ -25,4 +26,7 @@ val search :
 (** States are compared and hashed structurally. [cancel] is polled
     once per expanded state (cooperative cancellation, used by the
     portfolio's engine racing); when it fires the search stops with
-    {!Bounded}. *)
+    {!Bounded}. [obs] (default {!Obs.disabled}) receives an
+    [explicit.frontier] span per BFS depth level, the
+    [explicit.states]/[explicit.transitions] counters and the
+    [explicit.depth] gauge. *)

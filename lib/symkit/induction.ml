@@ -68,28 +68,45 @@ let extend s =
     assert_distinct s i k
   done
 
-let check ?(max_k = 20) ?(cancel = fun () -> false) enc ~bad =
+let check ?(max_k = 20) ?(cancel = fun () -> false) ?(obs = Obs.disabled) enc
+    ~bad =
   let s = create enc ~bad in
+  let k_g = Obs.gauge obs "induction.k" in
   let rec go () =
     let k = Bmc.depth s.base in
-    if cancel () then Unknown (k - 1)
-    else
-    (* Base: bad reachable in exactly k steps from an initial state? *)
-    match Bmc.check_at_current_depth s.base ~bad_bdd:s.bad_bdd with
-    | Some trace -> Refuted trace
-    | None -> (
-        (* Step: can k good states (pairwise distinct) be followed by a
-           bad one? *)
-        let frontier_bad = Bmc.pred_lit s.step ~step:k s.bad_bdd in
-        match
-          Sat.solve ~assumptions:[ frontier_bad ] (Bmc.solver s.step)
-        with
-        | Sat.Unsat -> Proved k
-        | Sat.Sat ->
-            if k >= max_k then Unknown k
-            else begin
-              extend s;
-              go ()
-            end)
+    if cancel () then begin
+      Obs.instant obs "induction.cancelled";
+      Unknown (k - 1)
+    end
+    else begin
+      Obs.record k_g k;
+      (* Base: bad reachable in exactly k steps from an initial state? *)
+      let base_r =
+        Obs.with_span obs "induction.base_case" (fun () ->
+            Bmc.check_at_current_depth s.base ~bad_bdd:s.bad_bdd)
+      in
+      match base_r with
+      | Some trace -> Refuted trace
+      | None -> (
+          (* Step: can k good states (pairwise distinct) be followed by
+             a bad one? *)
+          let step_r =
+            Obs.with_span obs "induction.step_case" (fun () ->
+                let frontier_bad = Bmc.pred_lit s.step ~step:k s.bad_bdd in
+                Sat.solve ~assumptions:[ frontier_bad ] (Bmc.solver s.step))
+          in
+          match step_r with
+          | Sat.Unsat -> Proved k
+          | Sat.Sat ->
+              if k >= max_k then Unknown k
+              else begin
+                Obs.with_span obs "induction.unroll" (fun () -> extend s);
+                go ()
+              end)
+    end
   in
-  go ()
+  let result = go () in
+  (* Both sessions' effort, accumulated into the same sat.* names. *)
+  Bmc.flush_counters s.base obs;
+  Bmc.flush_counters s.step obs;
+  result

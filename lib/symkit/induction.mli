@@ -16,7 +16,11 @@ type result =
   | Unknown of int  (** neither verdict up to this k *)
 
 val check :
-  ?max_k:int -> ?cancel:(unit -> bool) -> Enc.t -> bad:Expr.t -> result
+  ?max_k:int -> ?cancel:(unit -> bool) -> ?obs:Obs.t -> Enc.t -> bad:Expr.t ->
+  result
 (** [cancel] is polled once per k (cooperative cancellation, used by
     the portfolio's engine racing); when it fires the result is
-    {!Unknown} at the last completed k. *)
+    {!Unknown} at the last completed k. [obs] (default {!Obs.disabled})
+    receives an [induction.base_case]/[induction.step_case] span pair
+    per induction step, the [induction.k] gauge and both sessions'
+    [sat.*] counters. *)

@@ -70,8 +70,12 @@ let deadlocked enc reach =
   let has_succ = Bdd.exists m (Enc.nxt_set enc) (Enc.trans_bdd enc) in
   Bdd.dand m reach (Bdd.dnot m has_succ)
 
-let check ?(max_iterations = max_int) ?(cancel = fun () -> false) enc ~bad =
+let check ?(max_iterations = max_int) ?(cancel = fun () -> false)
+    ?(obs = Obs.disabled) enc ~bad =
   let m = Enc.mgr enc in
+  let iterations_c = Obs.counter obs "reach.iterations" in
+  let peak_g = Obs.gauge obs "reach.peak_nodes" in
+  let frontier_g = Obs.gauge obs "reach.frontier_nodes" in
   let bad_bdd =
     Bdd.dand m (Enc.pred enc bad) (Enc.valid enc ~primed:false)
   in
@@ -94,18 +98,30 @@ let check ?(max_iterations = max_int) ?(cancel = fun () -> false) enc ~bad =
     Unsafe (trace, finish_stats 0 init)
   else begin
     let rec loop i reach frontier rings =
-      if i >= max_iterations || cancel () then
+      if i >= max_iterations || cancel () then begin
+        if cancel () then Obs.instant obs "reach.cancelled";
         Depth_exhausted (finish_stats i reach)
+      end
       else begin
+        let sp = Obs.start obs "reach.image" in
         let img = image enc frontier in
         let fresh = Bdd.dand m img (Bdd.dnot m reach) in
+        Obs.tick iterations_c;
+        (* [Bdd.size] walks the diagram: only pay for it when someone
+           is listening. *)
+        if Obs.enabled obs then Obs.record frontier_g (Bdd.size fresh);
+        Obs.stop sp;
         if Bdd.is_zero fresh then Safe (finish_stats i reach)
         else begin
           let reach' = Bdd.dor m reach fresh in
           note reach';
+          Obs.record peak_g !peak;
           let rings' = fresh :: rings in
           if not (Bdd.is_zero (Bdd.dand m fresh bad_bdd)) then
-            Unsafe (extract_trace enc rings' bad_bdd, finish_stats (i + 1) reach')
+            Unsafe
+              ( Obs.with_span obs "reach.extract_trace" (fun () ->
+                    extract_trace enc rings' bad_bdd),
+                finish_stats (i + 1) reach' )
           else loop (i + 1) reach' fresh rings'
         end
       end

@@ -32,8 +32,11 @@ val deadlocked : Enc.t -> Bdd.t -> Bdd.t
     a well-formed relational model makes it empty. *)
 
 val check :
-  ?max_iterations:int -> ?cancel:(unit -> bool) -> Enc.t -> bad:Expr.t ->
-  result
+  ?max_iterations:int -> ?cancel:(unit -> bool) -> ?obs:Obs.t -> Enc.t ->
+  bad:Expr.t -> result
 (** [cancel] is polled once per image step (cooperative cancellation,
     used by the portfolio's engine racing); when it returns [true] the
-    run stops with {!Depth_exhausted} at the current iteration count. *)
+    run stops with {!Depth_exhausted} at the current iteration count.
+    [obs] (default {!Obs.disabled}) receives a [reach.image] span per
+    fixpoint iteration, the [reach.iterations] counter and the
+    [reach.peak_nodes]/[reach.frontier_nodes] gauges. *)

@@ -1,0 +1,181 @@
+(* The unified verification-engine interface: one [run] signature over
+   the four engines, returning a verdict plus an open counter set.
+
+   The engine implementations live here (they used to be inlined in
+   [Runner.check_instrumented]); [Runner.check]/[check_instrumented]
+   remain as thin compatibility wrappers over this module. *)
+
+open Symkit
+
+type id = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
+
+let id_to_string = function
+  | Bdd_reach -> "bdd-reachability"
+  | Sat_bmc -> "sat-bmc"
+  | Sat_induction -> "sat-k-induction"
+  | Explicit_bfs -> "explicit-bfs"
+
+let id_of_string = function
+  | "bdd" | "bdd-reachability" -> Some Bdd_reach
+  | "bmc" | "sat-bmc" -> Some Sat_bmc
+  | "induction" | "sat-k-induction" -> Some Sat_induction
+  | "explicit" | "explicit-bfs" -> Some Explicit_bfs
+  | _ -> None
+
+type verdict =
+  | Holds of { detail : string }
+  | Violated of { trace : Model.state array; model : Model.t }
+  | Unknown of { detail : string }
+
+type result = { verdict : verdict; counters : (string * int) list }
+
+type t = {
+  id : id;
+  name : string;
+  doc : string;
+  run :
+    ?cancel:(unit -> bool) ->
+    ?obs:Obs.t ->
+    ?max_depth:int ->
+    Configs.t ->
+    result;
+}
+
+(* Explicit-state BFS keeps a hash table entry per visited state, so it
+   needs a memory bound the symbolic engines don't; past it the verdict
+   degrades to Unknown rather than claiming exhaustion. *)
+let explicit_max_states = 2_000_000
+
+let flush obs pairs = List.iter (fun (n, v) -> Obs.incr_by obs n v) pairs
+
+(* Shared run wrapper: guarantee a live track (counters must flow into
+   the telemetry even when nobody asked for a trace — a private
+   collector serves as the counter store and is dropped once the totals
+   are read), wrap the run in a root span, and account the GC. *)
+let instrumented ~name impl ?(cancel = fun () -> false) ?obs ?(max_depth = 24)
+    cfg =
+  let obs =
+    match obs with
+    | Some o when Obs.enabled o -> o
+    | _ -> Obs.Collector.track (Obs.Collector.create ()) name
+  in
+  let gc0 = Gc.quick_stat () in
+  let sp = Obs.start obs ~args:[ ("engine", name) ] "engine.run" in
+  let verdict = impl ~cancel ~obs ~max_depth cfg in
+  Obs.stop sp;
+  let gc1 = Gc.quick_stat () in
+  Obs.incr_by obs "gc.minor_collections"
+    (gc1.Gc.minor_collections - gc0.Gc.minor_collections);
+  Obs.incr_by obs "gc.major_collections"
+    (gc1.Gc.major_collections - gc0.Gc.major_collections);
+  { verdict; counters = Obs.counters obs }
+
+let bad_prop (cfg : Configs.t) =
+  Props.integrated_node_frozen ~nodes:cfg.Configs.nodes
+
+let run_bdd ~cancel ~obs ~max_depth cfg =
+  let model = Build.model cfg in
+  let mgr = Bdd.create_manager () in
+  let enc = Enc.create mgr model in
+  let verdict =
+    match
+      Reach.check ~max_iterations:max_depth ~cancel ~obs enc ~bad:(bad_prop cfg)
+    with
+    | Reach.Safe stats ->
+        Holds
+          {
+            detail =
+              Printf.sprintf "proved safe: %d iterations, %.0f reachable states"
+                stats.Reach.iterations stats.Reach.reachable_states;
+          }
+    | Reach.Unsafe (trace, _) -> Violated { trace; model }
+    | Reach.Depth_exhausted stats ->
+        Unknown
+          {
+            detail =
+              Printf.sprintf "no fixpoint after %d iterations"
+                stats.Reach.iterations;
+          }
+  in
+  flush obs (Bdd.counters mgr);
+  verdict
+
+let run_bmc ~cancel ~obs ~max_depth cfg =
+  let model = Build.model cfg in
+  let mgr = Bdd.create_manager () in
+  let enc = Enc.create mgr model in
+  let verdict =
+    match Bmc.check ~max_depth ~cancel ~obs enc ~bad:(bad_prop cfg) with
+    | Bmc.Counterexample trace -> Violated { trace; model }
+    | Bmc.No_counterexample d ->
+        Holds { detail = Printf.sprintf "no counterexample up to depth %d" d }
+  in
+  flush obs (Bdd.counters mgr);
+  verdict
+
+let run_induction ~cancel ~obs ~max_depth cfg =
+  let model = Build.model cfg in
+  let mgr = Bdd.create_manager () in
+  let enc = Enc.create mgr model in
+  let verdict =
+    match Induction.check ~max_k:max_depth ~cancel ~obs enc ~bad:(bad_prop cfg)
+    with
+    | Induction.Refuted trace -> Violated { trace; model }
+    | Induction.Proved k ->
+        Holds { detail = Printf.sprintf "k-inductive at k = %d" k }
+    | Induction.Unknown k ->
+        Unknown
+          {
+            detail =
+              Printf.sprintf
+                "not k-inductive up to k = %d (and no counterexample)" k;
+          }
+  in
+  flush obs (Bdd.counters mgr);
+  verdict
+
+let run_explicit ~cancel ~obs ~max_depth cfg =
+  let ctx = Exec.make_ctx cfg in
+  (* The executable twin's own model instance: structurally equal to
+     [Build.model cfg], and the one its states index into. *)
+  let model = Exec.model ctx in
+  let bad = bad_prop cfg in
+  let bad_state s = Model.eval_pred model bad s in
+  match
+    Explicit.search ~max_states:explicit_max_states ~max_depth ~cancel ~obs
+      ~initial:[ Exec.initial ctx ]
+      ~next:(Exec.successors ctx) ~bad:bad_state ()
+  with
+  | Explicit.Violation trace -> Violated { trace = Array.of_list trace; model }
+  | Explicit.Exhausted { states; depth } ->
+      Holds
+        {
+          detail =
+            Printf.sprintf
+              "explicit BFS exhausted the reachable space: %d states, depth %d"
+              states depth;
+        }
+  | Explicit.Bounded { states; depth } ->
+      Unknown
+        {
+          detail =
+            Printf.sprintf "explicit BFS stopped at a bound: %d states, depth %d"
+              states depth;
+        }
+
+let make id doc impl =
+  let name = id_to_string id in
+  { id; name; doc; run = instrumented ~name impl }
+
+let all =
+  [
+    make Bdd_reach "symbolic fixpoint reachability over BDDs" run_bdd;
+    make Sat_bmc "SAT bounded model checking (incremental unrolling)" run_bmc;
+    make Sat_induction "SAT k-induction with simple-path constraints"
+      run_induction;
+    make Explicit_bfs "explicit-state BFS over the executable twin"
+      run_explicit;
+  ]
+
+let get id = List.find (fun e -> e.id = id) all
+let of_string s = Option.map get (id_of_string s)

@@ -1,0 +1,69 @@
+(** The unified verification-engine interface.
+
+    Every engine — BDD fixpoint reachability, SAT bounded model
+    checking, SAT k-induction and the explicit-state BFS cross-check —
+    is exposed as one value of type {!t} with a common [run] signature,
+    so the portfolio, the CLIs and the benchmark harness drive all of
+    them through the same code path. Each run returns its {!verdict}
+    together with an open-ended counter set (replacing the old
+    option-triple of {!Runner.run_stats}); passing [?obs] additionally
+    streams spans and metrics into a live {!Obs.Collector} track. *)
+
+type id = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
+
+val id_to_string : id -> string
+(** The engine's long name, e.g. ["bdd-reachability"]. *)
+
+val id_of_string : string -> id option
+(** Accepts both the short CLI spellings ([bdd], [bmc], [induction],
+    [explicit]) and the long names of {!id_to_string}. *)
+
+type verdict =
+  | Holds of { detail : string }
+      (** proved safe (BDD fixpoint, k-induction, exhaustive BFS) or no
+          counterexample up to the bound (BMC) *)
+  | Violated of { trace : Symkit.Model.state array; model : Symkit.Model.t }
+  | Unknown of { detail : string }
+
+type result = {
+  verdict : verdict;
+  counters : (string * int) list;
+      (** the run's effort counters and gauge high-water marks, sorted
+          by name — e.g. [sat.conflicts], [reach.peak_nodes],
+          [explicit.states], [bdd.cache_hits], [gc.minor_collections].
+          The set is open: engines add entries without an interface
+          change. *)
+}
+
+type t = {
+  id : id;
+  name : string;  (** = [id_to_string id] *)
+  doc : string;  (** one-line description for [--help] listings *)
+  run :
+    ?cancel:(unit -> bool) ->
+    ?obs:Obs.t ->
+    ?max_depth:int ->
+    Configs.t ->
+    result;
+      (** Check the paper's safety property against a configuration.
+          [max_depth] (default 24) bounds BMC unrolling / BDD fixpoint
+          iterations / induction k / BFS depth. [cancel] is the
+          cooperative-cancellation hook polled by every engine's outer
+          loop; a cancelled run returns its engine's inconclusive
+          variant. [obs] names the track spans and metrics are written
+          to; when absent (or {!Obs.disabled}), counters are still
+          collected — on a private track that is dropped once
+          [result.counters] has been read — but no trace is kept. *)
+}
+
+val all : t list
+(** Every engine, in the portfolio's default priority order. *)
+
+val get : id -> t
+
+val of_string : string -> t option
+(** [of_string s] = [Option.map get (id_of_string s)]. *)
+
+val explicit_max_states : int
+(** Memory bound of the explicit-state engine: past it the verdict
+    degrades to {!Unknown} rather than claiming exhaustion. *)

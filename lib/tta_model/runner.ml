@@ -1,152 +1,41 @@
-(** Running the paper's experiments against the formal model with the
-    different engines. *)
+(** Running the paper's experiments against the formal model.
+
+    The engine implementations have moved to {!Engine}; this module
+    keeps the historical entry points alive as thin wrappers and hosts
+    the engine-independent helpers (SMV export, probe witnesses, trace
+    rendering). *)
 
 open Symkit
 
-type engine = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
+type engine = Engine.id = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
 
-let engine_to_string = function
-  | Bdd_reach -> "bdd-reachability"
-  | Sat_bmc -> "sat-bmc"
-  | Sat_induction -> "sat-k-induction"
-  | Explicit_bfs -> "explicit-bfs"
+let engine_to_string = Engine.id_to_string
+let engine_of_string = Engine.id_of_string
 
-let engine_of_string = function
-  | "bdd" | "bdd-reachability" -> Some Bdd_reach
-  | "bmc" | "sat-bmc" -> Some Sat_bmc
-  | "induction" | "sat-k-induction" -> Some Sat_induction
-  | "explicit" | "explicit-bfs" -> Some Explicit_bfs
-  | _ -> None
-
-type verdict =
+type verdict = Engine.verdict =
   | Holds of { detail : string }
-      (** the safety property holds (proved, or no counterexample up to
-          the bound for BMC) *)
   | Violated of { trace : Model.state array; model : Model.t }
   | Unknown of { detail : string }
 
 type run_stats = {
-  peak_bdd_nodes : int option;  (** BDD engine: largest reachable-set BDD *)
-  sat_conflicts : int option;  (** SAT engines: conflicts analyzed *)
-  explored_states : int option;  (** explicit engine: states visited *)
+  peak_bdd_nodes : int option;
+  sat_conflicts : int option;
+  explored_states : int option;
 }
 
-let no_stats =
-  { peak_bdd_nodes = None; sat_conflicts = None; explored_states = None }
+let check ?cancel ?(engine = Sat_bmc) ?max_depth (cfg : Configs.t) =
+  ((Engine.get engine).Engine.run ?cancel ?max_depth cfg).Engine.verdict
 
-(* Explicit-state BFS keeps a hash table entry per visited state, so it
-   needs a memory bound the symbolic engines don't; past it the verdict
-   degrades to Unknown rather than claiming exhaustion. *)
-let explicit_max_states = 2_000_000
-
-let check_instrumented ?(cancel = fun () -> false) ?(engine = Sat_bmc)
-    ?(max_depth = 24) (cfg : Configs.t) =
-  let model = Build.model cfg in
-  let bad = Props.integrated_node_frozen ~nodes:cfg.nodes in
-  match engine with
-  | Bdd_reach -> (
-      let enc = Enc.create (Bdd.create_manager ()) model in
-      match Reach.check ~max_iterations:max_depth ~cancel enc ~bad with
-      | Reach.Safe stats ->
-          ( Holds
-              {
-                detail =
-                  Printf.sprintf
-                    "proved safe: %d iterations, %.0f reachable states"
-                    stats.Reach.iterations stats.Reach.reachable_states;
-              },
-            { no_stats with peak_bdd_nodes = Some stats.Reach.peak_nodes } )
-      | Reach.Unsafe (trace, stats) ->
-          ( Violated { trace; model },
-            { no_stats with peak_bdd_nodes = Some stats.Reach.peak_nodes } )
-      | Reach.Depth_exhausted stats ->
-          ( Unknown
-              {
-                detail =
-                  Printf.sprintf "no fixpoint after %d iterations"
-                    stats.Reach.iterations;
-              },
-            { no_stats with peak_bdd_nodes = Some stats.Reach.peak_nodes } ))
-  | Sat_bmc ->
-      (* The loop of {!Bmc.check}, inlined over the session API so the
-         solver's conflict count survives into the telemetry. *)
-      let enc = Enc.create (Bdd.create_manager ()) model in
-      let t = Bmc.create enc in
-      let bad_bdd = Enc.pred enc bad in
-      let rec go () =
-        if cancel () then
-          Bmc.No_counterexample (Bmc.depth t - 1)
-        else
-          match Bmc.check_at_current_depth t ~bad_bdd with
-          | Some trace -> Bmc.Counterexample trace
-          | None ->
-              if Bmc.depth t >= max_depth then
-                Bmc.No_counterexample (Bmc.depth t)
-              else begin
-                Bmc.extend t;
-                go ()
-              end
-      in
-      let result = go () in
-      let stats =
-        { no_stats with sat_conflicts = Some (Sat.conflicts (Bmc.solver t)) }
-      in
-      (match result with
-      | Bmc.Counterexample trace -> (Violated { trace; model }, stats)
-      | Bmc.No_counterexample d ->
-          ( Holds
-              { detail = Printf.sprintf "no counterexample up to depth %d" d },
-            stats ))
-  | Sat_induction -> (
-      let enc = Enc.create (Bdd.create_manager ()) model in
-      match Induction.check ~max_k:max_depth ~cancel enc ~bad with
-      | Induction.Refuted trace -> (Violated { trace; model }, no_stats)
-      | Induction.Proved k ->
-          (Holds { detail = Printf.sprintf "k-inductive at k = %d" k }, no_stats)
-      | Induction.Unknown k ->
-          ( Unknown
-              {
-                detail =
-                  Printf.sprintf
-                    "not k-inductive up to k = %d (and no counterexample)" k;
-              },
-            no_stats ))
-  | Explicit_bfs -> (
-      let ctx = Exec.make_ctx cfg in
-      (* The executable twin's own model instance: structurally equal
-         to [Build.model cfg], and the one its states index into. *)
-      let model = Exec.model ctx in
-      let bad_state s = Model.eval_pred model bad s in
-      match
-        Explicit.search ~max_states:explicit_max_states ~max_depth ~cancel
-          ~initial:[ Exec.initial ctx ]
-          ~next:(Exec.successors ctx) ~bad:bad_state ()
-      with
-      | Explicit.Violation trace ->
-          ( Violated { trace = Array.of_list trace; model },
-            no_stats )
-      | Explicit.Exhausted { states; depth } ->
-          ( Holds
-              {
-                detail =
-                  Printf.sprintf
-                    "explicit BFS exhausted the reachable space: %d states, \
-                     depth %d"
-                    states depth;
-              },
-            { no_stats with explored_states = Some states } )
-      | Explicit.Bounded { states; depth } ->
-          ( Unknown
-              {
-                detail =
-                  Printf.sprintf
-                    "explicit BFS stopped at a bound: %d states, depth %d"
-                    states depth;
-              },
-            { no_stats with explored_states = Some states } ))
-
-let check ?cancel ?engine ?max_depth (cfg : Configs.t) =
-  fst (check_instrumented ?cancel ?engine ?max_depth cfg)
+let check_instrumented ?cancel ?(engine = Sat_bmc) ?max_depth (cfg : Configs.t)
+    =
+  let r = (Engine.get engine).Engine.run ?cancel ?max_depth cfg in
+  let find name = List.assoc_opt name r.Engine.counters in
+  ( r.Engine.verdict,
+    {
+      peak_bdd_nodes = find "reach.peak_nodes";
+      sat_conflicts = find "sat.conflicts";
+      explored_states = find "explicit.states";
+    } )
 
 (* Export the configuration's model in the SMV input language, with the
    safety property as an INVARSPEC. *)

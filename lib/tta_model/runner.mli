@@ -1,6 +1,15 @@
-(** Running the paper's experiments against the formal model. *)
+(** Running the paper's experiments against the formal model.
 
-type engine = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
+    {b Compatibility surface.} The engines themselves now live behind
+    the unified {!Engine} interface; {!check} and {!check_instrumented}
+    are thin wrappers kept so existing callers keep building. New code
+    should use [(Engine.get id).run] directly — it returns the full
+    counter set and accepts an observability handle, neither of which
+    fits through this module's older types. *)
+
+type engine = Engine.id = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
+(** Re-exported from {!Engine.id} so [Runner.Bdd_reach] etc. keep
+    working. *)
 
 val engine_to_string : engine -> string
 
@@ -8,7 +17,7 @@ val engine_of_string : string -> engine option
 (** Accepts both the short CLI spellings ([bdd], [bmc], [induction],
     [explicit]) and the long names of {!engine_to_string}. *)
 
-type verdict =
+type verdict = Engine.verdict =
   | Holds of { detail : string }
       (** proved safe (BDD fixpoint, k-induction, exhaustive BFS) or no
           counterexample up to the bound (BMC) *)
@@ -20,22 +29,25 @@ type run_stats = {
   sat_conflicts : int option;  (** SAT engines: conflicts analyzed *)
   explored_states : int option;  (** explicit engine: states visited *)
 }
+(** Legacy fixed-shape stats, projected out of {!Engine.result}
+    counters ([reach.peak_nodes], [sat.conflicts], [explicit.states]).
+    The open counter set is strictly richer — prefer it. *)
 
 val check :
   ?cancel:(unit -> bool) ->
   ?engine:engine -> ?max_depth:int -> Configs.t -> verdict
-(** Check the paper's safety property against a configuration.
-    [max_depth] bounds BMC unrolling / BDD iterations / BFS depth.
-    [cancel] is forwarded to the engine's cooperative-cancellation
-    hook; a cancelled run returns its engine's inconclusive variant
-    (for BMC, the bounded claim of the last completed depth — the
-    portfolio demotes that to unknown when it observes the flag). *)
+(** [(Engine.get engine).run], keeping only the verdict. [max_depth]
+    bounds BMC unrolling / BDD iterations / BFS depth. [cancel] is
+    forwarded to the engine's cooperative-cancellation hook; a
+    cancelled run returns its engine's inconclusive variant (for BMC,
+    the bounded claim of the last completed depth — the portfolio
+    demotes that to unknown when it observes the flag). *)
 
 val check_instrumented :
   ?cancel:(unit -> bool) ->
   ?engine:engine -> ?max_depth:int -> Configs.t -> verdict * run_stats
-(** Like {!check}, also reporting the engine's effort counters for the
-    portfolio's run telemetry. *)
+(** Like {!check}, also projecting the legacy {!run_stats} triple out
+    of the engine's counters. *)
 
 val witness :
   ?max_depth:int -> Configs.t -> Symkit.Expr.t ->

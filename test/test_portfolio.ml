@@ -418,7 +418,12 @@ let test_telemetry_json_shape () =
       Alcotest.(check bool) ("record has " ^ field) true
         (member field r <> None))
     [ "config"; "engine"; "outcome"; "detail"; "wall_s"; "cache_hit";
-      "winner"; "peak_bdd_nodes"; "sat_conflicts"; "explored_states" ];
+      "winner"; "counters" ];
+  (* The counters object replaces the old hardwired triple; a BDD run
+     always reports its peak node count through it. *)
+  let counters = Option.get (member "counters" r) in
+  Alcotest.(check bool) "counters carry reach.peak_nodes" true
+    (member "reach.peak_nodes" counters <> None);
   let s = Option.get (member "summary" json) in
   Alcotest.(check (option int)) "summary counts the task" (Some 1)
     (Option.bind (member "tasks" s) int_value);
