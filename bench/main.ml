@@ -30,8 +30,8 @@ let timed f =
 
 let measured_of verdict =
   match verdict with
-  | Tta_model.Runner.Holds { detail } -> "holds (" ^ detail ^ ")"
-  | Tta_model.Runner.Violated { trace; model } ->
+  | Tta_model.Engine.Holds { detail } -> "holds (" ^ detail ^ ")"
+  | Tta_model.Engine.Violated { trace; model } ->
       let ok =
         match Symkit.Trace.validate model trace with
         | Ok () -> "validated"
@@ -39,7 +39,7 @@ let measured_of verdict =
       in
       Printf.sprintf "violated by a %d-step trace (%s)" (Array.length trace)
         ok
-  | Tta_model.Runner.Unknown { detail } -> "unknown (" ^ detail ^ ")"
+  | Tta_model.Engine.Unknown { detail } -> "unknown (" ^ detail ^ ")"
 
 (* Machine-readable Section 5 results: per-config outcome and wall
    time plus the full telemetry (whose records carry each run's
@@ -52,7 +52,7 @@ let write_bench_json telemetry results dt =
       [
         ("label", Json.String j.Portfolio.label);
         ( "engine",
-          Json.String (Tta_model.Runner.engine_to_string r.Portfolio.engine) );
+          Json.String (Tta_model.Engine.id_to_string r.Portfolio.engine) );
         ( "outcome",
           Json.String
             (Portfolio.Telemetry.outcome_to_string

@@ -23,7 +23,7 @@ let run config_name engine_name nodes max_depth no_cs_dup oos_budget
     nodes;
   (match export_smv with
   | Some path ->
-      Tta_model.Runner.export_smv cfg path;
+      Tta_model.Engine.export_smv cfg path;
       Printf.printf "model exported to %s (SMV input language)\n" path
   | None -> ());
   Printf.printf "engine: %s, depth bound %d\n%!" engine.Tta_model.Engine.name
@@ -36,16 +36,16 @@ let run config_name engine_name nodes max_depth no_cs_dup oos_budget
   in
   let dt = Unix.gettimeofday () -. t0 in
   (match r.Tta_model.Engine.verdict with
-  | Tta_model.Runner.Holds { detail } ->
+  | Tta_model.Engine.Holds { detail } ->
       Printf.printf "PROPERTY HOLDS: %s\n" detail
-  | Tta_model.Runner.Unknown { detail } ->
+  | Tta_model.Engine.Unknown { detail } ->
       Printf.printf "UNDECIDED: %s\n" detail
-  | Tta_model.Runner.Violated { trace; model } ->
+  | Tta_model.Engine.Violated { trace; model } ->
       Printf.printf
         "PROPERTY VIOLATED: a single coupler fault froze an integrated \
          node.\nCounterexample (%d steps):\n%s"
         (Array.length trace)
-        (Tta_model.Runner.describe_trace model trace ~nodes);
+        (Tta_model.Engine.describe_trace model trace ~nodes);
       (match Symkit.Trace.validate model trace with
       | Ok () -> Printf.printf "(trace replays cleanly against the model)\n"
       | Error e -> Printf.printf "WARNING: trace validation failed: %s\n" e));
@@ -54,9 +54,9 @@ let run config_name engine_name nodes max_depth no_cs_dup oos_budget
   | Some path ->
       let outcome =
         match r.Tta_model.Engine.verdict with
-        | Tta_model.Runner.Holds { detail } -> [ ("verdict", Json.String "holds"); ("detail", Json.String detail) ]
-        | Tta_model.Runner.Unknown { detail } -> [ ("verdict", Json.String "unknown"); ("detail", Json.String detail) ]
-        | Tta_model.Runner.Violated { trace; _ } ->
+        | Tta_model.Engine.Holds { detail } -> [ ("verdict", Json.String "holds"); ("detail", Json.String detail) ]
+        | Tta_model.Engine.Unknown { detail } -> [ ("verdict", Json.String "unknown"); ("detail", Json.String detail) ]
+        | Tta_model.Engine.Violated { trace; _ } ->
             [
               ("verdict", Json.String "violated");
               ( "detail",

@@ -13,15 +13,15 @@
 
 let pp_verdict ~nodes verdict =
   match verdict with
-  | Tta_model.Runner.Holds { detail } ->
+  | Tta_model.Engine.Holds { detail } ->
       Printf.printf "PROPERTY HOLDS: %s\n" detail
-  | Tta_model.Runner.Unknown { detail } -> Printf.printf "UNDECIDED: %s\n" detail
-  | Tta_model.Runner.Violated { trace; model } ->
+  | Tta_model.Engine.Unknown { detail } -> Printf.printf "UNDECIDED: %s\n" detail
+  | Tta_model.Engine.Violated { trace; model } ->
       Printf.printf
         "PROPERTY VIOLATED: a single coupler fault froze an integrated \
          node.\nCounterexample (%d steps):\n%s"
         (Array.length trace)
-        (Tta_model.Runner.describe_trace model trace ~nodes);
+        (Tta_model.Engine.describe_trace model trace ~nodes);
       (match Symkit.Trace.validate model trace with
       | Ok () -> Printf.printf "(trace replays cleanly against the model)\n"
       | Error e -> Printf.printf "WARNING: trace validation failed: %s\n" e)
@@ -42,7 +42,7 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs =
   in
   Printf.printf "racing %s on %s (%d nodes), depth bound %d\n%!"
     (String.concat " vs "
-       (List.map Tta_model.Runner.engine_to_string engines))
+       (List.map Tta_model.Engine.id_to_string engines))
     (Tta_model.Configs.name cfg)
     nodes depth;
   let r =
@@ -52,7 +52,7 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs =
   List.iter
     (fun (e, v, wall) ->
       Printf.printf "  %-16s %-9s %.2fs%s\n"
-        (Tta_model.Runner.engine_to_string e)
+        (Tta_model.Engine.id_to_string e)
         (Portfolio.Telemetry.outcome_to_string
            (Portfolio.Telemetry.outcome_of_verdict v))
         wall
@@ -61,13 +61,13 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs =
     r.Portfolio.runs;
   if r.Portfolio.cache_hit then
     Printf.printf "  (cache hit: verdict served from %s)\n"
-      (Tta_model.Runner.engine_to_string r.Portfolio.engine);
+      (Tta_model.Engine.id_to_string r.Portfolio.engine);
   Printf.printf "winner: %s in %.2fs\n"
-    (Tta_model.Runner.engine_to_string r.Portfolio.engine)
+    (Tta_model.Engine.id_to_string r.Portfolio.engine)
     r.Portfolio.wall_s;
   pp_verdict ~nodes r.Portfolio.verdict;
   match r.Portfolio.verdict with
-  | Tta_model.Runner.Unknown _ -> 1
+  | Tta_model.Engine.Unknown _ -> 1
   | _ -> 0
 
 let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
@@ -92,7 +92,7 @@ let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
     (fun (j, r) ->
       let ok =
         match r.Portfolio.verdict with
-        | Tta_model.Runner.Unknown _ ->
+        | Tta_model.Engine.Unknown _ ->
             incr failures;
             false
         | _ -> true
@@ -108,10 +108,11 @@ let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
   !failures
 
 let main config_name race nodes depth safe_depth unsafe_depth domains
-    engines_s cache_dir no_cache json_path obs =
+    engines_s cache_dir no_cache cache_max json_path obs =
   let engines = Cli.engine_ids_of_names engines_s in
   let cache =
-    if no_cache then None else Some (Portfolio.Cache.create ~dir:cache_dir ())
+    if no_cache then None
+    else Some (Portfolio.Cache.create ~dir:cache_dir ?max_entries:cache_max ())
   in
   let telemetry = Portfolio.Telemetry.create () in
   let failures =
@@ -126,9 +127,15 @@ let main config_name race nodes depth safe_depth unsafe_depth domains
   Format.printf "%a" Portfolio.Telemetry.pp_table telemetry;
   (match cache with
   | Some c ->
-      Printf.printf "cache: %d hits, %d misses, %d entries under %s/\n"
+      Printf.printf "cache: %d hits, %d misses, %d entries%s under %s/\n"
         (Portfolio.Cache.hits c) (Portfolio.Cache.misses c)
-        (Portfolio.Cache.entries c) (Portfolio.Cache.dir c)
+        (Portfolio.Cache.entries c)
+        (match Portfolio.Cache.max_entries c with
+        | Some cap ->
+            Printf.sprintf " (cap %d, %d evicted)" cap
+              (Portfolio.Cache.evictions c)
+        | None -> "")
+        (Portfolio.Cache.dir c)
   | None -> ());
   (match json_path with
   | Some path ->
@@ -193,6 +200,8 @@ let () =
         const main $ config $ race $ Cli.nodes ()
         $ Cli.depth ~default:100 ()
         $ safe_depth $ unsafe_depth $ domains $ Cli.engines () $ cache_dir
-        $ no_cache $ Cli.json () $ Cli.obs ())
+        $ no_cache
+        $ Cli.cache_max_entries ()
+        $ Cli.json () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

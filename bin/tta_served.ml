@@ -1,0 +1,94 @@
+(* The verification daemon: a long-running server answering JSON-lines
+   verification requests over a Unix-domain or TCP socket.
+
+   Examples:
+     tta_served --socket /tmp/tta.sock
+     tta_served --socket 127.0.0.1:7171 --workers 2 --queue-cap 16
+     tta_served --socket /tmp/tta.sock --cache-dir _cache \
+                --cache-max-entries 256 --trace served_trace.json
+
+   Protocol, scheduling and shutdown semantics: doc/service.md.
+   Send SIGTERM (or SIGINT) for a graceful drain. *)
+
+let main socket workers queue_cap cache_dir no_cache cache_max grace obs =
+  let addr =
+    match Service.Server.addr_of_string socket with
+    | Ok a -> a
+    | Error e ->
+        prerr_endline ("tta_served: " ^ e);
+        exit 2
+  in
+  let cache =
+    if no_cache then None
+    else Some (Portfolio.Cache.create ~dir:cache_dir ?max_entries:cache_max ())
+  in
+  Service.Server.serve ?cache ~workers ~queue_cap
+    ?obs:(Cli.obs_collector obs) ~grace
+    ~on_ready:(fun () ->
+      Printf.printf "tta_served: listening on %s (%d workers, queue cap %d)\n%!"
+        (Service.Server.addr_to_string addr)
+        workers queue_cap)
+    addr;
+  (* serve returned: a signal triggered the drain. *)
+  (match cache with
+  | Some c ->
+      Printf.printf "cache: %d hits, %d misses, %d entries, %d evicted\n"
+        (Portfolio.Cache.hits c) (Portfolio.Cache.misses c)
+        (Portfolio.Cache.entries c)
+        (Portfolio.Cache.evictions c)
+  | None -> ());
+  Cli.obs_finish obs;
+  Printf.printf "tta_served: drained, bye\n%!"
+
+let () =
+  let open Cmdliner in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "socket" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: a Unix-domain socket path, or HOST:PORT for \
+             TCP.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int (Portfolio.Pool.default_domains ())
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:"Verification worker domains (default: all cores).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission bound: queued computations beyond N are shed with an \
+             overloaded response.")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt string "_cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Verdict cache directory.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the verdict cache.")
+  in
+  let grace =
+    Arg.(
+      value & opt float 5.0
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Drain grace period: on SIGTERM, in-flight runs are \
+             force-cancelled after this long.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "tta_served"
+         ~doc:"Long-running TTA verification daemon (JSON lines over a socket)")
+      Term.(
+        const main $ socket $ workers $ queue_cap $ cache_dir $ no_cache
+        $ Cli.cache_max_entries ()
+        $ grace $ Cli.obs ())
+  in
+  exit (Cmd.eval cmd)

@@ -19,14 +19,18 @@ let () =
      out-of-slot error)...\n%!"
     nodes;
   let cfg = Tta_model.Configs.full_shifting ~nodes () in
-  match Tta_model.Runner.check ~engine:Tta_model.Runner.Sat_bmc ~max_depth:18 cfg with
-  | Tta_model.Runner.Violated { trace; model } ->
+  let result =
+    (Tta_model.Engine.get Tta_model.Engine.Sat_bmc).Tta_model.Engine.run
+      ~max_depth:18 cfg
+  in
+  match result.Tta_model.Engine.verdict with
+  | Tta_model.Engine.Violated { trace; model } ->
       Printf.printf
         "\nThe safety property fails: a single out-of-slot replay can \
          freeze an integrated node.\n\nShortest counterexample (%d TDMA \
          slots):\n%s\n"
         (Array.length trace)
-        (Tta_model.Runner.describe_trace model trace ~nodes);
+        (Tta_model.Engine.describe_trace model trace ~nodes);
       print_endline
         "Reading the trace: one node cold-starts the cluster; its \
          cold-start frame is retained in the faulty coupler's buffer; \
@@ -39,8 +43,8 @@ let () =
       (match Symkit.Trace.validate model trace with
       | Ok () -> print_endline "\n(The trace replays against the model.)"
       | Error e -> Printf.printf "\nTRACE VALIDATION FAILED: %s\n" e)
-  | Tta_model.Runner.Holds { detail } ->
+  | Tta_model.Engine.Holds { detail } ->
       Printf.printf "Unexpectedly safe (%s) — this contradicts the paper!\n"
         detail
-  | Tta_model.Runner.Unknown { detail } ->
+  | Tta_model.Engine.Unknown { detail } ->
       Printf.printf "Inconclusive: %s\n" detail

@@ -40,6 +40,16 @@ let depth ?(default = 24) () =
     & info [ "d"; "depth" ] ~docv:"K"
         ~doc:"Unrolling/iteration bound for the engines.")
 
+let cache_max_entries () =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-entries" ] ~docv:"N"
+        ~doc:
+          "Cap the persistent verdict cache at N entries; the \
+           least-recently-used entries are evicted first. Unbounded when \
+           omitted.")
+
 let json () =
   Arg.(
     value

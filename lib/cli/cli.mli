@@ -26,6 +26,11 @@ val nodes : ?default:int -> unit -> int Cmdliner.Term.t
 val depth : ?default:int -> unit -> int Cmdliner.Term.t
 (** [-d]/[--depth]: unrolling/iteration bound. *)
 
+val cache_max_entries : unit -> int option Cmdliner.Term.t
+(** [--cache-max-entries N]: cap the persistent verdict cache at [N]
+    entries (LRU eviction); unbounded when omitted. Pass the result to
+    [Portfolio.Cache.create]. *)
+
 val json : unit -> string option Cmdliner.Term.t
 (** [--json FILE]: machine-readable output. *)
 

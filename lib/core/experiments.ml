@@ -27,7 +27,7 @@ let pp_outcome ppf o =
    scheduled. *)
 let safe_outcome ~id ~title verdict =
   match verdict with
-  | Tta_model.Runner.Holds { detail } ->
+  | Tta_model.Engine.Holds { detail } ->
       {
         id;
         title;
@@ -35,7 +35,7 @@ let safe_outcome ~id ~title verdict =
         measured = detail;
         matches = true;
       }
-  | Tta_model.Runner.Violated { trace; _ } ->
+  | Tta_model.Engine.Violated { trace; _ } ->
       {
         id;
         title;
@@ -44,16 +44,19 @@ let safe_outcome ~id ~title verdict =
           Printf.sprintf "VIOLATED by a %d-step trace" (Array.length trace);
         matches = false;
       }
-  | Tta_model.Runner.Unknown { detail } ->
+  | Tta_model.Engine.Unknown { detail } ->
       { id; title; paper_says = "property holds"; measured = detail;
         matches = false }
 
+(* The BDD engine both proves the safe configurations outright and
+   finds shortest counterexamples; [max_depth] bounds its iterations. *)
+let check_bdd ~max_depth cfg =
+  ((Tta_model.Engine.get Tta_model.Engine.Bdd_reach).Tta_model.Engine.run
+     ~max_depth cfg)
+    .Tta_model.Engine.verdict
+
 let check_safe ~id ~title ?(depth = 100) cfg =
-  (* The BDD engine both proves the safe configurations outright and
-     finds shortest counterexamples; [depth] bounds its iterations. *)
-  safe_outcome ~id ~title
-    (Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach
-       ~max_depth:depth cfg)
+  safe_outcome ~id ~title (check_bdd ~max_depth:depth cfg)
 
 let e1 ?nodes ?depth () =
   check_safe ~id:"E1" ~title:"passive coupler: no single fault freezes an integrated node"
@@ -73,7 +76,7 @@ let e3 ?nodes ?depth () =
 
 let unsafe_outcome ~id ~title ~expect verdict =
   match verdict with
-  | Tta_model.Runner.Violated { trace; model } ->
+  | Tta_model.Engine.Violated { trace; model } ->
       let valid =
         match Symkit.Trace.validate model trace with
         | Ok () -> true
@@ -92,16 +95,14 @@ let unsafe_outcome ~id ~title ~expect verdict =
                " (TRACE INVALID)");
         matches = valid;
       }
-  | Tta_model.Runner.Holds { detail } ->
+  | Tta_model.Engine.Holds { detail } ->
       { id; title; paper_says = expect;
         measured = "no violation found: " ^ detail; matches = false }
-  | Tta_model.Runner.Unknown { detail } ->
+  | Tta_model.Engine.Unknown { detail } ->
       { id; title; paper_says = expect; measured = detail; matches = false }
 
 let check_unsafe ~id ~title ~expect ?(depth = 100) cfg =
-  unsafe_outcome ~id ~title ~expect
-    (Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach
-       ~max_depth:depth cfg)
+  unsafe_outcome ~id ~title ~expect (check_bdd ~max_depth:depth cfg)
 
 let e4 ?nodes ?depth () =
   check_unsafe ~id:"E4"
@@ -322,7 +323,7 @@ let all ?nodes ?safe_depth ?unsafe_depth () =
 let all_portfolio ?nodes ?(safe_depth = 100) ?(unsafe_depth = 100) ?domains
     ?cache ?telemetry ?obs () =
   let e5_nodes = Option.map (max 3) nodes in
-  let bdd = Tta_model.Runner.Bdd_reach in
+  let bdd = Tta_model.Engine.Bdd_reach in
   let jobs_and_readers =
     [
       ( Portfolio.job ~label:"E1" ~engine:bdd ~max_depth:safe_depth

@@ -4,9 +4,11 @@ open Symkit
 
 type t = {
   dir : string;
+  max_entries : int option;
   lock : Mutex.t;  (** guards the counters; file I/O needs no lock *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let rec mkdir_p d =
@@ -15,11 +17,16 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?(dir = "_cache") () =
+let create ?(dir = "_cache") ?max_entries () =
+  (match max_entries with
+  | Some n when n < 1 -> invalid_arg "Cache.create: max_entries < 1"
+  | _ -> ());
   mkdir_p dir;
-  { dir; lock = Mutex.create (); hits = 0; misses = 0 }
+  { dir; max_entries; lock = Mutex.create (); hits = 0; misses = 0;
+    evictions = 0 }
 
 let dir t = t.dir
+let max_entries t = t.max_entries
 
 let key ~model ~engine ~max_depth =
   Digest.to_hex
@@ -27,7 +34,7 @@ let key ~model ~engine ~max_depth =
        (String.concat "\x00"
           [
             Model.fingerprint model;
-            Tta_model.Runner.engine_to_string engine;
+            Tta_model.Engine.id_to_string engine;
             string_of_int max_depth;
           ]))
 
@@ -45,18 +52,18 @@ let json_of_entry ~model ~engine ~max_depth verdict =
     [
       ("version", Json.Int 1);
       ("fingerprint", Json.String (Model.fingerprint model));
-      ("engine", Json.String (Tta_model.Runner.engine_to_string engine));
+      ("engine", Json.String (Tta_model.Engine.id_to_string engine));
       ("max_depth", Json.Int max_depth);
     ]
   in
-  match (verdict : Tta_model.Runner.verdict) with
-  | Tta_model.Runner.Holds { detail } ->
+  match (verdict : Tta_model.Engine.verdict) with
+  | Tta_model.Engine.Holds { detail } ->
       Some
         (Json.Obj
            (base
            @ [ ("verdict", Json.String "holds"); ("detail", Json.String detail) ]
            ))
-  | Tta_model.Runner.Violated { trace; _ } ->
+  | Tta_model.Engine.Violated { trace; _ } ->
       Some
         (Json.Obj
            (base
@@ -64,7 +71,7 @@ let json_of_entry ~model ~engine ~max_depth verdict =
                ("verdict", Json.String "violated");
                ("trace", Json.List (Array.to_list (Array.map json_of_state trace)));
              ]))
-  | Tta_model.Runner.Unknown _ -> None
+  | Tta_model.Engine.Unknown _ -> None
 
 (* Decode one stored state against the model's declared domains. The
    rendered value strings are unambiguous within a domain (an [Enum]
@@ -89,14 +96,14 @@ let state_of_json model j =
     if List.exists Option.is_none decoded then None
     else Some (Array.of_list (List.map Option.get decoded))
 
-let entry_to_verdict ~model j : Tta_model.Runner.verdict option =
+let entry_to_verdict ~model j : Tta_model.Engine.verdict option =
   match Option.bind (Json.member "verdict" j) Json.string_value with
   | Some "holds" ->
       let detail =
         Option.value ~default:"cached proof"
           (Option.bind (Json.member "detail" j) Json.string_value)
       in
-      Some (Tta_model.Runner.Holds { detail })
+      Some (Tta_model.Engine.Holds { detail })
   | Some "violated" -> (
       match Json.member "trace" j with
       | None -> None
@@ -105,7 +112,7 @@ let entry_to_verdict ~model j : Tta_model.Runner.verdict option =
           if states = [] || List.exists Option.is_none states then None
           else
             Some
-              (Tta_model.Runner.Violated
+              (Tta_model.Engine.Violated
                  {
                    trace = Array.of_list (List.map Option.get states);
                    model;
@@ -146,8 +153,50 @@ let lookup t ~model ~engine ~max_depth =
             if fp <> Some (Model.fingerprint model) then None
             else entry_to_verdict ~model j)
   in
+  (* LRU touch: a served entry is the one a bounded cache should keep.
+     Failure (entry raced away, exotic filesystem) costs nothing. *)
+  (if Option.is_some verdict then
+     try Unix.utimes (path_of t k) 0.0 0.0 with Unix.Unix_error _ -> ());
   count t (Option.is_some verdict);
   verdict
+
+(* Drop the oldest-mtime entries until the count is back under the cap.
+   Concurrent workers may prune the same files; a lost race on [remove]
+   is counted by whoever won it. Sorting secondarily by name keeps the
+   order deterministic when mtimes collide. *)
+let prune t =
+  match t.max_entries with
+  | None -> ()
+  | Some cap -> (
+      match Sys.readdir t.dir with
+      | exception Sys_error _ -> ()
+      | files ->
+          let dated =
+            Array.to_list files
+            |> List.filter_map (fun f ->
+                   if not (Filename.check_suffix f ".json") then None
+                   else
+                     match Unix.stat (Filename.concat t.dir f) with
+                     | exception Unix.Unix_error _ -> None
+                     | st -> Some (st.Unix.st_mtime, f))
+          in
+          let excess = List.length dated - cap in
+          if excess > 0 then begin
+            let doomed =
+              List.filteri (fun i _ -> i < excess) (List.sort compare dated)
+            in
+            let removed =
+              List.fold_left
+                (fun acc (_, f) ->
+                  match Sys.remove (Filename.concat t.dir f) with
+                  | () -> acc + 1
+                  | exception Sys_error _ -> acc)
+                0 doomed
+            in
+            Mutex.lock t.lock;
+            t.evictions <- t.evictions + removed;
+            Mutex.unlock t.lock
+          end)
 
 let store t ~model ~engine ~max_depth verdict =
   match json_of_entry ~model ~engine ~max_depth verdict with
@@ -163,7 +212,8 @@ let store t ~model ~engine ~max_depth verdict =
       output_string oc (Json.to_string ~pretty:true j);
       output_char oc '\n';
       close_out oc;
-      Sys.rename tmp (path_of t k)
+      Sys.rename tmp (path_of t k);
+      prune t
 
 let hits t =
   Mutex.lock t.lock;
@@ -176,6 +226,12 @@ let misses t =
   let m = t.misses in
   Mutex.unlock t.lock;
   m
+
+let evictions t =
+  Mutex.lock t.lock;
+  let e = t.evictions in
+  Mutex.unlock t.lock;
+  e
 
 let entries t =
   match Sys.readdir t.dir with

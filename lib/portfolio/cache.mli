@@ -16,17 +16,29 @@
 
     Writes go to a temporary file in the cache directory followed by a
     rename, so concurrent workers (and concurrent processes) never
-    observe a half-written entry. *)
+    observe a half-written entry.
+
+    The cache can be bounded: with [max_entries] set, every store
+    {!prune}s the directory back down to the cap by deleting the
+    oldest entries first. "Oldest" is by file mtime, and {!lookup}
+    touches the mtime of every entry it serves, so the policy is LRU
+    at filesystem-timestamp granularity — a hot entry is never the
+    eviction victim. *)
 
 type t
 
-val create : ?dir:string -> unit -> t
-(** Open (creating if needed) a cache directory; default [_cache]. *)
+val create : ?dir:string -> ?max_entries:int -> unit -> t
+(** Open (creating if needed) a cache directory; default [_cache].
+    [max_entries], if given, caps the number of entries kept on disk
+    (see {!prune}).
+    @raise Invalid_argument if [max_entries < 1]. *)
 
 val dir : t -> string
 
+val max_entries : t -> int option
+
 val key :
-  model:Symkit.Model.t -> engine:Tta_model.Runner.engine -> max_depth:int ->
+  model:Symkit.Model.t -> engine:Tta_model.Engine.id -> max_depth:int ->
   string
 (** The entry key: a hex digest over (model fingerprint, engine,
     depth bound). *)
@@ -34,9 +46,9 @@ val key :
 val lookup :
   t ->
   model:Symkit.Model.t ->
-  engine:Tta_model.Runner.engine ->
+  engine:Tta_model.Engine.id ->
   max_depth:int ->
-  Tta_model.Runner.verdict option
+  Tta_model.Engine.verdict option
 (** [Some verdict] on a hit ([Violated] verdicts carry the supplied
     model and the decoded trace); [None] on a miss. Updates the
     hit/miss counters. *)
@@ -44,14 +56,26 @@ val lookup :
 val store :
   t ->
   model:Symkit.Model.t ->
-  engine:Tta_model.Runner.engine ->
+  engine:Tta_model.Engine.id ->
   max_depth:int ->
-  Tta_model.Runner.verdict ->
+  Tta_model.Engine.verdict ->
   unit
-(** Persist a conclusive verdict; a no-op for [Unknown]. *)
+(** Persist a conclusive verdict; a no-op for [Unknown]. When the
+    cache is bounded this also {!prune}s, so the cap holds after
+    every store. *)
+
+val prune : t -> unit
+(** Enforce the [max_entries] cap now: delete oldest-mtime entries
+    until at most the cap remain (deterministic under mtime ties via
+    a secondary filename sort). A no-op for an unbounded cache.
+    Concurrent pruners may race on the same victims; each removal is
+    counted once, by whoever won it. *)
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries this handle has deleted through {!prune}. *)
 
 val entries : t -> int
 (** Number of entries currently on disk. *)

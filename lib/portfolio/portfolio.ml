@@ -10,16 +10,16 @@ module Telemetry = Telemetry
 
 open Tta_model
 
-type engine = Runner.engine
-type verdict = Runner.verdict
+type engine = Engine.id
+type verdict = Engine.verdict
 
 let priority =
-  [ Runner.Bdd_reach; Runner.Explicit_bfs; Runner.Sat_induction;
-    Runner.Sat_bmc ]
+  [ Engine.Bdd_reach; Engine.Explicit_bfs; Engine.Sat_induction;
+    Engine.Sat_bmc ]
 
 let conclusive = function
-  | Runner.Holds _ | Runner.Violated _ -> true
-  | Runner.Unknown _ -> false
+  | Engine.Holds _ | Engine.Violated _ -> true
+  | Engine.Unknown _ -> false
 
 (* Deterministic selection: scan the fixed priority list, never the
    arrival order. Engines outside [priority] (impossible today) would
@@ -66,9 +66,9 @@ let add_telemetry telemetry ~label ~engine ~verdict ~detail ~wall_s ~cache_hit
         }
 
 let detail_of = function
-  | Runner.Holds { detail } -> detail
-  | Runner.Unknown { detail } -> detail
-  | Runner.Violated { trace; _ } ->
+  | Engine.Holds { detail } -> detail
+  | Engine.Unknown { detail } -> detail
+  | Engine.Violated { trace; _ } ->
       Printf.sprintf "counterexample of %d steps" (Array.length trace)
 
 (* One observability track per engine run, named after the job and the
@@ -112,9 +112,10 @@ let note_cache_hit obs ~label engine =
 (* ------------------------------------------------------------------ *)
 (* Engine racing *)
 
-let race ?cache ?telemetry ?obs ?label ?(engines = priority) ?(max_depth = 24)
-    cfg =
+let race ?cancel ?cache ?telemetry ?obs ?label ?(engines = priority)
+    ?(max_depth = 24) cfg =
   if engines = [] then invalid_arg "Portfolio.race: no engines";
+  let ext_cancel = match cancel with Some c -> c | None -> fun () -> false in
   let label =
     match label with Some l -> l | None -> Configs.name cfg
   in
@@ -138,10 +139,17 @@ let race ?cache ?telemetry ?obs ?label ?(engines = priority) ?(max_depth = 24)
       let run_engine e =
         let track = run_track obs ~label e in
         let observed = ref false in
+        (* [observed] records the race's own flag; [externally] the
+           caller's [?cancel] hook (a service deadline, a drain). Both
+           stop the engine; only the former feeds the latency metric,
+           whose reference point is the winner raising the flag. *)
+        let externally = ref false in
         let cancel () =
           let c = Atomic.get flag in
           if c then observed := true;
-          c
+          let e = ext_cancel () in
+          if e then externally := true;
+          c || e
         in
         let t0 = now () in
         let r = (Engine.get e).Engine.run ~cancel ~obs:track ~max_depth cfg in
@@ -153,8 +161,9 @@ let race ?cache ?telemetry ?obs ?label ?(engines = priority) ?(max_depth = 24)
            whether or not the flag fired mid-run. *)
         let v =
           match r.Engine.verdict with
-          | Runner.Holds _ when !observed && e = Runner.Sat_bmc ->
-              Runner.Unknown
+          | Engine.Holds _ when (!observed || !externally) && e = Engine.Sat_bmc
+            ->
+              Engine.Unknown
                 { detail = "cancelled before completing the bound" }
           | v -> v
         in
@@ -281,7 +290,7 @@ let section5_jobs ?(nodes = Configs.default_nodes) ?(safe_depth = 100)
     | Some d -> d
     | None -> if nodes >= 4 then 16 else 14
   in
-  let bdd = Runner.Bdd_reach in
+  let bdd = Engine.Bdd_reach in
   [
     job ~label:"E1 passive" ~engine:bdd ~max_depth:safe_depth
       (Configs.passive ~nodes ());
@@ -298,7 +307,7 @@ let section5_jobs ?(nodes = Configs.default_nodes) ?(safe_depth = 100)
       ~max_depth:unsafe_depth
       (Configs.full_shifting ~nodes:(max 3 nodes)
          ~forbid_cold_start_duplication:true ());
-    job ~label:"E9 full-shifting via SAT BMC" ~engine:Runner.Sat_bmc
+    job ~label:"E9 full-shifting via SAT BMC" ~engine:Engine.Sat_bmc
       ~max_depth:bmc_depth
       (Configs.full_shifting ~nodes ());
   ]

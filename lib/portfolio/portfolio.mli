@@ -40,8 +40,8 @@ module Pool = Pool
 module Cache = Cache
 module Telemetry = Telemetry
 
-type engine = Tta_model.Runner.engine
-type verdict = Tta_model.Runner.verdict
+type engine = Tta_model.Engine.id
+type verdict = Tta_model.Engine.verdict
 
 val priority : engine list
 (** The fixed tie-breaking order: BDD reachability (proves {e and}
@@ -69,6 +69,7 @@ type result = {
 }
 
 val race :
+  ?cancel:(unit -> bool) ->
   ?cache:Cache.t ->
   ?telemetry:Telemetry.t ->
   ?obs:Obs.Collector.t ->
@@ -83,6 +84,15 @@ val race :
     Each racer writes to its own [obs] track; cancelled losers
     additionally report [race.cancel_latency_us] — the time from the
     winner raising the flag to the loser actually returning.
+
+    [cancel] is an {e external} cooperative-cancellation hook, OR-ed
+    into every racer's own hook — the serving layer uses it for
+    per-request deadlines and drain. When it fires before any engine
+    concluded, the race returns the priority-first inconclusive
+    verdict (a BMC partial bound is demoted to [Unknown], exactly as
+    for an internal cancellation), and nothing is cached. With a
+    single engine the race degenerates to one cancellable run on the
+    calling domain — the serving layer's single-engine path.
     @raise Invalid_argument on an empty engine list. *)
 
 (** {1 Matrix fan-out} *)

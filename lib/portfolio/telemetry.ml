@@ -3,9 +3,9 @@
 type outcome = Holds | Violated | Unknown
 
 let outcome_of_verdict = function
-  | Tta_model.Runner.Holds _ -> Holds
-  | Tta_model.Runner.Violated _ -> Violated
-  | Tta_model.Runner.Unknown _ -> Unknown
+  | Tta_model.Engine.Holds _ -> Holds
+  | Tta_model.Engine.Violated _ -> Violated
+  | Tta_model.Engine.Unknown _ -> Unknown
 
 let outcome_to_string = function
   | Holds -> "holds"

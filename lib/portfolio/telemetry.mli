@@ -7,7 +7,7 @@
 
 type outcome = Holds | Violated | Unknown
 
-val outcome_of_verdict : Tta_model.Runner.verdict -> outcome
+val outcome_of_verdict : Tta_model.Engine.verdict -> outcome
 val outcome_to_string : outcome -> string
 
 type record = {

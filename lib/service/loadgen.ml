@@ -1,0 +1,318 @@
+(* Open-/closed-loop load generation — see the interface. *)
+
+type mode = Open_loop of float | Closed_loop of int
+
+type report = {
+  requests : int;
+  ok : int;
+  holds : int;
+  violated : int;
+  unknown : int;
+  deadline_exceeded : int;
+  overloaded : int;
+  cancelled : int;
+  protocol_errors : int;
+  cache_hits : int;
+  coalesced : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let connect addr =
+  match (addr : Server.addr) with
+  | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Server.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* A blocking line reader over a raw fd (one per connection, single
+   consumer). Returns [None] on EOF with an empty buffer. *)
+type line_reader = { fd : Unix.file_descr; rbuf : Buffer.t; scratch : Bytes.t }
+
+let line_reader fd = { fd; rbuf = Buffer.create 512; scratch = Bytes.create 8192 }
+
+let rec read_line_opt r =
+  let s = Buffer.contents r.rbuf in
+  match String.index_opt s '\n' with
+  | Some i ->
+      Buffer.clear r.rbuf;
+      Buffer.add_substring r.rbuf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  | None -> (
+      match Unix.read r.fd r.scratch 0 (Bytes.length r.scratch) with
+      | 0 -> if s = "" then None else (Buffer.clear r.rbuf; Some s)
+      | n ->
+          Buffer.add_subbytes r.rbuf r.scratch 0 n;
+          read_line_opt r
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          None)
+
+(* ------------------------------------------------------------------ *)
+(* The request stream *)
+
+let sample rng l = List.nth l (Random.State.int rng (List.length l))
+
+let stream ~seed ~nodes ~depth ~deadline_ms ~configs ~engines ~requests =
+  let rng = Random.State.make [| seed |] in
+  List.init requests (fun i ->
+      let config = sample rng configs in
+      let engine = sample rng engines in
+      ( Printf.sprintf "r%d" i,
+        Json.to_string
+          (Protocol.request
+             ~id:(Printf.sprintf "r%d" i)
+             ~config ~nodes ~engine ~depth ?deadline_ms ())
+        ^ "\n" ))
+
+(* ------------------------------------------------------------------ *)
+(* Shared accounting *)
+
+type acc = {
+  lock : Mutex.t;
+  mutable ok : int;
+  mutable holds : int;
+  mutable violated : int;
+  mutable unknown : int;
+  mutable deadline_exceeded : int;
+  mutable overloaded : int;
+  mutable cancelled : int;
+  mutable protocol_errors : int;
+  mutable cache_hits : int;
+  mutable coalesced : int;
+  mutable latencies_ms : float list;  (** answered requests only *)
+  mutable last_response_at : float;
+}
+
+let acc () =
+  {
+    lock = Mutex.create ();
+    ok = 0;
+    holds = 0;
+    violated = 0;
+    unknown = 0;
+    deadline_exceeded = 0;
+    overloaded = 0;
+    cancelled = 0;
+    protocol_errors = 0;
+    cache_hits = 0;
+    coalesced = 0;
+    latencies_ms = [];
+    last_response_at = 0.;
+  }
+
+let record acc ~sent_at line =
+  let at = Unix.gettimeofday () in
+  Mutex.lock acc.lock;
+  acc.last_response_at <- Float.max acc.last_response_at at;
+  (match Protocol.decode_response_line line with
+  | Error _ -> acc.protocol_errors <- acc.protocol_errors + 1
+  | Ok (Protocol.Error _) -> acc.protocol_errors <- acc.protocol_errors + 1
+  | Ok (Protocol.Overloaded _) -> acc.overloaded <- acc.overloaded + 1
+  | Ok (Protocol.Cancelled _) -> acc.cancelled <- acc.cancelled + 1
+  | Ok (Protocol.Answer { cache_hit; coalesced; verdict; _ }) ->
+      acc.ok <- acc.ok + 1;
+      (match sent_at with
+      | Some t0 -> acc.latencies_ms <- ((at -. t0) *. 1000.) :: acc.latencies_ms
+      | None -> ());
+      if cache_hit then acc.cache_hits <- acc.cache_hits + 1;
+      if coalesced then acc.coalesced <- acc.coalesced + 1;
+      (match verdict with
+      | Protocol.Holds _ -> acc.holds <- acc.holds + 1
+      | Protocol.Violated _ -> acc.violated <- acc.violated + 1
+      | Protocol.Unknown { reason; _ } ->
+          acc.unknown <- acc.unknown + 1;
+          if reason = Some "deadline_exceeded" then
+            acc.deadline_exceeded <- acc.deadline_exceeded + 1));
+  Mutex.unlock acc.lock
+
+(* ------------------------------------------------------------------ *)
+(* The two loops *)
+
+let run_closed ~concurrency ~reqs addr acc =
+  let next = Atomic.make 0 in
+  let reqs = Array.of_list reqs in
+  let worker () =
+    let fd = connect addr in
+    let reader = line_reader fd in
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length reqs then begin
+        let _, line = reqs.(i) in
+        let t0 = Unix.gettimeofday () in
+        write_all fd line 0 (String.length line);
+        (match read_line_opt reader with
+        | Some resp -> record acc ~sent_at:(Some t0) resp
+        | None ->
+            Mutex.lock acc.lock;
+            acc.protocol_errors <- acc.protocol_errors + 1;
+            Mutex.unlock acc.lock);
+        go ()
+      end
+    in
+    go ();
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let domains =
+    List.init (max 1 concurrency) (fun _ -> Domain.spawn worker)
+  in
+  List.iter Domain.join domains
+
+let run_open ~rate ~reqs addr acc =
+  let fd = connect addr in
+  let sent = Hashtbl.create (List.length reqs) in
+  let sent_lock = Mutex.create () in
+  let t_start = Unix.gettimeofday () in
+  let writer =
+    Domain.spawn (fun () ->
+        List.iteri
+          (fun i (id, line) ->
+            let due = t_start +. (float_of_int i /. rate) in
+            let dt = due -. Unix.gettimeofday () in
+            if dt > 0. then Unix.sleepf dt;
+            Mutex.lock sent_lock;
+            Hashtbl.replace sent id (Unix.gettimeofday ());
+            Mutex.unlock sent_lock;
+            write_all fd line 0 (String.length line))
+          reqs)
+  in
+  let reader = line_reader fd in
+  let expected = List.length reqs in
+  let rec read_responses got =
+    if got < expected then
+      match read_line_opt reader with
+      | None ->
+          Mutex.lock acc.lock;
+          acc.protocol_errors <- acc.protocol_errors + (expected - got);
+          Mutex.unlock acc.lock
+      | Some line ->
+          let sent_at =
+            match
+              Option.bind (Result.to_option (Protocol.decode_response_line line))
+                Protocol.response_id
+            with
+            | Some id ->
+                Mutex.lock sent_lock;
+                let t0 = Hashtbl.find_opt sent id in
+                Mutex.unlock sent_lock;
+                t0
+            | None -> None
+          in
+          record acc ~sent_at line;
+          read_responses (got + 1)
+  in
+  read_responses 0;
+  Domain.join writer;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point and reporting *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n ->
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+
+let run ?(seed = 1) ?(nodes = 2) ?(depth = 24) ?deadline_ms ?configs ?engines
+    ~mode ~requests addr =
+  let configs =
+    match configs with
+    | Some (_ :: _ as l) -> l
+    | _ ->
+        [ "passive"; "time-windows"; "small-shifting"; "full-shifting" ]
+  in
+  let engines =
+    match engines with Some (_ :: _ as l) -> l | _ -> [ "bdd" ]
+  in
+  let reqs =
+    stream ~seed ~nodes ~depth ~deadline_ms ~configs ~engines ~requests
+  in
+  let a = acc () in
+  let t0 = Unix.gettimeofday () in
+  (match mode with
+  | Closed_loop c -> run_closed ~concurrency:c ~reqs addr a
+  | Open_loop r -> run_open ~rate:(Float.max 0.001 r) ~reqs addr a);
+  let t_end = if a.last_response_at > 0. then a.last_response_at else t0 in
+  let wall_s = Float.max 1e-9 (t_end -. t0) in
+  let sorted = Array.of_list a.latencies_ms in
+  Array.sort compare sorted;
+  {
+    requests;
+    ok = a.ok;
+    holds = a.holds;
+    violated = a.violated;
+    unknown = a.unknown;
+    deadline_exceeded = a.deadline_exceeded;
+    overloaded = a.overloaded;
+    cancelled = a.cancelled;
+    protocol_errors = a.protocol_errors;
+    cache_hits = a.cache_hits;
+    coalesced = a.coalesced;
+    wall_s;
+    throughput_rps = float_of_int requests /. wall_s;
+    p50_ms = percentile sorted 50.;
+    p95_ms = percentile sorted 95.;
+    p99_ms = percentile sorted 99.;
+    max_ms = (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1));
+  }
+
+let mode_to_json = function
+  | Open_loop r ->
+      Json.Obj
+        [ ("shape", Json.String "open-loop"); ("rate_rps", Json.Float r) ]
+  | Closed_loop c ->
+      Json.Obj
+        [ ("shape", Json.String "closed-loop"); ("concurrency", Json.Int c) ]
+
+let report_to_json ~mode r =
+  Json.Obj
+    [
+      ("mode", mode_to_json mode);
+      ("requests", Json.Int r.requests);
+      ("ok", Json.Int r.ok);
+      ("holds", Json.Int r.holds);
+      ("violated", Json.Int r.violated);
+      ("unknown", Json.Int r.unknown);
+      ("deadline_exceeded", Json.Int r.deadline_exceeded);
+      ("overloaded", Json.Int r.overloaded);
+      ("cancelled", Json.Int r.cancelled);
+      ("protocol_errors", Json.Int r.protocol_errors);
+      ("cache_hits", Json.Int r.cache_hits);
+      ("coalesced", Json.Int r.coalesced);
+      ("wall_s", Json.Float r.wall_s);
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p95_ms", Json.Float r.p95_ms);
+      ("p99_ms", Json.Float r.p99_ms);
+      ("max_ms", Json.Float r.max_ms);
+    ]
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>requests  %d (%d ok, %d overloaded, %d cancelled, %d protocol \
+     errors)@,verdicts  %d holds, %d violated, %d unknown (%d past \
+     deadline)@,dedup     %d cache hits, %d coalesced@,wall      %.2fs \
+     (%.1f req/s)@,latency   p50 %.1fms  p95 %.1fms  p99 %.1fms  max \
+     %.1fms@]@."
+    r.requests r.ok r.overloaded r.cancelled r.protocol_errors r.holds
+    r.violated r.unknown r.deadline_exceeded r.cache_hits r.coalesced
+    r.wall_s r.throughput_rps r.p50_ms r.p95_ms r.p99_ms r.max_ms

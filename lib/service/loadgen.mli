@@ -1,0 +1,61 @@
+(** Synthetic load for the verification daemon.
+
+    Replays a seeded stream of {!Protocol} requests sampled from the
+    Section 5 configuration matrix against a running {!Server}, in one
+    of two classic load-generation shapes:
+
+    - {b open loop} ([Open_loop rate]): one connection; requests are
+      sent at the target rate regardless of completions (the
+      arrival-driven regime where queueing and shedding appear), while
+      a reader collects responses as they come.
+    - {b closed loop} ([Closed_loop c]): [c] connections, each its own
+      domain, each keeping exactly one request outstanding — the
+      fixed-concurrency regime, which measures service capacity.
+
+    The stream is deterministic for a given seed, so distinct requests
+    repeat — exercising the daemon's coalescing and cache paths on
+    purpose. The report carries throughput, latency percentiles over
+    the answered requests, and the outcome/dedup breakdown. *)
+
+type mode = Open_loop of float  (** target requests/second *)
+          | Closed_loop of int  (** concurrent in-flight requests *)
+
+type report = {
+  requests : int;  (** sent *)
+  ok : int;  (** [status:"ok"] responses *)
+  holds : int;
+  violated : int;
+  unknown : int;
+  deadline_exceeded : int;  (** subset of [unknown] *)
+  overloaded : int;
+  cancelled : int;
+  protocol_errors : int;
+      (** [status:"error"] responses plus undecodable response lines *)
+  cache_hits : int;
+  coalesced : int;
+  wall_s : float;  (** first send to last response *)
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;  (** percentiles/max over answered requests *)
+}
+
+val run :
+  ?seed:int ->
+  ?nodes:int ->
+  ?depth:int ->
+  ?deadline_ms:int ->
+  ?configs:string list ->
+  ?engines:string list ->
+  mode:mode ->
+  requests:int ->
+  Server.addr ->
+  report
+(** Defaults: [seed 1], [nodes 2], [depth 24], no deadline, all four
+    feature sets, engine ["bdd"]. [engines] entries are request
+    [engine] values, so ["race"] is allowed.
+    @raise Unix.Unix_error when the daemon cannot be reached. *)
+
+val report_to_json : mode:mode -> report -> Json.t
+val pp_report : Format.formatter -> report -> unit

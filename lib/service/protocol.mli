@@ -1,0 +1,105 @@
+(** The verification daemon's wire protocol.
+
+    JSON lines in both directions: a client writes one request object
+    per line, the daemon answers one response object per line (not
+    necessarily in request order — responses carry the request's [id]).
+
+    A {b request}:
+    {v
+{"id":"r1","config":"full-shifting","nodes":4,"engine":"bdd",
+ "depth":24,"deadline_ms":5000}
+    v}
+    [id] and [config] are required; [engine] is a single engine name or
+    ["race"] (the default) for the whole portfolio; [depth] defaults to
+    24; [deadline_ms], when present, bounds the request's wall clock —
+    an inconclusive answer past the deadline reports
+    [reason:"deadline_exceeded"]. [forbid_cold_start_duplication]
+    (bool) selects the paper's second full-shifting counterexample.
+
+    A {b response} is one of:
+    - [status:"ok"] — a verdict ([holds]/[violated]/[unknown]) with the
+      winning engine, wall and queue milliseconds, and whether it was
+      served from the cache or coalesced onto another in-flight
+      request. A [violated] answer carries the counterexample trace,
+      value-rendered per state.
+    - [status:"overloaded"] — shed by admission control (bounded
+      queue full). The request was {e not} and will not be run.
+    - [status:"cancelled"] — accepted but abandoned, e.g. by a
+      shutdown drain; [reason] says why.
+    - [status:"error"] — the line was not a valid request; [reason]
+      explains, [id] is echoed when one could be parsed.
+
+    Decoding is total: every malformed input maps to [Error _], never
+    an exception. *)
+
+type request = {
+  id : string;
+  cfg : Tta_model.Configs.t;
+  engines : Tta_model.Engine.id list;
+      (** singleton for a named engine; the full portfolio for
+          ["race"] *)
+  max_depth : int;
+  deadline_ms : int option;
+}
+
+val request :
+  id:string ->
+  config:string ->
+  ?nodes:int ->
+  ?engine:string ->
+  ?depth:int ->
+  ?deadline_ms:int ->
+  ?forbid_cold_start_duplication:bool ->
+  unit ->
+  Json.t
+(** Build a request object for the wire — the client-side encoder used
+    by the load generator and the tests. Performs no validation; the
+    daemon's decoder is the single validator. *)
+
+val decode_request : Json.t -> (request, string) result
+(** Validate a request object into a runnable form (the feature-set
+    name becomes the Section 5 configuration via the named
+    constructors, so a served instance is exactly the experiment
+    one). *)
+
+val decode_request_line : string -> (request, string) result
+(** [decode_request] after parsing; a parse failure is an [Error]
+    carrying the parser's message. *)
+
+val request_id_of_line : string -> string option
+(** Best-effort [id] extraction from a line that may fail validation —
+    for echoing the id in an [error] response. *)
+
+(** {1 Responses} *)
+
+type verdict =
+  | Holds of { detail : string }
+  | Violated of { steps : int; trace : string list list }
+      (** one rendered value per model variable per state *)
+  | Unknown of { detail : string; reason : string option }
+      (** [reason] is a machine-readable cause
+          ([Some "deadline_exceeded"]) on top of the human [detail] *)
+
+type response =
+  | Answer of {
+      id : string;
+      verdict : verdict;
+      engine : string;
+      cache_hit : bool;
+      coalesced : bool;
+      wall_ms : float;
+      queue_ms : float;
+    }
+  | Overloaded of { id : string }
+  | Cancelled of { id : string; reason : string }
+  | Error of { id : string option; reason : string }
+
+val response_id : response -> string option
+
+val encode_response : response -> Json.t
+
+val response_line : response -> string
+(** The encoded response as one newline-terminated wire line. *)
+
+val decode_response : Json.t -> (response, string) result
+val decode_response_line : string -> (response, string) result

@@ -1,0 +1,381 @@
+(* Bounded-queue scheduler with coalescing and deadlines — see the
+   interface for the design. *)
+
+open Tta_model
+
+type waiter = {
+  cb : outcome -> unit;
+  wdeadline : float;  (** absolute; [infinity] = none *)
+  submitted_at : float;
+  joined : bool;  (** coalesced onto an existing computation *)
+}
+
+and outcome = {
+  result : Portfolio.result;
+  coalesced : bool;
+  queue_ms : float;
+  expired : bool;
+}
+
+type comp = {
+  ckey : string;
+  cfg : Configs.t;
+  engines : Engine.id list;
+  max_depth : int;
+  mutable waiters : waiter list;  (** newest first; delivered reversed *)
+  deadline : float Atomic.t;
+      (** max over the waiters' deadlines ([infinity] dominates);
+          written under the scheduler lock, read lock-free by the
+          run's cancel hook *)
+}
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : comp Queue.t;
+  queue_cap : int;
+  inflight : (string, comp) Hashtbl.t;
+      (** every accepted computation, queued or running — the
+          coalescing window spans the whole run *)
+  models : (Configs.t, Symkit.Model.t) Hashtbl.t;
+  cache : Portfolio.Cache.t option;
+  mutable draining : bool;
+  mutable running : int;
+  force : bool Atomic.t;  (** drain watchdog: cancel in-flight runs *)
+  stopped : bool Atomic.t;
+  mutable workers : unit Domain.t array;
+  (* stats (under [lock]) *)
+  mutable s_submitted : int;
+  mutable s_completed : int;
+  mutable s_coalesced : int;
+  mutable s_shed : int;
+  mutable s_cache_hits : int;
+  mutable s_runs : int;
+  mutable s_expired : int;
+  (* observability ("service" track) *)
+  track : Obs.t;
+  c_submitted : Obs.cell;
+  c_completed : Obs.cell;
+  c_coalesced : Obs.cell;
+  c_shed : Obs.cell;
+  c_cache_hits : Obs.cell;
+  c_runs : Obs.cell;
+  c_expired : Obs.cell;
+  g_queue : Obs.cell;
+  g_inflight : Obs.cell;
+}
+
+let now () = Unix.gettimeofday ()
+
+let model_of t cfg =
+  match Hashtbl.find_opt t.models cfg with
+  | Some m -> m
+  | None ->
+      let m = Build.model cfg in
+      Hashtbl.add t.models cfg m;
+      m
+
+let ckey_of ~model ~engines ~max_depth =
+  String.concat "+"
+    (List.map
+       (fun e -> Portfolio.Cache.key ~model ~engine:e ~max_depth)
+       engines)
+
+let conclusive_cached cache ~model ~engines ~max_depth =
+  match cache with
+  | None -> None
+  | Some c ->
+      List.find_map
+        (fun e ->
+          match Portfolio.Cache.lookup c ~model ~engine:e ~max_depth with
+          | Some v when Portfolio.conclusive v -> Some (e, v)
+          | _ -> None)
+        engines
+
+(* ------------------------------------------------------------------ *)
+(* Workers *)
+
+let deliver t comp ~(result : Portfolio.result) ~ran ~started_at =
+  Mutex.lock t.lock;
+  Hashtbl.remove t.inflight comp.ckey;
+  let waiters = List.rev comp.waiters in
+  comp.waiters <- [];
+  if ran then t.s_runs <- t.s_runs + 1;
+  t.s_completed <- t.s_completed + List.length waiters;
+  Mutex.unlock t.lock;
+  if ran then Obs.tick t.c_runs;
+  Obs.add t.c_completed (List.length waiters);
+  let conclusive = Portfolio.conclusive result.Portfolio.verdict in
+  let at = now () in
+  let n_expired = ref 0 in
+  List.iter
+    (fun w ->
+      let expired = (not conclusive) && w.wdeadline < at in
+      if expired then incr n_expired;
+      let queue_ms = Float.max 0. ((started_at -. w.submitted_at) *. 1000.) in
+      w.cb { result; coalesced = w.joined; queue_ms; expired })
+    waiters;
+  if !n_expired > 0 then begin
+    Mutex.lock t.lock;
+    t.s_expired <- t.s_expired + !n_expired;
+    Mutex.unlock t.lock;
+    Obs.add t.c_expired !n_expired
+  end
+
+let skip_result comp detail =
+  {
+    Portfolio.config = comp.cfg;
+    engine = List.hd comp.engines;
+    verdict = Engine.Unknown { detail };
+    wall_s = 0.;
+    cache_hit = false;
+    runs = [];
+  }
+
+let execute t comp =
+  let started_at = now () in
+  let skip =
+    if Atomic.get t.force then Some "cancelled by shutdown drain"
+    else if Atomic.get comp.deadline < started_at then
+      Some "deadline expired before the run started"
+    else None
+  in
+  let result, ran =
+    match skip with
+    | Some detail -> (skip_result comp detail, false)
+    | None ->
+        let cancel () =
+          Atomic.get t.force || now () > Atomic.get comp.deadline
+        in
+        let span =
+          Obs.start t.track
+            ~args:[ ("config", Configs.name comp.cfg) ]
+            "service.run"
+        in
+        let r =
+          Portfolio.race ~cancel ?cache:t.cache ~engines:comp.engines
+            ~max_depth:comp.max_depth comp.cfg
+        in
+        Obs.stop span;
+        (r, true)
+  in
+  deliver t comp ~result ~ran ~started_at
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.draining do
+    Condition.wait t.nonempty t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock
+    (* draining and nothing left: done *)
+  else begin
+    let comp = Queue.pop t.queue in
+    t.running <- t.running + 1;
+    Obs.record t.g_inflight t.running;
+    Mutex.unlock t.lock;
+    (match execute t comp with
+    | () -> ()
+    | exception e ->
+        (* An engine exception must not kill the worker; answer the
+           waiters inconclusively instead of leaving them hanging. *)
+        deliver t comp
+          ~result:(skip_result comp ("engine exception: " ^ Printexc.to_string e))
+          ~ran:true ~started_at:(now ()));
+    Mutex.lock t.lock;
+    t.running <- t.running - 1;
+    Mutex.unlock t.lock;
+    worker_loop t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction, submission, drain *)
+
+let create ?workers ?(queue_cap = 64) ?cache ?obs () =
+  let workers_n =
+    match workers with
+    | None -> Portfolio.Pool.default_domains ()
+    | Some n when n < 1 -> invalid_arg "Scheduler.create: workers < 1"
+    | Some n -> n
+  in
+  if queue_cap < 1 then invalid_arg "Scheduler.create: queue_cap < 1";
+  let track =
+    match obs with
+    | None -> Obs.disabled
+    | Some col -> Obs.Collector.track col "service"
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      queue_cap;
+      inflight = Hashtbl.create 64;
+      models = Hashtbl.create 16;
+      cache;
+      draining = false;
+      running = 0;
+      force = Atomic.make false;
+      stopped = Atomic.make false;
+      workers = [||];
+      s_submitted = 0;
+      s_completed = 0;
+      s_coalesced = 0;
+      s_shed = 0;
+      s_cache_hits = 0;
+      s_runs = 0;
+      s_expired = 0;
+      track;
+      c_submitted = Obs.counter track "service.submitted";
+      c_completed = Obs.counter track "service.completed";
+      c_coalesced = Obs.counter track "service.coalesced";
+      c_shed = Obs.counter track "service.shed";
+      c_cache_hits = Obs.counter track "service.cache_hits";
+      c_runs = Obs.counter track "service.runs";
+      c_expired = Obs.counter track "service.expired";
+      g_queue = Obs.gauge track "service.queue_depth";
+      g_inflight = Obs.gauge track "service.inflight";
+    }
+  in
+  t.workers <-
+    Array.init workers_n (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t ?deadline ~engines ~max_depth ~callback cfg =
+  if engines = [] then invalid_arg "Scheduler.submit: empty engine list";
+  let dl = match deadline with None -> infinity | Some d -> d in
+  let at = now () in
+  Mutex.lock t.lock;
+  if t.draining then begin
+    Mutex.unlock t.lock;
+    `Draining
+  end
+  else begin
+    let model = model_of t cfg in
+    match conclusive_cached t.cache ~model ~engines ~max_depth with
+    | Some (e, v) ->
+        t.s_submitted <- t.s_submitted + 1;
+        t.s_cache_hits <- t.s_cache_hits + 1;
+        t.s_completed <- t.s_completed + 1;
+        Mutex.unlock t.lock;
+        Obs.tick t.c_submitted;
+        Obs.tick t.c_cache_hits;
+        Obs.tick t.c_completed;
+        callback
+          {
+            result =
+              {
+                Portfolio.config = cfg;
+                engine = e;
+                verdict = v;
+                wall_s = 0.;
+                cache_hit = true;
+                runs = [];
+              };
+            coalesced = false;
+            queue_ms = 0.;
+            expired = false;
+          };
+        `Cache_hit
+    | None -> (
+        let ckey = ckey_of ~model ~engines ~max_depth in
+        let waiter ~joined =
+          { cb = callback; wdeadline = dl; submitted_at = at; joined }
+        in
+        match Hashtbl.find_opt t.inflight ckey with
+        | Some comp ->
+            comp.waiters <- waiter ~joined:true :: comp.waiters;
+            Atomic.set comp.deadline (Float.max (Atomic.get comp.deadline) dl);
+            t.s_submitted <- t.s_submitted + 1;
+            t.s_coalesced <- t.s_coalesced + 1;
+            Mutex.unlock t.lock;
+            Obs.tick t.c_submitted;
+            Obs.tick t.c_coalesced;
+            `Coalesced
+        | None ->
+            if Queue.length t.queue >= t.queue_cap then begin
+              t.s_shed <- t.s_shed + 1;
+              Mutex.unlock t.lock;
+              Obs.tick t.c_shed;
+              `Shed
+            end
+            else begin
+              let comp =
+                {
+                  ckey;
+                  cfg;
+                  engines;
+                  max_depth;
+                  waiters = [ waiter ~joined:false ];
+                  deadline = Atomic.make dl;
+                }
+              in
+              Queue.push comp t.queue;
+              Hashtbl.add t.inflight ckey comp;
+              t.s_submitted <- t.s_submitted + 1;
+              let depth = Queue.length t.queue in
+              Condition.signal t.nonempty;
+              Mutex.unlock t.lock;
+              Obs.tick t.c_submitted;
+              Obs.record t.g_queue depth;
+              `Queued
+            end)
+  end
+
+let drain ?grace t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  let watchdog =
+    Option.map
+      (fun g ->
+        Domain.spawn (fun () ->
+            let stop_at = now () +. g in
+            while (not (Atomic.get t.stopped)) && now () < stop_at do
+              Unix.sleepf 0.01
+            done;
+            Atomic.set t.force true))
+      grace
+  in
+  Array.iter Domain.join t.workers;
+  t.workers <- [||];
+  Atomic.set t.stopped true;
+  Option.iter Domain.join watchdog
+
+type stats = {
+  submitted : int;
+  completed : int;
+  coalesced : int;
+  shed : int;
+  cache_hits : int;
+  runs : int;
+  expired : int;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      submitted = t.s_submitted;
+      completed = t.s_completed;
+      coalesced = t.s_coalesced;
+      shed = t.s_shed;
+      cache_hits = t.s_cache_hits;
+      runs = t.s_runs;
+      expired = t.s_expired;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let queue_depth t =
+  Mutex.lock t.lock;
+  let d = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  d
+
+let inflight t =
+  Mutex.lock t.lock;
+  let r = t.running in
+  Mutex.unlock t.lock;
+  r

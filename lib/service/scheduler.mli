@@ -1,0 +1,103 @@
+(** The daemon's scheduler: a bounded admission queue and a pool of
+    worker domains in front of {!Portfolio.race}, with request
+    coalescing and per-request deadlines.
+
+    {b Dedup/coalescing.} Every submission is fingerprinted with
+    {!Portfolio.Cache.key} over its compiled model and engine list. A
+    submission whose fingerprint matches a computation that is already
+    queued {e or running} does not enqueue anything: it joins the
+    existing computation's waiter list and receives the same result
+    when it completes. Identical concurrent requests therefore cost
+    one engine run, however many clients ask.
+
+    {b Cache.} When a warm {!Portfolio.Cache.t} is attached, it is
+    consulted at admission: a conclusive cached verdict answers the
+    submission synchronously, without touching the queue. (The workers
+    also pass the cache down to {!Portfolio.race}, which stores new
+    conclusive verdicts.)
+
+    {b Admission control.} The queue is bounded; a submission that
+    finds it full is shed — {!submit} returns [`Shed] and no callback
+    fires. Coalescing submissions never shed (they consume no queue
+    slot).
+
+    {b Deadlines.} A submission may carry an absolute deadline. The
+    computation's effective deadline is the {e latest} over its
+    waiters (a waiter without one makes the computation unbounded);
+    the worker polls it through the race's [?cancel] hook, so an
+    expired computation stops cooperatively. A computation whose
+    deadline has already passed when a worker picks it up is skipped —
+    no engine runs. Conclusive verdicts are always delivered, even to
+    waiters whose own deadline has meanwhile passed; an inconclusive
+    outcome to an expired waiter is flagged [expired] so the protocol
+    layer can report [deadline_exceeded].
+
+    {b Drain.} {!drain} stops admission, wakes the workers, and waits
+    until every accepted computation has been answered. With [~grace],
+    a watchdog raises a force-cancel flag once the grace period
+    elapses, so long-running engine runs finish early with an
+    inconclusive verdict instead of holding shutdown hostage. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_cap:int ->
+  ?cache:Portfolio.Cache.t ->
+  ?obs:Obs.Collector.t ->
+  unit ->
+  t
+(** [workers] defaults to [Portfolio.Pool.default_domains ()];
+    [queue_cap] (distinct queued computations, running ones excluded)
+    defaults to 64. With [obs], the scheduler writes to a ["service"]
+    track: [service.queue_depth] / [service.inflight] gauges,
+    [service.{submitted,coalesced,shed,cache_hits,runs,expired,
+    completed}] counters, and a [service.run] span per engine-pool
+    computation.
+    @raise Invalid_argument if [workers < 1] or [queue_cap < 1]. *)
+
+type outcome = {
+  result : Portfolio.result;
+  coalesced : bool;  (** this waiter joined an existing computation *)
+  queue_ms : float;  (** submission to run start (0 on a cache hit) *)
+  expired : bool;
+      (** the waiter's deadline passed and the verdict is inconclusive
+          — report [deadline_exceeded] *)
+}
+
+val submit :
+  t ->
+  ?deadline:float ->
+  engines:Tta_model.Engine.id list ->
+  max_depth:int ->
+  callback:(outcome -> unit) ->
+  Tta_model.Configs.t ->
+  [ `Queued | `Coalesced | `Cache_hit | `Shed | `Draining ]
+(** Submit one verification request. [deadline] is absolute
+    ([Unix.gettimeofday] time). On [`Cache_hit] the callback has
+    already run (synchronously); on [`Queued]/[`Coalesced] it will run
+    exactly once, from a worker domain; on [`Shed]/[`Draining] it
+    never runs — answer the client directly.
+    @raise Invalid_argument on an empty engine list. *)
+
+val drain : ?grace:float -> t -> unit
+(** Graceful shutdown: refuse new submissions, run the queue down
+    (force-cancelling after [grace] seconds, if given) and join the
+    workers. Every callback has fired when [drain] returns. Idempotent
+    in effect, but must only be called once. *)
+
+type stats = {
+  submitted : int;  (** admitted (queued + coalesced + cache hits) *)
+  completed : int;  (** callbacks delivered *)
+  coalesced : int;
+  shed : int;
+  cache_hits : int;  (** admission-time cache answers *)
+  runs : int;  (** computations actually handed to the engine pool *)
+  expired : int;  (** waiters answered inconclusively past deadline *)
+}
+
+val stats : t -> stats
+
+val queue_depth : t -> int
+val inflight : t -> int
+(** Computations currently being executed by workers. *)

@@ -1,0 +1,312 @@
+(* select-loop network front end — see the interface for the design. *)
+
+type addr = Unix_socket of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ -> Error (Printf.sprintf "invalid port in %S" s))
+  | None -> Ok (Unix_socket s)
+
+let addr_to_string = function
+  | Unix_socket p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+(* One client connection. The loop domain is the only reader and the
+   only closer of [fd]; worker callbacks write under [wlock]. [closed]
+   means "no further writes" (client hung up or a write failed); the
+   fd itself is only closed once [pending] callbacks have all fired,
+   so a recycled descriptor can never receive another request's
+   response. *)
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  wlock : Mutex.t;
+  mutable closed : bool;
+  mutable fd_open : bool;
+  mutable pending : int;
+}
+
+type t = {
+  sched : Scheduler.t;
+  listen_fd : Unix.file_descr;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  finished : bool Atomic.t;  (** loop domain exited (drain included) *)
+  grace : float;
+  join_lock : Mutex.t;
+  mutable loop : unit Domain.t option;
+}
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let conn_write conn resp =
+  Mutex.lock conn.wlock;
+  (if not conn.closed then
+     let s = Protocol.response_line resp in
+     match write_all conn.fd s 0 (String.length s) with
+     | () -> ()
+     | exception Unix.Unix_error _ -> conn.closed <- true);
+  Mutex.unlock conn.wlock
+
+let conn_close conn =
+  Mutex.lock conn.wlock;
+  conn.closed <- true;
+  if conn.fd_open then begin
+    conn.fd_open <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock conn.wlock
+
+(* ------------------------------------------------------------------ *)
+(* Request handling *)
+
+let verdict_of (o : Scheduler.outcome) =
+  match o.Scheduler.result.Portfolio.verdict with
+  | Tta_model.Engine.Holds { detail } -> Protocol.Holds { detail }
+  | Tta_model.Engine.Unknown { detail } ->
+      Protocol.Unknown
+        {
+          detail;
+          reason = (if o.Scheduler.expired then Some "deadline_exceeded" else None);
+        }
+  | Tta_model.Engine.Violated { trace; _ } ->
+      Protocol.Violated
+        {
+          steps = Array.length trace;
+          trace =
+            Array.to_list
+              (Array.map
+                 (fun state ->
+                   Array.to_list
+                     (Array.map Symkit.Expr.value_to_string state))
+                 trace);
+        }
+
+let answer_of ~id (o : Scheduler.outcome) =
+  let r = o.Scheduler.result in
+  Protocol.Answer
+    {
+      id;
+      verdict = verdict_of o;
+      engine = Tta_model.Engine.id_to_string r.Portfolio.engine;
+      cache_hit = r.Portfolio.cache_hit;
+      coalesced = o.Scheduler.coalesced;
+      wall_ms = r.Portfolio.wall_s *. 1000.;
+      queue_ms = o.Scheduler.queue_ms;
+    }
+
+let handle_line t conn line =
+  let line = String.trim line in
+  if line <> "" then
+    match Protocol.decode_request_line line with
+    | Error reason ->
+        conn_write conn
+          (Protocol.Error { id = Protocol.request_id_of_line line; reason })
+    | Ok req ->
+        let deadline =
+          Option.map
+            (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+            req.Protocol.deadline_ms
+        in
+        let id = req.Protocol.id in
+        Mutex.lock conn.wlock;
+        conn.pending <- conn.pending + 1;
+        Mutex.unlock conn.wlock;
+        let callback o =
+          conn_write conn (answer_of ~id o);
+          Mutex.lock conn.wlock;
+          conn.pending <- conn.pending - 1;
+          Mutex.unlock conn.wlock
+        in
+        let admission =
+          Scheduler.submit t.sched ?deadline ~engines:req.Protocol.engines
+            ~max_depth:req.Protocol.max_depth ~callback req.Protocol.cfg
+        in
+        (match admission with
+        | `Queued | `Coalesced | `Cache_hit -> ()
+        | `Shed | `Draining ->
+            Mutex.lock conn.wlock;
+            conn.pending <- conn.pending - 1;
+            Mutex.unlock conn.wlock;
+            conn_write conn
+              (match admission with
+              | `Shed -> Protocol.Overloaded { id }
+              | _ -> Protocol.Cancelled { id; reason = "shutting down" }))
+
+(* Split the connection buffer on newlines, handing every complete
+   line to [k] and keeping the trailing partial line buffered. *)
+let drain_lines conn k =
+  let s = Buffer.contents conn.buf in
+  let n = String.length s in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from s !start '\n' in
+       k (String.sub s !start (i - !start));
+       start := i + 1
+     done
+   with Not_found -> ());
+  if !start > 0 then begin
+    Buffer.clear conn.buf;
+    if !start < n then Buffer.add_substring conn.buf s !start (n - !start)
+  end
+
+let handle_read t scratch conn =
+  match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      conn.closed <- true
+  | 0 -> conn.closed <- true
+  | n ->
+      Buffer.add_subbytes conn.buf scratch 0 n;
+      drain_lines conn (handle_line t conn)
+
+(* ------------------------------------------------------------------ *)
+(* The select loop *)
+
+let loop t =
+  let conns = ref [] in
+  let scratch = Bytes.create 65536 in
+  let running = ref true in
+  while !running do
+    (* Sweep connections that hung up and owe no more responses. *)
+    let dead, live =
+      List.partition (fun c -> c.closed && c.pending = 0) !conns
+    in
+    List.iter conn_close dead;
+    conns := live;
+    let read_fds =
+      t.pipe_r :: t.listen_fd
+      :: List.filter_map
+           (fun c -> if c.closed then None else Some c.fd)
+           live
+    in
+    match Unix.select read_fds [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.mem t.pipe_r ready then running := false
+        else begin
+          if List.mem t.listen_fd ready then begin
+            match Unix.accept t.listen_fd with
+            | exception Unix.Unix_error _ -> ()
+            | fd, _ ->
+                conns :=
+                  {
+                    fd;
+                    buf = Buffer.create 256;
+                    wlock = Mutex.create ();
+                    closed = false;
+                    fd_open = true;
+                    pending = 0;
+                  }
+                  :: !conns
+          end;
+          List.iter
+            (fun c ->
+              if (not c.closed) && List.mem c.fd ready then
+                handle_read t scratch c)
+            !conns
+        end
+  done;
+  (* Graceful drain: no new connections or requests; every accepted
+     computation is answered (the workers keep writing responses while
+     we block here), then the connections close. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Scheduler.drain ~grace:t.grace t.sched;
+  List.iter conn_close !conns;
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  try Unix.close t.pipe_w with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let bind_listen addr =
+  match addr with
+  | Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> raise (Unix.Unix_error (Unix.EINVAL, "bind", host)))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      fd
+
+let start ?workers ?queue_cap ?cache ?obs ?(grace = 5.0) addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = bind_listen addr in
+  let pipe_r, pipe_w = Unix.pipe () in
+  let sched = Scheduler.create ?workers ?queue_cap ?cache ?obs () in
+  let t =
+    {
+      sched;
+      listen_fd;
+      pipe_r;
+      pipe_w;
+      stopping = Atomic.make false;
+      finished = Atomic.make false;
+      grace;
+      join_lock = Mutex.create ();
+      loop = None;
+    }
+  in
+  t.loop <-
+    Some
+      (Domain.spawn (fun () ->
+           Fun.protect
+             ~finally:(fun () -> Atomic.set t.finished true)
+             (fun () -> loop t)));
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    try ignore (Unix.write_substring t.pipe_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+
+let wait t =
+  (* Poll rather than block straight into [Domain.join]: only the main
+     domain runs OCaml signal handlers, and only at safepoints — a
+     main domain parked inside [join] would never execute the SIGTERM
+     handler that is supposed to stop the loop. The sleep loop reaches
+     a safepoint every iteration (and immediately after a signal
+     interrupts the sleep). *)
+  while not (Atomic.get t.finished) do
+    Unix.sleepf 0.05
+  done;
+  Mutex.lock t.join_lock;
+  (match t.loop with
+  | None -> ()
+  | Some d ->
+      t.loop <- None;
+      Domain.join d);
+  Mutex.unlock t.join_lock
+
+let scheduler t = t.sched
+
+let serve ?workers ?queue_cap ?cache ?obs ?grace ?(on_ready = fun () -> ())
+    addr =
+  let t = start ?workers ?queue_cap ?cache ?obs ?grace addr in
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  on_ready ();
+  wait t

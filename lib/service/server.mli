@@ -1,0 +1,65 @@
+(** The verification daemon's network front end.
+
+    A single-threaded [Unix.select] loop (stdlib [Unix] only — no
+    external async runtime) accepts connections on a Unix-domain or
+    TCP socket and reads newline-delimited {!Protocol} requests;
+    verification runs on the {!Scheduler}'s worker domains, whose
+    completion callbacks write the response line directly to the
+    client socket under a per-connection mutex. Responses therefore
+    stream back as computations finish, not in request order.
+
+    {b Shutdown.} {!stop} (wired to SIGTERM and SIGINT by {!serve})
+    triggers a graceful drain via a self-pipe: the listener closes, no
+    further input is read (buffered but unsubmitted bytes are
+    discarded), every accepted computation is answered
+    (force-cancelled after the grace period), and the loop exits.
+    SIGPIPE is ignored for the process — a client that hangs up
+    early costs a failed write, not the daemon. *)
+
+type addr =
+  | Unix_socket of string  (** path; unlinked and rebound on start *)
+  | Tcp of string * int  (** bind address and port *)
+
+val addr_of_string : string -> (addr, string) result
+(** ["HOST:PORT"] becomes {!Tcp}; anything else is a {!Unix_socket}
+    path. *)
+
+val addr_to_string : addr -> string
+
+type t
+
+val start :
+  ?workers:int ->
+  ?queue_cap:int ->
+  ?cache:Portfolio.Cache.t ->
+  ?obs:Obs.Collector.t ->
+  ?grace:float ->
+  addr ->
+  t
+(** Bind, listen, and run the accept loop on its own domain; returns
+    once the socket is ready to connect to. [grace] (default 5 s) is
+    the drain watchdog passed to {!Scheduler.drain}. The remaining
+    options go to {!Scheduler.create}.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val stop : t -> unit
+(** Request a graceful drain (idempotent; safe from a signal handler
+    or any domain). Returns immediately — {!wait} for completion. *)
+
+val wait : t -> unit
+(** Block until the loop has exited and the scheduler has drained. *)
+
+val scheduler : t -> Scheduler.t
+
+val serve :
+  ?workers:int ->
+  ?queue_cap:int ->
+  ?cache:Portfolio.Cache.t ->
+  ?obs:Obs.Collector.t ->
+  ?grace:float ->
+  ?on_ready:(unit -> unit) ->
+  addr ->
+  unit
+(** The daemon main: {!start}, install SIGTERM/SIGINT handlers that
+    {!stop}, call [on_ready], and {!wait}. Returns (normally) after a
+    signal-triggered drain. *)

@@ -179,3 +179,58 @@ let all =
 
 let get id = List.find (fun e -> e.id = id) all
 let of_string s = Option.map get (id_of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-independent helpers (formerly hosted by [Runner]) *)
+
+(* Export the configuration's model in the SMV input language, with the
+   safety property as an INVARSPEC. *)
+let export_smv (cfg : Configs.t) path =
+  let model = Build.model cfg in
+  Smv_export.to_file
+    ~invarspec:(Props.integrated_node_frozen ~nodes:cfg.Configs.nodes)
+    model path
+
+(* Reachability of a probe condition (sanity experiments): returns the
+   witness trace if the condition is reachable. *)
+let witness ?(max_depth = 24) (cfg : Configs.t) probe =
+  let model = Build.model cfg in
+  let enc = Enc.create (Bdd.create_manager ()) model in
+  match Bmc.check ~max_depth enc ~bad:probe with
+  | Bmc.Counterexample trace -> Some (trace, model)
+  | Bmc.No_counterexample _ -> None
+
+(* A compact, human-oriented rendering of a counterexample: per step,
+   each node's protocol state and slot, plus the coupler fault
+   activity. Used by the CLIs and EXPERIMENTS.md. *)
+let describe_trace (model : Model.t) (trace : Model.state array) ~nodes =
+  let buf = Buffer.create 1024 in
+  let get s name = Model.state_get model s name in
+  let node_letter i = String.make 1 (Char.chr (Char.code 'A' + i - 1)) in
+  Array.iteri
+    (fun step s ->
+      Buffer.add_string buf (Printf.sprintf "step %2d:" (step + 1));
+      for i = 1 to nodes do
+        let state =
+          match get s (Build.node_var i "state") with
+          | Symkit.Expr.Sym st -> st
+          | v -> Symkit.Expr.value_to_string v
+        in
+        let slot =
+          match get s (Build.node_var i "slot") with
+          | Symkit.Expr.Int k -> k
+          | _ -> -1
+        in
+        Buffer.add_string buf
+          (Printf.sprintf " %s=%s/s%d" (node_letter i) state slot)
+      done;
+      (match (get s "c0_fault", get s "c1_fault") with
+      | Symkit.Expr.Sym "none", Symkit.Expr.Sym "none" -> ()
+      | f0, f1 ->
+          Buffer.add_string buf
+            (Printf.sprintf "  [faults: c0=%s c1=%s]"
+               (Symkit.Expr.value_to_string f0)
+               (Symkit.Expr.value_to_string f1)));
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf

@@ -67,3 +67,26 @@ val of_string : string -> t option
 val explicit_max_states : int
 (** Memory bound of the explicit-state engine: past it the verdict
     degrades to {!Unknown} rather than claiming exhaustion. *)
+
+(** {1 Engine-independent helpers}
+
+    Hosted here (rather than in the deprecated {!Runner}) so that every
+    caller of the engine interface has them without touching the
+    compatibility module. *)
+
+val witness :
+  ?max_depth:int -> Configs.t -> Symkit.Expr.t ->
+  (Symkit.Model.state array * Symkit.Model.t) option
+(** Shortest trace reaching a probe condition, if one exists within the
+    bound. *)
+
+val describe_trace :
+  Symkit.Model.t -> Symkit.Model.state array -> nodes:int -> string
+(** Compact human-oriented rendering: per step, each node's protocol
+    state and slot plus the coupler fault activity. *)
+
+val export_smv : Configs.t -> string -> unit
+(** Write the configuration's model to a file in the SMV input
+    language, with the safety property as an INVARSPEC — for inspection
+    in the paper's original notation or independent validation by an
+    external SMV implementation. *)

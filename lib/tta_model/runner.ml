@@ -1,11 +1,6 @@
-(** Running the paper's experiments against the formal model.
-
-    The engine implementations have moved to {!Engine}; this module
-    keeps the historical entry points alive as thin wrappers and hosts
-    the engine-independent helpers (SMV export, probe witnesses, trace
-    rendering). *)
-
-open Symkit
+(** Compatibility wrapper over {!Engine} — see the interface. Nothing
+    in the repository references this module any more except its own
+    tests-of-record; new code goes through {!Engine} directly. *)
 
 type engine = Engine.id = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
 
@@ -14,7 +9,7 @@ let engine_of_string = Engine.id_of_string
 
 type verdict = Engine.verdict =
   | Holds of { detail : string }
-  | Violated of { trace : Model.state array; model : Model.t }
+  | Violated of { trace : Symkit.Model.state array; model : Symkit.Model.t }
   | Unknown of { detail : string }
 
 type run_stats = {
@@ -37,54 +32,6 @@ let check_instrumented ?cancel ?(engine = Sat_bmc) ?max_depth (cfg : Configs.t)
       explored_states = find "explicit.states";
     } )
 
-(* Export the configuration's model in the SMV input language, with the
-   safety property as an INVARSPEC. *)
-let export_smv (cfg : Configs.t) path =
-  let model = Build.model cfg in
-  Smv_export.to_file
-    ~invarspec:(Props.integrated_node_frozen ~nodes:cfg.Configs.nodes)
-    model path
-
-(* Reachability of a probe condition (sanity experiments): returns the
-   witness trace if the condition is reachable. *)
-let witness ?(max_depth = 24) (cfg : Configs.t) probe =
-  let model = Build.model cfg in
-  let enc = Enc.create (Bdd.create_manager ()) model in
-  match Bmc.check ~max_depth enc ~bad:probe with
-  | Bmc.Counterexample trace -> Some (trace, model)
-  | Bmc.No_counterexample _ -> None
-
-(* A compact, human-oriented rendering of a counterexample: per step,
-   each node's protocol state and slot, plus the coupler fault
-   activity. Used by the CLI and EXPERIMENTS.md. *)
-let describe_trace (model : Model.t) (trace : Model.state array) ~nodes =
-  let buf = Buffer.create 1024 in
-  let get s name = Model.state_get model s name in
-  let node_letter i = String.make 1 (Char.chr (Char.code 'A' + i - 1)) in
-  Array.iteri
-    (fun step s ->
-      Buffer.add_string buf (Printf.sprintf "step %2d:" (step + 1));
-      for i = 1 to nodes do
-        let state =
-          match get s (Build.node_var i "state") with
-          | Symkit.Expr.Sym st -> st
-          | v -> Symkit.Expr.value_to_string v
-        in
-        let slot =
-          match get s (Build.node_var i "slot") with
-          | Symkit.Expr.Int k -> k
-          | _ -> -1
-        in
-        Buffer.add_string buf
-          (Printf.sprintf " %s=%s/s%d" (node_letter i) state slot)
-      done;
-      (match (get s "c0_fault", get s "c1_fault") with
-      | Symkit.Expr.Sym "none", Symkit.Expr.Sym "none" -> ()
-      | f0, f1 ->
-          Buffer.add_string buf
-            (Printf.sprintf "  [faults: c0=%s c1=%s]"
-               (Symkit.Expr.value_to_string f0)
-               (Symkit.Expr.value_to_string f1)));
-      Buffer.add_char buf '\n')
-    trace;
-  Buffer.contents buf
+let export_smv = Engine.export_smv
+let witness = Engine.witness
+let describe_trace = Engine.describe_trace

@@ -4,8 +4,13 @@
    matrix run checked verdict-for-verdict against the sequential
    runner. 2-node clusters throughout, as in test_tta_model. *)
 
-module Runner = Tta_model.Runner
+module Engine = Tta_model.Engine
 module Configs = Tta_model.Configs
+
+(* The old [Runner.check] signature the assertions were written
+   against, shimmed over the unified [Engine] interface. *)
+let local_check ?cancel ~engine ~max_depth cfg =
+  ((Engine.get engine).Engine.run ?cancel ~max_depth cfg).Engine.verdict
 
 let nodes = 2
 
@@ -115,20 +120,20 @@ let test_pool_stealing () =
 (* Cache *)
 
 let verdict_kind = function
-  | Runner.Holds _ -> "holds"
-  | Runner.Violated _ -> "violated"
-  | Runner.Unknown _ -> "unknown"
+  | Engine.Holds _ -> "holds"
+  | Engine.Violated _ -> "violated"
+  | Engine.Unknown _ -> "unknown"
 
 let test_cache_hit_miss () =
   let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in
   let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
-  let engine = Runner.Bdd_reach and max_depth = 50 in
+  let engine = Engine.Bdd_reach and max_depth = 50 in
   Alcotest.(check bool) "cold lookup misses" true
     (Portfolio.Cache.lookup c ~model ~engine ~max_depth = None);
   Portfolio.Cache.store c ~model ~engine ~max_depth
-    (Runner.Holds { detail = "proved safe: test entry" });
+    (Engine.Holds { detail = "proved safe: test entry" });
   (match Portfolio.Cache.lookup c ~model ~engine ~max_depth with
-  | Some (Runner.Holds { detail }) ->
+  | Some (Engine.Holds { detail }) ->
       Alcotest.(check string) "detail survives" "proved safe: test entry"
         detail
   | other ->
@@ -139,16 +144,16 @@ let test_cache_hit_miss () =
   Alcotest.(check int) "one entry on disk" 1 (Portfolio.Cache.entries c);
   (* Unknown verdicts are never persisted. *)
   Portfolio.Cache.store c ~model ~engine ~max_depth:99
-    (Runner.Unknown { detail = "gave up" });
+    (Engine.Unknown { detail = "gave up" });
   Alcotest.(check bool) "Unknown not stored" true
     (Portfolio.Cache.lookup c ~model ~engine ~max_depth:99 = None)
 
 let test_cache_keying () =
   let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in
   let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
-  let engine = Runner.Bdd_reach and max_depth = 50 in
+  let engine = Engine.Bdd_reach and max_depth = 50 in
   Portfolio.Cache.store c ~model ~engine ~max_depth
-    (Runner.Holds { detail = "proved" });
+    (Engine.Holds { detail = "proved" });
   (* A different model (another feature set) must miss: the key is the
      model's content hash, so any change to the compiled transition
      system invalidates the entry. *)
@@ -157,7 +162,7 @@ let test_cache_keying () =
     (Portfolio.Cache.lookup c ~model:model' ~engine ~max_depth = None);
   (* Same model, different engine or bound: also a miss. *)
   Alcotest.(check bool) "different engine misses" true
-    (Portfolio.Cache.lookup c ~model ~engine:Runner.Sat_bmc ~max_depth = None);
+    (Portfolio.Cache.lookup c ~model ~engine:Engine.Sat_bmc ~max_depth = None);
   Alcotest.(check bool) "different depth misses" true
     (Portfolio.Cache.lookup c ~model ~engine ~max_depth:51 = None);
   Alcotest.(check bool) "original still hits" true
@@ -167,9 +172,9 @@ let test_cache_corrupt_entry () =
   let dir = temp_dir () in
   let c = Portfolio.Cache.create ~dir () in
   let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
-  let engine = Runner.Bdd_reach and max_depth = 50 in
+  let engine = Engine.Bdd_reach and max_depth = 50 in
   Portfolio.Cache.store c ~model ~engine ~max_depth
-    (Runner.Holds { detail = "proved" });
+    (Engine.Holds { detail = "proved" });
   (* Truncate the single entry file in place. *)
   Array.iter
     (fun f ->
@@ -186,16 +191,16 @@ let test_cache_violated_trace_roundtrip () =
   let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in
   let cfg = Configs.full_shifting ~nodes () in
   let model = Tta_model.Build.model cfg in
-  let verdict = Runner.check ~engine:Runner.Bdd_reach ~max_depth:60 cfg in
+  let verdict = local_check ~engine:Engine.Bdd_reach ~max_depth:60 cfg in
   let trace =
     match verdict with
-    | Runner.Violated { trace; _ } -> trace
+    | Engine.Violated { trace; _ } -> trace
     | v -> Alcotest.failf "setup: expected Violated, got %s" (verdict_kind v)
   in
-  Portfolio.Cache.store c ~model ~engine:Runner.Bdd_reach ~max_depth:60
+  Portfolio.Cache.store c ~model ~engine:Engine.Bdd_reach ~max_depth:60
     verdict;
-  match Portfolio.Cache.lookup c ~model ~engine:Runner.Bdd_reach ~max_depth:60 with
-  | Some (Runner.Violated { trace = trace'; model = model' }) ->
+  match Portfolio.Cache.lookup c ~model ~engine:Engine.Bdd_reach ~max_depth:60 with
+  | Some (Engine.Violated { trace = trace'; model = model' }) ->
       Alcotest.(check int) "trace length survives" (Array.length trace)
         (Array.length trace');
       (match Symkit.Trace.validate model' trace' with
@@ -206,6 +211,65 @@ let test_cache_violated_trace_roundtrip () =
   | other ->
       Alcotest.failf "expected cached Violated, got %s"
         (match other with None -> "miss" | Some v -> verdict_kind v)
+
+(* Distinct conclusive entries: one per depth bound. *)
+let store_depths c ~model ~engine depths =
+  List.iter
+    (fun d ->
+      Portfolio.Cache.store c ~model ~engine ~max_depth:d
+        (Engine.Holds { detail = Printf.sprintf "entry %d" d });
+      (* Space the mtimes out so the LRU order is unambiguous even on
+         a coarse-grained filesystem clock. *)
+      Unix.sleepf 0.02)
+    depths
+
+let test_cache_prune_to_cap () =
+  let c = Portfolio.Cache.create ~dir:(temp_dir ()) ~max_entries:3 () in
+  Alcotest.(check bool) "cap recorded" true
+    (Portfolio.Cache.max_entries c = Some 3);
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  let engine = Engine.Bdd_reach in
+  store_depths c ~model ~engine [ 10; 11; 12; 13; 14 ];
+  Alcotest.(check int) "pruned back to the cap" 3
+    (Portfolio.Cache.entries c);
+  Alcotest.(check int) "evictions counted" 2 (Portfolio.Cache.evictions c);
+  (* Oldest-first: the survivors are the three newest stores. *)
+  Alcotest.(check bool) "oldest entries evicted" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:10 = None
+    && Portfolio.Cache.lookup c ~model ~engine ~max_depth:11 = None);
+  Alcotest.(check bool) "newest entries survive" true
+    (List.for_all
+       (fun d -> Portfolio.Cache.lookup c ~model ~engine ~max_depth:d <> None)
+       [ 12; 13; 14 ])
+
+let test_cache_lru_touch () =
+  let c = Portfolio.Cache.create ~dir:(temp_dir ()) ~max_entries:3 () in
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  let engine = Engine.Bdd_reach in
+  store_depths c ~model ~engine [ 10; 11; 12 ];
+  (* Serve the oldest entry: the hit refreshes its mtime, so the next
+     eviction victim must be depth 11, not 10. *)
+  Alcotest.(check bool) "warm hit" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:10 <> None);
+  Unix.sleepf 0.02;
+  store_depths c ~model ~engine [ 13 ];
+  Alcotest.(check int) "still at the cap" 3 (Portfolio.Cache.entries c);
+  Alcotest.(check bool) "recently served entry kept" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:10 <> None);
+  Alcotest.(check bool) "least recently used entry evicted" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:11 = None)
+
+let test_cache_unbounded_never_prunes () =
+  let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  List.iter
+    (fun d ->
+      Portfolio.Cache.store c ~model ~engine:Engine.Bdd_reach ~max_depth:d
+        (Engine.Holds { detail = "x" }))
+    [ 10; 11; 12; 13; 14 ];
+  Portfolio.Cache.prune c;
+  Alcotest.(check int) "all entries kept" 5 (Portfolio.Cache.entries c);
+  Alcotest.(check int) "no evictions" 0 (Portfolio.Cache.evictions c)
 
 (* ------------------------------------------------------------------ *)
 (* Cancellation *)
@@ -219,24 +283,24 @@ let test_cancel_stops_engines () =
   List.iter
     (fun engine ->
       let t0 = Unix.gettimeofday () in
-      let v = Runner.check ~cancel:always ~engine ~max_depth:100 cfg in
+      let v = local_check ~cancel:always ~engine ~max_depth:100 cfg in
       let dt = Unix.gettimeofday () -. t0 in
       Alcotest.(check bool)
-        (Runner.engine_to_string engine ^ " stops promptly")
+        (Engine.id_to_string engine ^ " stops promptly")
         true (dt < 2.0);
       match (engine, v) with
-      | Runner.Sat_bmc, Runner.Holds { detail } ->
+      | Engine.Sat_bmc, Engine.Holds { detail } ->
           (* BMC's cancelled claim is the vacuous depth -1 bound; the
              race demotes it, the raw runner reports it as-is. *)
           Alcotest.(check string)
             "bmc cancelled detail" "no counterexample up to depth -1" detail
-      | _, Runner.Unknown _ -> ()
+      | _, Engine.Unknown _ -> ()
       | _, v ->
           Alcotest.failf "%s: expected Unknown after cancel, got %s"
-            (Runner.engine_to_string engine)
+            (Engine.id_to_string engine)
             (verdict_kind v))
-    [ Runner.Bdd_reach; Runner.Explicit_bfs; Runner.Sat_induction;
-      Runner.Sat_bmc ]
+    [ Engine.Bdd_reach; Engine.Explicit_bfs; Engine.Sat_induction;
+      Engine.Sat_bmc ]
 
 let test_race_cancels_losers () =
   (* BDD proves the passive configuration in well under a second; the
@@ -245,18 +309,42 @@ let test_race_cancels_losers () =
   let t0 = Unix.gettimeofday () in
   let r =
     Portfolio.race
-      ~engines:[ Runner.Bdd_reach; Runner.Explicit_bfs ]
+      ~engines:[ Engine.Bdd_reach; Engine.Explicit_bfs ]
       ~max_depth:100
       (Configs.passive ~nodes ())
   in
   let dt = Unix.gettimeofday () -. t0 in
   Alcotest.(check string) "bdd wins" "bdd-reachability"
-    (Runner.engine_to_string r.Portfolio.engine);
+    (Engine.id_to_string r.Portfolio.engine);
   Alcotest.(check string) "proof verdict" "holds"
     (verdict_kind r.Portfolio.verdict);
   Alcotest.(check int) "both engines reported" 2
     (List.length r.Portfolio.runs);
   Alcotest.(check bool) "race returned promptly" true (dt < 30.0)
+
+let test_race_external_cancel () =
+  (* The serving layer's hook: with [?cancel] permanently raised, a
+     race over every engine must come back inconclusive quickly — and
+     a cancelled BMC partial bound must be demoted to Unknown exactly
+     as for an internal cancellation. *)
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Portfolio.race
+      ~cancel:(fun () -> true)
+      ~max_depth:100
+      (Configs.full_shifting ~nodes ())
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "externally cancelled race returns promptly" true
+    (dt < 10.0);
+  Alcotest.(check string) "no verdict claimed" "unknown"
+    (verdict_kind r.Portfolio.verdict);
+  List.iter
+    (fun (e, v, _) ->
+      Alcotest.(check string)
+        (Engine.id_to_string e ^ " inconclusive")
+        "unknown" (verdict_kind v))
+    r.Portfolio.runs
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic selection *)
@@ -271,35 +359,35 @@ let rec permutations = function
         l
 
 let test_select_priority_over_arrival () =
-  let holds = Runner.Holds { detail = "proved" } in
-  let unknown = Runner.Unknown { detail = "cancelled" } in
+  let holds = Engine.Holds { detail = "proved" } in
+  let unknown = Engine.Unknown { detail = "cancelled" } in
   let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
-  let violated = Runner.Violated { trace = [||]; model } in
+  let violated = Engine.Violated { trace = [||]; model } in
   (* Two conclusive results: whatever order they arrive in, the
      higher-priority engine (explicit-bfs over sat-bmc) is selected. *)
   let results =
-    [ (Runner.Sat_bmc, violated, 0.1); (Runner.Explicit_bfs, holds, 5.0);
-      (Runner.Bdd_reach, unknown, 0.0); (Runner.Sat_induction, unknown, 2.0) ]
+    [ (Engine.Sat_bmc, violated, 0.1); (Engine.Explicit_bfs, holds, 5.0);
+      (Engine.Bdd_reach, unknown, 0.0); (Engine.Sat_induction, unknown, 2.0) ]
   in
   List.iter
     (fun arrival ->
       match Portfolio.select arrival with
       | Some (e, v, _) ->
           Alcotest.(check string) "winner independent of arrival order"
-            "explicit-bfs" (Runner.engine_to_string e);
+            "explicit-bfs" (Engine.id_to_string e);
           Alcotest.(check string) "its verdict" "holds" (verdict_kind v)
       | None -> Alcotest.fail "no selection")
     (permutations results);
   (* All inconclusive: the top-priority engine is still reported. *)
   let all_unknown =
-    [ (Runner.Sat_bmc, unknown, 0.1); (Runner.Bdd_reach, unknown, 9.0) ]
+    [ (Engine.Sat_bmc, unknown, 0.1); (Engine.Bdd_reach, unknown, 9.0) ]
   in
   List.iter
     (fun arrival ->
       match Portfolio.select arrival with
       | Some (e, _, _) ->
           Alcotest.(check string) "inconclusive fallback" "bdd-reachability"
-            (Runner.engine_to_string e)
+            (Engine.id_to_string e)
       | None -> Alcotest.fail "no selection")
     (permutations all_unknown);
   Alcotest.(check bool) "empty input" true (Portfolio.select [] = None)
@@ -313,10 +401,10 @@ let test_race_reproducible () =
   in
   let r1 = race () and r2 = race () in
   Alcotest.(check string) "same winner"
-    (Runner.engine_to_string r1.Portfolio.engine)
-    (Runner.engine_to_string r2.Portfolio.engine);
+    (Engine.id_to_string r1.Portfolio.engine)
+    (Engine.id_to_string r2.Portfolio.engine);
   match (r1.Portfolio.verdict, r2.Portfolio.verdict) with
-  | Runner.Violated { trace = t1; _ }, Runner.Violated { trace = t2; _ } ->
+  | Engine.Violated { trace = t1; _ }, Engine.Violated { trace = t2; _ } ->
       Alcotest.(check int) "same counterexample length" (Array.length t1)
         (Array.length t2);
       Alcotest.(check bool) "counterexample is non-empty" true
@@ -342,7 +430,7 @@ let test_matrix_matches_sequential () =
   let jobs =
     List.map
       (fun (label, cfg) ->
-        Portfolio.job ~label ~engine:Runner.Bdd_reach ~max_depth:depth cfg)
+        Portfolio.job ~label ~engine:Engine.Bdd_reach ~max_depth:depth cfg)
       feature_sets
   in
   let run () =
@@ -353,13 +441,13 @@ let test_matrix_matches_sequential () =
   let check_results results =
     List.iter2
       (fun (label, cfg) (_, (r : Portfolio.result)) ->
-        let seq = Runner.check ~engine:Runner.Bdd_reach ~max_depth:depth cfg in
+        let seq = local_check ~engine:Engine.Bdd_reach ~max_depth:depth cfg in
         Alcotest.(check string)
           (label ^ ": portfolio verdict = sequential verdict")
           (verdict_kind seq)
           (verdict_kind r.Portfolio.verdict);
         match (seq, r.Portfolio.verdict) with
-        | Runner.Violated { trace = t1; _ }, Runner.Violated { trace = t2; _ }
+        | Engine.Violated { trace = t1; _ }, Engine.Violated { trace = t2; _ }
           ->
             Alcotest.(check int)
               (label ^ ": same trace length")
@@ -403,7 +491,7 @@ let test_telemetry_json_shape () =
   let cfg = Configs.passive ~nodes () in
   ignore
     (Portfolio.run_matrix ~domains:1 ~telemetry
-       [ Portfolio.job ~label:"shape" ~engine:Runner.Bdd_reach ~max_depth:60 cfg ]);
+       [ Portfolio.job ~label:"shape" ~engine:Engine.Bdd_reach ~max_depth:60 cfg ]);
   let json = Portfolio.Telemetry.to_json telemetry in
   let reparsed =
     Portfolio.Json.of_string (Portfolio.Json.to_string ~pretty:true json)
@@ -454,6 +542,10 @@ let () =
           Alcotest.test_case "corrupt entry" `Quick test_cache_corrupt_entry;
           Alcotest.test_case "violated trace roundtrip" `Quick
             test_cache_violated_trace_roundtrip;
+          Alcotest.test_case "prune to cap" `Quick test_cache_prune_to_cap;
+          Alcotest.test_case "LRU touch" `Quick test_cache_lru_touch;
+          Alcotest.test_case "unbounded never prunes" `Quick
+            test_cache_unbounded_never_prunes;
         ] );
       ( "cancellation",
         [
@@ -461,6 +553,8 @@ let () =
             test_cancel_stops_engines;
           Alcotest.test_case "race cancels losers" `Quick
             test_race_cancels_losers;
+          Alcotest.test_case "external cancel hook" `Quick
+            test_race_external_cancel;
         ] );
       ( "determinism",
         [

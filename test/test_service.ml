@@ -1,0 +1,480 @@
+(* Tests for the verification daemon (lib/service): protocol codec
+   round-trips and validation, scheduler coalescing / deadlines /
+   admission control / drain, and the server + load generator end to
+   end over a real Unix-domain socket. 2-node clusters throughout. *)
+
+module Engine = Tta_model.Engine
+module Configs = Tta_model.Configs
+module Protocol = Service.Protocol
+module Scheduler = Service.Scheduler
+
+let nodes = 2
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "service_test_%d_%d" (Unix.getpid ())
+           (incr counter; !counter))
+    in
+    Unix.mkdir d 0o755;
+    d
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_request_roundtrip () =
+  let j =
+    Protocol.request ~id:"r1" ~config:"full-shifting" ~nodes ~engine:"bdd"
+      ~depth:30 ~deadline_ms:1500 ~forbid_cold_start_duplication:true ()
+  in
+  (* Through the wire: serialize, reparse, validate. *)
+  match Protocol.decode_request_line (Json.to_string j) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok req ->
+      Alcotest.(check string) "id" "r1" req.Protocol.id;
+      Alcotest.(check int) "nodes" nodes req.Protocol.cfg.Configs.nodes;
+      Alcotest.(check bool) "feature set" true
+        (req.Protocol.cfg.Configs.feature_set
+        = Guardian.Feature_set.Full_shifting);
+      Alcotest.(check bool) "forbid flag" true
+        req.Protocol.cfg.Configs.forbid_cold_start_duplication;
+      Alcotest.(check bool) "single engine" true
+        (req.Protocol.engines = [ Engine.Bdd_reach ]);
+      Alcotest.(check int) "depth" 30 req.Protocol.max_depth;
+      Alcotest.(check bool) "deadline" true
+        (req.Protocol.deadline_ms = Some 1500)
+
+let test_request_defaults () =
+  let j = Protocol.request ~id:"r2" ~config:"passive" () in
+  match Protocol.decode_request_line (Json.to_string j) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok req ->
+      Alcotest.(check int) "default depth" 24 req.Protocol.max_depth;
+      Alcotest.(check bool) "no deadline" true
+        (req.Protocol.deadline_ms = None);
+      Alcotest.(check int) "default engine list races the portfolio" 4
+        (List.length req.Protocol.engines)
+
+let test_request_golden () =
+  (* The wire form itself is part of the contract: a field rename
+     would break every deployed client. *)
+  Alcotest.(check string) "request wire format"
+    {|{"id":"r1","config":"passive","nodes":2,"engine":"race","depth":24}|}
+    (Json.to_string
+       (Protocol.request ~id:"r1" ~config:"passive" ~nodes:2 ~engine:"race"
+          ~depth:24 ()))
+
+let test_response_golden () =
+  Alcotest.(check string) "response wire format"
+    {|{"id":"r1","status":"ok","verdict":"unknown","detail":"cancelled","reason":"deadline_exceeded","engine":"sat-bmc","cache_hit":false,"coalesced":true,"wall_ms":12.5,"queue_ms":3.25}|}
+    (Json.to_string
+       (Protocol.encode_response
+          (Protocol.Answer
+             {
+               id = "r1";
+               verdict =
+                 Protocol.Unknown
+                   { detail = "cancelled"; reason = Some "deadline_exceeded" };
+               engine = "sat-bmc";
+               cache_hit = false;
+               coalesced = true;
+               wall_ms = 12.5;
+               queue_ms = 3.25;
+             })))
+
+let test_response_roundtrip () =
+  let responses =
+    [
+      Protocol.Answer
+        {
+          id = "a";
+          verdict = Protocol.Holds { detail = "proved" };
+          engine = "bdd-reachability";
+          cache_hit = true;
+          coalesced = false;
+          wall_ms = 0.5;
+          queue_ms = 0.;
+        };
+      Protocol.Answer
+        {
+          id = "b";
+          verdict =
+            Protocol.Violated
+              { steps = 2; trace = [ [ "x"; "y" ]; [ "z"; "w" ] ] };
+          engine = "explicit-bfs";
+          cache_hit = false;
+          coalesced = false;
+          wall_ms = 100.;
+          queue_ms = 7.5;
+        };
+      Protocol.Overloaded { id = "c" };
+      Protocol.Cancelled { id = "d"; reason = "shutting down" };
+      Protocol.Error { id = Some "e"; reason = "unknown engine \"vdd\"" };
+      Protocol.Error { id = None; reason = "invalid JSON: offset 0" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_response_line (Protocol.response_line r) with
+      | Ok r' -> Alcotest.(check bool) "response roundtrips" true (r = r')
+      | Error e -> Alcotest.failf "reparse failed: %s" e)
+    responses
+
+let test_request_validation () =
+  let expect_error what line =
+    match Protocol.decode_request_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected a decode error" what
+  in
+  expect_error "not JSON" "][";
+  expect_error "not an object" "[1,2]";
+  expect_error "missing id" {|{"config":"passive"}|};
+  expect_error "missing config" {|{"id":"r"}|};
+  expect_error "unknown config" {|{"id":"r","config":"imaginary"}|};
+  expect_error "unknown engine" {|{"id":"r","config":"passive","engine":"vdd"}|};
+  expect_error "bad nodes" {|{"id":"r","config":"passive","nodes":1}|};
+  expect_error "bad depth" {|{"id":"r","config":"passive","depth":0}|};
+  expect_error "bad deadline"
+    {|{"id":"r","config":"passive","deadline_ms":-5}|};
+  expect_error "non-int depth" {|{"id":"r","config":"passive","depth":"x"}|};
+  (* The id is still recoverable from an invalid request, so the
+     error response can name it. *)
+  Alcotest.(check bool) "id recovered from invalid request" true
+    (Protocol.request_id_of_line {|{"id":"r9","config":"imaginary"}|}
+    = Some "r9")
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let submit_collect sched ?deadline ~engines ~max_depth cfg results lock =
+  Scheduler.submit sched ?deadline ~engines ~max_depth
+    ~callback:(fun o ->
+      Mutex.lock lock;
+      results := o :: !results;
+      Mutex.unlock lock)
+    cfg
+
+let test_scheduler_coalesces_identical () =
+  (* One worker, four identical requests: the first admission queues a
+     computation, the rest must coalesce onto it — exactly one engine
+     run for all four answers. The computation stays coalescable for
+     its whole run, so this holds regardless of when the worker picks
+     it up. *)
+  let sched = Scheduler.create ~workers:1 () in
+  let cfg = Configs.full_shifting ~nodes () in
+  let results = ref [] and lock = Mutex.create () in
+  let admissions =
+    List.init 4 (fun _ ->
+        submit_collect sched ~engines:[ Engine.Explicit_bfs ] ~max_depth:60
+          cfg results lock)
+  in
+  Alcotest.(check bool) "first admission queues" true
+    (List.hd admissions = `Queued);
+  Alcotest.(check int) "three coalesced admissions" 3
+    (List.length (List.filter (fun a -> a = `Coalesced) admissions));
+  Scheduler.drain sched;
+  let rs = !results in
+  Alcotest.(check int) "every waiter answered" 4 (List.length rs);
+  let st = Scheduler.stats sched in
+  Alcotest.(check int) "exactly one engine run" 1 st.Scheduler.runs;
+  Alcotest.(check int) "stats: coalesced" 3 st.Scheduler.coalesced;
+  Alcotest.(check int) "stats: completed" 4 st.Scheduler.completed;
+  Alcotest.(check int) "one flagged as the originating request" 1
+    (List.length
+       (List.filter
+          (fun (o : Scheduler.outcome) -> not o.Scheduler.coalesced)
+          rs));
+  (* All four see the same verdict. *)
+  let kinds =
+    List.map
+      (fun (o : Scheduler.outcome) ->
+        match o.Scheduler.result.Portfolio.verdict with
+        | Engine.Holds _ -> "holds"
+        | Engine.Violated _ -> "violated"
+        | Engine.Unknown _ -> "unknown")
+      rs
+  in
+  Alcotest.(check int) "one distinct verdict" 1
+    (List.length (List.sort_uniq compare kinds))
+
+let test_scheduler_cache_hit () =
+  let cache = Portfolio.Cache.create ~dir:(temp_dir ()) () in
+  let sched = Scheduler.create ~workers:1 ~cache () in
+  let cfg = Configs.passive ~nodes () in
+  let results = ref [] and lock = Mutex.create () in
+  let a1 =
+    submit_collect sched ~engines:[ Engine.Bdd_reach ] ~max_depth:50 cfg
+      results lock
+  in
+  Alcotest.(check bool) "cold submit queues" true (a1 = `Queued);
+  (* Wait for completion, then resubmit: the verdict must come straight
+     from the cache, without a second run. *)
+  let rec wait_for n =
+    Mutex.lock lock;
+    let got = List.length !results in
+    Mutex.unlock lock;
+    if got < n then begin
+      Unix.sleepf 0.02;
+      wait_for n
+    end
+  in
+  wait_for 1;
+  let a2 =
+    submit_collect sched ~engines:[ Engine.Bdd_reach ] ~max_depth:50 cfg
+      results lock
+  in
+  Alcotest.(check bool) "warm submit answers from the cache" true
+    (a2 = `Cache_hit);
+  Scheduler.drain sched;
+  let st = Scheduler.stats sched in
+  Alcotest.(check int) "one run" 1 st.Scheduler.runs;
+  Alcotest.(check int) "one admission-time cache hit" 1
+    st.Scheduler.cache_hits;
+  let hit =
+    List.find (fun o -> o.Scheduler.result.Portfolio.cache_hit) !results
+  in
+  Alcotest.(check bool) "cached outcome is conclusive" true
+    (Portfolio.conclusive hit.Scheduler.result.Portfolio.verdict)
+
+let test_scheduler_expired_deadline_skips_run () =
+  let sched = Scheduler.create ~workers:1 () in
+  let cfg = Configs.full_shifting ~nodes () in
+  let results = ref [] and lock = Mutex.create () in
+  let a =
+    submit_collect sched
+      ~deadline:(Unix.gettimeofday () -. 1.0)
+      ~engines:[ Engine.Explicit_bfs ] ~max_depth:60 cfg results lock
+  in
+  Alcotest.(check bool) "expired submission still admitted" true
+    (a = `Queued);
+  Scheduler.drain sched;
+  (match !results with
+  | [ o ] ->
+      Alcotest.(check bool) "flagged expired" true o.Scheduler.expired;
+      (match o.Scheduler.result.Portfolio.verdict with
+      | Engine.Unknown _ -> ()
+      | _ -> Alcotest.fail "expected an inconclusive verdict")
+  | rs -> Alcotest.failf "expected one outcome, got %d" (List.length rs));
+  let st = Scheduler.stats sched in
+  Alcotest.(check int) "no engine ran" 0 st.Scheduler.runs;
+  Alcotest.(check int) "counted as expired" 1 st.Scheduler.expired
+
+let test_scheduler_sheds_over_cap () =
+  (* One worker, queue capped at 1: occupy the worker with one slow
+     computation, fill the single queue slot with a second, and watch
+     a third (distinct — coalescing never sheds) bounce. *)
+  let sched = Scheduler.create ~workers:1 ~queue_cap:1 () in
+  let results = ref [] and lock = Mutex.create () in
+  let submit cfg =
+    submit_collect sched ~engines:[ Engine.Explicit_bfs ] ~max_depth:60 cfg
+      results lock
+  in
+  let a1 = submit (Configs.full_shifting ~nodes ()) in
+  (* Give the worker a moment to take the first computation off the
+     queue, freeing the slot for the second. *)
+  let rec wait_pickup n =
+    if n > 0 && Scheduler.inflight sched = 0 then begin
+      Unix.sleepf 0.01;
+      wait_pickup (n - 1)
+    end
+  in
+  wait_pickup 200;
+  let a2 = submit (Configs.small_shifting ~nodes ()) in
+  let a3 = submit (Configs.time_windows ~nodes ()) in
+  Alcotest.(check bool) "first admitted" true (a1 = `Queued);
+  Alcotest.(check bool) "second queued" true (a2 = `Queued);
+  Alcotest.(check bool) "third shed" true (a3 = `Shed);
+  Scheduler.drain sched;
+  let st = Scheduler.stats sched in
+  Alcotest.(check int) "shed counted" 1 st.Scheduler.shed;
+  Alcotest.(check int) "shed request never answered" 2
+    (List.length !results)
+
+let test_scheduler_drain_answers_everything () =
+  let dir = temp_dir () in
+  let cache = Portfolio.Cache.create ~dir () in
+  let sched = Scheduler.create ~workers:1 ~cache () in
+  let results = ref [] and lock = Mutex.create () in
+  let configs =
+    [
+      Configs.passive ~nodes ();
+      Configs.time_windows ~nodes ();
+      Configs.small_shifting ~nodes ();
+      Configs.full_shifting ~nodes ();
+    ]
+  in
+  List.iter
+    (fun cfg ->
+      ignore
+        (submit_collect sched ~engines:[ Engine.Bdd_reach ] ~max_depth:50 cfg
+           results lock))
+    configs;
+  (* A short grace: whatever is still running when it elapses is
+     force-cancelled, but every accepted request gets an answer. *)
+  Scheduler.drain ~grace:0.5 sched;
+  Alcotest.(check int) "every accepted request answered" 4
+    (List.length !results);
+  Alcotest.(check bool) "submissions after drain are refused" true
+    (submit_collect sched ~engines:[ Engine.Bdd_reach ] ~max_depth:50
+       (Configs.passive ~nodes ()) results lock
+    = `Draining);
+  (* The cache directory holds only complete, renamed-into-place
+     entries — no half-written temporaries survive the drain. *)
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no temp file %s left behind" f)
+        false
+        (Filename.check_suffix f ".tmp"))
+    (Sys.readdir dir)
+
+(* ------------------------------------------------------------------ *)
+(* Server + load generator, end to end *)
+
+let test_server_end_to_end () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "tta.sock" in
+  let cache = Portfolio.Cache.create ~dir:(Filename.concat dir "cache") () in
+  let server =
+    Service.Server.start ~workers:2 ~cache ~grace:2.0
+      (Service.Server.Unix_socket sock)
+  in
+  let report =
+    Service.Loadgen.run ~seed:7 ~nodes ~depth:20
+      ~mode:(Service.Loadgen.Closed_loop 3) ~requests:40
+      (Service.Server.Unix_socket sock)
+  in
+  Service.Server.stop server;
+  Service.Server.wait server;
+  Alcotest.(check int) "all requests answered ok" 40
+    report.Service.Loadgen.ok;
+  Alcotest.(check int) "zero protocol errors" 0
+    report.Service.Loadgen.protocol_errors;
+  Alcotest.(check bool) "dedup or cache hits occurred" true
+    (report.Service.Loadgen.cache_hits + report.Service.Loadgen.coalesced > 0);
+  Alcotest.(check bool) "verdicts split between holds and violated" true
+    (report.Service.Loadgen.holds > 0
+    && report.Service.Loadgen.violated > 0);
+  (* The stream is seeded, so a rerun against a warm daemon would be
+     deterministic; here we just need the percentile plumbing to have
+     seen real latencies. *)
+  Alcotest.(check bool) "latency percentiles populated" true
+    (report.Service.Loadgen.p50_ms > 0.
+    && report.Service.Loadgen.p99_ms >= report.Service.Loadgen.p50_ms)
+
+let test_server_rejects_malformed_lines () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "tta.sock" in
+  let server =
+    Service.Server.start ~workers:1 (Service.Server.Unix_socket sock)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let send s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+  send "this is not json\n";
+  send {|{"id":"q1","config":"imaginary"}|};
+  send "\n";
+  send
+    (Json.to_string
+       (Protocol.request ~id:"q2" ~config:"passive" ~nodes ~engine:"bdd"
+          ~depth:20 ())
+    ^ "\n");
+  let ic = Unix.in_channel_of_descr fd in
+  let read_resp () =
+    match Protocol.decode_response_line (input_line ic) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "undecodable response: %s" e
+  in
+  (match read_resp () with
+  | Protocol.Error { id = None; _ } -> ()
+  | _ -> Alcotest.fail "expected an anonymous error response");
+  (match read_resp () with
+  | Protocol.Error { id = Some "q1"; _ } -> ()
+  | _ -> Alcotest.fail "expected an error response naming q1");
+  (match read_resp () with
+  | Protocol.Answer { id = "q2"; _ } -> ()
+  | _ -> Alcotest.fail "expected an answer for q2");
+  Unix.close fd;
+  Service.Server.stop server;
+  Service.Server.wait server
+
+let test_server_sigterm_drains () =
+  (* The real signal path: serve in a background domain, deliver an
+     actual SIGTERM to the process, and require serve to return after
+     answering the in-flight request. *)
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "tta.sock" in
+  let ready = Atomic.make false in
+  let served =
+    Domain.spawn (fun () ->
+        Service.Server.serve ~workers:1 ~grace:2.0
+          ~on_ready:(fun () -> Atomic.set ready true)
+          (Service.Server.Unix_socket sock))
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.01
+  done;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let line =
+    Json.to_string
+      (Protocol.request ~id:"s1" ~config:"full-shifting" ~nodes
+         ~engine:"explicit" ~depth:60 ())
+    ^ "\n"
+  in
+  ignore (Unix.write_substring fd line 0 (String.length line));
+  Unix.sleepf 0.2;
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (* serve must drain and return; the accepted request must have been
+     answered (conclusively or as a shutdown cancellation) before the
+     connection died. *)
+  Domain.join served;
+  let ic = Unix.in_channel_of_descr fd in
+  (match Protocol.decode_response_line (input_line ic) with
+  | Ok (Protocol.Answer { id = "s1"; _ }) -> ()
+  | Ok r ->
+      Alcotest.failf "unexpected response %s"
+        (Json.to_string (Protocol.encode_response r))
+  | Error e -> Alcotest.failf "undecodable response: %s" e);
+  Unix.close fd
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "request defaults" `Quick test_request_defaults;
+          Alcotest.test_case "request golden" `Quick test_request_golden;
+          Alcotest.test_case "response golden" `Quick test_response_golden;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "request validation" `Quick
+            test_request_validation;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "identical requests coalesce" `Quick
+            test_scheduler_coalesces_identical;
+          Alcotest.test_case "warm cache answers at admission" `Quick
+            test_scheduler_cache_hit;
+          Alcotest.test_case "expired deadline skips the run" `Quick
+            test_scheduler_expired_deadline_skips_run;
+          Alcotest.test_case "admission control sheds over cap" `Quick
+            test_scheduler_sheds_over_cap;
+          Alcotest.test_case "drain answers everything" `Quick
+            test_scheduler_drain_answers_everything;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end with loadgen" `Quick
+            test_server_end_to_end;
+          Alcotest.test_case "malformed lines rejected" `Quick
+            test_server_rejects_malformed_lines;
+          Alcotest.test_case "SIGTERM drains gracefully" `Quick
+            test_server_sigterm_drains;
+        ] );
+    ]

@@ -8,6 +8,12 @@ open Symkit
 
 let nodes = 2
 
+(* The old [Runner.check] signature the assertions were written
+   against, shimmed over the unified [Engine] interface. *)
+let tta_check ?cancel ~engine ~max_depth cfg =
+  ((Tta_model.Engine.get engine).Tta_model.Engine.run ?cancel ~max_depth cfg)
+    .Tta_model.Engine.verdict
+
 let enc_of cfg = Enc.create (Bdd.create_manager ()) (Tta_model.Build.model cfg)
 
 (* ------------------------------------------------------------------ *)
@@ -80,13 +86,13 @@ let bad = Tta_model.Props.integrated_node_frozen ~nodes
 let test_safe_configurations_proved () =
   List.iter
     (fun cfg ->
-      match Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach ~max_depth:60 cfg with
-      | Tta_model.Runner.Holds _ -> ()
-      | Tta_model.Runner.Violated { trace; model } ->
+      match tta_check ~engine:Tta_model.Engine.Bdd_reach ~max_depth:60 cfg with
+      | Tta_model.Engine.Holds _ -> ()
+      | Tta_model.Engine.Violated { trace; model } ->
           Alcotest.failf "%s: spurious violation:\n%s"
             (Tta_model.Configs.name cfg)
             (Trace.to_string model trace)
-      | Tta_model.Runner.Unknown { detail } ->
+      | Tta_model.Engine.Unknown { detail } ->
           Alcotest.failf "%s: %s" (Tta_model.Configs.name cfg) detail)
     [
       Tta_model.Configs.passive ~nodes ();
@@ -95,14 +101,14 @@ let test_safe_configurations_proved () =
     ]
 
 let get_violation ~engine cfg =
-  match Tta_model.Runner.check ~engine ~max_depth:16 cfg with
-  | Tta_model.Runner.Violated { trace; model } -> (trace, model)
+  match tta_check ~engine ~max_depth:16 cfg with
+  | Tta_model.Engine.Violated { trace; model } -> (trace, model)
   | _ -> Alcotest.fail "expected a violation"
 
 let test_full_shifting_violated_and_traces_agree () =
   let cfg = Tta_model.Configs.full_shifting ~nodes () in
-  let bdd_trace, model = get_violation ~engine:Tta_model.Runner.Bdd_reach cfg in
-  let bmc_trace, _ = get_violation ~engine:Tta_model.Runner.Sat_bmc cfg in
+  let bdd_trace, model = get_violation ~engine:Tta_model.Engine.Bdd_reach cfg in
+  let bmc_trace, _ = get_violation ~engine:Tta_model.Engine.Sat_bmc cfg in
   (* Both engines find minimal counterexamples of the same length, and
      both replay against the model. *)
   Alcotest.(check int) "engines agree on minimal length"
@@ -123,7 +129,7 @@ let count_steps_with model trace pred =
 
 let test_counterexample_semantics () =
   let cfg = Tta_model.Configs.full_shifting ~nodes () in
-  let trace, model = get_violation ~engine:Tta_model.Runner.Bdd_reach cfg in
+  let trace, model = get_violation ~engine:Tta_model.Engine.Bdd_reach cfg in
   let oos = Tta_model.Props.replay_active in
   let replays = count_steps_with model trace oos in
   Alcotest.(check int) "exactly one out-of-slot step (budget = 1)" 1 replays;
@@ -141,8 +147,8 @@ let test_forbid_cold_start_duplication () =
   let cfg2 =
     Tta_model.Configs.full_shifting ~nodes:2 ~forbid_cold_start_duplication:true ()
   in
-  (match Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach ~max_depth:60 cfg2 with
-  | Tta_model.Runner.Holds _ -> ()
+  (match tta_check ~engine:Tta_model.Engine.Bdd_reach ~max_depth:60 cfg2 with
+  | Tta_model.Engine.Holds _ -> ()
   | _ -> Alcotest.fail "2 nodes without cold-start duplication should be safe");
   (* ...but from three nodes on, the paper's second counterexample (a
      duplicated C-state frame) appears. *)
@@ -150,11 +156,11 @@ let test_forbid_cold_start_duplication () =
     Tta_model.Configs.full_shifting ~nodes:3 ~forbid_cold_start_duplication:true ()
   in
   let get_violation ~engine cfg =
-    match Tta_model.Runner.check ~engine ~max_depth:24 cfg with
-    | Tta_model.Runner.Violated { trace; model } -> (trace, model)
+    match tta_check ~engine ~max_depth:24 cfg with
+    | Tta_model.Engine.Violated { trace; model } -> (trace, model)
     | _ -> Alcotest.fail "expected a violation"
   in
-  let trace, model = get_violation ~engine:Tta_model.Runner.Bdd_reach cfg in
+  let trace, model = get_violation ~engine:Tta_model.Engine.Bdd_reach cfg in
   (* The C-state duplication variant is still a violation, but no step
      replays a buffered cold-start frame. *)
   let cs_replay k =
@@ -173,12 +179,12 @@ let test_unlimited_budget_also_violated () =
   let cfg =
     Tta_model.Configs.make ~nodes Guardian.Feature_set.Full_shifting
   in
-  match Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach ~max_depth:16 cfg with
-  | Tta_model.Runner.Violated { trace; _ } ->
+  match tta_check ~engine:Tta_model.Engine.Bdd_reach ~max_depth:16 cfg with
+  | Tta_model.Engine.Violated { trace; _ } ->
       (* Without the budget constraint the counterexample can only get
          shorter or stay equal. *)
       let budget_trace, _ =
-        get_violation ~engine:Tta_model.Runner.Bdd_reach
+        get_violation ~engine:Tta_model.Engine.Bdd_reach
           (Tta_model.Configs.full_shifting ~nodes ())
       in
       Alcotest.(check bool) "not longer than the budgeted trace" true
@@ -238,7 +244,7 @@ let test_smv_export_of_tta () =
 let test_integration_reachable () =
   let cfg = Tta_model.Configs.passive ~nodes () in
   match
-    Tta_model.Runner.witness ~max_depth:12 cfg
+    Tta_model.Engine.witness ~max_depth:12 cfg
       (Tta_model.Props.some_node_integrated ~nodes)
   with
   | Some (trace, model) -> (
@@ -250,7 +256,7 @@ let test_integration_reachable () =
 let test_full_activity_reachable () =
   let cfg = Tta_model.Configs.passive ~nodes () in
   match
-    Tta_model.Runner.witness ~max_depth:14 cfg
+    Tta_model.Engine.witness ~max_depth:14 cfg
       (Tta_model.Props.all_nodes_active ~nodes)
   with
   | Some (trace, _) ->
@@ -361,13 +367,13 @@ let test_protocol_ablations_preserve_safety () =
         Tta_model.Configs.make ~nodes
           ~variant Guardian.Feature_set.Passive
       in
-      match Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach ~max_depth:80 cfg with
-      | Tta_model.Runner.Holds _ -> ()
-      | Tta_model.Runner.Violated { trace; model } ->
+      match tta_check ~engine:Tta_model.Engine.Bdd_reach ~max_depth:80 cfg with
+      | Tta_model.Engine.Holds _ -> ()
+      | Tta_model.Engine.Violated { trace; model } ->
           Alcotest.failf "%s: unexpectedly violated:\n%s"
             (Tta_model.Configs.name cfg)
             (Trace.to_string model trace)
-      | Tta_model.Runner.Unknown { detail } ->
+      | Tta_model.Engine.Unknown { detail } ->
           Alcotest.failf "%s: %s" (Tta_model.Configs.name cfg) detail)
     [
       Tta_model.Configs.No_big_bang;
@@ -381,8 +387,8 @@ let test_no_big_bang_shortens_attack () =
       Tta_model.Configs.make ~nodes ~oos_budget:1 ~variant
         Guardian.Feature_set.Full_shifting
     in
-    match Tta_model.Runner.check ~engine:Tta_model.Runner.Bdd_reach ~max_depth:20 cfg with
-    | Tta_model.Runner.Violated { trace; _ } -> Array.length trace
+    match tta_check ~engine:Tta_model.Engine.Bdd_reach ~max_depth:20 cfg with
+    | Tta_model.Engine.Violated { trace; _ } -> Array.length trace
     | _ -> Alcotest.fail "expected a violation"
   in
   let standard = trace_len Tta_model.Configs.Standard in
@@ -426,7 +432,7 @@ let test_ctl_recoverability () =
 let test_cold_start_reachable () =
   let cfg = Tta_model.Configs.passive ~nodes () in
   match
-    Tta_model.Runner.witness ~max_depth:10 cfg
+    Tta_model.Engine.witness ~max_depth:10 cfg
       (Tta_model.Props.node_in_state ~node:1 "cold_start")
   with
   | Some _ -> ()
