@@ -12,7 +12,7 @@
    (N connections, one outstanding request each). *)
 
 let main socket requests rate concurrency seed nodes depth deadline_ms
-    configs_s engines_s json_path =
+    configs_s engines_s retry_budget json_path =
   let addr =
     match Service.Server.addr_of_string socket with
     | Ok a -> a
@@ -36,8 +36,8 @@ let main socket requests rate concurrency seed nodes depth deadline_ms
   in
   let report =
     Service.Loadgen.run ~seed ~nodes ~depth ?deadline_ms
-      ?configs:(split configs_s) ?engines:(split engines_s) ~mode ~requests
-      addr
+      ?configs:(split configs_s) ?engines:(split engines_s) ~retry_budget
+      ~mode ~requests addr
   in
   Format.printf "%a" Service.Loadgen.pp_report report;
   (match json_path with
@@ -96,6 +96,14 @@ let () =
             "Comma-separated feature sets to sample from (default: all \
              four).")
   in
+  let retry_budget =
+    Arg.(
+      value & opt int 2
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:
+            "Resend a request up to N times after a dropped connection or \
+             an engine_failed response (0 disables retries).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "tta_loadgen"
@@ -106,6 +114,6 @@ let () =
         $ Cli.depth ~default:24 ()
         $ deadline_ms $ configs
         $ Cli.engines ~default:"bdd" ()
-        $ Cli.json ())
+        $ retry_budget $ Cli.json ())
   in
   exit (Cmd.eval cmd)

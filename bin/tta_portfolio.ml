@@ -26,7 +26,8 @@ let pp_verdict ~nodes verdict =
       | Ok () -> Printf.printf "(trace replays cleanly against the model)\n"
       | Error e -> Printf.printf "WARNING: trace validation failed: %s\n" e)
 
-let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs =
+let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs
+    ~faults =
   let cfg =
     (* The named constructors, not [Configs.make], so the raced
        instance is exactly the Section 5 one (full-shifting carries the
@@ -46,9 +47,15 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs =
     (Tta_model.Configs.name cfg)
     nodes depth;
   let r =
-    Portfolio.race ?cache ~telemetry ?obs:(Cli.obs_collector obs) ~engines
-      ~max_depth:depth cfg
+    Portfolio.race ?cache ~telemetry ?obs:(Cli.obs_collector obs) ~faults
+      ~engines ~max_depth:depth cfg
   in
+  List.iter
+    (fun (e, msg) ->
+      Printf.printf "  %-16s FAILED     %s\n"
+        (Tta_model.Engine.id_to_string e)
+        msg)
+    r.Portfolio.failures;
   List.iter
     (fun (e, v, wall) ->
       Printf.printf "  %-16s %-9s %.2fs%s\n"
@@ -71,7 +78,7 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs =
   | _ -> 0
 
 let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
-    ~obs =
+    ~obs ~faults =
   let jobs =
     Portfolio.section5_jobs ~nodes ?safe_depth ?unsafe_depth ()
   in
@@ -84,7 +91,7 @@ let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
   let t0 = Unix.gettimeofday () in
   let results =
     Portfolio.run_matrix ~domains ?cache ~telemetry
-      ?obs:(Cli.obs_collector obs) jobs
+      ?obs:(Cli.obs_collector obs) ~faults jobs
   in
   let dt = Unix.gettimeofday () -. t0 in
   let failures = ref 0 in
@@ -108,26 +115,31 @@ let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
   !failures
 
 let main config_name race nodes depth safe_depth unsafe_depth domains
-    engines_s cache_dir no_cache cache_max json_path obs =
+    engines_s cache_dir no_cache cache_max json_path chaos obs =
   let engines = Cli.engine_ids_of_names engines_s in
+  let faults = Cli.faults_of_chaos chaos in
   let cache =
     if no_cache then None
-    else Some (Portfolio.Cache.create ~dir:cache_dir ?max_entries:cache_max ())
+    else
+      Some
+        (Portfolio.Cache.create ~dir:cache_dir ?max_entries:cache_max ~faults
+           ())
   in
   let telemetry = Portfolio.Telemetry.create () in
   let failures =
     if race || config_name <> "" then
       let config_name = if config_name = "" then "full-shifting" else config_name in
       run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs
+        ~faults
     else
       run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
-        ~obs
+        ~obs ~faults
   in
   print_newline ();
   Format.printf "%a" Portfolio.Telemetry.pp_table telemetry;
   (match cache with
   | Some c ->
-      Printf.printf "cache: %d hits, %d misses, %d entries%s under %s/\n"
+      Printf.printf "cache: %d hits, %d misses, %d entries%s%s under %s/\n"
         (Portfolio.Cache.hits c) (Portfolio.Cache.misses c)
         (Portfolio.Cache.entries c)
         (match Portfolio.Cache.max_entries c with
@@ -135,8 +147,17 @@ let main config_name race nodes depth safe_depth unsafe_depth domains
             Printf.sprintf " (cap %d, %d evicted)" cap
               (Portfolio.Cache.evictions c)
         | None -> "")
+        (match Portfolio.Cache.quarantined c with
+        | 0 -> ""
+        | n -> Printf.sprintf ", %d quarantined" n)
         (Portfolio.Cache.dir c)
   | None -> ());
+  if Resilience.Faults.enabled faults then begin
+    Printf.printf "chaos: spec %s\n" (Resilience.Faults.to_spec faults);
+    List.iter
+      (fun (rule, n) -> Printf.printf "  %-28s fired %d\n" rule n)
+      (Resilience.Faults.injections faults)
+  end;
   (match json_path with
   | Some path ->
       Portfolio.Telemetry.dump_json telemetry path;
@@ -202,6 +223,6 @@ let () =
         $ safe_depth $ unsafe_depth $ domains $ Cli.engines () $ cache_dir
         $ no_cache
         $ Cli.cache_max_entries ()
-        $ Cli.json () $ Cli.obs ())
+        $ Cli.json () $ Cli.chaos () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

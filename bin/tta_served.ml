@@ -10,7 +10,8 @@
    Protocol, scheduling and shutdown semantics: doc/service.md.
    Send SIGTERM (or SIGINT) for a graceful drain. *)
 
-let main socket workers queue_cap cache_dir no_cache cache_max grace obs =
+let main socket workers queue_cap cache_dir no_cache cache_max grace chaos
+    obs =
   let addr =
     match Service.Server.addr_of_string socket with
     | Ok a -> a
@@ -18,25 +19,40 @@ let main socket workers queue_cap cache_dir no_cache cache_max grace obs =
         prerr_endline ("tta_served: " ^ e);
         exit 2
   in
+  let faults = Cli.faults_of_chaos chaos in
   let cache =
     if no_cache then None
-    else Some (Portfolio.Cache.create ~dir:cache_dir ?max_entries:cache_max ())
+    else
+      Some
+        (Portfolio.Cache.create ~dir:cache_dir ?max_entries:cache_max ~faults
+           ())
   in
   Service.Server.serve ?cache ~workers ~queue_cap
-    ?obs:(Cli.obs_collector obs) ~grace
+    ?obs:(Cli.obs_collector obs) ~faults ~grace
     ~on_ready:(fun () ->
-      Printf.printf "tta_served: listening on %s (%d workers, queue cap %d)\n%!"
+      Printf.printf "tta_served: listening on %s (%d workers, queue cap %d)%s\n%!"
         (Service.Server.addr_to_string addr)
-        workers queue_cap)
+        workers queue_cap
+        (if Resilience.Faults.enabled faults then
+           " [chaos " ^ Resilience.Faults.to_spec faults ^ "]"
+         else ""))
     addr;
   (* serve returned: a signal triggered the drain. *)
   (match cache with
   | Some c ->
-      Printf.printf "cache: %d hits, %d misses, %d entries, %d evicted\n"
+      Printf.printf "cache: %d hits, %d misses, %d entries, %d evicted, %d \
+                     quarantined\n"
         (Portfolio.Cache.hits c) (Portfolio.Cache.misses c)
         (Portfolio.Cache.entries c)
         (Portfolio.Cache.evictions c)
+        (Portfolio.Cache.quarantined c)
   | None -> ());
+  if Resilience.Faults.enabled faults then begin
+    Printf.printf "chaos: spec %s\n" (Resilience.Faults.to_spec faults);
+    List.iter
+      (fun (rule, n) -> Printf.printf "  %-28s fired %d\n" rule n)
+      (Resilience.Faults.injections faults)
+  end;
   Cli.obs_finish obs;
   Printf.printf "tta_served: drained, bye\n%!"
 
@@ -89,6 +105,6 @@ let () =
       Term.(
         const main $ socket $ workers $ queue_cap $ cache_dir $ no_cache
         $ Cli.cache_max_entries ()
-        $ grace $ Cli.obs ())
+        $ grace $ Cli.chaos () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

@@ -57,6 +57,20 @@ let json () =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the machine-readable results to FILE as JSON.")
 
+let chaos () =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SEED[:SPEC]"
+        ~doc:
+          "Arm deterministic fault injection. SEED is an integer; the \
+           optional SPEC is a comma-separated rule list such as \
+           'engine_start=crash\\@0.2x4,cache_read=corrupt\\@0.25x4' \
+           (points: engine_start, engine_step, cache_read, cache_write, \
+           sock_send, sock_recv; actions: crash, corrupt, stallMILLIS; \
+           \\@P caps the firing probability, xN the total firings). A \
+           bare SEED uses a built-in mixed-fault spec.")
+
 (* ------------------------------------------------------------------ *)
 (* Uniform parsers *)
 
@@ -91,6 +105,15 @@ let engine_ids_of_names s =
     exit 2
   end;
   ids
+
+let faults_of_chaos = function
+  | None -> Resilience.Faults.disabled
+  | Some spec -> (
+      match Resilience.Faults.of_spec spec with
+      | Ok f -> f
+      | Error msg ->
+          prerr_endline ("--chaos: " ^ msg);
+          exit 2)
 
 (* ------------------------------------------------------------------ *)
 (* Observability *)

@@ -34,6 +34,11 @@ val cache_max_entries : unit -> int option Cmdliner.Term.t
 val json : unit -> string option Cmdliner.Term.t
 (** [--json FILE]: machine-readable output. *)
 
+val chaos : unit -> string option Cmdliner.Term.t
+(** [--chaos SEED[:SPEC]]: arm deterministic fault injection (see
+    {!Resilience.Faults.of_spec} for the grammar). Parse the result
+    with {!faults_of_chaos}. *)
+
 (** {1 Uniform parsers}
 
     All of these print one standard diagnostic to stderr and [exit 2]
@@ -43,6 +48,10 @@ val feature_set_of_config : string -> Guardian.Feature_set.t
 val engine_of_name : string -> Tta_model.Engine.t
 val engine_ids_of_names : string -> Tta_model.Engine.id list
 (** Comma-separated, e.g. ["bdd,explicit"]; rejects the empty list. *)
+
+val faults_of_chaos : string option -> Resilience.Faults.t
+(** The parsed [--chaos] value as a fault-injection registry;
+    {!Resilience.Faults.disabled} when the flag was absent. *)
 
 (** {1 Observability} *)
 

@@ -5,10 +5,13 @@ open Symkit
 type t = {
   dir : string;
   max_entries : int option;
+  faults : Resilience.Faults.t;
+  obs : Obs.t;
   lock : Mutex.t;  (** guards the counters; file I/O needs no lock *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable quarantined : int;
 }
 
 let rec mkdir_p d =
@@ -17,13 +20,14 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?(dir = "_cache") ?max_entries () =
+let create ?(dir = "_cache") ?max_entries ?(faults = Resilience.Faults.disabled)
+    ?(obs = Obs.disabled) () =
   (match max_entries with
   | Some n when n < 1 -> invalid_arg "Cache.create: max_entries < 1"
   | _ -> ());
   mkdir_p dir;
-  { dir; max_entries; lock = Mutex.create (); hits = 0; misses = 0;
-    evictions = 0 }
+  { dir; max_entries; faults; obs; lock = Mutex.create (); hits = 0;
+    misses = 0; evictions = 0; quarantined = 0 }
 
 let dir t = t.dir
 let max_entries t = t.max_entries
@@ -47,10 +51,10 @@ let json_of_state (s : Model.state) =
   Json.List
     (Array.to_list (Array.map (fun v -> Json.String (Expr.value_to_string v)) s))
 
-let json_of_entry ~model ~engine ~max_depth verdict =
+(* The verdict payload: everything the checksum covers. *)
+let payload_of_entry ~model ~engine ~max_depth verdict =
   let base =
     [
-      ("version", Json.Int 1);
       ("fingerprint", Json.String (Model.fingerprint model));
       ("engine", Json.String (Tta_model.Engine.id_to_string engine));
       ("max_depth", Json.Int max_depth);
@@ -72,6 +76,23 @@ let json_of_entry ~model ~engine ~max_depth verdict =
                ("trace", Json.List (Array.to_list (Array.map json_of_state trace)));
              ]))
   | Tta_model.Engine.Unknown _ -> None
+
+(* The checksum is over the canonical (non-pretty) serialization of the
+   payload — strings and ints only, so parse/re-serialize round-trips
+   byte-for-byte and the check can be recomputed from the parsed tree. *)
+let checksum_of_payload payload =
+  Digest.to_hex (Digest.string (Json.to_string payload))
+
+let json_of_entry ~model ~engine ~max_depth verdict =
+  Option.map
+    (fun payload ->
+      Json.Obj
+        [
+          ("version", Json.Int 2);
+          ("checksum", Json.String (checksum_of_payload payload));
+          ("payload", payload);
+        ])
+    (payload_of_entry ~model ~engine ~max_depth verdict)
 
 (* Decode one stored state against the model's declared domains. The
    rendered value strings are unambiguous within a domain (an [Enum]
@@ -136,22 +157,79 @@ let count t hit =
   if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
   Mutex.unlock t.lock
 
+(* Move a corrupt/unreadable entry aside (never serve it, never let it
+   poison a future lookup) and count the quarantine. The .quarantined
+   suffix keeps it out of [entries] and [prune] but on disk for a
+   post-mortem. *)
+let quarantine t k ~reason =
+  let path = path_of t k in
+  (try Sys.rename path (path ^ ".quarantined")
+   with Sys_error _ -> (* already raced away; nothing to preserve *) ());
+  Mutex.lock t.lock;
+  t.quarantined <- t.quarantined + 1;
+  Mutex.unlock t.lock;
+  if Obs.enabled t.obs then begin
+    Obs.incr_by t.obs "cache.quarantined" 1;
+    Obs.instant t.obs ~args:[ ("key", k); ("reason", reason) ]
+      "cache.quarantine"
+  end
+
+(* Verify a raw entry: parse, check the version-2 checksum over the
+   canonical payload serialization, and only then look inside.
+   [Ok None] is an honest miss (fingerprint mismatch, undecodable
+   verdict under a *valid* checksum); [Error reason] means the bytes
+   themselves cannot be trusted and the entry must be quarantined.
+   Version-1 entries carry no checksum, so they are unverifiable by
+   construction and quarantined on first touch. *)
+let verdict_of_raw ~model raw =
+  match Json.of_string raw with
+  | Error e -> Error e
+  | Ok j -> (
+      match Option.bind (Json.member "version" j) Json.int_value with
+      | Some 2 -> (
+          match
+            ( Option.bind (Json.member "checksum" j) Json.string_value,
+              Json.member "payload" j )
+          with
+          | Some sum, Some payload ->
+              if not (String.equal sum (checksum_of_payload payload)) then
+                Error "checksum mismatch"
+              else
+                let fp =
+                  Option.bind (Json.member "fingerprint" payload)
+                    Json.string_value
+                in
+                if fp <> Some (Model.fingerprint model) then Ok None
+                else Ok (entry_to_verdict ~model payload)
+          | _ -> Error "version 2 entry without checksum/payload")
+      | Some v -> Error (Printf.sprintf "unverifiable version %d entry" v)
+      | None -> Error "entry without version")
+
 let lookup t ~model ~engine ~max_depth =
   let k = key ~model ~engine ~max_depth in
   let verdict =
-    match read_file (path_of t k) with
+    let raw =
+      match read_file (path_of t k) with
+      | None -> None
+      | Some raw -> (
+          (* Injected faults model storage failures on an existing
+             entry: a crash is an unreadable sector (empty read, fails
+             verification), a corruption flips a byte of the content. *)
+          match
+            Resilience.Faults.hit t.faults Resilience.Faults.Cache_read;
+            Resilience.Faults.corrupt t.faults Resilience.Faults.Cache_read raw
+          with
+          | raw -> Some raw
+          | exception Resilience.Faults.Injected _ -> Some "")
+    in
+    match raw with
     | None -> None
     | Some raw -> (
-        match Json.of_string raw with
-        | Error _ -> None
-        | Ok j ->
-            (* Belt and braces: the key already covers the fingerprint,
-               but a verified entry can never serve a changed model. *)
-            let fp =
-              Option.bind (Json.member "fingerprint" j) Json.string_value
-            in
-            if fp <> Some (Model.fingerprint model) then None
-            else entry_to_verdict ~model j)
+        match verdict_of_raw ~model raw with
+        | Ok v -> v
+        | Error reason ->
+            quarantine t k ~reason;
+            None)
   in
   (* LRU touch: a served entry is the one a bounded cache should keep.
      Failure (entry raced away, exotic filesystem) costs nothing. *)
@@ -201,19 +279,30 @@ let prune t =
 let store t ~model ~engine ~max_depth verdict =
   match json_of_entry ~model ~engine ~max_depth verdict with
   | None -> ()
-  | Some j ->
-      let k = key ~model ~engine ~max_depth in
-      let tmp =
-        Filename.concat t.dir
-          (Printf.sprintf ".%s.%d.%d.tmp" k (Unix.getpid ())
-             (Domain.self () :> int))
-      in
-      let oc = open_out_bin tmp in
-      output_string oc (Json.to_string ~pretty:true j);
-      output_char oc '\n';
-      close_out oc;
-      Sys.rename tmp (path_of t k);
-      prune t
+  | Some j -> (
+      match
+        Resilience.Faults.hit t.faults Resilience.Faults.Cache_write;
+        Resilience.Faults.corrupt t.faults Resilience.Faults.Cache_write
+          (Json.to_string ~pretty:true j)
+      with
+      | exception Resilience.Faults.Injected _ ->
+          (* An injected write crash models a failed store: the entry
+             simply is not persisted; the verdict was already returned
+             to the caller, so correctness is untouched. *)
+          ()
+      | content ->
+          let k = key ~model ~engine ~max_depth in
+          let tmp =
+            Filename.concat t.dir
+              (Printf.sprintf ".%s.%d.%d.tmp" k (Unix.getpid ())
+                 (Domain.self () :> int))
+          in
+          let oc = open_out_bin tmp in
+          output_string oc content;
+          output_char oc '\n';
+          close_out oc;
+          Sys.rename tmp (path_of t k);
+          prune t)
 
 let hits t =
   Mutex.lock t.lock;
@@ -232,6 +321,12 @@ let evictions t =
   let e = t.evictions in
   Mutex.unlock t.lock;
   e
+
+let quarantined t =
+  Mutex.lock t.lock;
+  let q = t.quarantined in
+  Mutex.unlock t.lock;
+  q
 
 let entries t =
   match Sys.readdir t.dir with

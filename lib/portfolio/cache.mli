@@ -14,6 +14,22 @@
     on the way out; a corrupt, truncated or mismatched entry degrades
     to a miss, never to a wrong verdict.
 
+    {b Integrity.} Every entry carries an MD5 checksum over the
+    canonical serialization of its payload. An entry whose bytes fail
+    verification — unparseable, checksum mismatch, or a legacy
+    checksum-less format — is {b quarantined}: renamed aside to
+    [<key>.json.quarantined] (kept for post-mortems, invisible to
+    {!entries} and {!prune}) and the verdict recomputed, so one
+    bit-flip costs one redundant model check, never a wrong answer and
+    never a crash. Quarantines are counted ({!quarantined}) and, when
+    the cache was created with an [?obs] handle, reported as
+    [cache.quarantined] counter increments.
+
+    A {!Resilience.Faults} registry passed at {!create} exercises
+    exactly these paths: [Cache_read] crash/corrupt faults turn into
+    quarantines, a [Cache_write] crash into a silently skipped
+    store.
+
     Writes go to a temporary file in the cache directory followed by a
     rename, so concurrent workers (and concurrent processes) never
     observe a half-written entry.
@@ -27,10 +43,20 @@
 
 type t
 
-val create : ?dir:string -> ?max_entries:int -> unit -> t
+val create :
+  ?dir:string ->
+  ?max_entries:int ->
+  ?faults:Resilience.Faults.t ->
+  ?obs:Obs.t ->
+  unit ->
+  t
 (** Open (creating if needed) a cache directory; default [_cache].
     [max_entries], if given, caps the number of entries kept on disk
-    (see {!prune}).
+    (see {!prune}). [faults] (default
+    {!Resilience.Faults.disabled}) injects storage faults on the
+    [Cache_read]/[Cache_write] hook points; [obs] (default
+    {!Obs.disabled}) receives [cache.quarantined] counter increments
+    and a [cache.quarantine] instant per quarantined entry.
     @raise Invalid_argument if [max_entries < 1]. *)
 
 val dir : t -> string
@@ -51,7 +77,8 @@ val lookup :
   Tta_model.Engine.verdict option
 (** [Some verdict] on a hit ([Violated] verdicts carry the supplied
     model and the decoded trace); [None] on a miss. Updates the
-    hit/miss counters. *)
+    hit/miss counters. An entry that fails integrity verification is
+    quarantined and reported as a miss. *)
 
 val store :
   t ->
@@ -76,6 +103,10 @@ val misses : t -> int
 
 val evictions : t -> int
 (** Entries this handle has deleted through {!prune}. *)
+
+val quarantined : t -> int
+(** Entries this handle has moved aside after failed integrity
+    verification. *)
 
 val entries : t -> int
 (** Number of entries currently on disk. *)

@@ -104,10 +104,13 @@ let map ?domains ?(obs = Obs.disabled) f items =
     List.iter Domain.join spawned;
     Array.to_list results
     |> List.map (function
-         | Some (Ok r) -> r
-         | Some (Error e) -> raise e
+         | Some r -> r
          | None ->
              (* Unreachable: the fixed task set is fully drained before
                 the workers exit. *)
              assert false)
   end
+
+let map_exn ?domains ?obs f items =
+  map ?domains ?obs f items
+  |> List.map (function Ok r -> r | Error e -> raise e)

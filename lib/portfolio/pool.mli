@@ -11,12 +11,19 @@
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], the pool's default width. *)
 
-val map : ?domains:int -> ?obs:Obs.t -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?domains:int -> ?obs:Obs.t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** [map f items] applies [f] to every item across [domains] workers
     (clamped to at least 1 and at most the number of items) and
-    returns the results in input order. The calling domain acts as
-    worker 0. If any application raises, the whole batch completes and
-    the first exception (in input order) is re-raised.
+    returns the per-item results in input order. The calling domain
+    acts as worker 0. An application that raises yields [Error exn]
+    for its item — one crashed task never takes down the batch, the
+    caller decides what a failed item means (the portfolio records it
+    as a failed run). *)
+
+val map_exn : ?domains:int -> ?obs:Obs.t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] for infallible task functions: unwraps the results, re-raising
+    the first [Error] (in input order) if any task did raise.
 
     [obs] (default {!Obs.disabled}) receives the pool's scheduling
     metrics: the [pool.tasks] and [pool.steals] counters, accumulated

@@ -44,6 +44,7 @@ type result = {
   wall_s : float;
   cache_hit : bool;
   runs : (engine * verdict * float) list;
+  failures : (engine * string) list;
 }
 
 let now () = Unix.gettimeofday ()
@@ -112,8 +113,27 @@ let note_cache_hit obs ~label engine =
 (* ------------------------------------------------------------------ *)
 (* Engine racing *)
 
+(* Engine-track counters already include the supervisor's live ticks
+   when the track is enabled; merging by name keeps the supervisor's
+   totals present without double counting either way. *)
+let merge_counters engine_counters supervisor_counters =
+  engine_counters
+  @ List.filter
+      (fun (n, _) -> not (List.mem_assoc n engine_counters))
+      supervisor_counters
+
+let all_failed r = r.failures <> [] && r.runs = []
+
+let all_failed_detail failures =
+  "all engines failed — "
+  ^ String.concat "; "
+      (List.map
+         (fun (e, msg) -> Engine.id_to_string e ^ ": " ^ msg)
+         failures)
+
 let race ?cancel ?cache ?telemetry ?obs ?label ?(engines = priority)
-    ?(max_depth = 24) cfg =
+    ?(max_depth = 24) ?(supervisor = Resilience.Supervisor.default)
+    ?(faults = Resilience.Faults.disabled) cfg =
   if engines = [] then invalid_arg "Portfolio.race: no engines";
   let ext_cancel = match cancel with Some c -> c | None -> fun () -> false in
   let label =
@@ -129,7 +149,7 @@ let race ?cancel ?cache ?telemetry ?obs ?label ?(engines = priority)
         ~detail:(detail_of v) ~wall_s ~cache_hit:true ~winner:true
         ~counters:[];
       { config = cfg; engine = e; verdict = v; wall_s; cache_hit = true;
-        runs = [] }
+        runs = []; failures = [] }
   | None ->
       let flag = Atomic.make false in
       (* Wall time at which the first conclusive verdict raised the
@@ -152,33 +172,48 @@ let race ?cancel ?cache ?telemetry ?obs ?label ?(engines = priority)
           c || e
         in
         let t0 = now () in
-        let r = (Engine.get e).Engine.run ~cancel ~obs:track ~max_depth cfg in
-        let wall = now () -. t0 in
-        (* A cancelled BMC run reports the bounded no-counterexample
-           claim of its last completed depth; inside the race that must
-           not pass for the full-bound verdict. Proofs (BDD fixpoint,
-           k-induction, exhausted BFS) and counterexamples remain sound
-           whether or not the flag fired mid-run. *)
-        let v =
-          match r.Engine.verdict with
-          | Engine.Holds _ when (!observed || !externally) && e = Engine.Sat_bmc
-            ->
-              Engine.Unknown
-                { detail = "cancelled before completing the bound" }
-          | v -> v
+        let o =
+          Resilience.Supervisor.run ~policy:supervisor ~faults ~obs:track
+            ~cancel ~max_depth (Engine.get e) cfg
         in
-        if conclusive v then begin
-          let first = not (Atomic.exchange flag true) in
-          if first then Atomic.set flag_at (now ())
-        end;
-        if !observed then begin
-          let latency_us =
-            int_of_float ((now () -. Atomic.get flag_at) *. 1e6)
-          in
-          Obs.set_max track "race.cancel_latency_us" (max 0 latency_us);
-          Obs.instant track "race.cancelled"
-        end;
-        (e, v, r.Engine.counters, wall)
+        let wall = now () -. t0 in
+        match o.Resilience.Supervisor.result with
+        | Error f ->
+            (* A crashed or hung engine is a recorded failure, not a
+               race abort: the surviving racers keep running. *)
+            let msg = Resilience.Supervisor.failure_to_string f in
+            Obs.instant track ~args:[ ("failure", msg) ] "engine.failed";
+            (e, Error msg, o.Resilience.Supervisor.counters, wall)
+        | Ok r ->
+            (* A cancelled BMC run reports the bounded no-counterexample
+               claim of its last completed depth; inside the race that
+               must not pass for the full-bound verdict. Proofs (BDD
+               fixpoint, k-induction, exhausted BFS) and counterexamples
+               remain sound whether or not the flag fired mid-run. *)
+            let v =
+              match r.Engine.verdict with
+              | Engine.Holds _
+                when (!observed || !externally) && e = Engine.Sat_bmc ->
+                  Engine.Unknown
+                    { detail = "cancelled before completing the bound" }
+              | v -> v
+            in
+            if conclusive v then begin
+              let first = not (Atomic.exchange flag true) in
+              if first then Atomic.set flag_at (now ())
+            end;
+            if !observed then begin
+              let latency_us =
+                int_of_float ((now () -. Atomic.get flag_at) *. 1e6)
+              in
+              Obs.set_max track "race.cancel_latency_us" (max 0 latency_us);
+              Obs.instant track "race.cancelled"
+            end;
+            ( e,
+              Ok v,
+              merge_counters r.Engine.counters
+                o.Resilience.Supervisor.counters,
+              wall )
       in
       let spawned =
         List.map
@@ -192,26 +227,57 @@ let race ?cancel ?cache ?telemetry ?obs ?label ?(engines = priority)
          already raised. *)
       let head_result = run_engine (List.hd engines) in
       let results = head_result :: List.map Domain.join spawned in
+      let failures =
+        List.filter_map
+          (fun e ->
+            List.find_map
+              (function
+                | e', Error msg, _, _ when e' = e -> Some (e', msg)
+                | _ -> None)
+              results)
+          priority
+      in
       (* Reorder the arrivals into priority order once; selection and
          reporting are then independent of the finishing schedule. *)
-      let keyed = List.map (fun (e, v, _, w) -> (e, v, w)) results in
+      let keyed =
+        List.filter_map
+          (function e, Ok v, _, w -> Some (e, v, w) | _, Error _, _, _ -> None)
+          results
+      in
       let winner_e, winner_v, winner_wall =
         match select keyed with
         | Some r -> r
-        | None -> assert false (* engines <> [] *)
+        | None ->
+            (* Every engine failed: degrade to an explicit Unknown that
+               names each failure, attributed to the highest-priority
+               engine that was asked. *)
+            let e =
+              match List.find_opt (fun e -> List.mem e engines) priority with
+              | Some e -> e
+              | None -> List.hd engines
+            in
+            (e, Engine.Unknown { detail = all_failed_detail failures },
+             now () -. t0)
       in
       cache_store cache ~model ~engine:winner_e ~max_depth winner_v;
       List.iter
-        (fun (e, v, counters, wall) ->
+        (fun (e, outcome, counters, wall) ->
+          let v =
+            match outcome with
+            | Ok v -> v
+            | Error msg -> Engine.Unknown { detail = "engine failed: " ^ msg }
+          in
           add_telemetry telemetry ~label ~engine:e ~verdict:v
             ~detail:(detail_of v) ~wall_s:wall ~cache_hit:false
-            ~winner:(e = winner_e) ~counters)
+            ~winner:(e = winner_e && keyed <> []) ~counters)
         results;
       let runs =
         List.filter_map
           (fun e ->
             List.find_map
-              (fun (e', v, _, w) -> if e' = e then Some (e', v, w) else None)
+              (function
+                | e', Ok v, _, w when e' = e -> Some (e', v, w)
+                | _ -> None)
               results)
           priority
       in
@@ -222,6 +288,7 @@ let race ?cancel ?cache ?telemetry ?obs ?label ?(engines = priority)
         wall_s = winner_wall;
         cache_hit = false;
         runs;
+        failures;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -238,7 +305,9 @@ let job ?label ?engine ?(max_depth = 100) cfg =
   let label = match label with Some l -> l | None -> Configs.name cfg in
   { label; cfg; engine; max_depth }
 
-let run_single ?cache ?telemetry ?obs ~label ~engine ~max_depth cfg =
+let run_single ?cache ?telemetry ?obs
+    ?(supervisor = Resilience.Supervisor.default)
+    ?(faults = Resilience.Faults.disabled) ~label ~engine ~max_depth cfg =
   let model = Build.model cfg in
   let t0 = now () in
   match cache_probe cache ~model ~engines:[ engine ] ~max_depth with
@@ -249,36 +318,74 @@ let run_single ?cache ?telemetry ?obs ~label ~engine ~max_depth cfg =
         ~detail:(detail_of v) ~wall_s ~cache_hit:true ~winner:true
         ~counters:[];
       { config = cfg; engine = e; verdict = v; wall_s; cache_hit = true;
-        runs = [] }
+        runs = []; failures = [] }
   | None ->
       let track = run_track obs ~label engine in
-      let r = (Engine.get engine).Engine.run ~obs:track ~max_depth cfg in
-      let v = r.Engine.verdict in
+      let o =
+        Resilience.Supervisor.run ~policy:supervisor ~faults ~obs:track
+          ~max_depth (Engine.get engine) cfg
+      in
       let wall_s = now () -. t0 in
+      let v, counters, failures =
+        match o.Resilience.Supervisor.result with
+        | Ok r ->
+            ( r.Engine.verdict,
+              merge_counters r.Engine.counters o.Resilience.Supervisor.counters,
+              [] )
+        | Error f ->
+            let msg = Resilience.Supervisor.failure_to_string f in
+            Obs.instant track ~args:[ ("failure", msg) ] "engine.failed";
+            ( Engine.Unknown { detail = "engine failed: " ^ msg },
+              o.Resilience.Supervisor.counters,
+              [ (engine, msg) ] )
+      in
       cache_store cache ~model ~engine ~max_depth v;
       add_telemetry telemetry ~label ~engine ~verdict:v ~detail:(detail_of v)
-        ~wall_s ~cache_hit:false ~winner:true ~counters:r.Engine.counters;
+        ~wall_s ~cache_hit:false ~winner:(failures = []) ~counters;
       { config = cfg; engine; verdict = v; wall_s; cache_hit = false;
-        runs = [ (engine, v, wall_s) ] }
+        runs = (if failures = [] then [ (engine, v, wall_s) ] else []);
+        failures }
 
-let run_matrix ?domains ?cache ?telemetry ?obs jobs =
+let run_matrix ?domains ?cache ?telemetry ?obs ?supervisor ?faults jobs =
   let run j =
     match j.engine with
     | Some engine ->
         ( j,
-          run_single ?cache ?telemetry ?obs ~label:j.label ~engine
-            ~max_depth:j.max_depth j.cfg )
+          run_single ?cache ?telemetry ?obs ?supervisor ?faults ~label:j.label
+            ~engine ~max_depth:j.max_depth j.cfg )
     | None ->
         ( j,
-          race ?cache ?telemetry ?obs ~label:j.label ~max_depth:j.max_depth
-            j.cfg )
+          race ?cache ?telemetry ?obs ?supervisor ?faults ~label:j.label
+            ~max_depth:j.max_depth j.cfg )
   in
   let pool_obs =
     match obs with
     | None -> Obs.disabled
     | Some col -> Obs.Collector.track col "pool"
   in
-  Pool.map ?domains ~obs:pool_obs run jobs
+  (* Supervision makes [run] total in practice; a residual pool-level
+     exception (infrastructure, not an engine) still must not strand
+     the batch, so it degrades to a failed result for its own job. *)
+  List.map2
+    (fun j -> function
+      | Ok jr -> jr
+      | Error exn ->
+          let msg = "task failed: " ^ Printexc.to_string exn in
+          let engine =
+            match j.engine with Some e -> e | None -> List.hd priority
+          in
+          ( j,
+            {
+              config = j.cfg;
+              engine;
+              verdict = Engine.Unknown { detail = msg };
+              wall_s = 0.0;
+              cache_hit = false;
+              runs = [];
+              failures = [ (engine, msg) ];
+            } ))
+    jobs
+    (Pool.map ?domains ~obs:pool_obs run jobs)
 
 (* ------------------------------------------------------------------ *)
 (* The Section 5 matrix *)

@@ -64,9 +64,20 @@ type result = {
   wall_s : float;  (** the winner's wall clock (~0 on a cache hit) *)
   cache_hit : bool;
   runs : (engine * verdict * float) list;
-      (** every engine run of a race in priority order (empty on a
-          cache hit or single-engine job) *)
+      (** every {e completed} engine run of a race in priority order
+          (empty on a cache hit or single-engine job; failed engines
+          appear in [failures] instead) *)
+  failures : (engine * string) list;
+      (** engines whose supervised run crashed or hung, in priority
+          order, with the supervisor's failure description. When {e
+          every} engine failed, [verdict] is an [Unknown] whose detail
+          carries this breakdown. *)
 }
+
+val all_failed : result -> bool
+(** Every engine the run attempted ended in a recorded failure —
+    [failures] is non-empty and [runs] is empty. The serving layer
+    maps this to a structured [engine_failed] error response. *)
 
 val race :
   ?cancel:(unit -> bool) ->
@@ -76,6 +87,8 @@ val race :
   ?label:string ->
   ?engines:engine list ->
   ?max_depth:int ->
+  ?supervisor:Resilience.Supervisor.policy ->
+  ?faults:Resilience.Faults.t ->
   Tta_model.Configs.t ->
   result
 (** Race [engines] (default: all of {!priority}) on one configuration,
@@ -84,6 +97,16 @@ val race :
     Each racer writes to its own [obs] track; cancelled losers
     additionally report [race.cancel_latency_us] — the time from the
     winner raising the flag to the loser actually returning.
+
+    Every racer runs under a {!Resilience.Supervisor} with [supervisor]
+    (default {!Resilience.Supervisor.default}): an engine that crashes
+    is retried per the policy and, if it keeps failing (or hangs past
+    the policy's watchdog), becomes an entry in [result.failures] while
+    the surviving racers continue. Only when {e all} engines fail does
+    the race degrade to an [Unknown] verdict carrying the per-engine
+    failure breakdown. [faults] (default {!Resilience.Faults.disabled})
+    threads fault injection into every racer and is what the
+    [--chaos] CLI flag plugs in.
 
     [cancel] is an {e external} cooperative-cancellation hook, OR-ed
     into every racer's own hook — the serving layer uses it for
@@ -115,13 +138,18 @@ val run_matrix :
   ?cache:Cache.t ->
   ?telemetry:Telemetry.t ->
   ?obs:Obs.Collector.t ->
+  ?supervisor:Resilience.Supervisor.policy ->
+  ?faults:Resilience.Faults.t ->
   job list ->
   (job * result) list
 (** Drain the jobs across a work-stealing pool of [domains] workers
     (default [Domain.recommended_domain_count ()]); results in job
     order. Racing jobs spawn their engine domains {e in addition} to
     the pool workers — use single-engine jobs when the matrix is wide
-    and racing when it is deep. *)
+    and racing when it is deep. [supervisor]/[faults] apply to every
+    job as in {!race}; a job whose task raised outside the supervised
+    engine (infrastructure, not verification) still yields a result —
+    an [Unknown] with the exception recorded in [failures]. *)
 
 val section5_jobs :
   ?nodes:int -> ?safe_depth:int -> ?unsafe_depth:int -> ?bmc_depth:int ->

@@ -1,0 +1,270 @@
+(* Deterministic seed-driven fault injection. See faults.mli for the
+   fault model and spec grammar. *)
+
+type point =
+  | Engine_start
+  | Engine_step
+  | Cache_read
+  | Cache_write
+  | Sock_send
+  | Sock_recv
+
+let point_index = function
+  | Engine_start -> 0
+  | Engine_step -> 1
+  | Cache_read -> 2
+  | Cache_write -> 3
+  | Sock_send -> 4
+  | Sock_recv -> 5
+
+let n_points = 6
+
+let point_to_string = function
+  | Engine_start -> "engine_start"
+  | Engine_step -> "engine_step"
+  | Cache_read -> "cache_read"
+  | Cache_write -> "cache_write"
+  | Sock_send -> "sock_send"
+  | Sock_recv -> "sock_recv"
+
+let point_of_string = function
+  | "engine_start" -> Some Engine_start
+  | "engine_step" -> Some Engine_step
+  | "cache_read" -> Some Cache_read
+  | "cache_write" -> Some Cache_write
+  | "sock_send" -> Some Sock_send
+  | "sock_recv" -> Some Sock_recv
+  | _ -> None
+
+exception Injected of { point : string; action : string }
+
+type action = Crash | Stall of float (* seconds *) | Corrupt
+
+let action_to_string = function
+  | Crash -> "crash"
+  | Corrupt -> "corrupt"
+  | Stall s -> Printf.sprintf "stall%.0f" (s *. 1000.)
+
+type rule = {
+  point : point;
+  action : action;
+  prob : float;
+  limit : int option;  (* max total firings; None = unlimited *)
+  salt : int;          (* decision-stream discriminator, unique per rule *)
+  hits : int Atomic.t; (* hit counter: input to the decision hash *)
+  fired : int Atomic.t;
+}
+
+type t = {
+  seed : int;
+  rules : rule list;              (* in spec order, for reporting *)
+  by_point : rule list array;     (* length n_points; [] = fast no-op *)
+}
+
+let disabled = { seed = 0; rules = []; by_point = Array.make n_points [] }
+let enabled t = t.rules <> []
+let seed t = t.seed
+
+(* splitmix64 finalizer over (seed, salt, n): a pure decision function,
+   so the firing set is independent of thread interleaving. *)
+let mix64 x =
+  let x = Int64.add x 0x9e3779b97f4a7c15L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94d049bb133111ebL in
+  Int64.logxor x (Int64.shift_right_logical x 31)
+
+let hash64 ~seed ~salt n =
+  mix64 (mix64 (mix64 (Int64.of_int seed)
+                |> Int64.add (Int64.of_int salt) |> mix64)
+         |> Int64.add (Int64.of_int n))
+
+let hash_float ~seed ~salt n =
+  (* Top 53 bits -> uniform float in [0,1). *)
+  let bits = Int64.shift_right_logical (hash64 ~seed ~salt n) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+(* Decide whether this hit of [r] fires, respecting prob and limit.
+   Returns the hit index when it does (corruption keys byte choice off
+   it). *)
+let fires t r =
+  let n = Atomic.fetch_and_add r.hits 1 in
+  if r.prob < 1.0 && hash_float ~seed:t.seed ~salt:r.salt n >= r.prob then None
+  else
+    match r.limit with
+    | None ->
+        Atomic.incr r.fired;
+        Some n
+    | Some lim ->
+        (* fetch_and_add makes the cap race-free across domains. *)
+        if Atomic.fetch_and_add r.fired 1 < lim then Some n
+        else begin
+          Atomic.decr r.fired;
+          None
+        end
+
+let hit t point =
+  match t.by_point.(point_index point) with
+  | [] -> ()
+  | rules ->
+      List.iter
+        (fun r ->
+          match r.action with
+          | Corrupt -> ()
+          | Crash ->
+              if fires t r <> None then
+                raise (Injected { point = point_to_string point; action = "crash" })
+          | Stall s -> if fires t r <> None then Unix.sleepf s)
+        rules
+
+let corrupt t point payload =
+  match t.by_point.(point_index point) with
+  | [] -> payload
+  | rules ->
+      List.fold_left
+        (fun payload r ->
+          match r.action with
+          | Crash | Stall _ -> payload
+          | Corrupt -> (
+              if String.length payload = 0 then payload
+              else
+                match fires t r with
+                | None -> payload
+                | Some n ->
+                (* Deterministic position and a nonzero mask so the flip
+                   is never the identity. *)
+                let h = hash64 ~seed:t.seed ~salt:(r.salt + 7919) n in
+                let pos =
+                  Int64.to_int (Int64.rem (Int64.shift_right_logical h 8)
+                                  (Int64.of_int (String.length payload)))
+                in
+                let mask = 1 lor (Int64.to_int (Int64.logand h 0xffL)) in
+                let b = Bytes.of_string payload in
+                Bytes.set b pos
+                  (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+                Bytes.to_string b))
+        payload rules
+
+let injections t =
+  List.map
+    (fun r ->
+      ( point_to_string r.point ^ "." ^ action_to_string r.action,
+        Atomic.get r.fired ))
+    t.rules
+
+(* ---- spec parsing ------------------------------------------------- *)
+
+let default_spec =
+  "engine_start=crash@0.2x4,engine_step=stall20@0.02x8,\
+   cache_read=corrupt@0.25x4,sock_send=crash@0.1x4"
+
+let rule_to_spec r =
+  Printf.sprintf "%s=%s%s%s" (point_to_string r.point)
+    (action_to_string r.action)
+    (if r.prob >= 1.0 then "" else Printf.sprintf "@%g" r.prob)
+    (match r.limit with None -> "" | Some l -> Printf.sprintf "x%d" l)
+
+let to_spec t =
+  if not (enabled t) then ""
+  else
+    string_of_int t.seed ^ ":"
+    ^ String.concat "," (List.map rule_to_spec t.rules)
+
+let parse_action s =
+  if s = "crash" then Ok Crash
+  else if s = "corrupt" then Ok Corrupt
+  else if String.length s > 5 && String.sub s 0 5 = "stall" then
+    match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some ms when ms >= 0 -> Ok (Stall (float_of_int ms /. 1000.))
+    | _ -> Error (Printf.sprintf "bad stall duration in %S" s)
+  else Error (Printf.sprintf "unknown action %S (crash|corrupt|stallMS)" s)
+
+(* Split trailing [xN] / [@P] suffixes off an action token. *)
+let parse_rule idx token =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt token '=' with
+  | None -> err "rule %S: expected point=action" token
+  | Some eq -> (
+      let pname = String.sub token 0 eq in
+      let rest = String.sub token (eq + 1) (String.length token - eq - 1) in
+      match point_of_string pname with
+      | None -> err "rule %S: unknown point %S" token pname
+      | Some point -> (
+          let rest, limit =
+            match String.rindex_opt rest 'x' with
+            | Some i when i > 0 -> (
+                let tail = String.sub rest (i + 1) (String.length rest - i - 1) in
+                match int_of_string_opt tail with
+                | Some l when l > 0 -> (String.sub rest 0 i, Ok (Some l))
+                | _ -> (rest, Error (Printf.sprintf "rule %S: bad limit" token)))
+            | _ -> (rest, Ok None)
+          in
+          match limit with
+          | Error m -> Error m
+          | Ok limit -> (
+              let rest, prob =
+                match String.rindex_opt rest '@' with
+                | Some i -> (
+                    let tail =
+                      String.sub rest (i + 1) (String.length rest - i - 1)
+                    in
+                    match float_of_string_opt tail with
+                    | Some p when p >= 0.0 && p <= 1.0 ->
+                        (String.sub rest 0 i, Ok p)
+                    | _ ->
+                        (rest, Error (Printf.sprintf
+                                        "rule %S: probability must be in [0,1]"
+                                        token)))
+                | None -> (rest, Ok 1.0)
+              in
+              match prob with
+              | Error m -> Error m
+              | Ok prob -> (
+                  match parse_action rest with
+                  | Error m -> err "rule %S: %s" token m
+                  | Ok action ->
+                      Ok
+                        {
+                          point;
+                          action;
+                          prob;
+                          limit;
+                          salt = (point_index point * 64) + idx;
+                          hits = Atomic.make 0;
+                          fired = Atomic.make 0;
+                        }))))
+
+let of_spec spec =
+  let seed_s, rules_s =
+    match String.index_opt spec ':' with
+    | None -> (spec, default_spec)
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  match int_of_string_opt (String.trim seed_s) with
+  | None -> Error (Printf.sprintf "bad chaos seed %S (expected an integer)" seed_s)
+  | Some seed -> (
+      let tokens =
+        String.split_on_char ',' rules_s
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      if tokens = [] then Error "empty chaos rule list"
+      else
+        let rec build idx acc = function
+          | [] -> Ok (List.rev acc)
+          | tok :: rest -> (
+              match parse_rule idx tok with
+              | Error m -> Error m
+              | Ok r -> build (idx + 1) (r :: acc) rest)
+        in
+        match build 0 [] tokens with
+        | Error m -> Error m
+        | Ok rules ->
+            let by_point = Array.make n_points [] in
+            List.iter
+              (fun r ->
+                let i = point_index r.point in
+                by_point.(i) <- by_point.(i) @ [ r ])
+              rules;
+            Ok { seed; rules; by_point })

@@ -1,0 +1,96 @@
+(** Deterministic, seed-driven fault injection.
+
+    The paper studies what a fault-tolerant system does when one of its
+    own components misbehaves; this module lets the verifier stack ask
+    the same question of itself. Instrumented code declares named
+    {b hook points} — engine start/step, cache read/write, socket
+    send/recv — and a chaos specification decides, deterministically
+    from a seed, which hits of which point {b crash} (raise
+    {!Injected}), {b stall} (sleep), or {b corrupt} (flip one byte of a
+    payload).
+
+    {b Zero-cost when disabled.} Mirroring {!Obs.disabled}, the
+    {!disabled} registry makes every {!hit} a constant-time
+    non-allocating no-op and every {!corrupt} the identity, so the hook
+    points stay in the production paths unconditionally and the CLIs
+    switch them on with [--chaos].
+
+    {b Determinism.} The decision for the [n]-th hit of a rule is a
+    pure hash of [(seed, rule, n)] — not a stateful RNG — so the {e
+    set} of firing hit indices for a given spec is identical across
+    runs and across thread interleavings (which request observes a
+    given firing still depends on scheduling). Every rule can carry a
+    firing cap ([xN]), bounding total chaos regardless of load.
+
+    {b Spec grammar.}
+    {v
+      SEED[:RULE{,RULE}]
+      RULE   ::= POINT '=' ACTION ['@' PROB] ['x' LIMIT]
+      POINT  ::= engine_start | engine_step | cache_read | cache_write
+               | sock_send | sock_recv
+      ACTION ::= crash | corrupt | stall MILLIS
+    v}
+    e.g. ["7:engine_start=crash@0.2x8,cache_read=corrupt@0.3x6"]. A
+    bare seed selects {!default_spec}. [PROB] defaults to 1, [LIMIT]
+    to unlimited. *)
+
+type point =
+  | Engine_start  (** before each supervised engine attempt *)
+  | Engine_step  (** every cooperative-cancellation safepoint poll *)
+  | Cache_read  (** after reading a verdict-cache entry *)
+  | Cache_write  (** before persisting a verdict-cache entry *)
+  | Sock_send  (** before writing a response line to a client *)
+  | Sock_recv  (** before reading request bytes from a client *)
+
+val point_to_string : point -> string
+val point_of_string : string -> point option
+
+exception Injected of { point : string; action : string }
+(** Raised by {!hit} when a [crash] rule fires. Instrumented layers
+    treat it exactly like the real failure it models (an engine
+    exception, an unreadable cache entry, a dropped socket). *)
+
+type t
+(** A fault registry: a seed plus compiled rules per hook point. *)
+
+val disabled : t
+(** No rules: {!hit} and {!corrupt} are no-ops. *)
+
+val enabled : t -> bool
+(** [false] exactly for a registry with no rules. *)
+
+val default_spec : string
+(** The rule list a bare [--chaos SEED] selects: a bounded mix of
+    engine crashes and stalls, cache-read corruption, and socket
+    drops. *)
+
+val of_spec : string -> (t, string) result
+(** Parse [SEED[:RULES]] (grammar above). Errors name the offending
+    rule. *)
+
+val to_spec : t -> string
+(** The registry's canonical spec string (round-trips through
+    {!of_spec}). [""] for {!disabled}. *)
+
+val seed : t -> int
+
+val hit : t -> point -> unit
+(** Give every [crash]/[stall] rule on [point] its chance to fire:
+    raise {!Injected}, or sleep the stall duration, or do nothing.
+    [corrupt] rules never fire here. *)
+
+val corrupt : t -> point -> string -> string
+(** Give every [corrupt] rule on [point] its chance to flip one byte
+    (deterministic position and mask, never a no-op flip) of the
+    payload. [crash]/[stall] rules never fire here; the input is
+    returned unchanged when nothing fires or when it is empty. *)
+
+val injections : t -> (string * int) list
+(** Firing counts per rule, as [("point.action", n)] pairs in rule
+    order — the registry's own telemetry, nonzero exactly for the
+    faults actually delivered. *)
+
+val hash_float : seed:int -> salt:int -> int -> float
+(** The decision hash, exposed for the supervisor's jitter and the
+    determinism tests: a uniform float in [\[0,1)] that is a pure
+    function of its arguments. *)

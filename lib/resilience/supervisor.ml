@@ -1,0 +1,192 @@
+(* Supervised engine execution: bounded retries with deterministic
+   backoff, and a watchdog that turns non-cooperative engines into
+   recorded Hung failures. See supervisor.mli. *)
+
+module Engine = Tta_model.Engine
+
+type policy = {
+  retries : int;
+  backoff_s : float;
+  backoff_max_s : float;
+  jitter : float;
+  seed : int;
+  watchdog_s : float option;
+  hang_grace_s : float;
+}
+
+let default =
+  {
+    retries = 2;
+    backoff_s = 0.05;
+    backoff_max_s = 2.0;
+    jitter = 0.5;
+    seed = 0;
+    watchdog_s = None;
+    hang_grace_s = 0.25;
+  }
+
+(* Delay before attempt [k + 2]: capped exponential with deterministic
+   jitter (reused decision hash — the salt just separates the jitter
+   stream from any fault rule). *)
+let backoff_delay policy k =
+  let base =
+    Float.min policy.backoff_max_s (policy.backoff_s *. (2. ** float_of_int k))
+  in
+  base *. (1. +. (policy.jitter *. Faults.hash_float ~seed:policy.seed ~salt:0x5eed k))
+
+let backoff_schedule policy =
+  List.init (max 0 policy.retries) (backoff_delay policy)
+
+type failure =
+  | Crashed of { attempts : int; last_error : string }
+  | Hung of { attempts : int; watchdog_s : float }
+
+let failure_to_string = function
+  | Crashed { attempts; last_error } ->
+      Printf.sprintf "crashed after %d attempt(s): %s" attempts last_error
+  | Hung { attempts; watchdog_s } ->
+      Printf.sprintf "hung on attempt %d (watchdog %.3gs)" attempts watchdog_s
+
+type outcome = {
+  result : (Engine.result, failure) result;
+  attempts : int;
+  backoffs_s : float list;
+  counters : (string * int) list;
+  wall_s : float;
+}
+
+(* Sleep in short chunks so an external cancellation (the race already
+   has a winner) cuts the backoff short. *)
+let interruptible_sleep d cancel =
+  let rec go remaining =
+    if remaining > 0. && not (cancel ()) then begin
+      let step = Float.min 0.01 remaining in
+      Unix.sleepf step;
+      go (remaining -. step)
+    end
+  in
+  go d
+
+let run ?(policy = default) ?(faults = Faults.disabled) ?obs
+    ?(cancel = fun () -> false) ?max_depth (engine : Engine.t) cfg =
+  let t0 = Unix.gettimeofday () in
+  let retries_c = ref 0 and crashes_c = ref 0 and hangs_c = ref 0 in
+  let obs_tick name =
+    match obs with
+    | Some o when Obs.enabled o -> Obs.incr_by o name 1
+    | _ -> ()
+  in
+  (* The engine's cooperative safepoint doubles as the Engine_step fault
+     hook: an injected crash surfaces as an engine exception mid-run, an
+     injected stall as an engine that stopped making progress. *)
+  let wrapped_cancel wd_fired () =
+    Faults.hit faults Faults.Engine_step;
+    Atomic.get wd_fired || cancel ()
+  in
+  let attempt wd_fired =
+    try
+      Faults.hit faults Faults.Engine_start;
+      match policy.watchdog_s with
+      | None -> (
+          match engine.Engine.run ~cancel:(wrapped_cancel wd_fired) ?obs
+                  ?max_depth cfg
+          with
+          | r -> `Done r
+          | exception e -> `Raised e)
+      | Some w -> (
+          (* Run the attempt on its own domain so a hung engine can be
+             abandoned without taking the supervisor down with it. *)
+          let attempt_t0 = Unix.gettimeofday () in
+          let slot = Atomic.make `Pending in
+          let d =
+            Domain.spawn (fun () ->
+                match
+                  engine.Engine.run ~cancel:(wrapped_cancel wd_fired) ?obs
+                    ?max_depth cfg
+                with
+                | r -> Atomic.set slot (`Done r)
+                | exception e -> Atomic.set slot (`Raised e))
+          in
+          let rec wait limit =
+            match Atomic.get slot with
+            | `Pending ->
+                if Unix.gettimeofday () >= limit then `Timeout
+                else begin
+                  Unix.sleepf 0.002;
+                  wait limit
+                end
+            | (`Done _ | `Raised _) as s -> s
+          in
+          match wait (attempt_t0 +. w) with
+          | (`Done _ | `Raised _) as s ->
+              Domain.join d;
+              s
+          | `Timeout -> (
+              Atomic.set wd_fired true;
+              match wait (Unix.gettimeofday () +. policy.hang_grace_s) with
+              | `Raised e ->
+                  Domain.join d;
+                  `Raised e
+              | `Done r -> (
+                  Domain.join d;
+                  (* A late but conclusive verdict is still a verdict;
+                     a late "I was cancelled" is a hang on the record. *)
+                  match r.Engine.verdict with
+                  | Engine.Holds _ | Engine.Violated _ -> `Done r
+                  | Engine.Unknown _ -> `Hung w)
+              | `Timeout ->
+                  (* Abandon the attempt; a detached joiner reclaims the
+                     domain if it ever finishes. *)
+                  ignore
+                    (Domain.spawn (fun () -> try Domain.join d with _ -> ())
+                      : unit Domain.t);
+                  `Hung w))
+    with e -> `Raised e
+  in
+  let backoffs = ref [] in
+  let rec go attempt_no =
+    let wd_fired = Atomic.make false in
+    match attempt wd_fired with
+    | `Done r -> (Ok r, attempt_no)
+    | `Hung w ->
+        (* Hangs are terminal: the watchdog is a wall-clock budget, and
+           this attempt already spent it. *)
+        incr hangs_c;
+        obs_tick "supervisor.hangs";
+        (Error (Hung { attempts = attempt_no; watchdog_s = w }), attempt_no)
+    | `Raised e ->
+        incr crashes_c;
+        obs_tick "supervisor.crashes";
+        let give_up () =
+          ( Error
+              (Crashed
+                 { attempts = attempt_no; last_error = Printexc.to_string e }),
+            attempt_no )
+        in
+        if attempt_no > policy.retries || cancel () then give_up ()
+        else begin
+          let d = backoff_delay policy (attempt_no - 1) in
+          backoffs := d :: !backoffs;
+          incr retries_c;
+          obs_tick "supervisor.retries";
+          interruptible_sleep d cancel;
+          if cancel () then give_up () else go (attempt_no + 1)
+        end
+  in
+  let result, attempts = go 1 in
+  let counters =
+    List.filter
+      (fun (_, v) -> v > 0)
+      [
+        ("supervisor.retries", !retries_c);
+        ("supervisor.crashes", !crashes_c);
+        ("supervisor.hangs", !hangs_c);
+      ]
+  in
+  {
+    result;
+    attempts;
+    backoffs_s = List.rev !backoffs;
+    counters;
+    wall_s = Unix.gettimeofday () -. t0;
+  }

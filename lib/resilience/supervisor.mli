@@ -1,0 +1,84 @@
+(** Supervised engine execution: retries, backoff, and a hang watchdog.
+
+    [run] wraps {!Tta_model.Engine.t}[.run] with a per-engine policy so
+    that a crashing or hanging engine becomes a recorded {!failure}
+    instead of an exception unwinding through the portfolio:
+
+    - an engine exception (including an injected {!Faults.Injected}
+      crash) is retried up to [retries] times, with capped exponential
+      backoff and seeded jitter between attempts;
+    - with a [watchdog_s] budget set, the attempt runs on its own
+      domain; an attempt that exceeds the budget is asked to stop via
+      the cooperative cancel hook, granted [hang_grace_s] to deliver a
+      late conclusive verdict, and otherwise abandoned as {!Hung}
+      (hangs are not retried — the watchdog is a wall-clock budget, and
+      an engine that stopped polling its safepoints cannot be trusted
+      twice).
+
+    The jitter and therefore the whole backoff sequence are a pure
+    function of the policy ({!backoff_schedule}), keeping supervised
+    runs as reproducible as the engines they wrap. *)
+
+type policy = {
+  retries : int;  (** extra attempts after the first (0 = fail fast) *)
+  backoff_s : float;  (** base delay before attempt 2 *)
+  backoff_max_s : float;  (** cap on the exponential growth *)
+  jitter : float;
+      (** delay is multiplied by [1 + jitter * u], [u] uniform in
+          [\[0,1)] derived from [seed] — deterministic, not sampled *)
+  seed : int;
+  watchdog_s : float option;
+      (** wall-clock budget per attempt; [None] disables the watchdog
+          and runs the engine on the calling domain *)
+  hang_grace_s : float;
+      (** extra time an over-budget attempt gets to answer the cancel
+          request before being abandoned *)
+}
+
+val default : policy
+(** 2 retries, 50ms base backoff capped at 2s, jitter 0.5, seed 0, no
+    watchdog, 250ms hang grace. *)
+
+val backoff_schedule : policy -> float list
+(** The exact delays (seconds) [run] sleeps before attempts
+    [2 .. retries + 1]: [min backoff_max_s (backoff_s * 2^k) * (1 +
+    jitter * u_k)]. Exposed so tests can assert the observed backoffs
+    against it. *)
+
+type failure =
+  | Crashed of { attempts : int; last_error : string }
+      (** every attempt raised; [last_error] is [Printexc.to_string] of
+          the final one *)
+  | Hung of { attempts : int; watchdog_s : float }
+      (** the attempt blew its watchdog budget and did not produce a
+          conclusive verdict within the grace period *)
+
+val failure_to_string : failure -> string
+
+type outcome = {
+  result : (Tta_model.Engine.result, failure) result;
+  attempts : int;  (** total attempts made (>= 1) *)
+  backoffs_s : float list;  (** the delays actually slept, in order *)
+  counters : (string * int) list;
+      (** the supervisor's own telemetry — [supervisor.retries],
+          [supervisor.crashes], [supervisor.hangs] — nonzero entries
+          only, disjoint from the engine's counters *)
+  wall_s : float;  (** total supervised wall time, backoffs included *)
+}
+
+val run :
+  ?policy:policy ->
+  ?faults:Faults.t ->
+  ?obs:Obs.t ->
+  ?cancel:(unit -> bool) ->
+  ?max_depth:int ->
+  Tta_model.Engine.t ->
+  Tta_model.Configs.t ->
+  outcome
+(** Supervised [engine.run]. [faults] hooks {!Faults.Engine_start}
+    before every attempt and {!Faults.Engine_step} into the engine's
+    cooperative cancel polls. [cancel] is the external (portfolio)
+    cancellation: when it turns true, pending backoffs are cut short
+    and no further retries are attempted. [obs] receives live
+    [supervisor.*] counter increments when enabled; the same values are
+    always returned in [outcome.counters]. *)

@@ -12,6 +12,8 @@ type report = {
   overloaded : int;
   cancelled : int;
   protocol_errors : int;
+  retries : int;
+  engine_failed : int;
   cache_hits : int;
   coalesced : int;
   wall_s : float;
@@ -39,9 +41,23 @@ let connect addr =
 
 let rec write_all fd s off len =
   if len > 0 then begin
-    let n = Unix.write_substring fd s off len in
-    write_all fd s (off + n) (len - n)
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
   end
+
+(* The daemon may be mid-restart, the backlog briefly full, or a chaos
+   fault may have aborted our previous connection — retry the connect a
+   few times with capped exponential backoff before giving up. *)
+let connect_backoff ?(attempts = 6) addr =
+  let rec go k =
+    match connect addr with
+    | fd -> fd
+    | exception Unix.Unix_error _ when k < attempts - 1 ->
+        Unix.sleepf (Float.min 0.5 (0.05 *. (2. ** float_of_int k)));
+        go (k + 1)
+  in
+  go 0
 
 (* A blocking line reader over a raw fd (one per connection, single
    consumer). Returns [None] on EOF with an empty buffer. *)
@@ -62,6 +78,7 @@ let rec read_line_opt r =
       | n ->
           Buffer.add_subbytes r.rbuf r.scratch 0 n;
           read_line_opt r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line_opt r
       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
           None)
 
@@ -95,6 +112,8 @@ type acc = {
   mutable overloaded : int;
   mutable cancelled : int;
   mutable protocol_errors : int;
+  mutable retries : int;
+  mutable engine_failed : int;
   mutable cache_hits : int;
   mutable coalesced : int;
   mutable latencies_ms : float list;  (** answered requests only *)
@@ -112,11 +131,28 @@ let acc () =
     overloaded = 0;
     cancelled = 0;
     protocol_errors = 0;
+    retries = 0;
+    engine_failed = 0;
     cache_hits = 0;
     coalesced = 0;
     latencies_ms = [];
     last_response_at = 0.;
   }
+
+let count_retry acc n =
+  Mutex.lock acc.lock;
+  acc.retries <- acc.retries + n;
+  Mutex.unlock acc.lock
+
+let count_engine_failed acc =
+  Mutex.lock acc.lock;
+  acc.engine_failed <- acc.engine_failed + 1;
+  Mutex.unlock acc.lock
+
+let count_protocol_errors acc n =
+  Mutex.lock acc.lock;
+  acc.protocol_errors <- acc.protocol_errors + n;
+  Mutex.unlock acc.lock
 
 let record acc ~sent_at line =
   let at = Unix.gettimeofday () in
@@ -146,81 +182,176 @@ let record acc ~sent_at line =
 (* ------------------------------------------------------------------ *)
 (* The two loops *)
 
-let run_closed ~concurrency ~reqs addr acc =
+(* Per-request outcome of one attempt over the worker's connection.
+   [`Conn_lost] covers connect/write failures and EOF before a
+   response — the connection is dead, reconnect and resend.
+   [`Engine_failed]/[`Garbled] arrive on a live, in-sync connection
+   (one response consumed per request sent), so a retry just resends. *)
+let attempt_once ~get_conn ~drop_conn ~id line =
+  match get_conn () with
+  | exception Unix.Unix_error _ -> `Conn_lost
+  | fd, reader -> (
+      match write_all fd line 0 (String.length line) with
+      | exception Unix.Unix_error _ ->
+          drop_conn ();
+          `Conn_lost
+      | () -> (
+          match read_line_opt reader with
+          | None ->
+              drop_conn ();
+              `Conn_lost
+          | Some resp -> (
+              match Protocol.decode_response_line resp with
+              | Error _ -> `Garbled
+              | Ok (Protocol.Error { code; _ })
+                when code = Protocol.code_engine_failed ->
+                  `Engine_failed resp
+              | Ok r ->
+                  if Protocol.response_id r = Some id then `Answered resp
+                  else `Garbled)))
+
+let run_closed ~concurrency ~retry_budget ~reqs addr acc =
   let next = Atomic.make 0 in
   let reqs = Array.of_list reqs in
   let worker () =
-    let fd = connect addr in
-    let reader = line_reader fd in
+    let conn = ref None in
+    let get_conn () =
+      match !conn with
+      | Some c -> c
+      | None ->
+          let fd = connect_backoff addr in
+          let c = (fd, line_reader fd) in
+          conn := Some c;
+          c
+    in
+    let drop_conn () =
+      (match !conn with
+      | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      conn := None
+    in
     let rec go () =
       let i = Atomic.fetch_and_add next 1 in
       if i < Array.length reqs then begin
-        let _, line = reqs.(i) in
+        let id, line = reqs.(i) in
         let t0 = Unix.gettimeofday () in
-        write_all fd line 0 (String.length line);
-        (match read_line_opt reader with
-        | Some resp -> record acc ~sent_at:(Some t0) resp
-        | None ->
-            Mutex.lock acc.lock;
-            acc.protocol_errors <- acc.protocol_errors + 1;
-            Mutex.unlock acc.lock);
+        let rec attempt budget =
+          match attempt_once ~get_conn ~drop_conn ~id line with
+          | `Answered resp -> record acc ~sent_at:(Some t0) resp
+          | `Engine_failed _ when budget > 0 ->
+              count_engine_failed acc;
+              count_retry acc 1;
+              attempt (budget - 1)
+          | `Engine_failed resp ->
+              count_engine_failed acc;
+              record acc ~sent_at:None resp
+          | (`Conn_lost | `Garbled) when budget > 0 ->
+              count_retry acc 1;
+              attempt (budget - 1)
+          | `Conn_lost | `Garbled -> count_protocol_errors acc 1
+        in
+        attempt retry_budget;
         go ()
       end
     in
     go ();
-    try Unix.close fd with Unix.Unix_error _ -> ()
+    drop_conn ()
   in
   let domains =
     List.init (max 1 concurrency) (fun _ -> Domain.spawn worker)
   in
   List.iter Domain.join domains
 
-let run_open ~rate ~reqs addr acc =
-  let fd = connect addr in
-  let sent = Hashtbl.create (List.length reqs) in
-  let sent_lock = Mutex.create () in
-  let t_start = Unix.gettimeofday () in
-  let writer =
-    Domain.spawn (fun () ->
-        List.iteri
-          (fun i (id, line) ->
-            let due = t_start +. (float_of_int i /. rate) in
-            let dt = due -. Unix.gettimeofday () in
-            if dt > 0. then Unix.sleepf dt;
-            Mutex.lock sent_lock;
-            Hashtbl.replace sent id (Unix.gettimeofday ());
-            Mutex.unlock sent_lock;
-            write_all fd line 0 (String.length line))
-          reqs)
+(* Open-loop runs proceed in rounds: pace the pending requests onto
+   one connection at [rate], read until every one is answered or the
+   connection dies, then — with retry budget left — reconnect and
+   resend whatever went unanswered (plus any [engine_failed]
+   responses, which are retryable: the daemon's supervisor may have
+   hit its cap on a transient fault). A reply the loadgen cannot
+   attribute to a request (undecodable or id-less) cannot be resent
+   and counts as a protocol error immediately. *)
+let run_open ~rate ~retry_budget ~reqs addr acc =
+  let rec round pending budget =
+    match connect_backoff addr with
+    | exception Unix.Unix_error _ ->
+        count_protocol_errors acc (List.length pending)
+    | fd ->
+        let sent = Hashtbl.create (List.length pending) in
+        let sent_lock = Mutex.create () in
+        let t_start = Unix.gettimeofday () in
+        let writer =
+          Domain.spawn (fun () ->
+              let rec send i = function
+                | [] -> ()
+                | (id, line) :: rest -> (
+                    let due = t_start +. (float_of_int i /. rate) in
+                    let dt = due -. Unix.gettimeofday () in
+                    if dt > 0. then Unix.sleepf dt;
+                    Mutex.lock sent_lock;
+                    Hashtbl.replace sent id (Unix.gettimeofday ());
+                    Mutex.unlock sent_lock;
+                    match write_all fd line 0 (String.length line) with
+                    | () -> send (i + 1) rest
+                    | exception Unix.Unix_error _ ->
+                        (* Connection dead: the reader will hit EOF; the
+                           unsent tail is picked up as unanswered. *)
+                        ())
+              in
+              send 0 pending)
+        in
+        let reader = line_reader fd in
+        let expected = List.length pending in
+        let answered = Hashtbl.create expected in
+        let failed = Hashtbl.create 4 in
+        let rec read_responses got =
+          if got < expected then
+            match read_line_opt reader with
+            | None -> ()
+            | Some line ->
+                (match Protocol.decode_response_line line with
+                | Ok (Protocol.Error { id = Some id; code; _ })
+                  when code = Protocol.code_engine_failed ->
+                    count_engine_failed acc;
+                    Hashtbl.replace answered id ();
+                    Hashtbl.replace failed id line
+                | Ok r -> (
+                    match Protocol.response_id r with
+                    | Some id ->
+                        Hashtbl.replace answered id ();
+                        Mutex.lock sent_lock;
+                        let t0 = Hashtbl.find_opt sent id in
+                        Mutex.unlock sent_lock;
+                        record acc ~sent_at:t0 line
+                    | None -> record acc ~sent_at:None line)
+                | Error _ -> record acc ~sent_at:None line);
+                read_responses (got + 1)
+        in
+        read_responses 0;
+        Domain.join writer;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        let retryable =
+          List.filter
+            (fun (id, _) ->
+              (not (Hashtbl.mem answered id)) || Hashtbl.mem failed id)
+            pending
+        in
+        if retryable = [] then ()
+        else if budget > 0 then begin
+          count_retry acc (List.length retryable);
+          round retryable (budget - 1)
+        end
+        else
+          (* Out of budget: record the terminal [engine_failed]
+             responses; everything still unanswered is a protocol
+             error. *)
+          List.iter
+            (fun (id, _) ->
+              match Hashtbl.find_opt failed id with
+              | Some line -> record acc ~sent_at:None line
+              | None -> count_protocol_errors acc 1)
+            retryable
   in
-  let reader = line_reader fd in
-  let expected = List.length reqs in
-  let rec read_responses got =
-    if got < expected then
-      match read_line_opt reader with
-      | None ->
-          Mutex.lock acc.lock;
-          acc.protocol_errors <- acc.protocol_errors + (expected - got);
-          Mutex.unlock acc.lock
-      | Some line ->
-          let sent_at =
-            match
-              Option.bind (Result.to_option (Protocol.decode_response_line line))
-                Protocol.response_id
-            with
-            | Some id ->
-                Mutex.lock sent_lock;
-                let t0 = Hashtbl.find_opt sent id in
-                Mutex.unlock sent_lock;
-                t0
-            | None -> None
-          in
-          record acc ~sent_at line;
-          read_responses (got + 1)
-  in
-  read_responses 0;
-  Domain.join writer;
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  round reqs retry_budget
 
 (* ------------------------------------------------------------------ *)
 (* Entry point and reporting *)
@@ -233,7 +364,7 @@ let percentile sorted p =
       sorted.(max 0 (min (n - 1) rank))
 
 let run ?(seed = 1) ?(nodes = 2) ?(depth = 24) ?deadline_ms ?configs ?engines
-    ~mode ~requests addr =
+    ?(retry_budget = 2) ~mode ~requests addr =
   let configs =
     match configs with
     | Some (_ :: _ as l) -> l
@@ -248,9 +379,11 @@ let run ?(seed = 1) ?(nodes = 2) ?(depth = 24) ?deadline_ms ?configs ?engines
   in
   let a = acc () in
   let t0 = Unix.gettimeofday () in
+  let retry_budget = max 0 retry_budget in
   (match mode with
-  | Closed_loop c -> run_closed ~concurrency:c ~reqs addr a
-  | Open_loop r -> run_open ~rate:(Float.max 0.001 r) ~reqs addr a);
+  | Closed_loop c -> run_closed ~concurrency:c ~retry_budget ~reqs addr a
+  | Open_loop r ->
+      run_open ~rate:(Float.max 0.001 r) ~retry_budget ~reqs addr a);
   let t_end = if a.last_response_at > 0. then a.last_response_at else t0 in
   let wall_s = Float.max 1e-9 (t_end -. t0) in
   let sorted = Array.of_list a.latencies_ms in
@@ -265,6 +398,8 @@ let run ?(seed = 1) ?(nodes = 2) ?(depth = 24) ?deadline_ms ?configs ?engines
     overloaded = a.overloaded;
     cancelled = a.cancelled;
     protocol_errors = a.protocol_errors;
+    retries = a.retries;
+    engine_failed = a.engine_failed;
     cache_hits = a.cache_hits;
     coalesced = a.coalesced;
     wall_s;
@@ -296,6 +431,8 @@ let report_to_json ~mode r =
       ("overloaded", Json.Int r.overloaded);
       ("cancelled", Json.Int r.cancelled);
       ("protocol_errors", Json.Int r.protocol_errors);
+      ("retries", Json.Int r.retries);
+      ("engine_failed", Json.Int r.engine_failed);
       ("cache_hits", Json.Int r.cache_hits);
       ("coalesced", Json.Int r.coalesced);
       ("wall_s", Json.Float r.wall_s);
@@ -310,9 +447,11 @@ let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>requests  %d (%d ok, %d overloaded, %d cancelled, %d protocol \
      errors)@,verdicts  %d holds, %d violated, %d unknown (%d past \
-     deadline)@,dedup     %d cache hits, %d coalesced@,wall      %.2fs \
+     deadline)@,dedup     %d cache hits, %d coalesced@,resilience %d \
+     retries, %d engine-failed responses@,wall      %.2fs \
      (%.1f req/s)@,latency   p50 %.1fms  p95 %.1fms  p99 %.1fms  max \
      %.1fms@]@."
     r.requests r.ok r.overloaded r.cancelled r.protocol_errors r.holds
     r.violated r.unknown r.deadline_exceeded r.cache_hits r.coalesced
-    r.wall_s r.throughput_rps r.p50_ms r.p95_ms r.p99_ms r.max_ms
+    r.retries r.engine_failed r.wall_s r.throughput_rps r.p50_ms r.p95_ms
+    r.p99_ms r.max_ms

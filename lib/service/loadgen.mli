@@ -15,7 +15,16 @@
     The stream is deterministic for a given seed, so distinct requests
     repeat — exercising the daemon's coalescing and cache paths on
     purpose. The report carries throughput, latency percentiles over
-    the answered requests, and the outcome/dedup breakdown. *)
+    the answered requests, and the outcome/dedup breakdown.
+
+    {b Retries.} A dropped connection (ECONNRESET/EPIPE/EOF — e.g. the
+    daemon's chaos mode aborting a socket) or an [engine_failed] error
+    response does not forfeit the request: the loadgen reconnects with
+    capped exponential backoff and resends, spending up to
+    [retry_budget] retries per request. Only a request whose budget is
+    exhausted counts as a protocol error. [retries] and
+    [engine_failed] in the report count the resends and the
+    engine-failure responses observed across all attempts. *)
 
 type mode = Open_loop of float  (** target requests/second *)
           | Closed_loop of int  (** concurrent in-flight requests *)
@@ -30,7 +39,11 @@ type report = {
   overloaded : int;
   cancelled : int;
   protocol_errors : int;
-      (** [status:"error"] responses plus undecodable response lines *)
+      (** [status:"error"] responses plus undecodable response lines
+          and requests still unanswered after the retry budget *)
+  retries : int;  (** resends after connection loss or engine failure *)
+  engine_failed : int;
+      (** [code:"engine_failed"] responses seen (retried ones included) *)
   cache_hits : int;
   coalesced : int;
   wall_s : float;  (** first send to last response *)
@@ -48,13 +61,15 @@ val run :
   ?deadline_ms:int ->
   ?configs:string list ->
   ?engines:string list ->
+  ?retry_budget:int ->
   mode:mode ->
   requests:int ->
   Server.addr ->
   report
 (** Defaults: [seed 1], [nodes 2], [depth 24], no deadline, all four
-    feature sets, engine ["bdd"]. [engines] entries are request
-    [engine] values, so ["race"] is allowed.
+    feature sets, engine ["bdd"], [retry_budget 2] (per request; [0]
+    disables retries). [engines] entries are request [engine] values,
+    so ["race"] is allowed.
     @raise Unix.Unix_error when the daemon cannot be reached. *)
 
 val report_to_json : mode:mode -> report -> Json.t

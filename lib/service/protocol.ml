@@ -137,7 +137,14 @@ type response =
     }
   | Overloaded of { id : string }
   | Cancelled of { id : string; reason : string }
-  | Error of { id : string option; reason : string }
+  | Error of { id : string option; code : string; reason : string }
+
+(* The machine-readable rejection codes. Overloaded and Cancelled carry
+   theirs implicitly; Error picks between the remaining two. *)
+let code_overloaded = "overloaded"
+let code_draining = "draining"
+let code_bad_request = "bad_request"
+let code_engine_failed = "engine_failed"
 
 let response_id = function
   | Answer { id; _ } | Overloaded { id } | Cancelled { id; _ } -> Some id
@@ -177,19 +184,26 @@ let encode_response = function
           ])
   | Overloaded { id } ->
       Json.Obj
-        [ ("id", Json.String id); ("status", Json.String "overloaded") ]
+        [
+          ("id", Json.String id);
+          ("status", Json.String "overloaded");
+          ("code", Json.String code_overloaded);
+        ]
   | Cancelled { id; reason } ->
       Json.Obj
         [
           ("id", Json.String id);
           ("status", Json.String "cancelled");
+          ("code", Json.String code_draining);
           ("reason", Json.String reason);
         ]
-  | Error { id; reason } ->
+  | Error { id; code; reason } ->
       Json.Obj
         ((match id with Some id -> [ ("id", Json.String id) ] | None -> [])
         @ [
-            ("status", Json.String "error"); ("reason", Json.String reason);
+            ("status", Json.String "error");
+            ("code", Json.String code);
+            ("reason", Json.String reason);
           ])
 
 let response_line r = Json.to_string (encode_response r) ^ "\n"
@@ -283,7 +297,12 @@ let decode_response j : (response, string) result =
           Ok (Cancelled { id; reason })
       | Some "error" ->
           let* reason = required_string "reason" j in
-          Ok (Error { id; reason })
+          (* Pre-code daemons sent errors only for unparseable input. *)
+          let code =
+            Option.value ~default:code_bad_request
+              (Option.bind (field "code" j) Json.string_value)
+          in
+          Ok (Error { id; code; reason })
       | Some s -> Result.Error (Printf.sprintf "unknown status %S" s)
       | None -> Result.Error "missing field \"status\"")
   | _ -> Result.Error "response must be a JSON object"

@@ -26,8 +26,16 @@
       queue full). The request was {e not} and will not be run.
     - [status:"cancelled"] — accepted but abandoned, e.g. by a
       shutdown drain; [reason] says why.
-    - [status:"error"] — the line was not a valid request; [reason]
-      explains, [id] is echoed when one could be parsed.
+    - [status:"error"] — the line was not a valid request
+      ([code:"bad_request"]) or every engine of an accepted request
+      failed ([code:"engine_failed"]); [reason] explains, [id] is
+      echoed when one could be parsed.
+
+    Every non-[ok] response additionally carries a machine-readable
+    [code] — one of [overloaded], [draining], [bad_request],
+    [engine_failed] — so clients can branch on the cause (e.g. retry
+    on [engine_failed], back off on [overloaded]) without parsing the
+    human-oriented [reason].
 
     Decoding is total: every malformed input maps to [Error _], never
     an exception. *)
@@ -90,9 +98,18 @@ type response =
       wall_ms : float;
       queue_ms : float;
     }
-  | Overloaded of { id : string }
+  | Overloaded of { id : string }  (** wire [code]: [overloaded] *)
   | Cancelled of { id : string; reason : string }
-  | Error of { id : string option; reason : string }
+      (** wire [code]: [draining] *)
+  | Error of { id : string option; code : string; reason : string }
+      (** [code] is {!code_bad_request} or {!code_engine_failed} *)
+
+val code_overloaded : string
+val code_draining : string
+val code_bad_request : string
+val code_engine_failed : string
+(** The four machine-readable rejection codes; see the format notes
+    above. *)
 
 val response_id : response -> string option
 

@@ -39,6 +39,8 @@ type t = {
           coalescing window spans the whole run *)
   models : (Configs.t, Symkit.Model.t) Hashtbl.t;
   cache : Portfolio.Cache.t option;
+  supervisor : Resilience.Supervisor.policy;
+  faults : Resilience.Faults.t;
   mutable draining : bool;
   mutable running : int;
   force : bool Atomic.t;  (** drain watchdog: cancel in-flight runs *)
@@ -130,6 +132,7 @@ let skip_result comp detail =
     wall_s = 0.;
     cache_hit = false;
     runs = [];
+    failures = [];
   }
 
 let execute t comp =
@@ -154,7 +157,8 @@ let execute t comp =
         in
         let r =
           Portfolio.race ~cancel ?cache:t.cache ~engines:comp.engines
-            ~max_depth:comp.max_depth comp.cfg
+            ~max_depth:comp.max_depth ~supervisor:t.supervisor
+            ~faults:t.faults comp.cfg
         in
         Obs.stop span;
         (r, true)
@@ -190,7 +194,9 @@ let rec worker_loop t =
 (* ------------------------------------------------------------------ *)
 (* Construction, submission, drain *)
 
-let create ?workers ?(queue_cap = 64) ?cache ?obs () =
+let create ?workers ?(queue_cap = 64) ?cache ?obs
+    ?(supervisor = Resilience.Supervisor.default)
+    ?(faults = Resilience.Faults.disabled) () =
   let workers_n =
     match workers with
     | None -> Portfolio.Pool.default_domains ()
@@ -212,6 +218,8 @@ let create ?workers ?(queue_cap = 64) ?cache ?obs () =
       inflight = Hashtbl.create 64;
       models = Hashtbl.create 16;
       cache;
+      supervisor;
+      faults;
       draining = false;
       running = 0;
       force = Atomic.make false;
@@ -270,6 +278,7 @@ let submit t ?deadline ~engines ~max_depth ~callback cfg =
                 wall_s = 0.;
                 cache_hit = true;
                 runs = [];
+                failures = [];
               };
             coalesced = false;
             queue_ms = 0.;

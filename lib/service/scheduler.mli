@@ -45,6 +45,8 @@ val create :
   ?queue_cap:int ->
   ?cache:Portfolio.Cache.t ->
   ?obs:Obs.Collector.t ->
+  ?supervisor:Resilience.Supervisor.policy ->
+  ?faults:Resilience.Faults.t ->
   unit ->
   t
 (** [workers] defaults to [Portfolio.Pool.default_domains ()];
@@ -53,7 +55,11 @@ val create :
     track: [service.queue_depth] / [service.inflight] gauges,
     [service.{submitted,coalesced,shed,cache_hits,runs,expired,
     completed}] counters, and a [service.run] span per engine-pool
-    computation.
+    computation. [supervisor]/[faults] are forwarded to every
+    {!Portfolio.race} the workers run: a request whose engines all
+    crash or hang is still answered — with a result flagged by
+    {!Portfolio.all_failed} that the protocol layer turns into a
+    structured [engine_failed] error.
     @raise Invalid_argument if [workers < 1] or [queue_cap < 1]. *)
 
 type outcome = {

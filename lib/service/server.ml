@@ -40,23 +40,51 @@ type t = {
   stopping : bool Atomic.t;
   finished : bool Atomic.t;  (** loop domain exited (drain included) *)
   grace : float;
+  faults : Resilience.Faults.t;
   join_lock : Mutex.t;
   mutable loop : unit Domain.t option;
 }
 
 let rec write_all fd s off len =
-  if len > 0 then begin
-    let n = Unix.write_substring fd s off len in
-    write_all fd s (off + n) (len - n)
-  end
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        (* A signal mid-write is not a failed write; resume where the
+           syscall left off. *)
+        write_all fd s off len
 
-let conn_write conn resp =
+(* Half-close the socket without releasing the descriptor (the loop
+   domain's sweep still owns the [Unix.close]): the peer sees EOF
+   immediately — even while the select loop is parked — instead of
+   waiting forever for a response that will never come. *)
+let conn_abort conn =
+  conn.closed <- true;
+  if conn.fd_open then
+    try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()
+
+let conn_write ~faults conn resp =
   Mutex.lock conn.wlock;
   (if not conn.closed then
-     let s = Protocol.response_line resp in
-     match write_all conn.fd s 0 (String.length s) with
-     | () -> ()
-     | exception Unix.Unix_error _ -> conn.closed <- true);
+     match
+       Resilience.Faults.hit faults Resilience.Faults.Sock_send;
+       Resilience.Faults.corrupt faults Resilience.Faults.Sock_send
+         (Protocol.response_line resp)
+     with
+     | exception Resilience.Faults.Injected _ ->
+         (* Injected send failure: the response is lost exactly as if
+            the kernel had dropped the connection mid-write. Abort so
+            the client learns immediately and can retry. *)
+         conn_abort conn
+     | s -> (
+         match write_all conn.fd s 0 (String.length s) with
+         | () -> ()
+         | exception Unix.Unix_error _ ->
+             (* EPIPE/ECONNRESET (SIGPIPE is ignored process-wide): the
+                client hung up mid-write. Abort the connection; the
+                select loop and its other clients are unaffected. *)
+             conn_abort conn));
   Mutex.unlock conn.wlock
 
 let conn_close conn =
@@ -95,24 +123,42 @@ let verdict_of (o : Scheduler.outcome) =
 
 let answer_of ~id (o : Scheduler.outcome) =
   let r = o.Scheduler.result in
-  Protocol.Answer
-    {
-      id;
-      verdict = verdict_of o;
-      engine = Tta_model.Engine.id_to_string r.Portfolio.engine;
-      cache_hit = r.Portfolio.cache_hit;
-      coalesced = o.Scheduler.coalesced;
-      wall_ms = r.Portfolio.wall_s *. 1000.;
-      queue_ms = o.Scheduler.queue_ms;
-    }
+  (* A run in which every engine crashed or hung is not a verdict; it
+     is a structured failure the client may retry. *)
+  if Portfolio.all_failed r then
+    Protocol.Error
+      {
+        id = Some id;
+        code = Protocol.code_engine_failed;
+        reason =
+          (match r.Portfolio.verdict with
+          | Tta_model.Engine.Unknown { detail } -> detail
+          | _ -> "all engines failed");
+      }
+  else
+    Protocol.Answer
+      {
+        id;
+        verdict = verdict_of o;
+        engine = Tta_model.Engine.id_to_string r.Portfolio.engine;
+        cache_hit = r.Portfolio.cache_hit;
+        coalesced = o.Scheduler.coalesced;
+        wall_ms = r.Portfolio.wall_s *. 1000.;
+        queue_ms = o.Scheduler.queue_ms;
+      }
 
 let handle_line t conn line =
   let line = String.trim line in
   if line <> "" then
     match Protocol.decode_request_line line with
     | Error reason ->
-        conn_write conn
-          (Protocol.Error { id = Protocol.request_id_of_line line; reason })
+        conn_write ~faults:t.faults conn
+          (Protocol.Error
+             {
+               id = Protocol.request_id_of_line line;
+               code = Protocol.code_bad_request;
+               reason;
+             })
     | Ok req ->
         let deadline =
           Option.map
@@ -124,7 +170,7 @@ let handle_line t conn line =
         conn.pending <- conn.pending + 1;
         Mutex.unlock conn.wlock;
         let callback o =
-          conn_write conn (answer_of ~id o);
+          conn_write ~faults:t.faults conn (answer_of ~id o);
           Mutex.lock conn.wlock;
           conn.pending <- conn.pending - 1;
           Mutex.unlock conn.wlock
@@ -139,7 +185,7 @@ let handle_line t conn line =
             Mutex.lock conn.wlock;
             conn.pending <- conn.pending - 1;
             Mutex.unlock conn.wlock;
-            conn_write conn
+            conn_write ~faults:t.faults conn
               (match admission with
               | `Shed -> Protocol.Overloaded { id }
               | _ -> Protocol.Cancelled { id; reason = "shutting down" }))
@@ -163,7 +209,20 @@ let drain_lines conn k =
   end
 
 let handle_read t scratch conn =
-  match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+  match
+    Resilience.Faults.hit t.faults Resilience.Faults.Sock_recv;
+    Unix.read conn.fd scratch 0 (Bytes.length scratch)
+  with
+  | exception Resilience.Faults.Injected _ ->
+      (* Injected receive failure: drop the connection as a flaky NIC
+         would. The client reconnects and retries. *)
+      Mutex.lock conn.wlock;
+      conn_abort conn;
+      Mutex.unlock conn.wlock
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* Interrupted before any bytes arrived; select will offer the
+         descriptor again. Nothing was lost. *)
+      ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
       conn.closed <- true
   | 0 -> conn.closed <- true
@@ -251,11 +310,14 @@ let bind_listen addr =
       Unix.listen fd 64;
       fd
 
-let start ?workers ?queue_cap ?cache ?obs ?(grace = 5.0) addr =
+let start ?workers ?queue_cap ?cache ?obs ?supervisor
+    ?(faults = Resilience.Faults.disabled) ?(grace = 5.0) addr =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd = bind_listen addr in
   let pipe_r, pipe_w = Unix.pipe () in
-  let sched = Scheduler.create ?workers ?queue_cap ?cache ?obs () in
+  let sched =
+    Scheduler.create ?workers ?queue_cap ?cache ?obs ?supervisor ~faults ()
+  in
   let t =
     {
       sched;
@@ -265,6 +327,7 @@ let start ?workers ?queue_cap ?cache ?obs ?(grace = 5.0) addr =
       stopping = Atomic.make false;
       finished = Atomic.make false;
       grace;
+      faults;
       join_lock = Mutex.create ();
       loop = None;
     }
@@ -302,9 +365,11 @@ let wait t =
 
 let scheduler t = t.sched
 
-let serve ?workers ?queue_cap ?cache ?obs ?grace ?(on_ready = fun () -> ())
-    addr =
-  let t = start ?workers ?queue_cap ?cache ?obs ?grace addr in
+let serve ?workers ?queue_cap ?cache ?obs ?supervisor ?faults ?grace
+    ?(on_ready = fun () -> ()) addr =
+  let t =
+    start ?workers ?queue_cap ?cache ?obs ?supervisor ?faults ?grace addr
+  in
   let handler = Sys.Signal_handle (fun _ -> stop t) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;

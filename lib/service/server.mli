@@ -33,12 +33,17 @@ val start :
   ?queue_cap:int ->
   ?cache:Portfolio.Cache.t ->
   ?obs:Obs.Collector.t ->
+  ?supervisor:Resilience.Supervisor.policy ->
+  ?faults:Resilience.Faults.t ->
   ?grace:float ->
   addr ->
   t
 (** Bind, listen, and run the accept loop on its own domain; returns
     once the socket is ready to connect to. [grace] (default 5 s) is
-    the drain watchdog passed to {!Scheduler.drain}. The remaining
+    the drain watchdog passed to {!Scheduler.drain}. [faults] also arms
+    the [Sock_send]/[Sock_recv] hook points on every connection: an
+    injected socket fault aborts that one connection (the client sees
+    EOF and retries) without touching the select loop. The remaining
     options go to {!Scheduler.create}.
     @raise Unix.Unix_error if the address cannot be bound. *)
 
@@ -56,6 +61,8 @@ val serve :
   ?queue_cap:int ->
   ?cache:Portfolio.Cache.t ->
   ?obs:Obs.Collector.t ->
+  ?supervisor:Resilience.Supervisor.policy ->
+  ?faults:Resilience.Faults.t ->
   ?grace:float ->
   ?on_ready:(unit -> unit) ->
   addr ->

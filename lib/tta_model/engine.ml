@@ -61,8 +61,13 @@ let instrumented ~name impl ?(cancel = fun () -> false) ?obs ?(max_depth = 24)
   in
   let gc0 = Gc.quick_stat () in
   let sp = Obs.start obs ~args:[ ("engine", name) ] "engine.run" in
-  let verdict = impl ~cancel ~obs ~max_depth cfg in
-  Obs.stop sp;
+  (* Close the span even when the engine raises: a supervised retry
+     reuses the track, and an unbalanced span would swallow the whole
+     next attempt in the trace. *)
+  let verdict =
+    Fun.protect ~finally:(fun () -> Obs.stop sp) (fun () ->
+        impl ~cancel ~obs ~max_depth cfg)
+  in
   let gc1 = Gc.quick_stat () in
   Obs.incr_by obs "gc.minor_collections"
     (gc1.Gc.minor_collections - gc0.Gc.minor_collections);

@@ -86,7 +86,7 @@ let test_pool_order () =
   let items = List.init 50 Fun.id in
   List.iter
     (fun domains ->
-      let got = Portfolio.Pool.map ~domains (fun i -> i * i) items in
+      let got = Portfolio.Pool.map_exn ~domains (fun i -> i * i) items in
       Alcotest.(check (list int))
         (Printf.sprintf "squares in order (%d domains)" domains)
         (List.map (fun i -> i * i) items)
@@ -94,21 +94,40 @@ let test_pool_order () =
     [ 1; 2; 3; 64 ]
 
 let test_pool_exception () =
-  Alcotest.check_raises "first failure re-raised" (Failure "item 5")
-    (fun () ->
-      ignore
-        (Portfolio.Pool.map ~domains:3
-           (fun i ->
-             if i = 5 then failwith "item 5"
-             else if i = 7 then failwith "item 7"
-             else i)
-           (List.init 10 Fun.id)))
+  (* [map] captures per-item failures instead of tearing down the
+     pool: the healthy items still deliver their results. *)
+  let f i =
+    if i = 5 then failwith "item 5"
+    else if i = 7 then failwith "item 7"
+    else i
+  in
+  let got = Portfolio.Pool.map ~domains:3 f (List.init 10 Fun.id) in
+  Alcotest.(check int) "every item has a slot" 10 (List.length got);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "item %d ok" i)
+            true
+            (v = i && i <> 5 && i <> 7)
+      | Error (Failure msg) ->
+          Alcotest.(check string)
+            (Printf.sprintf "item %d failure recorded" i)
+            (Printf.sprintf "item %d" i)
+            msg
+      | Error e -> Alcotest.failf "unexpected exception: %s" (Printexc.to_string e))
+    got;
+  (* [map_exn] keeps the old contract: the first failure re-raises. *)
+  Alcotest.check_raises "map_exn re-raises the first failure"
+    (Failure "item 5") (fun () ->
+      ignore (Portfolio.Pool.map_exn ~domains:3 f (List.init 10 Fun.id)))
 
 let test_pool_stealing () =
   (* One deliberately slow task on worker 0's deque; with two workers
      the other 19 tasks must still all complete (stolen or local). *)
   let got =
-    Portfolio.Pool.map ~domains:2
+    Portfolio.Pool.map_exn ~domains:2
       (fun i ->
         if i = 0 then Unix.sleepf 0.2;
         i + 1)
@@ -185,7 +204,17 @@ let test_cache_corrupt_entry () =
       end)
     (Sys.readdir dir);
   Alcotest.(check bool) "corrupt entry degrades to a miss" true
-    (Portfolio.Cache.lookup c ~model ~engine ~max_depth = None)
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth = None);
+  (* The unreadable file is quarantined, not left to fail every
+     lookup: it is renamed aside and no longer counts as an entry. *)
+  Alcotest.(check int) "quarantine counted" 1 (Portfolio.Cache.quarantined c);
+  Alcotest.(check int) "no live entries left" 0 (Portfolio.Cache.entries c);
+  let files = Sys.readdir dir in
+  Alcotest.(check bool) "entry renamed aside" true
+    (Array.exists
+       (fun f -> Filename.check_suffix f ".json.quarantined")
+       files
+    && not (Array.exists (fun f -> Filename.check_suffix f ".json") files))
 
 let test_cache_violated_trace_roundtrip () =
   let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in

@@ -85,6 +85,41 @@ let test_response_golden () =
                queue_ms = 3.25;
              })))
 
+let test_error_codes_golden () =
+  (* Every rejection carries a machine-readable [code]; clients branch
+     on it (the loadgen retries [engine_failed]), so the wire form is
+     contractual. *)
+  Alcotest.(check string) "error wire format"
+    {|{"id":"r2","status":"error","code":"engine_failed","reason":"all engines failed"}|}
+    (Json.to_string
+       (Protocol.encode_response
+          (Protocol.Error
+             {
+               id = Some "r2";
+               code = Protocol.code_engine_failed;
+               reason = "all engines failed";
+             })));
+  Alcotest.(check string) "overloaded wire format"
+    {|{"id":"r3","status":"overloaded","code":"overloaded"}|}
+    (Json.to_string
+       (Protocol.encode_response (Protocol.Overloaded { id = "r3" })));
+  Alcotest.(check string) "cancelled wire format"
+    {|{"id":"r4","status":"cancelled","code":"draining","reason":"bye"}|}
+    (Json.to_string
+       (Protocol.encode_response
+          (Protocol.Cancelled { id = "r4"; reason = "bye" })));
+  (* A pre-code daemon's error line still decodes, defaulting to
+     bad_request. *)
+  match
+    Protocol.decode_response_line
+      {|{"id":"r5","status":"error","reason":"invalid JSON"}|}
+  with
+  | Ok (Protocol.Error { id = Some "r5"; code; reason = "invalid JSON" }) ->
+      Alcotest.(check string) "legacy error defaults to bad_request"
+        Protocol.code_bad_request code
+  | Ok _ -> Alcotest.fail "unexpected decode"
+  | Error e -> Alcotest.failf "legacy error did not decode: %s" e
+
 let test_response_roundtrip () =
   let responses =
     [
@@ -112,8 +147,24 @@ let test_response_roundtrip () =
         };
       Protocol.Overloaded { id = "c" };
       Protocol.Cancelled { id = "d"; reason = "shutting down" };
-      Protocol.Error { id = Some "e"; reason = "unknown engine \"vdd\"" };
-      Protocol.Error { id = None; reason = "invalid JSON: offset 0" };
+      Protocol.Error
+        {
+          id = Some "e";
+          code = Protocol.code_bad_request;
+          reason = "unknown engine \"vdd\"";
+        };
+      Protocol.Error
+        {
+          id = None;
+          code = Protocol.code_bad_request;
+          reason = "invalid JSON: offset 0";
+        };
+      Protocol.Error
+        {
+          id = Some "f";
+          code = Protocol.code_engine_failed;
+          reason = "all engines failed";
+        };
     ]
   in
   List.iter
@@ -331,6 +382,49 @@ let test_scheduler_drain_answers_everything () =
         (Filename.check_suffix f ".tmp"))
     (Sys.readdir dir)
 
+let test_scheduler_crash_still_answers () =
+  (* Every engine attempt crashes (injected, unlimited) and the
+     supervisor fails fast: a drain must still answer every accepted
+     request — with the structured all-engines-failed result, never by
+     dropping a waiter. *)
+  let faults =
+    match Resilience.Faults.of_spec "5:engine_start=crash" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "spec rejected: %s" e
+  in
+  let supervisor =
+    { Resilience.Supervisor.default with retries = 1; backoff_s = 0.005 }
+  in
+  let sched = Scheduler.create ~workers:2 ~supervisor ~faults () in
+  let results = ref [] and lock = Mutex.create () in
+  let configs =
+    [
+      Configs.passive ~nodes ();
+      Configs.time_windows ~nodes ();
+      Configs.small_shifting ~nodes ();
+      Configs.full_shifting ~nodes ();
+    ]
+  in
+  List.iter
+    (fun cfg ->
+      ignore
+        (submit_collect sched ~engines:[ Engine.Bdd_reach ] ~max_depth:50 cfg
+           results lock))
+    configs;
+  Scheduler.drain sched;
+  let rs = !results in
+  Alcotest.(check int) "every accepted request answered" 4 (List.length rs);
+  List.iter
+    (fun (o : Scheduler.outcome) ->
+      Alcotest.(check bool) "flagged all-failed" true
+        (Portfolio.all_failed o.Scheduler.result);
+      match o.Scheduler.result.Portfolio.failures with
+      | [ (Engine.Bdd_reach, _) ] -> ()
+      | _ -> Alcotest.fail "expected one bdd failure entry")
+    rs;
+  let st = Scheduler.stats sched in
+  Alcotest.(check int) "every run completed" 4 st.Scheduler.completed
+
 (* ------------------------------------------------------------------ *)
 (* Server + load generator, end to end *)
 
@@ -364,6 +458,46 @@ let test_server_end_to_end () =
   Alcotest.(check bool) "latency percentiles populated" true
     (report.Service.Loadgen.p50_ms > 0.
     && report.Service.Loadgen.p99_ms >= report.Service.Loadgen.p50_ms)
+
+let test_server_chaos_answers_everything () =
+  (* Chaos-hardened serving, end to end: the daemon aborts the first
+     two response writes (injected socket crashes) and its engines'
+     first two start attempts crash; the loadgen's reconnect-and-retry
+     budget must still get every request answered ok, and the report
+     must show the retries it spent doing so. *)
+  let faults =
+    match
+      Resilience.Faults.of_spec "11:sock_send=crashx2,engine_start=crashx2"
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "spec rejected: %s" e
+  in
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "tta.sock" in
+  let cache =
+    Portfolio.Cache.create ~dir:(Filename.concat dir "cache") ~faults ()
+  in
+  let server =
+    Service.Server.start ~workers:2 ~cache ~faults ~grace:2.0
+      (Service.Server.Unix_socket sock)
+  in
+  let report =
+    Service.Loadgen.run ~seed:7 ~nodes ~depth:20 ~retry_budget:2
+      ~mode:(Service.Loadgen.Closed_loop 3) ~requests:30
+      (Service.Server.Unix_socket sock)
+  in
+  Service.Server.stop server;
+  Service.Server.wait server;
+  Alcotest.(check int) "every request answered ok under chaos" 30
+    report.Service.Loadgen.ok;
+  Alcotest.(check int) "zero protocol errors" 0
+    report.Service.Loadgen.protocol_errors;
+  (* Both injected socket crashes aborted a connection with a request
+     in flight, so the loadgen must have retried at least twice. *)
+  Alcotest.(check bool) "retries spent recovering" true
+    (report.Service.Loadgen.retries >= 2);
+  Alcotest.(check bool) "verdicts still split" true
+    (report.Service.Loadgen.holds > 0 && report.Service.Loadgen.violated > 0)
 
 let test_server_rejects_malformed_lines () =
   let dir = temp_dir () in
@@ -450,6 +584,8 @@ let () =
           Alcotest.test_case "request defaults" `Quick test_request_defaults;
           Alcotest.test_case "request golden" `Quick test_request_golden;
           Alcotest.test_case "response golden" `Quick test_response_golden;
+          Alcotest.test_case "error codes golden" `Quick
+            test_error_codes_golden;
           Alcotest.test_case "response roundtrip" `Quick
             test_response_roundtrip;
           Alcotest.test_case "request validation" `Quick
@@ -467,11 +603,15 @@ let () =
             test_scheduler_sheds_over_cap;
           Alcotest.test_case "drain answers everything" `Quick
             test_scheduler_drain_answers_everything;
+          Alcotest.test_case "crashing engines still answered" `Quick
+            test_scheduler_crash_still_answers;
         ] );
       ( "server",
         [
           Alcotest.test_case "end to end with loadgen" `Quick
             test_server_end_to_end;
+          Alcotest.test_case "chaos answered with retries" `Quick
+            test_server_chaos_answers_everything;
           Alcotest.test_case "malformed lines rejected" `Quick
             test_server_rejects_malformed_lines;
           Alcotest.test_case "SIGTERM drains gracefully" `Quick
