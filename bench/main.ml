@@ -12,6 +12,11 @@
 let paper_scale = Array.exists (( = ) "--paper-scale") Sys.argv
 let skip_micro = Array.exists (( = ) "--no-micro") Sys.argv
 
+(* Quick mode for CI and iteration on the image-computation fast path:
+   run only the reach suite (and write BENCH_bdd.json), skipping the
+   full table/figure reproduction. *)
+let reach_only = Array.exists (( = ) "--reach-only") Sys.argv
+
 let nodes = if paper_scale then 4 else 3
 
 let heading fmt =
@@ -254,6 +259,121 @@ let section_extensions () =
     (Sim.Cluster.count_in_state star Controller.Active)
 
 (* ------------------------------------------------------------------ *)
+(* Image-computation fast path: the three image strategies — one
+   monolithic relprod (the pre-optimization baseline), the partitioned
+   relation with early quantification and frontier minimization, and
+   the same without node GC — on the proof workload (passive, fixpoint
+   to convergence) and the counterexample workload (full shifting).
+   Every strategy must agree on the verdict, counterexample length and
+   iteration count; the wall-clock ratio is the headline number.
+   Writes BENCH_bdd.json for CI. *)
+
+let bdd_json_path = "BENCH_bdd.json"
+
+let section_reach () =
+  heading "Image-computation fast path — partitioned vs monolithic (%d nodes)"
+    nodes;
+  (* The GC'd row lowers the watermark well below the default 250k so
+     sweeps actually fire at bench scale — the point is to soak the
+     mark-and-sweep under a real fixpoint and show the live-node
+     ceiling it buys, not to benchmark the default. *)
+  let modes =
+    [
+      ("monolithic", Symkit.Reach.monolithic_tuning);
+      ( "partitioned-gc",
+        { Symkit.Reach.default_tuning with Symkit.Reach.gc_watermark = 25_000 }
+      );
+      ( "partitioned-nogc",
+        { Symkit.Reach.default_tuning with Symkit.Reach.gc_watermark = 0 } );
+    ]
+  in
+  let configs =
+    [
+      ("passive", Tta_model.Configs.passive ~nodes ());
+      ("full-shifting", Tta_model.Configs.full_shifting ~nodes ());
+    ]
+  in
+  let bad = Tta_model.Props.integrated_node_frozen ~nodes in
+  Printf.printf "  %-14s %-17s %-9s %4s %6s %9s %4s %9s %8s\n" "config" "mode"
+    "verdict" "len" "iters" "peak" "gc" "live" "time";
+  let run_one cfg_name cfg (mode, tuning) =
+    let mgr = Bdd.create_manager () in
+    let enc = Symkit.Enc.create mgr (Tta_model.Build.model cfg) in
+    let result, wall =
+      timed (fun () -> Symkit.Reach.check ~max_iterations:100 ~tuning enc ~bad)
+    in
+    let verdict, trace_len, stats =
+      match result with
+      | Symkit.Reach.Safe s -> ("safe", 0, s)
+      | Symkit.Reach.Unsafe (t, s) -> ("violated", Array.length t, s)
+      | Symkit.Reach.Depth_exhausted s -> ("exhausted", 0, s)
+    in
+    let partitions =
+      if tuning.Symkit.Reach.partitioned then Symkit.Enc.n_partitions enc
+      else 1
+    in
+    Printf.printf "  %-14s %-17s %-9s %4d %6d %9d %4d %9d %7.2fs\n%!" cfg_name
+      mode verdict trace_len stats.Symkit.Reach.iterations
+      stats.Symkit.Reach.peak_nodes (Bdd.gc_count mgr) (Bdd.live_nodes mgr)
+      wall;
+    ( Json.Obj
+        [
+          ("config", Json.String cfg_name);
+          ("mode", Json.String mode);
+          ("verdict", Json.String verdict);
+          ("trace_len", Json.Int trace_len);
+          ("iterations", Json.Int stats.Symkit.Reach.iterations);
+          ("peak_nodes", Json.Int stats.Symkit.Reach.peak_nodes);
+          ("partitions", Json.Int partitions);
+          ("gc_count", Json.Int (Bdd.gc_count mgr));
+          ("live_nodes", Json.Int (Bdd.live_nodes mgr));
+          ("bdd_peak_nodes", Json.Int (Bdd.peak_nodes mgr));
+          ("wall_s", Json.Float wall);
+        ],
+      (verdict, trace_len, stats.Symkit.Reach.iterations, wall) )
+  in
+  let all_agree = ref true in
+  let rows, speedups =
+    List.fold_left
+      (fun (rows, speedups) (cfg_name, cfg) ->
+        let runs = List.map (run_one cfg_name cfg) modes in
+        let outcomes = List.map (fun (_, (v, l, i, _)) -> (v, l, i)) runs in
+        let agree =
+          List.for_all (( = ) (List.hd outcomes)) (List.tl outcomes)
+        in
+        if not agree then begin
+          all_agree := false;
+          Printf.printf "  %-14s DISAGREEMENT across image strategies!\n"
+            cfg_name
+        end;
+        let wall_of mode =
+          List.assoc mode
+            (List.map2 (fun (m, _) (_, (_, _, _, w)) -> (m, w)) modes runs)
+        in
+        let speedup = wall_of "monolithic" /. wall_of "partitioned-gc" in
+        Printf.printf "  %-14s speedup (monolithic/partitioned): %.1fx\n%!"
+          cfg_name speedup;
+        ( rows @ List.map fst runs,
+          speedups @ [ (cfg_name, Json.Float speedup) ] ))
+      ([], []) configs
+  in
+  let j =
+    Json.Obj
+      [
+        ("nodes", Json.Int nodes);
+        ("paper_scale", Json.Bool paper_scale);
+        ("verdicts_agree", Json.Bool !all_agree);
+        ("speedup", Json.Obj speedups);
+        ("rows", Json.List rows);
+      ]
+  in
+  let oc = open_out_bin bdd_json_path in
+  output_string oc (Json.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "machine-readable results written to %s\n%!" bdd_json_path
+
+(* ------------------------------------------------------------------ *)
 (* E15: sensitivity of the BDD engine to the variable order, measured
    as peak BDD size and proof time of the passive-configuration
    fixpoint. All orders must agree on the verdict. *)
@@ -371,6 +491,7 @@ let micro_tests () =
   let enc2 =
     let enc = Symkit.Enc.create (Bdd.create_manager ()) model2 in
     ignore (Symkit.Enc.trans_bdd enc);
+    ignore (Symkit.Enc.schedule enc);
     enc
   in
   [
@@ -392,9 +513,14 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let enc = Symkit.Enc.create (Bdd.create_manager ()) model2 in
            ignore (Symkit.Enc.trans_bdd enc)));
-    Test.make ~name:"mc/bdd-image-step-2-nodes"
+    Test.make ~name:"mc/bdd-image-partitioned-2-nodes"
       (Staged.stage (fun () ->
            ignore (Symkit.Reach.image enc2 (Symkit.Enc.init_bdd enc2))));
+    Test.make ~name:"mc/bdd-image-monolithic-2-nodes"
+      (Staged.stage (fun () ->
+           ignore
+             (Symkit.Reach.image ~tuning:Symkit.Reach.monolithic_tuning enc2
+                (Symkit.Enc.init_bdd enc2))));
     Test.make ~name:"sat/pigeonhole-6-into-5"
       (Staged.stage (fun () ->
            let s = Sat.create () in
@@ -454,13 +580,17 @@ let () =
     "Reproduction benches: Morris, Kroening, Koopman — \"Fault Tolerance \
      Tradeoffs in Moving from Decentralized to Centralized Embedded \
      Systems\" (DSN 2004)\n";
-  section5 ();
-  section6 ();
-  section_leaky ();
-  section_sim ();
-  section_extensions ();
-  section_orders ();
-  section_async ();
-  section_walks ();
-  if not skip_micro then run_micro ();
+  if reach_only then section_reach ()
+  else begin
+    section5 ();
+    section6 ();
+    section_leaky ();
+    section_sim ();
+    section_extensions ();
+    section_reach ();
+    section_orders ();
+    section_async ();
+    section_walks ();
+    if not skip_micro then run_micro ()
+  end;
   print_newline ()

@@ -8,7 +8,10 @@
 *)
 
 let run config_name engine_name nodes max_depth no_cs_dup oos_budget
-    export_smv json_path obs =
+    partitioned gc_watermark no_restrict export_smv json_path obs =
+  let reach_tuning =
+    Cli.reach_tuning_of ~partitioned ~gc_watermark ~no_restrict
+  in
   let feature_set = Cli.feature_set_of_config config_name in
   let engine = Cli.engine_of_name engine_name in
   let cfg =
@@ -32,7 +35,7 @@ let run config_name engine_name nodes max_depth no_cs_dup oos_budget
   let r =
     engine.Tta_model.Engine.run
       ~obs:(Cli.obs_track obs ("mc/" ^ engine.Tta_model.Engine.name))
-      ~max_depth cfg
+      ~max_depth ~reach_tuning cfg
   in
   let dt = Unix.gettimeofday () -. t0 in
   (match r.Tta_model.Engine.verdict with
@@ -121,7 +124,8 @@ let () =
          ~doc:"Model-check TTA star-coupler fault-tolerance configurations")
       Term.(
         const run $ Cli.config () $ Cli.engine () $ Cli.nodes ()
-        $ Cli.depth () $ no_cs_dup $ oos_budget $ export_smv $ Cli.json ()
-        $ Cli.obs ())
+        $ Cli.depth () $ no_cs_dup $ oos_budget $ Cli.partitioned ()
+        $ Cli.gc_watermark () $ Cli.no_restrict () $ export_smv
+        $ Cli.json () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

@@ -63,6 +63,9 @@ type manager = {
                          apply by clearing both together and distinct use *)
   quant_cache : t H3.t; (* (op, vs_id*nodes, id) *)
   mutable next_vs_id : int;
+  roots : (int, t * int) Hashtbl.t; (* uid -> (diagram, refcount) *)
+  mutable gc_watermark : int; (* allocations between sweeps; 0 = GC off *)
+  mutable alloc_since_gc : int;
   (* Effort counters (plain ints: an increment per cache probe is
      noise next to the probe itself). Surfaced by [counters] into the
      engines' observability tracks. *)
@@ -70,9 +73,11 @@ type manager = {
   mutable n_hit : int; (* operation-cache hits, all caches *)
   mutable n_miss : int; (* operation-cache misses, all caches *)
   mutable n_sweep : int; (* clear_caches calls *)
+  mutable n_gc : int; (* mark-and-sweep collections *)
+  mutable peak : int; (* largest unique-table population seen *)
 }
 
-let create_manager ?(cache_size = 65_536) () =
+let create_manager ?(cache_size = 65_536) ?(gc_watermark = 0) () =
   {
     unique = H3.create cache_size;
     next_uid = 2;
@@ -81,10 +86,15 @@ let create_manager ?(cache_size = 65_536) () =
     ite_cache = H3.create cache_size;
     quant_cache = H3.create cache_size;
     next_vs_id = 0;
+    roots = Hashtbl.create 64;
+    gc_watermark;
+    alloc_since_gc = 0;
     n_alloc = 0;
     n_hit = 0;
     n_miss = 0;
     n_sweep = 0;
+    n_gc = 0;
+    peak = 0;
   }
 
 let clear_caches m =
@@ -105,8 +115,83 @@ let mk m v lo hi =
         let d = Node { uid = m.next_uid; v; lo; hi } in
         m.next_uid <- m.next_uid + 1;
         m.n_alloc <- m.n_alloc + 1;
+        m.alloc_since_gc <- m.alloc_since_gc + 1;
         H3.add m.unique key d;
+        let pop = H3.length m.unique in
+        if pop > m.peak then m.peak <- pop;
         d
+
+(* ------------------------------------------------------------------ *)
+(* Root registry and mark-and-sweep node reclamation.
+
+   Hash-consing never forgets a node, so a long fixpoint run grows the
+   unique table with every intermediate result it will never look at
+   again. The registry lets a client name the diagrams it still holds;
+   [gc] then drops every unregistered node from the unique table and
+   resets the operation caches (whose entries may reference swept
+   uids), making the dead nodes collectible by the OCaml GC.
+
+   Canonicity survives a sweep because reachability is closed under
+   subdiagrams: every kept node's children are kept, and any later
+   [mk] rebuilds bottom-up, finding the kept copies in the unique
+   table before it can allocate a duplicate. The one obligation is the
+   client's: at the moment [gc]/[maybe_gc] runs, every diagram it
+   intends to keep using must be reachable from a registered root. *)
+
+let root_incr m d =
+  match d with
+  | Zero | One -> () (* constants are never in the unique table *)
+  | Node n -> (
+      match Hashtbl.find_opt m.roots n.uid with
+      | Some (_, k) -> Hashtbl.replace m.roots n.uid (d, k + 1)
+      | None -> Hashtbl.replace m.roots n.uid (d, 1))
+
+let root_decr m d =
+  match d with
+  | Zero | One -> ()
+  | Node n -> (
+      match Hashtbl.find_opt m.roots n.uid with
+      | Some (_, 1) -> Hashtbl.remove m.roots n.uid
+      | Some (_, k) -> Hashtbl.replace m.roots n.uid (d, k - 1)
+      | None -> invalid_arg "Bdd.deref: not a registered root")
+
+let gc m =
+  m.n_gc <- m.n_gc + 1;
+  m.alloc_since_gc <- 0;
+  let marked = Hashtbl.create ((H3.length m.unique / 2) + 16) in
+  (* Recursion depth is bounded by the variable count, not the node
+     count: the diagrams are ordered. *)
+  let rec mark = function
+    | Zero | One -> ()
+    | Node n ->
+        if not (Hashtbl.mem marked n.uid) then begin
+          Hashtbl.add marked n.uid ();
+          mark n.lo;
+          mark n.hi
+        end
+  in
+  Hashtbl.iter (fun _ (d, _) -> mark d) m.roots;
+  H3.filter_map_inplace
+    (fun _ d ->
+      match d with
+      | Node n -> if Hashtbl.mem marked n.uid then Some d else None
+      | Zero | One -> Some d)
+    m.unique;
+  (* The operation caches key and hold possibly-swept uids: a stale
+     hit would resurrect a dead node as a physically distinct twin of
+     a future rebuild, so they go wholesale. *)
+  clear_caches m
+
+let maybe_gc m =
+  if m.gc_watermark > 0 && m.alloc_since_gc >= m.gc_watermark then gc m
+
+let set_gc_watermark m n =
+  if n < 0 then invalid_arg "Bdd.set_gc_watermark: negative watermark";
+  m.gc_watermark <- n
+
+let live_nodes m = H3.length m.unique
+let peak_nodes m = m.peak
+let gc_count m = m.n_gc
 
 let var m i =
   if i < 0 || i >= leaf_var then invalid_arg "Bdd.var: bad index";
@@ -341,7 +426,7 @@ let rename m f d =
   in
   go d
 
-let rec restrict m i b d =
+let rec cofactor m i b d =
   match d with
   | Zero | One -> d
   | Node n ->
@@ -350,7 +435,43 @@ let rec restrict m i b d =
       else
         (* Memoization piggybacks on the unique table via mk; recursion
            cost is bounded by diagram size in practice for our use. *)
-        mk m n.v (restrict m i b n.lo) (restrict m i b n.hi)
+        mk m n.v (cofactor m i b n.lo) (cofactor m i b n.hi)
+
+(* Coudert–Madre generalized cofactor ("restrict"): simplify [f] using
+   [c] as a care set. The result agrees with [f] wherever [c] holds and
+   is unconstrained elsewhere, which sibling substitution exploits to
+   merge subgraphs: when one branch of [c] is empty, the whole decision
+   collapses onto the other branch of [f]. Shares the apply cache
+   discipline of the other binary operators (non-commutative key). *)
+let op_restrict = 3
+
+let rec restrict m f c =
+  if c == One || f == Zero || f == One then f
+  else if c == Zero then f (* empty care set: nothing to preserve *)
+  else if f == c then One
+  else
+    let key = (op_restrict, id f, id c) in
+    match H3.find_opt m.apply_cache key with
+    | Some r ->
+        m.n_hit <- m.n_hit + 1;
+        r
+    | None ->
+        m.n_miss <- m.n_miss + 1;
+        let vf = var_of f and vc = var_of c in
+        let r =
+          if vc < vf then
+            (* The care set branches above [f]: no cofactor of [f] to
+               pick, so forget the distinction ([exists vc c]). *)
+            restrict m f (dor m (low c) (high c))
+          else
+            let v = vf in
+            let c0, c1 = if vc = v then (low c, high c) else (c, c) in
+            if c0 == Zero then restrict m (high f) c1
+            else if c1 == Zero then restrict m (low f) c0
+            else mk m v (restrict m (low f) c0) (restrict m (high f) c1)
+        in
+        H3.add m.apply_cache key r;
+        r
 
 let any_sat d =
   let rec go acc = function
@@ -420,14 +541,24 @@ let counters m =
     ("bdd.cache_hits", m.n_hit);
     ("bdd.cache_misses", m.n_miss);
     ("bdd.cache_sweeps", m.n_sweep);
+    ("bdd.gc_count", m.n_gc);
     ("bdd.nodes_allocated", m.n_alloc);
-    ("bdd.unique_table", H3.length m.unique);
   ]
 
 let stats m =
   Printf.sprintf
-    "unique=%d apply=%d not=%d ite=%d quant=%d next_uid=%d hits=%d misses=%d \
-     allocs=%d sweeps=%d"
-    (H3.length m.unique) (H3.length m.apply_cache)
+    "unique=%d peak=%d apply=%d not=%d ite=%d quant=%d next_uid=%d hits=%d \
+     misses=%d allocs=%d sweeps=%d gcs=%d roots=%d"
+    (H3.length m.unique) m.peak (H3.length m.apply_cache)
     (Hashtbl.length m.not_cache) (H3.length m.ite_cache)
     (H3.length m.quant_cache) m.next_uid m.n_hit m.n_miss m.n_alloc m.n_sweep
+    m.n_gc (Hashtbl.length m.roots)
+
+(* Exported names for the root registry; defined last because [ref]
+   shadows [Stdlib.ref]. *)
+let ref = root_incr
+let deref = root_decr
+
+let with_root m d f =
+  root_incr m d;
+  Fun.protect ~finally:(fun () -> root_decr m d) f

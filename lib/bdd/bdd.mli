@@ -16,13 +16,65 @@ type manager
 type t
 (** A BDD node. Diagrams are immutable and maximally shared. *)
 
-val create_manager : ?cache_size:int -> unit -> manager
+val create_manager : ?cache_size:int -> ?gc_watermark:int -> unit -> manager
 (** [create_manager ()] returns a fresh manager with empty caches.
-    [cache_size] is the initial size hint of the internal hash tables. *)
+    [cache_size] is the initial size hint of the internal hash tables;
+    [gc_watermark] (default [0] = never collect) arms {!maybe_gc}. *)
 
 val clear_caches : manager -> unit
 (** Drop the operation caches (the unique table is kept, so existing
     diagrams stay valid). Useful between unrelated fixpoint runs. *)
+
+(** {1 Root registry and node reclamation}
+
+    Hash-consing alone never forgets a node: a long fixpoint run grows
+    the unique table with every intermediate result. The root registry
+    names the diagrams a client still holds; {!gc} then sweeps every
+    unregistered node out of the unique table and operation caches so
+    the OCaml GC can reclaim them.
+
+    {b Client obligation:} when {!gc}/{!maybe_gc} runs, every diagram
+    that will be used afterwards must be reachable from a registered
+    root — an unrooted diagram that survives in an OCaml variable
+    across a sweep is semantically intact but loses canonicity (a
+    later rebuild of an equal function may be a physically distinct
+    node). Collection only ever happens inside {!gc}/{!maybe_gc}, so
+    code that never calls them is unaffected. *)
+
+val ref : manager -> t -> unit
+(** Register a diagram as a GC root (refcounted; constants are
+    implicit roots). *)
+
+val deref : manager -> t -> unit
+(** Drop one reference. @raise Invalid_argument if the diagram is not
+    currently registered. *)
+
+val with_root : manager -> t -> (unit -> 'a) -> 'a
+(** [with_root m d f] runs [f] with [d] registered, dropping the
+    reference on return or exception. *)
+
+val gc : manager -> unit
+(** Mark from the registered roots and sweep: unmarked nodes leave the
+    unique table, and the operation caches are reset (they may hold
+    swept uids). Existing rooted diagrams remain valid and canonical. *)
+
+val maybe_gc : manager -> unit
+(** Run {!gc} iff the manager has a positive watermark and at least
+    that many nodes were allocated since the last sweep. The safepoint
+    hook for fixpoint loops: cheap to call every iteration. *)
+
+val set_gc_watermark : manager -> int -> unit
+(** Set the allocation watermark ([0] disables collection).
+    @raise Invalid_argument on a negative value. *)
+
+val live_nodes : manager -> int
+(** Current unique-table population. *)
+
+val peak_nodes : manager -> int
+(** Largest unique-table population ever observed (across sweeps). *)
+
+val gc_count : manager -> int
+(** Number of mark-and-sweep collections performed. *)
 
 (** {1 Constants and variables} *)
 
@@ -97,9 +149,19 @@ val rename : manager -> (int -> int) -> t -> t
     preserve the variable order); this is checked lazily and violations
     raise [Invalid_argument]. *)
 
-val restrict : manager -> int -> bool -> t -> t
-(** [restrict m i b d] is the cofactor of [d] with variable [i] set to
+val cofactor : manager -> int -> bool -> t -> t
+(** [cofactor m i b d] is the cofactor of [d] with variable [i] set to
     [b]. *)
+
+val restrict : manager -> t -> t -> t
+(** [restrict m f c] is the Coudert–Madre generalized cofactor: a
+    (usually smaller) diagram agreeing with [f] wherever the care set
+    [c] holds and unconstrained elsewhere, so
+    [dand m (restrict m f c) c] equals [dand m f c]. Used to minimize
+    the reachability frontier against the reached set before an image
+    step. [restrict m f zero] is [f]. Note: the result is not
+    guaranteed smaller on adversarial inputs — size-guard at the call
+    site when it matters. *)
 
 (** {1 Satisfying assignments} *)
 
@@ -122,9 +184,12 @@ val counters : manager -> (string * int) list
 (** Effort counters as an open counter set, sorted by name: node
     allocations ([bdd.nodes_allocated]), operation-cache hits and
     misses across all caches ([bdd.cache_hits]/[bdd.cache_misses]),
-    cache sweeps ([bdd.cache_sweeps], one per {!clear_caches}) and the
-    current unique-table population. Consumed by the {!Obs}-based
-    engine instrumentation. *)
+    cache sweeps ([bdd.cache_sweeps], one per {!clear_caches}) and
+    mark-and-sweep collections ([bdd.gc_count]). Monotone counters
+    only — the {!live_nodes}/{!peak_nodes} populations are gauges and
+    are surfaced separately by the engine instrumentation. Consumed by
+    the {!Obs}-based engine instrumentation; the names are pinned by a
+    golden test. *)
 
 val stats : manager -> string
 (** Human-readable cache/unique-table statistics. *)

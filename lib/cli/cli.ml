@@ -57,6 +57,58 @@ let json () =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the machine-readable results to FILE as JSON.")
 
+let partitioned () =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "partitioned" ]
+              ~doc:
+                "Compute BDD images over the partitioned transition relation \
+                 with early quantification (the default)." );
+          ( false,
+            info [ "monolithic" ]
+              ~doc:
+                "Compute BDD images against the monolithic transition \
+                 relation (the pre-optimization baseline)." );
+        ])
+
+let gc_watermark () =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gc-watermark" ] ~docv:"N"
+        ~doc:
+          "Reclaim dead BDD nodes at fixpoint-iteration boundaries once N \
+           nodes were allocated since the last sweep; 0 disables the sweeps. \
+           Default: the engine's built-in watermark.")
+
+let no_restrict () =
+  Arg.(
+    value & flag
+    & info [ "no-restrict" ]
+        ~doc:
+          "Disable Coudert-Madre frontier minimization against the reached \
+           set before each BDD image step.")
+
+let reach_tuning_of ~partitioned ~gc_watermark ~no_restrict =
+  let base =
+    if partitioned then Symkit.Reach.default_tuning
+    else Symkit.Reach.monolithic_tuning
+  in
+  (match gc_watermark with
+  | Some n when n < 0 ->
+      prerr_endline "--gc-watermark: expected a non-negative node count";
+      exit 2
+  | _ -> ());
+  {
+    base with
+    Symkit.Reach.use_restrict = base.Symkit.Reach.use_restrict && not no_restrict;
+    gc_watermark =
+      Option.value gc_watermark ~default:base.Symkit.Reach.gc_watermark;
+  }
+
 let chaos () =
   Arg.(
     value

@@ -34,6 +34,27 @@ val cache_max_entries : unit -> int option Cmdliner.Term.t
 val json : unit -> string option Cmdliner.Term.t
 (** [--json FILE]: machine-readable output. *)
 
+val partitioned : unit -> bool Cmdliner.Term.t
+(** [--partitioned] (default) / [--monolithic]: whether the BDD engine
+    folds images over the conjunctively partitioned transition relation
+    with early quantification, or uses one monolithic relprod. *)
+
+val gc_watermark : unit -> int option Cmdliner.Term.t
+(** [--gc-watermark N]: sweep dead BDD nodes at iteration boundaries
+    after [N] allocations ([0] disables); the engine's default when
+    omitted. *)
+
+val no_restrict : unit -> bool Cmdliner.Term.t
+(** [--no-restrict]: turn off Coudert–Madre frontier minimization. *)
+
+val reach_tuning_of :
+  partitioned:bool -> gc_watermark:int option -> no_restrict:bool ->
+  Symkit.Reach.tuning
+(** Combine the three flags into the BDD engine's tuning record
+    (starting from {!Symkit.Reach.default_tuning} or
+    {!Symkit.Reach.monolithic_tuning} according to [partitioned]).
+    Rejects a negative [gc_watermark] with exit code 2. *)
+
 val chaos : unit -> string option Cmdliner.Term.t
 (** [--chaos SEED[:SPEC]]: arm deterministic fault injection (see
     {!Resilience.Faults.of_spec} for the grammar). Parse the result

@@ -108,11 +108,13 @@ type verdict = {
           false *)
 }
 
-let check ?reachable enc f =
+let check ?reachable ?cancel ?obs enc f =
   let m = Enc.mgr enc in
   let good = sat enc f in
   let reach =
-    match reachable with Some r -> r | None -> Reach.reachable_set enc
+    match reachable with
+    | Some r -> r
+    | None -> Reach.reachable_set ?cancel ?obs enc
   in
   let violating = Bdd.dand m reach (Bdd.dnot m good) in
   let init_bad = Bdd.dand m (Enc.init_bdd enc) (Bdd.dnot m good) in

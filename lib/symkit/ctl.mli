@@ -36,6 +36,10 @@ type verdict = {
       (** a reachable violating state, when [holds] is false *)
 }
 
-val check : ?reachable:Bdd.t -> Enc.t -> t -> verdict
+val check :
+  ?reachable:Bdd.t -> ?cancel:(unit -> bool) -> ?obs:Obs.t -> Enc.t -> t ->
+  verdict
 (** [reachable] may be supplied to reuse a previously computed
-    fixpoint. *)
+    fixpoint; otherwise [cancel]/[obs] are threaded into the
+    {!Reach.reachable_set} computation (a cancelled fixpoint judges
+    against the lower bound computed so far). *)

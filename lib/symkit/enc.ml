@@ -30,6 +30,22 @@ type t = {
   mutable valid_nxt : Bdd.t option;
   mutable init_cache : Bdd.t option;
   mutable trans_cache : Bdd.t option;
+  mutable sched_cache : (int * schedule) option;
+      (** keyed by the cluster limit it was built with *)
+}
+
+and schedule = {
+  parts : Bdd.t array;  (** ordered conjunctive clusters *)
+  img_sched : Bdd.varset array;
+      (** current-copy variables whose last occurrence is cluster [i]:
+          quantified out by the image fold right as it conjoins
+          [parts.(i)] *)
+  pre_sched : Bdd.varset array;  (** primed-copy dual, for preimage *)
+  img_free : Bdd.varset;
+      (** current-copy variables mentioned by no cluster: quantified
+          straight out of the frontier before the fold *)
+  pre_free : Bdd.varset;
+  n_conjuncts : int;  (** raw constraint count before clustering *)
 }
 
 let bits_for n =
@@ -87,6 +103,7 @@ let create ?var_order mgr model =
     valid_nxt = None;
     init_cache = None;
     trans_cache = None;
+    sched_cache = None;
   }
 
 let mgr t = t.mgr
@@ -269,6 +286,7 @@ let valid t ~primed =
     | Some d -> d
     | None ->
         let d = build () in
+        Bdd.ref t.mgr d;
         t.valid_nxt <- Some d;
         d)
   else
@@ -276,6 +294,7 @@ let valid t ~primed =
     | Some d -> d
     | None ->
         let d = build () in
+        Bdd.ref t.mgr d;
         t.valid_cur <- Some d;
         d
 
@@ -287,6 +306,7 @@ let init_bdd t =
         Bdd.dand t.mgr (valid t ~primed:false)
           (Bdd.conj t.mgr (List.map (pred t) t.model.Model.init))
       in
+      Bdd.ref t.mgr d;
       t.init_cache <- Some d;
       d
 
@@ -302,8 +322,131 @@ let trans_bdd t =
         Bdd.conj t.mgr
           (valid t ~primed:false :: valid t ~primed:true :: trans_parts t)
       in
+      Bdd.ref t.mgr d;
       t.trans_cache <- Some d;
       d
+
+(* ------------------------------------------------------------------ *)
+(* Conjunctively partitioned transition relation with an early
+   quantification schedule (Burch–Clarke–Long). The monolithic
+   [trans_bdd] conjoins every constraint into one relation whose size
+   the image computation then pays on every step; instead we keep the
+   constraints as an ordered list of clusters and quantify each state
+   variable out of the relational product at the last cluster that
+   mentions it, so the intermediate products stay narrow. *)
+
+let default_cluster_limit = 1_500
+
+(* Greedy cluster order: repeatedly pick the cluster that releases the
+   most current-copy variables (variables appearing in no other
+   remaining cluster — they can be quantified out immediately after
+   conjoining it), breaking ties toward smaller diagrams so cheap
+   constraints are folded in early. *)
+let order_clusters clusters =
+  let supp = List.map (fun c -> (c, Bdd.support c)) clusters in
+  let cur_only s = List.filter (fun v -> v land 1 = 0) s in
+  let rec go acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let elsewhere c =
+          List.concat_map
+            (fun (c', s') -> if c' == c then [] else s')
+            remaining
+        in
+        let score (c, s) =
+          let other = elsewhere c in
+          let released =
+            List.length
+              (List.filter (fun v -> not (List.mem v other)) (cur_only s))
+          in
+          (released, -Bdd.size c)
+        in
+        let best =
+          List.fold_left
+            (fun (bc, bs) cs -> if score cs > bs then (cs, score cs) else (bc, bs))
+            (List.hd remaining, score (List.hd remaining))
+            (List.tl remaining)
+          |> fst
+        in
+        go (fst best :: acc)
+          (List.filter (fun (c, _) -> not (c == fst best)) remaining)
+  in
+  go [] supp
+
+let build_schedule t ~cluster_limit =
+  let conjuncts =
+    (valid t ~primed:false :: valid t ~primed:true :: trans_parts t)
+    |> List.filter (fun d -> not (Bdd.is_one d))
+  in
+  let n_conjuncts = List.length conjuncts in
+  (* Cluster in order: conjoin while the cluster diagram stays under
+     the node limit, then start a fresh one. *)
+  let flush acc cluster =
+    match cluster with None -> acc | Some c -> c :: acc
+  in
+  let clusters =
+    let acc, last =
+      List.fold_left
+        (fun (acc, cluster) d ->
+          match cluster with
+          | None -> (acc, Some d)
+          | Some c ->
+              let merged = Bdd.dand t.mgr c d in
+              if Bdd.size merged <= cluster_limit then (acc, Some merged)
+              else (c :: acc, Some d))
+        ([], None) conjuncts
+    in
+    List.rev (flush acc last)
+  in
+  let ordered = Array.of_list (order_clusters clusters) in
+  let k = Array.length ordered in
+  let supports = Array.map Bdd.support ordered in
+  (* Last cluster mentioning each BDD variable; -1 = mentioned by
+     none (quantified straight out of the operand before the fold). *)
+  let last_of v =
+    let rec go i best =
+      if i >= k then best
+      else go (i + 1) (if List.mem v supports.(i) then i else best)
+    in
+    go 0 (-1)
+  in
+  let img_slots = Array.make k [] and pre_slots = Array.make k [] in
+  let img_free = Stdlib.ref [] and pre_free = Stdlib.ref [] in
+  for b = 0 to t.nbits - 1 do
+    let cur = bdd_var_cur b and nxt = bdd_var_nxt b in
+    (match last_of cur with
+    | -1 -> img_free := cur :: !img_free
+    | i -> img_slots.(i) <- cur :: img_slots.(i));
+    match last_of nxt with
+    | -1 -> pre_free := nxt :: !pre_free
+    | i -> pre_slots.(i) <- nxt :: pre_slots.(i)
+  done;
+  let vs l = Bdd.varset t.mgr l in
+  Array.iter (Bdd.ref t.mgr) ordered;
+  {
+    parts = ordered;
+    img_sched = Array.map vs img_slots;
+    pre_sched = Array.map vs pre_slots;
+    img_free = vs !img_free;
+    pre_free = vs !pre_free;
+    n_conjuncts;
+  }
+
+let schedule ?(cluster_limit = default_cluster_limit) t =
+  match t.sched_cache with
+  | Some (limit, s) when limit = cluster_limit -> s
+  | _ ->
+      let s = build_schedule t ~cluster_limit in
+      (match t.sched_cache with
+      | Some (_, old) -> Array.iter (Bdd.deref t.mgr) old.parts
+      | None -> ());
+      t.sched_cache <- Some (cluster_limit, s);
+      s
+
+let n_partitions t = match t.sched_cache with
+  | Some (_, s) -> Array.length s.parts
+  | None -> 0
 
 let rename_nxt_to_cur t d = Bdd.rename t.mgr (fun v -> v - 1) d
 let rename_cur_to_nxt t d = Bdd.rename t.mgr (fun v -> v + 1) d

@@ -55,6 +55,40 @@ val trans_bdd : t -> Bdd.t
 (** The full transition relation: all constraints plus both validity
     conditions. Cached. *)
 
+(** {1 Partitioned transition relation}
+
+    The alternative to {!trans_bdd} for image computation: the same
+    constraints kept as an ordered array of conjunctive clusters with
+    an early-quantification schedule (Burch–Clarke–Long), so the
+    relational product quantifies each state variable out at the last
+    cluster that mentions it and the intermediate products stay small. *)
+
+type schedule = private {
+  parts : Bdd.t array;  (** ordered conjunctive clusters *)
+  img_sched : Bdd.varset array;
+      (** current-copy variables to quantify while conjoining
+          [parts.(i)] during an image step *)
+  pre_sched : Bdd.varset array;  (** primed-copy dual, for preimage *)
+  img_free : Bdd.varset;
+      (** current-copy variables no cluster mentions: quantified out
+          of the frontier before the fold *)
+  pre_free : Bdd.varset;
+  n_conjuncts : int;  (** raw constraint count before clustering *)
+}
+
+val default_cluster_limit : int
+
+val schedule : ?cluster_limit:int -> t -> schedule
+(** The cached partition schedule. [cluster_limit] (default
+    {!default_cluster_limit}) caps each cluster's node count: adjacent
+    constraints are conjoined while the cluster diagram stays under
+    it. Changing the limit rebuilds the cache. The cluster diagrams
+    are registered as GC roots for the manager's lifetime. *)
+
+val n_partitions : t -> int
+(** Cluster count of the currently cached schedule ([0] before the
+    first {!schedule} call) — surfaced as an observability gauge. *)
+
 val rename_nxt_to_cur : t -> Bdd.t -> Bdd.t
 val rename_cur_to_nxt : t -> Bdd.t -> Bdd.t
 

@@ -37,6 +37,7 @@ type t = {
     ?cancel:(unit -> bool) ->
     ?obs:Obs.t ->
     ?max_depth:int ->
+    ?reach_tuning:Reach.tuning ->
     Configs.t ->
     result;
 }
@@ -53,7 +54,7 @@ let flush obs pairs = List.iter (fun (n, v) -> Obs.incr_by obs n v) pairs
    collector serves as the counter store and is dropped once the totals
    are read), wrap the run in a root span, and account the GC. *)
 let instrumented ~name impl ?(cancel = fun () -> false) ?obs ?(max_depth = 24)
-    cfg =
+    ?(reach_tuning = Reach.default_tuning) cfg =
   let obs =
     match obs with
     | Some o when Obs.enabled o -> o
@@ -66,7 +67,7 @@ let instrumented ~name impl ?(cancel = fun () -> false) ?obs ?(max_depth = 24)
      next attempt in the trace. *)
   let verdict =
     Fun.protect ~finally:(fun () -> Obs.stop sp) (fun () ->
-        impl ~cancel ~obs ~max_depth cfg)
+        impl ~cancel ~obs ~max_depth ~reach_tuning cfg)
   in
   let gc1 = Gc.quick_stat () in
   Obs.incr_by obs "gc.minor_collections"
@@ -78,13 +79,22 @@ let instrumented ~name impl ?(cancel = fun () -> false) ?obs ?(max_depth = 24)
 let bad_prop (cfg : Configs.t) =
   Props.integrated_node_frozen ~nodes:cfg.Configs.nodes
 
-let run_bdd ~cancel ~obs ~max_depth cfg =
+(* BDD memory-pressure gauges: flushed after every BDD-backed run so
+   the portfolio/service telemetry (and [tta_served]'s metrics) expose
+   the live and peak unique-table populations next to the GC counters.
+   The names are pinned by a golden test in [test/test_obs.ml]. *)
+let flush_bdd_gauges obs mgr =
+  Obs.set_max obs "bdd.live_nodes" (Bdd.live_nodes mgr);
+  Obs.set_max obs "bdd.peak_nodes" (Bdd.peak_nodes mgr)
+
+let run_bdd ~cancel ~obs ~max_depth ~reach_tuning cfg =
   let model = Build.model cfg in
   let mgr = Bdd.create_manager () in
   let enc = Enc.create mgr model in
   let verdict =
     match
-      Reach.check ~max_iterations:max_depth ~cancel ~obs enc ~bad:(bad_prop cfg)
+      Reach.check ~max_iterations:max_depth ~cancel ~obs ~tuning:reach_tuning
+        enc ~bad:(bad_prop cfg)
     with
     | Reach.Safe stats ->
         Holds
@@ -103,9 +113,10 @@ let run_bdd ~cancel ~obs ~max_depth cfg =
           }
   in
   flush obs (Bdd.counters mgr);
+  flush_bdd_gauges obs mgr;
   verdict
 
-let run_bmc ~cancel ~obs ~max_depth cfg =
+let run_bmc ~cancel ~obs ~max_depth ~reach_tuning:_ cfg =
   let model = Build.model cfg in
   let mgr = Bdd.create_manager () in
   let enc = Enc.create mgr model in
@@ -118,7 +129,7 @@ let run_bmc ~cancel ~obs ~max_depth cfg =
   flush obs (Bdd.counters mgr);
   verdict
 
-let run_induction ~cancel ~obs ~max_depth cfg =
+let run_induction ~cancel ~obs ~max_depth ~reach_tuning:_ cfg =
   let model = Build.model cfg in
   let mgr = Bdd.create_manager () in
   let enc = Enc.create mgr model in
@@ -139,7 +150,7 @@ let run_induction ~cancel ~obs ~max_depth cfg =
   flush obs (Bdd.counters mgr);
   verdict
 
-let run_explicit ~cancel ~obs ~max_depth cfg =
+let run_explicit ~cancel ~obs ~max_depth ~reach_tuning:_ cfg =
   let ctx = Exec.make_ctx cfg in
   (* The executable twin's own model instance: structurally equal to
      [Build.model cfg], and the one its states index into. *)

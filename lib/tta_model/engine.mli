@@ -43,6 +43,7 @@ type t = {
     ?cancel:(unit -> bool) ->
     ?obs:Obs.t ->
     ?max_depth:int ->
+    ?reach_tuning:Symkit.Reach.tuning ->
     Configs.t ->
     result;
       (** Check the paper's safety property against a configuration.
@@ -53,7 +54,10 @@ type t = {
           variant. [obs] names the track spans and metrics are written
           to; when absent (or {!Obs.disabled}), counters are still
           collected — on a private track that is dropped once
-          [result.counters] has been read — but no trace is kept. *)
+          [result.counters] has been read — but no trace is kept.
+          [reach_tuning] (default {!Symkit.Reach.default_tuning})
+          selects the BDD engine's image-computation strategy; the
+          other engines ignore it. *)
 }
 
 val all : t list

@@ -85,7 +85,7 @@ let prop_exists =
       let d = build m f in
       let q = Bdd.exists m (Bdd.varset m [ v ]) d in
       let expected =
-        Bdd.dor m (Bdd.restrict m v false d) (Bdd.restrict m v true d)
+        Bdd.dor m (Bdd.cofactor m v false d) (Bdd.cofactor m v true d)
       in
       Bdd.equal q expected)
 
@@ -96,7 +96,7 @@ let prop_forall =
       let d = build m f in
       let q = Bdd.forall m (Bdd.varset m [ v ]) d in
       let expected =
-        Bdd.dand m (Bdd.restrict m v false d) (Bdd.restrict m v true d)
+        Bdd.dand m (Bdd.cofactor m v false d) (Bdd.cofactor m v true d)
       in
       Bdd.equal q expected)
 
@@ -191,14 +191,31 @@ let test_size () =
   let chain = Bdd.conj m (List.init 5 (fun i -> Bdd.var m i)) in
   Alcotest.(check int) "conjunction chain" 5 (Bdd.size chain)
 
-let prop_restrict_drops_var =
-  QCheck.Test.make ~name:"restrict removes the variable from the support"
+let prop_cofactor_drops_var =
+  QCheck.Test.make ~name:"cofactor removes the variable from the support"
     ~count:100
     (QCheck.triple form_arb (QCheck.int_bound (nvars - 1)) QCheck.bool)
     (fun (f, v, b) ->
       let m = Bdd.create_manager () in
-      let d = Bdd.restrict m v b (build m f) in
+      let d = Bdd.cofactor m v b (build m f) in
       not (List.mem v (Bdd.support d)))
+
+(* Coudert–Madre restrict: the result may differ from f outside the
+   care set, but must agree with f everywhere inside it. *)
+let prop_restrict_sound =
+  QCheck.Test.make ~name:"restrict agrees with f on the care set" ~count:200
+    (QCheck.pair form_arb form_arb) (fun (f, c) ->
+      let m = Bdd.create_manager () in
+      let df = build m f and dc = build m c in
+      let r = Bdd.restrict m df dc in
+      Bdd.equal (Bdd.dand m r dc) (Bdd.dand m df dc))
+
+let prop_restrict_full_care =
+  QCheck.Test.make ~name:"restrict under a full care set is the identity"
+    ~count:100 form_arb (fun f ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      Bdd.equal (Bdd.restrict m d Bdd.one) d)
 
 let prop_quantification_idempotent =
   QCheck.Test.make ~name:"exists over the same set is idempotent" ~count:100
@@ -223,10 +240,102 @@ let prop_quantifier_duality =
       Bdd.equal (Bdd.forall m set d)
         (Bdd.dnot m (Bdd.exists m set (Bdd.dnot m d))))
 
+(* ------------------------------------------------------------------ *)
+(* Node GC: rooting, sweeping, canonicity across a sweep. *)
+
+(* Fill the unique table with throwaway minterm diagrams. *)
+let make_garbage m =
+  for k = 0 to (1 lsl nvars) - 1 do
+    ignore
+      (Bdd.conj m
+         (List.init nvars (fun j ->
+              if (k lsr j) land 1 = 1 then Bdd.var m j else Bdd.nvar m j)))
+  done
+
+let test_gc_sweep () =
+  let m = Bdd.create_manager () in
+  let keep =
+    Bdd.dand m (Bdd.var m 0) (Bdd.dor m (Bdd.var m 1) (Bdd.var m 2))
+  in
+  Bdd.ref m keep;
+  make_garbage m;
+  let before = Bdd.live_nodes m in
+  Bdd.gc m;
+  let after = Bdd.live_nodes m in
+  Alcotest.(check bool) "sweep reclaimed nodes" true (after < before);
+  Alcotest.(check int) "sweep counted" 1 (Bdd.gc_count m);
+  Alcotest.(check bool) "peak saw the garbage" true (Bdd.peak_nodes m >= before);
+  (* Canonicity survives the sweep: rebuilding the rooted function (and
+     fresh garbage) must find the very same nodes again. *)
+  let rebuilt =
+    Bdd.dand m (Bdd.var m 0) (Bdd.dor m (Bdd.var m 1) (Bdd.var m 2))
+  in
+  Alcotest.(check bool) "canonical after sweep" true (Bdd.equal rebuilt keep);
+  Alcotest.(check bool) "rooted diagram still correct" true
+    (eval_bdd [| true; false; true; false; false; false |] keep);
+  Bdd.deref m keep
+
+let test_gc_roots_protocol () =
+  let m = Bdd.create_manager () in
+  let d = Bdd.dand m (Bdd.var m 0) (Bdd.var m 1) in
+  Bdd.with_root m d (fun () ->
+      Bdd.gc m;
+      Alcotest.(check bool) "rooted survives a sweep inside with_root" true
+        (Bdd.equal (Bdd.dand m (Bdd.var m 0) (Bdd.var m 1)) d));
+  Alcotest.check_raises "with_root released its root"
+    (Invalid_argument "Bdd.deref: not a registered root") (fun () ->
+      Bdd.deref m d);
+  (* Refcounted: two refs need two derefs. *)
+  Bdd.ref m d;
+  Bdd.ref m d;
+  Bdd.deref m d;
+  Bdd.gc m;
+  Alcotest.(check bool) "still rooted after one deref" true
+    (Bdd.equal (Bdd.dand m (Bdd.var m 0) (Bdd.var m 1)) d);
+  Bdd.deref m d;
+  Alcotest.(check bool) "constants need no roots" true
+    (Bdd.with_root m Bdd.one (fun () -> true))
+
+let test_gc_watermark () =
+  let m = Bdd.create_manager ~gc_watermark:16 () in
+  make_garbage m;
+  Bdd.maybe_gc m;
+  Alcotest.(check bool) "watermark sweep fired" true (Bdd.gc_count m >= 1);
+  let sweeps = Bdd.gc_count m in
+  Bdd.maybe_gc m;
+  Alcotest.(check int) "no re-sweep below the watermark" sweeps
+    (Bdd.gc_count m);
+  Alcotest.check_raises "negative watermark rejected"
+    (Invalid_argument "Bdd.set_gc_watermark: negative watermark") (fun () ->
+      Bdd.set_gc_watermark m (-1))
+
+(* Results computed *across* a sweep must still be correct: the op
+   caches are cleared, so recomputation happens against the swept
+   table. *)
+let prop_gc_transparent =
+  QCheck.Test.make ~name:"semantics unchanged across gc" ~count:100
+    (QCheck.pair form_arb form_arb) (fun (f, g) ->
+      let m = Bdd.create_manager () in
+      let df = build m f in
+      Bdd.ref m df;
+      Bdd.gc m;
+      let dg = build m g in
+      let both = Bdd.dand m df dg in
+      let ok =
+        List.for_all
+          (fun env -> eval_bdd env both = (eval env f && eval env g))
+          (all_envs ())
+      in
+      Bdd.deref m df;
+      ok)
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [
-      prop_restrict_drops_var;
+      prop_cofactor_drops_var;
+      prop_restrict_sound;
+      prop_restrict_full_care;
+      prop_gc_transparent;
       prop_quantification_idempotent;
       prop_quantifier_duality;
       prop_semantics;
@@ -247,6 +356,9 @@ let suite =
     Alcotest.test_case "rename" `Quick test_rename;
     Alcotest.test_case "rename order violation" `Quick
       test_rename_order_violation;
+    Alcotest.test_case "gc sweep" `Quick test_gc_sweep;
+    Alcotest.test_case "gc roots protocol" `Quick test_gc_roots_protocol;
+    Alcotest.test_case "gc watermark" `Quick test_gc_watermark;
   ]
   @ qtests
 

@@ -184,6 +184,57 @@ let test_chrome_trace_golden () =
         [ "M"; "X"; "i"; "C" ]
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry names golden: dashboards, the bench JSON consumers and the
+   service metrics all key on these strings, so a rename must fail a
+   test, not silently break a consumer. *)
+
+let test_bdd_counter_names_golden () =
+  let m = Bdd.create_manager () in
+  ignore (Bdd.dand m (Bdd.var m 0) (Bdd.var m 1));
+  Alcotest.(check (list string))
+    "Bdd.counters names are pinned"
+    [
+      "bdd.cache_hits";
+      "bdd.cache_misses";
+      "bdd.cache_sweeps";
+      "bdd.gc_count";
+      "bdd.nodes_allocated";
+    ]
+    (List.map fst (Bdd.counters m))
+
+let test_engine_run_counter_names_golden () =
+  (* A real (tiny) BDD-engine run must surface the reachability and
+     BDD memory-pressure telemetry under these exact names. *)
+  let cfg = Tta_model.Configs.passive ~nodes:2 () in
+  let e = Tta_model.Engine.get Tta_model.Engine.Bdd_reach in
+  let r = e.Tta_model.Engine.run ~max_depth:6 cfg in
+  let names = List.map fst r.Tta_model.Engine.counters in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+    [
+      "bdd.cache_hits";
+      "bdd.cache_misses";
+      "bdd.gc_count";
+      "bdd.nodes_allocated";
+      "bdd.live_nodes";
+      "bdd.peak_nodes";
+      "reach.iterations";
+      "reach.peak_nodes";
+      "reach.frontier_nodes";
+      "reach.partitions";
+      "gc.minor_collections";
+      "gc.major_collections";
+    ];
+  (* Gauges carry real values: the peak is at least the survivors. *)
+  let get n = List.assoc n r.Tta_model.Engine.counters in
+  Alcotest.(check bool) "live_nodes positive" true (get "bdd.live_nodes" > 0);
+  Alcotest.(check bool) "peak >= live" true
+    (get "bdd.peak_nodes" >= get "bdd.live_nodes");
+  Alcotest.(check bool) "partitioned by default" true
+    (get "reach.partitions" > 1)
+
+(* ------------------------------------------------------------------ *)
 (* Disabled-path overhead guard *)
 
 let test_disabled_path_allocates_nothing () =
@@ -234,6 +285,13 @@ let () =
         [
           Alcotest.test_case "chrome trace golden" `Quick
             test_chrome_trace_golden;
+        ] );
+      ( "names",
+        [
+          Alcotest.test_case "bdd counter names golden" `Quick
+            test_bdd_counter_names_golden;
+          Alcotest.test_case "engine run counter names golden" `Quick
+            test_engine_run_counter_names_golden;
         ] );
       ( "overhead",
         [

@@ -186,6 +186,123 @@ let test_mutex_progress () =
   Alcotest.(check int) "reach = explicit" reach_len explicit_len
 
 (* ------------------------------------------------------------------ *)
+(* Image-computation strategies: the partitioned image/preimage (early
+   quantification over Enc.schedule's clusters) must equal the
+   monolithic relprod at every iteration of the BFS fixpoint, on every
+   seed model — and Reach.check must produce the same verdict, trace
+   length and iteration count under every tuning. *)
+
+let seed_models =
+  [
+    ("counter", counter_model);
+    ("saturating", saturating_model);
+    ("mutex", mutex_model);
+  ]
+
+let test_partitioned_image_agreement () =
+  List.iter
+    (fun (name, model) ->
+      let enc = Enc.create (Bdd.create_manager ()) model in
+      let m = Enc.mgr enc in
+      let part = Reach.default_tuning in
+      let mono = Reach.monolithic_tuning in
+      let rec go i reach frontier =
+        let img = Reach.image ~tuning:part enc frontier in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: image agrees at iteration %d" name i)
+          true
+          (Bdd.equal img (Reach.image ~tuning:mono enc frontier));
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: preimage agrees at iteration %d" name i)
+          true
+          (Bdd.equal
+             (Reach.preimage ~tuning:part enc frontier)
+             (Reach.preimage ~tuning:mono enc frontier));
+        let fresh = Bdd.dand m img (Bdd.dnot m reach) in
+        if not (Bdd.is_zero fresh) then
+          go (i + 1) (Bdd.dor m reach fresh) fresh
+      in
+      let init = Enc.init_bdd enc in
+      go 0 init init)
+    seed_models
+
+let test_tuning_verdict_agreement () =
+  (* The low-watermark tuning forces node-GC sweeps inside the fixpoint
+     on these small models; verdicts must still be identical. *)
+  let tunings =
+    [
+      ("monolithic", Reach.monolithic_tuning);
+      ("partitioned", Reach.default_tuning);
+      ("no-restrict", { Reach.default_tuning with Reach.use_restrict = false });
+      ("gc-200", { Reach.default_tuning with Reach.gc_watermark = 200 });
+    ]
+  in
+  List.iter
+    (fun (mname, model, bad) ->
+      let outcome (_, tuning) =
+        let enc = Enc.create (Bdd.create_manager ()) model in
+        match Reach.check ~tuning enc ~bad with
+        | Reach.Safe s -> ("safe", 0, s.Reach.iterations)
+        | Reach.Unsafe (t, s) -> ("unsafe", Array.length t, s.Reach.iterations)
+        | Reach.Depth_exhausted s -> ("exhausted", 0, s.Reach.iterations)
+      in
+      let reference = outcome (List.hd tunings) in
+      List.iter
+        (fun t ->
+          let v, len, iters = outcome t in
+          let rv, rlen, riters = reference in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s verdict" mname (fst t))
+            rv v;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s trace length" mname (fst t))
+            rlen len;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s iterations" mname (fst t))
+            riters iters)
+        (List.tl tunings))
+    [
+      ("counter", counter_model, c_is 5);
+      ("saturating", saturating_model, c_is 5);
+      ("mutex-safe", mutex_model, both_critical);
+      ("mutex-progress", mutex_model, q_critical);
+    ]
+
+let test_reachable_set_cancel_and_obs () =
+  (* Immediate cancellation returns the initial states (the trivial
+     lower bound) — and the iteration counter lands in the track. *)
+  let col = Obs.Collector.create () in
+  let t = Obs.Collector.track col "reach" in
+  let enc = Enc.create (Bdd.create_manager ()) counter_model in
+  let cancelled =
+    Reach.reachable_set ~cancel:(fun () -> true) ~obs:t enc
+  in
+  Alcotest.(check bool) "lower bound = init" true
+    (Bdd.equal cancelled (Enc.init_bdd enc));
+  Alcotest.(check (option int)) "no iterations recorded" (Some 0)
+    (List.assoc_opt "reach.iterations" (Obs.counters t));
+  (* A budget of two polls gives a strict lower bound strictly above
+     the initial set (the counter model grows every step). *)
+  let polls = ref 0 in
+  let partial =
+    Reach.reachable_set
+      ~cancel:(fun () ->
+        incr polls;
+        !polls > 2)
+      enc
+  in
+  let full = Reach.reachable_set ~obs:t enc in
+  let m = Enc.mgr enc in
+  let strictly_below a b =
+    (not (Bdd.equal a b)) && Bdd.is_zero (Bdd.dand m a (Bdd.dnot m b))
+  in
+  Alcotest.(check bool) "partial above init" true
+    (strictly_below (Enc.init_bdd enc) partial);
+  Alcotest.(check bool) "partial below full" true (strictly_below partial full);
+  Alcotest.(check (option int)) "full run counted its iterations" (Some 8)
+    (List.assoc_opt "reach.iterations" (Obs.counters t))
+
+(* ------------------------------------------------------------------ *)
 (* Encoder correctness: symbolic predicate evaluation agrees with the
    concrete evaluator on every state, for randomly generated
    predicates over a small mixed-domain model. *)
@@ -565,6 +682,12 @@ let suite =
     Alcotest.test_case "mutex progress agreement" `Quick test_mutex_progress;
     Alcotest.test_case "trace validation rejects" `Quick
       test_trace_validate_rejects;
+    Alcotest.test_case "partitioned image = monolithic (per iteration)" `Quick
+      test_partitioned_image_agreement;
+    Alcotest.test_case "tuning verdict agreement" `Quick
+      test_tuning_verdict_agreement;
+    Alcotest.test_case "reachable_set cancel + obs" `Quick
+      test_reachable_set_cancel_and_obs;
     Alcotest.test_case "k-induction proves saturating" `Quick
       test_induction_proves_saturating;
     Alcotest.test_case "k-induction refutes counter" `Quick
