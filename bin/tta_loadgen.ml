@@ -11,8 +11,8 @@
    connection); --concurrency (the default, 4) the closed-loop shape
    (N connections, one outstanding request each). *)
 
-let main socket requests rate concurrency seed nodes depth deadline_ms
-    configs_s engines_s retry_budget json_path =
+let main socket requests rate concurrency seed nodes depth nodes_choices_s
+    depths_s deadline_ms configs_s engines_s retry_budget json_path =
   let addr =
     match Service.Server.addr_of_string socket with
     | Ok a -> a
@@ -29,15 +29,27 @@ let main socket requests rate concurrency seed nodes depth deadline_ms
     | [] -> None
     | l -> Some l
   in
+  let split_ints flag s =
+    Option.map
+      (List.map (fun p ->
+           match int_of_string_opt p with
+           | Some n -> n
+           | None ->
+               Printf.eprintf "tta_loadgen: %s: %S is not an integer\n" flag p;
+               exit 2))
+      (split s)
+  in
   let mode =
     match rate with
     | Some r when r > 0. -> Service.Loadgen.Open_loop r
     | _ -> Service.Loadgen.Closed_loop concurrency
   in
   let report =
-    Service.Loadgen.run ~seed ~nodes ~depth ?deadline_ms
-      ?configs:(split configs_s) ?engines:(split engines_s) ~retry_budget
-      ~mode ~requests addr
+    Service.Loadgen.run ~seed ~nodes ~depth
+      ?nodes_choices:(split_ints "--nodes-choices" nodes_choices_s)
+      ?depths:(split_ints "--depths" depths_s)
+      ?deadline_ms ?configs:(split configs_s) ?engines:(split engines_s)
+      ~retry_budget ~mode ~requests addr
   in
   Format.printf "%a" Service.Loadgen.pp_report report;
   (match json_path with
@@ -81,6 +93,22 @@ let () =
       value & opt int 1
       & info [ "seed" ] ~docv:"SEED" ~doc:"Stream sampling seed.")
   in
+  let nodes_choices =
+    Arg.(
+      value & opt string ""
+      & info [ "nodes-choices" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated node counts to sample per request (overrides \
+             --nodes). Distinct counts shard to distinct cluster workers.")
+  in
+  let depths =
+    Arg.(
+      value & opt string ""
+      & info [ "depths" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated depths to sample per request (overrides \
+             --depth); distinct depths defeat request coalescing.")
+  in
   let deadline_ms =
     Arg.(
       value
@@ -112,7 +140,7 @@ let () =
         const main $ socket $ requests $ rate $ concurrency $ seed
         $ Cli.nodes ~default:2 ()
         $ Cli.depth ~default:24 ()
-        $ deadline_ms $ configs
+        $ nodes_choices $ depths $ deadline_ms $ configs
         $ Cli.engines ~default:"bdd" ()
         $ retry_budget $ Cli.json ())
   in

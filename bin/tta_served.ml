@@ -29,9 +29,25 @@ let main socket workers queue_cap cache_dir no_cache cache_max grace chaos
   in
   Service.Server.serve ?cache ~workers ~queue_cap
     ?obs:(Cli.obs_collector obs) ~faults ~grace
-    ~on_ready:(fun () ->
+    ~on_ready:(fun srv ->
+      (* Machine-readable readiness first — supervisors (the cluster
+         router, CI scripts) parse this one line to learn the bound
+         address, including a kernel-assigned port for --socket HOST:0.
+         The human-oriented banner follows. *)
+      let bound = Service.Server.bound_addr srv in
+      let fields =
+        [
+          ("ready", Json.Bool true);
+          ("socket", Json.String (Service.Server.addr_to_string bound));
+        ]
+        @
+        match bound with
+        | Service.Server.Tcp (_, port) -> [ ("port", Json.Int port) ]
+        | Service.Server.Unix_socket _ -> []
+      in
+      print_string (Json.to_string (Json.Obj fields) ^ "\n");
       Printf.printf "tta_served: listening on %s (%d workers, queue cap %d)%s\n%!"
-        (Service.Server.addr_to_string addr)
+        (Service.Server.addr_to_string bound)
         workers queue_cap
         (if Resilience.Faults.enabled faults then
            " [chaos " ^ Resilience.Faults.to_spec faults ^ "]"

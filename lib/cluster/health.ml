@@ -1,0 +1,55 @@
+(* Per-worker liveness bookkeeping — see the interface. *)
+
+type t = {
+  name : string;
+  interval : float;
+  timeout : float;
+  mutable seq : int;
+  mutable last_ping : float;  (** when the outstanding ping was sent *)
+  mutable last_seen : float;  (** last pong (or [reset]) *)
+  mutable outstanding : string option;
+}
+
+let create ?(interval = 1.0) ?(timeout = 3.0) ~now name =
+  if timeout <= interval then
+    invalid_arg "Health.create: timeout must exceed interval";
+  {
+    name;
+    interval;
+    timeout;
+    seq = 0;
+    last_ping = now;
+    last_seen = now;
+    outstanding = None;
+  }
+
+let ping_id t = Printf.sprintf "hb:%s:%d" t.name t.seq
+
+let is_ping_id id =
+  String.length id >= 3 && String.sub id 0 3 = "hb:"
+
+let next_ping ~now t =
+  match t.outstanding with
+  | Some _ -> None  (* one probe in flight at a time *)
+  | None ->
+      if now -. t.last_ping >= t.interval then begin
+        t.seq <- t.seq + 1;
+        t.last_ping <- now;
+        let id = ping_id t in
+        t.outstanding <- Some id;
+        Some id
+      end
+      else None
+
+let pong ~now t id =
+  if t.outstanding = Some id then begin
+    t.outstanding <- None;
+    t.last_seen <- now
+  end
+
+let overdue ~now t = now -. t.last_seen > t.timeout
+
+let reset ~now t =
+  t.outstanding <- None;
+  t.last_ping <- now;
+  t.last_seen <- now

@@ -1,0 +1,88 @@
+(* Consistent-hash ring — see the interface for the design. *)
+
+type t = {
+  vnodes : int;
+  members : string list;  (** sorted, distinct *)
+  points : (int * string) array;  (** sorted by (hash, name) *)
+}
+
+(* A point on the ring: the first 8 bytes of an MD5 digest, folded into
+   a non-negative OCaml int. MD5 is plenty here — the adversary is
+   clustering, not collision forgery. *)
+let hash_of s =
+  let d = Digest.string s in
+  let h = ref 0 in
+  for i = 0 to 7 do
+    h := (!h lsl 8) lor Char.code d.[i]
+  done;
+  !h land max_int
+
+let points_of ~vnodes members =
+  let pts =
+    List.concat_map
+      (fun name ->
+        List.init vnodes (fun i ->
+            (hash_of (Printf.sprintf "%s#%d" name i), name)))
+      members
+  in
+  let arr = Array.of_list pts in
+  Array.sort compare arr;
+  arr
+
+let create ?(vnodes = 512) names =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  let members = List.sort_uniq String.compare names in
+  { vnodes; members; points = points_of ~vnodes members }
+
+let members t = t.members
+let is_empty t = t.members = []
+
+let add t name =
+  if List.mem name t.members then t
+  else create ~vnodes:t.vnodes (name :: t.members)
+
+let remove t name = create ~vnodes:t.vnodes (List.filter (( <> ) name) t.members)
+
+(* Index of the first point clockwise from the key's hash (the array is
+   sorted, so this is a binary search for the least index with
+   [fst points.(i) >= h], wrapping to 0 past the top). *)
+let first_at_or_after points h =
+  let n = Array.length points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let walk t key k =
+  let n = Array.length t.points in
+  if n > 0 then begin
+    let start = first_at_or_after t.points (hash_of key) in
+    let i = ref 0 and stop = ref false in
+    while (not !stop) && !i < n do
+      stop := k (snd t.points.((start + !i) mod n));
+      incr i
+    done
+  end
+
+let route ?(accept = fun _ -> true) t key =
+  let found = ref None in
+  walk t key (fun name ->
+      if accept name then begin
+        found := Some name;
+        true
+      end
+      else false);
+  !found
+
+let successors t key =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  walk t key (fun name ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        order := name :: !order
+      end;
+      Hashtbl.length seen = List.length t.members);
+  List.rev !order

@@ -1,0 +1,712 @@
+(* Sharding front end over supervised worker daemons — see the
+   interface for the design. *)
+
+module Server = Service.Server
+module Protocol = Service.Protocol
+
+type event =
+  | Worker_spawned of { name : string; pid : int }
+  | Worker_ready of { name : string; addr : string }
+  | Worker_exited of { name : string; reason : string }
+  | Worker_backoff of { name : string; delay_s : float }
+  | Worker_gave_up of { name : string }
+  | Rerouted of { id : string; worker : string }
+  | Killed_by_request of { name : string; nth : int }
+
+type stats = {
+  forwarded : (string * int) list;
+  rerouted : int;
+  restarts : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Line rewriting (pure; unit-tested directly)
+
+   The router multiplexes many clients onto one connection per worker,
+   so client request ids cannot be trusted to be distinct across
+   clients. Each forwarded request gets a router-scoped id (["q<n>"]);
+   the response's id is rewritten back and the serving worker's name
+   appended, giving clients per-shard attribution for free. *)
+
+let rewrite_request_id line ~id =
+  match Json.of_string line with
+  | Ok (Json.Obj fields) ->
+      let rest = List.filter (fun (k, _) -> k <> "id") fields in
+      Some (Json.to_string (Json.Obj (("id", Json.String id) :: rest)))
+  | Ok _ | Error _ -> None
+
+let rewrite_response_line line ~id ~worker =
+  match Json.of_string line with
+  | Ok (Json.Obj fields) ->
+      let rest =
+        List.filter (fun (k, _) -> k <> "id" && k <> "worker") fields
+      in
+      Some
+        (Json.to_string
+           (Json.Obj
+              ((("id", Json.String id) :: rest)
+              @ [ ("worker", Json.String worker) ])))
+  | Ok _ | Error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* State *)
+
+type client = {
+  cfd : Unix.file_descr;
+  cbuf : Buffer.t;
+  mutable cclosed : bool;
+}
+
+type pending = {
+  pclient : client;
+  orig_id : string;
+  pline : string;  (** the client's original request line *)
+  pkey : string;  (** consistent-hash routing key *)
+  mutable attempts : int;
+  mutable pworker : string;  (** name it was last forwarded to *)
+}
+
+type wstate =
+  | Idle of { until : float }  (** waiting out a restart backoff *)
+  | Starting of { proc : Worker.proc; sbuf : Buffer.t; since : float }
+  | Live of {
+      proc : Worker.proc;
+      wfd : Unix.file_descr;  (** connection to the worker's socket *)
+      wbuf : Buffer.t;
+      health : Health.t;
+    }
+  | Gone  (** restart intensity exceeded; never coming back *)
+
+type worker = {
+  wname : string;
+  mutable state : wstate;
+  gate : Resilience.Supervisor.Restarts.t;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound : Server.addr;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  finished : bool Atomic.t;
+  exe : string;
+  worker_args : string list;
+  workers : worker array;
+  ring : Ring.t;
+  inflight : (string, pending) Hashtbl.t;  (** router id -> pending *)
+  mutable parked : pending list;  (** newest first; no live worker yet *)
+  mutable qseq : int;
+  keys : (Tta_model.Configs.t, string) Hashtbl.t;  (** cfg -> routing key *)
+  kill_after : int option;
+  mutable total_forwarded : int;
+  health_interval : float;
+  health_timeout : float;
+  start_timeout : float;
+  grace : float;
+  on_event : event -> unit;
+  stats_lock : Mutex.t;
+  st_forwarded : (string, int) Hashtbl.t;
+  mutable st_rerouted : int;
+  mutable st_restarts : int;
+  join_lock : Mutex.t;
+  mutable loop_domain : unit Domain.t option;
+}
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let client_write c s =
+  if not c.cclosed then
+    match write_all c.cfd s 0 (String.length s) with
+    | () -> ()
+    | exception Unix.Unix_error _ -> c.cclosed <- true
+
+let client_respond c resp = client_write c (Protocol.response_line resp)
+
+let connect addr =
+  match (addr : Server.addr) with
+  | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Server.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+
+let is_live w = match w.state with Live _ -> true | _ -> false
+
+let worker_named t name =
+  (* Worker names are router-assigned and few; linear scan is fine. *)
+  let found = ref None in
+  Array.iter (fun w -> if w.wname = name then found := Some w) t.workers;
+  Option.get !found
+
+(* ------------------------------------------------------------------ *)
+(* Routing key
+
+   Requests shard by the *model* they ask about — Model.fingerprint of
+   the compiled configuration — not by request id: repeats of the same
+   model land on the same worker, whose scheduler coalesces them and
+   whose engines stay warm for it. Engine and depth intentionally do
+   not enter the key. *)
+
+let routing_key t cfg =
+  match Hashtbl.find_opt t.keys cfg with
+  | Some k -> k
+  | None ->
+      let k = Symkit.Model.fingerprint (Tta_model.Build.model cfg) in
+      Hashtbl.add t.keys cfg k;
+      k
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch and failover *)
+
+let max_attempts t = (2 * Array.length t.workers) + 2
+
+let bump_forwarded t name =
+  Mutex.lock t.stats_lock;
+  Hashtbl.replace t.st_forwarded name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.st_forwarded name));
+  Mutex.unlock t.stats_lock
+
+(* Forward one pending request to a live worker, or park/fail it.
+   Mutually recursive with the death path: a failed write to a worker
+   declares that worker dead, which re-dispatches its in-flight
+   requests — bounded by [max_attempts] per request and by the restart
+   gate per worker. *)
+let rec dispatch t ~now p =
+  if p.attempts >= max_attempts t then
+    client_respond p.pclient
+      (Protocol.Error
+         {
+           id = Some p.orig_id;
+           code = Protocol.code_engine_failed;
+           reason = "no live worker could serve this request";
+         })
+  else
+    match
+      Ring.route ~accept:(fun n -> is_live (worker_named t n)) t.ring p.pkey
+    with
+    | None ->
+        (* No live worker right now. Park and flush on the next ready —
+           unless the whole fleet crash-looped past its restart gates,
+           in which case nobody is ever coming back. *)
+        if
+          Array.for_all
+            (fun w -> match w.state with Gone -> true | _ -> false)
+            t.workers
+        then
+          client_respond p.pclient
+            (Protocol.Error
+               {
+                 id = Some p.orig_id;
+                 code = Protocol.code_engine_failed;
+                 reason = "every worker exceeded its restart budget";
+               })
+        else t.parked <- p :: t.parked
+    | Some name -> forward t ~now (worker_named t name) p
+
+and forward t ~now w p =
+  match w.state with
+  | Live { wfd; _ } -> (
+      t.qseq <- t.qseq + 1;
+      let qid = Printf.sprintf "q%d" t.qseq in
+      match rewrite_request_id p.pline ~id:qid with
+      | None ->
+          (* Unreachable for a line that decoded as a request object;
+             answer rather than wedge the client. *)
+          client_respond p.pclient
+            (Protocol.Error
+               {
+                 id = Some p.orig_id;
+                 code = Protocol.code_bad_request;
+                 reason = "request line is not a JSON object";
+               })
+      | Some line ->
+          let line = line ^ "\n" in
+          Hashtbl.replace t.inflight qid p;
+          let rerouted = p.attempts > 0 in
+          p.attempts <- p.attempts + 1;
+          p.pworker <- w.wname;
+          (match write_all wfd line 0 (String.length line) with
+          | () ->
+              t.total_forwarded <- t.total_forwarded + 1;
+              bump_forwarded t w.wname;
+              if rerouted then begin
+                Mutex.lock t.stats_lock;
+                t.st_rerouted <- t.st_rerouted + 1;
+                Mutex.unlock t.stats_lock;
+                t.on_event (Rerouted { id = p.orig_id; worker = w.wname })
+              end;
+              (match t.kill_after with
+              | Some n when t.total_forwarded = n -> (
+                  match w.state with
+                  | Live { proc; _ } ->
+                      (* Testing hook: SIGKILL the worker that just
+                         received the nth request — the hard-crash case
+                         the failover path exists for. Detection is
+                         left to the normal EOF/health machinery. *)
+                      (try Unix.kill proc.Worker.pid Sys.sigkill
+                       with Unix.Unix_error _ -> ());
+                      t.on_event (Killed_by_request { name = w.wname; nth = n })
+                  | _ -> ())
+              | _ -> ())
+          | exception Unix.Unix_error _ -> worker_death t ~now w "write failed"))
+  | _ ->
+      p.attempts <- p.attempts + 1;
+      dispatch t ~now p
+
+and flush_parked t ~now =
+  let parked = List.rev t.parked in
+  t.parked <- [];
+  List.iter (dispatch t ~now) parked
+
+(* A worker is dead (EOF, failed write, health timeout, startup
+   failure): reap it, re-route everything it owed, and schedule the
+   respawn — or give up if it is crash-looping faster than the restart
+   gate allows. *)
+and worker_death t ~now w reason =
+  (* [terminate] with a short grace: the process is usually already
+     dead (we got here via EOF); a wedged one (health timeout) gets a
+     brief chance at SIGTERM before the SIGKILL. Reaps the child, so a
+     restarting fleet never accumulates zombies. *)
+  (match w.state with
+  | Starting { proc; _ } -> Worker.terminate ~grace_s:0.2 proc
+  | Live { proc; wfd; _ } ->
+      (try Unix.close wfd with Unix.Unix_error _ -> ());
+      Worker.terminate ~grace_s:0.2 proc
+  | Idle _ | Gone -> ());
+  t.on_event (Worker_exited { name = w.wname; reason });
+  Mutex.lock t.stats_lock;
+  t.st_restarts <- t.st_restarts + 1;
+  Mutex.unlock t.stats_lock;
+  (match Resilience.Supervisor.Restarts.record ~now w.gate with
+  | `Backoff d ->
+      w.state <- Idle { until = now +. d };
+      t.on_event (Worker_backoff { name = w.wname; delay_s = d })
+  | `Give_up ->
+      w.state <- Gone;
+      t.on_event (Worker_gave_up { name = w.wname }));
+  (* Re-route the dead worker's in-flight requests. Safe to re-send:
+     workers dedup/coalesce identical requests and share the verdict
+     cache, so a request the dead worker had in fact completed is
+     answered again, cheaply, by its successor. *)
+  let orphans =
+    Hashtbl.fold
+      (fun qid p acc -> if p.pworker = w.wname then (qid, p) :: acc else acc)
+      t.inflight []
+  in
+  List.iter (fun (qid, _) -> Hashtbl.remove t.inflight qid) orphans;
+  List.iter (fun (_, p) -> dispatch t ~now p) orphans
+
+(* ------------------------------------------------------------------ *)
+(* Worker lifecycle driven from the loop *)
+
+let spawn_worker t ~now w =
+  match
+    Worker.spawn ~exe:t.exe
+      ~args:([ "--socket"; "127.0.0.1:0" ] @ t.worker_args)
+  with
+  | proc ->
+      w.state <- Starting { proc; sbuf = Buffer.create 256; since = now };
+      t.on_event (Worker_spawned { name = w.wname; pid = proc.Worker.pid })
+  | exception Unix.Unix_error _ -> worker_death t ~now w "spawn failed"
+
+let worker_ready t ~now w proc socket =
+  match Server.addr_of_string socket with
+  | Error e -> worker_death t ~now w ("unparseable readiness address: " ^ e)
+  | Ok addr -> (
+      match connect addr with
+      | exception Unix.Unix_error (e, _, _) ->
+          worker_death t ~now w
+            ("connect to ready worker failed: " ^ Unix.error_message e)
+      | wfd ->
+          let health =
+            Health.create ~interval:t.health_interval
+              ~timeout:t.health_timeout ~now w.wname
+          in
+          w.state <- Live { proc; wfd; wbuf = Buffer.create 1024; health };
+          t.on_event (Worker_ready { name = w.wname; addr = socket });
+          flush_parked t ~now)
+
+(* Split buffered bytes on newlines, keeping a trailing partial. *)
+let drain_lines buf k =
+  let s = Buffer.contents buf in
+  let n = String.length s in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from s !start '\n' in
+       k (String.sub s !start (i - !start));
+       start := i + 1
+     done
+   with Not_found -> ());
+  if !start > 0 then begin
+    Buffer.clear buf;
+    if !start < n then Buffer.add_substring buf s !start (n - !start)
+  end
+
+(* The worker's stdout pipe. While [Starting] it carries the readiness
+   line; once [Live] it is banner/diagnostic output, read and
+   discarded so the pipe can never fill and block the daemon. EOF
+   means the process exited. *)
+let handle_worker_stdout t ~now scratch w =
+  match w.state with
+  | Starting { proc; sbuf; _ } -> (
+      match Unix.read proc.Worker.stdout scratch 0 (Bytes.length scratch) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+          worker_death t ~now w "stdout read failed"
+      | 0 -> worker_death t ~now w "exited before becoming ready"
+      | n ->
+          Buffer.add_subbytes sbuf scratch 0 n;
+          let ready = ref None in
+          drain_lines sbuf (fun line ->
+              if !ready = None then ready := Worker.parse_ready line);
+          (match !ready with
+          | Some (socket, _port) -> worker_ready t ~now w proc socket
+          | None -> ()))
+  | Live { proc; _ } -> (
+      match Unix.read proc.Worker.stdout scratch 0 (Bytes.length scratch) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> worker_death t ~now w "process exited"
+      | 0 -> worker_death t ~now w "process exited"
+      | _ -> ())
+  | Idle _ | Gone -> ()
+
+let handle_worker_line t ~now w line =
+  match Protocol.request_id_of_line line with
+  | None -> ()  (* not attributable; drop *)
+  | Some id when Health.is_ping_id id -> (
+      match w.state with
+      | Live { health; _ } -> Health.pong ~now health id
+      | _ -> ())
+  | Some qid -> (
+      match Hashtbl.find_opt t.inflight qid with
+      | None -> ()  (* already re-routed elsewhere; late duplicate *)
+      | Some p -> (
+          Hashtbl.remove t.inflight qid;
+          match rewrite_response_line line ~id:p.orig_id ~worker:w.wname with
+          | Some out -> client_write p.pclient (out ^ "\n")
+          | None -> ()))
+
+let handle_worker_conn t ~now scratch w =
+  match w.state with
+  | Live { wfd; wbuf; _ } -> (
+      match Unix.read wfd scratch 0 (Bytes.length scratch) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+          worker_death t ~now w "connection reset"
+      | 0 -> worker_death t ~now w "connection closed"
+      | n ->
+          Buffer.add_subbytes wbuf scratch 0 n;
+          drain_lines wbuf (handle_worker_line t ~now w))
+  | _ -> ()
+
+(* Time-driven work: respawns due, start timeouts, health probes. *)
+let tick t ~now =
+  Array.iter
+    (fun w ->
+      match w.state with
+      | Idle { until } when until <= now && not (Atomic.get t.stopping) ->
+          spawn_worker t ~now w
+      | Starting { since; _ } when now -. since > t.start_timeout ->
+          worker_death t ~now w "start timeout"
+      | Live { wfd; health; _ } -> (
+          if Health.overdue ~now health then
+            worker_death t ~now w "health timeout"
+          else
+            match Health.next_ping ~now health with
+            | None -> ()
+            | Some id -> (
+                let line = Json.to_string (Protocol.ping ~id) ^ "\n" in
+                match write_all wfd line 0 (String.length line) with
+                | () -> ()
+                | exception Unix.Unix_error _ ->
+                    worker_death t ~now w "ping write failed"))
+      | _ -> ())
+    t.workers
+
+(* ------------------------------------------------------------------ *)
+(* Client side *)
+
+let handle_request t ~now client line =
+  let line = String.trim line in
+  if line <> "" then
+    match Protocol.decode_incoming_line line with
+    | Error reason ->
+        client_respond client
+          (Protocol.Error
+             {
+               id = Protocol.request_id_of_line line;
+               code = Protocol.code_bad_request;
+               reason;
+             })
+    | Ok (Protocol.Ping { id }) ->
+        (* Answered by the router itself: a pong means the routing tier
+           is up, which is what a client probing the cluster asks. *)
+        client_respond client (Protocol.Pong { id })
+    | Ok (Protocol.Verify req) ->
+        let p =
+          {
+            pclient = client;
+            orig_id = req.Protocol.id;
+            pline = line;
+            pkey = routing_key t req.Protocol.cfg;
+            attempts = 0;
+            pworker = "";
+          }
+        in
+        dispatch t ~now p
+
+let handle_client_read t ~now scratch c =
+  match Unix.read c.cfd scratch 0 (Bytes.length scratch) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error _ -> c.cclosed <- true
+  | 0 -> c.cclosed <- true
+  | n ->
+      Buffer.add_subbytes c.cbuf scratch 0 n;
+      drain_lines c.cbuf (handle_request t ~now c)
+
+(* ------------------------------------------------------------------ *)
+(* The loop *)
+
+let cancel_all t reason =
+  Hashtbl.iter
+    (fun _ p ->
+      client_respond p.pclient
+        (Protocol.Cancelled { id = p.orig_id; reason }))
+    t.inflight;
+  Hashtbl.reset t.inflight;
+  List.iter
+    (fun p ->
+      client_respond p.pclient
+        (Protocol.Cancelled { id = p.orig_id; reason }))
+    t.parked;
+  t.parked <- []
+
+let loop t =
+  let clients = ref [] in
+  let scratch = Bytes.create 65536 in
+  let running = ref true in
+  let listener_open = ref true in
+  let stop_deadline = ref infinity in
+  while !running do
+    let now = Unix.gettimeofday () in
+    tick t ~now;
+    let dead, live = List.partition (fun c -> c.cclosed) !clients in
+    List.iter
+      (fun c -> try Unix.close c.cfd with Unix.Unix_error _ -> ())
+      dead;
+    clients := live;
+    (* Drain exit: stopped, and nothing left to answer (or the grace
+       period ran out, in which case the leftovers get cancelled). *)
+    if Atomic.get t.stopping then begin
+      if !listener_open then begin
+        listener_open := false;
+        stop_deadline := now +. t.grace;
+        try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+      end;
+      if Hashtbl.length t.inflight = 0 && t.parked = [] then running := false
+      else if now > !stop_deadline then begin
+        cancel_all t "shutting down";
+        running := false
+      end
+    end;
+    if !running then begin
+      let worker_fds =
+        Array.to_list t.workers
+        |> List.concat_map (fun w ->
+               match w.state with
+               | Starting { proc; _ } -> [ (proc.Worker.stdout, `Stdout w) ]
+               | Live { proc; wfd; _ } ->
+                   [ (proc.Worker.stdout, `Stdout w); (wfd, `Conn w) ]
+               | Idle _ | Gone -> [])
+      in
+      let client_fds = List.map (fun c -> (c.cfd, `Client c)) !clients in
+      let read_fds =
+        t.pipe_r
+        :: (if !listener_open then [ t.listen_fd ] else [])
+        @ List.map fst worker_fds @ List.map fst client_fds
+      in
+      match Unix.select read_fds [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          let now = Unix.gettimeofday () in
+          if List.mem t.pipe_r ready then begin
+            let b = Bytes.create 8 in
+            ignore (try Unix.read t.pipe_r b 0 8 with Unix.Unix_error _ -> 0)
+          end;
+          if !listener_open && List.mem t.listen_fd ready then begin
+            match Unix.accept t.listen_fd with
+            | exception Unix.Unix_error _ -> ()
+            | fd, _ ->
+                clients :=
+                  { cfd = fd; cbuf = Buffer.create 256; cclosed = false }
+                  :: !clients
+          end;
+          List.iter
+            (fun (fd, tag) ->
+              if List.mem fd ready then
+                match tag with
+                | `Stdout w -> handle_worker_stdout t ~now scratch w
+                | `Conn w -> handle_worker_conn t ~now scratch w)
+            worker_fds;
+          List.iter
+            (fun (fd, tag) ->
+              if List.mem fd ready then
+                match tag with
+                | `Client c ->
+                    if not c.cclosed then handle_client_read t ~now scratch c)
+            client_fds
+    end
+  done;
+  (* Shut the fleet down and release everything. *)
+  Array.iter
+    (fun w ->
+      match w.state with
+      | Starting { proc; _ } -> Worker.terminate proc
+      | Live { proc; wfd; _ } ->
+          (try Unix.close wfd with Unix.Unix_error _ -> ());
+          Worker.terminate proc
+      | Idle _ | Gone -> ())
+    t.workers;
+  List.iter
+    (fun c -> try Unix.close c.cfd with Unix.Unix_error _ -> ())
+    !clients;
+  if !listener_open then
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  try Unix.close t.pipe_w with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let bind_listen addr =
+  match (addr : Server.addr) with
+  | Server.Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Server.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> raise (Unix.Unix_error (Unix.EINVAL, "bind", host)))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      fd
+
+let start ?(vnodes = 512) ?(supervisor = Resilience.Supervisor.default)
+    ?(max_restarts = 5) ?(restart_window_s = 30.0) ?(health_interval = 0.5)
+    ?(health_timeout = 3.0) ?(start_timeout = 10.0) ?(grace = 10.0)
+    ?kill_after ?(on_event = fun (_ : event) -> ()) ~exe ~worker_args
+    ~workers addr =
+  if workers < 1 then invalid_arg "Router.start: workers < 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = bind_listen addr in
+  let bound =
+    match (addr : Server.addr) with
+    | Server.Tcp (host, 0) -> (
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, port) -> Server.Tcp (host, port)
+        | _ -> addr)
+    | _ -> addr
+  in
+  let pipe_r, pipe_w = Unix.pipe () in
+  let names = List.init workers (Printf.sprintf "w%d") in
+  let mk name =
+    {
+      wname = name;
+      state = Idle { until = 0.0 };  (* due immediately *)
+      gate =
+        Resilience.Supervisor.Restarts.create ~max_restarts
+          ~window_s:restart_window_s supervisor;
+    }
+  in
+  let t =
+    {
+      listen_fd;
+      bound;
+      pipe_r;
+      pipe_w;
+      stopping = Atomic.make false;
+      finished = Atomic.make false;
+      exe;
+      worker_args;
+      workers = Array.of_list (List.map mk names);
+      ring = Ring.create ~vnodes names;
+      inflight = Hashtbl.create 64;
+      parked = [];
+      qseq = 0;
+      keys = Hashtbl.create 16;
+      kill_after;
+      total_forwarded = 0;
+      health_interval;
+      health_timeout;
+      start_timeout;
+      grace;
+      on_event;
+      stats_lock = Mutex.create ();
+      st_forwarded = Hashtbl.create 8;
+      st_rerouted = 0;
+      st_restarts = 0;
+      join_lock = Mutex.create ();
+      loop_domain = None;
+    }
+  in
+  t.loop_domain <-
+    Some
+      (Domain.spawn (fun () ->
+           Fun.protect
+             ~finally:(fun () -> Atomic.set t.finished true)
+             (fun () -> loop t)));
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    try ignore (Unix.write_substring t.pipe_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+
+let wait t =
+  (* Same poll-then-join dance as Server.wait: keep the main domain at
+     safepoints so signal handlers still run while we wait. *)
+  while not (Atomic.get t.finished) do
+    Unix.sleepf 0.05
+  done;
+  Mutex.lock t.join_lock;
+  (match t.loop_domain with
+  | None -> ()
+  | Some d ->
+      t.loop_domain <- None;
+      Domain.join d);
+  Mutex.unlock t.join_lock
+
+let bound_addr t = t.bound
+
+let stats t =
+  Mutex.lock t.stats_lock;
+  let forwarded =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.st_forwarded [])
+  in
+  let s =
+    { forwarded; rerouted = t.st_rerouted; restarts = t.st_restarts }
+  in
+  Mutex.unlock t.stats_lock;
+  s

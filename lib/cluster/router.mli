@@ -1,0 +1,108 @@
+(** The cluster front end: one socket in, N supervised daemons behind.
+
+    Clients speak the ordinary {!Service.Protocol} JSON-lines dialect
+    to the router exactly as they would to a single [tta_served]; the
+    router spawns and supervises [workers] daemon processes (each
+    bound to a kernel-assigned local port, discovered from the
+    daemon's readiness line) and consistent-hashes every verification
+    request onto one of them by the fingerprint of the model it asks
+    about. Same model — same shard: repeats coalesce in that worker's
+    scheduler and its engines stay warm, which is the scaling story
+    (throughput grows with shards) {e and} the paper's tradeoff made
+    operational — a centralized front door whose fault tolerance has
+    to be re-earned with supervision, health probes, and failover.
+
+    {b Failover.} Worker death is detected three ways: EOF/reset on
+    the worker connection, EOF on its stdout pipe, and missed
+    heartbeat pongs ({!Health}). A dead worker's in-flight requests
+    re-route to the next live worker clockwise on the ring — safe to
+    re-send because workers dedup identical requests and share one
+    verdict-cache directory, so a duplicated computation is answered
+    from cache rather than re-proved. Respawns are paced by
+    {!Resilience.Supervisor.Restarts}: deterministic capped
+    exponential backoff, giving up on a worker that exceeds
+    [max_restarts] deaths in [restart_window_s] (its keys then simply
+    belong to its ring successors). While no worker is live, requests
+    park and flush on the next ready.
+
+    {b Id rewriting.} The router multiplexes many client connections
+    onto one connection per worker, so it substitutes its own request
+    ids on the worker leg and restores the client's id on the way
+    back, appending a [worker] field naming the serving shard (how
+    {!Service.Loadgen} measures per-worker distribution). Heartbeat
+    ids live in the [hb:] namespace and never collide with these. *)
+
+type event =
+  | Worker_spawned of { name : string; pid : int }
+  | Worker_ready of { name : string; addr : string }
+  | Worker_exited of { name : string; reason : string }
+  | Worker_backoff of { name : string; delay_s : float }
+  | Worker_gave_up of { name : string }
+  | Rerouted of { id : string; worker : string }
+      (** a re-dispatch after its previous worker died; [id] is the
+          client's *)
+  | Killed_by_request of { name : string; nth : int }
+      (** the [kill_after] testing hook fired *)
+
+type stats = {
+  forwarded : (string * int) list;  (** per worker name, sorted *)
+  rerouted : int;
+  restarts : int;  (** worker deaths observed (respawned or not) *)
+}
+
+type t
+
+val start :
+  ?vnodes:int ->
+  ?supervisor:Resilience.Supervisor.policy ->
+  ?max_restarts:int ->
+  ?restart_window_s:float ->
+  ?health_interval:float ->
+  ?health_timeout:float ->
+  ?start_timeout:float ->
+  ?grace:float ->
+  ?kill_after:int ->
+  ?on_event:(event -> unit) ->
+  exe:string ->
+  worker_args:string list ->
+  workers:int ->
+  Service.Server.addr ->
+  t
+(** Bind the client-facing [addr] (TCP port [0] allowed — see
+    {!bound_addr}), then run the routing loop on its own domain,
+    spawning [workers] processes [exe --socket 127.0.0.1:0
+    <worker_args>]. Worker names are [w0..w{n-1}]; [vnodes] (default
+    512) feeds {!Ring.create}. [supervisor] supplies the restart
+    backoff curve; [health_interval]/[health_timeout] (0.5 s / 3 s)
+    pace the heartbeats; [start_timeout] (10 s) bounds spawn-to-ready;
+    [grace] (10 s) bounds the {!stop} drain. [kill_after n] SIGKILLs
+    whichever worker receives the [n]-th forwarded request — the CI
+    crash-mid-stream hook. [on_event] runs on the loop domain: keep it
+    quick, never raise.
+    @raise Unix.Unix_error if [addr] cannot be bound.
+    @raise Invalid_argument if [workers < 1]. *)
+
+val stop : t -> unit
+(** Request a drain (idempotent, signal-safe): stop accepting, answer
+    everything in flight (cancelling leftovers at [grace]), terminate
+    the workers. Returns immediately — {!wait} for completion. *)
+
+val wait : t -> unit
+(** Block until the loop has exited and the workers are gone. *)
+
+val bound_addr : t -> Service.Server.addr
+(** The client-facing address actually bound (ephemeral TCP port
+    resolved). *)
+
+val stats : t -> stats
+
+(** {1 Pure helpers}
+
+    The id-rewriting layer, exposed for direct unit testing. Both
+    return [None] when the line is not a JSON object. *)
+
+val rewrite_request_id : string -> id:string -> string option
+(** Replace the object's [id] (first field of the result). *)
+
+val rewrite_response_line : string -> id:string -> worker:string -> string option
+(** Replace [id] and append a [worker] field naming the shard. *)

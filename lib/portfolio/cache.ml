@@ -31,6 +31,80 @@ let create ?(dir = "_cache") ?max_entries ?(faults = Resilience.Faults.disabled)
 
 let dir t = t.dir
 let max_entries t = t.max_entries
+let path_of t k = Filename.concat t.dir (k ^ ".json")
+
+(* ------------------------------------------------------------------ *)
+(* Shared-directory discipline: advisory lock + access sequence
+
+   Several processes (the cluster's worker daemons) may serve one cache
+   directory. Entry files are already safe to share — writes are
+   tmp+rename, reads verify a checksum — but recency and eviction need
+   coordination: mtime has 1-second granularity, so rapid hits tie and
+   eviction order degenerates to filename order. Instead, every hit and
+   store draws a ticket from a monotone counter file ([.access_seq],
+   guarded by an advisory [lockf] on [.cache.lock]) and records it in a
+   per-entry sidecar ([<key>.json.seq]); pruning orders by ticket. The
+   lock is advisory and held only for the counter bump and the prune
+   scan — entry reads stay lock-free. *)
+
+let lock_path t = Filename.concat t.dir ".cache.lock"
+let seq_path t = Filename.concat t.dir ".access_seq"
+let sidecar_of t k = path_of t k ^ ".seq"
+
+let rec lockf_retry fd cmd =
+  try Unix.lockf fd cmd 0
+  with Unix.Unix_error (Unix.EINTR, _, _) -> lockf_retry fd cmd
+
+(* Run [f] under the directory's advisory lock. Lock failure (read-only
+   or exotic filesystem) degrades to running unlocked: the cache keeps
+   working, only cross-process eviction order gets fuzzier. *)
+let with_dir_lock t f =
+  match Unix.openfile (lock_path t) [ Unix.O_CREAT; Unix.O_RDWR ] 0o644 with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try lockf_retry fd Unix.F_LOCK
+           with Unix.Unix_error _ -> ());
+          Fun.protect
+            ~finally:(fun () ->
+              try lockf_retry fd Unix.F_ULOCK with Unix.Unix_error _ -> ())
+            f)
+
+let read_int_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let r =
+        match input_line ic with
+        | line -> int_of_string_opt (String.trim line)
+        | exception End_of_file -> None
+      in
+      close_in ic;
+      r
+
+let write_int_file path n =
+  try
+    let oc = open_out_bin path in
+    output_string oc (string_of_int n);
+    output_char oc '\n';
+    close_out oc
+  with Sys_error _ -> ()
+
+(* Draw the next access ticket: read-increment-write the shared counter
+   under the advisory lock, so tickets are unique across processes. *)
+let next_seq t =
+  with_dir_lock t (fun () ->
+      let n = 1 + Option.value ~default:0 (read_int_file (seq_path t)) in
+      write_int_file (seq_path t) n;
+      n)
+
+(* Record an access to entry [k]: sidecar ticket plus an mtime touch as
+   the fallback order for entries that predate the sidecar. *)
+let touch t k =
+  write_int_file (sidecar_of t k) (next_seq t);
+  try Unix.utimes (path_of t k) 0.0 0.0 with Unix.Unix_error _ -> ()
 
 let key ~model ~engine ~max_depth =
   Digest.to_hex
@@ -41,8 +115,6 @@ let key ~model ~engine ~max_depth =
             Tta_model.Engine.id_to_string engine;
             string_of_int max_depth;
           ]))
-
-let path_of t k = Filename.concat t.dir (k ^ ".json")
 
 (* ------------------------------------------------------------------ *)
 (* Serialization *)
@@ -165,6 +237,7 @@ let quarantine t k ~reason =
   let path = path_of t k in
   (try Sys.rename path (path ^ ".quarantined")
    with Sys_error _ -> (* already raced away; nothing to preserve *) ());
+  (try Sys.remove (sidecar_of t k) with Sys_error _ -> ());
   Mutex.lock t.lock;
   t.quarantined <- t.quarantined + 1;
   Mutex.unlock t.lock;
@@ -232,49 +305,61 @@ let lookup t ~model ~engine ~max_depth =
             None)
   in
   (* LRU touch: a served entry is the one a bounded cache should keep.
-     Failure (entry raced away, exotic filesystem) costs nothing. *)
-  (if Option.is_some verdict then
-     try Unix.utimes (path_of t k) 0.0 0.0 with Unix.Unix_error _ -> ());
+     The sidecar ticket gives sub-second-stable recency; failure (entry
+     raced away, exotic filesystem) costs nothing. *)
+  if Option.is_some verdict then touch t k;
   count t (Option.is_some verdict);
   verdict
 
-(* Drop the oldest-mtime entries until the count is back under the cap.
-   Concurrent workers may prune the same files; a lost race on [remove]
-   is counted by whoever won it. Sorting secondarily by name keeps the
-   order deterministic when mtimes collide. *)
+(* Drop the least-recently-accessed entries until the count is back
+   under the cap. Recency is the sidecar's access ticket (entries
+   without one — pre-sidecar stores, crashed writers — sort oldest),
+   with mtime then name as deterministic tiebreaks. The scan runs
+   under the directory's advisory lock so concurrent cluster workers
+   don't double-evict; a lost race on [remove] is still tolerated and
+   counted by whoever won it. *)
 let prune t =
   match t.max_entries with
   | None -> ()
-  | Some cap -> (
-      match Sys.readdir t.dir with
-      | exception Sys_error _ -> ()
-      | files ->
-          let dated =
-            Array.to_list files
-            |> List.filter_map (fun f ->
-                   if not (Filename.check_suffix f ".json") then None
-                   else
-                     match Unix.stat (Filename.concat t.dir f) with
-                     | exception Unix.Unix_error _ -> None
-                     | st -> Some (st.Unix.st_mtime, f))
-          in
-          let excess = List.length dated - cap in
-          if excess > 0 then begin
-            let doomed =
-              List.filteri (fun i _ -> i < excess) (List.sort compare dated)
-            in
-            let removed =
-              List.fold_left
-                (fun acc (_, f) ->
-                  match Sys.remove (Filename.concat t.dir f) with
-                  | () -> acc + 1
-                  | exception Sys_error _ -> acc)
-                0 doomed
-            in
-            Mutex.lock t.lock;
-            t.evictions <- t.evictions + removed;
-            Mutex.unlock t.lock
-          end)
+  | Some cap ->
+      with_dir_lock t (fun () ->
+          match Sys.readdir t.dir with
+          | exception Sys_error _ -> ()
+          | files ->
+              let dated =
+                Array.to_list files
+                |> List.filter_map (fun f ->
+                       if not (Filename.check_suffix f ".json") then None
+                       else
+                         let path = Filename.concat t.dir f in
+                         match Unix.stat path with
+                         | exception Unix.Unix_error _ -> None
+                         | st ->
+                             let seq =
+                               Option.value ~default:0
+                                 (read_int_file (path ^ ".seq"))
+                             in
+                             Some (seq, st.Unix.st_mtime, f))
+              in
+              let excess = List.length dated - cap in
+              if excess > 0 then begin
+                let doomed =
+                  List.filteri (fun i _ -> i < excess) (List.sort compare dated)
+                in
+                let removed =
+                  List.fold_left
+                    (fun acc (_, _, f) ->
+                      let path = Filename.concat t.dir f in
+                      (try Sys.remove (path ^ ".seq") with Sys_error _ -> ());
+                      match Sys.remove path with
+                      | () -> acc + 1
+                      | exception Sys_error _ -> acc)
+                    0 doomed
+                in
+                Mutex.lock t.lock;
+                t.evictions <- t.evictions + removed;
+                Mutex.unlock t.lock
+              end)
 
 let store t ~model ~engine ~max_depth verdict =
   match json_of_entry ~model ~engine ~max_depth verdict with
@@ -302,6 +387,7 @@ let store t ~model ~engine ~max_depth verdict =
           output_char oc '\n';
           close_out oc;
           Sys.rename tmp (path_of t k);
+          touch t k;
           prune t)
 
 let hits t =

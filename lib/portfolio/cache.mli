@@ -36,10 +36,23 @@
 
     The cache can be bounded: with [max_entries] set, every store
     {!prune}s the directory back down to the cap by deleting the
-    oldest entries first. "Oldest" is by file mtime, and {!lookup}
-    touches the mtime of every entry it serves, so the policy is LRU
-    at filesystem-timestamp granularity — a hot entry is never the
-    eviction victim. *)
+    least-recently-accessed entries first.
+
+    {b Recency and sharing.} A cache directory may be served by many
+    processes at once — the verification cluster points every worker
+    daemon at one shared directory so any worker can serve any warm
+    verdict. Recency therefore cannot ride on file mtimes alone (their
+    1-second granularity makes rapid hits tie, and eviction order then
+    degenerates to filename order). Instead the directory keeps an
+    explicit access sequence: a monotone counter file ([.access_seq])
+    guarded by an advisory [lockf] lock on [.cache.lock]; every hit and
+    store draws the next ticket and records it in the entry's sidecar
+    file ([<key>.json.seq]). {!prune} orders by ticket (mtime, then
+    name, as tiebreaks for ticket-less legacy entries) and also runs
+    under the advisory lock so concurrent workers do not double-evict.
+    Entry reads stay lock-free; on filesystems without [lockf] the
+    cache degrades gracefully to uncoordinated (but still checksummed
+    and atomic) operation. *)
 
 type t
 
@@ -92,11 +105,11 @@ val store :
     every store. *)
 
 val prune : t -> unit
-(** Enforce the [max_entries] cap now: delete oldest-mtime entries
-    until at most the cap remain (deterministic under mtime ties via
-    a secondary filename sort). A no-op for an unbounded cache.
-    Concurrent pruners may race on the same victims; each removal is
-    counted once, by whoever won it. *)
+(** Enforce the [max_entries] cap now: delete entries in access-ticket
+    order (oldest first; mtime then filename break ties) until at most
+    the cap remain. A no-op for an unbounded cache. Runs under the
+    directory's advisory lock; a pruner that still loses a removal
+    race counts only the removals it won. *)
 
 val hits : t -> int
 val misses : t -> int

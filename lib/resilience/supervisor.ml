@@ -37,6 +37,38 @@ let backoff_delay policy k =
 let backoff_schedule policy =
   List.init (max 0 policy.retries) (backoff_delay policy)
 
+(* Process-level supervision: an Erlang-style restart-intensity gate.
+   Each [record] call notes one death of the supervised process; deaths
+   older than [window_s] roll off. Within the window the k-th death is
+   granted the same deterministic capped-exponential backoff the
+   in-process supervisor uses between engine attempts; one death past
+   [max_restarts] means the process is beyond help and the supervisor
+   should stop resurrecting it. *)
+module Restarts = struct
+  type t = {
+    policy : policy;
+    max_restarts : int;
+    window_s : float;
+    mutable deaths : float list;  (** newest first, within the window *)
+  }
+
+  let create ?(max_restarts = 5) ?(window_s = 30.0) policy =
+    if max_restarts < 1 then invalid_arg "Restarts.create: max_restarts < 1";
+    if window_s <= 0.0 then invalid_arg "Restarts.create: window_s <= 0";
+    { policy; max_restarts; window_s; deaths = [] }
+
+  let record ?now t =
+    let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+    let live = List.filter (fun ts -> now -. ts <= t.window_s) t.deaths in
+    let deaths = now :: live in
+    t.deaths <- deaths;
+    let n = List.length deaths in
+    if n > t.max_restarts then `Give_up
+    else `Backoff (backoff_delay t.policy (n - 1))
+
+  let count t = List.length t.deaths
+end
+
 type failure =
   | Crashed of { attempts : int; last_error : string }
   | Hung of { attempts : int; watchdog_s : float }

@@ -45,6 +45,38 @@ val backoff_schedule : policy -> float list
     jitter * u_k)]. Exposed so tests can assert the observed backoffs
     against it. *)
 
+val backoff_delay : policy -> int -> float
+(** [backoff_delay policy k] is the single delay before attempt
+    [k + 2] — [List.nth (backoff_schedule policy) k], but defined for
+    any [k >= 0] (the cap makes the tail constant up to jitter). Used
+    by {!Restarts} to pace process resurrection with the same
+    deterministic schedule. *)
+
+(** Process-level supervision hook: a restart-intensity gate in the
+    Erlang supervisor tradition. The cluster router records one
+    {!Restarts.record} per worker-process death; the gate answers with
+    the deterministic backoff to wait before respawning, or [`Give_up]
+    once more than [max_restarts] deaths land inside the sliding
+    [window_s] — a process crash-looping that fast is a permanent
+    failure, not a transient one. *)
+module Restarts : sig
+  type t
+
+  val create : ?max_restarts:int -> ?window_s:float -> policy -> t
+  (** Defaults: 5 restarts per 30 s window. The [policy] supplies the
+      backoff curve ({!backoff_delay}); its retry count is not used.
+      @raise Invalid_argument if [max_restarts < 1] or [window_s <= 0]. *)
+
+  val record : ?now:float -> t -> [ `Backoff of float | `Give_up ]
+  (** Note one death at [now] (default: the current time; injectable
+      for deterministic tests). [`Backoff d] grants a respawn after [d]
+      seconds — the k-th death in the window gets
+      [backoff_delay policy (k - 1)]. *)
+
+  val count : t -> int
+  (** Deaths within the window as of the last {!record}. *)
+end
+
 type failure =
   | Crashed of { attempts : int; last_error : string }
       (** every attempt raised; [last_error] is [Printexc.to_string] of

@@ -22,6 +22,8 @@ type report = {
   p95_ms : float;
   p99_ms : float;
   max_ms : float;
+  per_worker : (string * int) list;
+  imbalance : float;
 }
 
 let connect addr =
@@ -87,11 +89,57 @@ let rec read_line_opt r =
 
 let sample rng l = List.nth l (Random.State.int rng (List.length l))
 
-let stream ~seed ~nodes ~depth ~deadline_ms ~configs ~engines ~requests =
+(* [nodes_choices]/[depths] widen the sampled stream across cluster
+   shards: distinct (config, nodes) pairs give distinct model
+   fingerprints — distinct consistent-hash routing keys — and distinct
+   depths give distinct computations within a shard, so the stream can
+   saturate many workers instead of coalescing onto a handful of
+   duplicate requests.
+
+   The default stream samples iid (duplicates on purpose — that is
+   what exercises dedup). [~exhaustive:true] instead enumerates the
+   full configs x engines x nodes x depths cross product in a seeded
+   shuffle, cycling if [requests] exceeds it: no duplicates (up to one
+   cycle), so the work each shard owns is a deterministic function of
+   the workload alone, not of coalescing races. Scaling benches want
+   this — run-to-run variance from inconclusive-verdict re-runs would
+   otherwise swamp the curve. *)
+let stream ~seed ~exhaustive ~nodes_choices ~depths ~deadline_ms ~configs
+    ~engines ~requests =
   let rng = Random.State.make [| seed |] in
-  List.init requests (fun i ->
+  let pick =
+    if not exhaustive then fun _ ->
       let config = sample rng configs in
       let engine = sample rng engines in
+      let nodes = sample rng nodes_choices in
+      let depth = sample rng depths in
+      (config, engine, nodes, depth)
+    else begin
+      let combos =
+        List.concat_map
+          (fun config ->
+            List.concat_map
+              (fun engine ->
+                List.concat_map
+                  (fun nodes ->
+                    List.map (fun depth -> (config, engine, nodes, depth)) depths)
+                  nodes_choices)
+              engines)
+          configs
+        |> Array.of_list
+      in
+      let n = Array.length combos in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = combos.(i) in
+        combos.(i) <- combos.(j);
+        combos.(j) <- t
+      done;
+      fun i -> combos.(i mod n)
+    end
+  in
+  List.init requests (fun i ->
+      let config, engine, nodes, depth = pick i in
       ( Printf.sprintf "r%d" i,
         Json.to_string
           (Protocol.request
@@ -118,6 +166,9 @@ type acc = {
   mutable coalesced : int;
   mutable latencies_ms : float list;  (** answered requests only *)
   mutable last_response_at : float;
+  workers : (string, int) Hashtbl.t;
+      (** responses per serving worker, from the router's [worker]
+          response annotation; empty against a plain daemon *)
 }
 
 let acc () =
@@ -137,6 +188,7 @@ let acc () =
     coalesced = 0;
     latencies_ms = [];
     last_response_at = 0.;
+    workers = Hashtbl.create 8;
   }
 
 let count_retry acc n =
@@ -154,6 +206,18 @@ let count_protocol_errors acc n =
   acc.protocol_errors <- acc.protocol_errors + n;
   Mutex.unlock acc.lock
 
+let count_worker acc line =
+  (* The cluster router annotates forwarded responses with the serving
+     worker's name; a plain daemon's responses have no such field. *)
+  match Json.of_string line with
+  | Error _ -> ()
+  | Ok j -> (
+      match Option.bind (Json.member "worker" j) Json.string_value with
+      | None -> ()
+      | Some w ->
+          Hashtbl.replace acc.workers w
+            (1 + Option.value ~default:0 (Hashtbl.find_opt acc.workers w)))
+
 let record acc ~sent_at line =
   let at = Unix.gettimeofday () in
   Mutex.lock acc.lock;
@@ -161,9 +225,11 @@ let record acc ~sent_at line =
   (match Protocol.decode_response_line line with
   | Error _ -> acc.protocol_errors <- acc.protocol_errors + 1
   | Ok (Protocol.Error _) -> acc.protocol_errors <- acc.protocol_errors + 1
+  | Ok (Protocol.Pong _) -> ()
   | Ok (Protocol.Overloaded _) -> acc.overloaded <- acc.overloaded + 1
   | Ok (Protocol.Cancelled _) -> acc.cancelled <- acc.cancelled + 1
   | Ok (Protocol.Answer { cache_hit; coalesced; verdict; _ }) ->
+      count_worker acc line;
       acc.ok <- acc.ok + 1;
       (match sent_at with
       | Some t0 -> acc.latencies_ms <- ((at -. t0) *. 1000.) :: acc.latencies_ms
@@ -363,7 +429,8 @@ let percentile sorted p =
       let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
       sorted.(max 0 (min (n - 1) rank))
 
-let run ?(seed = 1) ?(nodes = 2) ?(depth = 24) ?deadline_ms ?configs ?engines
+let run ?(seed = 1) ?(exhaustive = false) ?(nodes = 2) ?(depth = 24)
+    ?nodes_choices ?depths ?deadline_ms ?configs ?engines
     ?(retry_budget = 2) ~mode ~requests addr =
   let configs =
     match configs with
@@ -374,8 +441,13 @@ let run ?(seed = 1) ?(nodes = 2) ?(depth = 24) ?deadline_ms ?configs ?engines
   let engines =
     match engines with Some (_ :: _ as l) -> l | _ -> [ "bdd" ]
   in
+  let nodes_choices =
+    match nodes_choices with Some (_ :: _ as l) -> l | _ -> [ nodes ]
+  in
+  let depths = match depths with Some (_ :: _ as l) -> l | _ -> [ depth ] in
   let reqs =
-    stream ~seed ~nodes ~depth ~deadline_ms ~configs ~engines ~requests
+    stream ~seed ~exhaustive ~nodes_choices ~depths ~deadline_ms ~configs
+      ~engines ~requests
   in
   let a = acc () in
   let t0 = Unix.gettimeofday () in
@@ -388,6 +460,22 @@ let run ?(seed = 1) ?(nodes = 2) ?(depth = 24) ?deadline_ms ?configs ?engines
   let wall_s = Float.max 1e-9 (t_end -. t0) in
   let sorted = Array.of_list a.latencies_ms in
   Array.sort compare sorted;
+  let per_worker =
+    List.sort compare (Hashtbl.fold (fun w n l -> (w, n) :: l) a.workers [])
+  in
+  (* max/mean over workers that answered at least once: 1.0 is a
+     perfectly even spread; the MIT 6.824 yardstick for how far the
+     ring is from wasting its parallelism. *)
+  let imbalance =
+    match per_worker with
+    | [] -> 0.
+    | l ->
+        let counts = List.map (fun (_, n) -> float_of_int n) l in
+        let mean =
+          List.fold_left ( +. ) 0. counts /. float_of_int (List.length counts)
+        in
+        List.fold_left Float.max 0. counts /. Float.max 1e-9 mean
+  in
   {
     requests;
     ok = a.ok;
@@ -408,6 +496,8 @@ let run ?(seed = 1) ?(nodes = 2) ?(depth = 24) ?deadline_ms ?configs ?engines
     p95_ms = percentile sorted 95.;
     p99_ms = percentile sorted 99.;
     max_ms = (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1));
+    per_worker;
+    imbalance;
   }
 
 let mode_to_json = function
@@ -441,6 +531,9 @@ let report_to_json ~mode r =
       ("p95_ms", Json.Float r.p95_ms);
       ("p99_ms", Json.Float r.p99_ms);
       ("max_ms", Json.Float r.max_ms);
+      ( "per_worker",
+        Json.Obj (List.map (fun (w, n) -> (w, Json.Int n)) r.per_worker) );
+      ("imbalance", Json.Float r.imbalance);
     ]
 
 let pp_report ppf r =
@@ -454,4 +547,9 @@ let pp_report ppf r =
     r.requests r.ok r.overloaded r.cancelled r.protocol_errors r.holds
     r.violated r.unknown r.deadline_exceeded r.cache_hits r.coalesced
     r.retries r.engine_failed r.wall_s r.throughput_rps r.p50_ms r.p95_ms
-    r.p99_ms r.max_ms
+    r.p99_ms r.max_ms;
+  if r.per_worker <> [] then
+    Format.fprintf ppf "workers   %s (imbalance %.2f)@."
+      (String.concat ", "
+         (List.map (fun (w, n) -> Printf.sprintf "%s:%d" w n) r.per_worker))
+      r.imbalance

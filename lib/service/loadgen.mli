@@ -52,12 +52,22 @@ type report = {
   p95_ms : float;
   p99_ms : float;
   max_ms : float;  (** percentiles/max over answered requests *)
+  per_worker : (string * int) list;
+      (** answered requests per serving cluster worker, sorted by
+          name, from the router's [worker] response annotation; empty
+          against a plain daemon *)
+  imbalance : float;
+      (** max/mean of [per_worker] counts ([1.0] = perfectly even;
+          [0.0] when no worker annotations were seen) *)
 }
 
 val run :
   ?seed:int ->
+  ?exhaustive:bool ->
   ?nodes:int ->
   ?depth:int ->
+  ?nodes_choices:int list ->
+  ?depths:int list ->
   ?deadline_ms:int ->
   ?configs:string list ->
   ?engines:string list ->
@@ -69,7 +79,20 @@ val run :
 (** Defaults: [seed 1], [nodes 2], [depth 24], no deadline, all four
     feature sets, engine ["bdd"], [retry_budget 2] (per request; [0]
     disables retries). [engines] entries are request [engine] values,
-    so ["race"] is allowed.
+    so ["race"] is allowed. [nodes_choices]/[depths], when non-empty,
+    override [nodes]/[depth] with per-request sampling — distinct
+    (config, nodes) pairs hash to distinct cluster shards and distinct
+    depths defeat coalescing, so a widened stream can keep many
+    workers busy at once.
+
+    The stream samples iid by default — duplicates arrive on purpose
+    and exercise dedup. [~exhaustive:true] instead enumerates the full
+    configs x engines x nodes x depths cross product in a seeded
+    shuffle (cycling when [requests] exceeds it): no duplicate
+    requests, so each cluster shard's work is a deterministic function
+    of the workload — what a scaling bench needs, since duplicates of
+    inconclusive (uncacheable) verdicts only coalesce when they race
+    into the same in-flight window, making total work vary run to run.
     @raise Unix.Unix_error when the daemon cannot be reached. *)
 
 val report_to_json : mode:mode -> report -> Json.t

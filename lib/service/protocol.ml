@@ -112,6 +112,29 @@ let decode_request_line line =
   | Error e -> Error ("invalid JSON: " ^ e)
   | Ok j -> decode_request j
 
+(* ------------------------------------------------------------------ *)
+(* Incoming classification: verification requests vs. health pings *)
+
+type incoming = Verify of request | Ping of { id : string }
+
+let ping ~id = Json.Obj [ ("id", Json.String id); ("op", Json.String "ping") ]
+
+let decode_incoming j =
+  match j with
+  | Json.Obj _ -> (
+      match Option.bind (field "op" j) Json.string_value with
+      | Some "ping" ->
+          let* id = required_string "id" j in
+          Ok (Ping { id })
+      | Some op -> Error (Printf.sprintf "unknown op %S" op)
+      | None -> Result.map (fun r -> Verify r) (decode_request j))
+  | _ -> Error "request must be a JSON object"
+
+let decode_incoming_line line =
+  match Json.of_string line with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j -> decode_incoming j
+
 let request_id_of_line line =
   match Json.of_string line with
   | Error _ -> None
@@ -138,6 +161,7 @@ type response =
   | Overloaded of { id : string }
   | Cancelled of { id : string; reason : string }
   | Error of { id : string option; code : string; reason : string }
+  | Pong of { id : string }
 
 (* The machine-readable rejection codes. Overloaded and Cancelled carry
    theirs implicitly; Error picks between the remaining two. *)
@@ -147,7 +171,8 @@ let code_bad_request = "bad_request"
 let code_engine_failed = "engine_failed"
 
 let response_id = function
-  | Answer { id; _ } | Overloaded { id } | Cancelled { id; _ } -> Some id
+  | Answer { id; _ } | Overloaded { id } | Cancelled { id; _ } | Pong { id } ->
+      Some id
   | Error { id; _ } -> id
 
 let json_of_verdict = function
@@ -205,6 +230,8 @@ let encode_response = function
             ("code", Json.String code);
             ("reason", Json.String reason);
           ])
+  | Pong { id } ->
+      Json.Obj [ ("id", Json.String id); ("status", Json.String "pong") ]
 
 let response_line r = Json.to_string (encode_response r) ^ "\n"
 
@@ -295,6 +322,13 @@ let decode_response j : (response, string) result =
           in
           let* reason = required_string "reason" j in
           Ok (Cancelled { id; reason })
+      | Some "pong" ->
+          let* id =
+            match id with
+            | Some id -> Ok id
+            | None -> Error "missing field \"id\""
+          in
+          Ok (Pong { id })
       | Some "error" ->
           let* reason = required_string "reason" j in
           (* Pre-code daemons sent errors only for unparseable input. *)

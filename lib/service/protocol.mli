@@ -76,7 +76,29 @@ val decode_request_line : string -> (request, string) result
 
 val request_id_of_line : string -> string option
 (** Best-effort [id] extraction from a line that may fail validation —
-    for echoing the id in an [error] response. *)
+    for echoing the id in an [error] response. (Responses carry [id]
+    in the same position, so the cluster router also uses this to
+    attribute worker response lines.) *)
+
+(** {1 Incoming classification}
+
+    Besides verification requests the daemon answers {b health pings}:
+    [{"id":"h1","op":"ping"}] is answered immediately with
+    [{"id":"h1","status":"pong"}], bypassing the scheduler. The
+    cluster router pings its workers with these; any client may use
+    them as a liveness probe. *)
+
+type incoming =
+  | Verify of request
+  | Ping of { id : string }
+
+val ping : id:string -> Json.t
+(** Build a ping request object for the wire. *)
+
+val decode_incoming : Json.t -> (incoming, string) result
+val decode_incoming_line : string -> (incoming, string) result
+(** Classify one incoming line: a [{"op":"ping"}] object becomes
+    {!Ping}; anything else must validate as a {!request}. *)
 
 (** {1 Responses} *)
 
@@ -103,6 +125,8 @@ type response =
       (** wire [code]: [draining] *)
   | Error of { id : string option; code : string; reason : string }
       (** [code] is {!code_bad_request} or {!code_engine_failed} *)
+  | Pong of { id : string }
+      (** wire [status:"pong"] — the answer to an [op:"ping"] probe *)
 
 val code_overloaded : string
 val code_draining : string

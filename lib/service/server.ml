@@ -8,7 +8,10 @@ let addr_of_string s =
       let host = String.sub s 0 i in
       let port = String.sub s (i + 1) (String.length s - i - 1) in
       match int_of_string_opt port with
-      | Some p when p > 0 && p < 65536 ->
+      (* Port 0 is the kernel's "pick one": the bound port is
+         recoverable via [bound_addr] and announced by the daemon's
+         readiness line. *)
+      | Some p when p >= 0 && p < 65536 ->
           Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
       | _ -> Error (Printf.sprintf "invalid port in %S" s))
   | None -> Ok (Unix_socket s)
@@ -34,6 +37,7 @@ type conn = {
 
 type t = {
   sched : Scheduler.t;
+  bound : addr;  (** the address actually bound (ephemeral port resolved) *)
   listen_fd : Unix.file_descr;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
@@ -150,7 +154,7 @@ let answer_of ~id (o : Scheduler.outcome) =
 let handle_line t conn line =
   let line = String.trim line in
   if line <> "" then
-    match Protocol.decode_request_line line with
+    match Protocol.decode_incoming_line line with
     | Error reason ->
         conn_write ~faults:t.faults conn
           (Protocol.Error
@@ -159,7 +163,12 @@ let handle_line t conn line =
                code = Protocol.code_bad_request;
                reason;
              })
-    | Ok req ->
+    | Ok (Protocol.Ping { id }) ->
+        (* Liveness probe: answered inline from the select loop, so a
+           pong round-trip measures the daemon's event loop, not its
+           verification backlog. *)
+        conn_write ~faults:t.faults conn (Protocol.Pong { id })
+    | Ok (Protocol.Verify req) ->
         let deadline =
           Option.map
             (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
@@ -314,6 +323,16 @@ let start ?workers ?queue_cap ?cache ?obs ?supervisor
     ?(faults = Resilience.Faults.disabled) ?(grace = 5.0) addr =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd = bind_listen addr in
+  (* Resolve a kernel-assigned ephemeral port into the address the
+     daemon can announce. *)
+  let bound =
+    match addr with
+    | Tcp (host, 0) -> (
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+        | _ -> addr)
+    | _ -> addr
+  in
   let pipe_r, pipe_w = Unix.pipe () in
   let sched =
     Scheduler.create ?workers ?queue_cap ?cache ?obs ?supervisor ~faults ()
@@ -321,6 +340,7 @@ let start ?workers ?queue_cap ?cache ?obs ?supervisor
   let t =
     {
       sched;
+      bound;
       listen_fd;
       pipe_r;
       pipe_w;
@@ -364,14 +384,15 @@ let wait t =
   Mutex.unlock t.join_lock
 
 let scheduler t = t.sched
+let bound_addr t = t.bound
 
 let serve ?workers ?queue_cap ?cache ?obs ?supervisor ?faults ?grace
-    ?(on_ready = fun () -> ()) addr =
+    ?(on_ready = fun (_ : t) -> ()) addr =
   let t =
     start ?workers ?queue_cap ?cache ?obs ?supervisor ?faults ?grace addr
   in
   let handler = Sys.Signal_handle (fun _ -> stop t) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
-  on_ready ();
+  on_ready t;
   wait t

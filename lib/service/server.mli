@@ -18,11 +18,13 @@
 
 type addr =
   | Unix_socket of string  (** path; unlinked and rebound on start *)
-  | Tcp of string * int  (** bind address and port *)
+  | Tcp of string * int
+      (** bind address and port; port [0] asks the kernel for an
+          ephemeral port — read the result back with {!bound_addr} *)
 
 val addr_of_string : string -> (addr, string) result
-(** ["HOST:PORT"] becomes {!Tcp}; anything else is a {!Unix_socket}
-    path. *)
+(** ["HOST:PORT"] becomes {!Tcp} (port [0] allowed); anything else is
+    a {!Unix_socket} path. *)
 
 val addr_to_string : addr -> string
 
@@ -56,6 +58,12 @@ val wait : t -> unit
 
 val scheduler : t -> Scheduler.t
 
+val bound_addr : t -> addr
+(** The address the listener actually bound: equal to the requested
+    address except that a TCP port [0] is resolved to the
+    kernel-assigned ephemeral port. This is what a readiness
+    announcement should print. *)
+
 val serve :
   ?workers:int ->
   ?queue_cap:int ->
@@ -64,9 +72,10 @@ val serve :
   ?supervisor:Resilience.Supervisor.policy ->
   ?faults:Resilience.Faults.t ->
   ?grace:float ->
-  ?on_ready:(unit -> unit) ->
+  ?on_ready:(t -> unit) ->
   addr ->
   unit
 (** The daemon main: {!start}, install SIGTERM/SIGINT handlers that
-    {!stop}, call [on_ready], and {!wait}. Returns (normally) after a
+    {!stop}, call [on_ready] with the running server (so it can
+    announce {!bound_addr}), and {!wait}. Returns (normally) after a
     signal-triggered drain. *)

@@ -288,6 +288,54 @@ let test_cache_lru_touch () =
   Alcotest.(check bool) "least recently used entry evicted" true
     (Portfolio.Cache.lookup c ~model ~engine ~max_depth:11 = None)
 
+let test_cache_sidecar_recency () =
+  (* Rapid-fire accesses land in the same mtime second on coarse
+     filesystems; the access-sequence sidecar must order them anyway.
+     Note: no sleeps in this test — that is the point. *)
+  let c = Portfolio.Cache.create ~dir:(temp_dir ()) ~max_entries:2 () in
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  let engine = Engine.Bdd_reach in
+  let store d =
+    Portfolio.Cache.store c ~model ~engine ~max_depth:d
+      (Engine.Holds { detail = "x" })
+  in
+  store 10;
+  store 11;
+  (* Serving depth 10 makes it the most recently used of the two. *)
+  Alcotest.(check bool) "warm hit" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:10 <> None);
+  store 12;
+  Alcotest.(check int) "still at the cap" 2 (Portfolio.Cache.entries c);
+  Alcotest.(check bool) "served entry survives rapid-fire eviction" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:10 <> None);
+  Alcotest.(check bool) "victim chosen by access ticket, not mtime" true
+    (Portfolio.Cache.lookup c ~model ~engine ~max_depth:11 = None)
+
+let test_cache_shared_dir () =
+  (* Two Cache values over one directory — the cluster's worker view of
+     the shared cache. The access counter lives in the directory, so
+     recency recorded through one instance steers the other's prune. *)
+  let dir = temp_dir () in
+  let a = Portfolio.Cache.create ~dir ~max_entries:2 () in
+  let b = Portfolio.Cache.create ~dir ~max_entries:2 () in
+  let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
+  let engine = Engine.Bdd_reach in
+  let store c d =
+    Portfolio.Cache.store c ~model ~engine ~max_depth:d
+      (Engine.Holds { detail = "x" })
+  in
+  store a 10;
+  store b 11;
+  Alcotest.(check bool) "hit through the other instance" true
+    (Portfolio.Cache.lookup b ~model ~engine ~max_depth:10 <> None);
+  (* b served 10 most recently; a's store must therefore evict 11 even
+     though a never touched either entry itself. *)
+  store a 12;
+  Alcotest.(check int) "shared dir at the cap" 2 (Portfolio.Cache.entries a);
+  Alcotest.(check bool) "cross-instance recency honored" true
+    (Portfolio.Cache.lookup a ~model ~engine ~max_depth:10 <> None
+    && Portfolio.Cache.lookup a ~model ~engine ~max_depth:11 = None)
+
 let test_cache_unbounded_never_prunes () =
   let c = Portfolio.Cache.create ~dir:(temp_dir ()) () in
   let model = Tta_model.Build.model (Configs.passive ~nodes ()) in
@@ -573,6 +621,10 @@ let () =
             test_cache_violated_trace_roundtrip;
           Alcotest.test_case "prune to cap" `Quick test_cache_prune_to_cap;
           Alcotest.test_case "LRU touch" `Quick test_cache_lru_touch;
+          Alcotest.test_case "sidecar recency (no sleeps)" `Quick
+            test_cache_sidecar_recency;
+          Alcotest.test_case "shared directory instances" `Quick
+            test_cache_shared_dir;
           Alcotest.test_case "unbounded never prunes" `Quick
             test_cache_unbounded_never_prunes;
         ] );

@@ -535,6 +535,52 @@ let test_server_rejects_malformed_lines () =
   Service.Server.stop server;
   Service.Server.wait server
 
+let test_server_ping_pong () =
+  (* Golden wire check for the health-probe path: a ping bypasses the
+     scheduler and is answered verbatim with a pong. *)
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "tta.sock" in
+  let server =
+    Service.Server.start ~workers:1 (Service.Server.Unix_socket sock)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let line = Json.to_string (Protocol.ping ~id:"h1") ^ "\n" in
+  ignore (Unix.write_substring fd line 0 (String.length line));
+  let ic = Unix.in_channel_of_descr fd in
+  Alcotest.(check string) "pong golden" {|{"id":"h1","status":"pong"}|}
+    (input_line ic);
+  Unix.close fd;
+  Service.Server.stop server;
+  Service.Server.wait server
+
+let test_server_ephemeral_port () =
+  (* --port 0 support: bind port 0, read the kernel-chosen port back
+     through bound_addr, and talk to it. *)
+  let server =
+    Service.Server.start ~workers:1 (Service.Server.Tcp ("127.0.0.1", 0))
+  in
+  (match Service.Server.bound_addr server with
+  | Service.Server.Tcp (host, port) ->
+      Alcotest.(check string) "bound host" "127.0.0.1" host;
+      Alcotest.(check bool) "ephemeral port resolved" true (port > 0);
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let line = Json.to_string (Protocol.ping ~id:"h2") ^ "\n" in
+      ignore (Unix.write_substring fd line 0 (String.length line));
+      let ic = Unix.in_channel_of_descr fd in
+      (match Protocol.decode_response_line (input_line ic) with
+      | Ok (Protocol.Pong { id }) ->
+          Alcotest.(check string) "pong id" "h2" id
+      | Ok _ -> Alcotest.fail "expected a pong"
+      | Error e -> Alcotest.failf "undecodable response: %s" e);
+      Unix.close fd
+  | Service.Server.Unix_socket _ ->
+      Alcotest.fail "TCP server must report a TCP bound address");
+  Service.Server.stop server;
+  Service.Server.wait server
+
 let test_server_sigterm_drains () =
   (* The real signal path: serve in a background domain, deliver an
      actual SIGTERM to the process, and require serve to return after
@@ -545,7 +591,7 @@ let test_server_sigterm_drains () =
   let served =
     Domain.spawn (fun () ->
         Service.Server.serve ~workers:1 ~grace:2.0
-          ~on_ready:(fun () -> Atomic.set ready true)
+          ~on_ready:(fun _ -> Atomic.set ready true)
           (Service.Server.Unix_socket sock))
   in
   while not (Atomic.get ready) do
@@ -614,6 +660,10 @@ let () =
             test_server_chaos_answers_everything;
           Alcotest.test_case "malformed lines rejected" `Quick
             test_server_rejects_malformed_lines;
+          Alcotest.test_case "ping answered with pong" `Quick
+            test_server_ping_pong;
+          Alcotest.test_case "ephemeral port via bound_addr" `Quick
+            test_server_ephemeral_port;
           Alcotest.test_case "SIGTERM drains gracefully" `Quick
             test_server_sigterm_drains;
         ] );
