@@ -17,6 +17,11 @@ let skip_micro = Array.exists (( = ) "--no-micro") Sys.argv
    full table/figure reproduction. *)
 let reach_only = Array.exists (( = ) "--reach-only") Sys.argv
 
+(* Quick mode for CI and iteration on warm solver sessions: run only
+   the warm-vs-cold near-miss stream (and write BENCH_sessions.json),
+   skipping the full table/figure reproduction. *)
+let sessions_only = Array.exists (( = ) "--sessions-only") Sys.argv
+
 let nodes = if paper_scale then 4 else 3
 
 let heading fmt =
@@ -439,7 +444,9 @@ let section_walks () =
         "  SAT bounded model checking:     counterexample, %d steps [%.1fs]\n"
         (Array.length trace) dt
   | Symkit.Bmc.No_counterexample d ->
-      Printf.printf "  SAT BMC: unexpectedly clean to depth %d [%.1fs]\n" d dt);
+      Printf.printf "  SAT BMC: unexpectedly clean to depth %d [%.1fs]\n"
+        (Option.value ~default:(-1) d)
+        dt);
   print_endline
     "  (the paper's predecessors used hardware/software fault injection;\n\
     \   this asymmetry is why Section 3 reaches for a model checker)"
@@ -472,6 +479,138 @@ let section_async () =
         Sim.Async_net.Store_and_forward { replay_at = [ 11; 23; 41; 83 ] },
         true );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Warm solver sessions: a seeded near-miss stream (the same model
+   families asked at climbing bounds, interleaved) served twice — cold,
+   with a fresh session per query, and warm, against one shared pool.
+   The bench enforces verdict equality itself: any cold/warm
+   disagreement is a hard failure, not a JSON field for CI to notice. *)
+
+let sessions_json_path = "BENCH_sessions.json"
+
+let section_sessions () =
+  (* 2-node families: the stream measures the latency distribution of
+     state reuse, not checking scale, and 20 cold BMC runs at 3 nodes
+     would dominate the suite's wall clock for no extra signal. *)
+  let snodes = 2 in
+  heading "Warm solver sessions — near-miss stream, cold vs pooled (%d nodes)"
+    snodes;
+  let families =
+    [
+      ("passive", Tta_model.Configs.passive ~nodes:snodes ());
+      ("time-windows", Tta_model.Configs.time_windows ~nodes:snodes ());
+      ("small-shifting", Tta_model.Configs.small_shifting ~nodes:snodes ());
+      ("full-shifting", Tta_model.Configs.full_shifting ~nodes:snodes ());
+    ]
+  in
+  (* Depth-major interleave: a climbing ratchet to 12, then a backfill
+     round at the intermediate bounds a client probing for a minimal
+     counterexample would ask next. Every query is a distinct
+     (family, bound) pair — none could be answered by the exact-key
+     verdict cache — but the backfill bounds sit under the session's
+     clean depth, so the memo answers them instantly while a cold
+     solver re-unrolls and re-solves from scratch. *)
+  let stream =
+    List.concat_map
+      (fun depth -> List.map (fun (n, c) -> (n, c, depth)) families)
+      [ 4; 6; 8; 10; 12; 5; 7; 9; 11 ]
+  in
+  let engine = Tta_model.Engine.Sat_bmc in
+  let verdict_key = function
+    | Tta_model.Engine.Holds { detail } -> "holds: " ^ detail
+    | Tta_model.Engine.Unknown { detail } -> "unknown: " ^ detail
+    | Tta_model.Engine.Violated { trace; _ } ->
+        Printf.sprintf "violated in %d steps" (Array.length trace)
+  in
+  let pool = Sessions.create () in
+  let run_query ~warm (name, cfg, depth) =
+    let p = if warm then pool else Sessions.create () in
+    let (r, attr), wall =
+      timed (fun () -> Sessions.run p ~engine ~max_depth:depth cfg)
+    in
+    (name, depth, verdict_key r.Tta_model.Engine.verdict, wall *. 1000., attr)
+  in
+  let cold = List.map (run_query ~warm:false) stream in
+  let warm = List.map (run_query ~warm:true) stream in
+  let percentile p ms =
+    let a = Array.of_list ms in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
+  in
+  let all_agree = ref true in
+  Printf.printf "  %-16s %5s %-28s %9s %9s %5s\n" "family" "depth" "verdict"
+    "cold" "warm" "hit";
+  let rows =
+    List.map2
+      (fun (name, depth, vc, cold_ms, _) (name', depth', vw, warm_ms, attr) ->
+        assert (name = name' && depth = depth');
+        if vc <> vw then begin
+          all_agree := false;
+          Printf.printf
+            "  %-16s %5d VERDICT MISMATCH: cold %S vs warm %S\n%!" name depth
+            vc vw
+        end
+        else
+          Printf.printf "  %-16s %5d %-28s %7.1fms %7.1fms %5s\n%!" name depth
+            vc cold_ms warm_ms
+            (if attr.Sessions.reused then "warm" else "cold");
+        Json.Obj
+          [
+            ("family", Json.String name);
+            ("depth", Json.Int depth);
+            ("verdict", Json.String vc);
+            ("cold_ms", Json.Float cold_ms);
+            ("warm_ms", Json.Float warm_ms);
+            ("reused", Json.Bool attr.Sessions.reused);
+            ("warm_depth", Json.Int attr.Sessions.warm_depth);
+          ])
+      cold warm
+  in
+  let ms_of qs = List.map (fun (_, _, _, ms, _) -> ms) qs in
+  let cold_p50 = percentile 50. (ms_of cold)
+  and cold_p95 = percentile 95. (ms_of cold)
+  and warm_p50 = percentile 50. (ms_of warm)
+  and warm_p95 = percentile 95. (ms_of warm) in
+  let reused =
+    List.length (List.filter (fun (_, _, _, _, a) -> a.Sessions.reused) warm)
+  in
+  let speedup_p50 = cold_p50 /. warm_p50
+  and speedup_p95 = cold_p95 /. warm_p95 in
+  let s = Sessions.stats pool in
+  Printf.printf
+    "  p50: cold %.1fms, warm %.1fms (%.1fx)   p95: cold %.1fms, warm %.1fms \
+     (%.1fx)\n"
+    cold_p50 warm_p50 speedup_p50 cold_p95 warm_p95 speedup_p95;
+  Printf.printf "  %d/%d warm-session reuses; pool: %d hits, %d misses\n%!"
+    reused (List.length warm) s.Sessions.hits s.Sessions.misses;
+  let j =
+    Json.Obj
+      [
+        ("nodes", Json.Int snodes);
+        ("engine", Json.String (Tta_model.Engine.id_to_string engine));
+        ("queries", Json.Int (List.length stream));
+        ("verdicts_agree", Json.Bool !all_agree);
+        ("reused", Json.Int reused);
+        ("cold_p50_ms", Json.Float cold_p50);
+        ("cold_p95_ms", Json.Float cold_p95);
+        ("warm_p50_ms", Json.Float warm_p50);
+        ("warm_p95_ms", Json.Float warm_p95);
+        ("speedup_p50", Json.Float speedup_p50);
+        ("speedup_p95", Json.Float speedup_p95);
+        ("rows", Json.List rows);
+      ]
+  in
+  let oc = open_out_bin sessions_json_path in
+  output_string oc (Json.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "machine-readable results written to %s\n%!" sessions_json_path;
+  if not !all_agree then begin
+    Printf.printf "FATAL: warm sessions changed a verdict\n%!";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the kernels. *)
@@ -581,6 +720,7 @@ let () =
      Tradeoffs in Moving from Decentralized to Centralized Embedded \
      Systems\" (DSN 2004)\n";
   if reach_only then section_reach ()
+  else if sessions_only then section_sessions ()
   else begin
     section5 ();
     section6 ();
@@ -591,6 +731,7 @@ let () =
     section_orders ();
     section_async ();
     section_walks ();
+    section_sessions ();
     if not skip_micro then run_micro ()
   end;
   print_newline ()

@@ -39,12 +39,14 @@ let print_event ev =
       Printf.printf "tta_cluster: event kill %s nth=%d\n" name nth);
   flush stdout
 
-let worker_args ~cache_dir ~cache_max ~sched_workers ~queue_cap ~chaos =
+let worker_args ~cache_dir ~cache_max ~sched_workers ~queue_cap ~sessions
+    ~chaos =
   [ "--cache-dir"; cache_dir; "--workers"; string_of_int sched_workers;
     "--queue-cap"; string_of_int queue_cap ]
   @ (match cache_max with
     | Some n -> [ "--cache-max-entries"; string_of_int n ]
     | None -> [])
+  @ (if sessions then [ "--sessions" ] else [])
   @ match chaos with Some spec -> [ "--chaos"; spec ] | None -> []
 
 let print_stats router =
@@ -63,7 +65,8 @@ let print_stats router =
 (* Serve mode *)
 
 let serve socket workers served_exe cache_dir cache_max sched_workers
-    queue_cap chaos vnodes max_restarts restart_window kill_after grace =
+    queue_cap sessions chaos vnodes max_restarts restart_window kill_after
+    grace =
   let addr =
     match Service.Server.addr_of_string socket with
     | Ok a -> a
@@ -76,7 +79,8 @@ let serve socket workers served_exe cache_dir cache_max sched_workers
     Cluster.Router.start ~vnodes ~max_restarts ~restart_window_s:restart_window
       ?kill_after ~grace ~on_event:print_event ~exe:served_exe
       ~worker_args:
-        (worker_args ~cache_dir ~cache_max ~sched_workers ~queue_cap ~chaos)
+        (worker_args ~cache_dir ~cache_max ~sched_workers ~queue_cap ~sessions
+           ~chaos)
       ~workers addr
   in
   let bound = Cluster.Router.bound_addr router in
@@ -143,7 +147,7 @@ let bench_one ~served_exe ~requests ~concurrency ~stall_ms ~nodes_choices
       ~exe:served_exe
       ~worker_args:
         (worker_args ~cache_dir ~cache_max:None ~sched_workers:1
-           ~queue_cap:256
+           ~queue_cap:256 ~sessions:false
            ~chaos:(Some (Printf.sprintf "1:engine_start=stall%d" stall_ms)))
       ~workers:n addr
   in
@@ -294,8 +298,9 @@ let bench served_exe requests concurrency stall_ms json_path =
 (* ------------------------------------------------------------------ *)
 
 let main socket workers served_exe cache_dir cache_max sched_workers
-    queue_cap chaos vnodes max_restarts restart_window kill_after grace
-    run_bench bench_requests bench_concurrency bench_stall_ms json_path =
+    queue_cap sessions chaos vnodes max_restarts restart_window kill_after
+    grace run_bench bench_requests bench_concurrency bench_stall_ms json_path
+    =
   let served_exe =
     match served_exe with Some p -> p | None -> default_served_exe ()
   in
@@ -309,7 +314,8 @@ let main socket workers served_exe cache_dir cache_max sched_workers
         exit 2
     | Some socket ->
         serve socket workers served_exe cache_dir cache_max sched_workers
-          queue_cap chaos vnodes max_restarts restart_window kill_after grace
+          queue_cap sessions chaos vnodes max_restarts restart_window
+          kill_after grace
 
 let () =
   let open Cmdliner in
@@ -353,6 +359,16 @@ let () =
     Arg.(
       value & opt int 64
       & info [ "queue-cap" ] ~docv:"N" ~doc:"Per-worker admission bound.")
+  in
+  let sessions =
+    Arg.(
+      value & flag
+      & info [ "sessions" ]
+          ~doc:
+            "Pass --sessions to every worker daemon: each keeps a pool of \
+             warm incremental solver sessions for single-SAT-engine \
+             requests. Consistent hashing already sends a family to the \
+             same worker, so warm hits survive sharding.")
   in
   let chaos =
     Arg.(
@@ -433,8 +449,8 @@ let () =
             router over supervised tta_served daemons)")
       Term.(
         const main $ socket $ workers $ served_exe $ cache_dir
-        $ Cli.cache_max_entries () $ sched_workers $ queue_cap $ chaos
-        $ vnodes $ max_restarts $ restart_window $ kill_after $ grace
+        $ Cli.cache_max_entries () $ sched_workers $ queue_cap $ sessions
+        $ chaos $ vnodes $ max_restarts $ restart_window $ kill_after $ grace
         $ run_bench $ bench_requests $ bench_concurrency $ bench_stall_ms
         $ Cli.json ())
   in

@@ -10,8 +10,8 @@
    Protocol, scheduling and shutdown semantics: doc/service.md.
    Send SIGTERM (or SIGINT) for a graceful drain. *)
 
-let main socket workers queue_cap cache_dir no_cache cache_max grace chaos
-    obs =
+let main socket workers queue_cap cache_dir no_cache cache_max sessions
+    session_cap grace chaos obs =
   let addr =
     match Service.Server.addr_of_string socket with
     | Ok a -> a
@@ -27,7 +27,11 @@ let main socket workers queue_cap cache_dir no_cache cache_max grace chaos
         (Portfolio.Cache.create ~dir:cache_dir ?max_entries:cache_max ~faults
            ())
   in
-  Service.Server.serve ?cache ~workers ~queue_cap
+  let session_pool =
+    if sessions then Some (Sessions.create ~capacity:session_cap ())
+    else None
+  in
+  Service.Server.serve ?cache ?sessions:session_pool ~workers ~queue_cap
     ?obs:(Cli.obs_collector obs) ~faults ~grace
     ~on_ready:(fun srv ->
       (* Machine-readable readiness first — supervisors (the cluster
@@ -54,6 +58,14 @@ let main socket workers queue_cap cache_dir no_cache cache_max grace chaos
          else ""))
     addr;
   (* serve returned: a signal triggered the drain. *)
+  (match session_pool with
+  | Some p ->
+      let s = Sessions.stats p in
+      Printf.printf
+        "sessions: %d hits, %d misses, %d evicted, %d discarded, %d warm\n"
+        s.Sessions.hits s.Sessions.misses s.Sessions.evictions
+        s.Sessions.discards s.Sessions.idle
+  | None -> ());
   (match cache with
   | Some c ->
       Printf.printf "cache: %d hits, %d misses, %d entries, %d evicted, %d \
@@ -106,6 +118,21 @@ let () =
   let no_cache =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the verdict cache.")
   in
+  let sessions =
+    Arg.(
+      value & flag
+      & info [ "sessions" ]
+          ~doc:
+            "Keep a pool of warm incremental solver sessions: \
+             single-SAT-engine requests of a family they have seen reuse \
+             unrolling and learned clauses instead of starting cold.")
+  in
+  let session_cap =
+    Arg.(
+      value & opt int 32
+      & info [ "session-cap" ] ~docv:"N"
+          ~doc:"Idle warm sessions kept before LRU eviction (with --sessions).")
+  in
   let grace =
     Arg.(
       value & opt float 5.0
@@ -121,6 +148,6 @@ let () =
       Term.(
         const main $ socket $ workers $ queue_cap $ cache_dir $ no_cache
         $ Cli.cache_max_entries ()
-        $ grace $ Cli.chaos () $ Cli.obs ())
+        $ sessions $ session_cap $ grace $ Cli.chaos () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

@@ -116,4 +116,5 @@ let load inst =
 
 (* The model of a satisfiable instance, as DIMACS literals. *)
 let model_of inst s =
-  List.init inst.nvars (fun v -> if Solver.value s v then v + 1 else -(v + 1))
+  let m = Solver.model s in
+  List.init inst.nvars (fun v -> if m.(v) then v + 1 else -(v + 1))

@@ -108,6 +108,13 @@ module Heap = struct
     end
 end
 
+(* A retractable activation group: every clause added to the group
+   carries the negated selector literal, and [solve] assumes the
+   selector true while the group is active. Retraction asserts the
+   selector false at the root, permanently satisfying (= erasing) the
+   group's clauses and every learned clause derived from them. *)
+type group = { sel : int; mutable active : bool }
+
 type t = {
   mutable nvars : int;
   mutable assigns : int array; (* var -> -1 unassigned / 0 false / 1 true *)
@@ -135,6 +142,9 @@ type t = {
   mutable learned : int;
   mutable deleted : int;
   mutable reduce_at : int; (* conflict count triggering the next DB reduction *)
+  mutable groups : group list; (* active groups, newest first *)
+  mutable scopes : group list; (* push/pop stack (a subset of [groups]) *)
+  mutable last_model : bool array option; (* assignment snapshot of the last Sat answer *)
 }
 
 let create () =
@@ -162,6 +172,9 @@ let create () =
     learned = 0;
     deleted = 0;
     reduce_at = 2000;
+    groups = [];
+    scopes = [];
+    last_model = None;
   }
 
 let nvars s = s.nvars
@@ -241,6 +254,7 @@ let push_clause s lits ~lbd =
 
 let add_clause_array s lits =
   cancel_until s 0;
+  s.last_model <- None;
   if s.ok then begin
     let n = Array.length lits in
     if n = 0 then s.ok <- false
@@ -253,10 +267,12 @@ let add_clause_array s lits =
     else ignore (push_clause s lits ~lbd:0)
   end
 
-let add_clause s lits =
+(* Root-level clause addition: normalize (dedupe, drop tautologies and
+   level-0-false literals, detect clauses already satisfied at level 0)
+   and install. Ignores the push/pop scope stack — retraction units and
+   group clauses route here directly. *)
+let add_clause_root s lits =
   cancel_until s 0;
-  (* Normalize: dedupe, drop tautologies and level-0-false literals, and
-     detect clauses already satisfied at level 0. *)
   let lits = List.sort_uniq compare lits in
   let taut =
     List.exists (fun l -> List.mem (negate l) lits) lits
@@ -272,6 +288,41 @@ let add_clause s lits =
       add_clause_array s (Array.of_list lits)
     end
   end
+
+let add_clause s lits =
+  match s.scopes with
+  | [] -> add_clause_root s lits
+  | g :: _ -> add_clause_root s (neg g.sel :: lits)
+
+(* Activation groups. *)
+
+let new_group s =
+  let g = { sel = new_var s; active = true } in
+  s.groups <- g :: s.groups;
+  g
+
+let group_active g = g.active
+
+let add_clause_in s g lits =
+  if not g.active then
+    invalid_arg "Solver.add_clause_in: group already retracted";
+  add_clause_root s (neg g.sel :: lits)
+
+let retract s g =
+  if g.active then begin
+    g.active <- false;
+    s.groups <- List.filter (fun g' -> g' != g) s.groups;
+    add_clause_root s [ neg g.sel ]
+  end
+
+let push s = s.scopes <- new_group s :: s.scopes
+
+let pop s =
+  match s.scopes with
+  | [] -> invalid_arg "Solver.pop: no open scope"
+  | g :: rest ->
+      s.scopes <- rest;
+      retract s g
 
 (* Unit propagation with two watched literals. Returns the index of a
    conflicting clause, or -1. *)
@@ -514,6 +565,7 @@ let pick_branch s =
 exception Done of result
 
 let solve ?(assumptions = []) s =
+  s.last_model <- None;
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -522,7 +574,13 @@ let solve ?(assumptions = []) s =
     | _ -> s.ok <- false);
     if not s.ok then Unsat
     else
-      let assumptions = Array.of_list assumptions in
+      (* Selectors of active groups are implicit assumptions: while a
+         group lives, its clauses are enforced; once retracted they are
+         root-satisfied and the selector must no longer be assumed. *)
+      let assumptions =
+        Array.of_list
+          (List.rev_map (fun g -> pos g.sel) s.groups @ assumptions)
+      in
       let restart_no = ref 0 in
       let budget = ref (100 * luby 0) in
       try
@@ -585,10 +643,22 @@ let solve ?(assumptions = []) s =
           end
         done;
         assert false
-      with Done r -> r
+      with Done r ->
+        (if r = Sat then
+           s.last_model <-
+             Some (Array.init s.nvars (fun v -> s.assigns.(v) = 1)));
+        r
   end
 
-let value s v = s.assigns.(v) = 1
+let model s =
+  match s.last_model with
+  | Some m -> Array.copy m
+  | None -> invalid_arg "Solver.model: no model (last answer was not Sat)"
+
+let value_opt s v =
+  match s.last_model with
+  | Some m when v >= 0 && v < Array.length m -> Some m.(v)
+  | _ -> None
 
 let conflicts s = s.conflicts
 

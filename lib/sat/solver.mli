@@ -36,18 +36,64 @@ val nvars : t -> int
 val add_clause : t -> lit list -> unit
 (** Add a clause. Adding the empty clause (or a clause that simplifies to
     it) makes the instance permanently unsatisfiable. Duplicate literals
-    are removed; tautologies are ignored. *)
+    are removed; tautologies are ignored. Inside an open {!push} scope
+    the clause is attached to that scope and disappears at the matching
+    {!pop}. *)
 
 type result = Sat | Unsat
 
 val solve : ?assumptions:lit list -> t -> result
 (** Solve the current clause set under the given assumptions. The solver
     may be queried again afterwards with different assumptions; learned
-    clauses are kept. *)
+    clauses are kept across queries (the session surface the bounded
+    model checker builds on). Selector literals of live activation
+    groups are assumed automatically. *)
 
-val value : t -> int -> bool
-(** Model value of a variable after a [Solver] answer. Variables not fixed
-    by the model default to [false]. *)
+(** {2 Session surface: activation groups and scopes}
+
+    A {!group} is a MiniSat-style retractable clause set: each clause
+    added to the group carries the negation of a hidden selector
+    variable, and {!solve} assumes the selector true while the group is
+    active. {!retract} asserts the selector false at the root, which
+    permanently satisfies — i.e. erases — the group's clauses {e and}
+    every learned clause derived from them, while all other learned
+    clauses survive for the next query. *)
+
+type group
+(** A named retractable clause group. *)
+
+val new_group : t -> group
+(** Allocate a fresh activation group (costs one selector variable). *)
+
+val add_clause_in : t -> group -> lit list -> unit
+(** Add a clause to a group. Raises [Invalid_argument] if the group has
+    been retracted. *)
+
+val retract : t -> group -> unit
+(** Permanently retire a group and its clauses. Idempotent. *)
+
+val group_active : group -> bool
+
+val push : t -> unit
+(** Open a scope: clauses added with {!add_clause} until the matching
+    {!pop} belong to the scope and are retracted by it. Scopes nest. *)
+
+val pop : t -> unit
+(** Close the innermost scope, retracting its clauses. Raises
+    [Invalid_argument] if no scope is open. *)
+
+(** {2 Model access} *)
+
+val model : t -> bool array
+(** The satisfying assignment of the most recent {!solve} that answered
+    [Sat], indexed by variable. Raises [Invalid_argument] if the last
+    answer was not [Sat] or clauses were added since — there is no
+    silent default. *)
+
+val value_opt : t -> int -> bool option
+(** Three-valued model read: [Some b] if the variable was fixed by the
+    last model, [None] if there is no current model or the variable was
+    allocated after it was captured. *)
 
 val stats : t -> string
 (** Human-readable search statistics (conflicts, propagations, ...). *)

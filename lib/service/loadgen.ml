@@ -16,6 +16,7 @@ type report = {
   engine_failed : int;
   cache_hits : int;
   coalesced : int;
+  session_reuses : int;
   wall_s : float;
   throughput_rps : float;
   p50_ms : float;
@@ -164,6 +165,7 @@ type acc = {
   mutable engine_failed : int;
   mutable cache_hits : int;
   mutable coalesced : int;
+  mutable session_reuses : int;
   mutable latencies_ms : float list;  (** answered requests only *)
   mutable last_response_at : float;
   workers : (string, int) Hashtbl.t;
@@ -186,6 +188,7 @@ let acc () =
     engine_failed = 0;
     cache_hits = 0;
     coalesced = 0;
+    session_reuses = 0;
     latencies_ms = [];
     last_response_at = 0.;
     workers = Hashtbl.create 8;
@@ -228,7 +231,8 @@ let record acc ~sent_at line =
   | Ok (Protocol.Pong _) -> ()
   | Ok (Protocol.Overloaded _) -> acc.overloaded <- acc.overloaded + 1
   | Ok (Protocol.Cancelled _) -> acc.cancelled <- acc.cancelled + 1
-  | Ok (Protocol.Answer { cache_hit; coalesced; verdict; _ }) ->
+  | Ok (Protocol.Answer { cache_hit; coalesced; reused_session; verdict; _ })
+    ->
       count_worker acc line;
       acc.ok <- acc.ok + 1;
       (match sent_at with
@@ -236,6 +240,7 @@ let record acc ~sent_at line =
       | None -> ());
       if cache_hit then acc.cache_hits <- acc.cache_hits + 1;
       if coalesced then acc.coalesced <- acc.coalesced + 1;
+      if reused_session then acc.session_reuses <- acc.session_reuses + 1;
       (match verdict with
       | Protocol.Holds _ -> acc.holds <- acc.holds + 1
       | Protocol.Violated _ -> acc.violated <- acc.violated + 1
@@ -490,6 +495,7 @@ let run ?(seed = 1) ?(exhaustive = false) ?(nodes = 2) ?(depth = 24)
     engine_failed = a.engine_failed;
     cache_hits = a.cache_hits;
     coalesced = a.coalesced;
+    session_reuses = a.session_reuses;
     wall_s;
     throughput_rps = float_of_int requests /. wall_s;
     p50_ms = percentile sorted 50.;
@@ -525,6 +531,7 @@ let report_to_json ~mode r =
       ("engine_failed", Json.Int r.engine_failed);
       ("cache_hits", Json.Int r.cache_hits);
       ("coalesced", Json.Int r.coalesced);
+      ("session_reuses", Json.Int r.session_reuses);
       ("wall_s", Json.Float r.wall_s);
       ("throughput_rps", Json.Float r.throughput_rps);
       ("p50_ms", Json.Float r.p50_ms);
@@ -540,14 +547,14 @@ let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>requests  %d (%d ok, %d overloaded, %d cancelled, %d protocol \
      errors)@,verdicts  %d holds, %d violated, %d unknown (%d past \
-     deadline)@,dedup     %d cache hits, %d coalesced@,resilience %d \
-     retries, %d engine-failed responses@,wall      %.2fs \
-     (%.1f req/s)@,latency   p50 %.1fms  p95 %.1fms  p99 %.1fms  max \
+     deadline)@,dedup     %d cache hits, %d coalesced, %d warm-session \
+     reuses@,resilience %d retries, %d engine-failed responses@,wall      \
+     %.2fs (%.1f req/s)@,latency   p50 %.1fms  p95 %.1fms  p99 %.1fms  max \
      %.1fms@]@."
     r.requests r.ok r.overloaded r.cancelled r.protocol_errors r.holds
     r.violated r.unknown r.deadline_exceeded r.cache_hits r.coalesced
-    r.retries r.engine_failed r.wall_s r.throughput_rps r.p50_ms r.p95_ms
-    r.p99_ms r.max_ms;
+    r.session_reuses r.retries r.engine_failed r.wall_s r.throughput_rps
+    r.p50_ms r.p95_ms r.p99_ms r.max_ms;
   if r.per_worker <> [] then
     Format.fprintf ppf "workers   %s (imbalance %.2f)@."
       (String.concat ", "

@@ -46,6 +46,10 @@ type report = {
       (** [code:"engine_failed"] responses seen (retried ones included) *)
   cache_hits : int;
   coalesced : int;
+  session_reuses : int;
+      (** answers flagged [reused_session] — served from a warm pooled
+          solver session (always [0] against a daemon without
+          [--sessions]) *)
   wall_s : float;  (** first send to last response *)
   throughput_rps : float;
   p50_ms : float;

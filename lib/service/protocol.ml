@@ -6,9 +6,10 @@ type request = {
   engines : Tta_model.Engine.id list;
   max_depth : int;
   deadline_ms : int option;
+  family : string option;
 }
 
-let request ~id ~config ?nodes ?engine ?depth ?deadline_ms
+let request ~id ~config ?nodes ?engine ?depth ?deadline_ms ?family
     ?forbid_cold_start_duplication () =
   let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
   Json.Obj
@@ -17,6 +18,7 @@ let request ~id ~config ?nodes ?engine ?depth ?deadline_ms
     @ opt "engine" (fun e -> Json.String e) engine
     @ opt "depth" (fun d -> Json.Int d) depth
     @ opt "deadline_ms" (fun d -> Json.Int d) deadline_ms
+    @ opt "family" (fun f -> Json.String f) family
     @ opt "forbid_cold_start_duplication"
         (fun b -> Json.Bool b)
         forbid_cold_start_duplication)
@@ -40,6 +42,14 @@ let optional_int name j =
       match Json.int_value v with
       | Some i -> Ok (Some i)
       | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let optional_string name j =
+  match field name j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.string_value v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "field %S must be a string" name))
 
 let optional_bool name j =
   match field name j with
@@ -97,6 +107,7 @@ let decode_request j =
         | _ -> Ok ()
       in
       let* forbid = optional_bool "forbid_cold_start_duplication" j in
+      let* family = optional_string "family" j in
       Ok
         {
           id;
@@ -104,6 +115,7 @@ let decode_request j =
           engines;
           max_depth = Option.value ~default:24 depth;
           deadline_ms;
+          family;
         }
   | _ -> Error "request must be a JSON object"
 
@@ -157,6 +169,8 @@ type response =
       coalesced : bool;
       wall_ms : float;
       queue_ms : float;
+      reused_session : bool;
+      warm_depth : int;
     }
   | Overloaded of { id : string }
   | Cancelled of { id : string; reason : string }
@@ -196,7 +210,18 @@ let json_of_verdict = function
       ]
 
 let encode_response = function
-  | Answer { id; verdict; engine; cache_hit; coalesced; wall_ms; queue_ms } ->
+  | Answer
+      {
+        id;
+        verdict;
+        engine;
+        cache_hit;
+        coalesced;
+        wall_ms;
+        queue_ms;
+        reused_session;
+        warm_depth;
+      } ->
       Json.Obj
         ([ ("id", Json.String id); ("status", Json.String "ok") ]
         @ json_of_verdict verdict
@@ -206,6 +231,8 @@ let encode_response = function
             ("coalesced", Json.Bool coalesced);
             ("wall_ms", Json.Float wall_ms);
             ("queue_ms", Json.Float queue_ms);
+            ("reused_session", Json.Bool reused_session);
+            ("warm_depth", Json.Int warm_depth);
           ])
   | Overloaded { id } ->
       Json.Obj
@@ -304,9 +331,28 @@ let decode_response j : (response, string) result =
           let* coalesced = required_bool "coalesced" j in
           let* wall_ms = number "wall_ms" j in
           let* queue_ms = number "queue_ms" j in
+          (* Optional for compatibility with pre-session daemons. *)
+          let reused_session =
+            Option.value ~default:false
+              (Option.bind (field "reused_session" j) Json.bool_value)
+          in
+          let warm_depth =
+            Option.value ~default:0
+              (Option.bind (field "warm_depth" j) Json.int_value)
+          in
           Ok
             (Answer
-               { id; verdict; engine; cache_hit; coalesced; wall_ms; queue_ms })
+               {
+                 id;
+                 verdict;
+                 engine;
+                 cache_hit;
+                 coalesced;
+                 wall_ms;
+                 queue_ms;
+                 reused_session;
+                 warm_depth;
+               })
       | Some "overloaded" ->
           let* id =
             match id with

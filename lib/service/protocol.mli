@@ -15,13 +15,20 @@
     an inconclusive answer past the deadline reports
     [reason:"deadline_exceeded"]. [forbid_cold_start_duplication]
     (bool) selects the paper's second full-shifting counterexample.
+    [family] (string, optional) overrides the session-pool family key —
+    normally the daemon derives it from the compiled model's
+    fingerprint; a client that already knows its traffic's family can
+    pin it explicitly.
 
     A {b response} is one of:
     - [status:"ok"] — a verdict ([holds]/[violated]/[unknown]) with the
       winning engine, wall and queue milliseconds, and whether it was
       served from the cache or coalesced onto another in-flight
       request. A [violated] answer carries the counterexample trace,
-      value-rendered per state.
+      value-rendered per state. [reused_session]/[warm_depth] attribute
+      warm-session reuse: whether the run checked out a live solver
+      session from the pool, and how deep that session's unrolling
+      already was (see doc/sessions.md).
     - [status:"overloaded"] — shed by admission control (bounded
       queue full). The request was {e not} and will not be run.
     - [status:"cancelled"] — accepted but abandoned, e.g. by a
@@ -48,6 +55,9 @@ type request = {
           ["race"] *)
   max_depth : int;
   deadline_ms : int option;
+  family : string option;
+      (** optional session-pool family override (model structure modulo
+          bound/property); [None] means "derive from the fingerprint" *)
 }
 
 val request :
@@ -57,6 +67,7 @@ val request :
   ?engine:string ->
   ?depth:int ->
   ?deadline_ms:int ->
+  ?family:string ->
   ?forbid_cold_start_duplication:bool ->
   unit ->
   Json.t
@@ -119,6 +130,13 @@ type response =
       coalesced : bool;
       wall_ms : float;
       queue_ms : float;
+      reused_session : bool;
+          (** the run checked out a warm solver session from the pool
+              (always [false] when the daemon runs without
+              [--sessions]) *)
+      warm_depth : int;
+          (** the checked-out session's unrolling depth before the run
+              (0 on a cold session) *)
     }
   | Overloaded of { id : string }  (** wire [code]: [overloaded] *)
   | Cancelled of { id : string; reason : string }

@@ -15,6 +15,8 @@ and outcome = {
   coalesced : bool;
   queue_ms : float;
   expired : bool;
+  reused_session : bool;
+  warm_depth : int;
 }
 
 type comp = {
@@ -22,6 +24,7 @@ type comp = {
   cfg : Configs.t;
   engines : Engine.id list;
   max_depth : int;
+  family : string option;
   mutable waiters : waiter list;  (** newest first; delivered reversed *)
   deadline : float Atomic.t;
       (** max over the waiters' deadlines ([infinity] dominates);
@@ -39,6 +42,7 @@ type t = {
           coalescing window spans the whole run *)
   models : (Configs.t, Symkit.Model.t) Hashtbl.t;
   cache : Portfolio.Cache.t option;
+  sessions : Sessions.t option;
   supervisor : Resilience.Supervisor.policy;
   faults : Resilience.Faults.t;
   mutable draining : bool;
@@ -54,6 +58,7 @@ type t = {
   mutable s_cache_hits : int;
   mutable s_runs : int;
   mutable s_expired : int;
+  mutable s_session_reuses : int;
   (* observability ("service" track) *)
   track : Obs.t;
   c_submitted : Obs.cell;
@@ -63,6 +68,7 @@ type t = {
   c_cache_hits : Obs.cell;
   c_runs : Obs.cell;
   c_expired : Obs.cell;
+  c_session_reuses : Obs.cell;
   g_queue : Obs.cell;
   g_inflight : Obs.cell;
 }
@@ -97,7 +103,8 @@ let conclusive_cached cache ~model ~engines ~max_depth =
 (* ------------------------------------------------------------------ *)
 (* Workers *)
 
-let deliver t comp ~(result : Portfolio.result) ~ran ~started_at =
+let deliver t comp ~(result : Portfolio.result)
+    ?(attr = { Sessions.reused = false; warm_depth = 0 }) ~ran ~started_at () =
   Mutex.lock t.lock;
   Hashtbl.remove t.inflight comp.ckey;
   let waiters = List.rev comp.waiters in
@@ -115,7 +122,15 @@ let deliver t comp ~(result : Portfolio.result) ~ran ~started_at =
       let expired = (not conclusive) && w.wdeadline < at in
       if expired then incr n_expired;
       let queue_ms = Float.max 0. ((started_at -. w.submitted_at) *. 1000.) in
-      w.cb { result; coalesced = w.joined; queue_ms; expired })
+      w.cb
+        {
+          result;
+          coalesced = w.joined;
+          queue_ms;
+          expired;
+          reused_session = attr.Sessions.reused;
+          warm_depth = attr.Sessions.warm_depth;
+        })
     waiters;
   if !n_expired > 0 then begin
     Mutex.lock t.lock;
@@ -135,6 +150,53 @@ let skip_result comp detail =
     failures = [];
   }
 
+(* A request is session-eligible when a pool is attached and it asks
+   for exactly one SAT-backed engine: the warm-session fast path is an
+   alternative to the engine race, not a racer inside it. *)
+let session_engine t comp =
+  match (t.sessions, comp.engines) with
+  | Some pool, [ ((Engine.Sat_bmc | Engine.Sat_induction) as e) ] ->
+      Some (pool, e)
+  | _ -> None
+
+(* Run the request on a warm session of its family instead of racing a
+   cold portfolio. Conclusive verdicts still feed the shared cache, so
+   session-path answers are visible to later cache lookups. *)
+let run_on_session t comp ~pool ~engine ~cancel =
+  let t0 = now () in
+  let r, attr =
+    Sessions.run pool ~engine ~cancel ?family:comp.family
+      ~max_depth:comp.max_depth comp.cfg
+  in
+  let wall_s = now () -. t0 in
+  let verdict = r.Engine.verdict in
+  (match t.cache with
+  | Some c when Portfolio.conclusive verdict ->
+      let model =
+        Mutex.lock t.lock;
+        let m = model_of t comp.cfg in
+        Mutex.unlock t.lock;
+        m
+      in
+      Portfolio.Cache.store c ~model ~engine ~max_depth:comp.max_depth verdict
+  | _ -> ());
+  if attr.Sessions.reused then begin
+    Mutex.lock t.lock;
+    t.s_session_reuses <- t.s_session_reuses + 1;
+    Mutex.unlock t.lock;
+    Obs.tick t.c_session_reuses
+  end;
+  ( {
+      Portfolio.config = comp.cfg;
+      engine;
+      verdict;
+      wall_s;
+      cache_hit = false;
+      runs = [ (engine, verdict, wall_s) ];
+      failures = [];
+    },
+    attr )
+
 let execute t comp =
   let started_at = now () in
   let skip =
@@ -143,9 +205,10 @@ let execute t comp =
       Some "deadline expired before the run started"
     else None
   in
-  let result, ran =
+  let result, attr, ran =
     match skip with
-    | Some detail -> (skip_result comp detail, false)
+    | Some detail ->
+        (skip_result comp detail, { Sessions.reused = false; warm_depth = 0 }, false)
     | None ->
         let cancel () =
           Atomic.get t.force || now () > Atomic.get comp.deadline
@@ -155,15 +218,19 @@ let execute t comp =
             ~args:[ ("config", Configs.name comp.cfg) ]
             "service.run"
         in
-        let r =
-          Portfolio.race ~cancel ?cache:t.cache ~engines:comp.engines
-            ~max_depth:comp.max_depth ~supervisor:t.supervisor
-            ~faults:t.faults comp.cfg
+        let r, attr =
+          match session_engine t comp with
+          | Some (pool, engine) -> run_on_session t comp ~pool ~engine ~cancel
+          | None ->
+              ( Portfolio.race ~cancel ?cache:t.cache ~engines:comp.engines
+                  ~max_depth:comp.max_depth ~supervisor:t.supervisor
+                  ~faults:t.faults comp.cfg,
+                { Sessions.reused = false; warm_depth = 0 } )
         in
         Obs.stop span;
-        (r, true)
+        (r, attr, true)
   in
-  deliver t comp ~result ~ran ~started_at
+  deliver t comp ~result ~attr ~ran ~started_at ()
 
 let rec worker_loop t =
   Mutex.lock t.lock;
@@ -184,7 +251,7 @@ let rec worker_loop t =
            waiters inconclusively instead of leaving them hanging. *)
         deliver t comp
           ~result:(skip_result comp ("engine exception: " ^ Printexc.to_string e))
-          ~ran:true ~started_at:(now ()));
+          ~ran:true ~started_at:(now ()) ());
     Mutex.lock t.lock;
     t.running <- t.running - 1;
     Mutex.unlock t.lock;
@@ -194,7 +261,7 @@ let rec worker_loop t =
 (* ------------------------------------------------------------------ *)
 (* Construction, submission, drain *)
 
-let create ?workers ?(queue_cap = 64) ?cache ?obs
+let create ?workers ?(queue_cap = 64) ?cache ?sessions ?obs
     ?(supervisor = Resilience.Supervisor.default)
     ?(faults = Resilience.Faults.disabled) () =
   let workers_n =
@@ -218,6 +285,7 @@ let create ?workers ?(queue_cap = 64) ?cache ?obs
       inflight = Hashtbl.create 64;
       models = Hashtbl.create 16;
       cache;
+      sessions;
       supervisor;
       faults;
       draining = false;
@@ -232,6 +300,7 @@ let create ?workers ?(queue_cap = 64) ?cache ?obs
       s_cache_hits = 0;
       s_runs = 0;
       s_expired = 0;
+      s_session_reuses = 0;
       track;
       c_submitted = Obs.counter track "service.submitted";
       c_completed = Obs.counter track "service.completed";
@@ -240,6 +309,7 @@ let create ?workers ?(queue_cap = 64) ?cache ?obs
       c_cache_hits = Obs.counter track "service.cache_hits";
       c_runs = Obs.counter track "service.runs";
       c_expired = Obs.counter track "service.expired";
+      c_session_reuses = Obs.counter track "service.session_reuses";
       g_queue = Obs.gauge track "service.queue_depth";
       g_inflight = Obs.gauge track "service.inflight";
     }
@@ -248,7 +318,7 @@ let create ?workers ?(queue_cap = 64) ?cache ?obs
     Array.init workers_n (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t ?deadline ~engines ~max_depth ~callback cfg =
+let submit t ?deadline ?family ~engines ~max_depth ~callback cfg =
   if engines = [] then invalid_arg "Scheduler.submit: empty engine list";
   let dl = match deadline with None -> infinity | Some d -> d in
   let at = now () in
@@ -283,6 +353,8 @@ let submit t ?deadline ~engines ~max_depth ~callback cfg =
             coalesced = false;
             queue_ms = 0.;
             expired = false;
+            reused_session = false;
+            warm_depth = 0;
           };
         `Cache_hit
     | None -> (
@@ -314,6 +386,7 @@ let submit t ?deadline ~engines ~max_depth ~callback cfg =
                   cfg;
                   engines;
                   max_depth;
+                  family;
                   waiters = [ waiter ~joined:false ];
                   deadline = Atomic.make dl;
                 }
@@ -359,6 +432,7 @@ type stats = {
   cache_hits : int;
   runs : int;
   expired : int;
+  session_reuses : int;
 }
 
 let stats t =
@@ -372,6 +446,7 @@ let stats t =
       cache_hits = t.s_cache_hits;
       runs = t.s_runs;
       expired = t.s_expired;
+      session_reuses = t.s_session_reuses;
     }
   in
   Mutex.unlock t.lock;

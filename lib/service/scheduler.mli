@@ -25,7 +25,17 @@
     computation's effective deadline is the {e latest} over its
     waiters (a waiter without one makes the computation unbounded);
     the worker polls it through the race's [?cancel] hook, so an
-    expired computation stops cooperatively. A computation whose
+    expired computation stops cooperatively.
+
+    {b Warm sessions.} With a {!Sessions.t} pool attached, a request
+    for exactly one SAT-backed engine ([sat-bmc] or [sat-induction])
+    skips the portfolio and runs on a pooled incremental solver
+    session of its family — reusing BDD compilation, CNF unrolling and
+    learned clauses from earlier near-miss requests. Verdicts are
+    unchanged (see {!Sessions.run}); the outcome carries
+    [reused_session]/[warm_depth] attribution and conclusive verdicts
+    still land in the shared cache. Multi-engine races and BDD-backed
+    engines take the cold path as before. A computation whose
     deadline has already passed when a worker picks it up is skipped —
     no engine runs. Conclusive verdicts are always delivered, even to
     waiters whose own deadline has meanwhile passed; an inconclusive
@@ -44,6 +54,7 @@ val create :
   ?workers:int ->
   ?queue_cap:int ->
   ?cache:Portfolio.Cache.t ->
+  ?sessions:Sessions.t ->
   ?obs:Obs.Collector.t ->
   ?supervisor:Resilience.Supervisor.policy ->
   ?faults:Resilience.Faults.t ->
@@ -54,8 +65,9 @@ val create :
     defaults to 64. With [obs], the scheduler writes to a ["service"]
     track: [service.queue_depth] / [service.inflight] gauges,
     [service.{submitted,coalesced,shed,cache_hits,runs,expired,
-    completed}] counters, and a [service.run] span per engine-pool
-    computation. [supervisor]/[faults] are forwarded to every
+    completed,session_reuses}] counters, and a [service.run] span per
+    engine-pool computation. [sessions] attaches a warm solver-session
+    pool (see the module doc). [supervisor]/[faults] are forwarded to every
     {!Portfolio.race} the workers run: a request whose engines all
     crash or hang is still answered — with a result flagged by
     {!Portfolio.all_failed} that the protocol layer turns into a
@@ -69,18 +81,26 @@ type outcome = {
   expired : bool;
       (** the waiter's deadline passed and the verdict is inconclusive
           — report [deadline_exceeded] *)
+  reused_session : bool;
+      (** the computation ran on a pooled warm solver session *)
+  warm_depth : int;
+      (** the session's unrolling depth at checkout (0 unless
+          [reused_session]) *)
 }
 
 val submit :
   t ->
   ?deadline:float ->
+  ?family:string ->
   engines:Tta_model.Engine.id list ->
   max_depth:int ->
   callback:(outcome -> unit) ->
   Tta_model.Configs.t ->
   [ `Queued | `Coalesced | `Cache_hit | `Shed | `Draining ]
 (** Submit one verification request. [deadline] is absolute
-    ([Unix.gettimeofday] time). On [`Cache_hit] the callback has
+    ([Unix.gettimeofday] time). [family] overrides the session pool's
+    computed family fingerprint for this request (ignored without an
+    attached pool, or on the portfolio path). On [`Cache_hit] the callback has
     already run (synchronously); on [`Queued]/[`Coalesced] it will run
     exactly once, from a worker domain; on [`Shed]/[`Draining] it
     never runs — answer the client directly.
@@ -100,6 +120,8 @@ type stats = {
   cache_hits : int;  (** admission-time cache answers *)
   runs : int;  (** computations actually handed to the engine pool *)
   expired : int;  (** waiters answered inconclusively past deadline *)
+  session_reuses : int;
+      (** computations served by a warm pooled solver session *)
 }
 
 val stats : t -> stats

@@ -149,6 +149,8 @@ let answer_of ~id (o : Scheduler.outcome) =
         coalesced = o.Scheduler.coalesced;
         wall_ms = r.Portfolio.wall_s *. 1000.;
         queue_ms = o.Scheduler.queue_ms;
+        reused_session = o.Scheduler.reused_session;
+        warm_depth = o.Scheduler.warm_depth;
       }
 
 let handle_line t conn line =
@@ -185,8 +187,9 @@ let handle_line t conn line =
           Mutex.unlock conn.wlock
         in
         let admission =
-          Scheduler.submit t.sched ?deadline ~engines:req.Protocol.engines
-            ~max_depth:req.Protocol.max_depth ~callback req.Protocol.cfg
+          Scheduler.submit t.sched ?deadline ?family:req.Protocol.family
+            ~engines:req.Protocol.engines ~max_depth:req.Protocol.max_depth
+            ~callback req.Protocol.cfg
         in
         (match admission with
         | `Queued | `Coalesced | `Cache_hit -> ()
@@ -319,7 +322,7 @@ let bind_listen addr =
       Unix.listen fd 64;
       fd
 
-let start ?workers ?queue_cap ?cache ?obs ?supervisor
+let start ?workers ?queue_cap ?cache ?sessions ?obs ?supervisor
     ?(faults = Resilience.Faults.disabled) ?(grace = 5.0) addr =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd = bind_listen addr in
@@ -335,7 +338,8 @@ let start ?workers ?queue_cap ?cache ?obs ?supervisor
   in
   let pipe_r, pipe_w = Unix.pipe () in
   let sched =
-    Scheduler.create ?workers ?queue_cap ?cache ?obs ?supervisor ~faults ()
+    Scheduler.create ?workers ?queue_cap ?cache ?sessions ?obs ?supervisor
+      ~faults ()
   in
   let t =
     {
@@ -386,10 +390,11 @@ let wait t =
 let scheduler t = t.sched
 let bound_addr t = t.bound
 
-let serve ?workers ?queue_cap ?cache ?obs ?supervisor ?faults ?grace
+let serve ?workers ?queue_cap ?cache ?sessions ?obs ?supervisor ?faults ?grace
     ?(on_ready = fun (_ : t) -> ()) addr =
   let t =
-    start ?workers ?queue_cap ?cache ?obs ?supervisor ?faults ?grace addr
+    start ?workers ?queue_cap ?cache ?sessions ?obs ?supervisor ?faults ?grace
+      addr
   in
   let handler = Sys.Signal_handle (fun _ -> stop t) in
   Sys.set_signal Sys.sigterm handler;

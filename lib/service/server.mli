@@ -34,6 +34,7 @@ val start :
   ?workers:int ->
   ?queue_cap:int ->
   ?cache:Portfolio.Cache.t ->
+  ?sessions:Sessions.t ->
   ?obs:Obs.Collector.t ->
   ?supervisor:Resilience.Supervisor.policy ->
   ?faults:Resilience.Faults.t ->
@@ -45,8 +46,11 @@ val start :
     the drain watchdog passed to {!Scheduler.drain}. [faults] also arms
     the [Sock_send]/[Sock_recv] hook points on every connection: an
     injected socket fault aborts that one connection (the client sees
-    EOF and retries) without touching the select loop. The remaining
-    options go to {!Scheduler.create}.
+    EOF and retries) without touching the select loop. [sessions]
+    attaches a warm solver-session pool — single-SAT-engine requests
+    then run incrementally and answers carry
+    [reused_session]/[warm_depth]. The remaining options go to
+    {!Scheduler.create}.
     @raise Unix.Unix_error if the address cannot be bound. *)
 
 val stop : t -> unit
@@ -68,6 +72,7 @@ val serve :
   ?workers:int ->
   ?queue_cap:int ->
   ?cache:Portfolio.Cache.t ->
+  ?sessions:Sessions.t ->
   ?obs:Obs.Collector.t ->
   ?supervisor:Resilience.Supervisor.policy ->
   ?faults:Resilience.Faults.t ->

@@ -1,0 +1,69 @@
+(** A pool of live incremental solver sessions, keyed by family
+    fingerprint.
+
+    A {e family} is the model structure modulo bound and property —
+    concretely {!Symkit.Model.fingerprint} of the compiled model, which
+    hashes the variable declarations, initial constraints and
+    transition relation but not the query's depth. Requests from the
+    same family (the service tier's "near-miss" traffic: same
+    configuration, different bound) check out a warm {!Symkit.Bmc}
+    session and reuse its BDD compilation, CNF unrolling, learned
+    clauses and per-property memo instead of starting cold;
+    k-induction requests warm-start their base case from the same
+    session.
+
+    Entries are checked out {e exclusively} (a session is a
+    single-threaded stateful object); concurrent requests for one
+    family get independent entries. Idle entries are evicted
+    least-recently-used past the pool capacity. See doc/sessions.md. *)
+
+type t
+(** A session pool (thread-safe; entries are used by one worker at a
+    time). *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 32) bounds the {e idle} entries kept warm; the
+    least recently used are dropped past it. Checked-out entries are
+    not counted. *)
+
+val family_of : Tta_model.Configs.t -> string
+(** The configuration's family fingerprint:
+    {!Symkit.Model.fingerprint} of its compiled model. *)
+
+type attribution = {
+  reused : bool;  (** the request ran on a pooled warm session *)
+  warm_depth : int;
+      (** the session's unrolling depth at checkout (0 when cold) *)
+}
+(** Where a request's solver state came from — surfaced to clients in
+    the wire protocol's [reused_session]/[warm_depth] response
+    fields. *)
+
+val run :
+  t ->
+  engine:Tta_model.Engine.id ->
+  ?cancel:(unit -> bool) ->
+  ?obs:Obs.t ->
+  ?family:string ->
+  max_depth:int ->
+  Tta_model.Configs.t ->
+  Tta_model.Engine.result * attribution
+(** Run a SAT-backed engine ([Sat_bmc] or [Sat_induction] — raises
+    [Invalid_argument] otherwise) for the configuration's safety
+    property on a pooled session of its family ([family] overrides the
+    computed fingerprint). Verdicts equal a cold-start run at the same
+    bound: memoized clean depths answer instantly, counterexamples are
+    memoized at their minimal depth, and a cancelled partial scan
+    degrades to [Unknown] exactly like the portfolio's demotion of
+    cancelled bounded claims. The entry is returned to the pool
+    afterwards, or dropped if the run raised. *)
+
+type stats = {
+  hits : int;  (** checkouts served by a warm entry *)
+  misses : int;  (** checkouts that built a fresh entry *)
+  evictions : int;  (** idle entries dropped by the LRU bound *)
+  discards : int;  (** entries dropped after a failed run *)
+  idle : int;  (** entries currently warm in the pool *)
+}
+
+val stats : t -> stats

@@ -9,7 +9,20 @@
 
 type result =
   | Counterexample of Model.state array
-  | No_counterexample of int  (** no violation up to (and at) this depth *)
+  | No_counterexample of int option
+      (** no violation up to (and at) this depth; [None] when cancelled
+          before depth 0 completed (a vacuous claim) *)
+
+(* Per-property session memo: the compiled predicate, the highest depth
+   verified clean, and the shortest counterexample found (if any). A
+   warm session answers repeat queries against this memo and resumes
+   solving only past [clean]. *)
+type prop = {
+  prop_bdd : Bdd.t;
+  mutable clean : int;  (** depths [0..clean] hold; -1 initially *)
+  mutable cex : (int * Model.state array) option;
+      (** shortest violating depth + trace *)
+}
 
 type t = {
   enc : Enc.t;
@@ -23,6 +36,8 @@ type t = {
   init_parts : Bdd.t list;
   trans_parts : Bdd.t list;
   valid_cur : Bdd.t;
+  (* Property memo, keyed by the printed expression. *)
+  props : (string, prop) Hashtbl.t;
 }
 
 let bits_at t step =
@@ -80,6 +95,7 @@ let create ?(with_init = true) enc =
         List.map (Enc.pred enc) (Enc.model enc).Model.init;
       trans_parts = Enc.trans_parts enc;
       valid_cur = Enc.valid enc ~primed:false;
+      props = Hashtbl.create 8;
     }
   in
   t.step_bits <- [ new_step_bits t ];
@@ -98,13 +114,17 @@ let extend t =
   List.iter (assert_bdd t ~step:from_step) t.trans_parts;
   assert_bdd t ~step:t.depth t.valid_cur
 
-let decode_model t =
+let decode_model ?upto t =
+  let upto = match upto with Some u -> u | None -> t.depth in
   let n = Enc.nbits t.enc in
   let model_enc = t.enc in
+  (* One explicit model snapshot for the whole trace — no silently
+     defaulting reads of unfixed variables. *)
+  let m = Sat.model t.solver in
   let states =
-    Array.init (t.depth + 1) (fun step ->
+    Array.init (upto + 1) (fun step ->
         let bits = bits_at t step in
-        let raw = Array.init n (fun b -> Sat.value t.solver bits.(b)) in
+        let raw = Array.init n (fun b -> m.(bits.(b))) in
         (* Rebuild each variable's value from its bits. *)
         let mdl = Enc.model model_enc in
         let s = Array.make (List.length mdl.Model.vars) (Expr.Bool false) in
@@ -121,12 +141,22 @@ let decode_model t =
   in
   states
 
-(* Check whether a bad state is reachable in exactly [t.depth] steps. *)
-let check_at_current_depth t ~bad_bdd =
-  let bad_lit = lit_of_bdd t ~step:t.depth bad_bdd in
+(* Check whether a bad state is reachable in exactly [step] steps
+   ([step] <= current depth; the unrolling constrains every transition,
+   so the decoded prefix 0..step is a valid run ending in a bad
+   state). *)
+let check_at_depth t ~step ~bad_bdd =
+  let bad_lit = lit_of_bdd t ~step bad_bdd in
   match Sat.solve ~assumptions:[ bad_lit ] t.solver with
-  | Sat.Sat -> Some (decode_model t)
+  | Sat.Sat -> Some (decode_model ~upto:step t)
   | Sat.Unsat -> None
+
+let check_at_current_depth t ~bad_bdd = check_at_depth t ~step:t.depth ~bad_bdd
+
+let ensure_depth t d =
+  while t.depth < d do
+    extend t
+  done
 
 (* Flush the solver's effort counters into an observability track at
    the end of a run (counter cells add, so base+step sessions of
@@ -137,37 +167,60 @@ let flush_counters ?(prefix = "") t obs =
       (fun (name, v) -> Obs.incr_by obs (prefix ^ name) v)
       (Sat.counters t.solver)
 
-let check ?(max_depth = 30) ?(cancel = fun () -> false) ?(obs = Obs.disabled)
-    enc ~bad =
-  let t = create enc in
-  let bad_bdd = Enc.pred enc bad in
-  let depth_g = Obs.gauge obs "bmc.depth" in
-  let rec go () =
-    (* Polled once per depth: when cancelled, every depth strictly
-       below the current one has already been checked clean, so the
-       bounded claim is honest (and vacuous at -1 when depth 0 was
-       never finished). *)
-    if cancel () then begin
-      Obs.instant obs "bmc.cancelled";
-      No_counterexample (t.depth - 1)
-    end
-    else begin
-      Obs.record depth_g t.depth;
-      let sp = Obs.start obs "bmc.solve_depth" in
-      let r = check_at_current_depth t ~bad_bdd in
-      Obs.stop sp;
-      match r with
-      | Some trace -> Counterexample trace
-      | None ->
-          if t.depth >= max_depth then No_counterexample t.depth
-          else begin
-            Obs.with_span obs "bmc.unroll" (fun () -> extend t);
-            go ()
+let prop_of t ~bad =
+  let key = Expr.to_string bad in
+  match Hashtbl.find_opt t.props key with
+  | Some p -> p
+  | None ->
+      let p = { prop_bdd = Enc.pred t.enc bad; clean = -1; cex = None } in
+      Hashtbl.add t.props key p;
+      p
+
+(* Run a (possibly warm) session against a property up to [max_depth].
+   Depths already verified clean in earlier queries are answered from
+   the memo; only the frontier past [clean] is actually solved, with
+   every learned clause of the previous queries still in the solver. *)
+let check_session ?(max_depth = 30) ?(cancel = fun () -> false)
+    ?(obs = Obs.disabled) t ~bad =
+  let p = prop_of t ~bad in
+  match p.cex with
+  | Some (d, trace) when d <= max_depth -> Counterexample trace
+  | _ ->
+      if p.clean >= max_depth then No_counterexample (Some max_depth)
+      else begin
+        let depth_g = Obs.gauge obs "bmc.depth" in
+        let rec go step =
+          if step > max_depth then No_counterexample (Some max_depth)
+          else if cancel () then begin
+            (* Polled once per depth: when cancelled, every depth up to
+               [clean] has been checked, so the bounded claim is honest
+               (and vacuous — [None] — when depth 0 never finished). *)
+            Obs.instant obs "bmc.cancelled";
+            No_counterexample (if p.clean < 0 then None else Some p.clean)
           end
-    end
-  in
-  let result = go () in
-  flush_counters t obs;
+          else begin
+            Obs.record depth_g step;
+            if t.depth < step then
+              Obs.with_span obs "bmc.unroll" (fun () -> ensure_depth t step);
+            let sp = Obs.start obs "bmc.solve_depth" in
+            let r = check_at_depth t ~step ~bad_bdd:p.prop_bdd in
+            Obs.stop sp;
+            match r with
+            | Some trace ->
+                p.cex <- Some (step, trace);
+                Counterexample trace
+            | None ->
+                p.clean <- step;
+                go (step + 1)
+          end
+        in
+        go (p.clean + 1)
+      end
+
+let check ?max_depth ?cancel ?obs enc ~bad =
+  let t = create enc in
+  let result = check_session ?max_depth ?cancel ?obs t ~bad in
+  (match obs with Some obs -> flush_counters t obs | None -> ());
   result
 
 (* Block one whole trace: at least one state bit of one step must
@@ -231,11 +284,17 @@ let enumerate ?(max_depth = 30) ?(limit = 16) enc ~bad =
       collect [ first ] 1
 
 let solver_stats t = Sat.stats t.solver
+let counters t = Sat.counters t.solver
+let conflicts t = Sat.conflicts t.solver
 
-(* Lower-level access for the k-induction engine. *)
+(* Typed lower-level access for the k-induction engine: enough surface
+   to allocate fresh literals, add clauses and solve under assumptions
+   in the session's solver, without handing out the solver itself. *)
 let depth t = t.depth
-let solver t = t.solver
 let step_vars t ~step = bits_at t step
 let assert_pred t ~step d = assert_bdd t ~step d
 let pred_lit t ~step d = lit_of_bdd t ~step d
-let decode t = decode_model t
+let fresh_lit t = Sat.pos (Sat.new_var t.solver)
+let add_clause t lits = Sat.add_clause t.solver lits
+let solve_assuming t assumptions = Sat.solve ~assumptions t.solver
+let decode ?upto t = decode_model ?upto t

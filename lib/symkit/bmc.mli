@@ -5,12 +5,17 @@
     each BDD is translated to CNF with one Tseitin variable per BDD
     node, instantiated per unrolling step. The bad-state predicate at
     depth [k] is asserted as an assumption, so one incremental solver
-    instance serves every depth. *)
+    instance serves every depth — and, via {!check_session}, every
+    {e query}: a session keeps its unrolling, its learned clauses and a
+    per-property memo across requests, which is what the service tier's
+    warm session pool ([lib/sessions]) builds on. *)
 
 type result =
   | Counterexample of Model.state array
-  | No_counterexample of int
-      (** no violation up to (and including) this depth *)
+  | No_counterexample of int option
+      (** no violation up to (and including) this depth; [None] when
+          cancelled before depth 0 completed — an explicitly vacuous
+          claim, replacing the old magic [-1] sentinel *)
 
 type t
 (** An incremental unrolling session. *)
@@ -24,22 +29,36 @@ val extend : t -> unit
 (** Unroll one more step: fresh bit variables, the transition
     constraints from the previous step, and the new step's validity. *)
 
+val ensure_depth : t -> int -> unit
+(** {!extend} until the unrolling covers the given depth. *)
+
 val check_at_current_depth : t -> bad_bdd:Bdd.t -> Model.state array option
 (** Is a state satisfying [bad_bdd] (a predicate over current bits)
     reachable in exactly the current depth? Returns the full trace on
     success. *)
 
+val check_session :
+  ?max_depth:int -> ?cancel:(unit -> bool) -> ?obs:Obs.t -> t ->
+  bad:Expr.t -> result
+(** Query a (possibly warm) session: scan depths upward until a
+    counterexample is found or [max_depth] is clean. Depths verified
+    clean by {e earlier} queries on this session are answered from the
+    per-property memo without touching the solver; the frontier past
+    them is solved with every previously learned clause retained, so a
+    depth-[k+1] query after a depth-[k] query only pays for the new
+    depth. Counterexamples are memoized at their (minimal) depth, so
+    verdicts equal what a cold session would answer for the same
+    bound. [cancel] is polled once per depth; when it fires, the result
+    is {!No_counterexample} of the last completed depth ([None] when
+    depth 0 never finished). *)
+
 val check :
   ?max_depth:int -> ?cancel:(unit -> bool) -> ?obs:Obs.t -> Enc.t ->
   bad:Expr.t -> result
-(** Iterate depths [0..max_depth] until a counterexample is found.
-    [cancel] is polled once per depth (cooperative cancellation, used
-    by the portfolio's engine racing); when it fires, the result is
-    {!No_counterexample} of the last {e completed} depth — a sound
-    bounded claim, vacuously [-1] when depth 0 never finished. [obs]
-    (default {!Obs.disabled}) receives a [bmc.solve_depth]/[bmc.unroll]
-    span pair per depth, the [bmc.depth] gauge and the solver's
-    [sat.*] counters. *)
+(** Cold-start convenience: {!create} a fresh session and run
+    {!check_session} once. [obs] (default {!Obs.disabled}) receives a
+    [bmc.solve_depth]/[bmc.unroll] span pair per depth, the [bmc.depth]
+    gauge and the solver's [sat.*] counters. *)
 
 val enumerate :
   ?max_depth:int -> ?limit:int -> Enc.t -> bad:Expr.t ->
@@ -50,16 +69,28 @@ val enumerate :
 
 val solver_stats : t -> string
 
+val counters : t -> (string * int) list
+(** The session solver's [sat.*] counters (cumulative over the
+    session's whole life, not per query — diff two snapshots for
+    per-query effort). *)
+
+val conflicts : t -> int
+(** Cumulative conflict count — the standard search-effort proxy, used
+    by the warm-vs-cold clause-retention tests. *)
+
 val flush_counters : ?prefix:string -> t -> Obs.t -> unit
 (** Add the session solver's [sat.*] counters (optionally name-prefixed)
     to an observability track — called once at the end of a run. *)
 
-(** {1 Lower-level access (used by the k-induction engine)} *)
+(** {1 Typed lower-level access (used by the k-induction engine)}
+
+    This replaces the old [solver : t -> Sat.t] escape hatch: callers
+    get fresh literals, clause addition and assumption solving in the
+    session's solver, but never the solver itself. *)
 
 val depth : t -> int
 (** Current unrolling depth (number of {!extend}s performed). *)
 
-val solver : t -> Sat.t
 val step_vars : t -> step:int -> int array
 (** The SAT variable of every state bit at a step. *)
 
@@ -71,5 +102,18 @@ val pred_lit : t -> step:int -> Bdd.t -> Sat.lit
 (** A literal equivalent to the predicate at the step, for use as an
     assumption. *)
 
-val decode : t -> Model.state array
-(** Read back the trace after a satisfiable query. *)
+val fresh_lit : t -> Sat.lit
+(** A positive literal of a fresh solver variable. *)
+
+val add_clause : t -> Sat.lit list -> unit
+(** Add a clause over literals built from {!step_vars}, {!pred_lit} and
+    {!fresh_lit}. *)
+
+val solve_assuming : t -> Sat.lit list -> Sat.result
+(** Solve the session's clause set under assumptions (learned clauses
+    are retained, as with {!Sat.solve}). *)
+
+val decode : ?upto:int -> t -> Model.state array
+(** Read back the trace (steps 0..[upto], default the full unrolling)
+    after a satisfiable query, from the solver's explicit model
+    snapshot. *)

@@ -1,14 +1,17 @@
 (* K-induction: unbounded SAT-based safety proofs.
 
-   Two incremental unrolling sessions run in lockstep. The BASE session
-   (with initial-state constraints) refutes the property if a bad state
-   is reachable within k steps. The STEP session (without initial
-   constraints) asks whether a run of k+1 good states can be extended
-   to a bad one; if that is unsatisfiable, the property is k-inductive
-   and holds at every depth. Simple-path constraints (all states of the
-   step run pairwise distinct) make the method complete for finite
-   systems: k eventually exceeds the longest simple path of good
-   states. *)
+   Two incremental unrolling sessions cooperate. The BASE session (with
+   initial-state constraints) refutes the property if a bad state is
+   reachable within k steps — it is queried through {!Bmc.check_session},
+   so it can be a *shared warm session* from the service tier's pool:
+   depths it already verified clean for this property are answered from
+   the memo and k-induction warm-starts instead of re-encoding. The STEP
+   session (without initial constraints, always owned by this session)
+   asks whether a run of k+1 good states can be extended to a bad one;
+   if that is unsatisfiable, the property is k-inductive and holds at
+   every depth. Simple-path constraints (all states of the step run
+   pairwise distinct) make the method complete for finite systems: k
+   eventually exceeds the longest simple path of good states. *)
 
 type result =
   | Proved of int  (** the property is k-inductive at this k *)
@@ -19,24 +22,24 @@ type session = {
   enc : Enc.t;
   base : Bmc.t;
   step : Bmc.t;
+  bad : Expr.t;
   bad_bdd : Bdd.t;
   good_bdd : Bdd.t;
 }
 
-let create enc ~bad =
+let create ?base enc ~bad =
   let bad_bdd = Enc.pred enc bad in
   let good_bdd = Bdd.dnot (Enc.mgr enc) bad_bdd in
-  let base = Bmc.create enc in
+  let base = match base with Some b -> b | None -> Bmc.create enc in
   let step = Bmc.create ~with_init:false enc in
-  (* Goodness of the run's prefix is asserted as the sessions grow (see
-     [extend]); at k = 0 the step query correctly asks whether the
+  (* Goodness of the run's prefix is asserted as the step session grows
+     (see [extend]); at k = 0 the step query correctly asks whether the
      property is a tautology over valid states. *)
-  { enc; base; step; bad_bdd; good_bdd }
+  { enc; base; step; bad; bad_bdd; good_bdd }
 
 (* Pairwise distinctness of step states [i] and [j]: at least one state
    bit differs. One fresh variable per bit encodes the difference. *)
 let assert_distinct s i j =
-  let solver = Bmc.solver s.step in
   let bi = Bmc.step_vars s.step ~step:i in
   let bj = Bmc.step_vars s.step ~step:j in
   let diff_lits =
@@ -44,23 +47,24 @@ let assert_distinct s i j =
       (Array.mapi
          (fun b vi ->
            let vj = bj.(b) in
-           let d = Sat.pos (Sat.new_var solver) in
+           let d = Bmc.fresh_lit s.step in
            (* d -> (vi <> vj); the reverse implication is not needed
               for "at least one differs". *)
-           Sat.add_clause solver
+           Bmc.add_clause s.step
              [ Sat.negate d; Sat.pos vi; Sat.pos vj ];
-           Sat.add_clause solver
+           Bmc.add_clause s.step
              [ Sat.negate d; Sat.neg vi; Sat.neg vj ];
            d)
          bi)
   in
-  Sat.add_clause solver diff_lits
+  Bmc.add_clause s.step diff_lits
 
-(* Grow both sessions from depth k to k+1 and maintain the step
-   session's invariants: state k is good, and the new state differs
-   from every earlier one. *)
+(* Grow the step session from depth k to k+1 and maintain its
+   invariants: state k is good, and the new state differs from every
+   earlier one. The base session grows lazily inside
+   [Bmc.check_session] instead of in lockstep, so a warm (deeper) base
+   is never forced to match k. *)
 let extend s =
-  Bmc.extend s.base;
   Bmc.extend s.step;
   let k = Bmc.depth s.step in
   Bmc.assert_pred s.step ~step:(k - 1) s.good_bdd;
@@ -68,45 +72,65 @@ let extend s =
     assert_distinct s i k
   done
 
-let check ?(max_k = 20) ?(cancel = fun () -> false) ?(obs = Obs.disabled) enc
-    ~bad =
-  let s = create enc ~bad in
+let check_session ?(max_k = 20) ?(cancel = fun () -> false)
+    ?(obs = Obs.disabled) s =
   let k_g = Obs.gauge obs "induction.k" in
   let rec go () =
-    let k = Bmc.depth s.base in
+    let k = Bmc.depth s.step in
     if cancel () then begin
       Obs.instant obs "induction.cancelled";
       Unknown (k - 1)
     end
     else begin
       Obs.record k_g k;
-      (* Base: bad reachable in exactly k steps from an initial state? *)
+      (* Base: bad reachable within k steps from an initial state? A
+         warm base answers memoized depths for free and only solves the
+         frontier. *)
       let base_r =
         Obs.with_span obs "induction.base_case" (fun () ->
-            Bmc.check_at_current_depth s.base ~bad_bdd:s.bad_bdd)
+            Bmc.check_session ~max_depth:k ~cancel s.base ~bad:s.bad)
       in
       match base_r with
-      | Some trace -> Refuted trace
-      | None -> (
-          (* Step: can k good states (pairwise distinct) be followed by
-             a bad one? *)
-          let step_r =
-            Obs.with_span obs "induction.step_case" (fun () ->
-                let frontier_bad = Bmc.pred_lit s.step ~step:k s.bad_bdd in
-                Sat.solve ~assumptions:[ frontier_bad ] (Bmc.solver s.step))
-          in
-          match step_r with
-          | Sat.Unsat -> Proved k
-          | Sat.Sat ->
-              if k >= max_k then Unknown k
-              else begin
-                Obs.with_span obs "induction.unroll" (fun () -> extend s);
-                go ()
-              end)
+      | Bmc.Counterexample trace -> Refuted trace
+      | Bmc.No_counterexample completed ->
+          if completed <> Some k then begin
+            (* Cancelled mid-scan: the base claim stops short of k, so
+               no inductive conclusion at k is justified. *)
+            Obs.instant obs "induction.cancelled";
+            Unknown (k - 1)
+          end
+          else begin
+            (* Step: can k good states (pairwise distinct) be followed
+               by a bad one? *)
+            let step_r =
+              Obs.with_span obs "induction.step_case" (fun () ->
+                  let frontier_bad =
+                    Bmc.pred_lit s.step ~step:k s.bad_bdd
+                  in
+                  Bmc.solve_assuming s.step [ frontier_bad ])
+            in
+            match step_r with
+            | Sat.Unsat -> Proved k
+            | Sat.Sat ->
+                if k >= max_k then Unknown k
+                else begin
+                  Obs.with_span obs "induction.unroll" (fun () -> extend s);
+                  go ()
+                end
+          end
     end
   in
-  let result = go () in
+  go ()
+
+let step_counters s = Bmc.counters s.step
+
+let flush_counters s obs =
   (* Both sessions' effort, accumulated into the same sat.* names. *)
   Bmc.flush_counters s.base obs;
-  Bmc.flush_counters s.step obs;
+  Bmc.flush_counters s.step obs
+
+let check ?max_k ?cancel ?(obs = Obs.disabled) enc ~bad =
+  let s = create enc ~bad in
+  let result = check_session ?max_k ?cancel ~obs s in
+  flush_counters s obs;
   result

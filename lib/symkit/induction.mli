@@ -15,12 +15,38 @@ type result =
       (** counterexample from the base case (same quality as {!Bmc}) *)
   | Unknown of int  (** neither verdict up to this k *)
 
+type session
+(** A resumable k-induction session: a base {!Bmc} session (which may
+    be shared and warm) plus an owned step session carrying the
+    simple-path constraints. *)
+
+val create : ?base:Bmc.t -> Enc.t -> bad:Expr.t -> session
+(** Build a session. [base] (default a fresh one) is a BMC session
+    {e with} initial-state constraints over the same encoder; passing a
+    pooled warm session makes the base case reuse its unrolling,
+    learned clauses and per-property memo — k-induction warm-starts
+    from BMC instead of re-encoding. *)
+
+val check_session :
+  ?max_k:int -> ?cancel:(unit -> bool) -> ?obs:Obs.t -> session -> result
+(** Run the induction loop on the session. [cancel] is polled once per
+    k (cooperative cancellation, used by the portfolio's engine
+    racing); when it fires the result is {!Unknown} at the last
+    completed k. [obs] (default {!Obs.disabled}) receives an
+    [induction.base_case]/[induction.step_case] span pair per induction
+    step and the [induction.k] gauge. *)
+
+val step_counters : session -> (string * int) list
+(** The owned step session's [sat.*] counters (the base session's are
+    read by the caller, who may share it). *)
+
+val flush_counters : session -> Obs.t -> unit
+(** Add both sessions' [sat.*] counters to an observability track
+    (cumulative; diff snapshots for per-query effort). *)
+
 val check :
   ?max_k:int -> ?cancel:(unit -> bool) -> ?obs:Obs.t -> Enc.t -> bad:Expr.t ->
   result
-(** [cancel] is polled once per k (cooperative cancellation, used by
-    the portfolio's engine racing); when it fires the result is
-    {!Unknown} at the last completed k. [obs] (default {!Obs.disabled})
-    receives an [induction.base_case]/[induction.step_case] span pair
-    per induction step, the [induction.k] gauge and both sessions'
-    [sat.*] counters. *)
+(** Cold-start convenience: {!create} a fresh session, run
+    {!check_session} once and flush both sessions' [sat.*] counters
+    into [obs]. *)

@@ -1,9 +1,5 @@
 (* The unified verification-engine interface: one [run] signature over
-   the four engines, returning a verdict plus an open counter set.
-
-   The engine implementations live here (they used to be inlined in
-   [Runner.check_instrumented]); [Runner.check]/[check_instrumented]
-   remain as thin compatibility wrappers over this module. *)
+   the four engines, returning a verdict plus an open counter set. *)
 
 open Symkit
 
@@ -123,8 +119,10 @@ let run_bmc ~cancel ~obs ~max_depth ~reach_tuning:_ cfg =
   let verdict =
     match Bmc.check ~max_depth ~cancel ~obs enc ~bad:(bad_prop cfg) with
     | Bmc.Counterexample trace -> Violated { trace; model }
-    | Bmc.No_counterexample d ->
+    | Bmc.No_counterexample (Some d) ->
         Holds { detail = Printf.sprintf "no counterexample up to depth %d" d }
+    | Bmc.No_counterexample None ->
+        Unknown { detail = "cancelled before depth 0 completed" }
   in
   flush obs (Bdd.counters mgr);
   verdict
@@ -197,7 +195,7 @@ let get id = List.find (fun e -> e.id = id) all
 let of_string s = Option.map get (id_of_string s)
 
 (* ------------------------------------------------------------------ *)
-(* Engine-independent helpers (formerly hosted by [Runner]) *)
+(* Engine-independent helpers *)
 
 (* Export the configuration's model in the SMV input language, with the
    safety property as an INVARSPEC. *)

@@ -5,8 +5,7 @@
     is exposed as one value of type {!t} with a common [run] signature,
     so the portfolio, the CLIs and the benchmark harness drive all of
     them through the same code path. Each run returns its {!verdict}
-    together with an open-ended counter set (replacing the old
-    option-triple of {!Runner.run_stats}); passing [?obs] additionally
+    together with an open-ended counter set; passing [?obs] additionally
     streams spans and metrics into a live {!Obs.Collector} track. *)
 
 type id = Bdd_reach | Sat_bmc | Sat_induction | Explicit_bfs
@@ -72,11 +71,7 @@ val explicit_max_states : int
 (** Memory bound of the explicit-state engine: past it the verdict
     degrades to {!Unknown} rather than claiming exhaustion. *)
 
-(** {1 Engine-independent helpers}
-
-    Hosted here (rather than in the deprecated {!Runner}) so that every
-    caller of the engine interface has them without touching the
-    compatibility module. *)
+(** {1 Engine-independent helpers} *)
 
 val witness :
   ?max_depth:int -> Configs.t -> Symkit.Expr.t ->

@@ -7,7 +7,7 @@
 module Engine = Tta_model.Engine
 module Configs = Tta_model.Configs
 
-(* The old [Runner.check] signature the assertions were written
+(* The historical [check] signature the assertions were written
    against, shimmed over the unified [Engine] interface. *)
 let local_check ?cancel ~engine ~max_depth cfg =
   ((Engine.get engine).Engine.run ?cancel ~max_depth cfg).Engine.verdict

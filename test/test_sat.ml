@@ -80,7 +80,7 @@ let test_model_extraction () =
       ]
   in
   Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
-  Alcotest.(check bool) "x2 true" true (Sat.value s 2)
+  Alcotest.(check bool) "x2 true" true (Sat.model s).(2)
 
 let test_assumptions () =
   (* x0 -> x1, x1 -> x2. Assuming x0 and not x2 is unsat; each alone is
@@ -90,7 +90,7 @@ let test_assumptions () =
   in
   Alcotest.(check bool) "assume x0" true
     (Sat.solve ~assumptions:[ lit 0 true ] s = Sat.Sat);
-  Alcotest.(check bool) "x2 follows" true (Sat.value s 2);
+  Alcotest.(check (option bool)) "x2 follows" (Some true) (Sat.value_opt s 2);
   Alcotest.(check bool) "assume x0, not x2" true
     (Sat.solve ~assumptions:[ lit 0 true; lit 2 false ] s = Sat.Unsat);
   Alcotest.(check bool) "assume not x2 alone" true
@@ -105,7 +105,104 @@ let test_tautology_and_duplicates () =
   Sat.add_clause s [ Sat.pos v; Sat.neg v ];
   Sat.add_clause s [ Sat.neg v; Sat.neg v ];
   Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
-  Alcotest.(check bool) "v false" false (Sat.value s v)
+  Alcotest.(check (option bool)) "v unconstrained but fixed by the model"
+    (Some false) (Sat.value_opt s v)
+
+let test_model_lifecycle () =
+  let s = Sat.create () in
+  let v = Sat.new_var s in
+  (* No query yet: no model. *)
+  Alcotest.(check (option bool)) "no model before solving" None
+    (Sat.value_opt s v);
+  Alcotest.check_raises "model before solving raises"
+    (Invalid_argument "Solver.model: no model (last answer was not Sat)")
+    (fun () -> ignore (Sat.model s));
+  Sat.add_clause s [ Sat.pos v ];
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check (option bool)) "model available" (Some true)
+    (Sat.value_opt s v);
+  (* Adding a clause invalidates the snapshot — the old model may not
+     satisfy the new clause, so reading it silently would be the exact
+     footgun [value] used to be. *)
+  let w = Sat.new_var s in
+  Sat.add_clause s [ Sat.neg w ];
+  Alcotest.(check (option bool)) "clause addition drops the model" None
+    (Sat.value_opt s v);
+  (* An Unsat answer leaves no model either. *)
+  Alcotest.(check bool) "unsat under assumption" true
+    (Sat.solve ~assumptions:[ Sat.pos w ] s = Sat.Unsat);
+  Alcotest.(check (option bool)) "no model after unsat" None
+    (Sat.value_opt s v);
+  Alcotest.(check (option bool)) "out-of-range var is None" None
+    (Sat.value_opt s 99)
+
+let test_activation_groups () =
+  (* x0 -> x1 globally; a retractable group adds not x1. Active: only
+     not x0 models. Retracted: x0/x1 free again — the group's clauses
+     (and anything learned from them) are gone. *)
+  let s = Sat.create () in
+  let x0 = Sat.new_var s and x1 = Sat.new_var s in
+  Sat.add_clause s [ Sat.neg x0; Sat.pos x1 ];
+  let g = Sat.new_group s in
+  Alcotest.(check bool) "fresh group is active" true (Sat.group_active g);
+  Sat.add_clause_in s g [ Sat.neg x1 ];
+  Alcotest.(check bool) "group clause constrains" true
+    (Sat.solve ~assumptions:[ Sat.pos x0 ] s = Sat.Unsat);
+  Alcotest.(check bool) "still sat without the assumption" true
+    (Sat.solve s = Sat.Sat);
+  Alcotest.(check (option bool)) "model respects the group" (Some false)
+    (Sat.value_opt s x1);
+  Sat.retract s g;
+  Alcotest.(check bool) "retracted group reads inactive" false
+    (Sat.group_active g);
+  Alcotest.(check bool) "retracting frees the constraint" true
+    (Sat.solve ~assumptions:[ Sat.pos x0 ] s = Sat.Sat);
+  Alcotest.(check (option bool)) "x1 follows x0 again" (Some true)
+    (Sat.value_opt s x1);
+  (* Retraction is permanent: the group takes no further clauses. *)
+  Alcotest.check_raises "adding into a retracted group raises"
+    (Invalid_argument "Solver.add_clause_in: group already retracted")
+    (fun () -> Sat.add_clause_in s g [ Sat.pos x0 ])
+
+let test_push_pop_scopes () =
+  (* Nested scopes: each pop erases exactly the clauses added since the
+     matching push, while root clauses persist. *)
+  let s = Sat.create () in
+  let x = Sat.new_var s and y = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos x; Sat.pos y ];
+  Sat.push s;
+  Sat.add_clause s [ Sat.neg x ];
+  Sat.push s;
+  Sat.add_clause s [ Sat.neg y ];
+  Alcotest.(check bool) "both scoped clauses bite" true
+    (Sat.solve s = Sat.Unsat);
+  Sat.pop s;
+  Alcotest.(check bool) "inner scope gone" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check (option bool)) "outer scope still binds x" (Some false)
+    (Sat.value_opt s x);
+  Sat.pop s;
+  Alcotest.(check bool) "back to the root problem" true (Sat.solve s = Sat.Sat);
+  Alcotest.check_raises "pop without a scope raises"
+    (Invalid_argument "Solver.pop: no open scope") (fun () -> Sat.pop s)
+
+let test_learned_clauses_survive_queries () =
+  (* The session contract: solving the same hard instance twice on one
+     solver must be cheaper the second time, because learned clauses
+     are retained across queries. Assumptions keep both queries
+     non-trivial. *)
+  let s = pigeonhole 5 4 in
+  let a = [ lit (0 * 4 + 0) true ] in
+  Alcotest.(check bool) "first query unsat" true
+    (Sat.solve ~assumptions:a s = Sat.Unsat);
+  let after_first = Sat.conflicts s in
+  Alcotest.(check bool) "first query fought" true (after_first > 0);
+  Alcotest.(check bool) "second query unsat" true
+    (Sat.solve ~assumptions:a s = Sat.Unsat);
+  let second_cost = Sat.conflicts s - after_first in
+  Alcotest.(check bool)
+    (Printf.sprintf "second query cheaper (%d < %d)" second_cost after_first)
+    true
+    (second_cost < after_first)
 
 (* Randomized cross-check against brute force. *)
 
@@ -136,8 +233,9 @@ let prop_random_cnf =
       let got = Sat.solve s = Sat.Sat in
       if got && expected then
         (* Also check the produced model. *)
+        let m = Sat.model s in
         List.for_all
-          (fun c -> List.exists (fun (v, b) -> Sat.value s v = b) c)
+          (fun c -> List.exists (fun (v, b) -> m.(v) = b) c)
           clauses
       else got = expected)
 
@@ -279,6 +377,11 @@ let suite =
     Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
     Alcotest.test_case "model extraction" `Quick test_model_extraction;
     Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "model lifecycle" `Quick test_model_lifecycle;
+    Alcotest.test_case "activation groups" `Quick test_activation_groups;
+    Alcotest.test_case "push/pop scopes" `Quick test_push_pop_scopes;
+    Alcotest.test_case "learned clauses survive queries" `Quick
+      test_learned_clauses_survive_queries;
     Alcotest.test_case "tautologies and duplicates" `Quick
       test_tautology_and_duplicates;
     Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;

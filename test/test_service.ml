@@ -28,7 +28,8 @@ let temp_dir =
 let test_request_roundtrip () =
   let j =
     Protocol.request ~id:"r1" ~config:"full-shifting" ~nodes ~engine:"bdd"
-      ~depth:30 ~deadline_ms:1500 ~forbid_cold_start_duplication:true ()
+      ~depth:30 ~deadline_ms:1500 ~family:"fam-7"
+      ~forbid_cold_start_duplication:true ()
   in
   (* Through the wire: serialize, reparse, validate. *)
   match Protocol.decode_request_line (Json.to_string j) with
@@ -45,7 +46,9 @@ let test_request_roundtrip () =
         (req.Protocol.engines = [ Engine.Bdd_reach ]);
       Alcotest.(check int) "depth" 30 req.Protocol.max_depth;
       Alcotest.(check bool) "deadline" true
-        (req.Protocol.deadline_ms = Some 1500)
+        (req.Protocol.deadline_ms = Some 1500);
+      Alcotest.(check (option string)) "family" (Some "fam-7")
+        req.Protocol.family
 
 let test_request_defaults () =
   let j = Protocol.request ~id:"r2" ~config:"passive" () in
@@ -55,6 +58,7 @@ let test_request_defaults () =
       Alcotest.(check int) "default depth" 24 req.Protocol.max_depth;
       Alcotest.(check bool) "no deadline" true
         (req.Protocol.deadline_ms = None);
+      Alcotest.(check (option string)) "no family" None req.Protocol.family;
       Alcotest.(check int) "default engine list races the portfolio" 4
         (List.length req.Protocol.engines)
 
@@ -69,7 +73,7 @@ let test_request_golden () =
 
 let test_response_golden () =
   Alcotest.(check string) "response wire format"
-    {|{"id":"r1","status":"ok","verdict":"unknown","detail":"cancelled","reason":"deadline_exceeded","engine":"sat-bmc","cache_hit":false,"coalesced":true,"wall_ms":12.5,"queue_ms":3.25}|}
+    {|{"id":"r1","status":"ok","verdict":"unknown","detail":"cancelled","reason":"deadline_exceeded","engine":"sat-bmc","cache_hit":false,"coalesced":true,"wall_ms":12.5,"queue_ms":3.25,"reused_session":true,"warm_depth":18}|}
     (Json.to_string
        (Protocol.encode_response
           (Protocol.Answer
@@ -83,7 +87,23 @@ let test_response_golden () =
                coalesced = true;
                wall_ms = 12.5;
                queue_ms = 3.25;
+               reused_session = true;
+               warm_depth = 18;
              })))
+
+let test_response_presession_compat () =
+  (* A response from a daemon predating warm sessions has no
+     reused_session/warm_depth fields; it must still decode, with cold
+     attribution. *)
+  match
+    Protocol.decode_response_line
+      {|{"id":"r1","status":"ok","verdict":"holds","detail":"proved","engine":"bdd-reachability","cache_hit":false,"coalesced":false,"wall_ms":1.5,"queue_ms":0.25}|}
+  with
+  | Ok (Protocol.Answer { reused_session; warm_depth; _ }) ->
+      Alcotest.(check bool) "defaults to not reused" false reused_session;
+      Alcotest.(check int) "defaults to cold depth" 0 warm_depth
+  | Ok _ -> Alcotest.fail "expected an answer"
+  | Error e -> Alcotest.failf "pre-session answer did not decode: %s" e
 
 let test_error_codes_golden () =
   (* Every rejection carries a machine-readable [code]; clients branch
@@ -132,6 +152,8 @@ let test_response_roundtrip () =
           coalesced = false;
           wall_ms = 0.5;
           queue_ms = 0.;
+          reused_session = false;
+          warm_depth = 0;
         };
       Protocol.Answer
         {
@@ -144,6 +166,8 @@ let test_response_roundtrip () =
           coalesced = false;
           wall_ms = 100.;
           queue_ms = 7.5;
+          reused_session = true;
+          warm_depth = 12;
         };
       Protocol.Overloaded { id = "c" };
       Protocol.Cancelled { id = "d"; reason = "shutting down" };
@@ -425,6 +449,57 @@ let test_scheduler_crash_still_answers () =
   let st = Scheduler.stats sched in
   Alcotest.(check int) "every run completed" 4 st.Scheduler.completed
 
+let test_scheduler_warm_sessions () =
+  (* With a session pool attached, a second single-SAT-engine request
+     of the same family (different depth, so no coalescing and no
+     cache key match) must run on the warm session: its outcome is
+     attributed reused_session with the first request's unrolling
+     depth, and the verdict matches a cold run's. *)
+  let pool = Sessions.create () in
+  let sched = Scheduler.create ~workers:1 ~sessions:pool () in
+  let cfg = Configs.passive ~nodes () in
+  let results = ref [] and lock = Mutex.create () in
+  let rec wait_for n =
+    Mutex.lock lock;
+    let got = List.length !results in
+    Mutex.unlock lock;
+    if got < n then begin
+      Unix.sleepf 0.02;
+      wait_for n
+    end
+  in
+  ignore
+    (submit_collect sched ~engines:[ Engine.Sat_bmc ] ~max_depth:8 cfg results
+       lock);
+  wait_for 1;
+  ignore
+    (submit_collect sched ~engines:[ Engine.Sat_bmc ] ~max_depth:10 cfg
+       results lock);
+  wait_for 2;
+  Scheduler.drain sched;
+  (match List.rev !results with
+  | [ cold; warm ] ->
+      Alcotest.(check bool) "first request is cold" false
+        cold.Scheduler.reused_session;
+      Alcotest.(check int) "cold warm_depth" 0 cold.Scheduler.warm_depth;
+      Alcotest.(check bool) "second request reuses the session" true
+        warm.Scheduler.reused_session;
+      Alcotest.(check bool) "warm depth carries the first unrolling" true
+        (warm.Scheduler.warm_depth >= 8);
+      (match warm.Scheduler.result.Portfolio.verdict with
+      | Engine.Holds { detail } ->
+          Alcotest.(check string) "warm verdict equals a cold bmc run"
+            "no counterexample up to depth 10" detail
+      | _ -> Alcotest.fail "expected Holds from the warm session")
+  | rs -> Alcotest.failf "expected two outcomes, got %d" (List.length rs));
+  let st = Scheduler.stats sched in
+  Alcotest.(check int) "one session reuse counted" 1
+    st.Scheduler.session_reuses;
+  let ps = Sessions.stats pool in
+  Alcotest.(check int) "one pool hit" 1 ps.Sessions.hits;
+  Alcotest.(check int) "one pool miss" 1 ps.Sessions.misses;
+  Alcotest.(check int) "entry back in the pool" 1 ps.Sessions.idle
+
 (* ------------------------------------------------------------------ *)
 (* Server + load generator, end to end *)
 
@@ -630,6 +705,8 @@ let () =
           Alcotest.test_case "request defaults" `Quick test_request_defaults;
           Alcotest.test_case "request golden" `Quick test_request_golden;
           Alcotest.test_case "response golden" `Quick test_response_golden;
+          Alcotest.test_case "pre-session response compatible" `Quick
+            test_response_presession_compat;
           Alcotest.test_case "error codes golden" `Quick
             test_error_codes_golden;
           Alcotest.test_case "response roundtrip" `Quick
@@ -651,6 +728,8 @@ let () =
             test_scheduler_drain_answers_everything;
           Alcotest.test_case "crashing engines still answered" `Quick
             test_scheduler_crash_still_answers;
+          Alcotest.test_case "warm sessions serve near-miss requests" `Quick
+            test_scheduler_warm_sessions;
         ] );
       ( "server",
         [

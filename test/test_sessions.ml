@@ -1,0 +1,210 @@
+(* Tests for lib/sessions: the warm solver-session pool.
+
+   The load-bearing property is verdict equality — a request served by
+   a warm pooled session must answer exactly what a cold engine run at
+   the same bound answers, across the full Section 5 configuration
+   matrix and both SAT engines. The rest covers the pool mechanics
+   (keying, hits/misses, LRU eviction) and the incremental win itself
+   (a warm depth-(k+1) solve spends strictly fewer conflicts than a
+   cold session solving 0..k+1). *)
+
+module Engine = Tta_model.Engine
+module Configs = Tta_model.Configs
+
+let nodes = 2
+
+let matrix =
+  [
+    ("passive", Configs.passive ~nodes ());
+    ("time-windows", Configs.time_windows ~nodes ());
+    ("small-shifting", Configs.small_shifting ~nodes ());
+    ("full-shifting", Configs.full_shifting ~nodes ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Family keying *)
+
+let test_family_of () =
+  let fam cfg = Sessions.family_of cfg in
+  Alcotest.(check string) "fingerprint is deterministic"
+    (fam (Configs.passive ~nodes ()))
+    (fam (Configs.passive ~nodes ()));
+  Alcotest.(check bool) "node count changes the family" true
+    (fam (Configs.passive ~nodes:2 ()) <> fam (Configs.passive ~nodes:3 ()));
+  Alcotest.(check bool) "feature set changes the family" true
+    (fam (Configs.passive ~nodes ())
+    <> fam (Configs.full_shifting ~nodes ()));
+  (* The whole point: the family is bound- and property-independent,
+     so near-miss requests (same model, different depth) share it. *)
+  Alcotest.(check bool) "distinct matrix rows get distinct families" true
+    (let fams = List.map (fun (_, cfg) -> fam cfg) matrix in
+     List.length (List.sort_uniq compare fams) = List.length fams)
+
+let test_non_sat_engine_rejected () =
+  let pool = Sessions.create () in
+  Alcotest.check_raises "bdd engine is not session-backed"
+    (Invalid_argument "Sessions.run: bdd-reachability is not session-backed")
+    (fun () ->
+      ignore
+        (Sessions.run pool ~engine:Engine.Bdd_reach ~max_depth:4
+           (Configs.passive ~nodes ())))
+
+(* ------------------------------------------------------------------ *)
+(* Verdict equality: pooled warm sessions vs cold engine runs *)
+
+let verdict_key = function
+  | Engine.Holds { detail } -> "holds: " ^ detail
+  | Engine.Unknown { detail } -> "unknown: " ^ detail
+  | Engine.Violated { trace; _ } ->
+      Printf.sprintf "violated in %d steps" (Array.length trace)
+
+let check_matrix_equality ~engine ~max_depth =
+  let pool = Sessions.create () in
+  let ename = Engine.id_to_string engine in
+  List.iter
+    (fun (name, cfg) ->
+      let cold =
+        ((Engine.get engine).Engine.run ~max_depth cfg).Engine.verdict
+      in
+      (* Two pooled passes: the first builds the session, the second
+         must find it warm — and both must answer like the cold run. *)
+      let r1, a1 = Sessions.run pool ~engine ~max_depth cfg in
+      let r2, a2 = Sessions.run pool ~engine ~max_depth cfg in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s cold pass verdict" ename name)
+        (verdict_key cold)
+        (verdict_key r1.Engine.verdict);
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s warm pass verdict" ename name)
+        (verdict_key cold)
+        (verdict_key r2.Engine.verdict);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s first pass is a miss" ename name)
+        false a1.Sessions.reused;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s second pass is warm" ename name)
+        true a2.Sessions.reused)
+    matrix
+
+let test_bmc_matrix_equality () =
+  check_matrix_equality ~engine:Engine.Sat_bmc ~max_depth:12
+
+let test_induction_matrix_equality () =
+  check_matrix_equality ~engine:Engine.Sat_induction ~max_depth:8
+
+let test_warm_deeper_bound_equality () =
+  (* The near-miss pattern the pool exists for: the same family asked
+     at increasing bounds. Every warm answer must equal a cold run at
+     that bound, and the session's unrolling must carry over. *)
+  let pool = Sessions.create () in
+  let cfg = Configs.full_shifting ~nodes () in
+  List.iter
+    (fun depth ->
+      let cold =
+        ((Engine.get Engine.Sat_bmc).Engine.run ~max_depth:depth cfg)
+          .Engine.verdict
+      in
+      let r, _ = Sessions.run pool ~engine:Engine.Sat_bmc ~max_depth:depth cfg in
+      Alcotest.(check string)
+        (Printf.sprintf "depth %d verdict" depth)
+        (verdict_key cold) (verdict_key r.Engine.verdict))
+    [ 2; 4; 6; 8; 10; 12 ];
+  let s = Sessions.stats pool in
+  Alcotest.(check int) "one session built" 1 s.Sessions.misses;
+  Alcotest.(check int) "five warm hits" 5 s.Sessions.hits
+
+(* ------------------------------------------------------------------ *)
+(* The incremental win *)
+
+let test_warm_solve_fewer_conflicts () =
+  (* Solving depth k+1 on a session warm at depth k must cost strictly
+     fewer conflicts than a cold session scanning 0..k+1 — the learned
+     clauses and the clean-depth memo are doing real work. *)
+  let cfg = Configs.time_windows ~nodes () in
+  let model = Tta_model.Build.model cfg in
+  let bad = Tta_model.Props.integrated_node_frozen ~nodes in
+  let session () =
+    Symkit.Bmc.create (Symkit.Enc.create (Bdd.create_manager ()) model)
+  in
+  let cold = session () in
+  ignore (Symkit.Bmc.check_session ~max_depth:9 cold ~bad);
+  let cold_conflicts = Symkit.Bmc.conflicts cold in
+  let warm = session () in
+  ignore (Symkit.Bmc.check_session ~max_depth:8 warm ~bad);
+  let before = Symkit.Bmc.conflicts warm in
+  ignore (Symkit.Bmc.check_session ~max_depth:9 warm ~bad);
+  let warm_delta = Symkit.Bmc.conflicts warm - before in
+  Alcotest.(check bool) "cold scan hits conflicts" true (cold_conflicts > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm solve cheaper (%d < %d)" warm_delta cold_conflicts)
+    true
+    (warm_delta < cold_conflicts)
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics *)
+
+let test_pool_lru_eviction () =
+  let pool = Sessions.create ~capacity:1 () in
+  let run cfg = ignore (Sessions.run pool ~engine:Engine.Sat_bmc ~max_depth:3 cfg) in
+  let c2 = Configs.passive ~nodes:2 () in
+  let c3 = Configs.passive ~nodes:3 () in
+  run c2;
+  run c3;
+  (* Capacity 1: checking c3's entry in evicted c2's (the LRU). *)
+  let s = Sessions.stats pool in
+  Alcotest.(check int) "both built cold" 2 s.Sessions.misses;
+  Alcotest.(check int) "one eviction" 1 s.Sessions.evictions;
+  Alcotest.(check int) "one idle entry survives" 1 s.Sessions.idle;
+  run c3;
+  Alcotest.(check int) "the survivor is the recent family" 1
+    (Sessions.stats pool).Sessions.hits;
+  run c2;
+  Alcotest.(check int) "the evicted family rebuilds" 3
+    (Sessions.stats pool).Sessions.misses
+
+let test_family_override () =
+  (* An explicit family key overrides the fingerprint: two structurally
+     different configs forced into one family share (and a fingerprint
+     match split across custom keys does not). *)
+  let pool = Sessions.create () in
+  let cfg = Configs.passive ~nodes () in
+  let run family =
+    snd (Sessions.run pool ~engine:Engine.Sat_bmc ~family ~max_depth:3 cfg)
+  in
+  Alcotest.(check bool) "custom family starts cold" false
+    (run "tenant-a").Sessions.reused;
+  Alcotest.(check bool) "same custom family is warm" true
+    (run "tenant-a").Sessions.reused;
+  Alcotest.(check bool) "other tenant does not share" false
+    (run "tenant-b").Sessions.reused
+
+let () =
+  Alcotest.run "sessions"
+    [
+      ( "keying",
+        [
+          Alcotest.test_case "family fingerprints" `Quick test_family_of;
+          Alcotest.test_case "non-SAT engines rejected" `Quick
+            test_non_sat_engine_rejected;
+          Alcotest.test_case "family override" `Quick test_family_override;
+        ] );
+      ( "verdict-equality",
+        [
+          Alcotest.test_case "bmc matrix, cold and warm passes" `Quick
+            test_bmc_matrix_equality;
+          Alcotest.test_case "induction matrix, cold and warm passes" `Quick
+            test_induction_matrix_equality;
+          Alcotest.test_case "increasing bounds on one warm session" `Quick
+            test_warm_deeper_bound_equality;
+        ] );
+      ( "incremental-win",
+        [
+          Alcotest.test_case "warm solve spends fewer conflicts" `Quick
+            test_warm_solve_fewer_conflicts;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "LRU eviction at capacity" `Quick
+            test_pool_lru_eviction;
+        ] );
+    ]

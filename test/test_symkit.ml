@@ -137,7 +137,7 @@ let test_saturating_safe () =
         (int_of_float stats.Reach.reachable_states = 4)
   | _ -> Alcotest.fail "reach: expected Safe");
   (match check_bmc ~max_depth:10 saturating_model (c_is 5) with
-  | Bmc.No_counterexample d -> Alcotest.(check int) "depth" 10 d
+  | Bmc.No_counterexample (Some d) -> Alcotest.(check int) "depth" 10 d
   | _ -> Alcotest.fail "bmc: expected no counterexample");
   match check_explicit saturating_model (c_is 5) with
   | Explicit.Exhausted { states; _ } ->

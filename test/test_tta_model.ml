@@ -8,7 +8,7 @@ open Symkit
 
 let nodes = 2
 
-(* The old [Runner.check] signature the assertions were written
+(* The historical [check] signature the assertions were written
    against, shimmed over the unified [Engine] interface. *)
 let tta_check ?cancel ~engine ~max_depth cfg =
   ((Tta_model.Engine.get engine).Tta_model.Engine.run ?cancel ~max_depth cfg)
