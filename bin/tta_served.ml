@@ -62,9 +62,10 @@ let main socket workers queue_cap cache_dir no_cache cache_max sessions
   | Some p ->
       let s = Sessions.stats p in
       Printf.printf
-        "sessions: %d hits, %d misses, %d evicted, %d discarded, %d warm\n"
-        s.Sessions.hits s.Sessions.misses s.Sessions.evictions
-        s.Sessions.discards s.Sessions.idle
+        "sessions: %d hits, %d misses (%d family mismatches), %d evicted, %d \
+         discarded, %d warm\n"
+        s.Sessions.hits s.Sessions.misses s.Sessions.mismatches
+        s.Sessions.evictions s.Sessions.discards s.Sessions.idle
   | None -> ());
   (match cache with
   | Some c ->

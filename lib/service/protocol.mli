@@ -18,7 +18,11 @@
     [family] (string, optional) overrides the session-pool family key —
     normally the daemon derives it from the compiled model's
     fingerprint; a client that already knows its traffic's family can
-    pin it explicitly.
+    pin it explicitly. The override is a routing hint only: the pool
+    verifies each entry's model fingerprint at checkout, so a stale or
+    wrong [family] costs a cold start, never a verdict computed
+    against a different model; requests with different [family] values
+    are never coalesced together.
 
     A {b response} is one of:
     - [status:"ok"] — a verdict ([holds]/[violated]/[unknown]) with the

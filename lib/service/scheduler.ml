@@ -83,11 +83,18 @@ let model_of t cfg =
       Hashtbl.add t.models cfg m;
       m
 
-let ckey_of ~model ~engines ~max_depth =
-  String.concat "+"
-    (List.map
-       (fun e -> Portfolio.Cache.key ~model ~engine:e ~max_depth)
-       engines)
+(* The family override is part of the coalescing identity: a waiter
+   must never inherit another submitter's session-routing key (its
+   attribution — and session bucket — would come from the other
+   request's family). *)
+let ckey_of ~model ~engines ~max_depth ~family =
+  let base =
+    String.concat "+"
+      (List.map
+         (fun e -> Portfolio.Cache.key ~model ~engine:e ~max_depth)
+         engines)
+  in
+  match family with None -> base | Some f -> base ^ "@" ^ f
 
 let conclusive_cached cache ~model ~engines ~max_depth =
   match cache with
@@ -160,42 +167,62 @@ let session_engine t comp =
   | _ -> None
 
 (* Run the request on a warm session of its family instead of racing a
-   cold portfolio. Conclusive verdicts still feed the shared cache, so
-   session-path answers are visible to later cache lookups. *)
+   cold portfolio, under the same supervision policy and fault hooks
+   as the portfolio path. Conclusive verdicts still feed the shared
+   cache, so session-path answers are visible to later cache
+   lookups. *)
 let run_on_session t comp ~pool ~engine ~cancel =
   let t0 = now () in
-  let r, attr =
-    Sessions.run pool ~engine ~cancel ?family:comp.family
-      ~max_depth:comp.max_depth comp.cfg
-  in
-  let wall_s = now () -. t0 in
-  let verdict = r.Engine.verdict in
-  (match t.cache with
-  | Some c when Portfolio.conclusive verdict ->
-      let model =
+  match
+    Sessions.run pool ~engine ~cancel ~supervisor:t.supervisor
+      ~faults:t.faults ?family:comp.family ~max_depth:comp.max_depth comp.cfg
+  with
+  | r, attr ->
+      let wall_s = now () -. t0 in
+      let verdict = r.Engine.verdict in
+      (match t.cache with
+      | Some c when Portfolio.conclusive verdict ->
+          let model =
+            Mutex.lock t.lock;
+            let m = model_of t comp.cfg in
+            Mutex.unlock t.lock;
+            m
+          in
+          Portfolio.Cache.store c ~model ~engine ~max_depth:comp.max_depth
+            verdict
+      | _ -> ());
+      if attr.Sessions.reused then begin
         Mutex.lock t.lock;
-        let m = model_of t comp.cfg in
+        t.s_session_reuses <- t.s_session_reuses + 1;
         Mutex.unlock t.lock;
-        m
-      in
-      Portfolio.Cache.store c ~model ~engine ~max_depth:comp.max_depth verdict
-  | _ -> ());
-  if attr.Sessions.reused then begin
-    Mutex.lock t.lock;
-    t.s_session_reuses <- t.s_session_reuses + 1;
-    Mutex.unlock t.lock;
-    Obs.tick t.c_session_reuses
-  end;
-  ( {
-      Portfolio.config = comp.cfg;
-      engine;
-      verdict;
-      wall_s;
-      cache_hit = false;
-      runs = [ (engine, verdict, wall_s) ];
-      failures = [];
-    },
-    attr )
+        Obs.tick t.c_session_reuses
+      end;
+      ( {
+          Portfolio.config = comp.cfg;
+          engine;
+          verdict;
+          wall_s;
+          cache_hit = false;
+          runs = [ (engine, verdict, wall_s) ];
+          failures = [];
+        },
+        attr )
+  | exception e ->
+      (* Retries exhausted (or a non-engine bug): parity with the
+         portfolio path — a recorded failure the protocol layer turns
+         into [engine_failed], not an exception unwinding the
+         worker. *)
+      let msg = Printexc.to_string e in
+      ( {
+          Portfolio.config = comp.cfg;
+          engine;
+          verdict = Engine.Unknown { detail = "engine failed: " ^ msg };
+          wall_s = now () -. t0;
+          cache_hit = false;
+          runs = [];
+          failures = [ (engine, msg) ];
+        },
+        { Sessions.reused = false; warm_depth = 0 } )
 
 let execute t comp =
   let started_at = now () in
@@ -358,7 +385,7 @@ let submit t ?deadline ?family ~engines ~max_depth ~callback cfg =
           };
         `Cache_hit
     | None -> (
-        let ckey = ckey_of ~model ~engines ~max_depth in
+        let ckey = ckey_of ~model ~engines ~max_depth ~family in
         let waiter ~joined =
           { cb = callback; wdeadline = dl; submitted_at = at; joined }
         in

@@ -3,12 +3,14 @@
     coalescing and per-request deadlines.
 
     {b Dedup/coalescing.} Every submission is fingerprinted with
-    {!Portfolio.Cache.key} over its compiled model and engine list. A
-    submission whose fingerprint matches a computation that is already
-    queued {e or running} does not enqueue anything: it joins the
-    existing computation's waiter list and receives the same result
-    when it completes. Identical concurrent requests therefore cost
-    one engine run, however many clients ask.
+    {!Portfolio.Cache.key} over its compiled model and engine list,
+    plus its [family] override (so a waiter never inherits another
+    submitter's session-routing key). A submission whose fingerprint
+    matches a computation that is already queued {e or running} does
+    not enqueue anything: it joins the existing computation's waiter
+    list and receives the same result when it completes. Identical
+    concurrent requests therefore cost one engine run, however many
+    clients ask.
 
     {b Cache.} When a warm {!Portfolio.Cache.t} is attached, it is
     consulted at admission: a conclusive cached verdict answers the
@@ -34,8 +36,13 @@
     learned clauses from earlier near-miss requests. Verdicts are
     unchanged (see {!Sessions.run}); the outcome carries
     [reused_session]/[warm_depth] attribution and conclusive verdicts
-    still land in the shared cache. Multi-engine races and BDD-backed
-    engines take the cold path as before. A computation whose
+    still land in the shared cache. The session path runs under the
+    same [supervisor] retry policy and [faults] hooks as the portfolio
+    path (retries restart on a fresh session; the per-attempt watchdog
+    does not apply); exhausted retries are answered as a recorded
+    failure that the protocol layer turns into [engine_failed].
+    Multi-engine races and BDD-backed engines take the cold path as
+    before. A computation whose
     deadline has already passed when a worker picks it up is skipped —
     no engine runs. Conclusive verdicts are always delivered, even to
     waiters whose own deadline has meanwhile passed; an inconclusive
@@ -98,9 +105,13 @@ val submit :
   Tta_model.Configs.t ->
   [ `Queued | `Coalesced | `Cache_hit | `Shed | `Draining ]
 (** Submit one verification request. [deadline] is absolute
-    ([Unix.gettimeofday] time). [family] overrides the session pool's
-    computed family fingerprint for this request (ignored without an
-    attached pool, or on the portfolio path). On [`Cache_hit] the callback has
+    ([Unix.gettimeofday] time). [family] selects the session pool's
+    bucket for this request instead of the computed family fingerprint
+    (no effect on routing without an attached pool, or on the
+    portfolio path) and partitions coalescing: submissions with
+    different [family] values never share a computation. The pool
+    validates the entry's fingerprint at checkout, so a wrong override
+    costs a cold start, never a wrong verdict. On [`Cache_hit] the callback has
     already run (synchronously); on [`Queued]/[`Coalesced] it will run
     exactly once, from a worker domain; on [`Shed]/[`Draining] it
     never runs — answer the client directly.

@@ -1,12 +1,19 @@
 (* The warm-session pool: live incremental BMC sessions keyed by family
    fingerprint, checked out exclusively and returned after each
-   request. See sessions.mli and doc/sessions.md for the contract. *)
+   request. A client-supplied family only picks the bucket; every entry
+   carries the fingerprint of the model it encodes, verified at
+   checkout, so a stale or mismatched override can never serve solver
+   state for a different configuration. See sessions.mli and
+   doc/sessions.md for the contract. *)
 
 open Symkit
 module Engine = Tta_model.Engine
 
 type entry = {
-  family : string;
+  family : string;  (** pool bucket key: the override, or [fp] *)
+  fp : string;
+      (** fingerprint of [model] — the state this entry actually
+          encodes, verified against the request's at checkout *)
   model : Model.t;
   enc : Enc.t;
   bmc : Bmc.t;
@@ -21,6 +28,7 @@ type t = {
   mutable nidle : int;
   mutable hits : int;
   mutable misses : int;
+  mutable mismatches : int;
   mutable evictions : int;
   mutable discards : int;
 }
@@ -30,6 +38,7 @@ type attribution = { reused : bool; warm_depth : int }
 type stats = {
   hits : int;
   misses : int;
+  mismatches : int;
   evictions : int;
   discards : int;
   idle : int;
@@ -44,6 +53,7 @@ let create ?(capacity = 32) () =
     nidle = 0;
     hits = 0;
     misses = 0;
+    mismatches = 0;
     evictions = 0;
     discards = 0;
   }
@@ -55,35 +65,52 @@ let stats t =
       {
         hits = t.hits;
         misses = t.misses;
+        mismatches = t.mismatches;
         evictions = t.evictions;
         discards = t.discards;
         idle = t.nidle;
       })
 
-(* Pop an idle entry of the family, if any. Exclusive by construction:
-   a popped entry is invisible to other workers until checked back
-   in. *)
-let checkout t ~family cfg =
+(* Pop an idle entry of the family whose fingerprint matches the
+   request's model, if any. Exclusive by construction: a popped entry
+   is invisible to other workers until checked back in. Entries whose
+   fingerprint differs (the bucket was named by a [family] override
+   covering other configurations) stay warm for the requests they
+   belong to — handing one out would answer for the wrong model. *)
+let checkout t ~family ~fp model =
   let cached =
     Mutex.protect t.lock (fun () ->
         match Hashtbl.find_opt t.warm family with
-        | Some ({ contents = e :: rest } as r) ->
-            r := rest;
-            if rest = [] then Hashtbl.remove t.warm family;
-            t.nidle <- t.nidle - 1;
-            t.hits <- t.hits + 1;
-            Some e
-        | _ ->
+        | Some r -> (
+            let rec take acc = function
+              | [] -> None
+              | e :: rest when e.fp = fp -> Some (e, List.rev_append acc rest)
+              | e :: rest -> take (e :: acc) rest
+            in
+            match take [] !r with
+            | Some (e, rest) ->
+                r := rest;
+                if rest = [] then Hashtbl.remove t.warm family;
+                t.nidle <- t.nidle - 1;
+                t.hits <- t.hits + 1;
+                Some e
+            | None ->
+                (* The bucket is never empty (removed at last pop), so
+                   reaching here means every idle entry under this key
+                   encodes a different model. *)
+                t.mismatches <- t.mismatches + 1;
+                t.misses <- t.misses + 1;
+                None)
+        | None ->
             t.misses <- t.misses + 1;
             None)
   in
   match cached with
   | Some e -> (e, true)
   | None ->
-      let model = Tta_model.Build.model cfg in
       let enc = Enc.create (Bdd.create_manager ()) model in
       let bmc = Bmc.create enc in
-      ({ family; model; enc; bmc; last_used = 0 }, false)
+      ({ family; fp; model; enc; bmc; last_used = 0 }, false)
 
 (* Drop the globally least-recently-used idle entry. Called with the
    lock held. *)
@@ -133,16 +160,21 @@ let delta before after =
       (name, v1 - v0))
     after
 
-let run t ~engine ?(cancel = fun () -> false) ?obs ?family ~max_depth cfg =
+let run t ~engine ?(cancel = fun () -> false) ?obs ?family
+    ?(supervisor = Resilience.Supervisor.default)
+    ?(faults = Resilience.Faults.disabled) ~max_depth cfg =
   (match engine with
   | Engine.Sat_bmc | Engine.Sat_induction -> ()
   | _ ->
       invalid_arg
         (Printf.sprintf "Sessions.run: %s is not session-backed"
            (Engine.id_to_string engine)));
-  let family = match family with Some f -> f | None -> family_of cfg in
-  let entry, reused = checkout t ~family cfg in
-  let warm_depth = Bmc.depth entry.bmc in
+  let model = Tta_model.Build.model cfg in
+  let fp = Model.fingerprint model in
+  (* The override only names the bucket (e.g. a per-tenant key); the
+     fingerprint carried by every entry is what guarantees the
+     checked-out state encodes this request's model. *)
+  let family = match family with Some f -> f | None -> fp in
   let bad =
     Tta_model.Props.integrated_node_frozen ~nodes:cfg.Tta_model.Configs.nodes
   in
@@ -152,72 +184,120 @@ let run t ~engine ?(cancel = fun () -> false) ?obs ?family ~max_depth cfg =
     | Some o when Obs.enabled o -> o
     | _ -> Obs.Collector.track (Obs.Collector.create ()) name
   in
-  let c0 = Bmc.counters entry.bmc in
-  let verdict =
-    try
-      let sp = Obs.start obs ~args:[ ("engine", name) ] "engine.run" in
-      Fun.protect
-        ~finally:(fun () -> Obs.stop sp)
-        (fun () ->
-          match engine with
-          | Engine.Sat_bmc -> (
-              match
-                Bmc.check_session ~max_depth ~cancel ~obs entry.bmc ~bad
-              with
-              | Bmc.Counterexample trace ->
-                  Engine.Violated { trace; model = entry.model }
-              | Bmc.No_counterexample (Some d) when d >= max_depth ->
-                  Engine.Holds
-                    {
-                      detail =
-                        Printf.sprintf "no counterexample up to depth %d" d;
-                    }
-              | Bmc.No_counterexample (Some d) ->
-                  (* Cancelled mid-scan: the bounded claim stops short
-                     of the requested bound — demoted exactly as the
-                     portfolio demotes a cancelled BMC racer. *)
-                  Engine.Unknown
-                    {
-                      detail =
-                        Printf.sprintf
-                          "cancelled: no counterexample up to depth %d (bound \
-                           %d)"
-                          d max_depth;
-                    }
-              | Bmc.No_counterexample None ->
-                  Engine.Unknown
-                    { detail = "cancelled before depth 0 completed" })
-          | Engine.Sat_induction -> (
-              (* A fresh step session per request; the base case runs on
-                 the pooled warm BMC session (and deepens its memo for
-                 future BMC queries of the family). *)
-              let ind = Induction.create ~base:entry.bmc entry.enc ~bad in
-              let r = Induction.check_session ~max_k:max_depth ~cancel ~obs ind in
-              flush obs (Induction.step_counters ind);
-              match r with
-              | Induction.Refuted trace ->
-                  Engine.Violated { trace; model = entry.model }
-              | Induction.Proved k ->
-                  Engine.Holds
-                    { detail = Printf.sprintf "k-inductive at k = %d" k }
-              | Induction.Unknown k ->
-                  Engine.Unknown
-                    {
-                      detail =
-                        Printf.sprintf
-                          "not k-inductive up to k = %d (and no counterexample)"
-                          k;
-                    })
-          | _ -> assert false)
-    with e ->
-      (* A raised run may leave the session in an inconsistent state:
-         never return it to the pool. *)
-      discard t entry;
-      raise e
+  (* The engine's cooperative safepoint doubles as the Engine_step
+     fault hook, exactly as under Resilience.Supervisor.run: an
+     injected crash surfaces as an engine exception mid-run. *)
+  let step_cancel () =
+    Resilience.Faults.hit faults Resilience.Faults.Engine_step;
+    cancel ()
   in
-  flush obs (delta c0 (Bmc.counters entry.bmc));
-  Obs.incr_by obs "session.reused" (if reused then 1 else 0);
-  Obs.incr_by obs "session.warm_depth" warm_depth;
-  checkin t entry;
-  ( { Engine.verdict; counters = Obs.counters obs },
-    { reused; warm_depth } )
+  let attempt () =
+    Resilience.Faults.hit faults Resilience.Faults.Engine_start;
+    let entry, reused = checkout t ~family ~fp model in
+    let warm_depth = Bmc.depth entry.bmc in
+    let c0 = Bmc.counters entry.bmc in
+    let verdict =
+      try
+        let sp = Obs.start obs ~args:[ ("engine", name) ] "engine.run" in
+        Fun.protect
+          ~finally:(fun () -> Obs.stop sp)
+          (fun () ->
+            match engine with
+            | Engine.Sat_bmc -> (
+                match
+                  Bmc.check_session ~max_depth ~cancel:step_cancel ~obs
+                    entry.bmc ~bad
+                with
+                | Bmc.Counterexample trace ->
+                    Engine.Violated { trace; model = entry.model }
+                | Bmc.No_counterexample (Some d) when d >= max_depth ->
+                    Engine.Holds
+                      {
+                        detail =
+                          Printf.sprintf "no counterexample up to depth %d" d;
+                      }
+                | Bmc.No_counterexample (Some d) ->
+                    (* Cancelled mid-scan: the bounded claim stops short
+                       of the requested bound — demoted exactly as the
+                       portfolio demotes a cancelled BMC racer. *)
+                    Engine.Unknown
+                      {
+                        detail =
+                          Printf.sprintf
+                            "cancelled: no counterexample up to depth %d \
+                             (bound %d)"
+                            d max_depth;
+                      }
+                | Bmc.No_counterexample None ->
+                    Engine.Unknown
+                      { detail = "cancelled before depth 0 completed" })
+            | Engine.Sat_induction -> (
+                (* A fresh step session per request; the base case runs
+                   on the pooled warm BMC session (and deepens its memo
+                   for future BMC queries of the family). *)
+                let ind = Induction.create ~base:entry.bmc entry.enc ~bad in
+                let r =
+                  Induction.check_session ~max_k:max_depth
+                    ~cancel:step_cancel ~obs ind
+                in
+                flush obs (Induction.step_counters ind);
+                match r with
+                | Induction.Refuted trace ->
+                    Engine.Violated { trace; model = entry.model }
+                | Induction.Proved k ->
+                    Engine.Holds
+                      { detail = Printf.sprintf "k-inductive at k = %d" k }
+                | Induction.Unknown k ->
+                    Engine.Unknown
+                      {
+                        detail =
+                          Printf.sprintf
+                            "not k-inductive up to k = %d (and no \
+                             counterexample)"
+                            k;
+                      })
+            | _ -> assert false)
+      with e ->
+        (* A raised run may leave the session in an inconsistent state:
+           never return it to the pool. *)
+        discard t entry;
+        raise e
+    in
+    flush obs (delta c0 (Bmc.counters entry.bmc));
+    Obs.incr_by obs "session.reused" (if reused then 1 else 0);
+    Obs.incr_by obs "session.warm_depth" warm_depth;
+    checkin t entry;
+    (verdict, { reused; warm_depth })
+  in
+  (* Supervised attempts, mirroring the portfolio path's policy: an
+     engine exception (an injected chaos crash included) is retried
+     with the policy's deterministic backoff, on a *fresh* checkout —
+     the failed attempt's session was discarded above. The per-attempt
+     watchdog is not applied here; sessions rely on the same
+     cooperative [cancel] the scheduler already polls. *)
+  let interruptible_sleep d =
+    let rec go remaining =
+      if remaining > 0. && not (cancel ()) then begin
+        let step = Float.min 0.01 remaining in
+        Unix.sleepf step;
+        go (remaining -. step)
+      end
+    in
+    go d
+  in
+  let rec go attempt_no =
+    match attempt () with
+    | r -> r
+    | exception e ->
+        Obs.incr_by obs "supervisor.crashes" 1;
+        if attempt_no > supervisor.Resilience.Supervisor.retries || cancel ()
+        then raise e
+        else begin
+          Obs.incr_by obs "supervisor.retries" 1;
+          interruptible_sleep
+            (Resilience.Supervisor.backoff_delay supervisor (attempt_no - 1));
+          if cancel () then raise e else go (attempt_no + 1)
+        end
+  in
+  let verdict, attr = go 1 in
+  ({ Engine.verdict; counters = Obs.counters obs }, attr)

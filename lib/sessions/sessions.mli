@@ -45,22 +45,43 @@ val run :
   ?cancel:(unit -> bool) ->
   ?obs:Obs.t ->
   ?family:string ->
+  ?supervisor:Resilience.Supervisor.policy ->
+  ?faults:Resilience.Faults.t ->
   max_depth:int ->
   Tta_model.Configs.t ->
   Tta_model.Engine.result * attribution
 (** Run a SAT-backed engine ([Sat_bmc] or [Sat_induction] — raises
     [Invalid_argument] otherwise) for the configuration's safety
-    property on a pooled session of its family ([family] overrides the
-    computed fingerprint). Verdicts equal a cold-start run at the same
-    bound: memoized clean depths answer instantly, counterexamples are
-    memoized at their minimal depth, and a cancelled partial scan
-    degrades to [Unknown] exactly like the portfolio's demotion of
-    cancelled bounded claims. The entry is returned to the pool
-    afterwards, or dropped if the run raised. *)
+    property on a pooled session of its family. [family] overrides the
+    pool {e bucket} only (e.g. a per-tenant key): every entry records
+    the fingerprint of the model it actually encodes, and checkout
+    verifies it against the request's, so a stale or mismatched
+    override is a miss — never another configuration's solver state.
+    Verdicts equal a cold-start run at the same bound: memoized clean
+    depths answer instantly, counterexamples are memoized at their
+    minimal depth, and a cancelled partial scan degrades to [Unknown]
+    exactly like the portfolio's demotion of cancelled bounded claims.
+    The entry is returned to the pool afterwards, or dropped if the
+    run raised.
+
+    The run is supervised like the portfolio path: [faults] hooks
+    {!Resilience.Faults.Engine_start} before every attempt and
+    {!Resilience.Faults.Engine_step} into the cooperative cancel
+    polls, and an engine exception is retried up to
+    [supervisor.retries] times (default policy) with the policy's
+    deterministic backoff — each retry on a fresh checkout, the failed
+    session having been discarded. The policy's per-attempt watchdog
+    is not applied on this path; cancellation stays cooperative via
+    [cancel]. Once retries are exhausted the last exception is
+    re-raised. *)
 
 type stats = {
   hits : int;  (** checkouts served by a warm entry *)
   misses : int;  (** checkouts that built a fresh entry *)
+  mismatches : int;
+      (** misses where the [family] bucket held only entries whose
+          fingerprint differed from the request's model (stale or
+          wrong override) *)
   evictions : int;  (** idle entries dropped by the LRU bound *)
   discards : int;  (** entries dropped after a failed run *)
   idle : int;  (** entries currently warm in the pool *)

@@ -224,8 +224,9 @@ let test_request_validation () =
 (* ------------------------------------------------------------------ *)
 (* Scheduler *)
 
-let submit_collect sched ?deadline ~engines ~max_depth cfg results lock =
-  Scheduler.submit sched ?deadline ~engines ~max_depth
+let submit_collect sched ?deadline ?family ~engines ~max_depth cfg results
+    lock =
+  Scheduler.submit sched ?deadline ?family ~engines ~max_depth
     ~callback:(fun o ->
       Mutex.lock lock;
       results := o :: !results;
@@ -274,6 +275,35 @@ let test_scheduler_coalesces_identical () =
   in
   Alcotest.(check int) "one distinct verdict" 1
     (List.length (List.sort_uniq compare kinds))
+
+let test_scheduler_family_partitions_coalescing () =
+  (* Coalescing must respect the family override: a submission joining
+     an inflight computation would otherwise silently inherit the
+     first submitter's family (wrong attribution, wrong session
+     bucket). Same model + engines + depth but a different family must
+     run separately; a matching family still coalesces. *)
+  let sched = Scheduler.create ~workers:1 () in
+  let cfg = Configs.full_shifting ~nodes () in
+  let results = ref [] and lock = Mutex.create () in
+  let submit family =
+    submit_collect sched ?family ~engines:[ Engine.Explicit_bfs ]
+      ~max_depth:60 cfg results lock
+  in
+  let a1 = submit (Some "tenant-a") in
+  let a2 = submit (Some "tenant-b") in
+  let a3 = submit (Some "tenant-a") in
+  let a4 = submit None in
+  Alcotest.(check bool) "first tenant-a queues" true (a1 = `Queued);
+  Alcotest.(check bool) "tenant-b does not coalesce onto tenant-a" true
+    (a2 = `Queued);
+  Alcotest.(check bool) "second tenant-a coalesces" true (a3 = `Coalesced);
+  Alcotest.(check bool) "no-family does not coalesce onto a tenant" true
+    (a4 = `Queued);
+  Scheduler.drain sched;
+  let st = Scheduler.stats sched in
+  Alcotest.(check int) "three engine runs" 3 st.Scheduler.runs;
+  Alcotest.(check int) "one coalesced waiter" 1 st.Scheduler.coalesced;
+  Alcotest.(check int) "all four answered" 4 st.Scheduler.completed
 
 let test_scheduler_cache_hit () =
   let cache = Portfolio.Cache.create ~dir:(temp_dir ()) () in
@@ -718,6 +748,8 @@ let () =
         [
           Alcotest.test_case "identical requests coalesce" `Quick
             test_scheduler_coalesces_identical;
+          Alcotest.test_case "family partitions coalescing" `Quick
+            test_scheduler_family_partitions_coalescing;
           Alcotest.test_case "warm cache answers at admission" `Quick
             test_scheduler_cache_hit;
           Alcotest.test_case "expired deadline skips the run" `Quick

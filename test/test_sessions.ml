@@ -163,9 +163,9 @@ let test_pool_lru_eviction () =
     (Sessions.stats pool).Sessions.misses
 
 let test_family_override () =
-  (* An explicit family key overrides the fingerprint: two structurally
-     different configs forced into one family share (and a fingerprint
-     match split across custom keys does not). *)
+  (* An explicit family key names the pool bucket, so a fingerprint
+     match split across custom keys (per-tenant isolation) does not
+     share state. *)
   let pool = Sessions.create () in
   let cfg = Configs.passive ~nodes () in
   let run family =
@@ -178,6 +178,79 @@ let test_family_override () =
   Alcotest.(check bool) "other tenant does not share" false
     (run "tenant-b").Sessions.reused
 
+let test_family_mismatch_is_miss () =
+  (* The cache-poisoning scenario: a stale override naming a bucket
+     warmed by a *different* model must not check out that state — the
+     fingerprint stored in each entry is verified at checkout, a
+     mismatch is a miss, and every request keeps the verdict of its
+     own model. *)
+  let pool = Sessions.create () in
+  let c2 = Configs.passive ~nodes:2 () in
+  let c3 = Configs.passive ~nodes:3 () in
+  let cold cfg =
+    ((Engine.get Engine.Sat_bmc).Engine.run ~max_depth:4 cfg).Engine.verdict
+  in
+  let run cfg =
+    Sessions.run pool ~engine:Engine.Sat_bmc ~family:"shared" ~max_depth:4 cfg
+  in
+  let r2, a2 = run c2 in
+  let r3, a3 = run c3 in
+  Alcotest.(check bool) "first tenant-bucket use is cold" false
+    a2.Sessions.reused;
+  Alcotest.(check bool) "mismatched model must not reuse the entry" false
+    a3.Sessions.reused;
+  Alcotest.(check string) "2-node verdict is its own model's"
+    (verdict_key (cold c2))
+    (verdict_key r2.Engine.verdict);
+  Alcotest.(check string) "3-node verdict is its own model's"
+    (verdict_key (cold c3))
+    (verdict_key r3.Engine.verdict);
+  let s = Sessions.stats pool in
+  Alcotest.(check int) "the foreign checkout is counted" 1
+    s.Sessions.mismatches;
+  (* Both entries now idle under the shared bucket: each model still
+     finds exactly its own. *)
+  let _, a2' = run c2 in
+  let _, a3' = run c3 in
+  Alcotest.(check bool) "2-node model reuses its own entry" true
+    a2'.Sessions.reused;
+  Alcotest.(check bool) "3-node model reuses its own entry" true
+    a3'.Sessions.reused
+
+let test_crashed_run_retried_on_fresh_session () =
+  (* An engine exception (here an injected chaos crash at the first
+     cooperative safepoint) must discard the poisoned session and
+     retry on a fresh one under the supervisor policy, ending in the
+     cold verdict — the parity the scheduler relies on for the
+     --sessions path under --chaos. *)
+  let faults =
+    match Resilience.Faults.of_spec "5:engine_step=crash@1x1" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "bad chaos spec: %s" e
+  in
+  let supervisor =
+    { Resilience.Supervisor.default with retries = 1; backoff_s = 0.001 }
+  in
+  let pool = Sessions.create () in
+  let cfg = Configs.passive ~nodes () in
+  let cold =
+    ((Engine.get Engine.Sat_bmc).Engine.run ~max_depth:4 cfg).Engine.verdict
+  in
+  let r, _ =
+    Sessions.run pool ~engine:Engine.Sat_bmc ~supervisor ~faults ~max_depth:4
+      cfg
+  in
+  Alcotest.(check string) "retried verdict equals a cold run"
+    (verdict_key cold)
+    (verdict_key r.Engine.verdict);
+  Alcotest.(check bool) "the retry was counted" true
+    (List.assoc_opt "supervisor.retries" r.Engine.counters = Some 1);
+  let s = Sessions.stats pool in
+  Alcotest.(check int) "poisoned session discarded" 1 s.Sessions.discards;
+  Alcotest.(check int) "retry rebuilt a fresh session" 2 s.Sessions.misses;
+  Alcotest.(check int) "only the healthy session returned to the pool" 1
+    s.Sessions.idle
+
 let () =
   Alcotest.run "sessions"
     [
@@ -187,6 +260,8 @@ let () =
           Alcotest.test_case "non-SAT engines rejected" `Quick
             test_non_sat_engine_rejected;
           Alcotest.test_case "family override" `Quick test_family_override;
+          Alcotest.test_case "family mismatch is a miss" `Quick
+            test_family_mismatch_is_miss;
         ] );
       ( "verdict-equality",
         [
@@ -206,5 +281,10 @@ let () =
         [
           Alcotest.test_case "LRU eviction at capacity" `Quick
             test_pool_lru_eviction;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "crashed run retried on a fresh session" `Quick
+            test_crashed_run_retried_on_fresh_session;
         ] );
     ]
