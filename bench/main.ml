@@ -22,6 +22,12 @@ let reach_only = Array.exists (( = ) "--reach-only") Sys.argv
    skipping the full table/figure reproduction. *)
 let sessions_only = Array.exists (( = ) "--sessions-only") Sys.argv
 
+(* Quick mode for the guardian design-space synthesizer: one seeded
+   sweep on the direct pool path, the same sweep again as warm-session
+   traffic through an in-process daemon, verdict agreement enforced,
+   BENCH_synth.json written. *)
+let synth_only = Array.exists (( = ) "--synth-only") Sys.argv
+
 let nodes = if paper_scale then 4 else 3
 
 let heading fmt =
@@ -613,6 +619,109 @@ let section_sessions () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Guardian design-space synthesis: the Section 6 sweep, once on the
+   in-process pool and once as wire traffic against an in-process
+   daemon whose session pool the sweep is meant to keep warm. *)
+
+let synth_json_path = "BENCH_synth.json"
+
+let section_synth () =
+  (* 2-node lowerings: the sweep measures pipeline throughput and
+     session reuse, not checking scale (the configurations themselves
+     are the Section 5 matrix the other suites already scale up). *)
+  let snodes = 2 in
+  heading "Guardian design-space synthesis — Section 6 sweep (%d nodes)" snodes;
+  let space = Synthesis.Space.default () in
+  let seed = 42 in
+  (* 236 sampled + 4 paper anchors = 240 swept candidates. *)
+  let sample = 236 in
+  let direct = Synthesis.run ~seed ~sample ~nodes:snodes space in
+  Format.printf "%a" Synthesis.pp_report direct;
+  (* The same sweep as daemon traffic: sessions on, verdict cache off,
+     so every request is answered by an engine run and the measured
+     reuse is the session pool's, not the cache's. *)
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tta_synth_bench_%d.sock" (Unix.getpid ()))
+  in
+  let sessions = Sessions.create () in
+  let server =
+    Service.Server.start ~workers:2 ~sessions (Service.Server.Unix_socket sock)
+  in
+  let service =
+    Fun.protect
+      ~finally:(fun () ->
+        Service.Server.stop server;
+        Service.Server.wait server;
+        try Unix.unlink sock with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Synthesis.run ~seed ~sample ~nodes:snodes
+      ~via:(Synthesis.Service (Service.Server.bound_addr server))
+      space
+  in
+  let agree =
+    Synthesis.verdict_summary direct = Synthesis.verdict_summary service
+  in
+  let requests = List.length service.Synthesis.outcomes in
+  let reuse_rate =
+    float_of_int service.Synthesis.session_reuses
+    /. float_of_int (max 1 requests)
+  in
+  Printf.printf
+    "  service path: %d requests in %.1fs, %d warm-session reuses (%.0f%%); \
+     verdicts agree with direct path: %b\n%!"
+    requests service.Synthesis.wall_s service.Synthesis.session_reuses
+    (100. *. reuse_rate) agree;
+  let j =
+    Json.Obj
+      [
+        ("nodes", Json.Int snodes);
+        ("seed", Json.Int seed);
+        ("space_size", Json.Int direct.Synthesis.space_size);
+        ("candidates", Json.Int direct.Synthesis.candidates);
+        ("rejected", Json.Int direct.Synthesis.rejected);
+        ( "rejections",
+          Json.Obj
+            (List.map
+               (fun (k, v) -> (k, Json.Int v))
+               direct.Synthesis.rejections) );
+        ("survivors", Json.Int direct.Synthesis.survivors);
+        ("upheld", Json.Int direct.Synthesis.upheld);
+        ("breached", Json.Int direct.Synthesis.breached);
+        ("undetermined", Json.Int direct.Synthesis.undetermined);
+        ("envelope_agreement", Json.Bool direct.Synthesis.envelope_agreement);
+        ("frontier_size", Json.Int (List.length direct.Synthesis.frontier));
+        ( "frontier",
+          Json.List
+            (List.map Synthesis.Pareto.to_json direct.Synthesis.frontier) );
+        ("paper_frontier", Json.Bool (Synthesis.paper_frontier_ok direct));
+        ("candidates_per_s", Json.Float direct.Synthesis.candidates_per_s);
+        ("wall_s", Json.Float direct.Synthesis.wall_s);
+        ("verdicts_agree", Json.Bool agree);
+        ("service_requests", Json.Int requests);
+        ("session_reuses", Json.Int service.Synthesis.session_reuses);
+        ("session_reuse_rate", Json.Float reuse_rate);
+        ("service_wall_s", Json.Float service.Synthesis.wall_s);
+      ]
+  in
+  let oc = open_out_bin synth_json_path in
+  output_string oc (Json.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "machine-readable results written to %s\n%!" synth_json_path;
+  let ok =
+    agree && direct.Synthesis.rejected > 0
+    && direct.Synthesis.envelope_agreement
+    && service.Synthesis.envelope_agreement
+    && Synthesis.paper_frontier_ok direct
+    && reuse_rate > 0.5
+  in
+  if not ok then begin
+    Printf.printf "FATAL: synthesis sweep violated an acceptance invariant\n%!";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the kernels. *)
 
 let micro_tests () =
@@ -721,6 +830,7 @@ let () =
      Systems\" (DSN 2004)\n";
   if reach_only then section_reach ()
   else if sessions_only then section_sessions ()
+  else if synth_only then section_synth ()
   else begin
     section5 ();
     section6 ();

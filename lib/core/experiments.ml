@@ -302,6 +302,60 @@ let e10 () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* E18 (extension): guardian design-space synthesis (Section 6 sweep). *)
+
+(* A seeded sample of the Section 6 design space plus the four paper
+   anchors, pre-filtered through equations (1)-(10), the survivors
+   model-checked on the portfolio pool (lib/synthesis). Reproduced when
+   the analytic filter did real work, no checked candidate sits outside
+   the envelope, and the Pareto frontier recovers the paper's shape:
+   all four feature sets present, passive cheapest, full shifting the
+   most capable — and the one the checker breaches. *)
+let e18 ?nodes ?depth () =
+  (* The sweep multiplies the Section 5 matrix; clamp the cluster size
+     so [--all] at paper scale stays within the harness budget. *)
+  let nodes = Option.map (min 3) nodes in
+  let space = Synthesis.Space.default () in
+  let r = Synthesis.run ~seed:18 ~sample:96 ?nodes ?depth space in
+  let fs_breached =
+    List.exists
+      (fun (o : Synthesis.Check.outcome) ->
+        o.Synthesis.Check.candidate.Synthesis.Space.feature_set
+        = Guardian.Feature_set.Full_shifting
+        &&
+        match o.Synthesis.Check.verdict with
+        | Synthesis.Check.Breached _ -> true
+        | _ -> false)
+      r.Synthesis.outcomes
+  in
+  {
+    id = "E18";
+    title =
+      "design-space synthesis: Section 6 sweep recovers the paper's frontier";
+    paper_says =
+      "the four Section 5 feature sets span the containment/cost \
+       tradeoff — a passive hub is cheapest, full shifting contains \
+       the most threat classes but adds the replay failure mode — and \
+       the Section 6 equations bound which budgets are physically \
+       feasible at all";
+    measured =
+      Printf.sprintf
+        "%d candidates: %d rejected by equations (1)-(10), %d survivors, %d \
+         checker runs; frontier %d designs over %d feature sets; passive \
+         cheapest and full-shifting most capable: %b; full-shifting \
+         breached: %b; envelope agreement: %b"
+        r.Synthesis.candidates r.Synthesis.rejected r.Synthesis.survivors
+        r.Synthesis.checked
+        (List.length r.Synthesis.frontier)
+        (List.length (Synthesis.frontier_feature_sets r))
+        (Synthesis.paper_frontier_ok r)
+        fs_breached r.Synthesis.envelope_agreement;
+    matches =
+      r.Synthesis.rejected > 0 && r.Synthesis.envelope_agreement
+      && Synthesis.paper_frontier_ok r && fs_breached;
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let quick () = [ e6 (); e7 (); e8 (); e10 () ]
 
@@ -314,6 +368,7 @@ let all ?nodes ?safe_depth ?unsafe_depth () =
     e5 ?nodes ?depth:unsafe_depth ();
   ]
   @ quick ()
+  @ [ e18 ?nodes () ]
 
 (* The same E1-E5 registry, but the model-checking runs are scheduled
    by the portfolio pool (and may be served from its verdict cache)
@@ -363,3 +418,4 @@ let all_portfolio ?nodes ?(safe_depth = 100) ?(unsafe_depth = 100) ?domains
     (fun (_, read) (_, (r : Portfolio.result)) -> read r.Portfolio.verdict)
     jobs_and_readers results
   @ quick ()
+  @ [ e18 ?nodes () ]

@@ -58,4 +58,15 @@ let buffers_full_frames = function
    i.e. full-frame buffering. *)
 let semantic_analysis = buffers_full_frames
 
+(* The paper's authority ordering as a total order, so cost models
+   (e.g. the synthesis Pareto frontier) can rank feature sets without
+   re-deriving the ordering from the capability predicates. *)
+
+let authority_rank = function
+  | Passive -> 0
+  | Time_windows -> 1
+  | Small_shifting -> 2
+  | Full_shifting -> 3
+
+let compare a b = Int.compare (authority_rank a) (authority_rank b)
 let pp ppf fs = Format.pp_print_string ppf (to_string fs)

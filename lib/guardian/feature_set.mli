@@ -31,4 +31,13 @@ val semantic_analysis : t -> bool
 (** Semantic analysis requires seeing the whole frame before
     forwarding, i.e. full-frame buffering. *)
 
+val authority_rank : t -> int
+(** The level's position in the paper's authority ordering:
+    [Passive] is 0, [Full_shifting] is 3. Consistent with the order of
+    {!all}. *)
+
+val compare : t -> t -> int
+(** Total order by {!authority_rank} — more centralized authority
+    compares greater. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,172 @@
+(* Lower surviving candidates to Section 5 configurations and verify
+   them — on the in-process pool, or as wire traffic so a sweep
+   exercises the daemon's warm session families. *)
+
+type verdict = Upheld | Breached of int | Undetermined of string
+
+let verdict_label = function
+  | Upheld -> "upheld"
+  | Breached _ -> "breached"
+  | Undetermined _ -> "undetermined"
+
+type outcome = {
+  candidate : Space.candidate;
+  config : Tta_model.Configs.t;
+  verdict : verdict;
+  reused_session : bool;
+  warm_depth : int;
+}
+
+let lower ~nodes (c : Space.candidate) =
+  match c.Space.feature_set with
+  | Guardian.Feature_set.Passive -> Tta_model.Configs.passive ~nodes ()
+  | Guardian.Feature_set.Time_windows -> Tta_model.Configs.time_windows ~nodes ()
+  | Guardian.Feature_set.Small_shifting ->
+      Tta_model.Configs.small_shifting ~nodes ()
+  | Guardian.Feature_set.Full_shifting ->
+      Tta_model.Configs.full_shifting ~nodes ()
+
+let of_engine_verdict = function
+  | Tta_model.Engine.Holds _ -> Upheld
+  | Tta_model.Engine.Violated { trace; _ } -> Breached (Array.length trace)
+  | Tta_model.Engine.Unknown { detail } -> Undetermined detail
+
+(* ------------------------------------------------------------------ *)
+(* Direct path: one pool job per distinct configuration *)
+
+let direct ?domains ?supervisor ?faults ?(depth = 100) ~nodes cands =
+  let by_name = Hashtbl.create 8 in
+  let keyed =
+    List.map
+      (fun c ->
+        let cfg = lower ~nodes c in
+        let key = Tta_model.Configs.name cfg in
+        if not (Hashtbl.mem by_name key) then Hashtbl.add by_name key cfg;
+        (c, key))
+      cands
+  in
+  let uniq =
+    List.fold_left
+      (fun acc (_, key) -> if List.mem_assoc key acc then acc else
+         (key, Hashtbl.find by_name key) :: acc)
+      [] keyed
+    |> List.rev
+  in
+  let jobs =
+    List.map
+      (fun (key, cfg) ->
+        Portfolio.job ~label:("synth/" ^ key)
+          ~engine:Tta_model.Engine.Bdd_reach ~max_depth:depth cfg)
+      uniq
+  in
+  let results =
+    Portfolio.run_matrix ?domains ?supervisor ?faults jobs
+  in
+  let verdicts = Hashtbl.create 8 in
+  List.iter2
+    (fun (key, _) (_, (r : Portfolio.result)) ->
+      Hashtbl.replace verdicts key (of_engine_verdict r.Portfolio.verdict))
+    uniq results;
+  List.map
+    (fun (c, key) ->
+      {
+        candidate = c;
+        config = Hashtbl.find by_name key;
+        verdict = Hashtbl.find verdicts key;
+        reused_session = false;
+        warm_depth = 0;
+      })
+    keyed
+
+(* ------------------------------------------------------------------ *)
+(* Service path: sequential JSON-lines requests over one connection *)
+
+(* Minimal blocking client, the same shape as the load generator's
+   (which keeps its plumbing private). *)
+
+let connect (addr : Service.Server.addr) =
+  match addr with
+  | Service.Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Service.Server.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+type line_reader = { fd : Unix.file_descr; rbuf : Buffer.t; scratch : Bytes.t }
+
+let line_reader fd = { fd; rbuf = Buffer.create 512; scratch = Bytes.create 8192 }
+
+let rec read_line_opt r =
+  let s = Buffer.contents r.rbuf in
+  match String.index_opt s '\n' with
+  | Some i ->
+      Buffer.clear r.rbuf;
+      Buffer.add_substring r.rbuf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  | None -> (
+      match Unix.read r.fd r.scratch 0 (Bytes.length r.scratch) with
+      | 0 -> if s = "" then None else (Buffer.clear r.rbuf; Some s)
+      | n ->
+          Buffer.add_subbytes r.rbuf r.scratch 0 n;
+          read_line_opt r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line_opt r
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          None)
+
+let verdict_of_response = function
+  | Service.Protocol.Answer { verdict; _ } -> (
+      match verdict with
+      | Service.Protocol.Holds _ -> Upheld
+      | Service.Protocol.Violated { steps; _ } -> Breached steps
+      | Service.Protocol.Unknown { detail; _ } -> Undetermined detail)
+  | Service.Protocol.Overloaded _ -> Undetermined "overloaded"
+  | Service.Protocol.Cancelled { reason; _ } ->
+      Undetermined ("cancelled: " ^ reason)
+  | Service.Protocol.Error { reason; _ } -> Undetermined ("error: " ^ reason)
+  | Service.Protocol.Pong _ -> Undetermined "unexpected pong"
+
+let via_service ?(depth = 20) ?(depth_spread = 3) ~nodes addr cands =
+  let fd = connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let reader = line_reader fd in
+  List.mapi
+    (fun i c ->
+      let cfg = lower ~nodes c in
+      let d = depth + (2 * (i mod max 1 depth_spread)) in
+      let req =
+        Service.Protocol.request
+          ~id:(Printf.sprintf "synth-%d" i)
+          ~config:(Guardian.Feature_set.to_string c.Space.feature_set)
+          ~nodes ~engine:"bmc" ~depth:d ()
+      in
+      let line = Json.to_string req ^ "\n" in
+      write_all fd line 0 (String.length line);
+      let verdict, reused_session, warm_depth =
+        match read_line_opt reader with
+        | None -> (Undetermined "connection closed", false, 0)
+        | Some l -> (
+            match Service.Protocol.decode_response_line l with
+            | Error e -> (Undetermined ("garbled response: " ^ e), false, 0)
+            | Ok
+                (Service.Protocol.Answer { reused_session; warm_depth; _ } as
+                 resp) ->
+                (verdict_of_response resp, reused_session, warm_depth)
+            | Ok resp -> (verdict_of_response resp, false, 0))
+      in
+      { candidate = c; config = cfg; verdict; reused_session; warm_depth })
+    cands

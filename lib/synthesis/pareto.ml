@@ -1,0 +1,118 @@
+(* The containment/cost frontier: vector dominance over checked
+   candidates, dominated designs pruned. *)
+
+type objectives = { threats : int; upheld : bool }
+type costs = { buffer_bits : int; authority : int }
+
+type point = {
+  candidate : Space.candidate;
+  objectives : objectives;
+  costs : costs;
+  faults_contained : (Guardian.Fault.t * bool) list;
+  verdict : Check.verdict;
+}
+
+(* The paper's threat classes per capability: time windows shut out the
+   babbling idiot and in-slot masquerading (2), reshaping eliminates
+   SOS faults (1 more), semantic analysis blocks wrong C-states and
+   masquerading cold-start frames (2 more). *)
+let threats_contained fs =
+  let open Guardian.Feature_set in
+  (if enforces_time_windows fs then 2 else 0)
+  + (if reshapes_sos fs then 1 else 0)
+  + if semantic_analysis fs then 2 else 0
+
+let point_of_outcome (o : Check.outcome) =
+  let fs = o.Check.candidate.Space.feature_set in
+  let upheld = o.Check.verdict = Check.Upheld in
+  (* A fault mode is contained if the coupler cannot exhibit it at
+     all, or if it can and the checked property still holds. The
+     paper's two-channel redundancy masks silence and noise in every
+     configuration; the replay fault is what breaches full shifting. *)
+  let possible = Guardian.Fault.possible_for fs in
+  let contained f =
+    match (f : Guardian.Fault.t) with
+    | Guardian.Fault.Healthy -> true
+    | _ -> (not (List.mem f possible)) || upheld
+  in
+  {
+    candidate = o.Check.candidate;
+    objectives = { threats = threats_contained fs; upheld };
+    costs =
+      {
+        buffer_bits = o.Check.candidate.Space.buffer_bits;
+        authority = Guardian.Feature_set.authority_rank fs;
+      };
+    faults_contained = List.map (fun f -> (f, contained f)) Guardian.Fault.all;
+    verdict = o.Check.verdict;
+  }
+
+let ge_bool a b = a || not b
+
+let dominates a b =
+  let obj_ge =
+    a.objectives.threats >= b.objectives.threats
+    && ge_bool a.objectives.upheld b.objectives.upheld
+  in
+  let cost_le =
+    a.costs.buffer_bits <= b.costs.buffer_bits
+    && a.costs.authority <= b.costs.authority
+  in
+  let strict =
+    a.objectives.threats > b.objectives.threats
+    || (a.objectives.upheld && not b.objectives.upheld)
+    || a.costs.buffer_bits < b.costs.buffer_bits
+    || a.costs.authority < b.costs.authority
+  in
+  obj_ge && cost_le && strict
+
+let signature p =
+  ( p.objectives.threats,
+    p.objectives.upheld,
+    p.costs.buffer_bits,
+    p.costs.authority )
+
+let frontier points =
+  let non_dominated =
+    List.filter (fun p -> not (List.exists (fun q -> dominates q p) points))
+      points
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun p ->
+      let s = signature p in
+      if Hashtbl.mem seen s then false
+      else begin
+        Hashtbl.add seen s ();
+        true
+      end)
+    non_dominated
+
+let to_json p =
+  Json.Obj
+    [
+      ("candidate", Space.candidate_to_json p.candidate);
+      ("key", Json.String (Space.candidate_key p.candidate));
+      ("threats_contained", Json.Int p.objectives.threats);
+      ("upheld", Json.Bool p.objectives.upheld);
+      ("buffer_bits", Json.Int p.costs.buffer_bits);
+      ("authority", Json.Int p.costs.authority);
+      ("verdict", Json.String (Check.verdict_label p.verdict));
+      ( "faults_contained",
+        Json.Obj
+          (List.map
+             (fun (f, ok) -> (Guardian.Fault.to_string f, Json.Bool ok))
+             p.faults_contained) );
+    ]
+
+let pp_table ppf points =
+  Format.fprintf ppf "%-40s %7s %6s %9s %9s  %s@."
+    "candidate" "threats" "upheld" "buf(bits)" "authority" "verdict";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-40s %7d %6b %9d %9d  %s@."
+        (Space.candidate_key p.candidate)
+        p.objectives.threats p.objectives.upheld p.costs.buffer_bits
+        p.costs.authority
+        (Check.verdict_label p.verdict))
+    points

@@ -1,0 +1,64 @@
+(** The containment-versus-cost Pareto frontier over checked
+    candidates.
+
+    {b Objectives} (more is better): how many of the paper's threat
+    classes the authority level contains — babbling idiot and in-slot
+    masquerading (time windows), slightly-off-specification faults
+    (reshaping), wrong C-states and masquerading cold-start frames
+    (semantic analysis) — and whether the model checker upheld the
+    safety property for the lowered configuration (full shifting
+    famously does not: the replay counterexample).
+
+    {b Costs} (less is better): provisioned buffer bits and the
+    authority rank itself — centralized authority is what the paper
+    trades against, not a free capability.
+
+    With these axes the paper's four Section 5 designs are mutually
+    non-dominated: each step up the authority ladder buys containment
+    the previous level lacks, at strictly higher cost (and, at the
+    top, at the price of the replay breach). An over-provisioned
+    candidate of the same level is dominated by the minimally
+    provisioned one and pruned. *)
+
+type objectives = {
+  threats : int;  (** threat classes contained, 0–5 *)
+  upheld : bool;  (** the model checker upheld the safety property *)
+}
+
+type costs = {
+  buffer_bits : int;
+  authority : int;  (** {!Guardian.Feature_set.authority_rank} *)
+}
+
+type point = {
+  candidate : Space.candidate;
+  objectives : objectives;
+  costs : costs;
+  faults_contained : (Guardian.Fault.t * bool) list;
+      (** per paper fault mode: is it contained by this design —
+          impossible at this authority level, or possible but the
+          property still holds *)
+  verdict : Check.verdict;
+}
+
+val threats_contained : Guardian.Feature_set.t -> int
+(** Threat classes the authority level shuts out: 0 (passive), 2
+    (time windows), 3 (+SOS), 5 (+semantic analysis). *)
+
+val point_of_outcome : Check.outcome -> point
+
+val dominates : point -> point -> bool
+(** [dominates a b]: [a] is no worse than [b] on every objective and
+    cost, and strictly better on at least one. *)
+
+val frontier : point list -> point list
+(** The non-dominated points, in input order, with identical
+    (objectives, costs) signatures deduplicated to their first
+    representative — so a deterministic candidate order yields a
+    deterministic frontier. *)
+
+val signature : point -> int * bool * int * int
+(** (threats, upheld, buffer_bits, authority) — the dedup key. *)
+
+val to_json : point -> Json.t
+val pp_table : Format.formatter -> point list -> unit

@@ -1,0 +1,98 @@
+(* The Section 6 envelope as a candidate filter: reject on closed-form
+   equations before spending a model-checker run. *)
+
+type rejection =
+  | Clock_spread
+  | Buffer_below_min
+  | Buffer_above_max
+  | Clock_ratio
+  | Window_width
+  | Shift_allowance
+
+let all_rejections =
+  [
+    Clock_spread;
+    Buffer_below_min;
+    Buffer_above_max;
+    Clock_ratio;
+    Window_width;
+    Shift_allowance;
+  ]
+
+let to_string = function
+  | Clock_spread -> "eq2-clock-spread"
+  | Buffer_below_min -> "eq1-buffer-below-b-min"
+  | Buffer_above_max -> "eq3-buffer-above-b-max"
+  | Clock_ratio -> "eq10-clock-ratio"
+  | Window_width -> "window-width"
+  | Shift_allowance -> "shift-allowance"
+
+let skew_bits ~delta ~f_max = int_of_float (ceil (delta *. float_of_int f_max))
+
+let required_buffer_bits (s : Space.t) (c : Space.candidate) =
+  let open Guardian.Feature_set in
+  if buffers_full_frames c.feature_set then s.f_max
+  else if reshapes_sos c.feature_set then
+    let delta = Analysis.Buffer.delta ~rho_max:c.rho_max ~rho_min:c.rho_min in
+    int_of_float (ceil (Analysis.Buffer.b_min ~le:s.le ~delta ~f_max:s.f_max))
+  else 0
+
+let check (s : Space.t) (c : Space.candidate) =
+  if c.rho_min <= 0.0 || c.rho_max < c.rho_min then [ Clock_spread ]
+  else begin
+    let open Guardian.Feature_set in
+    let fs = c.feature_set in
+    let delta = Analysis.Buffer.delta ~rho_max:c.rho_max ~rho_min:c.rho_min in
+    let skew = skew_bits ~delta ~f_max:s.f_max in
+    (* A full-frame buffer decouples forwarding from reception, so the
+       eq. (3) cap, the eq. (10) envelope and the skew/shift slack only
+       bind the levels below full shifting. *)
+    let checks =
+      [
+        (Buffer_below_min, c.buffer_bits < required_buffer_bits s c);
+        ( Buffer_above_max,
+          (not (buffers_full_frames fs))
+          && c.buffer_bits > Analysis.Buffer.b_max ~f_min:s.f_min );
+        ( Clock_ratio,
+          reshapes_sos fs
+          && (not (buffers_full_frames fs))
+          && not
+               (Analysis.Buffer.feasible ~f_min:s.f_min ~f_max:s.f_max ~le:s.le
+                  ~rho_max:c.rho_max ~rho_min:c.rho_min) );
+        ( Window_width,
+          enforces_time_windows fs
+          && c.window_bits
+             < s.f_max
+               +
+               if buffers_full_frames fs then 0
+               else if reshapes_sos fs then c.shift_bits
+               else skew );
+        ( Shift_allowance,
+          reshapes_sos fs
+          && (not (buffers_full_frames fs))
+          && c.shift_bits < skew );
+      ]
+    in
+    List.filter_map (fun (r, bad) -> if bad then Some r else None) checks
+  end
+
+let feasible s c = check s c = []
+
+let split s cands =
+  let counts = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace counts r 0) all_rejections;
+  let survivors, rejects =
+    List.fold_left
+      (fun (ok, bad) c ->
+        match check s c with
+        | [] -> (c :: ok, bad)
+        | rs ->
+            List.iter
+              (fun r -> Hashtbl.replace counts r (Hashtbl.find counts r + 1))
+              rs;
+            (ok, (c, rs) :: bad))
+      ([], []) cands
+  in
+  ( List.rev survivors,
+    List.rev rejects,
+    List.map (fun r -> (to_string r, Hashtbl.find counts r)) all_rejections )

@@ -1,0 +1,69 @@
+(** The analytic pre-filter: the Section 6 envelope applied to a
+    candidate before any model checking.
+
+    Equations (1)–(10) of the paper (implemented in
+    {!Analysis.Buffer}) bound what a guardian of a given authority
+    level physically needs — buffer bits against reshaping (eq. 1),
+    the passive-channel cap of one short frame (eq. 3), the clock-ratio
+    envelope that makes both satisfiable at once (eqs. 4/7/10) — and
+    what its time window and shift allowance must admit. A candidate
+    that violates any of them cannot work no matter what the model
+    checker says about the protocol logic, so the synthesizer rejects
+    it here, for the cost of a few float operations instead of a BDD
+    fixpoint. *)
+
+type rejection =
+  | Clock_spread
+      (** the (rho_max, rho_min) pair is not a valid clock spread —
+          equation (2) has no value *)
+  | Buffer_below_min
+      (** equation (1): the provisioned buffer is below what the
+          authority level must store (ceil B_min for a reshaping
+          coupler, a whole [f_max] frame for full-frame buffering) *)
+  | Buffer_above_max
+      (** equation (3): a coupler that must {e not} store a complete
+          frame (every level below full shifting) is provisioned beyond
+          B_max = f_min − 1 *)
+  | Clock_ratio
+      (** equations (4)/(7)/(10): the clock spread admits no buffer
+          size at all for this frame range
+          ({!Analysis.Buffer.feasible} is false) *)
+  | Window_width
+      (** the bus-access window is narrower than the longest frame plus
+          the in-spec skew (or shift allowance) it must admit *)
+  | Shift_allowance
+      (** a reshaping coupler whose shift allowance cannot absorb the
+          in-spec clock skew over the longest frame *)
+
+val all_rejections : rejection list
+val to_string : rejection -> string
+(** Stable report keys, tagged with the equation they come from
+    (["eq1-buffer-below-b-min"], …). *)
+
+val skew_bits : delta:float -> f_max:int -> int
+(** ceil(delta · f_max): how many bit times an in-spec slow/fast clock
+    pair drifts apart over the longest frame. *)
+
+val required_buffer_bits : Space.t -> Space.candidate -> int
+(** The equation-(1) floor for the candidate's authority level: 0 when
+    nothing is reshaped, ceil B_min for small shifting, [f_max] for
+    full-frame buffering.
+    @raise Invalid_argument on an invalid clock spread. *)
+
+val check : Space.t -> Space.candidate -> rejection list
+(** Every envelope violation of the candidate, in {!all_rejections}
+    order; [[]] means the candidate survives to the model checker. *)
+
+val feasible : Space.t -> Space.candidate -> bool
+(** [check space c = []]. *)
+
+val split :
+  Space.t ->
+  Space.candidate list ->
+  Space.candidate list
+  * (Space.candidate * rejection list) list
+  * (string * int) list
+(** Partition candidates into survivors and rejects (both in input
+    order), plus per-equation rejection counts keyed by {!to_string}
+    (every key present, zero counts included). A candidate violating
+    several equations is counted once per violated equation. *)

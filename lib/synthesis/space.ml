@@ -1,0 +1,169 @@
+(* The guardian design space: an axis-aligned grid over authority level
+   and the Section 6 physical-layer budgets, with deterministic
+   enumeration and seeded sampling. *)
+
+type candidate = {
+  feature_set : Guardian.Feature_set.t;
+  buffer_bits : int;
+  window_bits : int;
+  shift_bits : int;
+  rho_max : float;
+  rho_min : float;
+}
+
+let candidate_key c =
+  Printf.sprintf "%s/b%d/w%d/s%d/r%g:%g"
+    (Guardian.Feature_set.to_string c.feature_set)
+    c.buffer_bits c.window_bits c.shift_bits c.rho_max c.rho_min
+
+let pp_candidate ppf c = Format.pp_print_string ppf (candidate_key c)
+
+let candidate_to_json c =
+  Json.Obj
+    [
+      ("feature_set", Json.String (Guardian.Feature_set.to_string c.feature_set));
+      ("buffer_bits", Json.Int c.buffer_bits);
+      ("window_bits", Json.Int c.window_bits);
+      ("shift_bits", Json.Int c.shift_bits);
+      ("rho_max", Json.Float c.rho_max);
+      ("rho_min", Json.Float c.rho_min);
+    ]
+
+type t = {
+  feature_sets : Guardian.Feature_set.t list;
+  buffer_bits : int list;
+  window_bits : int list;
+  shift_bits : int list;
+  clock_spreads : (float * float) list;
+  f_min : int;
+  f_max : int;
+  le : int;
+}
+
+(* Axis values chosen to straddle every Section 6 bound for the TTP/C
+   frame catalog (f_min 28, f_max 2076, le 4): buffers below, at and
+   above B_min and B_max; windows below and above f_max; clock spreads
+   from perfect crystals through the commodity delta (0.02 %), the two
+   worked-example deltas (1.11 %, 30.26 %) to an infeasible 2:1. *)
+let default () =
+  let f_min = Analysis.Frames_catalog.min_n_frame_bits in
+  let f_max = Analysis.Frames_catalog.max_x_frame_bits in
+  let le = Analysis.Frames_catalog.line_encoding_bits in
+  {
+    feature_sets = Guardian.Feature_set.all;
+    buffer_bits = [ 0; 2; 5; 8; 16; 27; 64; 512; 2076; 4096 ];
+    window_bits = [ 0; 76; 1024; 2077; 2080; 4096 ];
+    shift_bits = [ 0; 1; 4; 16 ];
+    clock_spreads =
+      [ (1.0, 1.0); (1.0002, 1.0); (1.0111, 1.0); (1.3026, 1.0); (2.0, 1.0) ];
+    f_min;
+    f_max;
+    le;
+  }
+
+let size t =
+  List.length t.feature_sets * List.length t.buffer_bits
+  * List.length t.window_bits * List.length t.shift_bits
+  * List.length t.clock_spreads
+
+(* Mixed-radix decoding of the lexicographic index: feature set major;
+   clock spread minor. *)
+let candidate_at t i =
+  if i < 0 || i >= size t then
+    invalid_arg (Printf.sprintf "Space.candidate_at: index %d out of range" i);
+  let pick l i = List.nth l i in
+  let nc = List.length t.clock_spreads in
+  let ns = List.length t.shift_bits in
+  let nw = List.length t.window_bits in
+  let nb = List.length t.buffer_bits in
+  let ci = i mod nc and i = i / nc in
+  let si = i mod ns and i = i / ns in
+  let wi = i mod nw and i = i / nw in
+  let bi = i mod nb and fi = i / nb in
+  let rho_max, rho_min = pick t.clock_spreads ci in
+  {
+    feature_set = pick t.feature_sets fi;
+    buffer_bits = pick t.buffer_bits bi;
+    window_bits = pick t.window_bits wi;
+    shift_bits = pick t.shift_bits si;
+    rho_max;
+    rho_min;
+  }
+
+let enumerate t = List.init (size t) (candidate_at t)
+
+let sample ~seed ~count t =
+  let n = size t in
+  if count >= n then enumerate t
+  else if count <= 0 then []
+  else begin
+    (* Seed from the dimensions too, so the same seed over a different
+       grid does not replay the same index stream. *)
+    let rng = Random.State.make [| seed; n; count |] in
+    let chosen = Hashtbl.create count in
+    let rec draw k =
+      if k < count then begin
+        let i = Random.State.int rng n in
+        if Hashtbl.mem chosen i then draw k
+        else begin
+          Hashtbl.add chosen i ();
+          draw (k + 1)
+        end
+      end
+    in
+    draw 0;
+    Hashtbl.fold (fun i () acc -> i :: acc) chosen []
+    |> List.sort compare
+    |> List.map (candidate_at t)
+  end
+
+let paper_candidates t =
+  let open Guardian.Feature_set in
+  (* Commodity oscillators: rho_max/rho_min = 1.0002 gives delta within
+     rounding of Frames_catalog.commodity_oscillator_delta. *)
+  let rho_max = 1.0002 and rho_min = 1.0 in
+  let delta = Analysis.Buffer.delta ~rho_max ~rho_min in
+  let fmax = float_of_int t.f_max in
+  let skew = int_of_float (ceil (delta *. fmax)) in
+  let b_min =
+    int_of_float (ceil (Analysis.Buffer.b_min ~le:t.le ~delta ~f_max:t.f_max))
+  in
+  [
+    (* a dumb hub: no budget at all, perfect crystals assumed *)
+    {
+      feature_set = Passive;
+      buffer_bits = 0;
+      window_bits = 0;
+      shift_bits = 0;
+      rho_max = 1.0;
+      rho_min = 1.0;
+    };
+    (* time windows: no buffering, window admits the longest frame plus
+       in-spec clock skew *)
+    {
+      feature_set = Time_windows;
+      buffer_bits = 0;
+      window_bits = t.f_max + skew;
+      shift_bits = 0;
+      rho_max;
+      rho_min;
+    };
+    (* small shifting: the minimal reshaping budget of equation (1) *)
+    {
+      feature_set = Small_shifting;
+      buffer_bits = b_min;
+      window_bits = t.f_max + skew;
+      shift_bits = skew;
+      rho_max;
+      rho_min;
+    };
+    (* full shifting: buffers a whole longest frame *)
+    {
+      feature_set = Full_shifting;
+      buffer_bits = t.f_max;
+      window_bits = t.f_max;
+      shift_bits = 0;
+      rho_max;
+      rho_min;
+    };
+  ]

@@ -1,0 +1,75 @@
+(** The guardian design space swept by the synthesizer.
+
+    A {e candidate} is one point of the Section 6 design space: a
+    coupler authority level plus the physical-layer budget it would be
+    provisioned with — buffer bits, time-window width, shift allowance
+    and the cluster's oscillator spread. The paper evaluates four fixed
+    points of this space (Section 5); the synthesizer enumerates or
+    samples the whole grid and lets the analytic envelope and the model
+    checker sort it out. *)
+
+type candidate = {
+  feature_set : Guardian.Feature_set.t;
+  buffer_bits : int;  (** provisioned guardian buffer, bits *)
+  window_bits : int;
+      (** width of the per-slot bus-access window, in bit times (0 for
+          a passive hub, which has no window to enforce) *)
+  shift_bits : int;
+      (** how far the coupler may shift a frame in time while
+          reshaping, in bit times *)
+  rho_max : float;  (** fastest oscillator rate in the cluster *)
+  rho_min : float;  (** slowest oscillator rate in the cluster *)
+}
+
+val candidate_key : candidate -> string
+(** A compact, unique, deterministic label
+    (["small-shifting/b5/w2077/s1/r1.0002:1"]) — the identity used for
+    dedup and the report tables. *)
+
+val pp_candidate : Format.formatter -> candidate -> unit
+val candidate_to_json : candidate -> Json.t
+
+type t = {
+  feature_sets : Guardian.Feature_set.t list;
+  buffer_bits : int list;
+  window_bits : int list;
+  shift_bits : int list;
+  clock_spreads : (float * float) list;  (** (rho_max, rho_min) pairs *)
+  f_min : int;  (** shortest frame of the schedule, bits *)
+  f_max : int;  (** longest frame of the schedule, bits *)
+  le : int;  (** line-encoding overhead, bits *)
+}
+(** An axis-aligned grid plus the frame/encoding parameters shared by
+    every candidate (the TTP/C values from
+    {!Analysis.Frames_catalog}). *)
+
+val default : unit -> t
+(** The committed sweep: all four authority levels crossed with buffer
+    budgets around the Section 6 bounds (0 … beyond [f_max]), window
+    widths straddling [f_max], shift allowances, and clock spreads from
+    perfect crystals through the commodity-oscillator and worked-example
+    deltas up to an infeasible 2:1 — 4800 points. *)
+
+val size : t -> int
+val candidate_at : t -> int -> candidate
+(** The [i]-th point of {!enumerate}'s order.
+    @raise Invalid_argument out of range. *)
+
+val enumerate : t -> candidate list
+(** Deterministic lexicographic enumeration: feature set is the major
+    axis, then buffer, window, shift, clock spread. *)
+
+val sample : seed:int -> count:int -> t -> candidate list
+(** [count] distinct candidates drawn by a PRNG seeded from [seed] (and
+    the space dimensions), returned in enumeration order — so a sample
+    is a deterministic sub-sequence of {!enumerate}. The whole space
+    when [count >= size]. *)
+
+val paper_candidates : t -> candidate list
+(** The four Section 5 designs as points of this space, provisioned
+    exactly at their Section 6 requirement: a passive hub with nothing,
+    time windows at commodity clock spread, small shifting at the
+    minimal buffer (ceil B_min) and shift, full shifting at a whole
+    [f_max] frame. These are the anchors every synthesis run keeps in
+    its candidate list so the frontier can be compared against the
+    paper regardless of sampling. *)

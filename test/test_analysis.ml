@@ -105,6 +105,96 @@ let test_delta_validation () =
       ignore (Analysis.Buffer.delta ~rho_max:1.0 ~rho_min:2.0))
 
 (* ------------------------------------------------------------------ *)
+(* The feasibility envelope at its boundary — the synthesis pre-filter
+   (lib/synthesis) rejects on [feasible], so its edges matter. *)
+
+(* With rho_min = 1, the spread that produces a given delta:
+   delta = (rho_max - rho_min) / rho_max  =>  rho_max = 1/(1 - delta). *)
+let rho_of_delta d = 1.0 /. (1.0 -. d)
+
+let test_feasible_boundary_equality () =
+  (* delta_limit (eq 7) is the equality case B_min = B_max of
+     equations (1) and (3); cross-checked at the two worked-example
+     frame ranges (eq 8: 30.26 % at f_max 76, eq 9: 1.11 % at
+     f_max 2076). Just inside the limit is feasible, just outside is
+     not. *)
+  List.iter
+    (fun (f_min, f_max) ->
+      let le = 4 in
+      let d = Analysis.Buffer.delta_limit ~f_min ~le ~f_max in
+      approx ~eps:1e-6 "B_min = B_max at delta_limit"
+        (float_of_int (Analysis.Buffer.b_max ~f_min))
+        (Analysis.Buffer.b_min ~le ~delta:d ~f_max);
+      Alcotest.(check bool) "just inside is feasible" true
+        (Analysis.Buffer.feasible ~f_min ~f_max ~le
+           ~rho_max:(rho_of_delta (d *. 0.999))
+           ~rho_min:1.0);
+      Alcotest.(check bool) "just outside is infeasible" false
+        (Analysis.Buffer.feasible ~f_min ~f_max ~le
+           ~rho_max:(rho_of_delta (d *. 1.001))
+           ~rho_min:1.0))
+    [ (28, 76); (28, 2076) ]
+
+let test_feasible_boundary_f_max () =
+  (* The third worked example (eq 6): at the commodity delta the
+     longest transmittable frame is 115,000 bits — frames just under
+     are feasible, just over are not. *)
+  let le = 4 and f_min = 28 and delta = 0.0002 in
+  let f_max = Analysis.Buffer.f_max_limit ~f_min ~le ~delta in
+  approx "eq 6" 115_000.0 f_max;
+  let rho_max = rho_of_delta delta in
+  Alcotest.(check bool) "just under 115000 is feasible" true
+    (Analysis.Buffer.feasible ~f_min
+       ~f_max:(int_of_float f_max - 1)
+       ~le ~rho_max ~rho_min:1.0);
+  Alcotest.(check bool) "just over 115000 is infeasible" false
+    (Analysis.Buffer.feasible ~f_min
+       ~f_max:(int_of_float f_max + 1)
+       ~le ~rho_max ~rho_min:1.0)
+
+let test_feasible_delta_zero () =
+  (* Perfect clocks: equation (4) degenerates to infinity — any frame
+     length transmits — and feasibility reduces to le <= f_min - 1. *)
+  Alcotest.(check bool) "f_max_limit infinite at delta 0" true
+    (Analysis.Buffer.f_max_limit ~f_min:28 ~le:4 ~delta:0.0 = infinity);
+  Alcotest.(check bool) "any f_max feasible" true
+    (Analysis.Buffer.feasible ~f_min:28 ~f_max:10_000_000 ~le:4 ~rho_max:1.0
+       ~rho_min:1.0);
+  Alcotest.(check bool) "le past B_max still infeasible" false
+    (Analysis.Buffer.feasible ~f_min:5 ~f_max:10 ~le:10 ~rho_max:1.0
+       ~rho_min:1.0)
+
+let prop_feasible_monotone =
+  (* Feasibility is monotone along each design axis: growing the
+     shortest frame can only help (B_max grows), growing the longest
+     frame or the encoding overhead can only hurt (B_min grows). *)
+  QCheck.Test.make
+    ~name:"feasible monotone: up in f_min, down in f_max and le" ~count:300
+    QCheck.(
+      quad
+        (pair (int_range 10 200) (int_range 10 200))
+        (pair (int_range 10 4000) (int_range 10 4000))
+        (pair (int_range 0 40) (int_range 0 40))
+        (QCheck.float_range 1.0 2.0))
+    (fun ((fm1, fm2), (fx1, fx2), (le1, le2), rho_max) ->
+      let feas ~f_min ~f_max ~le =
+        Analysis.Buffer.feasible ~f_min ~f_max ~le ~rho_max ~rho_min:1.0
+      in
+      let imp a b = (not a) || b in
+      let f_min_lo = min fm1 fm2 and f_min_hi = max fm1 fm2 in
+      let f_max_lo = min fx1 fx2 and f_max_hi = max fx1 fx2 in
+      let le_lo = min le1 le2 and le_hi = max le1 le2 in
+      imp
+        (feas ~f_min:f_min_lo ~f_max:f_max_lo ~le:le_lo)
+        (feas ~f_min:f_min_hi ~f_max:f_max_lo ~le:le_lo)
+      && imp
+           (feas ~f_min:f_min_lo ~f_max:f_max_hi ~le:le_lo)
+           (feas ~f_min:f_min_lo ~f_max:f_max_lo ~le:le_lo)
+      && imp
+           (feas ~f_min:f_min_lo ~f_max:f_max_lo ~le:le_hi)
+           (feas ~f_min:f_min_lo ~f_max:f_max_lo ~le:le_lo))
+
+(* ------------------------------------------------------------------ *)
 (* Figure 3 *)
 
 let test_figure3_highlighted_point () =
@@ -162,6 +252,7 @@ let qtests =
       prop_feasible_iff_buffers_fit;
       prop_eq10_matches_feasibility;
       prop_b_min_monotone;
+      prop_feasible_monotone;
     ]
 
 let () =
@@ -175,6 +266,15 @@ let () =
           Alcotest.test_case "eq 9: 1.11%" `Quick test_eq9_max_frames;
           Alcotest.test_case "registry" `Quick test_worked_examples_registry;
           Alcotest.test_case "delta validation" `Quick test_delta_validation;
+        ] );
+      ( "envelope boundary",
+        [
+          Alcotest.test_case "B_min = B_max at delta_limit" `Quick
+            test_feasible_boundary_equality;
+          Alcotest.test_case "f_max_limit boundary (eq 6)" `Quick
+            test_feasible_boundary_f_max;
+          Alcotest.test_case "delta = 0 degenerate case" `Quick
+            test_feasible_delta_zero;
         ] );
       ( "figure 3",
         [

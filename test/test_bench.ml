@@ -1,0 +1,165 @@
+(* Schema smoke test over the committed BENCH_*.json files. Every
+   bench artifact the repo commits must decode via lib/json, carry its
+   required keys, and still clear the headline bars it was committed
+   to demonstrate — so a stale or hand-mangled bench fails `dune
+   runtest` instead of silently rotting. Tests run from
+   _build/default/test, so the repo root is one level up. *)
+
+let load name =
+  let path = Filename.concat ".." name in
+  let ic = open_in path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string raw with
+  | Ok json -> json
+  | Error e -> Alcotest.failf "%s does not parse: %s" name e
+
+let check_keys name json keys =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (name ^ ": has " ^ k)
+        true
+        (Json.member k json <> None))
+    keys
+
+let get_bool name json key =
+  match Json.member key json with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "%s: %s is not a bool" name key
+
+let get_num name json key =
+  match Json.member key json with
+  | Some (Json.Int i) -> float_of_int i
+  | Some (Json.Float f) -> f
+  | _ -> Alcotest.failf "%s: %s is not a number" name key
+
+let get_rows name json =
+  match Json.member "rows" json with
+  | Some (Json.List rows) -> rows
+  | _ -> Alcotest.failf "%s: rows is not a list" name
+
+(* ------------------------------------------------------------------ *)
+
+let test_cluster () =
+  let name = "BENCH_cluster.json" in
+  let j = load name in
+  check_keys name j
+    [ "bench"; "generated_by"; "workload"; "rows"; "speedup_at_max_workers" ];
+  let rows = get_rows name j in
+  Alcotest.(check bool) "cluster: has rows" true (rows <> []);
+  List.iter
+    (fun row ->
+      check_keys name row
+        [
+          "workers";
+          "throughput_rps";
+          "speedup";
+          "ok";
+          "holds";
+          "violated";
+          "unknown";
+          "protocol_errors";
+          "retries";
+          "p50_ms";
+          "p99_ms";
+          "imbalance";
+          "per_worker";
+        ])
+    rows;
+  Alcotest.(check bool) "cluster: scales at max workers" true
+    (get_num name j "speedup_at_max_workers" >= 3.0)
+
+let test_sessions () =
+  let name = "BENCH_sessions.json" in
+  let j = load name in
+  check_keys name j
+    [
+      "nodes";
+      "engine";
+      "queries";
+      "verdicts_agree";
+      "reused";
+      "cold_p50_ms";
+      "cold_p95_ms";
+      "warm_p50_ms";
+      "warm_p95_ms";
+      "speedup_p50";
+      "speedup_p95";
+      "rows";
+    ];
+  let rows = get_rows name j in
+  Alcotest.(check bool) "sessions: has rows" true (rows <> []);
+  List.iter
+    (fun row ->
+      check_keys name row
+        [ "family"; "depth"; "verdict"; "cold_ms"; "warm_ms"; "reused" ])
+    rows;
+  Alcotest.(check bool) "sessions: verdicts agree" true
+    (get_bool name j "verdicts_agree");
+  Alcotest.(check bool) "sessions: warm path reused" true
+    (get_num name j "reused" > 0.0);
+  Alcotest.(check bool) "sessions: warm speedup" true
+    (get_num name j "speedup_p50" >= 1.5)
+
+let test_synth () =
+  let name = "BENCH_synth.json" in
+  let j = load name in
+  check_keys name j
+    [
+      "nodes";
+      "seed";
+      "space_size";
+      "candidates";
+      "rejected";
+      "rejections";
+      "survivors";
+      "upheld";
+      "breached";
+      "undetermined";
+      "envelope_agreement";
+      "frontier_size";
+      "frontier";
+      "paper_frontier";
+      "candidates_per_s";
+      "wall_s";
+      "verdicts_agree";
+      "service_requests";
+      "session_reuses";
+      "session_reuse_rate";
+      "service_wall_s";
+    ];
+  Alcotest.(check bool) "synth: sweep is non-trivial" true
+    (get_num name j "candidates" >= 200.0);
+  Alcotest.(check bool) "synth: pre-filter rejected something" true
+    (get_num name j "rejected" > 0.0);
+  Alcotest.(check bool) "synth: envelope agreement" true
+    (get_bool name j "envelope_agreement");
+  Alcotest.(check bool) "synth: paper frontier" true
+    (get_bool name j "paper_frontier");
+  Alcotest.(check bool) "synth: direct and service agree" true
+    (get_bool name j "verdicts_agree");
+  Alcotest.(check bool) "synth: warm-session reuse above half" true
+    (get_num name j "session_reuse_rate" > 0.5);
+  (match Json.member "frontier" j with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "synth: frontier is empty or not a list");
+  match Json.member "rejections" j with
+  | Some (Json.Obj ((_ :: _) as kvs)) ->
+      Alcotest.(check bool) "synth: rejection counts are ints" true
+        (List.for_all (function _, Json.Int _ -> true | _ -> false) kvs)
+  | _ -> Alcotest.fail "synth: rejections is not an object"
+
+let () =
+  Alcotest.run "bench schemas"
+    [
+      ( "committed artifacts",
+        [
+          Alcotest.test_case "BENCH_cluster.json" `Quick test_cluster;
+          Alcotest.test_case "BENCH_sessions.json" `Quick test_sessions;
+          Alcotest.test_case "BENCH_synth.json" `Quick test_synth;
+        ] );
+    ]

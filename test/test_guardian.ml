@@ -71,6 +71,37 @@ let test_fault_gating () =
        "Coupler.set_fault: out-of-slot impossible for passive coupler")
     (fun () -> Guardian.Coupler.set_fault t Guardian.Fault.Out_of_slot)
 
+let test_authority_order () =
+  let open Guardian.Feature_set in
+  (* The rank is the position in [all] (increasing authority). *)
+  Alcotest.(check (list int)) "ranks follow [all]" [ 0; 1; 2; 3 ]
+    (List.map authority_rank all);
+  Alcotest.(check bool) "compare sorts into authority order" true
+    (List.sort compare (List.rev all) = all);
+  List.iter
+    (fun fs -> Alcotest.(check int) (to_string fs) 0 (compare fs fs))
+    all;
+  Alcotest.(check bool) "passive below full shifting" true
+    (compare Passive Full_shifting < 0);
+  (* The rank agrees with the capability lattice: strictly more
+     capabilities means a strictly higher rank. *)
+  let capabilities fs =
+    List.length
+      (List.filter
+         (fun p -> p fs)
+         [ enforces_time_windows; reshapes_sos; buffers_full_frames ])
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if capabilities a < capabilities b then
+            Alcotest.(check bool)
+              (to_string a ^ " < " ^ to_string b)
+              true (compare a b < 0))
+        all)
+    all
+
 let test_string_roundtrips () =
   List.iter
     (fun fs ->
@@ -298,6 +329,7 @@ let () =
         [
           Alcotest.test_case "capability table" `Quick test_capability_table;
           Alcotest.test_case "fault gating" `Quick test_fault_gating;
+          Alcotest.test_case "authority order" `Quick test_authority_order;
           Alcotest.test_case "string roundtrips" `Quick test_string_roundtrips;
         ] );
       ( "data path",
