@@ -119,9 +119,13 @@ let chaos () =
            optional SPEC is a comma-separated rule list such as \
            'engine_start=crash\\@0.2x4,cache_read=corrupt\\@0.25x4' \
            (points: engine_start, engine_step, cache_read, cache_write, \
-           sock_send, sock_recv; actions: crash, corrupt, stallMILLIS; \
-           \\@P caps the firing probability, xN the total firings). A \
-           bare SEED uses a built-in mixed-fault spec.")
+           sock_send, sock_recv, link_send, link_recv; actions: crash, \
+           corrupt, drop, stallMILLIS, delayMILLIS; \\@P caps the firing \
+           probability, xN the total firings). A bare SEED uses a \
+           built-in mixed-fault spec. The link_* points fire on the \
+           cluster router's per-worker lines (drop loses a line, delay \
+           defers it); elsewhere drop behaves as crash and delay as \
+           stall.")
 
 (* ------------------------------------------------------------------ *)
 (* Uniform parsers *)

@@ -1,0 +1,66 @@
+(* Per-worker circuit breaker: a count-window state machine. See
+   breaker.mli for the states and the health-ping interplay. *)
+
+type state = Closed | Open | Half_open
+
+type t = {
+  window : int;
+  threshold : int;
+  outcomes : bool Queue.t; (* last [<= window] outcomes, true = ok *)
+  mutable failures : int;  (* failures currently in [outcomes] *)
+  mutable st : state;
+  mutable probing : bool;  (* Half_open: probe dispatched, outcome pending *)
+  mutable opens : int;
+}
+
+let create ~window ?threshold () =
+  let threshold = match threshold with Some u -> u | None -> max 1 (window / 2) in
+  if window <= 0 then invalid_arg "Breaker.create: window must be positive";
+  if threshold <= 0 || threshold > window then
+    invalid_arg "Breaker.create: need 0 < threshold <= window";
+  {
+    window;
+    threshold;
+    outcomes = Queue.create ();
+    failures = 0;
+    st = Closed;
+    probing = false;
+    opens = 0;
+  }
+
+let trip t =
+  t.st <- Open;
+  t.probing <- false;
+  Queue.clear t.outcomes;
+  t.failures <- 0;
+  t.opens <- t.opens + 1
+
+let record t ~ok =
+  match t.st with
+  | Open -> () (* a straggler from before the trip; no new evidence *)
+  | Half_open -> if ok then (t.st <- Closed; t.probing <- false) else trip t
+  | Closed ->
+      Queue.push ok t.outcomes;
+      if not ok then t.failures <- t.failures + 1;
+      if Queue.length t.outcomes > t.window then
+        if not (Queue.pop t.outcomes) then t.failures <- t.failures - 1;
+      if t.failures >= t.threshold then trip t
+
+let note_pong t = if t.st = Open then (t.st <- Half_open; t.probing <- false)
+
+let admits t =
+  match t.st with
+  | Closed -> true
+  | Open -> false
+  | Half_open -> not t.probing
+
+let probe_started t = if t.st = Half_open then t.probing <- true
+
+let reset t =
+  t.st <- Closed;
+  t.probing <- false;
+  Queue.clear t.outcomes;
+  t.failures <- 0
+
+let state t = t.st
+let opens t = t.opens

@@ -1,0 +1,72 @@
+(** Per-worker circuit breaker.
+
+    The restart-intensity gate ({!Restarts}) protects the cluster from
+    a worker that {e dies} repeatedly; it does nothing about a worker
+    that stays alive but answers requests with failures (a sick BDD
+    heap, a wedged cache volume, a lossy link). The breaker fills that
+    gap: it watches per-request outcomes and takes a worker out of the
+    routing ring {e before} the restart gate would ever fire.
+
+    {b States.}
+    {v
+      Closed ──(>= threshold failures in the last window)──> Open
+      Open ──(health pong received)──> Half_open
+      Half_open ──(probe request succeeds)──> Closed
+      Half_open ──(probe request fails)──> Open
+    v}
+
+    The window is {b count-based} ([--breaker-window N] on
+    [tta_cluster]): the last [N] request outcomes, not a wall-clock
+    span, so the machine is a pure function of the outcome sequence
+    and unit-testable without time.
+
+    The half-open probe {b rides the existing health ping}: the router
+    calls {!note_pong} when an open worker answers a ping, which is
+    the breaker's evidence that the process is reachable again; the
+    next admitted request is the single probe ({!probe_started}) whose
+    outcome closes or re-opens the circuit.
+
+    Thread model: all calls happen on the router's select-loop domain;
+    the type is plain mutable state with no internal locking. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : window:int -> ?threshold:int -> unit -> t
+(** A closed breaker over the last [window] outcomes, tripping when
+    [threshold] of them are failures (default [max 1 (window / 2)]).
+    Raises [Invalid_argument] unless [0 < threshold <= window]. *)
+
+val record : t -> ok:bool -> unit
+(** Feed one request outcome attributed to this worker. In [Closed],
+    pushes into the window and trips to [Open] when the failure count
+    reaches the threshold (the window is cleared so a later close
+    starts fresh). In [Half_open] this is the probe's outcome: success
+    closes, failure re-opens. In [Open], late outcomes from requests
+    sent before the trip are ignored. *)
+
+val note_pong : t -> unit
+(** Evidence of process reachability (a health pong). [Open] moves to
+    [Half_open] with no probe outstanding; other states ignore it. *)
+
+val admits : t -> bool
+(** May a {e new} request be routed to this worker right now?
+    [Closed]: yes. [Open]: no. [Half_open]: only while no probe is
+    outstanding — callers must confirm the dispatch with
+    {!probe_started}, after which further requests are refused until
+    the probe's {!record}. *)
+
+val probe_started : t -> unit
+(** The router actually forwarded the half-open probe request; refuse
+    further admissions until its outcome arrives. No-op outside
+    [Half_open]. *)
+
+val reset : t -> unit
+(** Back to a fresh [Closed] window (worker restarted: its slate is
+    clean). The {!opens} count survives. *)
+
+val state : t -> state
+val opens : t -> int
+(** How many times this breaker has tripped to [Open] over its
+    lifetime — surfaced in router stats and bench reports. *)

@@ -3,6 +3,7 @@
 
 module Server = Service.Server
 module Protocol = Service.Protocol
+module Faults = Resilience.Faults
 
 type event =
   | Worker_spawned of { name : string; pid : int }
@@ -12,11 +13,16 @@ type event =
   | Worker_gave_up of { name : string }
   | Rerouted of { id : string; worker : string }
   | Killed_by_request of { name : string; nth : int }
+  | Breaker_opened of { name : string }
+  | Breaker_closed of { name : string }
+  | Hedged of { id : string; worker : string }
 
 type stats = {
   forwarded : (string * int) list;
   rerouted : int;
   restarts : int;
+  hedged : int;
+  breaker_opens : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -35,17 +41,20 @@ let rewrite_request_id line ~id =
       Some (Json.to_string (Json.Obj (("id", Json.String id) :: rest)))
   | Ok _ | Error _ -> None
 
-let rewrite_response_line line ~id ~worker =
+let rewrite_response_line ?(hedged = false) line ~id ~worker =
   match Json.of_string line with
   | Ok (Json.Obj fields) ->
       let rest =
-        List.filter (fun (k, _) -> k <> "id" && k <> "worker") fields
+        List.filter
+          (fun (k, _) -> k <> "id" && k <> "worker" && k <> "hedged")
+          fields
       in
       Some
         (Json.to_string
            (Json.Obj
               ((("id", Json.String id) :: rest)
-              @ [ ("worker", Json.String worker) ])))
+              @ [ ("worker", Json.String worker) ]
+              @ (if hedged then [ ("hedged", Json.Bool true) ] else []))))
   | Ok _ | Error _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -63,7 +72,14 @@ type pending = {
   pline : string;  (** the client's original request line *)
   pkey : string;  (** consistent-hash routing key *)
   mutable attempts : int;
-  mutable pworker : string;  (** name it was last forwarded to *)
+  mutable legs : (string * string) list;
+      (** outstanding (router qid, worker name) legs; more than one
+          while a hedge is in flight *)
+  mutable sent_at : float;  (** when the newest leg was forwarded *)
+  mutable hedge_sent : bool;
+  mutable provisional : (string * string) option;
+      (** a failure response (line, worker) held back while another
+          leg may still answer conclusively *)
 }
 
 type wstate =
@@ -81,7 +97,14 @@ type worker = {
   wname : string;
   mutable state : wstate;
   gate : Resilience.Supervisor.Restarts.t;
+  breaker : Breaker.t option;  (** [None] when --breaker-window is 0 *)
 }
+
+(* A router↔worker message a firing [delay] rule is holding back:
+   delivered by [tick] once due, instead of sleeping on the loop. *)
+type delayed_msg =
+  | Delayed_send of { dworker : string; dline : string }
+  | Delayed_recv of { dworker : string; dline : string }
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -104,11 +127,16 @@ type t = {
   health_timeout : float;
   start_timeout : float;
   grace : float;
+  faults : Faults.t;  (** link_send/link_recv chaos on the worker legs *)
+  hedge_s : float;  (** 0 = hedging off *)
+  mutable delayed : (float * delayed_msg) list;  (** due time, unsorted *)
   on_event : event -> unit;
   stats_lock : Mutex.t;
   st_forwarded : (string, int) Hashtbl.t;
   mutable st_rerouted : int;
   mutable st_restarts : int;
+  mutable st_hedged : int;
+  mutable st_breaker_opens : int;
   join_lock : Mutex.t;
   mutable loop_domain : unit Domain.t option;
 }
@@ -143,6 +171,29 @@ let connect addr =
       fd
 
 let is_live w = match w.state with Live _ -> true | _ -> false
+
+(* Routing admission: alive *and* the breaker lets new traffic in. *)
+let admits w =
+  is_live w
+  && match w.breaker with None -> true | Some b -> Breaker.admits b
+
+(* Feed a request outcome to the worker's breaker, reporting state
+   transitions as events (and counting trips). *)
+let breaker_record t w ~ok =
+  match w.breaker with
+  | None -> ()
+  | Some b ->
+      let before = Breaker.state b in
+      Breaker.record b ~ok;
+      (match (before, Breaker.state b) with
+      | (Breaker.Closed | Breaker.Half_open), Breaker.Open ->
+          Mutex.lock t.stats_lock;
+          t.st_breaker_opens <- t.st_breaker_opens + 1;
+          Mutex.unlock t.stats_lock;
+          t.on_event (Breaker_opened { name = w.wname })
+      | Breaker.Half_open, Breaker.Closed ->
+          t.on_event (Breaker_closed { name = w.wname })
+      | _ -> ())
 
 let worker_named t name =
   (* Worker names are router-assigned and few; linear scan is fine. *)
@@ -194,12 +245,14 @@ let rec dispatch t ~now p =
          })
   else
     match
-      Ring.route ~accept:(fun n -> is_live (worker_named t n)) t.ring p.pkey
+      Ring.route ~accept:(fun n -> admits (worker_named t n)) t.ring p.pkey
     with
     | None ->
-        (* No live worker right now. Park and flush on the next ready —
-           unless the whole fleet crash-looped past its restart gates,
-           in which case nobody is ever coming back. *)
+        (* No admissible worker right now (none live, or every live
+           one behind an open breaker). Park and flush on the next
+           ready or breaker transition — unless the whole fleet
+           crash-looped past its restart gates, in which case nobody
+           is ever coming back. *)
         if
           Array.for_all
             (fun w -> match w.state with Gone -> true | _ -> false)
@@ -231,36 +284,54 @@ and forward t ~now w p =
                  code = Protocol.code_bad_request;
                  reason = "request line is not a JSON object";
                })
-      | Some line ->
+      | Some line -> (
           let line = line ^ "\n" in
           Hashtbl.replace t.inflight qid p;
-          let rerouted = p.attempts > 0 in
+          let rerouted = p.attempts > 0 && p.legs = [] in
           p.attempts <- p.attempts + 1;
-          p.pworker <- w.wname;
-          (match write_all wfd line 0 (String.length line) with
-          | () ->
-              t.total_forwarded <- t.total_forwarded + 1;
-              bump_forwarded t w.wname;
-              if rerouted then begin
-                Mutex.lock t.stats_lock;
-                t.st_rerouted <- t.st_rerouted + 1;
-                Mutex.unlock t.stats_lock;
-                t.on_event (Rerouted { id = p.orig_id; worker = w.wname })
-              end;
-              (match t.kill_after with
-              | Some n when t.total_forwarded = n -> (
-                  match w.state with
-                  | Live { proc; _ } ->
-                      (* Testing hook: SIGKILL the worker that just
-                         received the nth request — the hard-crash case
-                         the failover path exists for. Detection is
-                         left to the normal EOF/health machinery. *)
-                      (try Unix.kill proc.Worker.pid Sys.sigkill
-                       with Unix.Unix_error _ -> ());
-                      t.on_event (Killed_by_request { name = w.wname; nth = n })
-                  | _ -> ())
+          p.legs <- (qid, w.wname) :: p.legs;
+          p.sent_at <- now;
+          (* If this worker is half-open, this request is its probe. *)
+          (match w.breaker with
+          | Some b -> Breaker.probe_started b
+          | None -> ());
+          t.total_forwarded <- t.total_forwarded + 1;
+          bump_forwarded t w.wname;
+          if rerouted then begin
+            Mutex.lock t.stats_lock;
+            t.st_rerouted <- t.st_rerouted + 1;
+            Mutex.unlock t.stats_lock;
+            t.on_event (Rerouted { id = p.orig_id; worker = w.wname })
+          end;
+          (match t.kill_after with
+          | Some n when t.total_forwarded = n -> (
+              match w.state with
+              | Live { proc; _ } ->
+                  (* Testing hook: SIGKILL the worker that just
+                     received the nth request — the hard-crash case
+                     the failover path exists for. Detection is
+                     left to the normal EOF/health machinery. *)
+                  (try Unix.kill proc.Worker.pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  t.on_event (Killed_by_request { name = w.wname; nth = n })
               | _ -> ())
-          | exception Unix.Unix_error _ -> worker_death t ~now w "write failed"))
+          | _ -> ());
+          (* The outbound link hook: a firing [drop] loses the line in
+             the network (the leg stays registered; the retransmit net
+             or a hedge recovers it), a [delay] defers the write to
+             [tick], a [crash] kills the connection. *)
+          match Faults.link t.faults Faults.Link_send with
+          | exception Faults.Injected _ -> worker_death t ~now w "link fault"
+          | `Drop -> ()
+          | `Delay d ->
+              t.delayed <-
+                (now +. d, Delayed_send { dworker = w.wname; dline = line })
+                :: t.delayed
+          | `Pass -> (
+              match write_all wfd line 0 (String.length line) with
+              | () -> ()
+              | exception Unix.Unix_error _ ->
+                  worker_death t ~now w "write failed")))
   | _ ->
       p.attempts <- p.attempts + 1;
       dispatch t ~now p
@@ -296,17 +367,32 @@ and worker_death t ~now w reason =
   | `Give_up ->
       w.state <- Gone;
       t.on_event (Worker_gave_up { name = w.wname }));
-  (* Re-route the dead worker's in-flight requests. Safe to re-send:
-     workers dedup/coalesce identical requests and share the verdict
-     cache, so a request the dead worker had in fact completed is
-     answered again, cheaply, by its successor. *)
+  (* Cut the dead worker's legs. A request whose only leg it was gets
+     re-dispatched — safe to re-send: workers dedup/coalesce identical
+     requests and share the verdict cache, so a request the dead
+     worker had in fact completed is answered again, cheaply, by its
+     successor. A hedged request with a surviving leg elsewhere just
+     loses the dead leg. *)
   let orphans =
     Hashtbl.fold
-      (fun qid p acc -> if p.pworker = w.wname then (qid, p) :: acc else acc)
+      (fun qid p acc ->
+        if List.exists (fun (q, wn) -> q = qid && wn = w.wname) p.legs then
+          (qid, p) :: acc
+        else acc)
       t.inflight []
   in
-  List.iter (fun (qid, _) -> Hashtbl.remove t.inflight qid) orphans;
-  List.iter (fun (_, p) -> dispatch t ~now p) orphans
+  List.iter
+    (fun (qid, p) ->
+      Hashtbl.remove t.inflight qid;
+      p.legs <- List.filter (fun (q, _) -> q <> qid) p.legs)
+    orphans;
+  let stranded =
+    List.fold_left
+      (fun acc (_, p) ->
+        if p.legs = [] && not (List.memq p acc) then p :: acc else acc)
+      [] orphans
+  in
+  List.iter (dispatch t ~now) stranded
 
 (* ------------------------------------------------------------------ *)
 (* Worker lifecycle driven from the loop *)
@@ -335,6 +421,9 @@ let worker_ready t ~now w proc socket =
               ~timeout:t.health_timeout ~now w.wname
           in
           w.state <- Live { proc; wfd; wbuf = Buffer.create 1024; health };
+          (* A restarted worker gets a clean slate: whatever tripped
+             the breaker died with the old process. *)
+          (match w.breaker with Some b -> Breaker.reset b | None -> ());
           t.on_event (Worker_ready { name = w.wname; addr = socket });
           flush_parked t ~now)
 
@@ -383,21 +472,54 @@ let handle_worker_stdout t ~now scratch w =
       | _ -> ())
   | Idle _ | Gone -> ()
 
-let handle_worker_line t ~now w line =
+(* Deliver [line] (from [worker]) as the answer to [p]: cancel every
+   outstanding leg — a late duplicate from a hedge loser then finds no
+   inflight entry and is dropped — and write the rewritten response. *)
+let deliver t p line ~worker =
+  List.iter (fun (q, _) -> Hashtbl.remove t.inflight q) p.legs;
+  p.legs <- [];
+  p.provisional <- None;
+  match rewrite_response_line ~hedged:p.hedge_sent line ~id:p.orig_id ~worker with
+  | Some out -> client_write p.pclient (out ^ "\n")
+  | None -> ()
+
+(* Does this response line blame the *worker* (breaker evidence, and
+   worth holding back while a hedge leg may still answer)? Degraded
+   answers carry content, but an engine-failed one still marks the
+   worker sick. *)
+let response_failure line =
+  match Protocol.decode_response_line line with
+  | Ok (Protocol.Error { code; _ }) -> code = Protocol.code_engine_failed
+  | Ok (Protocol.Degraded { code; _ }) -> code = Protocol.code_engine_failed
+  | Ok _ -> false
+  | Error _ -> false
+
+let process_worker_line t ~now w line =
   match Protocol.request_id_of_line line with
   | None -> ()  (* not attributable; drop *)
   | Some id when Health.is_ping_id id -> (
+      (* A pong is the breaker's reachability evidence: an open
+         circuit moves to half-open, admitting one probe request. *)
+      (match w.breaker with Some b -> Breaker.note_pong b | None -> ());
       match w.state with
       | Live { health; _ } -> Health.pong ~now health id
       | _ -> ())
   | Some qid -> (
       match Hashtbl.find_opt t.inflight qid with
-      | None -> ()  (* already re-routed elsewhere; late duplicate *)
-      | Some p -> (
+      | None -> ()  (* cancelled hedge loser or re-routed; late duplicate *)
+      | Some p ->
+          let failure = response_failure line in
+          breaker_record t w ~ok:(not failure);
           Hashtbl.remove t.inflight qid;
-          match rewrite_response_line line ~id:p.orig_id ~worker:w.wname with
-          | Some out -> client_write p.pclient (out ^ "\n")
-          | None -> ()))
+          p.legs <- List.filter (fun (q, _) -> q <> qid) p.legs;
+          if (not failure) || p.legs = [] then
+            (* Content (or: every leg failed; answer with the freshest
+               failure rather than wait for nothing). *)
+            deliver t p line ~worker:w.wname
+          else
+            (* Hold the failure back: the other leg may still answer
+               with content. *)
+            p.provisional <- Some (line, w.wname))
 
 let handle_worker_conn t ~now scratch w =
   match w.state with
@@ -409,10 +531,104 @@ let handle_worker_conn t ~now scratch w =
       | 0 -> worker_death t ~now w "connection closed"
       | n ->
           Buffer.add_subbytes wbuf scratch 0 n;
-          drain_lines wbuf (handle_worker_line t ~now w))
+          (* The inbound link hook, applied per line: [drop] discards
+             the line (pongs included — that is what a partition looks
+             like from this side), [delay] defers its processing to
+             [tick], [crash] kills the connection (flagged and applied
+             after the drain, so the buffer stays coherent). *)
+          let link_crash = ref false in
+          drain_lines wbuf (fun line ->
+              if not !link_crash then
+                match Faults.link t.faults Faults.Link_recv with
+                | `Pass -> process_worker_line t ~now w line
+                | `Drop -> ()
+                | `Delay d ->
+                    t.delayed <-
+                      ( now +. d,
+                        Delayed_recv { dworker = w.wname; dline = line } )
+                      :: t.delayed
+                | exception Faults.Injected _ -> link_crash := true);
+          if !link_crash then worker_death t ~now w "link fault")
   | _ -> ()
 
-(* Time-driven work: respawns due, start timeouts, health probes. *)
+(* Flush delayed-link messages whose due time has passed. A send whose
+   worker died in the meantime is dropped (its leg re-routes via the
+   death path); a recv is processed as if it had just arrived. *)
+let deliver_delayed t ~now =
+  match t.delayed with
+  | [] -> ()
+  | _ ->
+      let due, later = List.partition (fun (at, _) -> at <= now) t.delayed in
+      t.delayed <- later;
+      List.iter
+        (fun (_, msg) ->
+          match msg with
+          | Delayed_send { dworker; dline } -> (
+              let w = worker_named t dworker in
+              match w.state with
+              | Live { wfd; _ } -> (
+                  match write_all wfd dline 0 (String.length dline) with
+                  | () -> ()
+                  | exception Unix.Unix_error _ ->
+                      worker_death t ~now w "write failed")
+              | _ -> ())
+          | Delayed_recv { dworker; dline } ->
+              process_worker_line t ~now (worker_named t dworker) dline)
+        (List.rev due)
+
+(* Hedging and the retransmit net, driven from [tick].
+
+   Hedge: a request whose single leg has waited [hedge_s] gets a
+   duplicate leg on the next admissible ring worker; the first
+   content-bearing answer wins and cancels the other ([deliver]). Safe
+   because verdicts are deterministic and workers coalesce by
+   fingerprint, so the loser burns at most one cache probe.
+
+   Retransmit: a request none of whose legs has answered for a full
+   [3 * health_timeout] has very likely had a line dropped on the
+   floor (an injected link fault, or a real lossy network) — without
+   this net the client would wait forever, since workers answer every
+   request they actually receive. Re-dispatching is safe for the same
+   reason hedging is: a merely-slow computation is coalesced on the
+   worker, not recomputed, and answers through the fresh leg. *)
+let hedge_and_retransmit t ~now =
+  let distinct = ref [] in
+  Hashtbl.iter
+    (fun _ p -> if not (List.memq p !distinct) then distinct := p :: !distinct)
+    t.inflight;
+  List.iter
+    (fun p ->
+      if p.legs <> [] && now -. p.sent_at > 3.0 *. t.health_timeout then begin
+        List.iter (fun (q, _) -> Hashtbl.remove t.inflight q) p.legs;
+        p.legs <- [];
+        p.hedge_sent <- false;
+        dispatch t ~now p
+      end
+      else if
+        t.hedge_s > 0.
+        && (not p.hedge_sent)
+        && (match p.legs with [ _ ] -> true | _ -> false)
+        && now -. p.sent_at >= t.hedge_s
+      then
+        let on_leg n = List.exists (fun (_, wn) -> wn = n) p.legs in
+        match
+          Ring.route
+            ~accept:(fun n -> (not (on_leg n)) && admits (worker_named t n))
+            t.ring p.pkey
+        with
+        | None -> ()  (* nowhere to hedge to; the net still applies *)
+        | Some name ->
+            p.hedge_sent <- true;
+            Mutex.lock t.stats_lock;
+            t.st_hedged <- t.st_hedged + 1;
+            Mutex.unlock t.stats_lock;
+            t.on_event (Hedged { id = p.orig_id; worker = name });
+            forward t ~now (worker_named t name) p)
+    !distinct
+
+(* Time-driven work: respawns due, start timeouts, health probes,
+   delayed link messages, hedges/retransmits, and parked requests a
+   breaker transition may have unblocked. *)
 let tick t ~now =
   Array.iter
     (fun w ->
@@ -429,12 +645,28 @@ let tick t ~now =
             | None -> ()
             | Some id -> (
                 let line = Json.to_string (Protocol.ping ~id) ^ "\n" in
-                match write_all wfd line 0 (String.length line) with
-                | () -> ()
-                | exception Unix.Unix_error _ ->
-                    worker_death t ~now w "ping write failed"))
+                (* Pings ride the same link as requests: a dropped ping
+                   never pongs, so a partitioned-off worker fails its
+                   health check exactly like a dead one. *)
+                match Faults.link t.faults Faults.Link_send with
+                | exception Faults.Injected _ ->
+                    worker_death t ~now w "link fault"
+                | `Drop -> ()
+                | `Delay d ->
+                    t.delayed <-
+                      ( now +. d,
+                        Delayed_send { dworker = w.wname; dline = line } )
+                      :: t.delayed
+                | `Pass -> (
+                    match write_all wfd line 0 (String.length line) with
+                    | () -> ()
+                    | exception Unix.Unix_error _ ->
+                        worker_death t ~now w "ping write failed")))
       | _ -> ())
-    t.workers
+    t.workers;
+  deliver_delayed t ~now;
+  hedge_and_retransmit t ~now;
+  if t.parked <> [] && Array.exists admits t.workers then flush_parked t ~now
 
 (* ------------------------------------------------------------------ *)
 (* Client side *)
@@ -463,7 +695,10 @@ let handle_request t ~now client line =
             pline = line;
             pkey = routing_key t req.Protocol.cfg;
             attempts = 0;
-            pworker = "";
+            legs = [];
+            sent_at = now;
+            hedge_sent = false;
+            provisional = None;
           }
         in
         dispatch t ~now p
@@ -481,10 +716,16 @@ let handle_client_read t ~now scratch c =
 (* The loop *)
 
 let cancel_all t reason =
+  (* A hedged request holds one inflight entry per leg; cancel each
+     request once. *)
+  let cancelled = ref [] in
   Hashtbl.iter
     (fun _ p ->
-      client_respond p.pclient
-        (Protocol.Cancelled { id = p.orig_id; reason }))
+      if not (List.memq p !cancelled) then begin
+        cancelled := p :: !cancelled;
+        client_respond p.pclient
+          (Protocol.Cancelled { id = p.orig_id; reason })
+      end)
     t.inflight;
   Hashtbl.reset t.inflight;
   List.iter
@@ -615,9 +856,12 @@ let bind_listen addr =
 let start ?(vnodes = 512) ?(supervisor = Resilience.Supervisor.default)
     ?(max_restarts = 5) ?(restart_window_s = 30.0) ?(health_interval = 0.5)
     ?(health_timeout = 3.0) ?(start_timeout = 10.0) ?(grace = 10.0)
-    ?kill_after ?(on_event = fun (_ : event) -> ()) ~exe ~worker_args
-    ~workers addr =
+    ?kill_after ?(faults = Faults.disabled) ?(hedge_ms = 0)
+    ?(breaker_window = 0) ?(on_event = fun (_ : event) -> ()) ~exe
+    ~worker_args ~workers addr =
   if workers < 1 then invalid_arg "Router.start: workers < 1";
+  if hedge_ms < 0 then invalid_arg "Router.start: hedge_ms < 0";
+  if breaker_window < 0 then invalid_arg "Router.start: breaker_window < 0";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd = bind_listen addr in
   let bound =
@@ -637,6 +881,9 @@ let start ?(vnodes = 512) ?(supervisor = Resilience.Supervisor.default)
       gate =
         Resilience.Supervisor.Restarts.create ~max_restarts
           ~window_s:restart_window_s supervisor;
+      breaker =
+        (if breaker_window = 0 then None
+         else Some (Breaker.create ~window:breaker_window ()));
     }
   in
   let t =
@@ -661,11 +908,16 @@ let start ?(vnodes = 512) ?(supervisor = Resilience.Supervisor.default)
       health_timeout;
       start_timeout;
       grace;
+      faults;
+      hedge_s = float_of_int hedge_ms /. 1000.;
+      delayed = [];
       on_event;
       stats_lock = Mutex.create ();
       st_forwarded = Hashtbl.create 8;
       st_rerouted = 0;
       st_restarts = 0;
+      st_hedged = 0;
+      st_breaker_opens = 0;
       join_lock = Mutex.create ();
       loop_domain = None;
     }
@@ -706,7 +958,13 @@ let stats t =
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.st_forwarded [])
   in
   let s =
-    { forwarded; rerouted = t.st_rerouted; restarts = t.st_restarts }
+    {
+      forwarded;
+      rerouted = t.st_rerouted;
+      restarts = t.st_restarts;
+      hedged = t.st_hedged;
+      breaker_opens = t.st_breaker_opens;
+    }
   in
   Mutex.unlock t.stats_lock;
   s

@@ -30,7 +30,30 @@
     ids on the worker leg and restores the client's id on the way
     back, appending a [worker] field naming the serving shard (how
     {!Service.Loadgen} measures per-worker distribution). Heartbeat
-    ids live in the [hb:] namespace and never collide with these. *)
+    ids live in the [hb:] namespace and never collide with these.
+
+    {b Circuit breakers.} With [breaker_window > 0] each worker gets a
+    {!Breaker}: a worker whose recent requests keep failing is routed
+    around ({e before} the restart gate would fire — it may be
+    perfectly alive, just sick), its pongs move the open circuit to
+    half-open, and one probe request decides between closing it and
+    re-opening. Requests with no admissible worker park exactly like
+    requests with no live worker.
+
+    {b Hedging.} With [hedge_ms > 0], a request whose first answer has
+    not arrived within that delay is duplicated onto the next
+    admissible ring worker; the first content-bearing response wins,
+    the loser's inflight entry is cancelled, and the winning response
+    carries ["hedged":true]. Safe because verdicts are deterministic
+    and workers coalesce by fingerprint.
+
+    {b Link chaos.} The [faults] registry's [link_send]/[link_recv]
+    rules apply per router↔worker line (requests, responses, and
+    heartbeats alike): [drop] loses the line, [delay] defers it on a
+    queue flushed by the loop (never sleeping the loop itself), and
+    [crash] kills the connection. A retransmit net re-dispatches any
+    request silent for [3 * health_timeout], so a dropped line
+    degrades latency, never loses the answer. *)
 
 type event =
   | Worker_spawned of { name : string; pid : int }
@@ -43,11 +66,20 @@ type event =
           client's *)
   | Killed_by_request of { name : string; nth : int }
       (** the [kill_after] testing hook fired *)
+  | Breaker_opened of { name : string }
+      (** the worker's failure rate tripped its circuit breaker *)
+  | Breaker_closed of { name : string }
+      (** a half-open probe succeeded; traffic restored *)
+  | Hedged of { id : string; worker : string }
+      (** a duplicate leg was dispatched to [worker]; [id] is the
+          client's *)
 
 type stats = {
   forwarded : (string * int) list;  (** per worker name, sorted *)
   rerouted : int;
   restarts : int;  (** worker deaths observed (respawned or not) *)
+  hedged : int;  (** duplicate legs dispatched *)
+  breaker_opens : int;  (** circuit-breaker trips across the fleet *)
 }
 
 type t
@@ -62,6 +94,9 @@ val start :
   ?start_timeout:float ->
   ?grace:float ->
   ?kill_after:int ->
+  ?faults:Resilience.Faults.t ->
+  ?hedge_ms:int ->
+  ?breaker_window:int ->
   ?on_event:(event -> unit) ->
   exe:string ->
   worker_args:string list ->
@@ -77,10 +112,15 @@ val start :
     pace the heartbeats; [start_timeout] (10 s) bounds spawn-to-ready;
     [grace] (10 s) bounds the {!stop} drain. [kill_after n] SIGKILLs
     whichever worker receives the [n]-th forwarded request — the CI
-    crash-mid-stream hook. [on_event] runs on the loop domain: keep it
-    quick, never raise.
+    crash-mid-stream hook. [faults] arms the router-side link chaos
+    ([link_send]/[link_recv] rules; default disabled); [hedge_ms]
+    (default 0 = off) is the first-byte wait before a request is
+    hedged; [breaker_window] (default 0 = off) is the per-worker
+    outcome window, tripping at half failing. [on_event] runs on the
+    loop domain: keep it quick, never raise.
     @raise Unix.Unix_error if [addr] cannot be bound.
-    @raise Invalid_argument if [workers < 1]. *)
+    @raise Invalid_argument if [workers < 1], [hedge_ms < 0], or
+    [breaker_window < 0]. *)
 
 val stop : t -> unit
 (** Request a drain (idempotent, signal-safe): stop accepting, answer
@@ -104,5 +144,7 @@ val stats : t -> stats
 val rewrite_request_id : string -> id:string -> string option
 (** Replace the object's [id] (first field of the result). *)
 
-val rewrite_response_line : string -> id:string -> worker:string -> string option
-(** Replace [id] and append a [worker] field naming the shard. *)
+val rewrite_response_line :
+  ?hedged:bool -> string -> id:string -> worker:string -> string option
+(** Replace [id] and append a [worker] field naming the shard, plus
+    ["hedged":true] when the request was hedged (default [false]). *)

@@ -8,7 +8,11 @@ type point =
   | Cache_write
   | Sock_send
   | Sock_recv
+  | Link_send
+  | Link_recv
 
+(* Link_* are appended so the salts (and hence the decision streams)
+   of every pre-existing point are unchanged by their addition. *)
 let point_index = function
   | Engine_start -> 0
   | Engine_step -> 1
@@ -16,8 +20,10 @@ let point_index = function
   | Cache_write -> 3
   | Sock_send -> 4
   | Sock_recv -> 5
+  | Link_send -> 6
+  | Link_recv -> 7
 
-let n_points = 6
+let n_points = 8
 
 let point_to_string = function
   | Engine_start -> "engine_start"
@@ -26,6 +32,8 @@ let point_to_string = function
   | Cache_write -> "cache_write"
   | Sock_send -> "sock_send"
   | Sock_recv -> "sock_recv"
+  | Link_send -> "link_send"
+  | Link_recv -> "link_recv"
 
 let point_of_string = function
   | "engine_start" -> Some Engine_start
@@ -34,16 +42,25 @@ let point_of_string = function
   | "cache_write" -> Some Cache_write
   | "sock_send" -> Some Sock_send
   | "sock_recv" -> Some Sock_recv
+  | "link_send" -> Some Link_send
+  | "link_recv" -> Some Link_recv
   | _ -> None
 
 exception Injected of { point : string; action : string }
 
-type action = Crash | Stall of float (* seconds *) | Corrupt
+type action =
+  | Crash
+  | Stall of float (* seconds *)
+  | Corrupt
+  | Delay of float (* seconds; returned, not slept, at link points *)
+  | Drop
 
 let action_to_string = function
   | Crash -> "crash"
   | Corrupt -> "corrupt"
   | Stall s -> Printf.sprintf "stall%.0f" (s *. 1000.)
+  | Delay s -> Printf.sprintf "delay%.0f" (s *. 1000.)
+  | Drop -> "drop"
 
 type rule = {
   point : point;
@@ -113,8 +130,38 @@ let hit t point =
           | Crash ->
               if fires t r <> None then
                 raise (Injected { point = point_to_string point; action = "crash" })
-          | Stall s -> if fires t r <> None then Unix.sleepf s)
+          | Drop ->
+              if fires t r <> None then
+                raise (Injected { point = point_to_string point; action = "drop" })
+          | Stall s | Delay s -> if fires t r <> None then Unix.sleepf s)
         rules
+
+(* The link variant never sleeps: the router runs one select loop, so a
+   delay must be returned to the caller (which defers the message)
+   rather than blocking every connection behind it. Drop dominates any
+   delay; crash rules still raise, modelling a link whose failure kills
+   the endpoint's connection. *)
+let link t point =
+  match t.by_point.(point_index point) with
+  | [] -> `Pass
+  | rules ->
+      List.fold_left
+        (fun acc r ->
+          match r.action with
+          | Corrupt -> acc
+          | Crash ->
+              if fires t r <> None then
+                raise (Injected { point = point_to_string point; action = "crash" })
+              else acc
+          | Drop -> if fires t r <> None then `Drop else acc
+          | Stall s | Delay s -> (
+              if fires t r = None then acc
+              else
+                match acc with
+                | `Drop -> `Drop
+                | `Delay d -> `Delay (Float.max d s)
+                | `Pass -> `Delay s))
+        `Pass rules
 
 let corrupt t point payload =
   match t.by_point.(point_index point) with
@@ -123,7 +170,7 @@ let corrupt t point payload =
       List.fold_left
         (fun payload r ->
           match r.action with
-          | Crash | Stall _ -> payload
+          | Crash | Stall _ | Delay _ | Drop -> payload
           | Corrupt -> (
               if String.length payload = 0 then payload
               else
@@ -172,11 +219,18 @@ let to_spec t =
 let parse_action s =
   if s = "crash" then Ok Crash
   else if s = "corrupt" then Ok Corrupt
+  else if s = "drop" then Ok Drop
   else if String.length s > 5 && String.sub s 0 5 = "stall" then
     match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
     | Some ms when ms >= 0 -> Ok (Stall (float_of_int ms /. 1000.))
     | _ -> Error (Printf.sprintf "bad stall duration in %S" s)
-  else Error (Printf.sprintf "unknown action %S (crash|corrupt|stallMS)" s)
+  else if String.length s > 5 && String.sub s 0 5 = "delay" then
+    match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some ms when ms >= 0 -> Ok (Delay (float_of_int ms /. 1000.))
+    | _ -> Error (Printf.sprintf "bad delay duration in %S" s)
+  else
+    Error
+      (Printf.sprintf "unknown action %S (crash|corrupt|drop|stallMS|delayMS)" s)
 
 (* Split trailing [xN] / [@P] suffixes off an action token. *)
 let parse_rule idx token =

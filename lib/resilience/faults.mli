@@ -27,12 +27,20 @@
       SEED[:RULE{,RULE}]
       RULE   ::= POINT '=' ACTION ['@' PROB] ['x' LIMIT]
       POINT  ::= engine_start | engine_step | cache_read | cache_write
-               | sock_send | sock_recv
-      ACTION ::= crash | corrupt | stall MILLIS
+               | sock_send | sock_recv | link_send | link_recv
+      ACTION ::= crash | corrupt | drop | stall MILLIS | delay MILLIS
     v}
-    e.g. ["7:engine_start=crash@0.2x8,cache_read=corrupt@0.3x6"]. A
-    bare seed selects {!default_spec}. [PROB] defaults to 1, [LIMIT]
-    to unlimited. *)
+    e.g. ["7:engine_start=crash@0.2x8,cache_read=corrupt@0.3x6"] or
+    ["3:link_recv=drop@0.5x8,link_send=delay400x6"]. A bare seed
+    selects {!default_spec}. [PROB] defaults to 1, [LIMIT] to
+    unlimited.
+
+    The [link_send]/[link_recv] points model the router↔worker network
+    and are consulted through {!link} rather than {!hit}: a [delay]
+    there is {e returned} to the caller for deferred delivery instead
+    of slept inline (the router is a single select loop), and [drop]
+    discards the message. At every other point [delay] behaves like
+    [stall] and [drop] like [crash]. *)
 
 type point =
   | Engine_start  (** before each supervised engine attempt *)
@@ -41,6 +49,8 @@ type point =
   | Cache_write  (** before persisting a verdict-cache entry *)
   | Sock_send  (** before writing a response line to a client *)
   | Sock_recv  (** before reading request bytes from a client *)
+  | Link_send  (** before the router writes a line to a worker *)
+  | Link_recv  (** after the router reads a line from a worker *)
 
 val point_to_string : point -> string
 val point_of_string : string -> point option
@@ -77,7 +87,17 @@ val seed : t -> int
 val hit : t -> point -> unit
 (** Give every [crash]/[stall] rule on [point] its chance to fire:
     raise {!Injected}, or sleep the stall duration, or do nothing.
-    [corrupt] rules never fire here. *)
+    [drop] rules raise like [crash] (action ["drop"]), [delay] rules
+    sleep like [stall]. [corrupt] rules never fire here. *)
+
+val link : t -> point -> [ `Pass | `Drop | `Delay of float ]
+(** The non-blocking variant for router↔worker link points: give every
+    rule on [point] its chance to fire, but {e return} the verdict
+    instead of sleeping. [`Drop] means discard the message (it
+    dominates any delay); [`Delay s] means deliver it [s] seconds
+    late (the longest firing delay wins); [crash] rules raise
+    {!Injected} as usual. Each rule's hit counter advances exactly
+    once per call, so the firing set is as deterministic as {!hit}'s. *)
 
 val corrupt : t -> point -> string -> string
 (** Give every [corrupt] rule on [point] its chance to flip one byte

@@ -5,6 +5,7 @@ type mode = Open_loop of float | Closed_loop of int
 type report = {
   requests : int;
   ok : int;
+  degraded : int;
   holds : int;
   violated : int;
   unknown : int;
@@ -13,10 +14,14 @@ type report = {
   cancelled : int;
   protocol_errors : int;
   retries : int;
+  conn_retries : int;
+  engine_retries : int;
   engine_failed : int;
   cache_hits : int;
   coalesced : int;
   session_reuses : int;
+  hedged : int;
+  breaker_opens : int;
   wall_s : float;
   throughput_rps : float;
   p50_ms : float;
@@ -154,6 +159,7 @@ let stream ~seed ~exhaustive ~nodes_choices ~depths ~deadline_ms ~configs
 type acc = {
   lock : Mutex.t;
   mutable ok : int;
+  mutable degraded : int;
   mutable holds : int;
   mutable violated : int;
   mutable unknown : int;
@@ -161,11 +167,13 @@ type acc = {
   mutable overloaded : int;
   mutable cancelled : int;
   mutable protocol_errors : int;
-  mutable retries : int;
+  mutable conn_retries : int;
+  mutable engine_retries : int;
   mutable engine_failed : int;
   mutable cache_hits : int;
   mutable coalesced : int;
   mutable session_reuses : int;
+  mutable hedged : int;
   mutable latencies_ms : float list;  (** answered requests only *)
   mutable last_response_at : float;
   workers : (string, int) Hashtbl.t;
@@ -177,6 +185,7 @@ let acc () =
   {
     lock = Mutex.create ();
     ok = 0;
+    degraded = 0;
     holds = 0;
     violated = 0;
     unknown = 0;
@@ -184,19 +193,30 @@ let acc () =
     overloaded = 0;
     cancelled = 0;
     protocol_errors = 0;
-    retries = 0;
+    conn_retries = 0;
+    engine_retries = 0;
     engine_failed = 0;
     cache_hits = 0;
     coalesced = 0;
     session_reuses = 0;
+    hedged = 0;
     latencies_ms = [];
     last_response_at = 0.;
     workers = Hashtbl.create 8;
   }
 
-let count_retry acc n =
+(* The two retry currencies, reported separately: a transport retry
+   (lost/garbled connection — e.g. a drop-injected link fault) tells a
+   different story from re-asking after a structured [engine_failed]
+   answer. *)
+let count_conn_retry acc n =
   Mutex.lock acc.lock;
-  acc.retries <- acc.retries + n;
+  acc.conn_retries <- acc.conn_retries + n;
+  Mutex.unlock acc.lock
+
+let count_engine_retry acc n =
+  Mutex.lock acc.lock;
+  acc.engine_retries <- acc.engine_retries + n;
   Mutex.unlock acc.lock
 
 let count_engine_failed acc =
@@ -211,15 +231,18 @@ let count_protocol_errors acc n =
 
 let count_worker acc line =
   (* The cluster router annotates forwarded responses with the serving
-     worker's name; a plain daemon's responses have no such field. *)
+     worker's name (and ["hedged":true] when a duplicate leg raced for
+     it); a plain daemon's responses have no such fields. *)
   match Json.of_string line with
   | Error _ -> ()
-  | Ok j -> (
-      match Option.bind (Json.member "worker" j) Json.string_value with
+  | Ok j ->
+      (match Option.bind (Json.member "worker" j) Json.string_value with
       | None -> ()
       | Some w ->
           Hashtbl.replace acc.workers w
-            (1 + Option.value ~default:0 (Hashtbl.find_opt acc.workers w)))
+            (1 + Option.value ~default:0 (Hashtbl.find_opt acc.workers w)));
+      if Option.bind (Json.member "hedged" j) Json.bool_value = Some true then
+        acc.hedged <- acc.hedged + 1
 
 let record acc ~sent_at line =
   let at = Unix.gettimeofday () in
@@ -231,6 +254,16 @@ let record acc ~sent_at line =
   | Ok (Protocol.Pong _) -> ()
   | Ok (Protocol.Overloaded _) -> acc.overloaded <- acc.overloaded + 1
   | Ok (Protocol.Cancelled _) -> acc.cancelled <- acc.cancelled + 1
+  | Ok (Protocol.Degraded { reused_session; _ }) ->
+      (* A partial answer with content: counted apart from [ok] but
+         very much answered — it gets a latency sample and worker
+         attribution like any other answer. *)
+      count_worker acc line;
+      acc.degraded <- acc.degraded + 1;
+      (match sent_at with
+      | Some t0 -> acc.latencies_ms <- ((at -. t0) *. 1000.) :: acc.latencies_ms
+      | None -> ());
+      if reused_session then acc.session_reuses <- acc.session_reuses + 1
   | Ok (Protocol.Answer { cache_hit; coalesced; reused_session; verdict; _ })
     ->
       count_worker acc line;
@@ -311,13 +344,13 @@ let run_closed ~concurrency ~retry_budget ~reqs addr acc =
           | `Answered resp -> record acc ~sent_at:(Some t0) resp
           | `Engine_failed _ when budget > 0 ->
               count_engine_failed acc;
-              count_retry acc 1;
+              count_engine_retry acc 1;
               attempt (budget - 1)
           | `Engine_failed resp ->
               count_engine_failed acc;
               record acc ~sent_at:None resp
           | (`Conn_lost | `Garbled) when budget > 0 ->
-              count_retry acc 1;
+              count_conn_retry acc 1;
               attempt (budget - 1)
           | `Conn_lost | `Garbled -> count_protocol_errors acc 1
         in
@@ -408,7 +441,12 @@ let run_open ~rate ~retry_budget ~reqs addr acc =
         in
         if retryable = [] then ()
         else if budget > 0 then begin
-          count_retry acc (List.length retryable);
+          let engine_n =
+            List.length
+              (List.filter (fun (id, _) -> Hashtbl.mem failed id) retryable)
+          in
+          count_engine_retry acc engine_n;
+          count_conn_retry acc (List.length retryable - engine_n);
           round retryable (budget - 1)
         end
         else
@@ -484,6 +522,7 @@ let run ?(seed = 1) ?(exhaustive = false) ?(nodes = 2) ?(depth = 24)
   {
     requests;
     ok = a.ok;
+    degraded = a.degraded;
     holds = a.holds;
     violated = a.violated;
     unknown = a.unknown;
@@ -491,11 +530,15 @@ let run ?(seed = 1) ?(exhaustive = false) ?(nodes = 2) ?(depth = 24)
     overloaded = a.overloaded;
     cancelled = a.cancelled;
     protocol_errors = a.protocol_errors;
-    retries = a.retries;
+    retries = a.conn_retries + a.engine_retries;
+    conn_retries = a.conn_retries;
+    engine_retries = a.engine_retries;
     engine_failed = a.engine_failed;
     cache_hits = a.cache_hits;
     coalesced = a.coalesced;
     session_reuses = a.session_reuses;
+    hedged = a.hedged;
+    breaker_opens = 0;
     wall_s;
     throughput_rps = float_of_int requests /. wall_s;
     p50_ms = percentile sorted 50.;
@@ -520,6 +563,7 @@ let report_to_json ~mode r =
       ("mode", mode_to_json mode);
       ("requests", Json.Int r.requests);
       ("ok", Json.Int r.ok);
+      ("degraded", Json.Int r.degraded);
       ("holds", Json.Int r.holds);
       ("violated", Json.Int r.violated);
       ("unknown", Json.Int r.unknown);
@@ -528,10 +572,14 @@ let report_to_json ~mode r =
       ("cancelled", Json.Int r.cancelled);
       ("protocol_errors", Json.Int r.protocol_errors);
       ("retries", Json.Int r.retries);
+      ("conn_retries", Json.Int r.conn_retries);
+      ("engine_retries", Json.Int r.engine_retries);
       ("engine_failed", Json.Int r.engine_failed);
       ("cache_hits", Json.Int r.cache_hits);
       ("coalesced", Json.Int r.coalesced);
       ("session_reuses", Json.Int r.session_reuses);
+      ("hedged", Json.Int r.hedged);
+      ("breaker_opens", Json.Int r.breaker_opens);
       ("wall_s", Json.Float r.wall_s);
       ("throughput_rps", Json.Float r.throughput_rps);
       ("p50_ms", Json.Float r.p50_ms);
@@ -545,16 +593,16 @@ let report_to_json ~mode r =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>requests  %d (%d ok, %d overloaded, %d cancelled, %d protocol \
-     errors)@,verdicts  %d holds, %d violated, %d unknown (%d past \
+    "@[<v>requests  %d (%d ok, %d degraded, %d overloaded, %d cancelled, %d \
+     protocol errors)@,verdicts  %d holds, %d violated, %d unknown (%d past \
      deadline)@,dedup     %d cache hits, %d coalesced, %d warm-session \
-     reuses@,resilience %d retries, %d engine-failed responses@,wall      \
-     %.2fs (%.1f req/s)@,latency   p50 %.1fms  p95 %.1fms  p99 %.1fms  max \
-     %.1fms@]@."
-    r.requests r.ok r.overloaded r.cancelled r.protocol_errors r.holds
-    r.violated r.unknown r.deadline_exceeded r.cache_hits r.coalesced
-    r.session_reuses r.retries r.engine_failed r.wall_s r.throughput_rps
-    r.p50_ms r.p95_ms r.p99_ms r.max_ms;
+     reuses@,resilience %d retries (%d conn, %d engine), %d engine-failed \
+     responses, %d hedged@,wall      %.2fs (%.1f req/s)@,latency   p50 \
+     %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms@]@."
+    r.requests r.ok r.degraded r.overloaded r.cancelled r.protocol_errors
+    r.holds r.violated r.unknown r.deadline_exceeded r.cache_hits r.coalesced
+    r.session_reuses r.retries r.conn_retries r.engine_retries r.engine_failed
+    r.hedged r.wall_s r.throughput_rps r.p50_ms r.p95_ms r.p99_ms r.max_ms;
   if r.per_worker <> [] then
     Format.fprintf ppf "workers   %s (imbalance %.2f)@."
       (String.concat ", "

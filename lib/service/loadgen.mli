@@ -24,7 +24,9 @@
     [retry_budget] retries per request. Only a request whose budget is
     exhausted counts as a protocol error. [retries] and
     [engine_failed] in the report count the resends and the
-    engine-failure responses observed across all attempts. *)
+    engine-failure responses observed across all attempts;
+    [conn_retries]/[engine_retries] split the resends by cause, so a
+    chaos run can tell link loss from engine failure. *)
 
 type mode = Open_loop of float  (** target requests/second *)
           | Closed_loop of int  (** concurrent in-flight requests *)
@@ -32,6 +34,10 @@ type mode = Open_loop of float  (** target requests/second *)
 type report = {
   requests : int;  (** sent *)
   ok : int;  (** [status:"ok"] responses *)
+  degraded : int;
+      (** [status:"degraded"] responses — partial answers carrying a
+          certified [clean_depth] (see {!Protocol}); counted apart from
+          [ok] and never retried *)
   holds : int;
   violated : int;
   unknown : int;
@@ -41,7 +47,14 @@ type report = {
   protocol_errors : int;
       (** [status:"error"] responses plus undecodable response lines
           and requests still unanswered after the retry budget *)
-  retries : int;  (** resends after connection loss or engine failure *)
+  retries : int;  (** resends after connection loss or engine failure
+                      ([conn_retries + engine_retries], kept for
+                      back-compat) *)
+  conn_retries : int;
+      (** resends caused by a lost/garbled connection (e.g. a
+          [drop]-injected link fault downstream) *)
+  engine_retries : int;
+      (** resends caused by an [engine_failed] error response *)
   engine_failed : int;
       (** [code:"engine_failed"] responses seen (retried ones included) *)
   cache_hits : int;
@@ -50,6 +63,13 @@ type report = {
       (** answers flagged [reused_session] — served from a warm pooled
           solver session (always [0] against a daemon without
           [--sessions]) *)
+  hedged : int;
+      (** answers flagged ["hedged":true] — won by a duplicate leg the
+          router raced (always [0] against a plain daemon) *)
+  breaker_opens : int;
+      (** circuit-breaker trips — not observable over the wire, so [0]
+          here; in-process bench drivers override it from
+          router stats *)
   wall_s : float;  (** first send to last response *)
   throughput_rps : float;
   p50_ms : float;

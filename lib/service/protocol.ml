@@ -172,20 +172,37 @@ type response =
       reused_session : bool;
       warm_depth : int;
     }
+  | Degraded of {
+      id : string;
+      code : string;  (** why no full answer: deadline_exceeded | engine_failed *)
+      clean_depth : int;  (** no counterexample up to this depth *)
+      engine : string;
+      wall_ms : float;
+      queue_ms : float;
+      reused_session : bool;
+      warm_depth : int;
+    }
   | Overloaded of { id : string }
   | Cancelled of { id : string; reason : string }
   | Error of { id : string option; code : string; reason : string }
   | Pong of { id : string }
 
 (* The machine-readable rejection codes. Overloaded and Cancelled carry
-   theirs implicitly; Error picks between the remaining two. *)
+   theirs implicitly; Error picks between bad_request and
+   engine_failed; Degraded between engine_failed and
+   deadline_exceeded. *)
 let code_overloaded = "overloaded"
 let code_draining = "draining"
 let code_bad_request = "bad_request"
 let code_engine_failed = "engine_failed"
+let code_deadline_exceeded = "deadline_exceeded"
 
 let response_id = function
-  | Answer { id; _ } | Overloaded { id } | Cancelled { id; _ } | Pong { id } ->
+  | Answer { id; _ }
+  | Degraded { id; _ }
+  | Overloaded { id }
+  | Cancelled { id; _ }
+  | Pong { id } ->
       Some id
   | Error { id; _ } -> id
 
@@ -234,6 +251,32 @@ let encode_response = function
             ("reused_session", Json.Bool reused_session);
             ("warm_depth", Json.Int warm_depth);
           ])
+  | Degraded
+      {
+        id;
+        code;
+        clean_depth;
+        engine;
+        wall_ms;
+        queue_ms;
+        reused_session;
+        warm_depth;
+      } ->
+      Json.Obj
+        [
+          ("id", Json.String id);
+          ("status", Json.String "degraded");
+          ("code", Json.String code);
+          ("clean_depth", Json.Int clean_depth);
+          ( "detail",
+            Json.String
+              (Printf.sprintf "no counterexample up to depth %d" clean_depth) );
+          ("engine", Json.String engine);
+          ("wall_ms", Json.Float wall_ms);
+          ("queue_ms", Json.Float queue_ms);
+          ("reused_session", Json.Bool reused_session);
+          ("warm_depth", Json.Int warm_depth);
+        ]
   | Overloaded { id } ->
       Json.Obj
         [
@@ -348,6 +391,41 @@ let decode_response j : (response, string) result =
                  engine;
                  cache_hit;
                  coalesced;
+                 wall_ms;
+                 queue_ms;
+                 reused_session;
+                 warm_depth;
+               })
+      | Some "degraded" ->
+          let* id =
+            match id with
+            | Some id -> Ok id
+            | None -> Error "missing field \"id\""
+          in
+          let* code = required_string "code" j in
+          let* clean_depth =
+            match Option.bind (field "clean_depth" j) Json.int_value with
+            | Some d -> Ok d
+            | None -> Error "missing or non-integer field \"clean_depth\""
+          in
+          let* engine = required_string "engine" j in
+          let* wall_ms = number "wall_ms" j in
+          let* queue_ms = number "queue_ms" j in
+          let reused_session =
+            Option.value ~default:false
+              (Option.bind (field "reused_session" j) Json.bool_value)
+          in
+          let warm_depth =
+            Option.value ~default:0
+              (Option.bind (field "warm_depth" j) Json.int_value)
+          in
+          Ok
+            (Degraded
+               {
+                 id;
+                 code;
+                 clean_depth;
+                 engine;
                  wall_ms;
                  queue_ms;
                  reused_session;

@@ -33,6 +33,13 @@
       warm-session reuse: whether the run checked out a live solver
       session from the pool, and how deep that session's unrolling
       already was (see doc/sessions.md).
+    - [status:"degraded"] — the request could not be answered in full
+      ([code] says why: [deadline_exceeded] or [engine_failed]) but
+      its warm BMC session had already certified some depths, so the
+      answer still carries content: [clean_depth] is the largest [k]
+      with no counterexample up to depth [k] (see doc/sessions.md and
+      doc/cluster.md). Strictly better than a bare error: a client
+      that only needed a shallow guarantee may be done.
     - [status:"overloaded"] — shed by admission control (bounded
       queue full). The request was {e not} and will not be run.
     - [status:"cancelled"] — accepted but abandoned, e.g. by a
@@ -44,9 +51,9 @@
 
     Every non-[ok] response additionally carries a machine-readable
     [code] — one of [overloaded], [draining], [bad_request],
-    [engine_failed] — so clients can branch on the cause (e.g. retry
-    on [engine_failed], back off on [overloaded]) without parsing the
-    human-oriented [reason].
+    [engine_failed], [deadline_exceeded] — so clients can branch on
+    the cause (e.g. retry on [engine_failed], back off on
+    [overloaded]) without parsing the human-oriented [reason].
 
     Decoding is total: every malformed input maps to [Error _], never
     an exception. *)
@@ -142,6 +149,19 @@ type response =
           (** the checked-out session's unrolling depth before the run
               (0 on a cold session) *)
     }
+  | Degraded of {
+      id : string;
+      code : string;
+          (** {!code_deadline_exceeded} or {!code_engine_failed} *)
+      clean_depth : int;
+          (** largest depth certified counterexample-free before the
+              run failed or timed out *)
+      engine : string;
+      wall_ms : float;
+      queue_ms : float;
+      reused_session : bool;
+      warm_depth : int;
+    }  (** wire [status:"degraded"] — a partial answer with content *)
   | Overloaded of { id : string }  (** wire [code]: [overloaded] *)
   | Cancelled of { id : string; reason : string }
       (** wire [code]: [draining] *)
@@ -154,8 +174,9 @@ val code_overloaded : string
 val code_draining : string
 val code_bad_request : string
 val code_engine_failed : string
-(** The four machine-readable rejection codes; see the format notes
-    above. *)
+val code_deadline_exceeded : string
+(** The machine-readable rejection/degradation codes; see the format
+    notes above. *)
 
 val response_id : response -> string option
 

@@ -17,6 +17,10 @@ and outcome = {
   expired : bool;
   reused_session : bool;
   warm_depth : int;
+  clean_depth : int;
+      (** largest depth certified counterexample-free by the request's
+          warm session ([-1] when none) — what a degraded answer
+          reports when the verdict is inconclusive *)
 }
 
 type comp = {
@@ -110,8 +114,10 @@ let conclusive_cached cache ~model ~engines ~max_depth =
 (* ------------------------------------------------------------------ *)
 (* Workers *)
 
-let deliver t comp ~(result : Portfolio.result)
-    ?(attr = { Sessions.reused = false; warm_depth = 0 }) ~ran ~started_at () =
+let no_attr = { Sessions.reused = false; warm_depth = 0; clean_depth = -1 }
+
+let deliver t comp ~(result : Portfolio.result) ?(attr = no_attr) ~ran
+    ~started_at () =
   Mutex.lock t.lock;
   Hashtbl.remove t.inflight comp.ckey;
   let waiters = List.rev comp.waiters in
@@ -137,6 +143,7 @@ let deliver t comp ~(result : Portfolio.result)
           expired;
           reused_session = attr.Sessions.reused;
           warm_depth = attr.Sessions.warm_depth;
+          clean_depth = attr.Sessions.clean_depth;
         })
     waiters;
   if !n_expired > 0 then begin
@@ -210,9 +217,16 @@ let run_on_session t comp ~pool ~engine ~cancel =
   | exception e ->
       (* Retries exhausted (or a non-engine bug): parity with the
          portfolio path — a recorded failure the protocol layer turns
-         into [engine_failed], not an exception unwinding the
-         worker. *)
-      let msg = Printexc.to_string e in
+         into [engine_failed], not an exception unwinding the worker.
+         [Engine_failed] additionally carries the best clean depth the
+         failed attempts certified, so the answer can degrade with
+         content instead of erroring empty-handed. *)
+      let msg, clean_depth =
+        match e with
+        | Sessions.Engine_failed { message; clean_depth } ->
+            (message, clean_depth)
+        | e -> (Printexc.to_string e, -1)
+      in
       ( {
           Portfolio.config = comp.cfg;
           engine;
@@ -222,7 +236,7 @@ let run_on_session t comp ~pool ~engine ~cancel =
           runs = [];
           failures = [ (engine, msg) ];
         },
-        { Sessions.reused = false; warm_depth = 0 } )
+        { no_attr with Sessions.clean_depth } )
 
 let execute t comp =
   let started_at = now () in
@@ -235,7 +249,15 @@ let execute t comp =
   let result, attr, ran =
     match skip with
     | Some detail ->
-        (skip_result comp detail, { Sessions.reused = false; warm_depth = 0 }, false)
+        (* Never ran — but an idle warm session of the family may
+           already have certified depths worth reporting. *)
+        let clean_depth =
+          match session_engine t comp with
+          | Some (pool, _) ->
+              Sessions.peek_clean_depth pool ?family:comp.family comp.cfg
+          | None -> -1
+        in
+        (skip_result comp detail, { no_attr with Sessions.clean_depth }, false)
     | None ->
         let cancel () =
           Atomic.get t.force || now () > Atomic.get comp.deadline
@@ -252,7 +274,7 @@ let execute t comp =
               ( Portfolio.race ~cancel ?cache:t.cache ~engines:comp.engines
                   ~max_depth:comp.max_depth ~supervisor:t.supervisor
                   ~faults:t.faults comp.cfg,
-                { Sessions.reused = false; warm_depth = 0 } )
+                no_attr )
         in
         Obs.stop span;
         (r, attr, true)
@@ -382,6 +404,7 @@ let submit t ?deadline ?family ~engines ~max_depth ~callback cfg =
             expired = false;
             reused_session = false;
             warm_depth = 0;
+            clean_depth = -1;
           };
         `Cache_hit
     | None -> (

@@ -93,6 +93,12 @@ type outcome = {
   warm_depth : int;
       (** the session's unrolling depth at checkout (0 unless
           [reused_session]) *)
+  clean_depth : int;
+      (** largest depth the request's warm session certified
+          counterexample-free ([-1] when none, or when the request did
+          not run session-backed) — an inconclusive outcome with
+          [clean_depth >= 0] degrades to a content-bearing
+          [status:"degraded"] answer instead of a bare error *)
 }
 
 val submit :

@@ -127,18 +127,43 @@ let verdict_of (o : Scheduler.outcome) =
 
 let answer_of ~id (o : Scheduler.outcome) =
   let r = o.Scheduler.result in
+  (* Graceful degradation: an inconclusive outcome whose warm session
+     already certified some depths answers with that content instead
+     of a contentless failure — [code] says whether the engine died or
+     the deadline ran out. *)
+  let degraded code =
+    Protocol.Degraded
+      {
+        id;
+        code;
+        clean_depth = o.Scheduler.clean_depth;
+        engine = Tta_model.Engine.id_to_string r.Portfolio.engine;
+        wall_ms = r.Portfolio.wall_s *. 1000.;
+        queue_ms = o.Scheduler.queue_ms;
+        reused_session = o.Scheduler.reused_session;
+        warm_depth = o.Scheduler.warm_depth;
+      }
+  in
   (* A run in which every engine crashed or hung is not a verdict; it
      is a structured failure the client may retry. *)
   if Portfolio.all_failed r then
-    Protocol.Error
-      {
-        id = Some id;
-        code = Protocol.code_engine_failed;
-        reason =
-          (match r.Portfolio.verdict with
-          | Tta_model.Engine.Unknown { detail } -> detail
-          | _ -> "all engines failed");
-      }
+    if o.Scheduler.clean_depth >= 0 then degraded Protocol.code_engine_failed
+    else
+      Protocol.Error
+        {
+          id = Some id;
+          code = Protocol.code_engine_failed;
+          reason =
+            (match r.Portfolio.verdict with
+            | Tta_model.Engine.Unknown { detail } -> detail
+            | _ -> "all engines failed");
+        }
+  else if
+    o.Scheduler.expired && o.Scheduler.clean_depth >= 0
+    && match r.Portfolio.verdict with
+       | Tta_model.Engine.Unknown _ -> true
+       | _ -> false
+  then degraded Protocol.code_deadline_exceeded
   else
     Protocol.Answer
       {

@@ -33,7 +33,9 @@ type t = {
   mutable discards : int;
 }
 
-type attribution = { reused : bool; warm_depth : int }
+type attribution = { reused : bool; warm_depth : int; clean_depth : int }
+
+exception Engine_failed of { message : string; clean_depth : int }
 
 type stats = {
   hits : int;
@@ -148,6 +150,26 @@ let checkin t e =
 
 let discard t _e = Mutex.protect t.lock (fun () -> t.discards <- t.discards + 1)
 
+(* Read an idle entry's certified clean depth for [bad] without
+   checking it out — a lock-held memo peek, so a request that never
+   got to run (deadline already past) can still report certified
+   content. [-1] when no matching idle entry exists. *)
+let peek_clean_depth t ?family cfg =
+  let model = Tta_model.Build.model cfg in
+  let fp = Model.fingerprint model in
+  let family = match family with Some f -> f | None -> fp in
+  let bad =
+    Tta_model.Props.integrated_node_frozen ~nodes:cfg.Tta_model.Configs.nodes
+  in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.warm family with
+      | None -> -1
+      | Some r ->
+          List.fold_left
+            (fun acc e ->
+              if e.fp = fp then max acc (Bmc.clean_depth e.bmc ~bad) else acc)
+            (-1) !r)
+
 let flush obs pairs = List.iter (fun (n, v) -> Obs.incr_by obs n v) pairs
 
 (* Per-query counter deltas: the pooled session's counters are
@@ -191,6 +213,10 @@ let run t ~engine ?(cancel = fun () -> false) ?obs ?family
     Resilience.Faults.hit faults Resilience.Faults.Engine_step;
     cancel ()
   in
+  (* Best certified clean depth across failed attempts — read before
+     each failed session is discarded, so exhausted retries can still
+     answer with content (the degraded verdict). *)
+  let best_clean = ref (-1) in
   let attempt () =
     Resilience.Faults.hit faults Resilience.Faults.Engine_start;
     let entry, reused = checkout t ~family ~fp model in
@@ -259,7 +285,10 @@ let run t ~engine ?(cancel = fun () -> false) ?obs ?family
             | _ -> assert false)
       with e ->
         (* A raised run may leave the session in an inconsistent state:
-           never return it to the pool. *)
+           never return it to the pool — but read off how far it got
+           first; the memo is plain data and survives any solver
+           corruption the raise implies. *)
+        best_clean := max !best_clean (Bmc.clean_depth entry.bmc ~bad);
         discard t entry;
         raise e
     in
@@ -267,7 +296,8 @@ let run t ~engine ?(cancel = fun () -> false) ?obs ?family
     Obs.incr_by obs "session.reused" (if reused then 1 else 0);
     Obs.incr_by obs "session.warm_depth" warm_depth;
     checkin t entry;
-    (verdict, { reused; warm_depth })
+    ( verdict,
+      { reused; warm_depth; clean_depth = Bmc.clean_depth entry.bmc ~bad } )
   in
   (* Supervised attempts, mirroring the portfolio path's policy: an
      engine exception (an injected chaos crash included) is retried
@@ -285,18 +315,25 @@ let run t ~engine ?(cancel = fun () -> false) ?obs ?family
     in
     go d
   in
+  (* Exhausted retries surface as [Engine_failed] so the caller can
+     recover the best certified depth along with the cause. *)
+  let fail e =
+    raise
+      (Engine_failed
+         { message = Printexc.to_string e; clean_depth = !best_clean })
+  in
   let rec go attempt_no =
     match attempt () with
     | r -> r
     | exception e ->
         Obs.incr_by obs "supervisor.crashes" 1;
         if attempt_no > supervisor.Resilience.Supervisor.retries || cancel ()
-        then raise e
+        then fail e
         else begin
           Obs.incr_by obs "supervisor.retries" 1;
           interruptible_sleep
             (Resilience.Supervisor.backoff_delay supervisor (attempt_no - 1));
-          if cancel () then raise e else go (attempt_no + 1)
+          if cancel () then fail e else go (attempt_no + 1)
         end
   in
   let verdict, attr = go 1 in

@@ -34,10 +34,24 @@ type attribution = {
   reused : bool;  (** the request ran on a pooled warm session *)
   warm_depth : int;
       (** the session's unrolling depth at checkout (0 when cold) *)
+  clean_depth : int;
+      (** the largest depth the session has certified
+          counterexample-free for the request's property after the run
+          ([-1] when depth 0 never finished) — the content of a
+          degraded verdict when the run was cancelled short of its
+          bound *)
 }
 (** Where a request's solver state came from — surfaced to clients in
     the wire protocol's [reused_session]/[warm_depth] response
-    fields. *)
+    fields (and [clean_depth] on degraded responses). *)
+
+exception Engine_failed of { message : string; clean_depth : int }
+(** Raised by {!run} when every supervised attempt failed: [message]
+    is the last underlying exception rendered, [clean_depth] the best
+    certified depth across the failed attempts' sessions (each read
+    just before its discard; [-1] when nothing was certified). The
+    service turns this into a [status:"degraded"] response when
+    [clean_depth >= 0]. *)
 
 val run :
   t ->
@@ -72,8 +86,17 @@ val run :
     deterministic backoff — each retry on a fresh checkout, the failed
     session having been discarded. The policy's per-attempt watchdog
     is not applied on this path; cancellation stays cooperative via
-    [cancel]. Once retries are exhausted the last exception is
-    re-raised. *)
+    [cancel]. Once retries are exhausted, {!Engine_failed} is raised
+    carrying the last exception's message and the best clean depth
+    the failed attempts certified. *)
+
+val peek_clean_depth : t -> ?family:string -> Tta_model.Configs.t -> int
+(** The best certified clean depth for the configuration's safety
+    property across the pool's {e idle} entries of its family, without
+    checking anything out ([-1] when no matching idle entry, or none
+    certified depth 0). Lets a request that never ran — deadline
+    already past at dequeue — still degrade to an answer with
+    content. *)
 
 type stats = {
   hits : int;  (** checkouts served by a warm entry *)

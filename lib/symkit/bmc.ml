@@ -176,6 +176,13 @@ let prop_of t ~bad =
       Hashtbl.add t.props key p;
       p
 
+(* Pure memo lookup — never creates the property entry, so peeking at
+   a session's progress costs nothing. *)
+let clean_depth t ~bad =
+  match Hashtbl.find_opt t.props (Expr.to_string bad) with
+  | Some p -> p.clean
+  | None -> -1
+
 (* Run a (possibly warm) session against a property up to [max_depth].
    Depths already verified clean in earlier queries are answered from
    the memo; only the frontier past [clean] is actually solved, with

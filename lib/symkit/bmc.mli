@@ -78,6 +78,13 @@ val conflicts : t -> int
 (** Cumulative conflict count — the standard search-effort proxy, used
     by the warm-vs-cold clause-retention tests. *)
 
+val clean_depth : t -> bad:Expr.t -> int
+(** The largest depth this session has certified counterexample-free
+    for [bad] so far ([-1] when the property was never queried or depth
+    0 never finished). A pure memo read — never touches the solver —
+    so an interrupted or abandoned run can still report how far it
+    got (the service's degraded verdicts). *)
+
 val flush_counters : ?prefix:string -> t -> Obs.t -> unit
 (** Add the session solver's [sat.*] counters (optionally name-prefixed)
     to an observability track — called once at the end of a run. *)

@@ -132,6 +132,10 @@ let verdict_of_response = function
       | Service.Protocol.Holds _ -> Upheld
       | Service.Protocol.Violated { steps; _ } -> Breached steps
       | Service.Protocol.Unknown { detail; _ } -> Undetermined detail)
+  | Service.Protocol.Degraded { code; clean_depth; _ } ->
+      Undetermined
+        (Printf.sprintf "degraded (%s): no counterexample up to depth %d" code
+           clean_depth)
   | Service.Protocol.Overloaded _ -> Undetermined "overloaded"
   | Service.Protocol.Cancelled { reason; _ } ->
       Undetermined ("cancelled: " ^ reason)

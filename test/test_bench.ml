@@ -153,6 +153,102 @@ let test_synth () =
         (List.for_all (function _, Json.Int _ -> true | _ -> false) kvs)
   | _ -> Alcotest.fail "synth: rejections is not an object"
 
+let test_chaos () =
+  let name = "BENCH_chaos.json" in
+  let j = load name in
+  check_keys name j
+    [
+      "mode";
+      "requests";
+      "ok";
+      "degraded";
+      "holds";
+      "violated";
+      "unknown";
+      "protocol_errors";
+      "retries";
+      "conn_retries";
+      "engine_retries";
+      "engine_failed";
+      "cache_hits";
+      "coalesced";
+      "hedged";
+      "breaker_opens";
+      "p50_ms";
+      "p99_ms";
+    ];
+  (* The chaos run's whole point: every request answered despite the
+     injected faults, the retry budget visibly spent. *)
+  Alcotest.(check bool) "chaos: all answered" true
+    (get_num name j "ok" +. get_num name j "degraded"
+    = get_num name j "requests");
+  Alcotest.(check bool) "chaos: no protocol errors" true
+    (get_num name j "protocol_errors" = 0.0);
+  Alcotest.(check bool) "chaos: retries split sums" true
+    (get_num name j "conn_retries" +. get_num name j "engine_retries"
+    = get_num name j "retries")
+
+let test_resilience () =
+  let name = "BENCH_resilience.json" in
+  let j = load name in
+  check_keys name j
+    [
+      "bench";
+      "generated_by";
+      "workload";
+      "direct_reference";
+      "rows";
+      "hedge_p99_speedup";
+    ];
+  let rows = get_rows name j in
+  Alcotest.(check int) "resilience: four rows" 4 (List.length rows);
+  List.iter
+    (fun row ->
+      check_keys name row
+        [
+          "row";
+          "chaos";
+          "hedge_ms";
+          "ok";
+          "degraded";
+          "availability";
+          "holds";
+          "violated";
+          "unknown";
+          "protocol_errors";
+          "conn_retries";
+          "engine_retries";
+          "hedged";
+          "breaker_opens";
+          "p50_ms";
+          "p99_ms";
+          "injections";
+        ];
+      Alcotest.(check bool) "resilience: row fully available" true
+        (get_num name row "availability" = 1.0);
+      Alcotest.(check bool) "resilience: row clean" true
+        (get_num name row "protocol_errors" = 0.0))
+    rows;
+  (* Verdict fidelity under chaos, re-checked from the committed
+     numbers (the bench exe already enforced it at generation time). *)
+  let dr =
+    match Json.member "direct_reference" j with
+    | Some d -> d
+    | None -> Alcotest.fail "resilience: no direct_reference"
+  in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            ("resilience: " ^ k ^ " matches direct run")
+            true
+            (get_num name row k = get_num name dr k))
+        [ "holds"; "violated"; "unknown" ])
+    rows;
+  Alcotest.(check bool) "resilience: hedging improves p99" true
+    (get_num name j "hedge_p99_speedup" > 1.0)
+
 let () =
   Alcotest.run "bench schemas"
     [
@@ -161,5 +257,7 @@ let () =
           Alcotest.test_case "BENCH_cluster.json" `Quick test_cluster;
           Alcotest.test_case "BENCH_sessions.json" `Quick test_sessions;
           Alcotest.test_case "BENCH_synth.json" `Quick test_synth;
+          Alcotest.test_case "BENCH_chaos.json" `Quick test_chaos;
+          Alcotest.test_case "BENCH_resilience.json" `Quick test_resilience;
         ] );
     ]

@@ -294,6 +294,135 @@ let wait_ready ~timeout_s ~target ready =
   Alcotest.(check bool) "workers became ready" true
     (Atomic.get ready >= target)
 
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker: a pure count-window state machine, tested without
+   any processes or clocks. *)
+
+let state_name = function
+  | Cluster.Breaker.Closed -> "closed"
+  | Cluster.Breaker.Open -> "open"
+  | Cluster.Breaker.Half_open -> "half-open"
+
+let check_state msg expected b =
+  Alcotest.(check string) msg (state_name expected)
+    (state_name (Cluster.Breaker.state b))
+
+let test_breaker_trips_at_threshold () =
+  (* window 8, default threshold max 1 (8/2) = 4. *)
+  let b = Cluster.Breaker.create ~window:8 () in
+  check_state "starts closed" Cluster.Breaker.Closed b;
+  Alcotest.(check bool) "closed admits" true (Cluster.Breaker.admits b);
+  for _ = 1 to 3 do
+    Cluster.Breaker.record b ~ok:false
+  done;
+  check_state "below threshold stays closed" Cluster.Breaker.Closed b;
+  Cluster.Breaker.record b ~ok:false;
+  check_state "threshold failure trips" Cluster.Breaker.Open b;
+  Alcotest.(check bool) "open refuses" false (Cluster.Breaker.admits b);
+  Alcotest.(check int) "one open counted" 1 (Cluster.Breaker.opens b);
+  (* Stragglers from requests sent before the trip carry no new
+     evidence: they must not disturb the open state. *)
+  Cluster.Breaker.record b ~ok:true;
+  Cluster.Breaker.record b ~ok:false;
+  check_state "stragglers ignored while open" Cluster.Breaker.Open b
+
+let test_breaker_window_slides () =
+  (* Failures spread thinly across a sliding window never accumulate
+     to the threshold: old outcomes age out. *)
+  let b = Cluster.Breaker.create ~window:4 ~threshold:3 () in
+  for _ = 1 to 20 do
+    Cluster.Breaker.record b ~ok:false;
+    Cluster.Breaker.record b ~ok:true;
+    Cluster.Breaker.record b ~ok:true
+  done;
+  check_state "sparse failures stay closed" Cluster.Breaker.Closed b;
+  Alcotest.(check int) "never opened" 0 (Cluster.Breaker.opens b);
+  (* ...but the same total failure count, adjacent, trips. *)
+  Cluster.Breaker.record b ~ok:false;
+  Cluster.Breaker.record b ~ok:false;
+  Cluster.Breaker.record b ~ok:false;
+  check_state "dense failures trip" Cluster.Breaker.Open b
+
+let test_breaker_create_validates () =
+  let invalid f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "window 0 rejected" true
+    (invalid (fun () -> Cluster.Breaker.create ~window:0 ()));
+  Alcotest.(check bool) "threshold 0 rejected" true
+    (invalid (fun () -> Cluster.Breaker.create ~window:4 ~threshold:0 ()));
+  Alcotest.(check bool) "threshold > window rejected" true
+    (invalid (fun () -> Cluster.Breaker.create ~window:4 ~threshold:5 ()))
+
+let test_breaker_pings_ok_requests_fail () =
+  (* The scenario the breaker exists for: the worker process is alive
+     and answering health pings, but every request it serves fails.
+     Pongs are not request evidence — the breaker must still trip. *)
+  let b = Cluster.Breaker.create ~window:6 ~threshold:3 () in
+  Cluster.Breaker.note_pong b;
+  Cluster.Breaker.record b ~ok:false;
+  Cluster.Breaker.note_pong b;
+  Cluster.Breaker.record b ~ok:false;
+  check_state "pongs do not absolve failures" Cluster.Breaker.Closed b;
+  Cluster.Breaker.record b ~ok:false;
+  check_state "trips despite healthy pings" Cluster.Breaker.Open b;
+  Alcotest.(check bool) "sick-but-alive worker refused" false
+    (Cluster.Breaker.admits b)
+
+let test_breaker_half_open_probe () =
+  let b = Cluster.Breaker.create ~window:4 ~threshold:2 () in
+  Cluster.Breaker.record b ~ok:false;
+  Cluster.Breaker.record b ~ok:false;
+  check_state "tripped" Cluster.Breaker.Open b;
+  (* A pong is the evidence that reopens the door — to exactly one
+     probe request. *)
+  Cluster.Breaker.note_pong b;
+  check_state "pong moves open to half-open" Cluster.Breaker.Half_open b;
+  Alcotest.(check bool) "half-open admits the probe" true
+    (Cluster.Breaker.admits b);
+  Cluster.Breaker.probe_started b;
+  Alcotest.(check bool) "no second request while probing" false
+    (Cluster.Breaker.admits b);
+  (* Probe succeeds: circuit closes and traffic resumes. *)
+  Cluster.Breaker.record b ~ok:true;
+  check_state "probe success closes" Cluster.Breaker.Closed b;
+  Alcotest.(check bool) "closed again admits" true (Cluster.Breaker.admits b);
+  Alcotest.(check int) "still one open" 1 (Cluster.Breaker.opens b)
+
+let test_breaker_probe_failure_reopens () =
+  let b = Cluster.Breaker.create ~window:4 ~threshold:2 () in
+  Cluster.Breaker.record b ~ok:false;
+  Cluster.Breaker.record b ~ok:false;
+  Cluster.Breaker.note_pong b;
+  Cluster.Breaker.probe_started b;
+  Cluster.Breaker.record b ~ok:false;
+  check_state "probe failure re-opens" Cluster.Breaker.Open b;
+  Alcotest.(check int) "second open counted" 2 (Cluster.Breaker.opens b);
+  (* The cycle repeats: another pong earns another single probe. *)
+  Cluster.Breaker.note_pong b;
+  check_state "pong re-arms the probe" Cluster.Breaker.Half_open b;
+  Cluster.Breaker.probe_started b;
+  Cluster.Breaker.record b ~ok:true;
+  check_state "eventual success closes" Cluster.Breaker.Closed b
+
+let test_breaker_reset_on_respawn () =
+  let b = Cluster.Breaker.create ~window:4 ~threshold:2 () in
+  Cluster.Breaker.record b ~ok:false;
+  Cluster.Breaker.record b ~ok:false;
+  check_state "tripped before respawn" Cluster.Breaker.Open b;
+  (* The supervisor replaced the process: clean slate, but the
+     lifetime trip count survives for stats. *)
+  Cluster.Breaker.reset b;
+  check_state "reset closes" Cluster.Breaker.Closed b;
+  Alcotest.(check bool) "fresh worker admits" true (Cluster.Breaker.admits b);
+  Alcotest.(check int) "opens survive reset" 1 (Cluster.Breaker.opens b);
+  (* And the window really is fresh: one failure is again below the
+     threshold. *)
+  Cluster.Breaker.record b ~ok:false;
+  check_state "window restarted clean" Cluster.Breaker.Closed b
+
 let test_router_end_to_end () =
   let exe = served_exe () in
   let dir = temp_dir () in
@@ -413,6 +542,22 @@ let () =
         ] );
       ( "supervision",
         [ Alcotest.test_case "restart gate" `Quick test_restarts_gate ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips at threshold" `Quick
+            test_breaker_trips_at_threshold;
+          Alcotest.test_case "window slides" `Quick test_breaker_window_slides;
+          Alcotest.test_case "create validates" `Quick
+            test_breaker_create_validates;
+          Alcotest.test_case "pings ok, requests fail" `Quick
+            test_breaker_pings_ok_requests_fail;
+          Alcotest.test_case "half-open probe" `Quick
+            test_breaker_half_open_probe;
+          Alcotest.test_case "probe failure reopens" `Quick
+            test_breaker_probe_failure_reopens;
+          Alcotest.test_case "reset on respawn" `Quick
+            test_breaker_reset_on_respawn;
+        ] );
       ( "router",
         [
           Alcotest.test_case "end to end" `Quick test_router_end_to_end;

@@ -114,6 +114,100 @@ let test_injections_counted () =
     [ ("engine_start.crash", 2); ("cache_read.corrupt", 1) ]
     (Faults.injections f)
 
+(* ------------------------------------------------------------------ *)
+(* Faults: router-link points (drop / delay) *)
+
+(* One decision string per link hit, so firing sequences golden-check
+   as plain string lists. *)
+let link_decisions f point n =
+  List.map
+    (fun _ ->
+      match Faults.link f point with
+      | `Pass -> "pass"
+      | `Drop -> "drop"
+      | `Delay d -> Printf.sprintf "delay%.0f" (d *. 1000.)
+      | exception Faults.Injected _ -> "crash")
+    (List.init n Fun.id)
+
+let test_link_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      let f = faults_of_spec spec in
+      Alcotest.(check string) (spec ^ " roundtrips") spec (Faults.to_spec f))
+    [
+      "7:link_send=delay500x6";
+      "7:link_recv=drop@0.5x4";
+      "3:link_send=drop,link_recv=delay20@0.25";
+      "11:sock_send=drop,engine_step=delay5x2";
+    ];
+  List.iter
+    (fun spec ->
+      match Faults.of_spec spec with
+      | Ok _ -> Alcotest.failf "accepted malformed spec: %S" spec
+      | Error _ -> ())
+    [
+      "7:link_send=delay";
+      "7:link_recv=delay-5";
+      "7:link_send=drop@1.5";
+      "7:link_send=dropx0";
+      "7:link=drop";
+    ]
+
+let test_link_firing_deterministic () =
+  let spec = "11:link_send=drop@0.4x6,link_recv=delay250@0.5x8" in
+  let a = link_decisions (faults_of_spec spec) Faults.Link_send 100 in
+  let b = link_decisions (faults_of_spec spec) Faults.Link_send 100 in
+  Alcotest.(check (list string)) "same seed, same send decisions" a b;
+  let drops = List.length (List.filter (( = ) "drop") a) in
+  Alcotest.(check int) "x6 caps the drops" 6 drops;
+  let r = link_decisions (faults_of_spec spec) Faults.Link_recv 100 in
+  let delays = List.length (List.filter (( = ) "delay250") r) in
+  Alcotest.(check int) "x8 caps the delays" 8 delays;
+  Alcotest.(check bool) "delay carries its millis" true
+    (List.for_all (fun d -> d = "pass" || d = "delay250") r);
+  (* Replay golden: a fresh registry driven through the same hit
+     sequence reports identical per-rule firing counts — the property
+     the cluster chaos smoke relies on for deterministic replay. *)
+  let drive () =
+    let f = faults_of_spec spec in
+    ignore (link_decisions f Faults.Link_send 100);
+    ignore (link_decisions f Faults.Link_recv 100);
+    Faults.injections f
+  in
+  Alcotest.(check (list (pair string int)))
+    "identical fired-injection counts on replay" (drive ()) (drive ());
+  Alcotest.(check (list (pair string int)))
+    "per-rule firing counts"
+    [ ("link_send.drop", 6); ("link_recv.delay250", 8) ]
+    (drive ())
+
+let test_link_action_semantics () =
+  (* Drop dominates delay when both fire on the same point. *)
+  let both = faults_of_spec "5:link_send=drop,link_send=delay100" in
+  Alcotest.(check string) "drop dominates delay" "drop"
+    (List.hd (link_decisions both Faults.Link_send 1));
+  (* A crash rule at a link point raises, exactly like [hit]. *)
+  (match Faults.link (faults_of_spec "5:link_send=crash") Faults.Link_send with
+  | exception Faults.Injected { point; action; _ } ->
+      Alcotest.(check string) "crash point" "link_send" point;
+      Alcotest.(check string) "crash action" "crash" action
+  | _ -> Alcotest.fail "link crash rule did not raise");
+  (* At a non-link point, [hit] treats drop as crash and delay as
+     stall — every action is meaningful at every point. *)
+  (match Faults.hit (faults_of_spec "5:engine_start=drop") Faults.Engine_start with
+  | exception Faults.Injected { action; _ } ->
+      Alcotest.(check string) "drop crashes outside links" "drop" action
+  | () -> Alcotest.fail "drop rule did not fire via hit");
+  let t0 = Unix.gettimeofday () in
+  Faults.hit (faults_of_spec "5:engine_start=delay30") Faults.Engine_start;
+  Alcotest.(check bool) "delay stalls outside links" true
+    (Unix.gettimeofday () -. t0 >= 0.025);
+  (* Corruption never applies drop/delay rules. *)
+  Alcotest.(check string) "drop rule does not corrupt" "payload"
+    (Faults.corrupt
+       (faults_of_spec "5:cache_read=drop")
+       Faults.Cache_read "payload")
+
 let test_corrupt_deterministic () =
   let payload = "{\"verdict\":\"holds\",\"detail\":\"proved safe\"}" in
   let corrupt_once () =
@@ -377,6 +471,14 @@ let () =
           Alcotest.test_case "deterministic corruption" `Quick
             test_corrupt_deterministic;
           Alcotest.test_case "hash_float is pure" `Quick test_hash_float_pure;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "spec roundtrip" `Quick test_link_spec_roundtrip;
+          Alcotest.test_case "deterministic firing" `Quick
+            test_link_firing_deterministic;
+          Alcotest.test_case "action semantics" `Quick
+            test_link_action_semantics;
         ] );
       ( "supervisor",
         [

@@ -140,6 +140,45 @@ let test_error_codes_golden () =
   | Ok _ -> Alcotest.fail "unexpected decode"
   | Error e -> Alcotest.failf "legacy error did not decode: %s" e
 
+let test_degraded_golden () =
+  (* The graceful-degradation answer: a partial verdict with content.
+     Clients (and the synthesis harness) branch on [status:"degraded"]
+     + [code], so the wire form is contractual like the error codes. *)
+  Alcotest.(check string) "degraded wire format"
+    {|{"id":"r7","status":"degraded","code":"deadline_exceeded","clean_depth":28,"detail":"no counterexample up to depth 28","engine":"sat-bmc","wall_ms":12.5,"queue_ms":3.25,"reused_session":true,"warm_depth":28}|}
+    (Json.to_string
+       (Protocol.encode_response
+          (Protocol.Degraded
+             {
+               id = "r7";
+               code = Protocol.code_deadline_exceeded;
+               clean_depth = 28;
+               engine = "sat-bmc";
+               wall_ms = 12.5;
+               queue_ms = 3.25;
+               reused_session = true;
+               warm_depth = 28;
+             })));
+  (* clean_depth is the answer's whole content: a degraded line
+     without it must be rejected, not defaulted. *)
+  (match
+     Protocol.decode_response_line
+       {|{"id":"r8","status":"degraded","code":"engine_failed","engine":"sat-bmc","wall_ms":1.0,"queue_ms":0.5}|}
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "degraded without clean_depth must not decode");
+  (* Optional attribution fields default like the Answer decoder's. *)
+  match
+    Protocol.decode_response_line
+      {|{"id":"r9","status":"degraded","code":"engine_failed","clean_depth":12,"engine":"sat-bmc","wall_ms":1.0,"queue_ms":0.5}|}
+  with
+  | Ok (Protocol.Degraded { clean_depth = 12; reused_session; warm_depth; _ })
+    ->
+      Alcotest.(check bool) "defaults to not reused" false reused_session;
+      Alcotest.(check int) "defaults to cold depth" 0 warm_depth
+  | Ok _ -> Alcotest.fail "expected a degraded response"
+  | Error e -> Alcotest.failf "minimal degraded did not decode: %s" e
+
 let test_response_roundtrip () =
   let responses =
     [
@@ -168,6 +207,28 @@ let test_response_roundtrip () =
           queue_ms = 7.5;
           reused_session = true;
           warm_depth = 12;
+        };
+      Protocol.Degraded
+        {
+          id = "b2";
+          code = Protocol.code_deadline_exceeded;
+          clean_depth = 16;
+          engine = "sat-bmc";
+          wall_ms = 0.25;
+          queue_ms = 250.5;
+          reused_session = true;
+          warm_depth = 16;
+        };
+      Protocol.Degraded
+        {
+          id = "b3";
+          code = Protocol.code_engine_failed;
+          clean_depth = 0;
+          engine = "sat-bmc";
+          wall_ms = 4.5;
+          queue_ms = 0.;
+          reused_session = false;
+          warm_depth = 0;
         };
       Protocol.Overloaded { id = "c" };
       Protocol.Cancelled { id = "d"; reason = "shutting down" };
@@ -604,6 +665,194 @@ let test_server_chaos_answers_everything () =
   Alcotest.(check bool) "verdicts still split" true
     (report.Service.Loadgen.holds > 0 && report.Service.Loadgen.violated > 0)
 
+let test_server_degraded_deadline () =
+  (* A request that arrives with its deadline already spent, but whose
+     family holds a warm session, must degrade to an answer with
+     content — the pool's certified clean depth on [status:"degraded"]
+     — instead of a bare unknown. The degraded depth can never exceed
+     what a fault-free conclusive run at the same bound would certify. *)
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "tta.sock" in
+  let pool = Sessions.create () in
+  let server =
+    Service.Server.start ~workers:1 ~sessions:pool ~grace:2.0
+      (Service.Server.Unix_socket sock)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let send j =
+    let line = Json.to_string j ^ "\n" in
+    ignore (Unix.write_substring fd line 0 (String.length line))
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  let read_resp () =
+    match Protocol.decode_response_line (input_line ic) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "undecodable response: %s" e
+  in
+  (* Warm the family with a conclusive run: the fault-free reference
+     certifies exactly depth 8. *)
+  send
+    (Protocol.request ~id:"w1" ~config:"passive" ~nodes ~engine:"bmc" ~depth:8
+       ());
+  (match read_resp () with
+  | Protocol.Answer { id = "w1"; verdict = Protocol.Holds _; _ } -> ()
+  | r ->
+      Alcotest.failf "expected a conclusive warm-up answer, got %s"
+        (Json.to_string (Protocol.encode_response r)));
+  (* Same family, deeper bound, no time left at all. *)
+  send
+    (Protocol.request ~id:"d1" ~config:"passive" ~nodes ~engine:"bmc"
+       ~depth:40 ~deadline_ms:0 ());
+  (match read_resp () with
+  | Protocol.Degraded { id = "d1"; code; clean_depth; _ } ->
+      Alcotest.(check string) "degraded names the cause"
+        Protocol.code_deadline_exceeded code;
+      Alcotest.(check int) "clean depth is the warm session's certificate" 8
+        clean_depth
+  | r ->
+      Alcotest.failf "expected a degraded answer, got %s"
+        (Json.to_string (Protocol.encode_response r)));
+  Unix.close fd;
+  Service.Server.stop server;
+  Service.Server.wait server
+
+(* ------------------------------------------------------------------ *)
+(* Loadgen retry accounting, against a scripted stand-in daemon *)
+
+(* A stand-in for the daemon whose per-line behaviour the test scripts
+   exactly: [behave ~conn_n line] returns [`Reply resp] or [`Close]
+   (hang up mid-request). Lets the loadgen's two retry currencies —
+   transport vs structured engine failure — be exercised one at a
+   time, which real chaos specs cannot guarantee. *)
+let stub_server sock_path behave =
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX sock_path);
+  Unix.listen listen_fd 8;
+  let domain =
+    Domain.spawn (fun () ->
+        let conn_n = ref 0 in
+        let rec serve () =
+          match Unix.accept listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | conn, _ ->
+              incr conn_n;
+              let ic = Unix.in_channel_of_descr conn in
+              let rec session () =
+                match input_line ic with
+                | exception End_of_file -> ()
+                | line -> (
+                    match behave ~conn_n:!conn_n line with
+                    | `Close -> ()
+                    | `Reply resp ->
+                        ignore
+                          (Unix.write_substring conn resp 0
+                             (String.length resp));
+                        session ())
+              in
+              session ();
+              (try Unix.close conn with Unix.Unix_error _ -> ());
+              serve ()
+        in
+        serve ())
+  in
+  let stop () =
+    (try Unix.shutdown listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    Domain.join domain
+  in
+  stop
+
+let stub_answer id =
+  Protocol.response_line
+    (Protocol.Answer
+       {
+         id;
+         verdict = Protocol.Holds { detail = "stub" };
+         engine = "stub";
+         cache_hit = false;
+         coalesced = false;
+         wall_ms = 1.0;
+         queue_ms = 0.0;
+         reused_session = false;
+         warm_depth = 0;
+       })
+
+let test_loadgen_engine_retry_accounting () =
+  (* Every request's first attempt is answered with a structured
+     engine_failed error on a live connection; the retry must be
+     booked as an engine retry, never a transport one. *)
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "stub.sock" in
+  let seen = Hashtbl.create 16 in
+  let behave ~conn_n:_ line =
+    match Protocol.decode_request_line line with
+    | Error _ -> `Close
+    | Ok req ->
+        let id = req.Protocol.id in
+        if Hashtbl.mem seen id then `Reply (stub_answer id)
+        else begin
+          Hashtbl.add seen id ();
+          `Reply
+            (Protocol.response_line
+               (Protocol.Error
+                  {
+                    id = Some id;
+                    code = Protocol.code_engine_failed;
+                    reason = "scripted: first attempt always fails";
+                  }))
+        end
+  in
+  let stop = stub_server sock behave in
+  let report =
+    Service.Loadgen.run ~seed:3 ~nodes ~depth:8 ~retry_budget:2
+      ~mode:(Service.Loadgen.Closed_loop 1) ~requests:6
+      (Service.Server.Unix_socket sock)
+  in
+  stop ();
+  Alcotest.(check int) "all answered on the second ask" 6
+    report.Service.Loadgen.ok;
+  Alcotest.(check int) "one engine retry per request" 6
+    report.Service.Loadgen.engine_retries;
+  Alcotest.(check int) "no transport retries" 0
+    report.Service.Loadgen.conn_retries;
+  Alcotest.(check int) "each failure response counted" 6
+    report.Service.Loadgen.engine_failed;
+  Alcotest.(check int) "combined retries keep the legacy total" 6
+    report.Service.Loadgen.retries;
+  Alcotest.(check int) "no protocol errors" 0
+    report.Service.Loadgen.protocol_errors
+
+let test_loadgen_conn_retry_accounting () =
+  (* The first connection hangs up mid-request without a response (a
+     drop-injected link in miniature); the resend must be booked as a
+     transport retry, with the engine column untouched. *)
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "stub.sock" in
+  let behave ~conn_n line =
+    if conn_n = 1 then `Close
+    else
+      match Protocol.decode_request_line line with
+      | Error _ -> `Close
+      | Ok req -> `Reply (stub_answer req.Protocol.id)
+  in
+  let stop = stub_server sock behave in
+  let report =
+    Service.Loadgen.run ~seed:3 ~nodes ~depth:8 ~retry_budget:2
+      ~mode:(Service.Loadgen.Closed_loop 1) ~requests:5
+      (Service.Server.Unix_socket sock)
+  in
+  stop ();
+  Alcotest.(check int) "all answered after the reconnect" 5
+    report.Service.Loadgen.ok;
+  Alcotest.(check int) "the hangup cost one transport retry" 1
+    report.Service.Loadgen.conn_retries;
+  Alcotest.(check int) "no engine retries" 0
+    report.Service.Loadgen.engine_retries;
+  Alcotest.(check int) "no protocol errors" 0
+    report.Service.Loadgen.protocol_errors
+
 let test_server_rejects_malformed_lines () =
   let dir = temp_dir () in
   let sock = Filename.concat dir "tta.sock" in
@@ -739,6 +988,7 @@ let () =
             test_response_presession_compat;
           Alcotest.test_case "error codes golden" `Quick
             test_error_codes_golden;
+          Alcotest.test_case "degraded golden" `Quick test_degraded_golden;
           Alcotest.test_case "response roundtrip" `Quick
             test_response_roundtrip;
           Alcotest.test_case "request validation" `Quick
@@ -767,6 +1017,12 @@ let () =
         [
           Alcotest.test_case "end to end with loadgen" `Quick
             test_server_end_to_end;
+          Alcotest.test_case "deadline-dead request degrades with content"
+            `Quick test_server_degraded_deadline;
+          Alcotest.test_case "loadgen books engine retries" `Quick
+            test_loadgen_engine_retry_accounting;
+          Alcotest.test_case "loadgen books transport retries" `Quick
+            test_loadgen_conn_retry_accounting;
           Alcotest.test_case "chaos answered with retries" `Quick
             test_server_chaos_answers_everything;
           Alcotest.test_case "malformed lines rejected" `Quick

@@ -251,6 +251,62 @@ let test_crashed_run_retried_on_fresh_session () =
   Alcotest.(check int) "only the healthy session returned to the pool" 1
     s.Sessions.idle
 
+let test_engine_failed_carries_clean_depth () =
+  (* Exhausted retries must surface Engine_failed carrying the best
+     clean depth the family had certified — the content of a degraded
+     verdict. The warm entry proved depth 8 fault-free, so the failure
+     can report at least 8 but never more than a fault-free conclusive
+     run at the failed request's own bound. *)
+  let pool = Sessions.create () in
+  let cfg = Configs.passive ~nodes () in
+  let warm_bound = 8 and failed_bound = 12 in
+  let r, a = Sessions.run pool ~engine:Engine.Sat_bmc ~max_depth:warm_bound cfg in
+  (match r.Engine.verdict with
+  | Engine.Holds _ -> ()
+  | _ -> Alcotest.fail "warm-up run must be conclusive");
+  Alcotest.(check int) "warm-up certifies its bound" warm_bound
+    a.Sessions.clean_depth;
+  (* Every attempt of the second run now crashes at the first
+     cooperative safepoint, so no attempt deepens the certificate. *)
+  let faults =
+    match Resilience.Faults.of_spec "5:engine_step=crash" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "bad chaos spec: %s" e
+  in
+  let supervisor =
+    { Resilience.Supervisor.default with retries = 1; backoff_s = 0.001 }
+  in
+  match
+    Sessions.run pool ~engine:Engine.Sat_bmc ~supervisor ~faults
+      ~max_depth:failed_bound cfg
+  with
+  | _ -> Alcotest.fail "expected Engine_failed"
+  | exception Sessions.Engine_failed { message; clean_depth } ->
+      Alcotest.(check bool) "failure names the underlying exception" true
+        (message <> "");
+      Alcotest.(check int) "clean depth survives from the warm entry"
+        warm_bound clean_depth;
+      Alcotest.(check bool) "bounded by a fault-free conclusive run" true
+        (clean_depth <= failed_bound)
+
+let test_peek_clean_depth () =
+  (* The no-run degraded path: a deadline-dead request reads the best
+     idle certificate without checking anything out. *)
+  let pool = Sessions.create () in
+  let cfg = Configs.passive ~nodes () in
+  Alcotest.(check int) "empty pool has no certificate" (-1)
+    (Sessions.peek_clean_depth pool cfg);
+  ignore (Sessions.run pool ~engine:Engine.Sat_bmc ~max_depth:6 cfg);
+  Alcotest.(check int) "idle entry's certificate visible" 6
+    (Sessions.peek_clean_depth pool cfg);
+  (* Family override names a different bucket: no certificate there. *)
+  Alcotest.(check int) "override bucket is separate" (-1)
+    (Sessions.peek_clean_depth pool ~family:"tenant-b" cfg);
+  (* A different model in the same pool must not leak its depth. *)
+  let other = Configs.passive ~nodes:3 () in
+  Alcotest.(check int) "other model sees no certificate" (-1)
+    (Sessions.peek_clean_depth pool other)
+
 let () =
   Alcotest.run "sessions"
     [
@@ -286,5 +342,9 @@ let () =
         [
           Alcotest.test_case "crashed run retried on a fresh session" `Quick
             test_crashed_run_retried_on_fresh_session;
+          Alcotest.test_case "exhausted retries carry the clean depth" `Quick
+            test_engine_failed_carries_clean_depth;
+          Alcotest.test_case "peek reads idle certificates" `Quick
+            test_peek_clean_depth;
         ] );
     ]
