@@ -8,9 +8,11 @@
 *)
 
 let run config_name engine_name nodes max_depth no_cs_dup oos_budget
-    partitioned gc_watermark no_restrict export_smv json_path obs =
+    partitioned gc_watermark no_restrict reorder par_image strategy export_smv
+    json_path obs =
   let reach_tuning =
-    Cli.reach_tuning_of ~partitioned ~gc_watermark ~no_restrict
+    Cli.reach_tuning_of ~reorder ~par_image ~strategy ~partitioned
+      ~gc_watermark ~no_restrict ()
   in
   let feature_set = Cli.feature_set_of_config config_name in
   let engine = Cli.engine_of_name engine_name in
@@ -125,7 +127,8 @@ let () =
       Term.(
         const run $ Cli.config () $ Cli.engine () $ Cli.nodes ()
         $ Cli.depth () $ no_cs_dup $ oos_budget $ Cli.partitioned ()
-        $ Cli.gc_watermark () $ Cli.no_restrict () $ export_smv
+        $ Cli.gc_watermark () $ Cli.no_restrict () $ Cli.reorder ()
+        $ Cli.par_image () $ Cli.strategy () $ export_smv
         $ Cli.json () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

@@ -27,7 +27,7 @@ let pp_verdict ~nodes verdict =
       | Error e -> Printf.printf "WARNING: trace validation failed: %s\n" e)
 
 let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs
-    ~faults =
+    ~faults ~reach_tuning =
   let cfg =
     (* The named constructors, not [Configs.make], so the raced
        instance is exactly the Section 5 one (full-shifting carries the
@@ -48,7 +48,7 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs
     nodes depth;
   let r =
     Portfolio.race ?cache ~telemetry ?obs:(Cli.obs_collector obs) ~faults
-      ~engines ~max_depth:depth cfg
+      ~engines ~max_depth:depth ~reach_tuning cfg
   in
   List.iter
     (fun (e, msg) ->
@@ -78,7 +78,7 @@ let run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs
   | _ -> 0
 
 let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
-    ~obs ~faults =
+    ~obs ~faults ~reach_tuning =
   let jobs =
     Portfolio.section5_jobs ~nodes ?safe_depth ?unsafe_depth ()
   in
@@ -91,7 +91,7 @@ let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
   let t0 = Unix.gettimeofday () in
   let results =
     Portfolio.run_matrix ~domains ?cache ~telemetry
-      ?obs:(Cli.obs_collector obs) ~faults jobs
+      ?obs:(Cli.obs_collector obs) ~faults ~reach_tuning jobs
   in
   let dt = Unix.gettimeofday () -. t0 in
   let failures = ref 0 in
@@ -115,9 +115,14 @@ let run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
   !failures
 
 let main config_name race nodes depth safe_depth unsafe_depth domains
-    engines_s cache_dir no_cache cache_max json_path chaos obs =
+    engines_s cache_dir no_cache cache_max reorder par_image strategy
+    json_path chaos obs =
   let engines = Cli.engine_ids_of_names engines_s in
   let faults = Cli.faults_of_chaos chaos in
+  let reach_tuning =
+    Cli.reach_tuning_of ~reorder ~par_image ~strategy ~partitioned:true
+      ~gc_watermark:None ~no_restrict:false ()
+  in
   let cache =
     if no_cache then None
     else
@@ -130,10 +135,10 @@ let main config_name race nodes depth safe_depth unsafe_depth domains
     if race || config_name <> "" then
       let config_name = if config_name = "" then "full-shifting" else config_name in
       run_race ~config_name ~nodes ~depth ~engines ~cache ~telemetry ~obs
-        ~faults
+        ~faults ~reach_tuning
     else
       run_matrix ~nodes ~domains ~safe_depth ~unsafe_depth ~cache ~telemetry
-        ~obs ~faults
+        ~obs ~faults ~reach_tuning
   in
   print_newline ();
   Format.printf "%a" Portfolio.Telemetry.pp_table telemetry;
@@ -223,6 +228,7 @@ let () =
         $ safe_depth $ unsafe_depth $ domains $ Cli.engines () $ cache_dir
         $ no_cache
         $ Cli.cache_max_entries ()
+        $ Cli.reorder () $ Cli.par_image () $ Cli.strategy ()
         $ Cli.json () $ Cli.chaos () $ Cli.obs ())
   in
   exit (Cmd.eval cmd)

@@ -3,7 +3,12 @@ type t =
   | One
   | Node of node
 
-and node = { uid : int; v : int; lo : t; hi : t }
+(* Node fields are mutable for one reason only: dynamic variable
+   reordering rewrites a node in place (same uid, same function, new
+   root variable) so that every parent — including the diagrams clients
+   hold — survives a swap untouched. Outside [reorder] the fields are
+   never written. *)
+and node = { uid : int; mutable v : int; mutable lo : t; mutable hi : t }
 
 let id = function Zero -> 0 | One -> 1 | Node n -> n.uid
 
@@ -28,8 +33,8 @@ let high = function
   | Zero | One -> invalid_arg "Bdd.high: constant"
 
 (* A variable index strictly larger than any real variable, used as the
-   root index of constants so that order comparisons need no special
-   cases. *)
+   root index of constants so order comparisons need no special cases.
+   Constants also sit at level [max_int]. *)
 let leaf_var = max_int
 
 let var_of = function Zero | One -> leaf_var | Node n -> n.v
@@ -52,20 +57,53 @@ end
 
 module H2 = Hashtbl.Make (Key2)
 
-type varset = { vs_id : int; bits : Bytes.t; max_var : int }
+type varset = {
+  vs_id : int;
+  bits : Bytes.t;
+  max_var : int;
+  (* The deepest level of any member, under the order current at
+     [lvl_epoch]; recomputed lazily after a reorder. Drives the
+     "no quantified variable can appear below this node" early-outs. *)
+  mutable max_level : int;
+  mutable lvl_epoch : int;
+}
 
 type manager = {
-  unique : t H3.t; (* (v, lo_uid, hi_uid) -> node *)
+  (* Per-variable unique subtables, keyed (lo_uid, hi_uid). Splitting
+     the table by variable is what makes an adjacent-level swap touch
+     only the two levels involved. *)
+  subtables : (int, t H2.t) Hashtbl.t;
+  mutable live : int; (* total unique-table population *)
   mutable next_uid : int;
+  (* The mutable order: var2level.(v) is the position of variable [v]
+     in the current order (level 0 = root); level2var is its inverse.
+     Fresh variables append below everything already allocated, so a
+     manager that never reorders keeps the natural integer order. *)
+  mutable var2level : int array;
+  mutable level2var : int array;
+  mutable nvars : int; (* variables with an assigned level *)
+  mutable order_epoch : int; (* bumped by every adjacent-level swap *)
+  mutable groups : int array list;
+      (* each group's variables stay at consecutive levels, in the
+         listed order, across reorders (sifting moves whole groups) *)
   apply_cache : t H3.t; (* (op, id1, id2) -> result *)
   not_cache : (int, t) Hashtbl.t;
-  ite_cache : t H3.t; (* (id1, id2, id3) -> result; disambiguated from
-                         apply by clearing both together and distinct use *)
+  ite_cache : t H3.t;
   quant_cache : t H3.t; (* (op, vs_id*nodes, id) *)
   mutable next_vs_id : int;
   roots : (int, t * int) Hashtbl.t; (* uid -> (diagram, refcount) *)
   mutable gc_watermark : int; (* allocations between sweeps; 0 = GC off *)
   mutable alloc_since_gc : int;
+  (* Reordering state. [rc] is a transient parent-reference count kept
+     only while a sift is running, so dead nodes can be dropped the
+     moment a swap orphans them and the size metric steering the sift
+     stays exact. *)
+  mutable reorder_watermark : int; (* initial live-node trigger; 0 = off *)
+  mutable reorder_next : int; (* current trigger (doubles after firing) *)
+  mutable in_reorder : bool;
+  mutable rc : (int, int) Hashtbl.t option;
+  mutable n_reorder : int;
+  mutable reorder_gain : int; (* cumulative nodes removed by reorders *)
   (* Effort counters (plain ints: an increment per cache probe is
      noise next to the probe itself). Surfaced by [counters] into the
      engines' observability tracks. *)
@@ -79,8 +117,14 @@ type manager = {
 
 let create_manager ?(cache_size = 65_536) ?(gc_watermark = 0) () =
   {
-    unique = H3.create cache_size;
+    subtables = Hashtbl.create 64;
+    live = 0;
     next_uid = 2;
+    var2level = [||];
+    level2var = [||];
+    nvars = 0;
+    order_epoch = 0;
+    groups = [];
     apply_cache = H3.create cache_size;
     not_cache = Hashtbl.create cache_size;
     ite_cache = H3.create cache_size;
@@ -89,6 +133,12 @@ let create_manager ?(cache_size = 65_536) ?(gc_watermark = 0) () =
     roots = Hashtbl.create 64;
     gc_watermark;
     alloc_since_gc = 0;
+    reorder_watermark = 0;
+    reorder_next = 0;
+    in_reorder = false;
+    rc = None;
+    n_reorder = 0;
+    reorder_gain = 0;
     n_alloc = 0;
     n_hit = 0;
     n_miss = 0;
@@ -97,6 +147,49 @@ let create_manager ?(cache_size = 65_536) ?(gc_watermark = 0) () =
     peak = 0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* The level <-> variable permutation *)
+
+(* Give levels to every variable up to [v]. New variables always go
+   below everything already placed — in index order — so the identity
+   order of a fresh manager extends to the identity, and variables
+   created after a reorder slot in at the bottom without disturbing the
+   sifted prefix. Both invariants reduce to: variable [i] of the new
+   range gets level [i]. *)
+let ensure_level m v =
+  if v < 0 || v >= leaf_var then invalid_arg "Bdd: bad variable index";
+  if v >= m.nvars then begin
+    let n = Array.length m.var2level in
+    if v >= n then begin
+      let n' = max (v + 1) (max 16 (2 * n)) in
+      let grow a = Array.init n' (fun i -> if i < n then a.(i) else i) in
+      m.var2level <- grow m.var2level;
+      m.level2var <- grow m.level2var
+    end;
+    for i = m.nvars to v do
+      m.var2level.(i) <- i;
+      m.level2var.(i) <- i
+    done;
+    m.nvars <- v + 1
+  end
+
+let level_of_var m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Bdd.level_of_var: unknown variable";
+  m.var2level.(v)
+
+let order m = Array.sub m.level2var 0 m.nvars
+
+(* Level of a diagram's root; constants live below everything. *)
+let lvl m = function Zero | One -> max_int | Node n -> m.var2level.(n.v)
+
+let subtable m v =
+  match Hashtbl.find_opt m.subtables v with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = H2.create 64 in
+      Hashtbl.add m.subtables v tbl;
+      tbl
+
 let clear_caches m =
   m.n_sweep <- m.n_sweep + 1;
   H3.reset m.apply_cache;
@@ -104,21 +197,47 @@ let clear_caches m =
   H3.reset m.ite_cache;
   H3.reset m.quant_cache
 
+(* Transient refcount bookkeeping, active only inside [reorder]. *)
+let rc_bump rc d =
+  match d with
+  | Zero | One -> ()
+  | Node n ->
+      Hashtbl.replace rc n.uid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt rc n.uid))
+
+let rec rc_drop m rc d =
+  match d with
+  | Zero | One -> ()
+  | Node n -> (
+      match Hashtbl.find_opt rc n.uid with
+      | Some k when k > 1 -> Hashtbl.replace rc n.uid (k - 1)
+      | _ ->
+          (* Last parent gone: drop the node from the unique table so
+             the sift's size metric stays exact, and release its
+             children in turn. *)
+          Hashtbl.remove rc n.uid;
+          H2.remove (subtable m n.v) (id n.lo, id n.hi);
+          m.live <- m.live - 1;
+          rc_drop m rc n.lo;
+          rc_drop m rc n.hi)
+
 (* Hash-consing constructor with the two ROBDD reduction rules. *)
 let mk m v lo hi =
   if lo == hi then lo
   else
-    let key = (v, id lo, id hi) in
-    match H3.find_opt m.unique key with
+    let tbl = subtable m v in
+    let key = (id lo, id hi) in
+    match H2.find_opt tbl key with
     | Some d -> d
     | None ->
         let d = Node { uid = m.next_uid; v; lo; hi } in
         m.next_uid <- m.next_uid + 1;
         m.n_alloc <- m.n_alloc + 1;
         m.alloc_since_gc <- m.alloc_since_gc + 1;
-        H3.add m.unique key d;
-        let pop = H3.length m.unique in
-        if pop > m.peak then m.peak <- pop;
+        H2.add tbl key d;
+        m.live <- m.live + 1;
+        if m.live > m.peak then m.peak <- m.live;
+        (match m.rc with None -> () | Some rc -> rc_bump rc lo; rc_bump rc hi);
         d
 
 (* ------------------------------------------------------------------ *)
@@ -158,7 +277,7 @@ let root_decr m d =
 let gc m =
   m.n_gc <- m.n_gc + 1;
   m.alloc_since_gc <- 0;
-  let marked = Hashtbl.create ((H3.length m.unique / 2) + 16) in
+  let marked = Hashtbl.create ((m.live / 2) + 16) in
   (* Recursion depth is bounded by the variable count, not the node
      count: the diagrams are ordered. *)
   let rec mark = function
@@ -171,12 +290,22 @@ let gc m =
         end
   in
   Hashtbl.iter (fun _ (d, _) -> mark d) m.roots;
-  H3.filter_map_inplace
-    (fun _ d ->
-      match d with
-      | Node n -> if Hashtbl.mem marked n.uid then Some d else None
-      | Zero | One -> Some d)
-    m.unique;
+  let live = ref 0 in
+  Hashtbl.iter
+    (fun _ tbl ->
+      H2.filter_map_inplace
+        (fun _ d ->
+          match d with
+          | Node n ->
+              if Hashtbl.mem marked n.uid then begin
+                incr live;
+                Some d
+              end
+              else None
+          | Zero | One -> Some d)
+        tbl)
+    m.subtables;
+  m.live <- !live;
   (* The operation caches key and hold possibly-swept uids: a stale
      hit would resurrect a dead node as a physically distinct twin of
      a future rebuild, so they go wholesale. *)
@@ -189,16 +318,16 @@ let set_gc_watermark m n =
   if n < 0 then invalid_arg "Bdd.set_gc_watermark: negative watermark";
   m.gc_watermark <- n
 
-let live_nodes m = H3.length m.unique
+let live_nodes m = m.live
 let peak_nodes m = m.peak
 let gc_count m = m.n_gc
 
 let var m i =
-  if i < 0 || i >= leaf_var then invalid_arg "Bdd.var: bad index";
+  ensure_level m i;
   mk m i Zero One
 
 let nvar m i =
-  if i < 0 || i >= leaf_var then invalid_arg "Bdd.nvar: bad index";
+  ensure_level m i;
   mk m i One Zero
 
 let rec dnot m d =
@@ -257,10 +386,12 @@ let rec apply m op a b =
           r
       | None ->
           m.n_miss <- m.n_miss + 1;
-          let va = var_of a and vb = var_of b in
-          let v = min va vb in
-          let a0, a1 = if va = v then (low a, high a) else (a, a) in
-          let b0, b1 = if vb = v then (low b, high b) else (b, b) in
+          let la = lvl m a and lb = lvl m b in
+          (* Equal levels mean equal root variables: the split is by
+             the shallower level, not the smaller index. *)
+          let v = if la <= lb then var_of a else var_of b in
+          let a0, a1 = if la <= lb then (low a, high a) else (a, a) in
+          let b0, b1 = if lb <= la then (low b, high b) else (b, b) in
           let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
           H3.add m.apply_cache key r;
           r)
@@ -286,10 +417,13 @@ let rec ite m f g h =
             r
         | None ->
             m.n_miss <- m.n_miss + 1;
-            let v = min (var_of f) (min (var_of g) (var_of h)) in
-            let cof d =
-              if var_of d = v then (low d, high d) else (d, d)
+            let l = min (lvl m f) (min (lvl m g) (lvl m h)) in
+            let v =
+              if lvl m f = l then var_of f
+              else if lvl m g = l then var_of g
+              else var_of h
             in
+            let cof d = if lvl m d = l then (low d, high d) else (d, d) in
             let f0, f1 = cof f and g0, g1 = cof g and h0, h1 = cof h in
             let r = mk m v (ite m f0 g0 h0) (ite m f1 g1 h1) in
             H3.add m.ite_cache key r;
@@ -334,13 +468,29 @@ let varset m vars =
   List.iter
     (fun v ->
       if v < 0 then invalid_arg "Bdd.varset: negative variable";
+      ensure_level m v;
       Bytes.set bits v '\001')
     vars;
-  let vs = { vs_id = m.next_vs_id; bits; max_var } in
+  let vs =
+    { vs_id = m.next_vs_id; bits; max_var; max_level = -1; lvl_epoch = -1 }
+  in
   m.next_vs_id <- m.next_vs_id + 1;
   vs
 
 let vs_mem vs v = v <= vs.max_var && Bytes.get vs.bits v = '\001'
+
+(* Deepest level of any member under the current order, refreshed
+   lazily after reorders (the epoch counts adjacent-level swaps). *)
+let vs_max_level m vs =
+  if vs.lvl_epoch <> m.order_epoch then begin
+    let ml = ref (-1) in
+    for v = 0 to vs.max_var do
+      if Bytes.get vs.bits v = '\001' then ml := max !ml m.var2level.(v)
+    done;
+    vs.max_level <- !ml;
+    vs.lvl_epoch <- m.order_epoch
+  end;
+  vs.max_level
 
 (* Quantification ops share quant_cache; key is (op*big + vs_id, id, id2)
    where binary and_exists uses id2 and unary exists uses 0. *)
@@ -352,7 +502,7 @@ let rec quant m op vs d =
   match d with
   | Zero | One -> d
   | Node n ->
-      if n.v > vs.max_var then d
+      if m.var2level.(n.v) > vs_max_level m vs then d
       else
         let key = ((op * 0x10000) + vs.vs_id, n.uid, 0) in
         (match H3.find_opt m.quant_cache key with
@@ -389,17 +539,18 @@ let rec and_exists m vs a b =
             r
         | None ->
             m.n_miss <- m.n_miss + 1;
-            let va = var_of a and vb = var_of b in
-            let v = min va vb in
-            let a0, a1 = if va = v then (low a, high a) else (a, a) in
-            let b0, b1 = if vb = v then (low b, high b) else (b, b) in
+            let la = lvl m a and lb = lvl m b in
+            let l = min la lb in
+            let v = if la <= lb then var_of a else var_of b in
+            let a0, a1 = if la = l then (low a, high a) else (a, a) in
+            let b0, b1 = if lb = l then (low b, high b) else (b, b) in
             let r =
-              if v > vs.max_var then
+              if l > vs_max_level m vs then
                 (* No quantified variable can appear below: plain and. *)
                 dand m a b
               else if vs_mem vs v then
-                let l = and_exists m vs a0 b0 in
-                if l == One then One else dor m l (and_exists m vs a1 b1)
+                let l' = and_exists m vs a0 b0 in
+                if l' == One then One else dor m l' (and_exists m vs a1 b1)
               else mk m v (and_exists m vs a0 b0) (and_exists m vs a1 b1)
             in
             H3.add m.quant_cache key r;
@@ -416,9 +567,11 @@ let rename m f d =
         | None ->
             let l = go n.lo and h = go n.hi in
             let v' = f n.v in
-            (* Monotonicity check: the renamed root must still be above
-               both renamed children (constants report [leaf_var]). *)
-            if v' >= var_of l || v' >= var_of h then
+            ensure_level m v';
+            (* Monotonicity check, against levels: the renamed root
+               must still sit above both renamed children (constants
+               report level [max_int]). *)
+            if m.var2level.(v') >= lvl m l || m.var2level.(v') >= lvl m h then
               invalid_arg "Bdd.rename: order-violating substitution";
             let r = mk m v' l h in
             Hashtbl.add memo n.uid r;
@@ -427,10 +580,11 @@ let rename m f d =
   go d
 
 let rec cofactor m i b d =
+  ensure_level m i;
   match d with
   | Zero | One -> d
   | Node n ->
-      if n.v > i then d
+      if m.var2level.(n.v) > m.var2level.(i) then d
       else if n.v = i then if b then n.hi else n.lo
       else
         (* Memoization piggybacks on the unique table via mk; recursion
@@ -457,15 +611,15 @@ let rec restrict m f c =
         r
     | None ->
         m.n_miss <- m.n_miss + 1;
-        let vf = var_of f and vc = var_of c in
+        let lf = lvl m f and lc = lvl m c in
         let r =
-          if vc < vf then
+          if lc < lf then
             (* The care set branches above [f]: no cofactor of [f] to
                pick, so forget the distinction ([exists vc c]). *)
             restrict m f (dor m (low c) (high c))
           else
-            let v = vf in
-            let c0, c1 = if vc = v then (low c, high c) else (c, c) in
+            let v = var_of f in
+            let c0, c1 = if lc = lf then (low c, high c) else (c, c) in
             if c0 == Zero then restrict m (high f) c1
             else if c1 == Zero then restrict m (low f) c0
             else mk m v (restrict m (low f) c0) (restrict m (high f) c1)
@@ -483,11 +637,29 @@ let any_sat d =
   in
   go [] d
 
+(* Rank of each of the [nvars] counted variables in the current order:
+   the path-counting arithmetic of [sat_count]/[iter_sat] works over
+   positions among the counted set, which coincide with raw indices
+   only while the order is the natural one. *)
+let ranks m ~nvars =
+  let by_level =
+    Array.init nvars (fun v ->
+        (* Variables never touched by this manager sort below every
+           allocated one, in index order — where [ensure_level] would
+           place them. *)
+        ((if v < m.nvars then m.var2level.(v) else (max_int / 2) + v), v))
+  in
+  Array.sort compare by_level;
+  let rank = Array.make nvars 0 in
+  Array.iteri (fun r (_, v) -> rank.(v) <- r) by_level;
+  (rank, Array.map snd by_level)
+
 let sat_count m ~nvars d =
-  ignore m;
+  let rank, _ = ranks m ~nvars in
   let memo = Hashtbl.create 256 in
-  (* count d = assignments over variables >= v_above extending to sat;
-     normalize by tracking the root variable of each subdiagram. *)
+  (* count d = assignments over the counted variables ranked below the
+     root extending to sat; gaps between a node and its children are
+     counted in ranks, not raw indices. *)
   let rec count d =
     match d with
     | Zero -> 0.0
@@ -500,8 +672,8 @@ let sat_count m ~nvars d =
               let c = count child in
               let gap =
                 match child with
-                | Zero | One -> nvars - n.v - 1
-                | Node c' -> c'.v - n.v - 1
+                | Zero | One -> nvars - rank.(n.v) - 1
+                | Node c' -> rank.(c'.v) - rank.(n.v) - 1
               in
               c *. (2.0 ** float_of_int gap)
             in
@@ -512,16 +684,18 @@ let sat_count m ~nvars d =
   match d with
   | Zero -> 0.0
   | One -> 2.0 ** float_of_int nvars
-  | Node n -> count d *. (2.0 ** float_of_int n.v)
+  | Node n -> count d *. (2.0 ** float_of_int rank.(n.v))
 
-let iter_sat ~nvars d f =
+let iter_sat m ~nvars d f =
+  let _, var_at_rank = ranks m ~nvars in
   let assign = Array.make nvars false in
-  let rec go v d =
-    if v = nvars then (match d with One -> f assign | _ -> ())
+  let rec go r d =
+    if r = nvars then (match d with One -> f assign | _ -> ())
     else
       match d with
       | Zero -> ()
       | One | Node _ ->
+          let v = var_at_rank.(r) in
           let follow b =
             assign.(v) <- b;
             let d' =
@@ -529,12 +703,274 @@ let iter_sat ~nvars d f =
               | Node n when n.v = v -> if b then n.hi else n.lo
               | _ -> d
             in
-            go (v + 1) d'
+            go (r + 1) d'
           in
           follow false;
           follow true
   in
   go 0 d
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic variable reordering: Rudell sifting over a mutable order.
+
+   The primitive is the adjacent-level swap: exchanging levels l and
+   l+1 rewrites, in place, exactly the nodes at level l that test the
+   level-(l+1) variable in a child. Everything above survives
+   physically (parents keep pointing at the same OCaml value, which
+   still denotes the same function), everything below is untouched.
+   Sifting then moves one variable — or one declared group, kept
+   contiguous — across the whole order, records the table size at each
+   stop, and parks it at the best position seen.
+
+   Like [gc], a reorder is a safepoint operation: it sweeps unrooted
+   nodes first (their subtable entries would otherwise corrupt the
+   size metric), so every diagram the client still needs must be
+   reachable from a registered root. Rooted diagrams survive with
+   their identity and semantics intact; an unrooted diagram held in an
+   OCaml variable across a reorder is *invalid* afterwards — stronger
+   than the gc contract, where it merely loses canonicity. *)
+
+(* Swap the variables at levels l and l+1. Permutation flips first so
+   [mk] sees the new order while rebuilding. *)
+let swap_adjacent m l =
+  let x = m.level2var.(l) and y = m.level2var.(l + 1) in
+  let tx = subtable m x in
+  let affected =
+    H2.fold
+      (fun _ d acc ->
+        match d with
+        | Node n when var_of n.lo = y || var_of n.hi = y -> d :: acc
+        | _ -> acc)
+      tx []
+  in
+  m.level2var.(l) <- y;
+  m.level2var.(l + 1) <- x;
+  m.var2level.(x) <- l + 1;
+  m.var2level.(y) <- l;
+  m.order_epoch <- m.order_epoch + 1;
+  (* Unhook every affected node before rebuilding any: their new keys
+     must never collide with a stale old key. *)
+  List.iter
+    (fun d ->
+      match d with
+      | Node n -> H2.remove tx (id n.lo, id n.hi)
+      | Zero | One -> ())
+    affected;
+  let rc = match m.rc with Some rc -> rc | None -> assert false in
+  let ty = subtable m y in
+  List.iter
+    (fun d ->
+      match d with
+      | Zero | One -> ()
+      | Node n ->
+          let f0 = n.lo and f1 = n.hi in
+          let split f = if var_of f = y then (low f, high f) else (f, f) in
+          let f00, f01 = split f0 and f10, f11 = split f1 in
+          (* New children first (so the old ones' release below cannot
+             cascade into a grandchild the rebuild still needs), then
+             the in-place rewrite. *)
+          let lo' = mk m x f00 f10 and hi' = mk m x f01 f11 in
+          rc_bump rc lo';
+          rc_bump rc hi';
+          n.v <- y;
+          n.lo <- lo';
+          n.hi <- hi';
+          H2.add ty (id lo', id hi') d;
+          rc_drop m rc f0;
+          rc_drop m rc f1)
+    affected
+
+(* The sifting blocks: declared groups move as one unit; every other
+   variable is its own block. Returned in level order. *)
+let sift_blocks m =
+  let grouped = Hashtbl.create 16 in
+  List.iter
+    (fun g -> Array.iter (fun v -> Hashtbl.replace grouped v ()) g)
+    m.groups;
+  let blocks = ref [] in
+  List.iter (fun g -> blocks := g :: !blocks) m.groups;
+  for v = 0 to m.nvars - 1 do
+    if not (Hashtbl.mem grouped v) then blocks := [| v |] :: !blocks
+  done;
+  let arr = Array.of_list !blocks in
+  Array.sort (fun a b -> compare m.var2level.(a.(0)) m.var2level.(b.(0))) arr;
+  arr
+
+(* Swap the adjacent blocks at positions j and j+1 of [blocks]: bubble
+   each member of the right block up over the left one (a*b adjacent
+   swaps). *)
+let swap_blocks m blocks j =
+  let a = blocks.(j) and b = blocks.(j + 1) in
+  let start = m.var2level.(a.(0)) in
+  Array.iteri
+    (fun i bv ->
+      let target = start + i in
+      let cur = m.var2level.(bv) in
+      for l = cur - 1 downto target do
+        swap_adjacent m l
+      done)
+    b;
+  blocks.(j) <- b;
+  blocks.(j + 1) <- a
+
+let reorder m =
+  if not m.in_reorder then begin
+    m.in_reorder <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        m.rc <- None;
+        m.in_reorder <- false)
+      (fun () ->
+        (* Sweep garbage first: sifting steers by table size, and the
+           op caches must not serve results keyed under the old
+           structure anyway. *)
+        gc m;
+        let size0 = m.live in
+        if size0 > 0 && m.nvars > 1 then begin
+          let rc = Hashtbl.create (2 * size0) in
+          Hashtbl.iter
+            (fun _ tbl ->
+              H2.iter
+                (fun _ d ->
+                  match d with
+                  | Node n ->
+                      rc_bump rc n.lo;
+                      rc_bump rc n.hi
+                  | Zero | One -> ())
+                tbl)
+            m.subtables;
+          Hashtbl.iter (fun _ (d, _) -> rc_bump rc d) m.roots;
+          m.rc <- Some rc;
+          let blocks = sift_blocks m in
+          let nb = Array.length blocks in
+          let block_size bl =
+            Array.fold_left (fun s v -> s + H2.length (subtable m v)) 0 bl
+          in
+          (* Largest blocks first: they have the most to gain. *)
+          let order_of_attack =
+            Array.init nb (fun i -> i)
+            |> Array.to_list
+            |> List.map (fun i -> (blocks.(i), block_size blocks.(i)))
+            |> List.sort (fun (_, s1) (_, s2) -> compare s2 s1)
+            |> List.map fst
+          in
+          let pos_of bl =
+            let rec find j = if blocks.(j) == bl then j else find (j + 1) in
+            find 0
+          in
+          List.iter
+            (fun bl ->
+              let p0 = pos_of bl in
+              let limit = (12 * m.live / 10) + 2 in
+              let best = Stdlib.ref m.live and bestpos = Stdlib.ref p0 in
+              let pos = Stdlib.ref p0 in
+              let note () =
+                if m.live < !best then begin
+                  best := m.live;
+                  bestpos := !pos
+                end
+              in
+              let down () =
+                while !pos < nb - 1 && m.live <= limit do
+                  swap_blocks m blocks !pos;
+                  incr pos;
+                  note ()
+                done
+              in
+              let up () =
+                while !pos > 0 && m.live <= limit do
+                  swap_blocks m blocks (!pos - 1);
+                  decr pos;
+                  note ()
+                done
+              in
+              (* Nearer end first, then sweep across, then settle at
+                 the best position seen. *)
+              if p0 > nb - 1 - p0 then (down (); up ()) else (up (); down ());
+              while !pos < !bestpos do
+                swap_blocks m blocks !pos;
+                incr pos
+              done;
+              while !pos > !bestpos do
+                swap_blocks m blocks (!pos - 1);
+                decr pos
+              done)
+            order_of_attack;
+          m.n_reorder <- m.n_reorder + 1;
+          m.reorder_gain <- m.reorder_gain + max 0 (size0 - m.live)
+        end;
+        (* Growth-triggered refires back off to twice the settled size,
+           so a table that cannot shrink does not thrash. *)
+        if m.reorder_next > 0 then
+          m.reorder_next <- max m.reorder_watermark (2 * m.live))
+  end
+
+let maybe_reorder m =
+  if m.reorder_next > 0 && (not m.in_reorder) && m.live >= m.reorder_next then
+    reorder m
+
+let set_reorder_watermark m n =
+  if n < 0 then invalid_arg "Bdd.set_reorder_watermark: negative watermark";
+  m.reorder_watermark <- n;
+  m.reorder_next <- n
+
+let reorder_count m = m.n_reorder
+let reorder_gain m = m.reorder_gain
+
+let set_var_groups m groups =
+  let seen = Hashtbl.create 16 in
+  let as_arrays =
+    List.map
+      (fun g ->
+        (match g with
+        | [] | [ _ ] -> invalid_arg "Bdd.set_var_groups: group of fewer than 2"
+        | _ -> ());
+        List.iter
+          (fun v ->
+            ensure_level m v;
+            if Hashtbl.mem seen v then
+              invalid_arg "Bdd.set_var_groups: variable in two groups";
+            Hashtbl.add seen v ())
+          g;
+        (* The declared order must match consecutive current levels:
+           groups are about keeping an existing adjacency, not creating
+           one. *)
+        let rec check = function
+          | a :: (b :: _ as rest) ->
+              if m.var2level.(b) <> m.var2level.(a) + 1 then
+                invalid_arg "Bdd.set_var_groups: group not level-contiguous";
+              check rest
+          | _ -> ()
+        in
+        check g;
+        Array.of_list g)
+      groups
+  in
+  m.groups <- as_arrays
+
+(* ------------------------------------------------------------------ *)
+(* Cross-manager canonical copy. Rebuilding via [ite] makes the copy
+   correct even when the managers disagree on the variable order: the
+   destination's own order decides the result's structure. *)
+
+let transfer src dst d =
+  if src == dst then d
+  else
+    let memo = Hashtbl.create 256 in
+    let rec go d =
+      match d with
+      | Zero -> Zero
+      | One -> One
+      | Node n -> (
+          match Hashtbl.find_opt memo n.uid with
+          | Some r -> r
+          | None ->
+              let l = go n.lo and h = go n.hi in
+              let r = ite dst (var dst n.v) h l in
+              Hashtbl.add memo n.uid r;
+              r)
+    in
+    go d
 
 let counters m =
   [
@@ -543,16 +979,18 @@ let counters m =
     ("bdd.cache_sweeps", m.n_sweep);
     ("bdd.gc_count", m.n_gc);
     ("bdd.nodes_allocated", m.n_alloc);
+    ("bdd.reorder_count", m.n_reorder);
+    ("bdd.reorder_gain", m.reorder_gain);
   ]
 
 let stats m =
   Printf.sprintf
     "unique=%d peak=%d apply=%d not=%d ite=%d quant=%d next_uid=%d hits=%d \
-     misses=%d allocs=%d sweeps=%d gcs=%d roots=%d"
-    (H3.length m.unique) m.peak (H3.length m.apply_cache)
+     misses=%d allocs=%d sweeps=%d gcs=%d reorders=%d gain=%d roots=%d"
+    m.live m.peak (H3.length m.apply_cache)
     (Hashtbl.length m.not_cache) (H3.length m.ite_cache)
     (H3.length m.quant_cache) m.next_uid m.n_hit m.n_miss m.n_alloc m.n_sweep
-    m.n_gc (Hashtbl.length m.roots)
+    m.n_gc m.n_reorder m.reorder_gain (Hashtbl.length m.roots)
 
 (* Exported names for the root registry; defined last because [ref]
    shadows [Stdlib.ref]. *)

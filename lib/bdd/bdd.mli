@@ -4,17 +4,26 @@
     function over the model's state bits is represented canonically, so
     equality is physical equality and fixpoint detection is O(1).
 
-    Variables are identified by nonnegative integers; the variable order
-    is the natural integer order (smaller index = closer to the root).
-    All operations on two diagrams require that they were created by the
-    same manager. *)
+    Variables are identified by nonnegative integers. Their order is a
+    mutable per-manager permutation of {e levels}: [level_of_var m v]
+    is the position of variable [v], level 0 closest to the root. A
+    fresh manager places variables in natural integer order and every
+    new variable enters at the bottom, so code that never calls
+    {!reorder} sees exactly the classic fixed-order behaviour.
+    {!reorder} (or its growth-triggered form, {!set_reorder_watermark})
+    searches for a smaller order at runtime via Rudell sifting.
+
+    All operations on two diagrams require that they were created by
+    the same manager, except {!transfer}, which copies across. *)
 
 type manager
-(** Mutable state shared by a family of diagrams: the unique-node table
-    and the operation caches. *)
+(** Mutable state shared by a family of diagrams: the unique-node table,
+    the operation caches, and the level permutation. *)
 
 type t
-(** A BDD node. Diagrams are immutable and maximally shared. *)
+(** A BDD node. Diagrams are immutable through this interface and
+    maximally shared. ({!reorder} rewrites nodes in place, but
+    preserves each rooted diagram's identity and denotation.) *)
 
 val create_manager : ?cache_size:int -> ?gc_watermark:int -> unit -> manager
 (** [create_manager ()] returns a fresh manager with empty caches.
@@ -38,8 +47,9 @@ val clear_caches : manager -> unit
     root — an unrooted diagram that survives in an OCaml variable
     across a sweep is semantically intact but loses canonicity (a
     later rebuild of an equal function may be a physically distinct
-    node). Collection only ever happens inside {!gc}/{!maybe_gc}, so
-    code that never calls them is unaffected. *)
+    node). Collection only ever happens inside {!gc}/{!maybe_gc} —
+    and, since reordering sweeps first, inside {!reorder}/
+    {!maybe_reorder} — so code that never calls them is unaffected. *)
 
 val ref : manager -> t -> unit
 (** Register a diagram as a GC root (refcounted; constants are
@@ -76,6 +86,60 @@ val peak_nodes : manager -> int
 val gc_count : manager -> int
 (** Number of mark-and-sweep collections performed. *)
 
+(** {1 Dynamic variable reordering}
+
+    Rudell-style sifting: each variable (or declared {!set_var_groups}
+    group) is moved through every level by adjacent-level swaps and
+    parked where the whole unique table was smallest. Swaps rewrite
+    affected nodes {e in place}: a rooted diagram keeps its physical
+    identity, its {!id}, and its denotation across a reorder — only
+    its internal shape changes.
+
+    A reorder begins with a {!gc}, so the client obligation above
+    applies in its strongest form: an {e unrooted} diagram held across
+    {!reorder} is invalid afterwards (not merely non-canonical — its
+    nodes may have been swept mid-sift). Root what you keep. *)
+
+val reorder : manager -> unit
+(** Sift all variables now (a no-op on an empty or single-variable
+    manager). Sweeps unrooted nodes and all operation caches first. *)
+
+val maybe_reorder : manager -> unit
+(** Run {!reorder} iff a positive {!set_reorder_watermark} is armed and
+    the live-node count has reached the current trigger. After firing,
+    the trigger backs off to twice the settled size (but never below
+    the configured watermark), so an incompressible table does not
+    thrash. The safepoint hook for fixpoint loops. *)
+
+val set_reorder_watermark : manager -> int -> unit
+(** Arm {!maybe_reorder} at the given live-node count ([0] disarms).
+    @raise Invalid_argument on a negative value. *)
+
+val set_var_groups : manager -> int list list -> unit
+(** Declare groups of variables that must stay at consecutive levels,
+    in the listed order, across reorders — sifting moves each group as
+    one block. Groups must be disjoint, have at least two members, and
+    already sit at consecutive levels when declared. The encoder uses
+    this to keep each current/next state-bit pair adjacent so renaming
+    between the two vocabularies stays order-preserving.
+    Replaces any previously declared groups. *)
+
+val level_of_var : manager -> int -> int
+(** Current level (root = 0) of a variable this manager has seen.
+    @raise Invalid_argument for a variable never mentioned to this
+    manager. *)
+
+val order : manager -> int array
+(** The current order as the array of variables from root to bottom
+    (a fresh copy; index = level). *)
+
+val reorder_count : manager -> int
+(** Number of completed {!reorder} runs. *)
+
+val reorder_gain : manager -> int
+(** Total unique-table shrinkage achieved by reorders (sum over runs of
+    nodes-before minus nodes-after, floored at zero per run). *)
+
 (** {1 Constants and variables} *)
 
 val zero : t
@@ -111,7 +175,8 @@ val equal : t -> t -> bool
 (** Canonical, hence physical, equality. *)
 
 val id : t -> int
-(** Unique id of the node (stable within a manager's lifetime). *)
+(** Unique id of the node (stable within a manager's lifetime, and
+    across reorders). *)
 
 val top_var : t -> int
 (** Root variable. @raise Invalid_argument on a constant. *)
@@ -123,7 +188,8 @@ val size : t -> int
 (** Number of distinct internal nodes reachable from the root. *)
 
 val support : t -> int list
-(** Sorted list of variables the function actually depends on. *)
+(** Sorted list of variables the function actually depends on
+    (independent of the current order). *)
 
 (** {1 Quantification and substitution} *)
 
@@ -145,9 +211,12 @@ val and_exists : manager -> varset -> t -> t -> t
 
 val rename : manager -> (int -> int) -> t -> t
 (** [rename m f d] substitutes variable [i] by variable [f i].
-    [f] must be strictly monotonic on the support of [d] (it must
-    preserve the variable order); this is checked lazily and violations
-    raise [Invalid_argument]. *)
+    [f] must be strictly {e level}-monotonic on the support of [d]: it
+    must preserve the current order, i.e.
+    [level_of_var m i < level_of_var m j] on the support implies
+    [level_of_var m (f i) < level_of_var m (f j)]. Under the default
+    natural order this is ordinary monotonicity on indices. Checked
+    lazily; violations raise [Invalid_argument]. *)
 
 val cofactor : manager -> int -> bool -> t -> t
 (** [cofactor m i b d] is the cofactor of [d] with variable [i] set to
@@ -163,6 +232,14 @@ val restrict : manager -> t -> t -> t
     guaranteed smaller on adversarial inputs — size-guard at the call
     site when it matters. *)
 
+val transfer : manager -> manager -> t -> t
+(** [transfer src dst d] copies a diagram from manager [src] into
+    manager [dst], returning the canonical node in [dst] for the same
+    boolean function over the same variable indices — correct even when
+    the two managers currently order the variables differently. Used by
+    parallel image computation to move slices between a worker's
+    manager and the main one. [transfer m m d] is [d]. *)
+
 (** {1 Satisfying assignments} *)
 
 val any_sat : t -> (int * bool) list
@@ -171,9 +248,10 @@ val any_sat : t -> (int * bool) list
 
 val sat_count : manager -> nvars:int -> t -> float
 (** Number of satisfying assignments over a space of [nvars] variables
-    (as a float, since counts overflow 63 bits quickly). *)
+    (as a float, since counts overflow 63 bits quickly). The count is
+    order-independent. *)
 
-val iter_sat : nvars:int -> t -> (bool array -> unit) -> unit
+val iter_sat : manager -> nvars:int -> t -> (bool array -> unit) -> unit
 (** Enumerate all satisfying assignments over variables [0..nvars-1],
     calling the function with a full assignment array each time. Only
     usable for small spaces; intended for tests. *)
@@ -184,10 +262,12 @@ val counters : manager -> (string * int) list
 (** Effort counters as an open counter set, sorted by name: node
     allocations ([bdd.nodes_allocated]), operation-cache hits and
     misses across all caches ([bdd.cache_hits]/[bdd.cache_misses]),
-    cache sweeps ([bdd.cache_sweeps], one per {!clear_caches}) and
-    mark-and-sweep collections ([bdd.gc_count]). Monotone counters
-    only — the {!live_nodes}/{!peak_nodes} populations are gauges and
-    are surfaced separately by the engine instrumentation. Consumed by
+    cache sweeps ([bdd.cache_sweeps], one per {!clear_caches}),
+    mark-and-sweep collections ([bdd.gc_count]), completed reorders
+    ([bdd.reorder_count]) and their cumulative node savings
+    ([bdd.reorder_gain]). Monotone counters only — the
+    {!live_nodes}/{!peak_nodes} populations are gauges and are
+    surfaced separately by the engine instrumentation. Consumed by
     the {!Obs}-based engine instrumentation; the names are pinned by a
     golden test. *)
 

@@ -92,7 +92,48 @@ let no_restrict () =
           "Disable Coudert-Madre frontier minimization against the reached \
            set before each BDD image step.")
 
-let reach_tuning_of ~partitioned ~gc_watermark ~no_restrict =
+let reorder () =
+  Arg.(
+    value
+    & opt ~vopt:(Some 50_000) (some int) None
+    & info [ "reorder" ] ~docv:"N"
+        ~doc:
+          "Enable dynamic BDD variable reordering (Rudell sifting) at \
+           fixpoint-iteration boundaries once N nodes are live (bare \
+           $(b,--reorder) uses 50000). Off when omitted.")
+
+let par_image () =
+  Arg.(
+    value & opt int 1
+    & info [ "par-image" ] ~docv:"N"
+        ~doc:
+          "Compute each BDD image step across N OCaml domains (the frontier \
+           is sliced by state bits; per-domain managers, results merged \
+           exactly). 1 (the default) keeps the sequential fold.")
+
+let strategy () =
+  Arg.(
+    value & opt string "bfs"
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:
+          "Fixpoint exploration strategy for the BDD engine: bfs \
+           (breadth-first, the default), chaining (image the accumulating \
+           reached set), or saturation (guard-local worklist sweeps). All \
+           three produce identical verdicts and counterexample lengths.")
+
+let strategy_of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "bfs" -> Symkit.Reach.Bfs
+  | "chaining" -> Symkit.Reach.Chaining
+  | "saturation" -> Symkit.Reach.Saturation
+  | _ ->
+      prerr_endline
+        ("unknown --strategy '" ^ s
+       ^ "' (expected bfs | chaining | saturation)");
+      exit 2
+
+let reach_tuning_of ?(reorder = None) ?(par_image = 1) ?(strategy = "bfs")
+    ~partitioned ~gc_watermark ~no_restrict () =
   let base =
     if partitioned then Symkit.Reach.default_tuning
     else Symkit.Reach.monolithic_tuning
@@ -102,11 +143,23 @@ let reach_tuning_of ~partitioned ~gc_watermark ~no_restrict =
       prerr_endline "--gc-watermark: expected a non-negative node count";
       exit 2
   | _ -> ());
+  (match reorder with
+  | Some n when n < 0 ->
+      prerr_endline "--reorder: expected a non-negative node count";
+      exit 2
+  | _ -> ());
+  if par_image < 1 then begin
+    prerr_endline "--par-image: expected a domain count of at least 1";
+    exit 2
+  end;
   {
     base with
     Symkit.Reach.use_restrict = base.Symkit.Reach.use_restrict && not no_restrict;
     gc_watermark =
       Option.value gc_watermark ~default:base.Symkit.Reach.gc_watermark;
+    strategy = strategy_of_name strategy;
+    par_domains = par_image;
+    reorder_watermark = Option.value reorder ~default:0;
   }
 
 let chaos () =

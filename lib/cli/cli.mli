@@ -47,13 +47,31 @@ val gc_watermark : unit -> int option Cmdliner.Term.t
 val no_restrict : unit -> bool Cmdliner.Term.t
 (** [--no-restrict]: turn off Coudert–Madre frontier minimization. *)
 
+val reorder : unit -> int option Cmdliner.Term.t
+(** [--reorder \[N\]]: arm dynamic variable reordering (Rudell sifting)
+    at a live-node watermark of [N] (bare [--reorder] uses 50000);
+    off when omitted. *)
+
+val par_image : unit -> int Cmdliner.Term.t
+(** [--par-image N]: compute each BDD image step across [N] OCaml
+    domains ([1], the default, stays sequential). *)
+
+val strategy : unit -> string Cmdliner.Term.t
+(** [--strategy bfs|chaining|saturation]: the BDD engine's fixpoint
+    exploration strategy (default [bfs]). *)
+
+val strategy_of_name : string -> Symkit.Reach.strategy
+(** Parse a [--strategy] value; exits with code 2 on unknown names. *)
+
 val reach_tuning_of :
+  ?reorder:int option -> ?par_image:int -> ?strategy:string ->
   partitioned:bool -> gc_watermark:int option -> no_restrict:bool ->
-  Symkit.Reach.tuning
-(** Combine the three flags into the BDD engine's tuning record
-    (starting from {!Symkit.Reach.default_tuning} or
+  unit -> Symkit.Reach.tuning
+(** Combine the flags into the BDD engine's tuning record (starting
+    from {!Symkit.Reach.default_tuning} or
     {!Symkit.Reach.monolithic_tuning} according to [partitioned]).
-    Rejects a negative [gc_watermark] with exit code 2. *)
+    Rejects a negative [gc_watermark]/[reorder] or a [par_image]
+    below 1 with exit code 2. *)
 
 val chaos : unit -> string option Cmdliner.Term.t
 (** [--chaos SEED[:SPEC]]: arm deterministic fault injection (see

@@ -133,7 +133,7 @@ let all_failed_detail failures =
 
 let race ?cancel ?cache ?telemetry ?obs ?label ?(engines = priority)
     ?(max_depth = 24) ?(supervisor = Resilience.Supervisor.default)
-    ?(faults = Resilience.Faults.disabled) cfg =
+    ?(faults = Resilience.Faults.disabled) ?reach_tuning cfg =
   if engines = [] then invalid_arg "Portfolio.race: no engines";
   let ext_cancel = match cancel with Some c -> c | None -> fun () -> false in
   let label =
@@ -174,7 +174,7 @@ let race ?cancel ?cache ?telemetry ?obs ?label ?(engines = priority)
         let t0 = now () in
         let o =
           Resilience.Supervisor.run ~policy:supervisor ~faults ~obs:track
-            ~cancel ~max_depth (Engine.get e) cfg
+            ~cancel ~max_depth ?reach_tuning (Engine.get e) cfg
         in
         let wall = now () -. t0 in
         match o.Resilience.Supervisor.result with
@@ -307,7 +307,8 @@ let job ?label ?engine ?(max_depth = 100) cfg =
 
 let run_single ?cache ?telemetry ?obs
     ?(supervisor = Resilience.Supervisor.default)
-    ?(faults = Resilience.Faults.disabled) ~label ~engine ~max_depth cfg =
+    ?(faults = Resilience.Faults.disabled) ?reach_tuning ~label ~engine
+    ~max_depth cfg =
   let model = Build.model cfg in
   let t0 = now () in
   match cache_probe cache ~model ~engines:[ engine ] ~max_depth with
@@ -323,7 +324,7 @@ let run_single ?cache ?telemetry ?obs
       let track = run_track obs ~label engine in
       let o =
         Resilience.Supervisor.run ~policy:supervisor ~faults ~obs:track
-          ~max_depth (Engine.get engine) cfg
+          ~max_depth ?reach_tuning (Engine.get engine) cfg
       in
       let wall_s = now () -. t0 in
       let v, counters, failures =
@@ -346,17 +347,18 @@ let run_single ?cache ?telemetry ?obs
         runs = (if failures = [] then [ (engine, v, wall_s) ] else []);
         failures }
 
-let run_matrix ?domains ?cache ?telemetry ?obs ?supervisor ?faults jobs =
+let run_matrix ?domains ?cache ?telemetry ?obs ?supervisor ?faults
+    ?reach_tuning jobs =
   let run j =
     match j.engine with
     | Some engine ->
         ( j,
-          run_single ?cache ?telemetry ?obs ?supervisor ?faults ~label:j.label
-            ~engine ~max_depth:j.max_depth j.cfg )
+          run_single ?cache ?telemetry ?obs ?supervisor ?faults ?reach_tuning
+            ~label:j.label ~engine ~max_depth:j.max_depth j.cfg )
     | None ->
         ( j,
-          race ?cache ?telemetry ?obs ?supervisor ?faults ~label:j.label
-            ~max_depth:j.max_depth j.cfg )
+          race ?cache ?telemetry ?obs ?supervisor ?faults ?reach_tuning
+            ~label:j.label ~max_depth:j.max_depth j.cfg )
   in
   let pool_obs =
     match obs with

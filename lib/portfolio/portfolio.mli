@@ -89,6 +89,7 @@ val race :
   ?max_depth:int ->
   ?supervisor:Resilience.Supervisor.policy ->
   ?faults:Resilience.Faults.t ->
+  ?reach_tuning:Symkit.Reach.tuning ->
   Tta_model.Configs.t ->
   result
 (** Race [engines] (default: all of {!priority}) on one configuration,
@@ -116,6 +117,10 @@ val race :
     for an internal cancellation), and nothing is cached. With a
     single engine the race degenerates to one cancellable run on the
     calling domain — the serving layer's single-engine path.
+
+    [reach_tuning] is forwarded to every racer (only the BDD engine
+    consumes it): image-computation strategy, multi-domain image
+    parallelism, GC and reordering watermarks.
     @raise Invalid_argument on an empty engine list. *)
 
 (** {1 Matrix fan-out} *)
@@ -140,6 +145,7 @@ val run_matrix :
   ?obs:Obs.Collector.t ->
   ?supervisor:Resilience.Supervisor.policy ->
   ?faults:Resilience.Faults.t ->
+  ?reach_tuning:Symkit.Reach.tuning ->
   job list ->
   (job * result) list
 (** Drain the jobs across a work-stealing pool of [domains] workers
@@ -147,7 +153,8 @@ val run_matrix :
     order. Racing jobs spawn their engine domains {e in addition} to
     the pool workers — use single-engine jobs when the matrix is wide
     and racing when it is deep. [supervisor]/[faults] apply to every
-    job as in {!race}; a job whose task raised outside the supervised
+    job as in {!race} ([reach_tuning] too); a job whose task raised
+    outside the supervised
     engine (infrastructure, not verification) still yields a result —
     an [Unknown] with the exception recorded in [failures]. *)
 

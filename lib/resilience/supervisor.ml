@@ -100,7 +100,8 @@ let interruptible_sleep d cancel =
   go d
 
 let run ?(policy = default) ?(faults = Faults.disabled) ?obs
-    ?(cancel = fun () -> false) ?max_depth (engine : Engine.t) cfg =
+    ?(cancel = fun () -> false) ?max_depth ?reach_tuning (engine : Engine.t)
+    cfg =
   let t0 = Unix.gettimeofday () in
   let retries_c = ref 0 and crashes_c = ref 0 and hangs_c = ref 0 in
   let obs_tick name =
@@ -121,7 +122,7 @@ let run ?(policy = default) ?(faults = Faults.disabled) ?obs
       match policy.watchdog_s with
       | None -> (
           match engine.Engine.run ~cancel:(wrapped_cancel wd_fired) ?obs
-                  ?max_depth cfg
+                  ?max_depth ?reach_tuning cfg
           with
           | r -> `Done r
           | exception e -> `Raised e)
@@ -134,7 +135,7 @@ let run ?(policy = default) ?(faults = Faults.disabled) ?obs
             Domain.spawn (fun () ->
                 match
                   engine.Engine.run ~cancel:(wrapped_cancel wd_fired) ?obs
-                    ?max_depth cfg
+                    ?max_depth ?reach_tuning cfg
                 with
                 | r -> Atomic.set slot (`Done r)
                 | exception e -> Atomic.set slot (`Raised e))

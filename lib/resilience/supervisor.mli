@@ -104,6 +104,7 @@ val run :
   ?obs:Obs.t ->
   ?cancel:(unit -> bool) ->
   ?max_depth:int ->
+  ?reach_tuning:Symkit.Reach.tuning ->
   Tta_model.Engine.t ->
   Tta_model.Configs.t ->
   outcome
@@ -111,6 +112,8 @@ val run :
     before every attempt and {!Faults.Engine_step} into the engine's
     cooperative cancel polls. [cancel] is the external (portfolio)
     cancellation: when it turns true, pending backoffs are cut short
-    and no further retries are attempted. [obs] receives live
-    [supervisor.*] counter increments when enabled; the same values are
-    always returned in [outcome.counters]. *)
+    and no further retries are attempted. [reach_tuning] is forwarded
+    to every attempt (the BDD engine's image-computation tuning).
+    [obs] receives live [supervisor.*] counter increments when
+    enabled; the same values are always returned in
+    [outcome.counters]. *)

@@ -3,9 +3,16 @@
     Every model variable is binary-encoded over a block of boolean
     decision variables; current and next copies of the same bit are
     interleaved (bit [b] of the state maps to BDD variable [2b] for the
-    current copy and [2b+1] for the primed copy), which keeps transition
-    relations compact and makes renaming between the copies an
-    order-preserving shift. *)
+    current copy and [2b+1] for the primed copy). What the transition
+    relation and the copy renames actually require is a {e level}
+    property, not an index property: each current bit must sit
+    immediately above its primed twin in the manager's variable order,
+    so that relations stay compact and renaming between the copies is
+    an order-preserving (level-monotonic) shift. Under the initial
+    natural order the interleaved indices give exactly that layout,
+    and [create] declares each [(2b, 2b+1)] pair as a sift group
+    ({!Bdd.set_var_groups}), so dynamic reordering moves pairs as
+    blocks and the level property survives every sift. *)
 
 type var_enc = {
   name : string;
@@ -90,6 +97,11 @@ let create ?var_order mgr model =
   let nbits = !next_bit in
   let cur_set = Bdd.varset mgr (List.init nbits bdd_var_cur) in
   let nxt_set = Bdd.varset mgr (List.init nbits bdd_var_nxt) in
+  (* Keep each current/primed twin adjacent across dynamic reorders:
+     the copy renames below are only level-monotonic if the pair
+     structure survives sifting. *)
+  Bdd.set_var_groups mgr
+    (List.init nbits (fun b -> [ bdd_var_cur b; bdd_var_nxt b ]));
   {
     mgr;
     model;
@@ -448,6 +460,9 @@ let n_partitions t = match t.sched_cache with
   | Some (_, s) -> Array.length s.parts
   | None -> 0
 
+(* The ±1 shifts between the copies are level-monotonic because each
+   (cur, nxt) twin occupies two consecutive levels (grouped above), in
+   any order the sifter settles on. *)
 let rename_nxt_to_cur t d = Bdd.rename t.mgr (fun v -> v - 1) d
 let rename_cur_to_nxt t d = Bdd.rename t.mgr (fun v -> v + 1) d
 

@@ -3,9 +3,13 @@
     Every model variable is binary-encoded over a block of boolean
     decision variables; current and next copies of the same bit are
     interleaved (state bit [b] maps to BDD variable [2b] for the
-    current copy and [2b+1] for the primed copy), keeping transition
-    relations compact and making renaming between the copies an
-    order-preserving shift. *)
+    current copy and [2b+1] for the primed copy). The invariant that
+    matters is about {e levels}, not indices: each current bit sits
+    immediately above its primed twin in the manager's order, keeping
+    transition relations compact and making renaming between the
+    copies a level-monotonic shift. [create] declares each twin pair
+    as a {!Bdd.set_var_groups} sift group, so the layout survives
+    dynamic variable reordering. *)
 
 type var_enc = private {
   name : string;

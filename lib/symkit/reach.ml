@@ -2,18 +2,23 @@
 
     Computes the reachable states as a BDD fixpoint and checks a safety
     property of the form "no reachable state satisfies [bad]". On
-    failure, a shortest counterexample trace is extracted by walking the
-    onion rings of the fixpoint backwards, exactly as SMV does.
+    failure, a shortest counterexample trace is extracted — by walking
+    the onion rings of the fixpoint backwards (BFS-shaped strategies,
+    exactly as SMV does), or by rerunning a ring-keeping BFS when the
+    forward exploration was not breadth-first.
 
     The image computation is the hot path of the whole Section 5
-    matrix, so it is tunable along three axes (see {!tuning}):
+    matrix, so it is tunable along several axes (see {!tuning}):
     conjunctively partitioned transition relations with early
     quantification instead of one monolithic relprod, Coudert–Madre
     [restrict] minimization of the frontier against the reached set,
-    and watermark-triggered BDD node reclamation between iterations. *)
+    watermark-triggered BDD node reclamation and dynamic variable
+    reordering between iterations, frontier-sliced image computation
+    across OCaml domains, and a pluggable fixpoint strategy. *)
 
 type stats = {
-  iterations : int;  (** image steps performed *)
+  iterations : int;
+      (** image steps performed (outer sweeps under [Saturation]) *)
   peak_nodes : int;  (** largest BDD (reachable set) seen *)
   reachable_states : float;  (** |reachable| if the run completed *)
 }
@@ -24,11 +29,16 @@ type result =
   | Depth_exhausted of stats
       (** gave up at [max_iterations] without proving or refuting *)
 
+type strategy = Bfs | Chaining | Saturation
+
 type tuning = {
   partitioned : bool;
   use_restrict : bool;
   gc_watermark : int;
   cluster_limit : int;
+  strategy : strategy;
+  par_domains : int;
+  reorder_watermark : int;
 }
 
 let default_tuning =
@@ -37,6 +47,9 @@ let default_tuning =
     use_restrict = true;
     gc_watermark = 250_000;
     cluster_limit = Enc.default_cluster_limit;
+    strategy = Bfs;
+    par_domains = 1;
+    reorder_watermark = 0;
   }
 
 let monolithic_tuning =
@@ -45,13 +58,17 @@ let monolithic_tuning =
     use_restrict = false;
     gc_watermark = 0;
     cluster_limit = Enc.default_cluster_limit;
+    strategy = Bfs;
+    par_domains = 1;
+    reorder_watermark = 0;
   }
 
 (* One-step successors: rename(exists cur (T /\ frontier)). The
    partitioned path folds the frontier through the cluster schedule,
    quantifying each current-copy variable at the last cluster that
    mentions it so the intermediate products never carry the full
-   variable set. *)
+   variable set. Always sequential — the multi-domain path below slices
+   the frontier and calls this per slice in worker managers. *)
 let image ?(tuning = default_tuning) enc frontier =
   let m = Enc.mgr enc in
   if tuning.partitioned then begin
@@ -81,6 +98,130 @@ let preimage ?(tuning = default_tuning) enc set =
   else
     let t = Enc.trans_bdd enc in
     Bdd.and_exists m (Enc.nxt_set enc) t (Enc.rename_cur_to_nxt enc set)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain image: slice the frontier into disjoint pieces by the
+   values of a few state bits, compute each piece's image in a worker
+   domain with its own manager and encoder, and OR the transferred
+   results. Exact because the image distributes over union and the
+   slices partition the frontier; deterministic because every worker
+   encoder is built from the same model with the same layout.
+
+   Thread-safety rests on a strict phase discipline. While worker
+   domains run, the main manager is read-only (workers [transfer] their
+   slice in, which only reads the main manager's immutable-during-the-
+   window node fields); transfers back into the main manager happen on
+   the main domain after every worker has been joined; each worker
+   manager is touched by exactly one domain at a time. Worker-side GC
+   and reordering run at the start of a worker's round, after the main
+   domain is done reading the previous round's results. *)
+
+type worker = {
+  wenc : Enc.t;
+  wtuning : tuning;  (** sequential tuning for the in-worker image *)
+  mutable wlast : Bdd.t list;  (** rooted results the main side read *)
+}
+
+type par = { workers : worker array; slice_bits : int }
+
+let make_par enc tuning =
+  if tuning.par_domains <= 1 then None
+  else begin
+    let seq = { tuning with par_domains = 1 } in
+    let workers =
+      Array.init tuning.par_domains (fun _ ->
+          let wm = Bdd.create_manager () in
+          let wenc = Enc.create wm (Enc.model enc) in
+          Bdd.set_gc_watermark wm tuning.gc_watermark;
+          if tuning.reorder_watermark > 0 then
+            Bdd.set_reorder_watermark wm tuning.reorder_watermark;
+          if tuning.partitioned then
+            ignore (Enc.schedule ~cluster_limit:tuning.cluster_limit wenc)
+          else ignore (Enc.trans_bdd wenc);
+          { wenc; wtuning = seq; wlast = [] })
+    in
+    let rec bits k =
+      if 1 lsl k >= tuning.par_domains then k else bits (k + 1)
+    in
+    Some { workers; slice_bits = bits 0 }
+  end
+
+let par_image enc par tuning frontier =
+  let m = Enc.mgr enc in
+  let seq = { tuning with par_domains = 1 } in
+  let cur_support =
+    List.filter (fun v -> v land 1 = 0) (Bdd.support frontier)
+  in
+  let k = min par.slice_bits (List.length cur_support) in
+  if k = 0 then image ~tuning:seq enc frontier
+  else begin
+    let vars = Array.of_list (List.filteri (fun i _ -> i < k) cur_support) in
+    let slices =
+      List.init (1 lsl k) (fun a ->
+          let s = ref frontier in
+          Array.iteri
+            (fun j v ->
+              let lit =
+                if (a lsr j) land 1 = 1 then Bdd.var m v else Bdd.nvar m v
+              in
+              s := Bdd.dand m !s lit)
+            vars;
+          !s)
+      |> List.filter (fun s -> not (Bdd.is_zero s))
+    in
+    match slices with
+    | [] -> Bdd.zero
+    | [ _ ] ->
+        (* One populated slice: nothing to parallelize. *)
+        image ~tuning:seq enc frontier
+    | _ ->
+        let nw = Array.length par.workers in
+        let buckets = Array.make nw [] in
+        List.iteri
+          (fun i s -> buckets.(i mod nw) <- s :: buckets.(i mod nw))
+          slices;
+        let tasks =
+          Array.to_list
+            (Array.mapi
+               (fun wi bucket ->
+                 if bucket = [] then None
+                 else
+                   let w = par.workers.(wi) in
+                   Some
+                     ( w,
+                       Domain.spawn (fun () ->
+                           let wm = Enc.mgr w.wenc in
+                           (* Housekeeping first: the previous round's
+                              results were already read back by the
+                              main domain. *)
+                           List.iter (Bdd.deref wm) w.wlast;
+                           w.wlast <- [];
+                           Bdd.maybe_gc wm;
+                           Bdd.maybe_reorder wm;
+                           let slice =
+                             List.fold_left
+                               (fun acc s ->
+                                 Bdd.dor wm acc (Bdd.transfer m wm s))
+                               Bdd.zero bucket
+                           in
+                           let r = image ~tuning:w.wtuning w.wenc slice in
+                           Bdd.ref wm r;
+                           w.wlast <- [ r ];
+                           r) ))
+               buckets)
+          |> List.filter_map Fun.id
+        in
+        List.fold_left
+          (fun acc (w, dom) ->
+            let r = Domain.join dom in
+            Bdd.dor m acc (Bdd.transfer (Enc.mgr w.wenc) m r))
+          Bdd.zero tasks
+  end
+
+let do_image enc par tuning operand =
+  match par with
+  | Some p -> par_image enc p tuning operand
+  | None -> image ~tuning enc operand
 
 (* Frontier minimization (Coudert–Madre): any set F' with
    frontier <= F' <= reach computes the same fixpoint ring by ring —
@@ -112,15 +253,104 @@ let extract_trace ?(tuning = default_tuning) enc rings bad_bdd =
       in
       Array.of_list (walk s_last [] earlier)
 
+(* Shortest trace without forward BFS rings (the [Saturation] strategy
+   explores guard-by-guard, so its ring structure carries no distance
+   information). Rerun a plain breadth-first pass from [init], keeping
+   onion rings, until a ring meets [bad]; then walk the rings exactly
+   as {!extract_trace} does. The rerun costs a handful of extra image
+   steps but its operands are BFS frontiers — the well-behaved shape
+   the cluster schedule is tuned for. (A backward BFS from [bad] is
+   the textbook alternative, but its preimages range over the whole
+   valid state space, where unreachable predecessor sets blow up on
+   exactly the models saturation targets.) Only called when [bad] is
+   known reachable, hence guaranteed to terminate at the true shortest
+   depth. *)
+let extract_trace_rerun ?(tuning = default_tuning) enc ~init bad_bdd =
+  let m = Enc.mgr enc in
+  let seq = { tuning with par_domains = 1 } in
+  let rec grow rings reach frontier =
+    if not (Bdd.is_zero (Bdd.dand m frontier bad_bdd)) then rings
+    else
+      let operand =
+        if seq.use_restrict then minimize_frontier m ~reach frontier
+        else frontier
+      in
+      let img = image ~tuning:seq enc operand in
+      let fresh = Bdd.dand m img (Bdd.dnot m reach) in
+      grow (fresh :: rings) (Bdd.dor m reach fresh) fresh
+  in
+  let rings = grow [ init ] init init in
+  extract_trace ~tuning:seq enc rings bad_bdd
+
 (* Prebuild the relation (monolithic or partitioned) so its
    construction cost is not attributed to the first image span, and so
    the cluster diagrams are rooted (by Enc) before any sweep. *)
 let prepare enc tuning =
   let m = Enc.mgr enc in
   Bdd.set_gc_watermark m tuning.gc_watermark;
+  if tuning.reorder_watermark > 0 then
+    Bdd.set_reorder_watermark m tuning.reorder_watermark;
   if tuning.partitioned then
     ignore (Enc.schedule ~cluster_limit:tuning.cluster_limit enc)
   else ignore (Enc.trans_bdd enc)
+
+(* Guards for the saturation sweeps: the value predicates of one
+   state variable. They cover every (valid) state, so folding local
+   fixpoints over all guards until nothing changes computes the same
+   global fixpoint; each local step is an exact image of
+   already-reached states, so the strategy is sound over the
+   conjunctive cluster schedule (which cannot be applied per-cluster).
+
+   The choice of variable decides whether the sweep order matches the
+   model's structure or fights it: we want the global synchronizer (in
+   a time-triggered model, the slot counter), whose value predicates
+   slice every frontier along the round structure. Generic proxy: the
+   variable whose bits are mentioned by the most transition conjuncts,
+   ties broken toward smaller domains (fewer, coarser guards) and then
+   declaration order. *)
+(* Bound on consecutive local image rounds per guard within one sweep;
+   see the worklist loop in [check]. *)
+let sat_local_passes = 1
+
+let saturation_guards enc =
+  let model = Enc.model enc in
+  let mentioned_bits =
+    Enc.trans_parts enc
+    |> List.map (fun d ->
+           Bdd.support d |> List.map (fun v -> v / 2)
+           |> List.sort_uniq compare)
+  in
+  let score name =
+    let ve = Enc.var_enc enc name in
+    let mine b = b >= ve.Enc.first_bit && b < ve.Enc.first_bit + ve.Enc.nbits in
+    List.length (List.filter (List.exists mine) mentioned_bits)
+  in
+  let candidates =
+    List.filter
+      (fun (_, d) -> List.length (Model.domain_values d) >= 2)
+      model.Model.vars
+  in
+  match candidates with
+  | [] -> [||]
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun (bn, bd, bs) (n, d) ->
+            let s = score n in
+            let smaller =
+              List.length (Model.domain_values d)
+              < List.length (Model.domain_values bd)
+            in
+            if s > bs || (s = bs && smaller) then (n, d, s) else (bn, bd, bs))
+          (let n, d = first in
+           (n, d, score n))
+          rest
+      in
+      let name, dom, _ = best in
+      Model.domain_values dom
+      |> List.map (fun value ->
+             Enc.pred enc (Expr.Eq (Expr.Cur name, Expr.Const value)))
+      |> Array.of_list
 
 (* The full reachable-state set (no property): used by diagnostics such
    as the deadlock-freedom check below and by the CTL checker. On
@@ -131,11 +361,22 @@ let reachable_set ?(max_iterations = max_int) ?(cancel = fun () -> false)
     ?(obs = Obs.disabled) ?(tuning = default_tuning) enc =
   let m = Enc.mgr enc in
   prepare enc tuning;
+  let par = make_par enc tuning in
   let iterations_c = Obs.counter obs "reach.iterations" in
   let finish reach frontier =
     Bdd.deref m reach;
     Bdd.deref m frontier;
     reach
+  in
+  let operand_of reach frontier =
+    match tuning.strategy with
+    | Chaining -> reach
+    | Bfs | Saturation ->
+        (* Saturation adds states guard-by-guard inside [check]'s
+           property loop; for the bare fixpoint its sweeps and plain
+           BFS compute the same set, so share the frontier loop. *)
+        if tuning.use_restrict then minimize_frontier m ~reach frontier
+        else frontier
   in
   let rec loop i reach frontier =
     let cancelled = cancel () in
@@ -144,11 +385,7 @@ let reachable_set ?(max_iterations = max_int) ?(cancel = fun () -> false)
       finish reach frontier
     end
     else
-      let fmin =
-        if tuning.use_restrict then minimize_frontier m ~reach frontier
-        else frontier
-      in
-      let img = image ~tuning enc fmin in
+      let img = do_image enc par tuning (operand_of reach frontier) in
       let fresh = Bdd.dand m img (Bdd.dnot m reach) in
       Obs.tick iterations_c;
       if Bdd.is_zero fresh then finish reach frontier
@@ -159,6 +396,7 @@ let reachable_set ?(max_iterations = max_int) ?(cancel = fun () -> false)
         Bdd.deref m reach;
         Bdd.deref m frontier;
         Bdd.maybe_gc m;
+        Bdd.maybe_reorder m;
         loop (i + 1) reach' fresh
       end
   in
@@ -181,11 +419,13 @@ let check ?(max_iterations = max_int) ?(cancel = fun () -> false)
     ?(obs = Obs.disabled) ?(tuning = default_tuning) enc ~bad =
   let m = Enc.mgr enc in
   prepare enc tuning;
+  let par = make_par enc tuning in
   let iterations_c = Obs.counter obs "reach.iterations" in
   let peak_g = Obs.gauge obs "reach.peak_nodes" in
   let frontier_g = Obs.gauge obs "reach.frontier_nodes" in
   if tuning.partitioned then
     Obs.set_max obs "reach.partitions" (Enc.n_partitions enc);
+  Obs.set_max obs "reach.image_domains" (max 1 tuning.par_domains);
   let bad_bdd =
     Bdd.dand m (Enc.pred enc bad) (Enc.valid enc ~primed:false)
   in
@@ -204,69 +444,209 @@ let check ?(max_iterations = max_int) ?(cancel = fun () -> false)
          (primed) variable doubles the raw count, hence the division. *)
     }
   in
-  (* Every ring and the current reached set stay registered as GC
-     roots for the whole run (the rings are the counterexample
-     extractor's input); [finish] unregisters them so the manager is
-     left clean for the caller. *)
-  let finish reach rings result =
-    Bdd.deref m reach;
-    List.iter (Bdd.deref m) rings;
-    Bdd.deref m bad_bdd;
-    result
-  in
   if not (Bdd.is_zero (Bdd.dand m init bad_bdd)) then begin
     let trace = [| Enc.decode_state enc (Bdd.dand m init bad_bdd) |] in
     Bdd.deref m bad_bdd;
     Unsafe (trace, finish_stats 0 init)
   end
-  else begin
-    let rec loop i reach frontier rings =
-      let cancelled = cancel () in
-      if i >= max_iterations || cancelled then begin
-        if cancelled then Obs.instant obs "reach.cancelled";
-        finish reach rings (Depth_exhausted (finish_stats i reach))
-      end
-      else begin
-        let sp = Obs.start obs "reach.image" in
-        let fmin =
-          if tuning.use_restrict then minimize_frontier m ~reach frontier
-          else frontier
-        in
-        let img = image ~tuning enc fmin in
-        let fresh = Bdd.dand m img (Bdd.dnot m reach) in
-        Obs.tick iterations_c;
-        (* [Bdd.size] walks the diagram: only pay for it when someone
-           is listening. *)
-        if Obs.enabled obs then begin
-          Obs.record frontier_g (Bdd.size fresh);
-          Obs.set_max obs "bdd.live_nodes" (Bdd.live_nodes m)
-        end;
-        Obs.stop sp;
-        if Bdd.is_zero fresh then
-          finish reach rings (Safe (finish_stats i reach))
-        else begin
-          let reach' = Bdd.dor m reach fresh in
-          note reach';
-          Obs.record peak_g !peak;
-          let rings' = fresh :: rings in
-          Bdd.ref m reach';
-          Bdd.ref m fresh;
+  else
+    match tuning.strategy with
+    | Bfs | Chaining ->
+        (* Ring-structured exploration. Both strategies produce the
+           same rings: with R_k the reached set and F_k the k-th ring,
+           image(R_k) \ R_k = image(F_k) \ R_k (states entered from
+           R_{k-1} are already in R_k), so feeding the full reached set
+           (Chaining) or just the frontier (Bfs) to the fold yields
+           identical fresh sets, iteration counts, and traces. *)
+        (* Every ring and the current reached set stay registered as GC
+           roots for the whole run (the rings are the counterexample
+           extractor's input); [finish] unregisters them so the manager
+           is left clean for the caller. *)
+        let finish reach rings result =
           Bdd.deref m reach;
-          (* Safepoint: everything live — the encoder's caches and
-             cluster diagrams, [bad_bdd], the new reached set and
-             every ring — is rooted here. *)
-          Bdd.maybe_gc m;
-          if not (Bdd.is_zero (Bdd.dand m fresh bad_bdd)) then
-            finish reach' rings'
-              (Unsafe
-                 ( Obs.with_span obs "reach.extract_trace" (fun () ->
-                       extract_trace ~tuning enc rings' bad_bdd),
-                   finish_stats (i + 1) reach' ))
-          else loop (i + 1) reach' fresh rings'
-        end
-      end
-    in
-    Bdd.ref m init;
-    Bdd.ref m init;
-    loop 0 init init [ init ]
-  end
+          List.iter (Bdd.deref m) rings;
+          Bdd.deref m bad_bdd;
+          result
+        in
+        let rec loop i reach frontier rings =
+          let cancelled = cancel () in
+          if i >= max_iterations || cancelled then begin
+            if cancelled then Obs.instant obs "reach.cancelled";
+            finish reach rings (Depth_exhausted (finish_stats i reach))
+          end
+          else begin
+            let sp = Obs.start obs "reach.image" in
+            let operand =
+              match tuning.strategy with
+              | Chaining -> reach
+              | _ ->
+                  if tuning.use_restrict then
+                    minimize_frontier m ~reach frontier
+                  else frontier
+            in
+            let img = do_image enc par tuning operand in
+            let fresh = Bdd.dand m img (Bdd.dnot m reach) in
+            Obs.tick iterations_c;
+            (* [Bdd.size] walks the diagram: only pay for it when
+               someone is listening. *)
+            if Obs.enabled obs then begin
+              Obs.record frontier_g (Bdd.size fresh);
+              Obs.set_max obs "bdd.live_nodes" (Bdd.live_nodes m)
+            end;
+            Obs.stop sp;
+            if Bdd.is_zero fresh then
+              finish reach rings (Safe (finish_stats i reach))
+            else begin
+              let reach' = Bdd.dor m reach fresh in
+              note reach';
+              Obs.record peak_g !peak;
+              let rings' = fresh :: rings in
+              Bdd.ref m reach';
+              Bdd.ref m fresh;
+              Bdd.deref m reach;
+              (* Safepoint: everything live — the encoder's caches and
+                 cluster diagrams, [bad_bdd], the new reached set and
+                 every ring — is rooted here. *)
+              Bdd.maybe_gc m;
+              Bdd.maybe_reorder m;
+              if not (Bdd.is_zero (Bdd.dand m fresh bad_bdd)) then
+                finish reach' rings'
+                  (Unsafe
+                     ( Obs.with_span obs "reach.extract_trace" (fun () ->
+                           extract_trace ~tuning enc rings' bad_bdd),
+                       finish_stats (i + 1) reach' ))
+              else loop (i + 1) reach' fresh rings'
+            end
+          end
+        in
+        Bdd.ref m init;
+        Bdd.ref m init;
+        loop 0 init init [ init ]
+    | Saturation ->
+        (* Worklist saturation. Each guard [j] owns a pending set: the
+           reached states in its slice whose successors have not been
+           computed yet. One outer sweep visits each guard in turn and
+           drains its pending set locally — states re-entering the
+           same guard are expanded immediately (up to
+           [sat_local_passes] rounds, so a slice that keeps feeding
+           itself cannot run arbitrarily far ahead of the rest of the
+           space: deep lone-slice excursions build jagged
+           intermediate sets that blow up the relational product),
+           states crossing into another guard's slice are queued
+           there for later in the sweep. Only pending states are ever
+           imaged, so the total image work is comparable to BFS; the
+           exploration order is not breadth-first, which is the
+           point. [iterations] counts outer sweeps, so it is not
+           comparable with the BFS depth — verdicts and trace lengths
+           are, and the trace comes from a ring-keeping BFS rerun
+           so it is still shortest. *)
+        let guards = saturation_guards enc in
+        (* Guards and pending sets live across every gc/reorder
+           safepoint below. *)
+        Array.iter (Bdd.ref m) guards;
+        let pending =
+          Array.map
+            (fun g ->
+              let p = Bdd.dand m init g in
+              Bdd.ref m p;
+              p)
+            guards
+        in
+        let set_pending j p =
+          Bdd.ref m p;
+          Bdd.deref m pending.(j);
+          pending.(j) <- p
+        in
+        let reach = ref init in
+        Bdd.ref m !reach;
+        let finish result =
+          Bdd.deref m !reach;
+          Array.iter (Bdd.deref m) guards;
+          Array.iter (Bdd.deref m) pending;
+          Bdd.deref m bad_bdd;
+          result
+        in
+        let unsafe sweeps =
+          let stats = finish_stats sweeps !reach in
+          let trace =
+            Obs.with_span obs "reach.extract_trace" (fun () ->
+                extract_trace_rerun ~tuning enc ~init bad_bdd)
+          in
+          finish (Unsafe (trace, stats))
+        in
+        let exception Hit_bad of int in
+        let exception Stopped of int * bool in
+        (try
+           let sweeps = ref 0 in
+           let any_pending () =
+             Array.exists (fun p -> not (Bdd.is_zero p)) pending
+           in
+           while any_pending () do
+             if !sweeps >= max_iterations then
+               raise (Stopped (!sweeps, false));
+             if cancel () then raise (Stopped (!sweeps, true));
+             let sp = Obs.start obs "reach.image" in
+             Array.iteri
+               (fun j guard ->
+                 let local = ref 0 in
+                 while
+                   (not (Bdd.is_zero pending.(j)))
+                   && !local < sat_local_passes
+                 do
+                   incr local;
+                   let operand =
+                     if tuning.use_restrict then
+                       minimize_frontier m ~reach:!reach pending.(j)
+                     else pending.(j)
+                   in
+                   let img = do_image enc par tuning operand in
+                   let fresh = Bdd.dand m img (Bdd.dnot m !reach) in
+                   if Bdd.is_zero fresh then set_pending j Bdd.zero
+                   else begin
+                     let reach' = Bdd.dor m !reach fresh in
+                     note reach';
+                     Bdd.ref m reach';
+                     Bdd.ref m fresh;
+                     Bdd.deref m !reach;
+                     reach := reach';
+                     (* The imaged states are consumed. Route the new
+                        ones to their slices: re-entrants to this
+                        guard's pending set (drained next round of this
+                        local loop), the rest to the other guards'
+                        (drained later in the sweep, or next sweep). *)
+                     set_pending j (Bdd.dand m fresh guard);
+                     Array.iteri
+                       (fun k gk ->
+                         if k <> j then begin
+                           let add = Bdd.dand m fresh gk in
+                           if not (Bdd.is_zero add) then
+                             set_pending k (Bdd.dor m pending.(k) add)
+                         end)
+                       guards;
+                     if not (Bdd.is_zero (Bdd.dand m fresh bad_bdd)) then
+                       begin
+                         Bdd.deref m fresh;
+                         raise (Hit_bad (!sweeps + 1))
+                       end;
+                     (* Safepoint: reach, pending, guards, bad_bdd and
+                        the encoder caches are all rooted here. *)
+                     Bdd.deref m fresh;
+                     Bdd.maybe_gc m;
+                     Bdd.maybe_reorder m
+                   end
+                 done)
+               guards;
+             Obs.stop sp;
+             Obs.tick iterations_c;
+             incr sweeps;
+             if Obs.enabled obs then begin
+               Obs.record peak_g !peak;
+               Obs.set_max obs "bdd.live_nodes" (Bdd.live_nodes m)
+             end
+           done;
+           finish (Safe (finish_stats !sweeps !reach))
+         with
+        | Hit_bad sweeps -> unsafe sweeps
+        | Stopped (sweeps, cancelled) ->
+            if cancelled then Obs.instant obs "reach.cancelled";
+            finish (Depth_exhausted (finish_stats sweeps !reach)))

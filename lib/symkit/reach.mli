@@ -2,11 +2,17 @@
 
     Computes the reachable states as a BDD fixpoint and checks a safety
     property of the form "no reachable state satisfies [bad]". On
-    failure, a shortest counterexample trace is extracted by walking
-    the onion rings of the fixpoint backwards, exactly as SMV does. *)
+    failure, a shortest counterexample trace is extracted — by walking
+    the onion rings of the fixpoint backwards (BFS-shaped strategies,
+    exactly as SMV does), or by rerunning a ring-keeping BFS when the
+    forward exploration was not breadth-first. *)
 
 type stats = {
-  iterations : int;  (** image steps performed *)
+  iterations : int;
+      (** image steps performed; under {!Saturation} this counts outer
+          sweeps over the guard set, so it is comparable within a
+          strategy but not across {!Saturation} and the BFS-shaped
+          strategies *)
   peak_nodes : int;  (** largest reachable-set BDD seen *)
   reachable_states : float;  (** |reachable| when the run completed *)
 }
@@ -20,10 +26,29 @@ type result =
 
 (** {1 Image-computation tuning}
 
-    The three optimizations of the symbolic hot path, individually
-    switchable so their effect can be measured (and so a disagreement
-    can be bisected): they never change verdicts or counterexample
-    lengths, only time and memory. *)
+    The optimizations of the symbolic hot path, individually switchable
+    so their effect can be measured (and so a disagreement can be
+    bisected): none of them ever changes verdicts or counterexample
+    lengths, only time and memory. ({!Saturation} additionally changes
+    what {!stats.iterations} counts — see its doc.) *)
+
+type strategy =
+  | Bfs
+      (** breadth-first: one image of the current frontier per
+          iteration, onion rings kept for trace extraction *)
+  | Chaining
+      (** feed the whole accumulating reached set through the cluster
+          fold each iteration instead of the frontier. Produces rings,
+          iteration counts and traces identical to {!Bfs} —
+          image(R) \ R = image(F) \ R — while exercising a different
+          operand shape (no frontier minimization applies). *)
+  | Saturation
+      (** guard-local fixpoints: the reached set is sliced by the value
+          predicates of one small-domain state variable, each slice
+          saturated locally before moving on, sweeping until a full
+          pass adds nothing. Verdicts and trace lengths match the other
+          strategies exactly (traces come from a BFS rerun);
+          iteration counts are outer sweeps. *)
 
 type tuning = {
   partitioned : bool;
@@ -37,18 +62,34 @@ type tuning = {
           many nodes were allocated since the last sweep; [0] disables *)
   cluster_limit : int;
       (** node cap per conjunctive cluster (see {!Enc.schedule}) *)
+  strategy : strategy;  (** fixpoint exploration order *)
+  par_domains : int;
+      (** image parallelism: [> 1] slices each frontier by the values
+          of a few state bits and computes slice images concurrently in
+          that many OCaml domains (per-domain managers and encoders,
+          results transferred back and OR-ed — exact, deterministic).
+          [1] (default) is the sequential fold. Takes effect inside
+          {!check}/{!reachable_set}; the standalone {!image} is always
+          sequential. *)
+  reorder_watermark : int;
+      (** arm {!Bdd.set_reorder_watermark} on the managers involved:
+          dynamic variable reordering fires at iteration boundaries
+          once the live-node count reaches this; [0] disables *)
 }
 
 val default_tuning : tuning
-(** Partitioned, restrict on, GC at a 250k-allocation watermark. *)
+(** Partitioned, restrict on, GC at a 250k-allocation watermark,
+    {!Bfs}, sequential, no reordering. *)
 
 val monolithic_tuning : tuning
 (** The pre-optimization behavior: one relprod against
-    {!Enc.trans_bdd}, no frontier minimization, no GC. Kept as the
-    cross-check and benchmark baseline. *)
+    {!Enc.trans_bdd}, no frontier minimization, no GC, {!Bfs},
+    sequential, no reordering. Kept as the cross-check and benchmark
+    baseline. *)
 
 val image : ?tuning:tuning -> Enc.t -> Bdd.t -> Bdd.t
-(** One-step successors of a set of states (both over current bits). *)
+(** One-step successors of a set of states (both over current bits).
+    Always sequential regardless of [par_domains]. *)
 
 val preimage : ?tuning:tuning -> Enc.t -> Bdd.t -> Bdd.t
 (** One-step predecessors. *)
@@ -75,6 +116,6 @@ val check :
     [obs] (default {!Obs.disabled}) receives a [reach.image] span per
     fixpoint iteration, the [reach.iterations] counter and the
     [reach.peak_nodes]/[reach.frontier_nodes]/[reach.partitions]/
-    [bdd.live_nodes] gauges. [tuning] (default {!default_tuning})
-    selects the image-computation strategy; every setting produces
-    identical verdicts and counterexample lengths. *)
+    [reach.image_domains]/[bdd.live_nodes] gauges. [tuning] (default
+    {!default_tuning}) selects the image-computation strategy; every
+    setting produces identical verdicts and counterexample lengths. *)

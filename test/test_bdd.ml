@@ -145,7 +145,7 @@ let prop_iter_sat =
       let m = Bdd.create_manager () in
       let d = build m f in
       let seen = Hashtbl.create 64 in
-      Bdd.iter_sat ~nvars d (fun a -> Hashtbl.replace seen (Array.copy a) ());
+      Bdd.iter_sat m ~nvars d (fun a -> Hashtbl.replace seen (Array.copy a) ());
       List.for_all
         (fun env -> Hashtbl.mem seen env = eval env f)
         (all_envs ()))
@@ -329,9 +329,177 @@ let prop_gc_transparent =
       Bdd.deref m df;
       ok)
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic reordering: semantics, counts, and support are order
+   properties of the *function*, so they must survive any sift. *)
+
+let prop_reorder_invariant =
+  QCheck.Test.make ~name:"reorder preserves semantics, sat_count and support"
+    ~count:100 form_arb (fun f ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      Bdd.ref m d;
+      let count0 = Bdd.sat_count m ~nvars d in
+      let support0 = Bdd.support d in
+      Bdd.reorder m;
+      let ok_sem =
+        List.for_all (fun env -> eval_bdd env d = eval env f) (all_envs ())
+      in
+      let ok =
+        ok_sem
+        && Bdd.sat_count m ~nvars d = count0
+        && Bdd.support d = support0
+      in
+      Bdd.deref m d;
+      ok)
+
+let prop_reorder_canonical =
+  QCheck.Test.make ~name:"rebuilding after reorder finds the same node"
+    ~count:100 form_arb (fun f ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      Bdd.ref m d;
+      Bdd.reorder m;
+      let ok = Bdd.equal (build m f) d in
+      Bdd.deref m d;
+      ok)
+
+let prop_reorder_iter_sat =
+  QCheck.Test.make ~name:"iter_sat enumerates the same models after reorder"
+    ~count:50 form_arb (fun f ->
+      let m = Bdd.create_manager () in
+      let d = build m f in
+      Bdd.ref m d;
+      Bdd.reorder m;
+      let seen = Hashtbl.create 64 in
+      Bdd.iter_sat m ~nvars d (fun a -> Hashtbl.replace seen (Array.copy a) ());
+      let ok =
+        List.for_all (fun env -> Hashtbl.mem seen env = eval env f) (all_envs ())
+      in
+      Bdd.deref m d;
+      ok)
+
+(* Mid-computation sweeps: arm a tiny watermark so maybe_reorder fires
+   while diagrams are being combined, as it would mid-fixpoint. *)
+let prop_reorder_watermark =
+  QCheck.Test.make ~name:"watermark-triggered reorders are transparent"
+    ~count:50 (QCheck.pair form_arb form_arb) (fun (f, g) ->
+      let m = Bdd.create_manager () in
+      Bdd.set_reorder_watermark m 8;
+      let df = build m f in
+      Bdd.ref m df;
+      Bdd.maybe_reorder m;
+      let dg = build m g in
+      Bdd.ref m dg;
+      Bdd.maybe_reorder m;
+      let both = Bdd.dand m df dg in
+      let ok =
+        List.for_all
+          (fun env -> eval_bdd env both = (eval env f && eval env g))
+          (all_envs ())
+      in
+      Bdd.deref m df;
+      Bdd.deref m dg;
+      ok)
+
+let prop_transfer_roundtrip =
+  QCheck.Test.make ~name:"transfer round-trips canonically" ~count:100
+    form_arb (fun f ->
+      let src = Bdd.create_manager () in
+      let dst = Bdd.create_manager () in
+      let d = build src f in
+      let d' = Bdd.transfer src dst d in
+      (* Same function over the same indices: the copy must land on the
+         node the destination would build itself, and the round trip
+         must land back on the original. *)
+      Bdd.equal d' (build dst f)
+      && Bdd.equal (Bdd.transfer dst src d') d)
+
+let prop_transfer_across_orders =
+  QCheck.Test.make ~name:"transfer is exact between differently-ordered managers"
+    ~count:50 form_arb (fun f ->
+      let src = Bdd.create_manager () in
+      let dst = Bdd.create_manager () in
+      (* Give the destination a sifted (likely different) order first. *)
+      let warm = build dst (F_ite (F_var 2, F_var 0, F_xor (F_var 4, F_var 1))) in
+      Bdd.ref dst warm;
+      Bdd.reorder dst;
+      let d = build src f in
+      let d' = Bdd.transfer src dst d in
+      List.for_all (fun env -> eval_bdd env d' = eval env f) (all_envs ()))
+
+let test_reorder_groups () =
+  let m = Bdd.create_manager () in
+  (* Pair up (0,1) and (2,3) as the encoder pairs cur/nxt bits. *)
+  let d =
+    Bdd.dand m
+      (Bdd.iff m (Bdd.var m 0) (Bdd.var m 3))
+      (Bdd.iff m (Bdd.var m 2) (Bdd.var m 5))
+  in
+  Bdd.ref m d;
+  Bdd.set_var_groups m [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ];
+  Bdd.reorder m;
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "pair (%d,%d) stays adjacent" a b)
+        (Bdd.level_of_var m a + 1) (Bdd.level_of_var m b))
+    [ (0, 1); (2, 3); (4, 5) ];
+  (* A +1 within-pair shift of an even-vars-only diagram (the encoder's
+     cur -> nxt rename) is still a legal, level-monotonic rename. *)
+  let cur_only =
+    Bdd.dand m (Bdd.var m 0) (Bdd.dor m (Bdd.var m 2) (Bdd.var m 4))
+  in
+  let shifted = Bdd.rename m (fun v -> v + 1) cur_only in
+  Alcotest.(check (list int)) "shift rename still legal after reorder"
+    [ 1; 3; 5 ] (Bdd.support shifted);
+  Bdd.deref m d
+
+let test_reorder_shrinks () =
+  let m = Bdd.create_manager () in
+  (* The classic order-sensitive function: x0·x3 + x1·x4 + x2·x5 is
+     linear-sized interleaved and exponential-sized separated. Built
+     under the natural (separated) order, sifting must shrink it. *)
+  let d =
+    Bdd.disj m
+      [
+        Bdd.dand m (Bdd.var m 0) (Bdd.var m 3);
+        Bdd.dand m (Bdd.var m 1) (Bdd.var m 4);
+        Bdd.dand m (Bdd.var m 2) (Bdd.var m 5);
+      ]
+  in
+  Bdd.ref m d;
+  let before = Bdd.size d in
+  Bdd.reorder m;
+  let after = Bdd.size d in
+  Alcotest.(check bool)
+    (Printf.sprintf "sifting shrank %d -> %d" before after)
+    true (after < before);
+  Alcotest.(check bool) "gain recorded" true (Bdd.reorder_gain m > 0);
+  Alcotest.(check int) "run counted" 1 (Bdd.reorder_count m);
+  List.iter
+    (fun env ->
+      Alcotest.(check bool) "still the same function"
+        ((env.(0) && env.(3)) || (env.(1) && env.(4)) || (env.(2) && env.(5)))
+        (eval_bdd env d))
+    (all_envs ());
+  Bdd.deref m d
+
+let test_reorder_watermark_guard () =
+  let m = Bdd.create_manager () in
+  Alcotest.check_raises "negative reorder watermark rejected"
+    (Invalid_argument "Bdd.set_reorder_watermark: negative watermark")
+    (fun () -> Bdd.set_reorder_watermark m (-1))
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [
+      prop_reorder_invariant;
+      prop_reorder_canonical;
+      prop_reorder_iter_sat;
+      prop_reorder_watermark;
+      prop_transfer_roundtrip;
+      prop_transfer_across_orders;
       prop_cofactor_drops_var;
       prop_restrict_sound;
       prop_restrict_full_care;
@@ -359,6 +527,10 @@ let suite =
     Alcotest.test_case "gc sweep" `Quick test_gc_sweep;
     Alcotest.test_case "gc roots protocol" `Quick test_gc_roots_protocol;
     Alcotest.test_case "gc watermark" `Quick test_gc_watermark;
+    Alcotest.test_case "reorder groups" `Quick test_reorder_groups;
+    Alcotest.test_case "reorder shrinks" `Quick test_reorder_shrinks;
+    Alcotest.test_case "reorder watermark guard" `Quick
+      test_reorder_watermark_guard;
   ]
   @ qtests
 

@@ -249,6 +249,150 @@ let test_resilience () =
   Alcotest.(check bool) "resilience: hedging improves p99" true
     (get_num name j "hedge_p99_speedup" > 1.0)
 
+let get_str name json key =
+  match Json.member key json with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "%s: %s is not a string" name key
+
+let test_bdd () =
+  let name = "BENCH_bdd.json" in
+  let j = load name in
+  check_keys name j
+    [
+      "nodes";
+      "paper_scale";
+      "par_domains";
+      "reorder_watermark";
+      "baseline_budget_s";
+      "verdicts_agree";
+      "min_speedup_vs_monolithic";
+      "speedup";
+      "baseline";
+      "rows";
+    ];
+  (* The committed artifact must be the paper-scale run: the whole
+     point of the matrix is the 4-node E1-E5 wall under 30s. *)
+  Alcotest.(check bool) "bdd: paper scale" true (get_bool name j "paper_scale");
+  Alcotest.(check bool) "bdd: 4 nodes" true (get_num name j "nodes" >= 4.0);
+  Alcotest.(check bool) "bdd: verdicts agree" true
+    (get_bool name j "verdicts_agree");
+  Alcotest.(check bool) "bdd: beats monolithic baseline 2x" true
+    (get_num name j "min_speedup_vs_monolithic" >= 2.0);
+  let rows = get_rows name j in
+  (* 3 strategies x {1, N} domains x {off, on} reordering per config. *)
+  Alcotest.(check int) "bdd: five configs x twelve combos" 60
+    (List.length rows);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      check_keys name row
+        [
+          "config";
+          "combo";
+          "strategy";
+          "par_domains";
+          "reorder_watermark";
+          "verdict";
+          "trace_len";
+          "iterations";
+          "peak_nodes";
+          "partitions";
+          "gc_count";
+          "reorder_count";
+          "reorder_gain";
+          "live_nodes";
+          "bdd_peak_nodes";
+          "wall_s";
+        ];
+      Hashtbl.replace seen
+        ( get_str name row "strategy",
+          get_num name row "par_domains" > 1.0,
+          get_num name row "reorder_watermark" > 0.0 )
+        ();
+      (* The headline bar — each experiment under 30s — is on the
+         default-tuned row; the instrumented combos (reordering pays
+         its sifting cost up front) get a looser sanity cap. *)
+      let cap = if get_str name row "combo" = "bfs" then 30.0 else 120.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bdd: %s/%s under %.0fs"
+           (get_str name row "config")
+           (get_str name row "combo") cap)
+        true
+        (get_num name row "wall_s" < cap))
+    rows;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun par ->
+          List.iter
+            (fun ro ->
+              Alcotest.(check bool)
+                (Printf.sprintf "bdd: combo %s/par:%b/reorder:%b covered" s
+                   par ro)
+                true
+                (Hashtbl.mem seen (s, par, ro)))
+            [ false; true ])
+        [ false; true ])
+    [ "bfs"; "chaining"; "saturation" ]
+
+(* The committed paper-scale transcript: its Section 5.2 verdict table
+   must list exactly the experiment registry's jobs (E1-E5 plus the E9
+   ablation), and every measured verdict must match its expectation.
+   Parsing the human-readable table keeps the committed artifact and
+   the registry from drifting apart silently. *)
+let test_paper_scale_table () =
+  let name = "bench/bench_paper_scale.txt" in
+  let path = Filename.concat ".." name in
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  let labels =
+    List.map
+      (fun (job : Portfolio.job) -> job.Portfolio.label)
+      (Portfolio.section5_jobs ~nodes:4 ())
+  in
+  let expects =
+    [ "holds"; "holds"; "holds"; "violated"; "violated"; "violated" ]
+  in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let field key line =
+    let klen = String.length key and n = String.length line in
+    let rec find i =
+      if i + klen > n then
+        Alcotest.failf "%s: row %S has no %S field" name line key
+      else if String.sub line i klen = key then
+        String.trim (String.sub line (i + klen) (n - i - klen))
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.iter2
+    (fun label expect ->
+      match List.find_opt (starts_with label) lines with
+      | None -> Alcotest.failf "%s: no row for %S" name label
+      | Some line ->
+          let expect_field =
+            match String.split_on_char ' ' (field "expect:" line) with
+            | w :: _ -> w
+            | [] -> ""
+          in
+          Alcotest.(check string)
+            (label ^ ": expectation matches the registry")
+            expect expect_field;
+          Alcotest.(check bool)
+            (label ^ ": got matches expect")
+            true
+            (starts_with expect (field "got:" line)))
+    labels expects
+
 let () =
   Alcotest.run "bench schemas"
     [
@@ -259,5 +403,8 @@ let () =
           Alcotest.test_case "BENCH_synth.json" `Quick test_synth;
           Alcotest.test_case "BENCH_chaos.json" `Quick test_chaos;
           Alcotest.test_case "BENCH_resilience.json" `Quick test_resilience;
+          Alcotest.test_case "BENCH_bdd.json" `Quick test_bdd;
+          Alcotest.test_case "bench_paper_scale.txt" `Quick
+            test_paper_scale_table;
         ] );
     ]

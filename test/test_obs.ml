@@ -199,6 +199,8 @@ let test_bdd_counter_names_golden () =
       "bdd.cache_sweeps";
       "bdd.gc_count";
       "bdd.nodes_allocated";
+      "bdd.reorder_count";
+      "bdd.reorder_gain";
     ]
     (List.map fst (Bdd.counters m))
 
@@ -217,12 +219,15 @@ let test_engine_run_counter_names_golden () =
       "bdd.cache_misses";
       "bdd.gc_count";
       "bdd.nodes_allocated";
+      "bdd.reorder_count";
+      "bdd.reorder_gain";
       "bdd.live_nodes";
       "bdd.peak_nodes";
       "reach.iterations";
       "reach.peak_nodes";
       "reach.frontier_nodes";
       "reach.partitions";
+      "reach.image_domains";
       "gc.minor_collections";
       "gc.major_collections";
     ];

@@ -268,6 +268,70 @@ let test_tuning_verdict_agreement () =
       ("mutex-progress", mutex_model, q_critical);
     ]
 
+let test_strategy_agreement () =
+  (* Every fixpoint strategy × image parallelism × dynamic reordering
+     must agree on verdict and counterexample length. Iteration counts
+     must match among the BFS-shaped strategies (Bfs and Chaining);
+     Saturation counts outer sweeps and is excluded from that check.
+     The tiny reorder watermark forces sifting to actually fire
+     mid-fixpoint on these small models. *)
+  let d = Reach.default_tuning in
+  let tunings =
+    [
+      ("bfs", d, true);
+      ("chaining", { d with Reach.strategy = Reach.Chaining }, true);
+      ("saturation", { d with Reach.strategy = Reach.Saturation }, false);
+      ("bfs-par2", { d with Reach.par_domains = 2 }, true);
+      ( "chaining-par2",
+        { d with Reach.strategy = Reach.Chaining; par_domains = 2 },
+        true );
+      ( "saturation-par2",
+        { d with Reach.strategy = Reach.Saturation; par_domains = 2 },
+        false );
+      ("bfs-reorder", { d with Reach.reorder_watermark = 500 }, true);
+      ( "chaining-reorder",
+        { d with Reach.strategy = Reach.Chaining; reorder_watermark = 500 },
+        true );
+      ( "saturation-reorder",
+        { d with Reach.strategy = Reach.Saturation; reorder_watermark = 500 },
+        false );
+    ]
+  in
+  List.iter
+    (fun (mname, model, bad) ->
+      let outcome tuning =
+        let enc = Enc.create (Bdd.create_manager ()) model in
+        match Reach.check ~tuning enc ~bad with
+        | Reach.Safe s -> ("safe", 0, s.Reach.iterations)
+        | Reach.Unsafe (t, s) -> ("unsafe", Array.length t, s.Reach.iterations)
+        | Reach.Depth_exhausted s -> ("exhausted", 0, s.Reach.iterations)
+      in
+      let rv, rlen, riters =
+        match tunings with
+        | (_, t, _) :: _ -> outcome t
+        | [] -> assert false
+      in
+      List.iter
+        (fun (tname, t, bfs_shaped) ->
+          let v, len, iters = outcome t in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s verdict" mname tname)
+            rv v;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s trace length" mname tname)
+            rlen len;
+          if bfs_shaped then
+            Alcotest.(check int)
+              (Printf.sprintf "%s/%s iterations" mname tname)
+              riters iters)
+        (List.tl tunings))
+    [
+      ("counter", counter_model, c_is 5);
+      ("saturating", saturating_model, c_is 5);
+      ("mutex-safe", mutex_model, both_critical);
+      ("mutex-progress", mutex_model, q_critical);
+    ]
+
 let test_reachable_set_cancel_and_obs () =
   (* Immediate cancellation returns the initial states (the trivial
      lower bound) — and the iteration counter lands in the track. *)
@@ -686,6 +750,8 @@ let suite =
       test_partitioned_image_agreement;
     Alcotest.test_case "tuning verdict agreement" `Quick
       test_tuning_verdict_agreement;
+    Alcotest.test_case "strategy/par/reorder agreement" `Quick
+      test_strategy_agreement;
     Alcotest.test_case "reachable_set cancel + obs" `Quick
       test_reachable_set_cancel_and_obs;
     Alcotest.test_case "k-induction proves saturating" `Quick
